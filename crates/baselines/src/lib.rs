@@ -1,0 +1,30 @@
+//! Comparison baselines for the evaluation.
+//!
+//! The paper's claims are comparative: Tyche-enclaves vs **SGX** (§4.2),
+//! in-process compartments vs **process isolation** (§2.2), and flat
+//! trust domains vs the **hierarchical VM** trust explosion (§2.2).
+//! Reproducing those comparisons needs faithful models of the baselines'
+//! *restrictions* — this crate provides them:
+//!
+//! - [`sgx`]: an SGX-like enclave model with the constraints the paper
+//!   contrasts against: enclaves live inside a host process's address
+//!   space (so the enclave can read all host memory — implicit sharing),
+//!   each occupies an exclusive virtual range (ELRANGE) limiting layout
+//!   and count, EPC capacity is finite, and enclaves cannot nest;
+//! - [`process`]: OS process isolation with the costs §2.2 cites —
+//!   creation, context switches, and IPC — using the same
+//!   `tyche_hw`-calibrated cycle constants as the monitor experiments;
+//! - [`vmstack`]: the hierarchical-VM trust model, where software at
+//!   depth `d` must trust every intermediate privileged layer, with
+//!   TCB sizes to match.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod process;
+pub mod sgx;
+pub mod vmstack;
+
+pub use process::{ProcessIsolation, ProcessSim};
+pub use sgx::{SgxError, SgxMachine};
+pub use vmstack::VmStack;

@@ -1,0 +1,139 @@
+//! The process-isolation baseline (§2.2).
+//!
+//! "Developers must either extend their trust to thousands of unverified
+//! libraries or isolate them in separate processes, with all associated
+//! overheads in creation, synchronization, and management." This module
+//! models that alternative: putting an untrusted library in its own OS
+//! process, talking to it over IPC. The cycle constants come from the
+//! same `tyche_hw::cycles::CostModel` calibration the monitor
+//! experiments use, so comparisons are apples-to-apples within the
+//! simulation.
+
+/// Cost parameters for the process baseline (mirrors
+/// `tyche_hw::cycles::CostModel` fields; duplicated here so this crate
+/// stays dependency-light).
+#[derive(Clone, Copy, Debug)]
+pub struct ProcessCosts {
+    /// fork+exec-lite.
+    pub create: u64,
+    /// One scheduler context switch.
+    pub context_switch: u64,
+    /// One IPC round trip (request + response over a pipe).
+    pub ipc_roundtrip: u64,
+    /// Tearing a process down.
+    pub teardown: u64,
+}
+
+impl Default for ProcessCosts {
+    fn default() -> Self {
+        // Matches CostModel::default_model(): process_create = 250k,
+        // context_switch = 3k, ipc_roundtrip = 8k.
+        ProcessCosts {
+            create: 250_000,
+            context_switch: 3_000,
+            ipc_roundtrip: 8_000,
+            teardown: 50_000,
+        }
+    }
+}
+
+/// Strategy marker used by benches to label the baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcessIsolation {
+    /// A library isolated in a separate OS process.
+    SeparateProcess,
+}
+
+/// A simulated library-in-a-process deployment.
+pub struct ProcessSim {
+    costs: ProcessCosts,
+    /// Accumulated simulated cycles.
+    pub cycles: u64,
+    /// Whether the worker process is alive.
+    alive: bool,
+    /// Worker private memory (the isolated library's state).
+    worker_mem: Vec<u8>,
+}
+
+impl ProcessSim {
+    /// "Forks" the library into its own process.
+    pub fn create(costs: ProcessCosts, worker_mem_bytes: usize) -> Self {
+        let mut s = ProcessSim {
+            costs,
+            cycles: 0,
+            alive: true,
+            worker_mem: vec![0; worker_mem_bytes],
+        };
+        s.cycles += s.costs.create;
+        s
+    }
+
+    /// One call into the library: IPC round trip + two context switches.
+    /// `work` runs against the worker's private memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker was torn down.
+    pub fn call<F: FnOnce(&mut [u8])>(&mut self, request: &[u8], work: F) -> Vec<u8> {
+        assert!(self.alive, "worker is dead");
+        self.cycles += self.costs.ipc_roundtrip + 2 * self.costs.context_switch;
+        // Copy semantics: IPC marshals the request into the worker.
+        let n = request.len().min(self.worker_mem.len());
+        self.worker_mem[..n].copy_from_slice(&request[..n]);
+        work(&mut self.worker_mem);
+        self.worker_mem[..n].to_vec()
+    }
+
+    /// Host cannot touch worker memory directly — that is the isolation
+    /// property bought with all these cycles. (Model: no accessor exists;
+    /// this method documents the check used in equivalence tests.)
+    pub fn host_can_read_worker(&self) -> bool {
+        false
+    }
+
+    /// Tears the worker down.
+    pub fn destroy(mut self) -> u64 {
+        self.alive = false;
+        self.cycles += self.costs.teardown;
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_costs_accumulate() {
+        let costs = ProcessCosts::default();
+        let mut p = ProcessSim::create(costs, 4096);
+        assert_eq!(p.cycles, costs.create);
+        p.call(b"req", |mem| mem[0] ^= 1);
+        assert_eq!(
+            p.cycles,
+            costs.create + costs.ipc_roundtrip + 2 * costs.context_switch
+        );
+        let total = p.destroy();
+        assert_eq!(
+            total,
+            costs.create + costs.ipc_roundtrip + 2 * costs.context_switch + costs.teardown
+        );
+    }
+
+    #[test]
+    fn call_marshals_request() {
+        let mut p = ProcessSim::create(ProcessCosts::default(), 16);
+        let out = p.call(b"abc", |mem| {
+            for b in mem.iter_mut() {
+                *b = b.wrapping_add(1);
+            }
+        });
+        assert_eq!(&out, b"bcd");
+    }
+
+    #[test]
+    fn isolation_direction() {
+        let p = ProcessSim::create(ProcessCosts::default(), 16);
+        assert!(!p.host_can_read_worker());
+    }
+}

@@ -1,0 +1,221 @@
+//! An SGX-like enclave model, faithful to the restrictions §4.2
+//! contrasts with:
+//!
+//! 1. an enclave lives *inside* a host process's virtual address space,
+//!    and enclave code can access all of the host's memory — untrusted
+//!    memory is implicitly reachable, which is how accidental leaks
+//!    happen (enclave writes secrets through a stray host pointer);
+//! 2. each enclave occupies an exclusive virtual range (ELRANGE) in its
+//!    process — two enclaves in one process cannot overlap, and a given
+//!    address layout can exist only once per process;
+//! 3. enclave pages come from a finite EPC (enclave page cache);
+//! 4. enclaves cannot create enclaves (no nesting): `ECREATE` is a
+//!    privileged host operation, unavailable inside an enclave.
+
+use std::collections::HashMap;
+
+/// Why an SGX operation failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SgxError {
+    /// The requested ELRANGE overlaps an existing enclave in the process.
+    RangeOverlap,
+    /// The EPC has no room for the enclave's pages.
+    EpcExhausted,
+    /// `ECREATE` invoked from inside an enclave: nesting is impossible.
+    NestingUnsupported,
+    /// Unknown enclave / process id.
+    NotFound,
+}
+
+impl core::fmt::Display for SgxError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SgxError::RangeOverlap => f.write_str("ELRANGE overlaps an existing enclave"),
+            SgxError::EpcExhausted => f.write_str("EPC exhausted"),
+            SgxError::NestingUnsupported => f.write_str("enclaves cannot create enclaves"),
+            SgxError::NotFound => f.write_str("no such enclave/process"),
+        }
+    }
+}
+
+impl std::error::Error for SgxError {}
+
+/// An enclave id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EnclaveId(pub u64);
+
+/// A host process id in the model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct HostPid(pub u64);
+
+struct SgxEnclave {
+    host: HostPid,
+    /// ELRANGE `[start, end)` in the host's virtual space.
+    range: (u64, u64),
+    epc_pages: u64,
+}
+
+/// The SGX machine model: EPC accounting plus per-process ELRANGEs.
+pub struct SgxMachine {
+    /// Total EPC pages (e.g. 23k pages ≈ 92 MiB usable on early parts).
+    pub epc_capacity: u64,
+    epc_used: u64,
+    enclaves: HashMap<EnclaveId, SgxEnclave>,
+    next_id: u64,
+    /// Cycle cost of an EENTER/EEXIT round trip (published measurements
+    /// put it around 8–14k cycles; we use a mid value for experiments).
+    pub eenter_roundtrip_cycles: u64,
+}
+
+impl SgxMachine {
+    /// Creates a machine with `epc_capacity` EPC pages.
+    pub fn new(epc_capacity: u64) -> Self {
+        SgxMachine {
+            epc_capacity,
+            epc_used: 0,
+            enclaves: HashMap::new(),
+            next_id: 1,
+            eenter_roundtrip_cycles: 10_000,
+        }
+    }
+
+    /// `ECREATE` from the host: builds an enclave at `range` in `host`'s
+    /// address space with `pages` EPC pages.
+    ///
+    /// `from_enclave` models the caller's context: when set, the creation
+    /// is attempted from inside an enclave and fails — the restriction
+    /// that makes nesting impossible.
+    pub fn ecreate(
+        &mut self,
+        host: HostPid,
+        range: (u64, u64),
+        pages: u64,
+        from_enclave: bool,
+    ) -> Result<EnclaveId, SgxError> {
+        if from_enclave {
+            return Err(SgxError::NestingUnsupported);
+        }
+        // ELRANGE exclusivity within the host process.
+        for e in self.enclaves.values() {
+            if e.host == host && range.0 < e.range.1 && e.range.0 < range.1 {
+                return Err(SgxError::RangeOverlap);
+            }
+        }
+        if self.epc_used + pages > self.epc_capacity {
+            return Err(SgxError::EpcExhausted);
+        }
+        self.epc_used += pages;
+        let id = EnclaveId(self.next_id);
+        self.next_id += 1;
+        self.enclaves.insert(
+            id,
+            SgxEnclave {
+                host,
+                range,
+                epc_pages: pages,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Destroys an enclave, freeing its EPC pages.
+    pub fn edestroy(&mut self, id: EnclaveId) -> Result<(), SgxError> {
+        let e = self.enclaves.remove(&id).ok_or(SgxError::NotFound)?;
+        self.epc_used -= e.epc_pages;
+        Ok(())
+    }
+
+    /// Can enclave code at `id` read host-process memory at `addr`?
+    ///
+    /// In SGX the answer is **yes for all host memory** — the enclave
+    /// shares the process address space. This is restriction 1: nothing
+    /// forces sharing to be explicit.
+    pub fn enclave_can_read_host(&self, id: EnclaveId, _addr: u64) -> Result<bool, SgxError> {
+        self.enclaves
+            .get(&id)
+            .map(|_| true)
+            .ok_or(SgxError::NotFound)
+    }
+
+    /// Can the *host* read enclave memory? No — the one direction SGX
+    /// does protect.
+    pub fn host_can_read_enclave(&self, id: EnclaveId, addr: u64) -> Result<bool, SgxError> {
+        let e = self.enclaves.get(&id).ok_or(SgxError::NotFound)?;
+        Ok(!(e.range.0 <= addr && addr < e.range.1))
+    }
+
+    /// EPC pages currently in use.
+    pub fn epc_used(&self) -> u64 {
+        self.epc_used
+    }
+
+    /// Number of live enclaves.
+    pub fn enclave_count(&self) -> usize {
+        self.enclaves.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implicit_host_access() {
+        let mut sgx = SgxMachine::new(1000);
+        let e = sgx
+            .ecreate(HostPid(1), (0x10_0000, 0x20_0000), 16, false)
+            .unwrap();
+        // The enclave reads arbitrary host memory — implicit sharing.
+        assert!(sgx.enclave_can_read_host(e, 0xdead_0000).unwrap());
+        // The host cannot read enclave memory, but can read outside it.
+        assert!(!sgx.host_can_read_enclave(e, 0x10_0000).unwrap());
+        assert!(sgx.host_can_read_enclave(e, 0x30_0000).unwrap());
+    }
+
+    #[test]
+    fn elrange_exclusive_per_process() {
+        let mut sgx = SgxMachine::new(1000);
+        sgx.ecreate(HostPid(1), (0x10_0000, 0x20_0000), 16, false)
+            .unwrap();
+        // Same range in the same process: impossible.
+        assert_eq!(
+            sgx.ecreate(HostPid(1), (0x10_0000, 0x20_0000), 16, false),
+            Err(SgxError::RangeOverlap)
+        );
+        // Overlapping range: impossible.
+        assert_eq!(
+            sgx.ecreate(HostPid(1), (0x18_0000, 0x28_0000), 16, false),
+            Err(SgxError::RangeOverlap)
+        );
+        // Same range in a *different* process: fine.
+        assert!(sgx
+            .ecreate(HostPid(2), (0x10_0000, 0x20_0000), 16, false)
+            .is_ok());
+    }
+
+    #[test]
+    fn no_nesting() {
+        let mut sgx = SgxMachine::new(1000);
+        assert_eq!(
+            sgx.ecreate(HostPid(1), (0x10_0000, 0x20_0000), 16, true),
+            Err(SgxError::NestingUnsupported)
+        );
+    }
+
+    #[test]
+    fn epc_accounting() {
+        let mut sgx = SgxMachine::new(100);
+        let a = sgx
+            .ecreate(HostPid(1), (0x10_0000, 0x20_0000), 60, false)
+            .unwrap();
+        assert_eq!(
+            sgx.ecreate(HostPid(2), (0x10_0000, 0x20_0000), 60, false),
+            Err(SgxError::EpcExhausted)
+        );
+        sgx.edestroy(a).unwrap();
+        assert_eq!(sgx.epc_used(), 0);
+        assert!(sgx
+            .ecreate(HostPid(2), (0x10_0000, 0x20_0000), 60, false)
+            .is_ok());
+    }
+}

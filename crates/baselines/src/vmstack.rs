@@ -1,0 +1,134 @@
+//! The hierarchical-VM trust model (§2.2).
+//!
+//! "Virtual machines duplicate hardware privilege levels and grant full
+//! control to virtual-privileged code over virtual-user software. This
+//! creates a rigid trust hierarchy that forces software to blindly trust
+//! all intermediate privileged levels, and leads to an uncontrolled
+//! explosion of the TCB."
+//!
+//! The model: a stack of nested virtualization layers, each with a code
+//! size. Software at depth `d` must trust every layer `0..d` (each can
+//! read and modify everything above it). Tyche's flat domains, by
+//! contrast, put only the monitor on the trust path regardless of
+//! nesting depth. Experiment C9 plots the two curves.
+
+/// One layer of the virtualization stack.
+#[derive(Clone, Debug)]
+pub struct Layer {
+    /// Human-readable name ("L0 hypervisor", "L1 guest kernel", ...).
+    pub name: String,
+    /// Lines of code — the TCB contribution.
+    pub loc: u64,
+}
+
+/// A nested-virtualization deployment.
+#[derive(Clone, Debug, Default)]
+pub struct VmStack {
+    layers: Vec<Layer>,
+}
+
+/// Representative code sizes (order-of-magnitude, from the papers the
+/// HotOS text cites for "millions of lines").
+pub mod loc {
+    /// A commodity hypervisor + host kernel (KVM/QEMU-class).
+    pub const HYPERVISOR: u64 = 2_000_000;
+    /// A monolithic guest kernel (Linux-class).
+    pub const GUEST_KERNEL: u64 = 20_000_000;
+    /// A nested hypervisor layer.
+    pub const NESTED_HYPERVISOR: u64 = 1_000_000;
+    /// An isolation monitor (the paper's target: "<10K LOC").
+    pub const MONITOR: u64 = 10_000;
+}
+
+impl VmStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes a layer below the software under consideration.
+    pub fn push(&mut self, name: &str, loc: u64) {
+        self.layers.push(Layer {
+            name: name.to_string(),
+            loc,
+        });
+    }
+
+    /// Builds the typical depth-`d` nested deployment: hypervisor, then
+    /// alternating guest kernels and nested hypervisors.
+    pub fn typical(depth: usize) -> Self {
+        let mut s = VmStack::new();
+        s.push("L0 hypervisor", loc::HYPERVISOR);
+        for i in 0..depth {
+            if i % 2 == 0 {
+                s.push(&format!("L{} guest kernel", i + 1), loc::GUEST_KERNEL);
+            } else {
+                s.push(
+                    &format!("L{} nested hypervisor", i + 1),
+                    loc::NESTED_HYPERVISOR,
+                );
+            }
+        }
+        s
+    }
+
+    /// TCB of software at the top of this stack: every layer below it.
+    pub fn tcb_loc(&self) -> u64 {
+        self.layers.iter().map(|l| l.loc).sum()
+    }
+
+    /// Number of independently-trusted components on the trust path.
+    pub fn trusted_components(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The same workload's TCB under an isolation monitor: the monitor
+    /// alone, regardless of how deeply domains nest (§3.5).
+    pub fn monitor_tcb_loc(_depth: usize) -> u64 {
+        loc::MONITOR
+    }
+
+    /// Can layer `i` read memory of software at layer `j`? In the
+    /// hierarchy, any lower (more privileged) layer reads every layer
+    /// above it.
+    pub fn layer_can_read(&self, i: usize, j: usize) -> bool {
+        i <= j && i < self.layers.len() && j <= self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcb_grows_with_depth() {
+        let d1 = VmStack::typical(1).tcb_loc();
+        let d3 = VmStack::typical(3).tcb_loc();
+        let d5 = VmStack::typical(5).tcb_loc();
+        assert!(d1 < d3 && d3 < d5, "monotone TCB explosion");
+        assert!(d5 > 40_000_000, "tens of millions of lines at depth 5");
+    }
+
+    #[test]
+    fn monitor_tcb_flat() {
+        for d in 0..8 {
+            assert_eq!(VmStack::monitor_tcb_loc(d), 10_000);
+        }
+        // The ratio the paper gestures at: orders of magnitude.
+        assert!(VmStack::typical(3).tcb_loc() / VmStack::monitor_tcb_loc(3) > 1000);
+    }
+
+    #[test]
+    fn privileged_layers_read_upward() {
+        let s = VmStack::typical(3);
+        assert!(s.layer_can_read(0, 3), "L0 reads everything");
+        assert!(s.layer_can_read(1, 2));
+        assert!(!s.layer_can_read(3, 1), "upper layers cannot read down");
+    }
+
+    #[test]
+    fn component_count() {
+        assert_eq!(VmStack::typical(0).trusted_components(), 1);
+        assert_eq!(VmStack::typical(4).trusted_components(), 5);
+    }
+}

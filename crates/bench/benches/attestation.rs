@@ -1,0 +1,79 @@
+//! C8 — attestation costs: quote generation, report signing, and
+//! end-to-end chain verification, scaling with domain resource counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tyche_bench::boot;
+use tyche_core::prelude::*;
+use tyche_monitor::attest::Verifier;
+use tyche_monitor::boot::{expected_monitor_pcr, MONITOR_VERSION};
+use tyche_monitor::Monitor;
+
+/// A sealed domain with `n` shared memory windows.
+fn domain_with_resources(m: &mut Monitor, n: usize) -> DomainId {
+    let os = m.engine.root().expect("root");
+    let (d, _) = m.engine.create_domain(os).expect("domain");
+    let mut client = libtyche::TycheClient::new(m, 0);
+    for i in 0..n as u64 {
+        let s = 0x10_0000 + i * 0x2000;
+        let cap = client.carve(s, s + 0x1000).expect("carve");
+        client
+            .share(cap, d, None, Rights::RO, RevocationPolicy::NONE)
+            .expect("share");
+    }
+    m.engine.set_entry(os, d, 0x10_0000).expect("entry");
+    m.engine.seal(os, d, SealPolicy::strict()).expect("seal");
+    m.sync_effects().expect("sync");
+    d
+}
+
+fn bench_attestation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c8_attestation");
+    group.sample_size(30);
+
+    group.bench_function("tpm_quote", |b| {
+        let m = boot();
+        let mut i = 0u8;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(m.machine_quote([i; 32]))
+        });
+    });
+
+    for &n in &[1usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("sign_report", n), &n, |b, &n| {
+            let mut m = boot();
+            let d = domain_with_resources(&mut m, n);
+            let mut i = 0u8;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(m.attest_domain(d, [i; 32]).expect("attest"))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("verify_chain", n), &n, |b, &n| {
+            let mut m = boot();
+            let d = domain_with_resources(&mut m, n);
+            let verifier = Verifier {
+                tpm_key: m.machine.tpm.attestation_key(),
+                expected_monitor_pcr: expected_monitor_pcr(MONITOR_VERSION),
+                monitor_key: m.report_key(),
+            };
+            let nonce = [7u8; 32];
+            let quote = m.machine_quote(nonce);
+            let signed = m.attest_domain(d, nonce).expect("attest");
+            b.iter(|| {
+                black_box(
+                    verifier
+                        .verify(&quote, &nonce, &signed, &nonce, None)
+                        .expect("verify"),
+                )
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_attestation);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Capability-engine operation costs: the §3.2 API primitives, measured
+//! at the engine level (no hardware sync) and through the full monitor
+//! call path, across growing system sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tyche_bench::boot;
+use tyche_core::prelude::*;
+
+/// An engine pre-populated with `domains` domains each holding one
+/// shared window, to measure operation cost at scale.
+fn populated_engine(domains: usize) -> (CapEngine, DomainId, CapId) {
+    let mut e = CapEngine::new();
+    let os = e.create_root_domain();
+    let ram = e.endow(os, Resource::mem(0, 1 << 32), Rights::RWX).unwrap();
+    for i in 0..domains {
+        let (d, _) = e.create_domain(os).unwrap();
+        let s = 0x10_0000 + (i as u64) * 0x10_000;
+        e.share(
+            os,
+            ram,
+            d,
+            Some(MemRegion::new(s, s + 0x1000)),
+            Rights::RO,
+            RevocationPolicy::NONE,
+        )
+        .unwrap();
+    }
+    e.drain_effects();
+    (e, os, ram)
+}
+
+fn bench_engine_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_ops");
+    group.sample_size(50);
+
+    for &n in &[10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("share", n), &n, |b, &n| {
+            let (e, os, ram) = populated_engine(n);
+            let (target, _) = {
+                let mut e2 = e.clone();
+                e2.create_domain(os).unwrap()
+            };
+            let mut i = 0u64;
+            b.iter_batched(
+                || {
+                    let mut e2 = e.clone();
+                    let (t, _) = e2.create_domain(os).unwrap();
+                    (e2, t)
+                },
+                |(mut e2, t)| {
+                    i += 1;
+                    let s = 0x8000_0000 + (i % 1000) * 0x1000;
+                    black_box(
+                        e2.share(
+                            os,
+                            ram,
+                            t,
+                            Some(MemRegion::new(s, s + 0x1000)),
+                            Rights::RO,
+                            RevocationPolicy::NONE,
+                        )
+                        .unwrap(),
+                    );
+                },
+                criterion::BatchSize::SmallInput,
+            );
+            let _ = target;
+        });
+
+        group.bench_with_input(BenchmarkId::new("refcount_query", n), &n, |b, &n| {
+            let (e, _os, _ram) = populated_engine(n);
+            b.iter(|| black_box(e.refcount_mem(MemRegion::new(0x10_0000, 0x10_1000))));
+        });
+
+        group.bench_with_input(BenchmarkId::new("enumerate", n), &n, |b, &n| {
+            let (e, os, _ram) = populated_engine(n);
+            b.iter(|| black_box(e.enumerate(os).unwrap().len()));
+        });
+
+        group.bench_with_input(BenchmarkId::new("audit", n), &n, |b, &n| {
+            let (e, _os, _ram) = populated_engine(n);
+            b.iter(|| assert!(tyche_core::audit::audit(black_box(&e)).is_empty()));
+        });
+    }
+
+    group.bench_function("split_merge_cycle", |b| {
+        let (e, os, ram) = populated_engine(10);
+        b.iter_batched(
+            || e.clone(),
+            |mut e2| {
+                let (lo, hi) = e2.split(os, ram, 0x4000_0000).unwrap();
+                e2.revoke(os, lo).unwrap();
+                e2.revoke(os, hi).unwrap();
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+fn bench_full_path_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_call_ops");
+    group.sample_size(20);
+
+    // Full path: engine + ABI + backend (EPT programming).
+    group.bench_function("grant_revoke_page_full_path", |b| {
+        let mut m = boot();
+        let os = m.engine.root().expect("root");
+        let (child, _) = m.engine.create_domain(os).expect("child");
+        m.sync_effects().expect("sync");
+        let page = {
+            let mut client = libtyche::TycheClient::new(&mut m, 0);
+            client.carve(0x20_0000, 0x20_1000).expect("carve")
+        };
+        b.iter(|| {
+            let mut client = libtyche::TycheClient::new(&mut m, 0);
+            let g = client
+                .grant(black_box(page), child, Rights::RW, RevocationPolicy::ZERO)
+                .expect("grant");
+            client.revoke(g).expect("revoke");
+        });
+    });
+
+    group.bench_function("domain_create_kill_full_path", |b| {
+        let mut m = boot();
+        b.iter(|| {
+            let mut client = libtyche::TycheClient::new(&mut m, 0);
+            let (d, _t) = client.create_domain().expect("create");
+            client.kill(d).expect("kill");
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_ops, bench_full_path_ops);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! C6 — isolating an untrusted library: Tyche in-process compartment vs
+//! the separate-process baseline, across creation, call, and teardown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tyche_baselines::process::{ProcessCosts, ProcessSim};
+use tyche_bench::boot;
+
+const SCRATCH: (u64, u64) = (0x20_0000, 0x20_4000);
+const WINDOW: (u64, u64) = (0x30_0000, 0x30_1000);
+
+fn bench_compartments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c6_compartments");
+    group.sample_size(20);
+
+    group.bench_function("tyche_create_destroy", |b| {
+        b.iter_batched(
+            boot,
+            |mut m| {
+                let sb =
+                    libtyche::Sandbox::create(&mut m, 0, SCRATCH, Some(WINDOW)).expect("create");
+                sb.destroy(&mut m, 0).expect("destroy");
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("tyche_call", |b| {
+        let mut m = boot();
+        let sb = libtyche::Sandbox::create(&mut m, 0, SCRATCH, Some(WINDOW)).expect("create");
+        b.iter(|| {
+            sb.run(&mut m, 0, |ctx| {
+                ctx.write(SCRATCH.0, b"work")?;
+                ctx.write(WINDOW.0, b"result")
+            })
+            .expect("run")
+        });
+    });
+
+    group.bench_function("process_create_destroy", |b| {
+        b.iter(|| {
+            let p = ProcessSim::create(ProcessCosts::default(), 0x4000);
+            p.destroy()
+        });
+    });
+
+    group.bench_function("process_call", |b| {
+        let mut p = ProcessSim::create(ProcessCosts::default(), 0x4000);
+        b.iter(|| p.call(b"work", |mem| mem[0] ^= 1));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_compartments);
+criterion_main!(benches);

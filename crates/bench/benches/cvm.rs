@@ -1,0 +1,56 @@
+//! C12 — confidential VM lifecycle: launch (grant + measure), world
+//! switch, and teardown (zero + flush) as guest RAM grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tyche_bench::boot;
+use tyche_monitor::Monitor;
+
+fn launch(m: &mut Monitor, mib: u64) -> libtyche::ConfidentialVm {
+    let base = 0x40_0000u64;
+    let end = base + mib * 1024 * 1024;
+    m.dom_write(0, base, b"guest kernel").expect("stage");
+    libtyche::ConfidentialVm::launch(m, 0, (base, end), &[0], base, &[(base, base + 0x1000)])
+        .expect("launch")
+}
+
+fn bench_cvm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c12_cvm");
+    group.sample_size(10);
+
+    for &mib in &[1u64, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("launch_destroy", mib), &mib, |b, &mib| {
+            b.iter_batched(
+                boot,
+                |mut m| {
+                    let vm = launch(&mut m, mib);
+                    vm.destroy(&mut m, 0).expect("destroy");
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+
+    group.bench_function("world_switch", |b| {
+        let mut m = boot();
+        let vm = launch(&mut m, 1);
+        b.iter(|| {
+            vm.enter(&mut m, 0).expect("enter");
+            libtyche::ConfidentialVm::exit(&mut m, 0).expect("exit");
+        });
+    });
+
+    group.bench_function("attest_cvm", |b| {
+        let mut m = boot();
+        let vm = launch(&mut m, 1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            vm.attest(&mut m, 0, i).expect("attest")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cvm);
+criterion_main!(benches);

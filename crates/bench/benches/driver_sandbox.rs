@@ -1,0 +1,62 @@
+//! C11 — kernel driver dispatch: direct vs sandboxed, per request size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tyche_bench::boot;
+use tyche_guest::driver::{DriverHost, DriverRequest, XorBlockDriver};
+
+const WINDOW: (u64, u64) = (0x30_0000, 0x30_4000);
+const SCRATCH: (u64, u64) = (0x31_0000, 0x31_4000);
+
+fn bench_driver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c11_driver_dispatch");
+    group.sample_size(20);
+
+    for &len in &[64u64, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("direct", len), &len, |b, &len| {
+            let mut m = boot();
+            m.dom_write(0, WINDOW.0, &vec![0x5a; len as usize])
+                .expect("stage");
+            let host = DriverHost::Direct;
+            let mut drv = XorBlockDriver { key: 0x3c };
+            b.iter(|| {
+                host.dispatch(
+                    &mut m,
+                    0,
+                    &mut drv,
+                    DriverRequest {
+                        op: 1,
+                        addr: WINDOW.0,
+                        len,
+                    },
+                )
+                .expect("dispatch")
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("sandboxed", len), &len, |b, &len| {
+            let mut m = boot();
+            m.dom_write(0, WINDOW.0, &vec![0x5a; len as usize])
+                .expect("stage");
+            let host = DriverHost::sandboxed(&mut m, 0, SCRATCH, WINDOW).expect("host");
+            let mut drv = XorBlockDriver { key: 0x3c };
+            b.iter(|| {
+                host.dispatch(
+                    &mut m,
+                    0,
+                    &mut drv,
+                    DriverRequest {
+                        op: 1,
+                        addr: WINDOW.0,
+                        len,
+                    },
+                )
+                .expect("dispatch")
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_driver);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! C5 — enclave lifecycle: Tyche enclave creation/teardown vs the SGX
+//! model and the process baseline, plus nesting depth scaling (which only
+//! Tyche can do at all).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tyche_baselines::process::{ProcessCosts, ProcessSim};
+use tyche_baselines::sgx::{HostPid, SgxMachine};
+use tyche_bench::boot;
+use tyche_core::prelude::*;
+use tyche_elf::image::{ElfImage, ElfMachine, Segment, SegmentFlags};
+use tyche_elf::manifest::Manifest;
+
+fn enclave_image(base: u64, pages: u64) -> ElfImage {
+    ElfImage::new(base, ElfMachine::X86_64).with_segment(Segment {
+        vaddr: base,
+        memsz: pages * 4096,
+        flags: SegmentFlags::RW,
+        data: b"enclave image".to_vec(),
+    })
+}
+
+fn bench_enclave_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c5_enclave_lifecycle");
+    group.sample_size(20);
+
+    for &pages in &[1u64, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("tyche_load_seal_destroy", pages),
+            &pages,
+            |b, &pages| {
+                b.iter_batched(
+                    boot,
+                    |mut m| {
+                        let e = libtyche::Enclave::load(
+                            &mut m,
+                            0,
+                            enclave_image(0x10_0000, pages),
+                            Manifest::enclave_default(1),
+                            false,
+                        )
+                        .expect("load");
+                        let mut client = libtyche::TycheClient::new(&mut m, 0);
+                        client.kill(e.domain()).expect("kill");
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("sgx_model_ecreate", pages),
+            &pages,
+            |b, &pages| {
+                b.iter_batched(
+                    || SgxMachine::new(100_000),
+                    |mut sgx| {
+                        let e = sgx
+                            .ecreate(
+                                HostPid(1),
+                                (0x10_0000, 0x10_0000 + pages * 4096),
+                                pages,
+                                false,
+                            )
+                            .expect("ecreate");
+                        sgx.edestroy(e).expect("edestroy");
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+
+    group.bench_function("process_baseline_create_destroy", |b| {
+        b.iter(|| {
+            let p = ProcessSim::create(ProcessCosts::default(), 64 * 1024);
+            p.destroy()
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_nesting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c5_nesting_depth");
+    group.sample_size(15);
+
+    // Nesting depth d: enclave in enclave in ... — impossible past depth 1
+    // in the SGX model, linear work for Tyche.
+    for &depth in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("tyche_nested", depth),
+            &depth,
+            |b, &depth| {
+                b.iter_batched(
+                    boot,
+                    |mut m| {
+                        // Each level carves from its own grant and spawns the
+                        // next level inside.
+                        let mut base = 0x10_0000u64;
+                        let mut len: u64 = 0x100_0000 >> 1;
+                        let mut client = libtyche::TycheClient::new(&mut m, 0);
+                        for _ in 0..depth {
+                            let (d, t) = client.create_domain().expect("create");
+                            let cap = client.carve(base, base + len).expect("carve");
+                            client
+                                .grant(cap, d, Rights::RWX, RevocationPolicy::NONE)
+                                .expect("grant");
+                            let me = client.whoami();
+                            let core_cap = client
+                                .monitor
+                                .engine
+                                .caps_of(me)
+                                .iter()
+                                .find(|k| k.active && matches!(k.resource, Resource::CpuCore(0)))
+                                .map(|k| k.id)
+                                .expect("core");
+                            client
+                                .share(core_cap, d, None, Rights::USE, RevocationPolicy::NONE)
+                                .expect("share core");
+                            client.set_entry(d, base).expect("entry");
+                            client.seal(d, SealPolicy::nestable()).expect("seal");
+                            client.enter(t).expect("enter");
+                            base += 0x1000;
+                            len = ((len / 2) & !0xfffu64).max(0x2000);
+                        }
+                        // Unwind.
+                        for _ in 0..depth {
+                            let mut c2 = libtyche::TycheClient::new(&mut m, 0);
+                            c2.ret().expect("ret");
+                        }
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_enclave_lifecycle, bench_nesting);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! F2 — the confidential SaaS pipeline: setup, attestation, and
+//! steady-state per-request cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tyche_bench::scenarios;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_saas_pipeline");
+    group.sample_size(15);
+
+    group.bench_function("deployment_setup", |b| {
+        b.iter(scenarios::fig2);
+    });
+
+    group.bench_function("customer_verification", |b| {
+        let mut f = scenarios::fig2();
+        b.iter(|| assert!(scenarios::fig2_customer_verifies(&mut f)));
+    });
+
+    group.bench_function("pipeline_request", |b| {
+        let mut f = scenarios::fig2();
+        let data = *b"customer sensitive data 32 byte!";
+        b.iter(|| scenarios::fig2_run_pipeline(&mut f, 0xdead_beef, &data));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! C3 — the cost of micro-architectural scrubbing on transitions, as a
+//! function of the victim's cache footprint.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tyche_bench::{boot, spawn_sealed};
+use tyche_core::prelude::*;
+use tyche_monitor::abi::MonitorCall;
+
+fn bench_flush_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c3_flush_policy");
+    group.sample_size(30);
+
+    for &lines in &[0usize, 16, 64] {
+        for flush in [false, true] {
+            let name = format!("{}_{}lines", if flush { "flush" } else { "noflush" }, lines);
+            group.bench_with_input(BenchmarkId::new(name, lines), &lines, |b, &lines| {
+                let mut m = boot();
+                let os = m.engine.root().expect("root");
+                let (victim, _) =
+                    spawn_sealed(&mut m, 0, 0x10_0000, 0x8000, &[0], SealPolicy::strict());
+                let policy = if flush {
+                    RevocationPolicy::OBFUSCATE
+                } else {
+                    RevocationPolicy::NONE
+                };
+                let gate = m.engine.make_transition(os, victim, policy).expect("gate");
+                m.sync_effects().expect("sync");
+                b.iter(|| {
+                    m.call(0, MonitorCall::Enter { cap: gate }).expect("enter");
+                    for i in 0..lines as u64 {
+                        m.dom_write(0, 0x10_0000 + i * 64, &[i as u8])
+                            .expect("touch");
+                    }
+                    m.call(0, MonitorCall::Return).expect("return");
+                });
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_flush_policy);
+criterion_main!(benches);

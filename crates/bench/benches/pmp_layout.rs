@@ -1,0 +1,150 @@
+//! C7 — PMP layout validation cost and the fixed-entry frontier, vs the
+//! EPT backend which absorbs arbitrary fragmentation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tyche_bench::boot;
+use tyche_core::prelude::*;
+use tyche_monitor::abi::MonitorCall;
+use tyche_monitor::{boot_riscv, BootConfig, Monitor};
+
+fn ram_cap(m: &Monitor) -> CapId {
+    let os = m.engine.root().expect("root");
+    m.engine
+        .caps_of(os)
+        .iter()
+        .find(|c| c.active && c.is_memory())
+        .map(|c| c.id)
+        .expect("ram")
+}
+
+/// Shares `frags` discontiguous single pages into a fresh child; returns
+/// how many the backend accepted.
+fn fragment_into_child(m: &mut Monitor, frags: usize) -> usize {
+    let os = m.engine.root().expect("root");
+    let (child, _) = m.engine.create_domain(os).expect("child");
+    m.sync_effects().expect("sync");
+    let ram = ram_cap(m);
+    let mut accepted = 0;
+    for i in 0..frags {
+        let s = 0x10_0000 + (i as u64) * 0x4000;
+        if m.call(
+            0,
+            MonitorCall::Share {
+                cap: ram,
+                target: child,
+                sub: Some((s, s + 0x1000)),
+                rights: Rights::RO,
+                policy: RevocationPolicy::NONE,
+            },
+        )
+        .is_ok()
+        {
+            accepted += 1;
+        }
+    }
+    accepted
+}
+
+fn bench_pmp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c7_pmp_layout");
+    group.sample_size(15);
+
+    for &frags in &[4usize, 14, 20] {
+        group.bench_with_input(BenchmarkId::new("riscv_pmp", frags), &frags, |b, &frags| {
+            b.iter_batched(
+                || boot_riscv(BootConfig::default()),
+                |mut m| {
+                    let accepted = fragment_into_child(&mut m, frags);
+                    assert_eq!(accepted, frags.min(14), "PMP frontier at 14 fragments");
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+
+        group.bench_with_input(BenchmarkId::new("x86_ept", frags), &frags, |b, &frags| {
+            b.iter_batched(
+                boot,
+                |mut m| {
+                    let accepted = fragment_into_child(&mut m, frags);
+                    assert_eq!(accepted, frags, "EPT accepts all fragments");
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+
+    // The PMP reprogram cost on a transition grows with segment count;
+    // the EPT switch is O(1) (one EPTP write).
+    for &frags in &[1usize, 7, 13] {
+        group.bench_with_input(
+            BenchmarkId::new("riscv_transition_with_frags", frags),
+            &frags,
+            |b, &frags| {
+                let mut m = boot_riscv(BootConfig::default());
+                let os = m.engine.root().expect("root");
+                let (child, tcap) = m.engine.create_domain(os).expect("child");
+                m.sync_effects().expect("sync");
+                let ram = ram_cap(&m);
+                for i in 0..frags {
+                    let s = 0x10_0000 + (i as u64) * 0x4000;
+                    m.call(
+                        0,
+                        MonitorCall::Share {
+                            cap: ram,
+                            target: child,
+                            sub: Some((s, s + 0x1000)),
+                            rights: Rights::RWX,
+                            policy: RevocationPolicy::NONE,
+                        },
+                    )
+                    .expect("share");
+                }
+                // Core + entry + seal.
+                let core_cap = m
+                    .engine
+                    .caps_of(os)
+                    .iter()
+                    .find(|c| c.active && matches!(c.resource, Resource::CpuCore(0)))
+                    .map(|c| c.id)
+                    .expect("core");
+                m.call(
+                    0,
+                    MonitorCall::Share {
+                        cap: core_cap,
+                        target: child,
+                        sub: None,
+                        rights: Rights::USE,
+                        policy: RevocationPolicy::NONE,
+                    },
+                )
+                .expect("share core");
+                m.call(
+                    0,
+                    MonitorCall::SetEntry {
+                        domain: child,
+                        entry: 0x10_0000,
+                    },
+                )
+                .expect("entry");
+                m.call(
+                    0,
+                    MonitorCall::Seal {
+                        domain: child,
+                        allow_outward: false,
+                        allow_children: false,
+                    },
+                )
+                .expect("seal");
+                b.iter(|| {
+                    m.call(0, MonitorCall::Enter { cap: tcap }).expect("enter");
+                    m.call(0, MonitorCall::Return).expect("return");
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pmp);
+criterion_main!(benches);

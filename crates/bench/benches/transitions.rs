@@ -1,0 +1,72 @@
+//! C2 — domain transition latency: mediated (VMCALL) vs fast (VMFUNC),
+//! with and without warm TLB/cache, plus raw monitor-call dispatch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tyche_bench::{boot, spawn_sealed};
+use tyche_core::prelude::*;
+use tyche_monitor::abi::MonitorCall;
+
+fn bench_transitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c2_transitions");
+    group.sample_size(30);
+
+    group.bench_function("mediated_roundtrip", |b| {
+        let mut m = boot();
+        let (_d, gate) = spawn_sealed(&mut m, 0, 0x10_0000, 0x1000, &[0], SealPolicy::strict());
+        b.iter(|| {
+            m.call(
+                0,
+                MonitorCall::Enter {
+                    cap: black_box(gate),
+                },
+            )
+            .expect("enter");
+            m.call(0, MonitorCall::Return).expect("return");
+        });
+    });
+
+    group.bench_function("vmfunc_roundtrip", |b| {
+        let mut m = boot();
+        let (_d, gate) = spawn_sealed(&mut m, 0, 0x10_0000, 0x1000, &[0], SealPolicy::strict());
+        b.iter(|| {
+            m.enter_fast(0, black_box(gate)).expect("enter");
+            m.ret_fast(0).expect("ret");
+        });
+    });
+
+    group.bench_function("mediated_with_flush_policy", |b| {
+        let mut m = boot();
+        let (d, _gate) = spawn_sealed(&mut m, 0, 0x10_0000, 0x1000, &[0], SealPolicy::strict());
+        let os = m.engine.root().expect("root");
+        let gate = m
+            .engine
+            .make_transition(os, d, RevocationPolicy::OBFUSCATE)
+            .expect("gate");
+        m.sync_effects().expect("sync");
+        b.iter(|| {
+            m.call(
+                0,
+                MonitorCall::Enter {
+                    cap: black_box(gate),
+                },
+            )
+            .expect("enter");
+            m.dom_write(0, 0x10_0000, &[1]).expect("dirty a line");
+            m.call(0, MonitorCall::Return).expect("return");
+        });
+    });
+
+    // Baseline: what a monitor call costs without a transition at all.
+    group.bench_function("noop_monitor_call", |b| {
+        let mut m = boot();
+        b.iter(|| {
+            m.call(0, MonitorCall::Enumerate).expect("enumerate");
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_transitions);
+criterion_main!(benches);

@@ -1,0 +1,1419 @@
+//! The reproduction harness: regenerates every figure and claim table.
+//!
+//! Usage: `cargo run -p tyche-bench --bin repro [-- <ids...>]`
+//!
+//! With no arguments, runs every experiment (F1–F4, C1–C12) and prints
+//! one table each; `EXPERIMENTS.md` records these outputs next to the
+//! paper's claims.
+
+use std::time::Instant;
+use tyche_bench::scenarios::{self, layout};
+use tyche_bench::{boot, spawn_sealed, Table};
+use tyche_core::audit;
+use tyche_core::prelude::*;
+use tyche_monitor::abi::MonitorCall;
+use tyche_monitor::attest::Verifier;
+use tyche_monitor::boot::{expected_monitor_pcr, MONITOR_VERSION};
+use tyche_monitor::{boot_riscv, BootConfig, Status};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
+    let all = args.is_empty();
+    let want = |id: &str| all || args.iter().any(|a| a == id);
+
+    println!("Tyche reproduction harness — {MONITOR_VERSION}");
+    if want("f1") {
+        f1();
+    }
+    if want("f2") {
+        f2();
+    }
+    if want("f3") {
+        f3();
+    }
+    if want("f4") {
+        f4();
+    }
+    if want("c1") {
+        c1();
+    }
+    if want("c2") {
+        c2();
+    }
+    if want("c3") {
+        c3();
+    }
+    if want("c4") {
+        c4();
+    }
+    if want("c5") {
+        c5();
+    }
+    if want("c6") {
+        c6();
+    }
+    if want("c7") {
+        c7();
+    }
+    if want("c8") {
+        c8();
+    }
+    if want("c9") {
+        c9();
+    }
+    if want("c10") {
+        c10();
+    }
+    if want("c11") {
+        c11();
+    }
+    if want("c12") {
+        c12();
+    }
+    if want("e1") {
+        e1();
+    }
+    if want("e2") {
+        e2();
+    }
+    if want("e3") {
+        e3();
+    }
+    if want("e4") {
+        e4();
+    }
+    if want("e5") {
+        e5();
+    }
+}
+
+/// F1 — the separation of powers: legislative (domain defines policy),
+/// executive (monitor enforces), judiciary (root of trust verifies).
+fn f1() {
+    let mut t = Table::new(
+        "F1 — separation of powers (Fig. 1)",
+        &["power", "actor", "artifact", "verified"],
+    );
+    let mut m = boot();
+    // Legislative: the OS domain defines a policy (an exclusive enclave).
+    let (enclave, _gate) = spawn_sealed(&mut m, 0, 0x10_0000, 0x1000, &[0], SealPolicy::strict());
+    t.row(&[
+        "legislative".into(),
+        "any domain (the OS here)".into(),
+        format!("policy: {enclave} owns [0x100000,0x101000) exclusively"),
+        "-".into(),
+    ]);
+    // Executive: the monitor enforced it in hardware.
+    let denied = m.dom_read(0, 0x10_0000, &mut [0u8; 1]).is_err();
+    t.row(&[
+        "executive".into(),
+        "isolation monitor".into(),
+        "EPT denies the OS access to enclave memory".into(),
+        format!("{denied}"),
+    ]);
+    // Judiciary: the TPM-rooted chain verifies monitor + domain.
+    let verifier = Verifier {
+        tpm_key: m.machine.tpm.attestation_key(),
+        expected_monitor_pcr: expected_monitor_pcr(MONITOR_VERSION),
+        monitor_key: m.report_key(),
+    };
+    let qn = [3u8; 32];
+    let quote = m.machine_quote(qn);
+    let rn = [4u8; 32];
+    let report = m.attest_domain(enclave, rn).expect("report");
+    let ok = verifier.verify(&quote, &qn, &report, &rn, None).is_ok();
+    t.row(&[
+        "judiciary".into(),
+        "root of trust + remote verifier".into(),
+        "TPM quote -> monitor key -> signed domain report".into(),
+        format!("{ok}"),
+    ]);
+    t.print();
+}
+
+/// F2 — the confidential SaaS pipeline.
+fn f2() {
+    let mut t = Table::new(
+        "F2 — confidential SaaS processing (Fig. 2)",
+        &["step", "outcome"],
+    );
+    let start = Instant::now();
+    let mut f = scenarios::fig2();
+    let cycles0 = f.monitor.machine.cycles.now();
+    let verified = scenarios::fig2_customer_verifies(&mut f);
+    t.row(&[
+        "customer attests app+crypto+topology".into(),
+        format!("accepted={verified}"),
+    ]);
+    let data = *b"customer sensitive data 32 byte!";
+    let key = 0x1234_5678_9abc_def0u64;
+    let ct = scenarios::fig2_run_pipeline(&mut f, key, &data);
+    let correct = ct == scenarios::fig2_expected(key, &data);
+    t.row(&[
+        "pipeline: app -> GPU -> crypto -> net".into(),
+        format!("ciphertext correct={correct}"),
+    ]);
+    let leak = f
+        .monitor
+        .dom_read(0, layout::CRYPTO.0 + 0x2000, &mut [0u8; 8])
+        .is_ok();
+    t.row(&[
+        "provider tries to read the key".into(),
+        format!("leaked={leak}"),
+    ]);
+    t.row(&[
+        "cost".into(),
+        format!(
+            "{} simulated cycles, {:?} host",
+            f.monitor.machine.cycles.now() - cycles0,
+            start.elapsed()
+        ),
+    ]);
+    t.print();
+}
+
+/// F3 — deployment on the monitor: domains orthogonal to VMs/processes.
+fn f3() {
+    let mut t = Table::new(
+        "F3 — trust domains cut across system abstractions (Fig. 3)",
+        &["abstraction", "domain", "provider sees its memory?"],
+    );
+    let mut m = boot();
+    // A confidential VM (the SaaS VM box of Fig. 3).
+    m.dom_write(0, 0x40_0000, b"guest kernel")
+        .expect("stage guest");
+    let vm =
+        libtyche::ConfidentialVm::launch(&mut m, 0, (0x40_0000, 0x60_0000), &[1], 0x40_0000, &[])
+            .expect("launch cVM");
+    let vm_hidden = m.dom_read(0, 0x40_0000, &mut [0u8; 1]).is_err();
+    t.row(&[
+        "SaaS VM (cVM)".into(),
+        format!("{}", vm.domain),
+        format!("{}", !vm_hidden),
+    ]);
+    // A driver compartment inside the provider's OS.
+    let sb = libtyche::Sandbox::create(&mut m, 0, (0x10_0000, 0x10_4000), None).expect("sandbox");
+    let drv_hidden = m.dom_read(0, 0x10_0000, &mut [0u8; 1]).is_err();
+    t.row(&[
+        "kernel driver sandbox".into(),
+        format!("{}", sb.domain),
+        format!("{}", !drv_hidden),
+    ]);
+    // An enclave inside the VM's RAM (nested inside a traditional box).
+    vm.enter(&mut m, 1).expect("enter vm");
+    let mut client = libtyche::TycheClient::new(&mut m, 1);
+    let (inner, _t) = client.create_domain().expect("inner");
+    let page = client.carve(0x50_0000, 0x50_1000).expect("carve");
+    client
+        .grant(page, inner, Rights::RW, RevocationPolicy::ZERO)
+        .expect("grant");
+    libtyche::ConfidentialVm::exit(&mut m, 1).expect("exit vm");
+    let enc_hidden = m.dom_read(0, 0x50_0000, &mut [0u8; 1]).is_err();
+    t.row(&[
+        "enclave nested in the VM".into(),
+        format!("{inner}"),
+        format!("{}", !enc_hidden),
+    ]);
+    t.print();
+}
+
+/// F4 — the memory view with reference counts.
+fn f4() {
+    let f = scenarios::fig2();
+    let rows = scenarios::fig4_view(
+        &f.monitor,
+        &[
+            layout::CRYPTO,
+            layout::APP,
+            layout::APP_CRYPTO,
+            layout::APP_GPU,
+            layout::NET,
+        ],
+    );
+    let names = [
+        "crypto confidential",
+        "app confidential",
+        "app<->crypto",
+        "app<->gpu",
+        "net (untrusted)",
+    ];
+    let mut t = Table::new(
+        "F4 — domain-to-region mappings with reference counts (Fig. 4)",
+        &["region", "range", "domains", "refcount"],
+    );
+    for (row, name) in rows.iter().zip(names.iter()) {
+        t.row(&[
+            (*name).into(),
+            format!("[{:#x},{:#x})", row.region.0, row.region.1),
+            format!("{:?}", row.domains),
+            row.refcount.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+/// C1 — monitor TCB size (<10K LOC claim).
+fn c1() {
+    let mut t = Table::new(
+        "C1 — TCB size (paper: monitor is 'minimal (<10K LOC)')",
+        &["component", "in TCB?", "LOC"],
+    );
+    // Anchor on the workspace root at compile time so the counter works
+    // from any working directory.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/bench has a workspace root")
+        .to_path_buf();
+    let count = move |dirs: &[&str]| -> u64 {
+        let mut total = 0u64;
+        for d in dirs {
+            let mut stack = vec![root.join(format!("crates/{d}/src"))];
+            while let Some(p) = stack.pop() {
+                let Ok(entries) = std::fs::read_dir(&p) else {
+                    continue;
+                };
+                for e in entries.flatten() {
+                    let path = e.path();
+                    if path.is_dir() {
+                        stack.push(path);
+                    } else if path.extension().map(|x| x == "rs").unwrap_or(false) {
+                        if let Ok(text) = std::fs::read_to_string(&path) {
+                            // Count non-test, non-comment, non-blank lines.
+                            let mut in_tests = false;
+                            for line in text.lines() {
+                                let l = line.trim();
+                                if l.starts_with("#[cfg(test)]") {
+                                    in_tests = true;
+                                }
+                                if in_tests {
+                                    continue;
+                                }
+                                if l.is_empty() || l.starts_with("//") {
+                                    continue;
+                                }
+                                total += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        total
+    };
+    let core = count(&["core"]);
+    let monitor = count(&["monitor"]);
+    let crypto = count(&["crypto"]);
+    let hw = count(&["hw"]);
+    let guest = count(&["guest", "libtyche", "elf"]);
+    t.row(&[
+        "capability engine (tyche-core)".into(),
+        "yes".into(),
+        core.to_string(),
+    ]);
+    t.row(&[
+        "monitor + backends (tyche-monitor)".into(),
+        "yes".into(),
+        monitor.to_string(),
+    ]);
+    t.row(&[
+        "crypto (tyche-crypto)".into(),
+        "yes".into(),
+        crypto.to_string(),
+    ]);
+    t.row(&[
+        "monitor TCB total".into(),
+        "yes".into(),
+        (core + monitor + crypto).to_string(),
+    ]);
+    t.row(&[
+        "simulated hardware (not in TCB: is the 'silicon')".into(),
+        "no".into(),
+        hw.to_string(),
+    ]);
+    t.row(&[
+        "guest OS + libtyche + elf (untrusted domains)".into(),
+        "no".into(),
+        guest.to_string(),
+    ]);
+    t.row(&[
+        "paper claim".into(),
+        "-".into(),
+        format!("<10000 -> measured {}", core + monitor + crypto),
+    ]);
+    t.print();
+}
+
+/// C2 — transition latency: mediated (VMCALL) vs fast (VMFUNC).
+fn c2() {
+    let mut t = Table::new(
+        "C2 — domain transition latency (paper: 'fast (100 cycles) ... using VMFUNC')",
+        &["path", "simulated cycles/one-way", "host ns/roundtrip"],
+    );
+    let mut m = boot();
+    let (_d, gate) = spawn_sealed(&mut m, 0, 0x10_0000, 0x1000, &[0], SealPolicy::strict());
+    const N: u64 = 10_000;
+
+    let c0 = m.machine.cycles.now();
+    let h0 = Instant::now();
+    for _ in 0..N {
+        m.call(0, MonitorCall::Enter { cap: gate }).expect("enter");
+        m.call(0, MonitorCall::Return).expect("return");
+    }
+    let mediated_cycles = (m.machine.cycles.now() - c0) / (2 * N);
+    let mediated_ns = h0.elapsed().as_nanos() as u64 / N;
+    t.row(&[
+        "mediated (VMCALL)".into(),
+        mediated_cycles.to_string(),
+        mediated_ns.to_string(),
+    ]);
+
+    let c0 = m.machine.cycles.now();
+    let h0 = Instant::now();
+    for _ in 0..N {
+        m.enter_fast(0, gate).expect("enter fast");
+        m.ret_fast(0).expect("ret fast");
+    }
+    let fast_cycles = (m.machine.cycles.now() - c0) / (2 * N);
+    let fast_ns = h0.elapsed().as_nanos() as u64 / N;
+    t.row(&[
+        "fast (VMFUNC)".into(),
+        fast_cycles.to_string(),
+        fast_ns.to_string(),
+    ]);
+    t.row(&[
+        "speedup".into(),
+        format!("{:.1}x", mediated_cycles as f64 / fast_cycles as f64),
+        format!("{:.1}x", mediated_ns as f64 / fast_ns.max(1) as f64),
+    ]);
+    t.print();
+}
+
+/// C3 — flush-on-transition side-channel mitigation.
+fn c3() {
+    let mut t = Table::new(
+        "C3 — cache-flush transition policy (side-channel mitigation, §4.1)",
+        &[
+            "policy",
+            "victim lines visible after exit",
+            "cycles/transition",
+        ],
+    );
+    for flush in [false, true] {
+        let mut m = boot();
+        let os = m.engine.root().expect("root");
+        let (victim, _) = spawn_sealed(&mut m, 0, 0x10_0000, 0x4000, &[0], SealPolicy::strict());
+        let policy = if flush {
+            RevocationPolicy::OBFUSCATE
+        } else {
+            RevocationPolicy::NONE
+        };
+        let gate = m.engine.make_transition(os, victim, policy).expect("gate");
+        m.sync_effects().expect("sync");
+
+        m.call(0, MonitorCall::Enter { cap: gate }).expect("enter");
+        // Victim touches its secret-dependent lines.
+        for i in 0..16u64 {
+            m.dom_write(0, 0x10_0000 + i * 64, &[i as u8])
+                .expect("touch");
+        }
+        let c0 = m.machine.cycles.now();
+        m.call(0, MonitorCall::Return).expect("return");
+        let cost = m.machine.cycles.now() - c0;
+        // Attacker (the OS) probes the cache model for victim residue.
+        let tag = m
+            .x86_backend()
+            .and_then(|b| b.ept_root(victim))
+            .expect("tag")
+            .as_u64();
+        let resident = m.machine.cache.resident_lines_of(tag);
+        t.row(&[
+            if flush {
+                "flush cache+TLB".into()
+            } else {
+                "no flush".to_string()
+            },
+            resident.to_string(),
+            cost.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+/// C4 — cascading revocation under chains and circular sharing.
+fn c4() {
+    let mut t = Table::new(
+        "C4 — cascading revocation (terminates under circular sharing, §4.1)",
+        &[
+            "topology",
+            "domains",
+            "revoked caps",
+            "host us",
+            "refcount after",
+        ],
+    );
+    for &depth in &[4usize, 16, 64, 256] {
+        let mut m = boot();
+        let first = tyche_bench::fixtures::share_chain(&mut m, (0x20_0000, 0x20_1000), depth);
+        let caps_before = m.engine.caps().count();
+        let h0 = Instant::now();
+        m.engine
+            .revoke(m.engine.root().expect("root"), first)
+            .expect("revoke");
+        m.sync_effects().expect("sync");
+        let us = h0.elapsed().as_micros();
+        let revoked = caps_before - m.engine.caps().count();
+        let rc = m.engine.refcount_mem(MemRegion::new(0x20_0000, 0x20_1000));
+        t.row(&[
+            format!("chain-{depth}"),
+            depth.to_string(),
+            revoked.to_string(),
+            us.to_string(),
+            rc.to_string(),
+        ]);
+    }
+    // Circular sharing: A -> B -> A -> B ... over one page.
+    let mut m = boot();
+    let os = m.engine.root().expect("root");
+    let (a, _) = m.engine.create_domain(os).expect("a");
+    let (b, _) = m.engine.create_domain(os).expect("b");
+    let cap = {
+        let mut client = libtyche::TycheClient::new(&mut m, 0);
+        client.carve(0x20_0000, 0x20_1000).expect("carve")
+    };
+    let first = m
+        .engine
+        .share(os, cap, a, None, Rights::RW, RevocationPolicy::NONE)
+        .expect("s");
+    let mut cur = first;
+    let mut who = (b, a);
+    for _ in 0..64 {
+        cur = m
+            .engine
+            .share(who.1, cur, who.0, None, Rights::RW, RevocationPolicy::NONE)
+            .expect("s");
+        who = (who.1, who.0);
+    }
+    m.sync_effects().expect("sync");
+    let caps_before = m.engine.caps().count();
+    m.engine.revoke(os, first).expect("revoke cycle");
+    m.sync_effects().expect("sync");
+    let revoked = caps_before - m.engine.caps().count();
+    let rc = m.engine.refcount_mem(MemRegion::new(0x20_0000, 0x20_1000));
+    t.row(&[
+        "circular A<->B x64".into(),
+        "2".into(),
+        revoked.to_string(),
+        "-".into(),
+        rc.to_string(),
+    ]);
+    assert!(audit::audit(&m.engine).is_empty());
+    t.print();
+}
+
+/// C5 — Tyche enclaves vs the SGX model.
+fn c5() {
+    use tyche_baselines::sgx::{HostPid, SgxMachine};
+    let mut t = Table::new(
+        "C5 — Tyche-enclaves vs SGX (the three §4.2 improvements)",
+        &["property", "SGX model", "Tyche"],
+    );
+    // (a) implicit host-memory access.
+    let mut sgx = SgxMachine::new(10_000);
+    let e = sgx
+        .ecreate(HostPid(1), (0x10_0000, 0x20_0000), 16, false)
+        .expect("ecreate");
+    let sgx_reads_host = sgx.enclave_can_read_host(e, 0xdead_0000).expect("query");
+    let mut m = boot();
+    m.dom_write(0, 0x50_0000, b"host secret").expect("w");
+    let (_enc, gate) = spawn_sealed(&mut m, 0, 0x10_0000, 0x1000, &[0], SealPolicy::strict());
+    m.call(0, MonitorCall::Enter { cap: gate }).expect("enter");
+    let tyche_reads_host = m.dom_read(0, 0x50_0000, &mut [0u8; 1]).is_ok();
+    m.call(0, MonitorCall::Return).expect("ret");
+    t.row(&[
+        "enclave reads untrusted host memory".into(),
+        format!("{sgx_reads_host} (implicit, leak-prone)"),
+        format!("{tyche_reads_host} (explicit sharing only)"),
+    ]);
+    // (b) address/layout reuse.
+    let mut sgx = SgxMachine::new(10_000);
+    sgx.ecreate(HostPid(1), (0x10_0000, 0x20_0000), 16, false)
+        .expect("e1");
+    let sgx_overlap = sgx
+        .ecreate(HostPid(1), (0x10_0000, 0x20_0000), 16, false)
+        .is_ok();
+    let mut m = boot();
+    let mut tyche_count = 0;
+    for i in 0..8u64 {
+        let base = 0x10_0000 + i * 0x10_000;
+        let _ = spawn_sealed(&mut m, 0, base, 0x1000, &[0], SealPolicy::strict());
+        tyche_count += 1;
+    }
+    t.row(&[
+        "same layout twice / many enclaves".into(),
+        format!("{sgx_overlap} (ELRANGE exclusive)"),
+        format!("true ({tyche_count} coexisting)"),
+    ]);
+    // (c) nesting.
+    let mut sgx = SgxMachine::new(10_000);
+    let sgx_nests = sgx
+        .ecreate(HostPid(1), (0x30_0000, 0x40_0000), 16, true)
+        .is_ok();
+    let mut m = boot();
+    let (_outer, gate) = spawn_sealed(&mut m, 0, 0x10_0000, 0x40_000, &[0], SealPolicy::nestable());
+    m.call(0, MonitorCall::Enter { cap: gate }).expect("enter");
+    let mut client = libtyche::TycheClient::new(&mut m, 0);
+    let nested = client.create_domain().is_ok();
+    t.row(&[
+        "enclave spawns nested enclave".into(),
+        format!("{sgx_nests} (ECREATE is host-only)"),
+        format!("{nested}"),
+    ]);
+    t.print();
+}
+
+/// C6 — in-process compartments vs process isolation.
+fn c6() {
+    use tyche_baselines::process::{ProcessCosts, ProcessSim};
+    let mut t = Table::new(
+        "C6 — isolating an untrusted library (compartment vs process, §2.2)",
+        &[
+            "mechanism",
+            "create (cycles)",
+            "per-call (cycles)",
+            "teardown (cycles)",
+        ],
+    );
+    // Tyche compartment.
+    let mut m = boot();
+    let c0 = m.machine.cycles.now();
+    let sb = libtyche::Sandbox::create(
+        &mut m,
+        0,
+        (0x20_0000, 0x20_4000),
+        Some((0x30_0000, 0x30_1000)),
+    )
+    .expect("sandbox");
+    let create = m.machine.cycles.now() - c0;
+    let c0 = m.machine.cycles.now();
+    const CALLS: u64 = 100;
+    for _ in 0..CALLS {
+        sb.run(&mut m, 0, |ctx| ctx.write(0x20_0000, b"x"))
+            .expect("run");
+    }
+    let per_call = (m.machine.cycles.now() - c0) / CALLS;
+    let c0 = m.machine.cycles.now();
+    sb.destroy(&mut m, 0).expect("destroy");
+    let teardown = m.machine.cycles.now() - c0;
+    t.row(&[
+        "Tyche compartment".into(),
+        create.to_string(),
+        per_call.to_string(),
+        teardown.to_string(),
+    ]);
+    // Process baseline.
+    let costs = ProcessCosts::default();
+    let mut p = ProcessSim::create(costs, 0x4000);
+    let pc_create = p.cycles;
+    let before = p.cycles;
+    for _ in 0..CALLS {
+        p.call(b"x", |mem| mem[0] ^= 1);
+    }
+    let pc_call = (p.cycles - before) / CALLS;
+    let total = p.destroy();
+    let pc_teardown = total - before - pc_call * CALLS;
+    t.row(&[
+        "separate process + IPC".into(),
+        pc_create.to_string(),
+        pc_call.to_string(),
+        pc_teardown.to_string(),
+    ]);
+    t.row(&[
+        "process/compartment ratio".into(),
+        format!("{:.1}x", pc_create as f64 / create as f64),
+        format!("{:.2}x", pc_call as f64 / per_call as f64),
+        "-".into(),
+    ]);
+    t.print();
+}
+
+/// C7 — PMP fixed-segment pressure vs EPT.
+fn c7() {
+    let mut t = Table::new(
+        "C7 — PMP layout validation (fixed segments, §4) vs EPT",
+        &[
+            "fragments",
+            "PMP entries needed",
+            "PMP accepts",
+            "EPT accepts",
+        ],
+    );
+    for &frags in &[1usize, 7, 14, 15, 20] {
+        // RISC-V.
+        let mut m = boot_riscv(BootConfig::default());
+        let os = m.engine.root().expect("root");
+        let (child, _) = m.engine.create_domain(os).expect("child");
+        m.sync_effects().expect("sync");
+        let ram = m
+            .engine
+            .caps_of(os)
+            .iter()
+            .find(|c| c.active && c.is_memory())
+            .map(|c| c.id)
+            .expect("ram");
+        let mut pmp_ok = true;
+        for i in 0..frags {
+            let s = 0x10_0000 + (i as u64) * 0x4000;
+            let r = m.call(
+                0,
+                MonitorCall::Share {
+                    cap: ram,
+                    target: child,
+                    sub: Some((s, s + 0x1000)),
+                    rights: Rights::RO,
+                    policy: RevocationPolicy::NONE,
+                },
+            );
+            if r == Err(Status::BackendFailure) {
+                pmp_ok = false;
+            }
+        }
+        // x86 with identical fragmentation.
+        let mut mx = boot();
+        let osx = mx.engine.root().expect("root");
+        let (childx, _) = mx.engine.create_domain(osx).expect("child");
+        mx.sync_effects().expect("sync");
+        let ramx = mx
+            .engine
+            .caps_of(osx)
+            .iter()
+            .find(|c| c.active && c.is_memory())
+            .map(|c| c.id)
+            .expect("ram");
+        let mut ept_ok = true;
+        for i in 0..frags {
+            let s = 0x10_0000 + (i as u64) * 0x4000;
+            let r = mx.call(
+                0,
+                MonitorCall::Share {
+                    cap: ramx,
+                    target: childx,
+                    sub: Some((s, s + 0x1000)),
+                    rights: Rights::RO,
+                    policy: RevocationPolicy::NONE,
+                },
+            );
+            if r.is_err() {
+                ept_ok = false;
+            }
+        }
+        t.row(&[
+            frags.to_string(),
+            frags.to_string(), // each 1-page fragment is one NAPOT entry
+            pmp_ok.to_string(),
+            ept_ok.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+/// C8 — two-tier attestation: tamper matrix + cost.
+fn c8() {
+    let mut t = Table::new(
+        "C8 — two-tier attestation (§3.4): tamper matrix",
+        &["attack", "verifier outcome"],
+    );
+    let mut m = boot();
+    let (enclave, _) = spawn_sealed(&mut m, 0, 0x10_0000, 0x1000, &[0], SealPolicy::strict());
+    let verifier = Verifier {
+        tpm_key: m.machine.tpm.attestation_key(),
+        expected_monitor_pcr: expected_monitor_pcr(MONITOR_VERSION),
+        monitor_key: m.report_key(),
+    };
+    let qn = [1u8; 32];
+    let rn = [2u8; 32];
+    let quote = m.machine_quote(qn);
+    let signed = m.attest_domain(enclave, rn).expect("report");
+    let check = |q, qn2: &[u8; 32], s, rn2: &[u8; 32]| match verifier.verify(q, qn2, s, rn2, None) {
+        Ok(_) => "ACCEPTED".to_string(),
+        Err(e) => format!("rejected ({e})"),
+    };
+    t.row(&["honest chain".into(), check(&quote, &qn, &signed, &rn)]);
+    t.row(&[
+        "stale quote (replay)".into(),
+        check(&quote, &[9u8; 32], &signed, &rn),
+    ]);
+    t.row(&[
+        "stale report (replay)".into(),
+        check(&quote, &qn, &signed, &[9u8; 32]),
+    ]);
+    let mut forged = signed.clone();
+    forged.report.measurement = tyche_crypto::hash(b"evil");
+    t.row(&[
+        "tampered measurement".into(),
+        check(&quote, &qn, &forged, &rn),
+    ]);
+    let mut inflated = signed.clone();
+    for r in &mut inflated.report.resources {
+        r.refcount = tyche_core::refcount::RefCount { max: 1, min: 1 };
+    }
+    inflated.report.entry ^= 1; // ensure byte difference
+    t.row(&[
+        "tampered refcounts".into(),
+        check(&quote, &qn, &inflated, &rn),
+    ]);
+    // Wrong-monitor machine.
+    let mut evil = tyche_monitor::boot_x86(BootConfig {
+        version: "evil-monitor v6.6.6",
+        ..Default::default()
+    });
+    let (evil_dom, _) = spawn_sealed(&mut evil, 0, 0x10_0000, 0x1000, &[0], SealPolicy::strict());
+    let evil_verifier = Verifier {
+        tpm_key: evil.machine.tpm.attestation_key(),
+        expected_monitor_pcr: expected_monitor_pcr(MONITOR_VERSION),
+        monitor_key: evil.report_key(),
+    };
+    let eq = evil.machine_quote(qn);
+    let es = evil.attest_domain(evil_dom, rn).expect("report");
+    t.row(&[
+        "machine running a different monitor".into(),
+        match evil_verifier.verify(&eq, &qn, &es, &rn, None) {
+            Ok(_) => "ACCEPTED".into(),
+            Err(e) => format!("rejected ({e})"),
+        },
+    ]);
+    // Cost vs domain size.
+    let mut t2 = Table::new(
+        "C8b — attestation cost vs domain resources",
+        &["resources", "report bytes", "host us/attest+verify"],
+    );
+    for &n in &[1usize, 8, 32, 128] {
+        let mut m = boot();
+        let os = m.engine.root().expect("root");
+        let (d, _) = m.engine.create_domain(os).expect("d");
+        let mut client = libtyche::TycheClient::new(&mut m, 0);
+        for i in 0..n as u64 {
+            let s = 0x10_0000 + i * 0x2000;
+            let cap = client.carve(s, s + 0x1000).expect("carve");
+            client
+                .share(cap, d, None, Rights::RO, RevocationPolicy::NONE)
+                .expect("share");
+        }
+        m.engine.set_entry(os, d, 0x10_0000).expect("entry");
+        m.engine.seal(os, d, SealPolicy::strict()).expect("seal");
+        m.sync_effects().expect("sync");
+        let h0 = Instant::now();
+        const REPS: u32 = 50;
+        let mut bytes = 0usize;
+        for i in 0..REPS {
+            let mut rn = [0u8; 32];
+            rn[0] = i as u8;
+            let signed = m.attest_domain(d, rn).expect("report");
+            bytes = signed.report.canonical_bytes().len();
+            let verifier = Verifier {
+                tpm_key: m.machine.tpm.attestation_key(),
+                expected_monitor_pcr: expected_monitor_pcr(MONITOR_VERSION),
+                monitor_key: m.report_key(),
+            };
+            let quote = m.machine_quote(rn);
+            verifier
+                .verify(&quote, &rn, &signed, &rn, None)
+                .expect("verify");
+        }
+        t2.row(&[
+            n.to_string(),
+            bytes.to_string(),
+            (h0.elapsed().as_micros() as u64 / REPS as u64).to_string(),
+        ]);
+    }
+    t.print();
+    t2.print();
+}
+
+/// C9 — TCB growth: hierarchical VMs vs flat domains.
+fn c9() {
+    use tyche_baselines::vmstack::VmStack;
+    let mut t = Table::new(
+        "C9 — TCB on the trust path vs nesting depth (§2.2)",
+        &[
+            "depth",
+            "VM-stack TCB (LOC)",
+            "components",
+            "monitor TCB (LOC)",
+            "ratio",
+        ],
+    );
+    for depth in 1..=6 {
+        let stack = VmStack::typical(depth);
+        let vm = stack.tcb_loc();
+        let mon = VmStack::monitor_tcb_loc(depth);
+        t.row(&[
+            depth.to_string(),
+            vm.to_string(),
+            stack.trusted_components().to_string(),
+            mon.to_string(),
+            format!("{}x", vm / mon),
+        ]);
+    }
+    t.print();
+}
+
+/// C10 — mediation: the negative-path matrix.
+fn c10() {
+    let mut t = Table::new(
+        "C10 — the monitor mediates everything (§3.1): refusal matrix",
+        &["violation attempt", "outcome"],
+    );
+    let mut m = boot();
+    let (enclave, gate) = spawn_sealed(&mut m, 0, 0x10_0000, 0x1000, &[0], SealPolicy::strict());
+    let os = m.engine.root().expect("root");
+    t.row(&[
+        "enter on a core the domain does not own".into(),
+        format!(
+            "{:?}",
+            m.call(1, MonitorCall::Enter { cap: gate })
+                .expect_err("denied")
+        ),
+    ]);
+    t.row(&[
+        "return with empty call stack".into(),
+        format!("{:?}", m.call(0, MonitorCall::Return).expect_err("denied")),
+    ]);
+    t.row(&[
+        "touch revoked/unshared memory".into(),
+        format!(
+            "fault={:?}",
+            m.dom_read(0, 0x10_0000, &mut [0u8; 1]).is_err()
+        ),
+    ]);
+    t.row(&[
+        "extend a sealed domain".into(),
+        format!("{:?}", {
+            let mut client = libtyche::TycheClient::new(&mut m, 0);
+            let cap = client.carve(0x40_0000, 0x40_1000).expect("carve");
+            client
+                .share(cap, enclave, None, Rights::RO, RevocationPolicy::NONE)
+                .expect_err("denied")
+        }),
+    ]);
+    t.row(&[
+        "re-seal / reconfigure a sealed domain".into(),
+        format!(
+            "{:?}",
+            m.call(
+                0,
+                MonitorCall::SetEntry {
+                    domain: enclave,
+                    entry: 0
+                }
+            )
+            .expect_err("denied")
+        ),
+    ]);
+    m.call(0, MonitorCall::Enter { cap: gate }).expect("enter");
+    t.row(&[
+        "enclave revokes the OS's capabilities".into(),
+        format!("{:?}", {
+            let os_cap = m
+                .engine
+                .caps_of(os)
+                .iter()
+                .find(|c| c.active && c.is_memory())
+                .expect("cap")
+                .id;
+            m.call(0, MonitorCall::Revoke { cap: os_cap })
+                .expect_err("denied")
+        }),
+    ]);
+    t.row(&[
+        "enclave kills its manager".into(),
+        format!(
+            "{:?}",
+            m.call(0, MonitorCall::Kill { domain: os })
+                .expect_err("denied")
+        ),
+    ]);
+    t.print();
+}
+
+/// C11 — driver sandboxing in the kernel.
+fn c11() {
+    use tyche_guest::driver::{BuggyDriver, DriverHost, DriverRequest, XorBlockDriver};
+    let mut t = Table::new(
+        "C11 — kernel driver isolation (§4.2): blast radius + cost",
+        &[
+            "mode",
+            "buggy driver outcome",
+            "kernel state",
+            "cycles/request",
+        ],
+    );
+    for sandboxed in [false, true] {
+        let mut m = boot();
+        m.dom_write(0, 0x8_0000, b"kernel struct").expect("w");
+        m.dom_write(0, 0x30_0000, b"abcd").expect("w");
+        let host = if sandboxed {
+            DriverHost::sandboxed(&mut m, 0, (0x31_0000, 0x31_4000), (0x30_0000, 0x30_1000))
+                .expect("host")
+        } else {
+            DriverHost::Direct
+        };
+        // Cost with the well-behaved driver.
+        let mut good = XorBlockDriver { key: 0x5a };
+        let c0 = m.machine.cycles.now();
+        const REQS: u64 = 100;
+        for _ in 0..REQS {
+            host.dispatch(
+                &mut m,
+                0,
+                &mut good,
+                DriverRequest {
+                    op: 1,
+                    addr: 0x30_0000,
+                    len: 4,
+                },
+            )
+            .expect("dispatch");
+        }
+        let per_req = (m.machine.cycles.now() - c0) / REQS;
+        // Blast radius with the buggy driver.
+        let mut buggy = BuggyDriver {
+            wild_target: 0x8_0000,
+        };
+        let resp = host
+            .dispatch(
+                &mut m,
+                0,
+                &mut buggy,
+                DriverRequest {
+                    op: 666,
+                    addr: 0x30_0000,
+                    len: 4,
+                },
+            )
+            .expect("dispatch");
+        let mut state = [0u8; 13];
+        m.dom_read(0, 0x8_0000, &mut state).expect("read");
+        t.row(&[
+            if sandboxed {
+                "sandboxed (Tyche kernel compartment)".into()
+            } else {
+                "direct (in-kernel)".to_string()
+            },
+            format!("{resp:?}"),
+            if &state == b"kernel struct" {
+                "intact".into()
+            } else {
+                "CORRUPTED".to_string()
+            },
+            per_req.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+/// C12 — confidential VMs.
+fn c12() {
+    let mut t = Table::new(
+        "C12 — confidential VMs on a Tyche backend (§4.2)",
+        &["step", "outcome"],
+    );
+    let mut m = boot();
+    m.dom_write(0, 0x40_0000, b"guest kernel image")
+        .expect("stage");
+    let c0 = m.machine.cycles.now();
+    let vm = libtyche::ConfidentialVm::launch(
+        &mut m,
+        0,
+        (0x40_0000, 0x80_0000),
+        &[0, 1],
+        0x40_0000,
+        &[(0x40_0000, 0x40_1000)],
+    )
+    .expect("launch");
+    t.row(&[
+        "launch 4 MiB cVM (2 vCPUs)".into(),
+        format!("{} cycles", m.machine.cycles.now() - c0),
+    ]);
+    t.row(&[
+        "hypervisor reads guest RAM".into(),
+        format!("fault={}", m.dom_read(0, 0x40_0000, &mut [0u8; 1]).is_err()),
+    ]);
+    let report = vm.attest(&mut m, 0, 7).expect("attest");
+    t.row(&[
+        "launch measurement attested".into(),
+        format!(
+            "exclusive={} contents={}",
+            report.report.check_sharing(&[]),
+            report.report.content_measurements.len()
+        ),
+    ]);
+    // Guest boots its OS and runs processes.
+    vm.enter(&mut m, 0).expect("enter");
+    let mut guest = tyche_guest::GuestOs::new((0x40_0000, 0x80_0000), 0, 0x10_0000);
+    let pid = guest.spawn(0x10_0000).expect("spawn");
+    let addr = match guest.syscall(&mut m, pid, tyche_guest::Syscall::Alloc { len: 64 }) {
+        tyche_guest::SysResult::Addr(a) => a,
+        other => panic!("{other:?}"),
+    };
+    let wrote = guest.syscall(
+        &mut m,
+        pid,
+        tyche_guest::Syscall::Write {
+            addr,
+            data: b"in-guest process".to_vec(),
+        },
+    );
+    libtyche::ConfidentialVm::exit(&mut m, 0).expect("exit");
+    t.row(&[
+        "guest OS runs a process inside".into(),
+        format!("{wrote:?}"),
+    ]);
+    let c0 = m.machine.cycles.now();
+    vm.destroy(&mut m, 0).expect("destroy");
+    t.row(&[
+        "teardown (zero+flush 4 MiB)".into(),
+        format!("{} cycles", m.machine.cycles.now() - c0),
+    ]);
+    let mut buf = [0u8; 18];
+    m.dom_read(0, 0x40_0000, &mut buf).expect("read");
+    t.row(&[
+        "guest RAM after teardown".into(),
+        format!("zeroed={}", buf == [0u8; 18]),
+    ]);
+    t.print();
+}
+
+/// E1 — SR-IOV device multiplexing among TEEs (§4.2 extension).
+fn e1() {
+    use tyche_hw::addr::GuestPhysAddr;
+    use tyche_hw::iommu::DeviceId;
+    use tyche_hw::sriov::{SriovNic, VfIndex, VfRing};
+    let mut t = Table::new(
+        "E1 — SR-IOV: one NIC, per-TEE virtual functions (§4.2)",
+        &["check", "outcome"],
+    );
+    const PF: u16 = 0x100;
+    let mut m = tyche_monitor::boot_x86(BootConfig {
+        devices: vec![PF + 1, PF + 2],
+        ..Default::default()
+    });
+    // Two TEEs, each granted one VF.
+    let mut tees = Vec::new();
+    for (i, mem) in [
+        (0u16, (0x10_0000u64, 0x10_4000u64)),
+        (1, (0x20_0000, 0x20_4000)),
+    ] {
+        let mut client = libtyche::TycheClient::new(&mut m, 0);
+        let (d, _gate) = client.create_domain().expect("domain");
+        let cap = client.carve(mem.0, mem.1).expect("carve");
+        client
+            .grant(cap, d, Rights::RW, RevocationPolicy::OBFUSCATE)
+            .expect("grant");
+        let dev = {
+            let me = client.whoami();
+            client
+                .monitor
+                .engine
+                .caps_of(me)
+                .iter()
+                .find(|c| c.active && matches!(c.resource, Resource::Device(x) if x == PF + 1 + i))
+                .map(|c| c.id)
+        }
+        .expect("vf cap");
+        client
+            .grant(dev, d, Rights::USE, RevocationPolicy::NONE)
+            .expect("grant vf");
+        client.set_entry(d, mem.0).expect("entry");
+        client.seal(d, SealPolicy::strict()).expect("seal");
+        tees.push((d, mem));
+    }
+    let mut nic = SriovNic::new(DeviceId(PF), 2);
+    for (i, (_, mem)) in tees.iter().enumerate() {
+        nic.configure_ring(
+            VfIndex(i as u16),
+            VfRing {
+                rx_base: GuestPhysAddr::new(mem.0 + 0x2000),
+                rx_slots: 4,
+                slot_bytes: 256,
+            },
+        );
+    }
+    m.machine
+        .mem
+        .write(tyche_hw::PhysAddr::new(tees[0].1 .0), b"pkt")
+        .expect("stage");
+    let ok = nic
+        .send(
+            &mut m.machine.iommu,
+            &mut m.machine.mem,
+            VfIndex(0),
+            VfIndex(1),
+            GuestPhysAddr::new(tees[0].1 .0),
+            3,
+        )
+        .is_ok();
+    t.row(&[
+        "TEE A sends to TEE B through its own VF".into(),
+        format!("delivered={ok}"),
+    ]);
+    let escape = nic
+        .send(
+            &mut m.machine.iommu,
+            &mut m.machine.mem,
+            VfIndex(0),
+            VfIndex(1),
+            GuestPhysAddr::new(tees[1].1 .0),
+            3,
+        )
+        .is_err();
+    t.row(&[
+        "TEE A transmits TEE B's memory via its VF".into(),
+        format!("blocked={escape}"),
+    ]);
+    t.row(&[
+        "VF ownership (engine)".into(),
+        format!(
+            "A owns VF0={} B owns VF1={} cross={}",
+            m.engine.owns_device(tees[0].0, PF + 1),
+            m.engine.owns_device(tees[1].0, PF + 2),
+            m.engine.owns_device(tees[0].0, PF + 2)
+        ),
+    ]);
+    t.print();
+}
+
+/// E2 — multi-domain topology attestation (§4.2 extension).
+fn e2() {
+    use tyche_monitor::attest::{TopologySpec, Verifier};
+    let mut t = Table::new(
+        "E2 — multi-domain topology attestation (§4.2): all paths attested",
+        &["deployment", "verifier outcome"],
+    );
+    let mut f = tyche_bench::scenarios::fig2_without_net();
+    let verifier = Verifier {
+        tpm_key: f.monitor.machine.tpm.attestation_key(),
+        expected_monitor_pcr: expected_monitor_pcr(MONITOR_VERSION),
+        monitor_key: f.monitor.report_key(),
+    };
+    let qn = [1u8; 32];
+    let rn = [2u8; 32];
+    let quote = f.monitor.machine_quote(qn);
+    let reports = vec![
+        f.monitor.attest_domain(f.crypto, rn).expect("crypto"),
+        f.monitor.attest_domain(f.app, rn).expect("app"),
+        f.monitor.attest_domain(f.gpu_domain, rn).expect("gpu"),
+    ];
+    use tyche_bench::scenarios::layout;
+    let spec = TopologySpec {
+        member_measurements: vec![None, None, None],
+        channels: vec![
+            (layout::APP_CRYPTO.0, layout::APP_CRYPTO.1, vec![0, 1]),
+            (layout::APP_GPU.0, layout::APP_GPU.1, vec![1, 2]),
+        ],
+    };
+    let ok = verifier
+        .verify_topology(&quote, &qn, &reports, &rn, &spec)
+        .is_ok();
+    t.row(&[
+        "crypto+app+gpu, channels exactly declared".into(),
+        format!("accepted={ok}"),
+    ]);
+    let sneaky_spec = TopologySpec {
+        member_measurements: vec![None, None, None],
+        channels: vec![(layout::APP_CRYPTO.0, layout::APP_CRYPTO.1, vec![0, 1])],
+    };
+    let caught = verifier
+        .verify_topology(&quote, &qn, &reports, &rn, &sneaky_spec)
+        .unwrap_err();
+    t.row(&[
+        "same deployment, GPU channel undeclared".into(),
+        format!("rejected ({caught})"),
+    ]);
+    t.print();
+}
+
+/// E3 — multi-key memory encryption (§4.2 extension).
+fn e3() {
+    let mut t = Table::new(
+        "E3 — MKTME physical-attack resistance (§4.2)",
+        &["view", "guest image bytes visible?"],
+    );
+    let mut m = boot();
+    m.dom_write(0, 0x40_0000, b"guest kernel image")
+        .expect("stage");
+    let vm = libtyche::ConfidentialVm::launch_encrypted(
+        &mut m,
+        0,
+        (0x40_0000, 0x42_0000),
+        &[0],
+        0x40_0000,
+        &[],
+    )
+    .expect("launch");
+    vm.enter(&mut m, 0).expect("enter");
+    let mut through = [0u8; 18];
+    m.dom_read(0, 0x40_0000, &mut through).expect("guest read");
+    libtyche::ConfidentialVm::exit(&mut m, 0).expect("exit");
+    t.row(&[
+        "guest, through the memory controller".into(),
+        format!("{}", &through == b"guest kernel image"),
+    ]);
+    let mut raw = [0u8; 18];
+    m.machine
+        .mem
+        .read(tyche_hw::PhysAddr::new(0x40_0000), &mut raw)
+        .expect("raw");
+    t.row(&[
+        "physical attacker (cold-boot DRAM dump)".into(),
+        format!("{}", &raw == b"guest kernel image"),
+    ]);
+    t.row(&[
+        "protected pages".into(),
+        m.machine.mktme.protected_pages().to_string(),
+    ]);
+    t.print();
+}
+
+/// E4 — interrupt-routing capabilities (§4.1 extension).
+fn e4() {
+    let mut t = Table::new(
+        "E4 — cross-domain interrupt routing via remapping (§4.1)",
+        &["event", "outcome"],
+    );
+    let mut m = boot();
+    let mut client = libtyche::TycheClient::new(&mut m, 0);
+    let (driver, gate) = client.create_domain().expect("domain");
+    let page = client.carve(0x10_0000, 0x10_1000).expect("carve");
+    client
+        .grant(page, driver, Rights::RW, RevocationPolicy::ZERO)
+        .expect("grant");
+    let (core0, irq) = {
+        let me = client.whoami();
+        let caps = client.monitor.engine.caps_of(me);
+        (
+            caps.iter()
+                .find(|c| c.active && matches!(c.resource, Resource::CpuCore(0)))
+                .map(|c| c.id)
+                .expect("core"),
+            caps.iter()
+                .find(|c| c.active && matches!(c.resource, Resource::Interrupt(33)))
+                .map(|c| c.id)
+                .expect("irq"),
+        )
+    };
+    client
+        .share(core0, driver, None, Rights::USE, RevocationPolicy::NONE)
+        .expect("share core");
+    let granted = client
+        .grant(irq, driver, Rights::USE, RevocationPolicy::NONE)
+        .expect("grant irq");
+    client.set_entry(driver, 0x10_0000).expect("entry");
+    client.seal(driver, SealPolicy::strict()).expect("seal");
+
+    m.machine.irq.raise(33);
+    t.row(&[
+        "device raises vector 33".into(),
+        format!("OS pending={:?}", m.pending_interrupts(0)),
+    ]);
+    m.call(0, MonitorCall::Enter { cap: gate }).expect("enter");
+    t.row(&[
+        "driver domain entered".into(),
+        format!("driver pending={:?}", m.pending_interrupts(0)),
+    ]);
+    m.call(0, MonitorCall::Return).expect("ret");
+    m.call(0, MonitorCall::Revoke { cap: granted })
+        .expect("revoke");
+    m.machine.irq.raise(33);
+    t.row(&[
+        "vector revoked; device raises again".into(),
+        format!(
+            "OS pending={:?} spurious={}",
+            m.pending_interrupts(0),
+            m.machine.irq.spurious
+        ),
+    ]);
+    t.print();
+}
+
+/// E5 — RDMA between TEEs on separate machines (§4.2 extension).
+fn e5() {
+    use libtyche::rdma::{RdmaConnection, RdmaNic, Wire};
+    use tyche_monitor::attest::Verifier;
+    let mut t = Table::new(
+        "E5 — attested RDMA between TEEs on two machines (§4.2)",
+        &["step", "outcome"],
+    );
+    let mk = |base: u64| -> (tyche_monitor::Monitor, DomainId, CapId) {
+        let mut m = boot();
+        let (d, g) = spawn_sealed(&mut m, 0, base, 0x4000, &[0], SealPolicy::strict());
+        (m, d, g)
+    };
+    let (mut ma, da, ga) = mk(0x10_0000);
+    let (mut mb, db, gb) = mk(0x10_0000);
+    let qn = [1u8; 32];
+    let rn = [2u8; 32];
+    let quote_b = mb.machine_quote(qn);
+    let report_b = mb.attest_domain(db, rn).expect("report b");
+    let report_a = ma.attest_domain(da, rn).expect("report a");
+    let verifier = Verifier {
+        tpm_key: mb.machine.tpm.attestation_key(),
+        expected_monitor_pcr: expected_monitor_pcr(MONITOR_VERSION),
+        monitor_key: mb.report_key(),
+    };
+    let mut conn =
+        RdmaConnection::establish(&verifier, &quote_b, &qn, &report_b, &rn, &report_a, None)
+            .expect("establish");
+    t.row(&[
+        "mutual attestation + channel key".into(),
+        "established".into(),
+    ]);
+    let mut nic_b = RdmaNic::new();
+    let mut client = libtyche::TycheClient::new(&mut mb, 0);
+    client.enter(gb).expect("enter b");
+    let rkey = nic_b
+        .register_mr(&mut mb, 0, 0x10_1000, 0x10_2000, true)
+        .expect("register");
+    libtyche::TycheClient::new(&mut mb, 0).ret().expect("ret b");
+    t.row(&[
+        "TEE B registers an exclusive MR".into(),
+        format!("{rkey:?}"),
+    ]);
+    let mut wire = Wire::new();
+    let mut client = libtyche::TycheClient::new(&mut ma, 0);
+    client.enter(ga).expect("enter a");
+    client
+        .write(0x10_0100, b"cross-machine secret")
+        .expect("stage");
+    conn.rdma_write(
+        &mut ma, 0, 0x10_0100, 20, &mut wire, &mut mb, &nic_b, rkey, 0,
+    )
+    .expect("rdma write");
+    libtyche::TycheClient::new(&mut ma, 0).ret().expect("ret a");
+    let mut got = [0u8; 20];
+    m_enter_read(&mut mb, gb, 0x10_1000, &mut got);
+    t.row(&[
+        "one-sided write A->B".into(),
+        format!("delivered={}", &got == b"cross-machine secret"),
+    ]);
+    t.row(&[
+        "eavesdropper greps the wire".into(),
+        format!("plaintext leaked={}", wire.leaks(b"cross-machine secret")),
+    ]);
+    t.row(&[
+        "machine B's host reads the MR".into(),
+        format!(
+            "fault={}",
+            mb.dom_read(0, 0x10_1000, &mut [0u8; 1]).is_err()
+        ),
+    ]);
+    t.print();
+}
+
+/// Enters `gate` on core 0, reads `addr`, returns.
+fn m_enter_read(m: &mut tyche_monitor::Monitor, gate: CapId, addr: u64, out: &mut [u8]) {
+    let mut client = libtyche::TycheClient::new(m, 0);
+    client.enter(gate).expect("enter");
+    client.read(addr, out).expect("read");
+    libtyche::TycheClient::new(m, 0).ret().expect("ret");
+}

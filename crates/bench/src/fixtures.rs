@@ -1,0 +1,128 @@
+//! Boot helpers and canned domain constructions shared by benches,
+//! examples, and the repro harness.
+
+use tyche_core::prelude::*;
+use tyche_monitor::{boot_x86, BootConfig, Monitor};
+
+/// Boots the default x86 machine.
+pub fn boot() -> Monitor {
+    boot_x86(BootConfig::default())
+}
+
+/// Boots an x86 machine with `devices` present.
+pub fn boot_with_devices(devices: Vec<u16>) -> Monitor {
+    boot_x86(BootConfig {
+        devices,
+        ..Default::default()
+    })
+}
+
+/// From the domain running on `core`: creates a child domain with
+/// `[base, base+len)` granted RWX (zero-on-revoke), the listed cores
+/// shared, entry at `base`, sealed with `policy`. Returns `(domain,
+/// transition cap)`.
+///
+/// # Panics
+///
+/// Panics when any step is refused — fixtures are for known-good
+/// constructions; failures are test bugs.
+pub fn spawn_sealed(
+    m: &mut Monitor,
+    core: usize,
+    base: u64,
+    len: u64,
+    cores: &[usize],
+    policy: SealPolicy,
+) -> (DomainId, CapId) {
+    let mut client = libtyche::TycheClient::new(m, core);
+    let (domain, transition) = client.create_domain().expect("create");
+    let cap = client.carve(base, base + len).expect("carve");
+    client
+        .grant(cap, domain, Rights::RWX, RevocationPolicy::ZERO)
+        .expect("grant");
+    for &c in cores {
+        let core_cap = {
+            let me = client.whoami();
+            client
+                .monitor
+                .engine
+                .caps_of(me)
+                .iter()
+                .find(|k| k.active && matches!(k.resource, Resource::CpuCore(n) if n == c))
+                .map(|k| k.id)
+        }
+        .expect("core cap");
+        client
+            .share(core_cap, domain, None, Rights::USE, RevocationPolicy::NONE)
+            .expect("share core");
+    }
+    client.set_entry(domain, base).expect("entry");
+    client.seal(domain, policy).expect("seal");
+    (domain, transition)
+}
+
+/// Builds a share chain of `depth` domains over one page starting from
+/// the root; returns the first child capability (revoking it collapses
+/// the chain). Used by the revocation benches.
+pub fn share_chain(m: &mut Monitor, page: (u64, u64), depth: usize) -> CapId {
+    let os = m.engine.root().expect("booted");
+    let cap = {
+        let mut client = libtyche::TycheClient::new(m, 0);
+        client.carve(page.0, page.1).expect("carve")
+    };
+    let mut prev_domain = os;
+    let mut prev_cap = cap;
+    let mut first_child = None;
+    for _ in 0..depth {
+        let (d, _t) = m.engine.create_domain(prev_domain).expect("create");
+        let child = m
+            .engine
+            .share(
+                prev_domain,
+                prev_cap,
+                d,
+                None,
+                Rights::RW,
+                RevocationPolicy::NONE,
+            )
+            .expect("share");
+        if first_child.is_none() {
+            first_child = Some(child);
+        }
+        prev_domain = d;
+        prev_cap = child;
+    }
+    // Flush effects into the backend so hardware state is consistent.
+    sync(m);
+    first_child.expect("depth >= 1")
+}
+
+/// Applies any engine effects left by direct-engine manipulation in
+/// fixtures (normal monitor calls do this themselves).
+pub fn sync(m: &mut Monitor) {
+    m.sync_effects().expect("fixture effects are realizable");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_sealed_is_enterable() {
+        let mut m = boot();
+        let (_d, t) = spawn_sealed(&mut m, 0, 0x10_0000, 0x1000, &[0], SealPolicy::strict());
+        let mut client = libtyche::TycheClient::new(&mut m, 0);
+        client.enter(t).unwrap();
+        client.ret().unwrap();
+    }
+
+    #[test]
+    fn share_chain_has_expected_refcount() {
+        let mut m = boot();
+        let _first = share_chain(&mut m, (0x20_0000, 0x20_1000), 10);
+        assert_eq!(
+            m.engine.refcount_mem(MemRegion::new(0x20_0000, 0x20_1000)),
+            11
+        );
+    }
+}

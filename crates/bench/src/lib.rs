@@ -1,0 +1,20 @@
+//! Experiment support: fixtures, scenarios, and reporting.
+//!
+//! Everything the reproduction's benches, examples, and the `repro`
+//! harness binary share lives here:
+//!
+//! - [`fixtures`]: boot helpers and canned domain constructions;
+//! - [`scenarios`]: the paper's figures as executable scenarios — the
+//!   Figure 2 confidential-SaaS pipeline and the Figure 4 memory view;
+//! - [`table`]: plain-text tables the harness prints (one per experiment,
+//!   mirrored into `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixtures;
+pub mod scenarios;
+pub mod table;
+
+pub use fixtures::{boot, spawn_sealed};
+pub use table::Table;

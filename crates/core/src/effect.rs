@@ -1,0 +1,139 @@
+//! Effects: the engine's instructions to the platform backend.
+//!
+//! The capability engine is pure bookkeeping — it never touches hardware.
+//! Every state change additionally appends an [`Effect`] describing what a
+//! backend must do to make hardware agree with the model (program an EPT,
+//! reprogram PMP, zero memory, flush a cache). `tyche-monitor` drains the
+//! effect log after each API call and applies it. This mirrors the real
+//! Tyche's split between the verified capability model and the
+//! platform-specific backend (§4 of the paper), and it is what makes the
+//! engine testable in isolation.
+
+use crate::ids::DomainId;
+use crate::resource::{MemRegion, Rights};
+
+/// One backend instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Effect {
+    /// Make `region` accessible to `domain` with `rights`.
+    MapMem {
+        /// The domain gaining access.
+        domain: DomainId,
+        /// The physical region.
+        region: MemRegion,
+        /// Access rights to program.
+        rights: Rights,
+    },
+    /// Remove `domain`'s access to `region`.
+    UnmapMem {
+        /// The domain losing access.
+        domain: DomainId,
+        /// The physical region.
+        region: MemRegion,
+    },
+    /// Zero the physical bytes of `region` (revocation clean-up).
+    ZeroMem {
+        /// The region to scrub.
+        region: MemRegion,
+    },
+    /// Flush cache lines attributed to `domain` (obfuscating revocation).
+    FlushCache {
+        /// The domain whose lines must go.
+        domain: DomainId,
+    },
+    /// Flush `domain`'s TLB entries (required after permission downgrades
+    /// and unmaps, like INVEPT).
+    FlushTlb {
+        /// The domain whose translations must go.
+        domain: DomainId,
+    },
+    /// Allow `domain` to run on CPU `core`.
+    AddCore {
+        /// The domain.
+        domain: DomainId,
+        /// The core number.
+        core: usize,
+    },
+    /// Forbid `domain` from running on CPU `core`.
+    RemoveCore {
+        /// The domain.
+        domain: DomainId,
+        /// The core number.
+        core: usize,
+    },
+    /// Point `device`'s I/O-MMU context at `domain`'s address space.
+    AttachDevice {
+        /// The device id.
+        device: u16,
+        /// The owning domain.
+        domain: DomainId,
+    },
+    /// Clear `device`'s I/O-MMU context (blocks all its DMA).
+    DetachDevice {
+        /// The device id.
+        device: u16,
+    },
+    /// A new domain exists; the backend should build its (empty) address
+    /// space.
+    DomainCreated {
+        /// The new domain.
+        domain: DomainId,
+    },
+    /// The domain was killed; the backend should tear down its state.
+    DomainKilled {
+        /// The dead domain.
+        domain: DomainId,
+    },
+    /// Route interrupt `vector` to `domain` (remapping-table update).
+    RouteIrq {
+        /// The vector.
+        vector: u32,
+        /// The receiving domain.
+        domain: DomainId,
+    },
+    /// Remove `vector`'s route (deliveries drop until re-routed).
+    UnrouteIrq {
+        /// The vector.
+        vector: u32,
+    },
+}
+
+impl Effect {
+    /// The domain this effect concerns, if it is domain-scoped.
+    pub fn domain(&self) -> Option<DomainId> {
+        match self {
+            Effect::MapMem { domain, .. }
+            | Effect::UnmapMem { domain, .. }
+            | Effect::FlushCache { domain }
+            | Effect::FlushTlb { domain }
+            | Effect::AddCore { domain, .. }
+            | Effect::RemoveCore { domain, .. }
+            | Effect::AttachDevice { domain, .. }
+            | Effect::DomainCreated { domain }
+            | Effect::DomainKilled { domain }
+            | Effect::RouteIrq { domain, .. } => Some(*domain),
+            Effect::ZeroMem { .. } | Effect::DetachDevice { .. } | Effect::UnrouteIrq { .. } => {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_extraction() {
+        let d = DomainId(3);
+        assert_eq!(Effect::FlushCache { domain: d }.domain(), Some(d));
+        assert_eq!(
+            Effect::ZeroMem {
+                region: MemRegion::new(0, 1)
+            }
+            .domain(),
+            None
+        );
+        assert_eq!(Effect::DetachDevice { device: 1 }.domain(), None);
+    }
+}

@@ -1,0 +1,1036 @@
+//! The capability engine: Tyche's isolation API (§3.2, §4.1).
+//!
+//! All monitor API calls funnel into [`CapEngine`] methods. The engine
+//! validates every operation against the acting domain's capabilities
+//! (the monitor "does not choose resources to allocate to a domain, but
+//! rather validates allocation" — §3.5), updates the lineage tree and
+//! reference counts, and appends [`Effect`]s for the platform backend.
+//!
+//! ## Operation summary
+//!
+//! | op | who may call | result |
+//! |----|--------------|--------|
+//! | [`create_domain`](CapEngine::create_domain) | any unsealed domain (sealed: needs `allow_child_domains`) | new child domain + transition capability |
+//! | [`share`](CapEngine::share) | capability owner | child capability; both domains have access |
+//! | [`grant`](CapEngine::grant) | capability owner | child capability; granter's access suspended |
+//! | [`split`](CapEngine::split) | capability owner | two carved capabilities over the halves |
+//! | [`revoke`](CapEngine::revoke) | granter or lineage ancestor owner | cascading revocation + clean-up effects |
+//! | [`seal`](CapEngine::seal) | manager or self | freezes config, takes measurement |
+//! | [`kill`](CapEngine::kill) | manager | revokes everything, retires the domain |
+//! | [`can_enter`](CapEngine::can_enter) | transition-cap owner | validated entry point for the monitor to switch to |
+
+use crate::capability::{CapKind, Capability};
+use crate::domain::{Domain, DomainState, SealPolicy};
+use crate::effect::Effect;
+use crate::error::CapError;
+use crate::ids::{CapId, DomainId, IdAllocator};
+use crate::refcount::{mem_refcount, RefCount};
+use crate::resource::{MemRegion, Resource, Rights};
+use crate::RevocationPolicy;
+use std::collections::BTreeMap;
+
+/// A resource entry as enumerated for attestation (§3.4): resource,
+/// rights, sharing kind, and the current reference count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EnumeratedResource {
+    /// The capability id backing this entry.
+    pub cap: CapId,
+    /// The resource.
+    pub resource: Resource,
+    /// Rights held.
+    pub rights: Rights,
+    /// How the capability was derived.
+    pub kind: CapKind,
+    /// Reference count over the resource (max/min per byte for memory).
+    pub refcount: RefCount,
+}
+
+/// The capability engine.
+#[derive(Clone, Debug, Default)]
+pub struct CapEngine {
+    domains: BTreeMap<DomainId, Domain>,
+    caps: BTreeMap<CapId, Capability>,
+    ids: IdAllocator,
+    effects: Vec<Effect>,
+    root: Option<DomainId>,
+    /// Monotonic operation counter; stamps capability creation and seal
+    /// times so the auditor can check seal-freeze invariants.
+    op_counter: u64,
+    /// Capability id → creation stamp.
+    created_at: BTreeMap<CapId, u64>,
+    /// Domain id → seal stamp.
+    sealed_at: BTreeMap<DomainId, u64>,
+}
+
+impl CapEngine {
+    /// Creates an empty engine (no domains yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.op_counter += 1;
+        self.op_counter
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The root (initial) domain, if created.
+    pub fn root(&self) -> Option<DomainId> {
+        self.root
+    }
+
+    /// Looks up a domain.
+    pub fn domain(&self, id: DomainId) -> Option<&Domain> {
+        self.domains.get(&id)
+    }
+
+    /// Looks up a capability.
+    pub fn cap(&self, id: CapId) -> Option<&Capability> {
+        self.caps.get(&id)
+    }
+
+    /// Iterates all live domains.
+    pub fn domains(&self) -> impl Iterator<Item = &Domain> {
+        self.domains.values()
+    }
+
+    /// Iterates all capabilities (active and suspended).
+    pub fn caps(&self) -> impl Iterator<Item = &Capability> {
+        self.caps.values()
+    }
+
+    /// All capabilities owned by `domain`.
+    pub fn caps_of(&self, domain: DomainId) -> Vec<&Capability> {
+        self.caps.values().filter(|c| c.owner == domain).collect()
+    }
+
+    /// Creation stamp of a capability (for the auditor).
+    pub fn cap_created_at(&self, cap: CapId) -> Option<u64> {
+        self.created_at.get(&cap).copied()
+    }
+
+    /// Seal stamp of a domain (for the auditor).
+    pub fn domain_sealed_at(&self, domain: DomainId) -> Option<u64> {
+        self.sealed_at.get(&domain).copied()
+    }
+
+    /// Drains the pending backend effects in emission order.
+    pub fn drain_effects(&mut self) -> Vec<Effect> {
+        std::mem::take(&mut self.effects)
+    }
+
+    /// Number of pending effects (without draining).
+    pub fn pending_effects(&self) -> usize {
+        self.effects.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Domain lifecycle
+    // ------------------------------------------------------------------
+
+    /// Creates the root (initial) domain — the unmodified OS the monitor
+    /// boots into (§4). Callable once.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called twice; the boot path runs once by construction.
+    pub fn create_root_domain(&mut self) -> DomainId {
+        assert!(self.root.is_none(), "root domain already exists");
+        let id = DomainId(self.ids.next());
+        self.domains.insert(
+            id,
+            Domain {
+                id,
+                manager: None,
+                state: DomainState::Configuring,
+                seal_policy: SealPolicy::nestable(),
+                entry: None,
+                measurement: None,
+                content_measurements: Vec::new(),
+            },
+        );
+        self.root = Some(id);
+        self.effects.push(Effect::DomainCreated { domain: id });
+        self.tick();
+        id
+    }
+
+    /// Endows the root domain with a boot-time resource (all RAM, each CPU
+    /// core, each device). Only the root domain can be endowed; everything
+    /// else must obtain resources through `share`/`grant`.
+    pub fn endow(
+        &mut self,
+        domain: DomainId,
+        resource: Resource,
+        rights: Rights,
+    ) -> Result<CapId, CapError> {
+        if Some(domain) != self.root {
+            return Err(CapError::RootDomain);
+        }
+        let dom = self
+            .domains
+            .get(&domain)
+            .ok_or(CapError::NoSuchDomain(domain))?;
+        if !dom.is_alive() {
+            return Err(CapError::NoSuchDomain(domain));
+        }
+        let id = CapId(self.ids.next());
+        let cap = Capability {
+            id,
+            owner: domain,
+            granter: domain,
+            resource,
+            rights,
+            kind: CapKind::Root,
+            parent: None,
+            children: Vec::new(),
+            policy: RevocationPolicy::NONE,
+            active: true,
+        };
+        self.emit_gain(&cap);
+        self.caps.insert(id, cap);
+        let t = self.tick();
+        self.created_at.insert(id, t);
+        Ok(id)
+    }
+
+    /// Creates a new (empty) trust domain managed by `manager`, returning
+    /// the new domain id and a transition capability into it.
+    ///
+    /// Any domain may create domains — this is the paper's core
+    /// democratization claim; a sealed domain needs
+    /// [`SealPolicy::allow_child_domains`].
+    pub fn create_domain(&mut self, manager: DomainId) -> Result<(DomainId, CapId), CapError> {
+        let m = self
+            .domains
+            .get(&manager)
+            .ok_or(CapError::NoSuchDomain(manager))?;
+        if !m.is_alive() {
+            return Err(CapError::NoSuchDomain(manager));
+        }
+        if m.is_sealed() && !m.seal_policy.allow_child_domains {
+            return Err(CapError::SealedImmutable(manager));
+        }
+        let id = DomainId(self.ids.next());
+        self.domains.insert(
+            id,
+            Domain {
+                id,
+                manager: Some(manager),
+                state: DomainState::Configuring,
+                seal_policy: SealPolicy::nestable(),
+                entry: None,
+                measurement: None,
+                content_measurements: Vec::new(),
+            },
+        );
+        self.effects.push(Effect::DomainCreated { domain: id });
+        self.tick();
+        let tcap = self.make_transition(manager, id, RevocationPolicy::NONE)?;
+        Ok((id, tcap))
+    }
+
+    /// Sets the fixed entry point of an unsealed domain. The manager (or
+    /// the domain itself, pre-seal) may call this.
+    pub fn set_entry(
+        &mut self,
+        actor: DomainId,
+        domain: DomainId,
+        entry: u64,
+    ) -> Result<(), CapError> {
+        self.check_manager(actor, domain)?;
+        let dom = self
+            .domains
+            .get_mut(&domain)
+            .ok_or(CapError::NoSuchDomain(domain))?;
+        if dom.is_sealed() {
+            return Err(CapError::SealedImmutable(domain));
+        }
+        dom.entry = Some(entry);
+        self.tick();
+        Ok(())
+    }
+
+    /// Records a content measurement for part of the domain's initial
+    /// memory. The monitor calls this while loading the domain image;
+    /// the digests become part of the seal-time measurement (§3.2:
+    /// "a hash of domain configurations and selected initial resources").
+    pub fn record_content(
+        &mut self,
+        actor: DomainId,
+        domain: DomainId,
+        region: MemRegion,
+        digest: tyche_crypto::Digest,
+    ) -> Result<(), CapError> {
+        self.check_manager(actor, domain)?;
+        let dom = self
+            .domains
+            .get_mut(&domain)
+            .ok_or(CapError::NoSuchDomain(domain))?;
+        if dom.is_sealed() {
+            return Err(CapError::SealedImmutable(domain));
+        }
+        dom.content_measurements
+            .push((region.start, region.end, digest));
+        self.tick();
+        Ok(())
+    }
+
+    /// Seals `domain`: freezes its resource configuration per `policy`,
+    /// computes its measurement, and makes it enterable.
+    ///
+    /// Requires an entry point (domains have fixed entry points, §3.1).
+    pub fn seal(
+        &mut self,
+        actor: DomainId,
+        domain: DomainId,
+        policy: SealPolicy,
+    ) -> Result<tyche_crypto::Digest, CapError> {
+        self.check_manager(actor, domain)?;
+        {
+            let dom = self
+                .domains
+                .get(&domain)
+                .ok_or(CapError::NoSuchDomain(domain))?;
+            if dom.is_sealed() {
+                return Err(CapError::SealedImmutable(domain));
+            }
+            if dom.entry.is_none() {
+                return Err(CapError::NoEntryPoint(domain));
+            }
+        }
+        let measurement = self.measure_config(domain, policy);
+        let t = self.tick();
+        let dom = self.domains.get_mut(&domain).expect("checked above");
+        dom.state = DomainState::Sealed;
+        dom.seal_policy = policy;
+        dom.measurement = Some(measurement);
+        self.sealed_at.insert(domain, t);
+        Ok(measurement)
+    }
+
+    /// Kills `domain`: cascading-revokes every capability it owns (and
+    /// therefore everything it shared onward), emits clean-up effects, and
+    /// retires the id. Only the manager may kill a domain.
+    pub fn kill(&mut self, actor: DomainId, domain: DomainId) -> Result<(), CapError> {
+        let dom = self
+            .domains
+            .get(&domain)
+            .ok_or(CapError::NoSuchDomain(domain))?;
+        if !dom.is_alive() {
+            return Err(CapError::NoSuchDomain(domain));
+        }
+        if dom.manager != Some(actor) {
+            return Err(CapError::NotManager {
+                target: domain,
+                actor,
+            });
+        }
+        // Revoke every capability owned by the dying domain. Collect ids
+        // first; each revocation may cascade into caps owned by others.
+        let owned: Vec<CapId> = self
+            .caps
+            .values()
+            .filter(|c| c.owner == domain)
+            .map(|c| c.id)
+            .collect();
+        for cap in owned {
+            if self.caps.contains_key(&cap) {
+                self.revoke_subtree(cap);
+            }
+        }
+        // Also revoke transition capabilities *into* the dead domain held
+        // by others — they dangle otherwise.
+        let dangling: Vec<CapId> = self
+            .caps
+            .values()
+            .filter(|c| matches!(c.resource, Resource::Transition(t) if t == domain))
+            .map(|c| c.id)
+            .collect();
+        for cap in dangling {
+            if self.caps.contains_key(&cap) {
+                self.revoke_subtree(cap);
+            }
+        }
+        let dom = self.domains.get_mut(&domain).expect("checked above");
+        dom.state = DomainState::Dead;
+        self.effects.push(Effect::DomainKilled { domain });
+        self.tick();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Capability operations
+    // ------------------------------------------------------------------
+
+    /// Shares (a subrange of) a capability with `target`: both domains end
+    /// up with access. Returns the child capability owned by `target`.
+    pub fn share(
+        &mut self,
+        actor: DomainId,
+        cap: CapId,
+        target: DomainId,
+        sub: Option<MemRegion>,
+        rights: Rights,
+        policy: RevocationPolicy,
+    ) -> Result<CapId, CapError> {
+        self.derive(actor, cap, target, sub, rights, policy, CapKind::Shared)
+    }
+
+    /// Grants a whole capability to `target`: exclusive, revocable
+    /// transfer. The granter's capability is suspended until revocation.
+    /// To grant part of a memory region, [`split`](CapEngine::split)
+    /// first.
+    pub fn grant(
+        &mut self,
+        actor: DomainId,
+        cap: CapId,
+        target: DomainId,
+        sub: Option<MemRegion>,
+        rights: Rights,
+        policy: RevocationPolicy,
+    ) -> Result<CapId, CapError> {
+        // A partial grant would leave the granter with fragmented access;
+        // the engine keeps grant whole-capability and offers split().
+        if let Some(s) = sub {
+            let c = self.caps.get(&cap).ok_or(CapError::NoSuchCap(cap))?;
+            match c.resource.as_mem() {
+                Some(region) if region == s => {}
+                Some(_) => return Err(CapError::OutOfRange),
+                None => return Err(CapError::SubrangeOnNonMemory),
+            }
+        }
+        self.derive(actor, cap, target, None, rights, policy, CapKind::Granted)
+    }
+
+    /// Splits an active memory capability at address `at`, producing two
+    /// carved capabilities over `[start, at)` and `[at, end)`. The original
+    /// capability is consumed (suspended with two carved children).
+    pub fn split(
+        &mut self,
+        actor: DomainId,
+        cap: CapId,
+        at: u64,
+    ) -> Result<(CapId, CapId), CapError> {
+        let c = self.caps.get(&cap).ok_or(CapError::NoSuchCap(cap))?;
+        if c.owner != actor {
+            return Err(CapError::NotOwner { cap, actor });
+        }
+        if !c.active {
+            return Err(CapError::Inactive(cap));
+        }
+        let region = c.resource.as_mem().ok_or(CapError::WrongResourceType)?;
+        if at <= region.start || at >= region.end {
+            return Err(CapError::OutOfRange);
+        }
+        let (rights, policy) = (c.rights, c.policy);
+        let lo = self.insert_child(
+            cap,
+            actor,
+            actor,
+            Resource::Memory(MemRegion::new(region.start, at)),
+            rights,
+            CapKind::Carved,
+            policy,
+        );
+        let hi = self.insert_child(
+            cap,
+            actor,
+            actor,
+            Resource::Memory(MemRegion::new(at, region.end)),
+            rights,
+            CapKind::Carved,
+            policy,
+        );
+        // The parent is consumed: its coverage is now represented by the
+        // carved pieces. No hardware effect — the owner's access is
+        // unchanged.
+        self.caps.get_mut(&cap).expect("exists").active = false;
+        self.tick();
+        Ok((lo, hi))
+    }
+
+    /// Revokes `cap` and, cascading, every capability derived from it.
+    ///
+    /// The caller must be the capability's granter or the owner of an
+    /// ancestor in its lineage (ancestors can always reclaim). Clean-up
+    /// effects follow each revoked capability's policy. Termination is
+    /// guaranteed even under circular domain-level sharing because lineage
+    /// is a tree.
+    pub fn revoke(&mut self, actor: DomainId, cap: CapId) -> Result<(), CapError> {
+        let c = self.caps.get(&cap).ok_or(CapError::NoSuchCap(cap))?;
+        // The granter may always take a capability back; this also covers
+        // owners revoking their own carved pieces.
+        let mut authorized = c.granter == actor;
+        if !authorized {
+            // Walk up the lineage: any ancestor owner may revoke.
+            let mut cur = c.parent;
+            while let Some(p) = cur {
+                let pc = self.caps.get(&p).expect("lineage parents exist");
+                if pc.owner == actor {
+                    authorized = true;
+                    break;
+                }
+                cur = pc.parent;
+            }
+        }
+        if !authorized {
+            return Err(CapError::NotGranter { cap, actor });
+        }
+        self.revoke_subtree(cap);
+        self.tick();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transitions
+    // ------------------------------------------------------------------
+
+    /// Creates a transition capability into `target`, owned by `actor`.
+    /// `actor` must manage `target` (or be `target`). The policy's flush
+    /// flags are applied by the monitor on every transition through this
+    /// capability (§4.1 side-channel mitigation).
+    pub fn make_transition(
+        &mut self,
+        actor: DomainId,
+        target: DomainId,
+        policy: RevocationPolicy,
+    ) -> Result<CapId, CapError> {
+        if actor != target {
+            self.check_manager(actor, target)?;
+        }
+        let a = self
+            .domains
+            .get(&actor)
+            .ok_or(CapError::NoSuchDomain(actor))?;
+        if a.is_sealed() && !a.seal_policy.allow_child_domains {
+            return Err(CapError::SealedImmutable(actor));
+        }
+        let id = CapId(self.ids.next());
+        let capability = Capability {
+            id,
+            owner: actor,
+            granter: actor,
+            resource: Resource::Transition(target),
+            rights: Rights::USE,
+            kind: CapKind::Root,
+            parent: None,
+            children: Vec::new(),
+            policy,
+            active: true,
+        };
+        self.caps.insert(id, capability);
+        let t = self.tick();
+        self.created_at.insert(id, t);
+        Ok(id)
+    }
+
+    /// Validates a domain transition: `actor`, running on CPU `core`,
+    /// invokes transition capability `cap`. On success returns the target
+    /// domain, its fixed entry point, and the flush policy the monitor
+    /// must apply.
+    ///
+    /// Checks (§3.1): the monitor mediates all control transfers; domains
+    /// have fixed entry points; domains only run on cores in their
+    /// resource configuration.
+    pub fn can_enter(
+        &self,
+        actor: DomainId,
+        cap: CapId,
+        core: usize,
+    ) -> Result<(DomainId, u64, RevocationPolicy), CapError> {
+        let c = self.caps.get(&cap).ok_or(CapError::NoSuchCap(cap))?;
+        if c.owner != actor {
+            return Err(CapError::NotOwner { cap, actor });
+        }
+        if !c.active {
+            return Err(CapError::Inactive(cap));
+        }
+        let target = match c.resource {
+            Resource::Transition(t) => t,
+            _ => return Err(CapError::WrongResourceType),
+        };
+        if !c.rights.can_use() {
+            return Err(CapError::RightsEscalation);
+        }
+        let dom = self
+            .domains
+            .get(&target)
+            .ok_or(CapError::NoSuchDomain(target))?;
+        if !dom.is_alive() {
+            return Err(CapError::NoSuchDomain(target));
+        }
+        if !dom.is_sealed() {
+            return Err(CapError::NotSealed(target));
+        }
+        let entry = dom.entry.ok_or(CapError::NoEntryPoint(target))?;
+        if !self.owns_core(target, core) {
+            return Err(CapError::CoreNotOwned {
+                domain: target,
+                core,
+            });
+        }
+        Ok((target, entry, c.policy))
+    }
+
+    /// True when `domain` holds an active capability for CPU `core`.
+    pub fn owns_core(&self, domain: DomainId, core: usize) -> bool {
+        self.caps.values().any(|c| {
+            c.owner == domain
+                && c.active
+                && c.rights.can_use()
+                && matches!(c.resource, Resource::CpuCore(n) if n == core)
+        })
+    }
+
+    /// True when `domain` holds an active capability for `device`.
+    pub fn owns_device(&self, domain: DomainId, device: u16) -> bool {
+        self.caps.values().any(|c| {
+            c.owner == domain
+                && c.active
+                && c.rights.can_use()
+                && matches!(c.resource, Resource::Device(d) if d == device)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Reference counts & enumeration
+    // ------------------------------------------------------------------
+
+    /// All active `(domain, region)` memory coverage pairs.
+    pub fn active_mem_coverage(&self) -> Vec<(DomainId, MemRegion)> {
+        self.caps
+            .values()
+            .filter(|c| c.active)
+            .filter_map(|c| c.resource.as_mem().map(|r| (c.owner, r)))
+            .collect()
+    }
+
+    /// Full reference-count query over a memory range (Figure 4).
+    pub fn refcount_mem_full(&self, region: MemRegion) -> RefCount {
+        mem_refcount(&self.active_mem_coverage(), region)
+    }
+
+    /// Maximum per-byte reference count over a memory range.
+    pub fn refcount_mem(&self, region: MemRegion) -> usize {
+        self.refcount_mem_full(region).max
+    }
+
+    /// Enumerates `domain`'s active resources with rights and reference
+    /// counts — the attestation view (§3.4).
+    pub fn enumerate(&self, domain: DomainId) -> Result<Vec<EnumeratedResource>, CapError> {
+        let dom = self
+            .domains
+            .get(&domain)
+            .ok_or(CapError::NoSuchDomain(domain))?;
+        if !dom.is_alive() {
+            return Err(CapError::NoSuchDomain(domain));
+        }
+        let coverage = self.active_mem_coverage();
+        let mut out: Vec<EnumeratedResource> = self
+            .caps
+            .values()
+            .filter(|c| c.owner == domain && c.active)
+            .map(|c| {
+                let refcount = match c.resource {
+                    Resource::Memory(r) => mem_refcount(&coverage, r),
+                    Resource::CpuCore(n) => {
+                        let owners: Vec<DomainId> = self
+                            .caps
+                            .values()
+                            .filter(|k| {
+                                k.active && matches!(k.resource, Resource::CpuCore(m) if m == n)
+                            })
+                            .map(|k| k.owner)
+                            .collect();
+                        let n = crate::refcount::unit_refcount(owners);
+                        RefCount { max: n, min: n }
+                    }
+                    Resource::Device(d) => {
+                        let owners: Vec<DomainId> = self
+                            .caps
+                            .values()
+                            .filter(|k| {
+                                k.active && matches!(k.resource, Resource::Device(e) if e == d)
+                            })
+                            .map(|k| k.owner)
+                            .collect();
+                        let n = crate::refcount::unit_refcount(owners);
+                        RefCount { max: n, min: n }
+                    }
+                    Resource::Transition(_) => RefCount { max: 1, min: 1 },
+                    Resource::Interrupt(v) => {
+                        let owners: Vec<DomainId> = self
+                            .caps
+                            .values()
+                            .filter(|k| {
+                                k.active && matches!(k.resource, Resource::Interrupt(w) if w == v)
+                            })
+                            .map(|k| k.owner)
+                            .collect();
+                        let n = crate::refcount::unit_refcount(owners);
+                        RefCount { max: n, min: n }
+                    }
+                };
+                EnumeratedResource {
+                    cap: c.id,
+                    resource: c.resource,
+                    rights: c.rights,
+                    kind: c.kind,
+                    refcount,
+                }
+            })
+            .collect();
+        out.sort_by_key(|e| e.cap);
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Manager check: `actor` manages `domain` (directly) or is the
+    /// domain itself while unsealed.
+    fn check_manager(&self, actor: DomainId, domain: DomainId) -> Result<(), CapError> {
+        let dom = self
+            .domains
+            .get(&domain)
+            .ok_or(CapError::NoSuchDomain(domain))?;
+        if !dom.is_alive() {
+            return Err(CapError::NoSuchDomain(domain));
+        }
+        if dom.manager == Some(actor) || (actor == domain && !dom.is_sealed()) {
+            Ok(())
+        } else {
+            Err(CapError::NotManager {
+                target: domain,
+                actor,
+            })
+        }
+    }
+
+    /// Shared validation + node creation for share/grant.
+    #[allow(clippy::too_many_arguments)]
+    fn derive(
+        &mut self,
+        actor: DomainId,
+        cap: CapId,
+        target: DomainId,
+        sub: Option<MemRegion>,
+        rights: Rights,
+        policy: RevocationPolicy,
+        kind: CapKind,
+    ) -> Result<CapId, CapError> {
+        let c = self.caps.get(&cap).ok_or(CapError::NoSuchCap(cap))?;
+        if c.owner != actor {
+            return Err(CapError::NotOwner { cap, actor });
+        }
+        if !c.active {
+            return Err(CapError::Inactive(cap));
+        }
+        if !rights.subset_of(&c.rights) {
+            return Err(CapError::RightsEscalation);
+        }
+        let actor_dom = self
+            .domains
+            .get(&actor)
+            .ok_or(CapError::NoSuchDomain(actor))?;
+        if actor_dom.is_sealed() && !actor_dom.seal_policy.allow_outward_sharing {
+            return Err(CapError::ActorSealed(actor));
+        }
+        let target_dom = self
+            .domains
+            .get(&target)
+            .ok_or(CapError::NoSuchDomain(target))?;
+        if !target_dom.is_alive() {
+            return Err(CapError::NoSuchDomain(target));
+        }
+        // Sealing freezes *incoming* resources unconditionally (§3.1).
+        if target_dom.is_sealed() && target != actor {
+            return Err(CapError::TargetSealed(target));
+        }
+        let resource = match (c.resource, sub) {
+            (Resource::Memory(region), Some(s)) => {
+                if !region.contains(&s) {
+                    return Err(CapError::OutOfRange);
+                }
+                Resource::Memory(s)
+            }
+            (r, None) => r,
+            (_, Some(_)) => return Err(CapError::SubrangeOnNonMemory),
+        };
+        let child = self.insert_child(cap, target, actor, resource, rights, kind, policy);
+        let child_cap = self.caps.get(&child).expect("just inserted").clone();
+        match kind {
+            CapKind::Shared => {
+                self.emit_gain(&child_cap);
+            }
+            CapKind::Granted => {
+                // Suspend the granter's capability and its hardware access.
+                let parent = self.caps.get_mut(&cap).expect("exists");
+                parent.active = false;
+                let (owner, res) = (parent.owner, parent.resource);
+                self.emit_loss(owner, res);
+                if matches!(res, Resource::Memory(_)) {
+                    self.effects.push(Effect::FlushTlb { domain: owner });
+                }
+                self.emit_gain(&child_cap);
+            }
+            CapKind::Root | CapKind::Carved => unreachable!("derive only shares or grants"),
+        }
+        self.tick();
+        Ok(child)
+    }
+
+    /// Inserts a child capability node under `parent`.
+    #[allow(clippy::too_many_arguments)]
+    fn insert_child(
+        &mut self,
+        parent: CapId,
+        owner: DomainId,
+        granter: DomainId,
+        resource: Resource,
+        rights: Rights,
+        kind: CapKind,
+        policy: RevocationPolicy,
+    ) -> CapId {
+        let id = CapId(self.ids.next());
+        self.caps.insert(
+            id,
+            Capability {
+                id,
+                owner,
+                granter,
+                resource,
+                rights,
+                kind,
+                parent: Some(parent),
+                children: Vec::new(),
+                policy,
+                active: true,
+            },
+        );
+        self.caps
+            .get_mut(&parent)
+            .expect("parent exists")
+            .children
+            .push(id);
+        let t = self.tick();
+        self.created_at.insert(id, t);
+        id
+    }
+
+    /// Emits the effects that give `cap.owner` access to `cap.resource`.
+    fn emit_gain(&mut self, cap: &Capability) {
+        match cap.resource {
+            Resource::Memory(region) => {
+                self.effects.push(Effect::MapMem {
+                    domain: cap.owner,
+                    region,
+                    rights: cap.rights,
+                });
+            }
+            Resource::CpuCore(core) => {
+                self.effects.push(Effect::AddCore {
+                    domain: cap.owner,
+                    core,
+                });
+            }
+            Resource::Device(device) => {
+                self.effects.push(Effect::AttachDevice {
+                    device,
+                    domain: cap.owner,
+                });
+            }
+            Resource::Transition(_) => {}
+            Resource::Interrupt(vector) => {
+                self.effects.push(Effect::RouteIrq {
+                    vector,
+                    domain: cap.owner,
+                });
+            }
+        }
+    }
+
+    /// Emits the effects that remove `owner`'s access to `resource`.
+    fn emit_loss(&mut self, owner: DomainId, resource: Resource) {
+        match resource {
+            Resource::Memory(region) => {
+                self.effects.push(Effect::UnmapMem {
+                    domain: owner,
+                    region,
+                });
+            }
+            Resource::CpuCore(core) => {
+                self.effects.push(Effect::RemoveCore {
+                    domain: owner,
+                    core,
+                });
+            }
+            Resource::Device(device) => {
+                self.effects.push(Effect::DetachDevice { device });
+            }
+            Resource::Transition(_) => {}
+            Resource::Interrupt(vector) => {
+                self.effects.push(Effect::UnrouteIrq { vector });
+            }
+        }
+    }
+
+    /// Revokes the subtree rooted at `cap` (inclusive), post-order, with
+    /// clean-up effects. Iterative with an explicit stack; each node is
+    /// visited exactly once, so this terminates regardless of domain-level
+    /// sharing cycles.
+    fn revoke_subtree(&mut self, cap: CapId) {
+        // Collect the subtree in DFS order.
+        let mut order = Vec::new();
+        let mut stack = vec![cap];
+        while let Some(id) = stack.pop() {
+            if let Some(c) = self.caps.get(&id) {
+                order.push(id);
+                stack.extend(c.children.iter().copied());
+            }
+        }
+        // Revoke leaves-first so parents reactivate only after their
+        // granted children are gone.
+        for id in order.into_iter().rev() {
+            self.revoke_single(id);
+        }
+    }
+
+    /// Revokes one capability node (its children are already gone).
+    fn revoke_single(&mut self, id: CapId) {
+        let Some(c) = self.caps.remove(&id) else {
+            return;
+        };
+        self.created_at.remove(&id);
+        let owner_alive = self
+            .domains
+            .get(&c.owner)
+            .map(|d| d.is_alive())
+            .unwrap_or(false);
+        if c.active && owner_alive {
+            self.emit_loss(c.owner, c.resource);
+        }
+        // Clean-up contract.
+        if let Resource::Memory(region) = c.resource {
+            // Zero only when the revoked holder had exclusive data in the
+            // region (granted or carved-from-grant); zeroing a shared
+            // window would destroy the surviving holder's bytes.
+            if c.policy.zero_memory && c.kind == CapKind::Granted {
+                self.effects.push(Effect::ZeroMem { region });
+            }
+            if c.policy.flush_tlb && owner_alive {
+                self.effects.push(Effect::FlushTlb { domain: c.owner });
+            }
+        }
+        if c.policy.flush_cache && owner_alive {
+            self.effects.push(Effect::FlushCache { domain: c.owner });
+        }
+        // Detach parent linkage and reactivate a granter suspended by a
+        // grant, or a split parent whose pieces are all gone.
+        if let Some(pid) = c.parent {
+            if let Some(parent) = self.caps.get_mut(&pid) {
+                parent.children.retain(|&k| k != id);
+                let should_reactivate = match c.kind {
+                    CapKind::Granted => true,
+                    CapKind::Carved => parent.children.is_empty(),
+                    _ => false,
+                };
+                if should_reactivate && !parent.active {
+                    parent.active = true;
+                    let owner = parent.owner;
+                    let resource = parent.resource;
+                    let rights = parent.rights;
+                    let palive = self
+                        .domains
+                        .get(&owner)
+                        .map(|d| d.is_alive())
+                        .unwrap_or(false);
+                    if palive {
+                        match resource {
+                            Resource::Memory(region) => {
+                                self.effects.push(Effect::MapMem {
+                                    domain: owner,
+                                    region,
+                                    rights,
+                                });
+                            }
+                            Resource::CpuCore(core) => {
+                                self.effects.push(Effect::AddCore {
+                                    domain: owner,
+                                    core,
+                                });
+                            }
+                            Resource::Device(device) => {
+                                self.effects.push(Effect::AttachDevice {
+                                    device,
+                                    domain: owner,
+                                });
+                            }
+                            Resource::Transition(_) => {}
+                            Resource::Interrupt(vector) => {
+                                self.effects.push(Effect::RouteIrq {
+                                    vector,
+                                    domain: owner,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Computes the seal-time measurement: a hash over the canonical
+    /// encoding of the domain's configuration and recorded contents.
+    fn measure_config(&self, domain: DomainId, policy: SealPolicy) -> tyche_crypto::Digest {
+        let dom = self.domains.get(&domain).expect("caller checked");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"tyche-domain-v1");
+        bytes.extend_from_slice(&dom.entry.unwrap_or(0).to_le_bytes());
+        bytes.push(policy.encode());
+        let mut entries: Vec<(u8, u64, u64, u8, u8)> = self
+            .caps
+            .values()
+            .filter(|c| c.owner == domain && c.active)
+            .map(|c| {
+                let (a, b) = match c.resource {
+                    Resource::Memory(r) => (r.start, r.end),
+                    Resource::CpuCore(n) => (n as u64, 0),
+                    Resource::Device(d) => (d as u64, 0),
+                    Resource::Transition(t) => (t.0, 0),
+                    Resource::Interrupt(v) => (v as u64, 0),
+                };
+                let kind = match c.kind {
+                    CapKind::Root => 0u8,
+                    CapKind::Shared => 1,
+                    CapKind::Granted => 2,
+                    CapKind::Carved => 3,
+                };
+                (c.resource.type_tag(), a, b, c.rights.0, kind)
+            })
+            .collect();
+        entries.sort();
+        bytes.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for (tag, a, b, rights, kind) in entries {
+            bytes.push(tag);
+            bytes.extend_from_slice(&a.to_le_bytes());
+            bytes.extend_from_slice(&b.to_le_bytes());
+            bytes.push(rights);
+            bytes.push(kind);
+        }
+        let mut contents = dom.content_measurements.clone();
+        contents.sort();
+        bytes.extend_from_slice(&(contents.len() as u64).to_le_bytes());
+        for (s, e, d) in contents {
+            bytes.extend_from_slice(&s.to_le_bytes());
+            bytes.extend_from_slice(&e.to_le_bytes());
+            bytes.extend_from_slice(d.as_bytes());
+        }
+        tyche_crypto::hash(&bytes)
+    }
+}

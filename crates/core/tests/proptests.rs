@@ -1,0 +1,300 @@
+//! Property-based tests: random operation sequences must preserve every
+//! engine invariant, reference counts must agree with a naive model, and
+//! cascading revocation must always terminate and restore baseline state.
+
+use proptest::prelude::*;
+use tyche_core::audit::audit;
+use tyche_core::prelude::*;
+
+const RAM_END: u64 = 0x100_0000;
+
+/// An abstract operation the fuzzer can attempt. Indices are reduced
+/// modulo the live object counts, so every generated op is attemptable
+/// (though it may be validly refused).
+#[derive(Clone, Debug)]
+enum Op {
+    CreateDomain {
+        manager: usize,
+    },
+    Share {
+        actor: usize,
+        cap: usize,
+        target: usize,
+        sub: Option<(u64, u64)>,
+        rights: u8,
+    },
+    Grant {
+        actor: usize,
+        cap: usize,
+        target: usize,
+        rights: u8,
+    },
+    Split {
+        actor: usize,
+        cap: usize,
+        at: u64,
+    },
+    Revoke {
+        actor: usize,
+        cap: usize,
+    },
+    Seal {
+        domain: usize,
+        strict: bool,
+    },
+    Kill {
+        domain: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..8).prop_map(|manager| Op::CreateDomain { manager }),
+        (
+            0usize..8,
+            0usize..64,
+            0usize..8,
+            proptest::option::of((0u64..RAM_END, 1u64..0x10000)),
+            0u8..8
+        )
+            .prop_map(|(actor, cap, target, sub, rights)| Op::Share {
+                actor,
+                cap,
+                target,
+                sub,
+                rights
+            }),
+        (0usize..8, 0usize..64, 0usize..8, 0u8..8).prop_map(|(actor, cap, target, rights)| {
+            Op::Grant {
+                actor,
+                cap,
+                target,
+                rights,
+            }
+        }),
+        (0usize..8, 0usize..64, 0u64..RAM_END).prop_map(|(actor, cap, at)| Op::Split {
+            actor,
+            cap,
+            at
+        }),
+        (0usize..8, 0usize..64).prop_map(|(actor, cap)| Op::Revoke { actor, cap }),
+        (0usize..8, any::<bool>()).prop_map(|(domain, strict)| Op::Seal { domain, strict }),
+        (1usize..8).prop_map(|domain| Op::Kill { domain }),
+    ]
+}
+
+/// Applies an op, ignoring valid refusals (errors) — the property under
+/// test is that *whatever the engine accepts* keeps the state sound.
+fn apply(e: &mut CapEngine, op: &Op) {
+    let domains: Vec<DomainId> = e.domains().filter(|d| d.is_alive()).map(|d| d.id).collect();
+    if domains.is_empty() {
+        return;
+    }
+    let dom = |i: usize| domains[i % domains.len()];
+    let caps: Vec<CapId> = e.caps().map(|c| c.id).collect();
+    let cap = |i: usize| caps.get(i % caps.len().max(1)).copied();
+
+    match op {
+        Op::CreateDomain { manager } => {
+            let _ = e.create_domain(dom(*manager));
+        }
+        Op::Share {
+            actor,
+            cap: c,
+            target,
+            sub,
+            rights,
+        } => {
+            if let Some(c) = cap(*c) {
+                let sub = sub.map(|(s, l)| {
+                    let start = s.min(RAM_END - 1);
+                    let end = (start + l).min(RAM_END).max(start + 1);
+                    MemRegion::new(start, end)
+                });
+                let _ = e.share(
+                    dom(*actor),
+                    c,
+                    dom(*target),
+                    sub,
+                    Rights(*rights),
+                    RevocationPolicy::ZERO,
+                );
+            }
+        }
+        Op::Grant {
+            actor,
+            cap: c,
+            target,
+            rights,
+        } => {
+            if let Some(c) = cap(*c) {
+                let _ = e.grant(
+                    dom(*actor),
+                    c,
+                    dom(*target),
+                    None,
+                    Rights(*rights),
+                    RevocationPolicy::OBFUSCATE,
+                );
+            }
+        }
+        Op::Split { actor, cap: c, at } => {
+            if let Some(c) = cap(*c) {
+                let _ = e.split(dom(*actor), c, *at);
+            }
+        }
+        Op::Revoke { actor, cap: c } => {
+            if let Some(c) = cap(*c) {
+                let _ = e.revoke(dom(*actor), c);
+            }
+        }
+        Op::Seal { domain, strict } => {
+            let d = dom(*domain);
+            let manager = e.domain(d).and_then(|x| x.manager).unwrap_or(d);
+            let _ = e.set_entry(manager, d, 0x1000);
+            let policy = if *strict {
+                SealPolicy::strict()
+            } else {
+                SealPolicy::nestable()
+            };
+            let _ = e.seal(manager, d, policy);
+        }
+        Op::Kill { domain } => {
+            let d = dom(*domain);
+            if Some(d) != e.root() {
+                if let Some(m) = e.domain(d).and_then(|x| x.manager) {
+                    let _ = e.kill(m, d);
+                }
+            }
+        }
+    }
+}
+
+fn booted() -> (CapEngine, DomainId) {
+    let mut e = CapEngine::new();
+    let os = e.create_root_domain();
+    e.endow(os, Resource::mem(0, RAM_END), Rights::RWX).unwrap();
+    for core in 0..4 {
+        e.endow(os, Resource::CpuCore(core), Rights::USE).unwrap();
+    }
+    (e, os)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Invariants hold after every prefix of any operation sequence.
+    #[test]
+    fn invariants_hold_under_random_ops(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let (mut e, _os) = booted();
+        for op in &ops {
+            apply(&mut e, op);
+            let violations = audit(&e);
+            prop_assert!(violations.is_empty(), "after {:?}: {:?}", op, violations);
+        }
+    }
+
+    /// Whatever happened, the root domain can always reclaim all memory:
+    /// revoking every child of its root endowments restores refcount 1
+    /// everywhere the root has coverage.
+    #[test]
+    fn root_can_always_reclaim(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let (mut e, os) = booted();
+        for op in &ops {
+            apply(&mut e, op);
+        }
+        // Revoke every capability derived from root endowments.
+        let root_caps: Vec<CapId> = e
+            .caps_of(os)
+            .iter()
+            .filter(|c| c.parent.is_none() && c.is_memory())
+            .map(|c| c.id)
+            .collect();
+        for rc in root_caps {
+            let children: Vec<CapId> =
+                e.cap(rc).map(|c| c.children.clone()).unwrap_or_default();
+            for ch in children {
+                if e.cap(ch).is_some() {
+                    e.revoke(os, ch).unwrap();
+                }
+            }
+        }
+        // After reclaiming, no non-root domain retains any memory access.
+        // (The root may have released endowments entirely, so coverage can
+        // be less than full RAM — what matters is who holds what remains.)
+        for (owner, region) in e.active_mem_coverage() {
+            prop_assert_eq!(owner, os, "domain {} still covers {:?}", owner, region);
+        }
+        let rc = e.refcount_mem_full(MemRegion::new(0, RAM_END));
+        prop_assert!(rc.max <= 1, "root reclaim left refcount {:?}", rc);
+        prop_assert!(audit(&e).is_empty());
+    }
+
+    /// Reference counts computed by the engine match a naive per-byte
+    /// model sampled at random addresses.
+    #[test]
+    fn refcount_matches_naive_model(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        samples in proptest::collection::vec(0u64..RAM_END, 8)
+    ) {
+        let (mut e, _os) = booted();
+        for op in &ops {
+            apply(&mut e, op);
+        }
+        let coverage = e.active_mem_coverage();
+        for addr in samples {
+            let engine_count = e.refcount_mem(MemRegion::new(addr, addr + 1));
+            let mut owners: Vec<DomainId> = coverage
+                .iter()
+                .filter(|(_, r)| r.contains_addr(addr))
+                .map(|(d, _)| *d)
+                .collect();
+            owners.sort();
+            owners.dedup();
+            prop_assert_eq!(engine_count, owners.len(), "at {:#x}", addr);
+        }
+    }
+
+    /// Splitting preserves coverage exactly.
+    #[test]
+    fn split_preserves_coverage(splits in proptest::collection::vec(1u64..RAM_END, 1..20)) {
+        let (mut e, os) = booted();
+        for at in splits {
+            // Find an active cap containing `at` strictly inside.
+            let candidate = e
+                .caps_of(os)
+                .iter()
+                .find(|c| {
+                    c.active
+                        && c.resource
+                            .as_mem()
+                            .map(|r| r.start < at && at < r.end)
+                            .unwrap_or(false)
+                })
+                .map(|c| c.id);
+            if let Some(c) = candidate {
+                e.split(os, c, at).unwrap();
+            }
+        }
+        let rc = e.refcount_mem_full(MemRegion::new(0, RAM_END));
+        prop_assert!(rc.is_exclusive(), "splits changed coverage: {rc:?}");
+        prop_assert!(audit(&e).is_empty());
+    }
+
+    /// Rights never escalate along any lineage path.
+    #[test]
+    fn rights_monotone_along_lineage(ops in proptest::collection::vec(op_strategy(), 1..50)) {
+        let (mut e, _os) = booted();
+        for op in &ops {
+            apply(&mut e, op);
+        }
+        for cap in e.caps() {
+            let mut cur = cap.parent;
+            while let Some(p) = cur {
+                let parent = e.cap(p).unwrap();
+                prop_assert!(cap.rights.subset_of(&parent.rights));
+                cur = parent.parent;
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Constant-time byte comparison.
+//!
+//! Every MAC and measurement verification in the attestation path goes
+//! through [`eq`] so that the comparison itself does not leak where the first
+//! differing byte is. In a simulation this is belt-and-braces, but the real
+//! Tyche monitor must compare secrets this way, so the reproduction keeps the
+//! same discipline.
+
+/// Compares two byte slices in constant time (for equal lengths).
+///
+/// Returns `false` immediately when lengths differ — lengths of MACs and
+/// digests are public.
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Constant-time conditional select: returns `a` when `choice` is true.
+///
+/// `choice` must be exactly 0 or 1 in spirit; the implementation masks with
+/// a full byte so any `bool` works.
+pub fn select(choice: bool, a: u8, b: u8) -> u8 {
+    let mask = (choice as u8).wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(eq(b"", b""));
+        assert!(eq(b"abc", b"abc"));
+        assert!(eq(&[0u8; 32], &[0u8; 32]));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!eq(b"abc", b"abd"));
+        assert!(!eq(b"abc", b"ab"));
+        assert!(!eq(b"", b"a"));
+        let mut a = [7u8; 32];
+        let b = [7u8; 32];
+        a[31] ^= 0x80;
+        assert!(!eq(&a, &b));
+    }
+
+    #[test]
+    fn select_behaves() {
+        assert_eq!(select(true, 0xaa, 0x55), 0xaa);
+        assert_eq!(select(false, 0xaa, 0x55), 0x55);
+    }
+}

@@ -1,0 +1,118 @@
+//! HKDF with SHA-256 (RFC 5869).
+//!
+//! The simulated platform holds a single device root secret (the analogue of
+//! a TPM endorsement seed); all per-purpose keys — monitor attestation key,
+//! per-domain sealing keys — are derived from it through HKDF so that key
+//! separation is explicit and auditable.
+
+use crate::hmac::HmacSha256;
+use crate::sha256::Digest;
+
+/// HKDF-Extract: derives a pseudo-random key from input keying material.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> Digest {
+    HmacSha256::mac(salt, ikm)
+}
+
+/// HKDF-Expand: expands `prk` into `len` bytes of output keying material.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32`, the RFC 5869 limit.
+pub fn expand(prk: &Digest, info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * 32, "HKDF-Expand output too long");
+    let mut okm = Vec::with_capacity(len);
+    let mut prev: Option<Digest> = None;
+    let mut counter = 1u8;
+    while okm.len() < len {
+        let mut mac = HmacSha256::new(prk.as_bytes());
+        if let Some(p) = &prev {
+            mac.update(p.as_bytes());
+        }
+        mac.update(info);
+        mac.update(&[counter]);
+        let block = mac.finalize();
+        let take = (len - okm.len()).min(32);
+        okm.extend_from_slice(&block.as_bytes()[..take]);
+        prev = Some(block);
+        counter = counter.wrapping_add(1);
+    }
+    okm
+}
+
+/// One-shot extract-then-expand.
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, len)
+}
+
+/// Derives a fixed 32-byte key, the common case for this reproduction.
+pub fn derive_key32(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; 32] {
+    let okm = derive(salt, ikm, info, 32);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&okm);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 5869 Test Case 1.
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0b; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            prk.to_hex(),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 Test Case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case_3() {
+        let ikm = [0x0b; 22];
+        let okm = derive(&[], &ikm, &[], 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn different_info_different_keys() {
+        let a = derive_key32(b"salt", b"root", b"attestation");
+        let b = derive_key32(b"salt", b"root", b"sealing");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn expand_multi_block_lengths() {
+        let prk = extract(b"s", b"ikm");
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            assert_eq!(expand(&prk, b"i", len).len(), len);
+        }
+        // Prefix property: a shorter expansion is a prefix of a longer one.
+        let long = expand(&prk, b"i", 100);
+        let short = expand(&prk, b"i", 40);
+        assert_eq!(&long[..40], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too long")]
+    fn expand_rejects_oversize() {
+        let prk = extract(b"s", b"ikm");
+        expand(&prk, b"i", 255 * 32 + 1);
+    }
+}

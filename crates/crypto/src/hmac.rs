@@ -1,0 +1,145 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//!
+//! HMAC is the authentication primitive behind attestation reports in this
+//! reproduction (see `DESIGN.md`: MACs substitute for the asymmetric
+//! signatures a production TPM would produce).
+
+use crate::sha256::{Digest, Sha256};
+
+/// Incremental HMAC-SHA256.
+///
+/// # Examples
+///
+/// ```
+/// use tyche_crypto::HmacSha256;
+/// let mut mac = HmacSha256::new(&[0x0b; 20]);
+/// mac.update(b"Hi There");
+/// assert_eq!(
+///     mac.finalize().to_hex(),
+///     "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+/// );
+/// ```
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Outer-pad key block, applied at finalization.
+    opad_key: [u8; 64],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        // Keys longer than the block size are hashed first (RFC 2104 §2).
+        let mut key_block = [0u8; 64];
+        if key.len() > 64 {
+            let d = crate::hash(key);
+            key_block[..32].copy_from_slice(d.as_bytes());
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; 64];
+        let mut opad = [0u8; 64];
+        for i in 0..64 {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes the MAC computation.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+
+    /// One-shot HMAC over a single message.
+    pub fn mac(key: &[u8], data: &[u8]) -> Digest {
+        let mut h = Self::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Verifies `tag` against the MAC of `data` in constant time.
+    pub fn verify(key: &[u8], data: &[u8], tag: &Digest) -> bool {
+        let expected = Self::mac(key, data);
+        crate::ct::eq(expected.as_bytes(), tag.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let tag = HmacSha256::mac(&[0x0b; 20], b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let tag = HmacSha256::mac(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(
+            tag.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        // 131-byte key exercises the hash-the-key path.
+        let tag = HmacSha256::mac(
+            &[0xaa; 131],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            tag.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = HmacSha256::mac(b"key", b"msg");
+        assert!(HmacSha256::verify(b"key", b"msg", &tag));
+        assert!(!HmacSha256::verify(b"key", b"msg2", &tag));
+        assert!(!HmacSha256::verify(b"key2", b"msg", &tag));
+        let mut bad = tag;
+        bad.0[0] ^= 1;
+        assert!(!HmacSha256::verify(b"key", b"msg", &bad));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut m = HmacSha256::new(b"k");
+        m.update(b"hello ");
+        m.update(b"world");
+        assert_eq!(m.finalize(), HmacSha256::mac(b"k", b"hello world"));
+    }
+}

@@ -1,0 +1,408 @@
+//! A minimal ELF64 object model with byte-exact serialization.
+//!
+//! Only what a domain loader needs is modeled: the ELF header, program
+//! headers of type `PT_LOAD`, and the segment bytes. The writer produces a
+//! valid little-endian ELF64 executable layout (magic, class, version,
+//! machine) and the parser accepts exactly what the writer produces plus
+//! any conforming ELF with `PT_LOAD` segments — each parsed field is
+//! validated so corrupt images fail loudly, never silently.
+
+/// ELF constants used by the reader/writer.
+mod consts {
+    pub const MAGIC: [u8; 4] = [0x7f, b'E', b'L', b'F'];
+    pub const CLASS64: u8 = 2;
+    pub const DATA_LE: u8 = 1;
+    pub const VERSION: u8 = 1;
+    pub const ET_EXEC: u16 = 2;
+    pub const EM_X86_64: u16 = 0x3e;
+    pub const EM_RISCV: u16 = 0xf3;
+    pub const PT_LOAD: u32 = 1;
+    pub const EHDR_SIZE: u64 = 64;
+    pub const PHDR_SIZE: u64 = 56;
+}
+
+/// Segment permission flags (ELF `p_flags`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct SegmentFlags(pub u32);
+
+impl SegmentFlags {
+    /// Executable (PF_X).
+    pub const X: u32 = 1;
+    /// Writable (PF_W).
+    pub const W: u32 = 2;
+    /// Readable (PF_R).
+    pub const R: u32 = 4;
+
+    /// Read-only data.
+    pub const RO: SegmentFlags = SegmentFlags(Self::R);
+    /// Read-write data.
+    pub const RW: SegmentFlags = SegmentFlags(Self::R | Self::W);
+    /// Text (read-execute).
+    pub const RX: SegmentFlags = SegmentFlags(Self::R | Self::X);
+
+    /// True when readable.
+    pub fn readable(self) -> bool {
+        self.0 & Self::R != 0
+    }
+
+    /// True when writable.
+    pub fn writable(self) -> bool {
+        self.0 & Self::W != 0
+    }
+
+    /// True when executable.
+    pub fn executable(self) -> bool {
+        self.0 & Self::X != 0
+    }
+}
+
+/// One loadable segment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Segment {
+    /// Load address (the domain names physical memory, so this is a
+    /// physical address in the reproduction).
+    pub vaddr: u64,
+    /// In-memory size; may exceed `data.len()` (BSS tail is zero-filled).
+    pub memsz: u64,
+    /// Permissions.
+    pub flags: SegmentFlags,
+    /// Initialized bytes.
+    pub data: Vec<u8>,
+}
+
+impl Segment {
+    /// Creates a segment whose memory size equals its data length.
+    pub fn new(vaddr: u64, flags: SegmentFlags, data: Vec<u8>) -> Self {
+        let memsz = data.len() as u64;
+        Segment {
+            vaddr,
+            memsz,
+            flags,
+            data,
+        }
+    }
+
+    /// The end address of the segment in memory.
+    pub fn end(&self) -> u64 {
+        self.vaddr + self.memsz
+    }
+}
+
+/// Target machine of an image.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ElfMachine {
+    /// x86_64.
+    X86_64,
+    /// RISC-V.
+    RiscV,
+}
+
+/// Errors from parsing an ELF image.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ElfError {
+    /// The file is shorter than a structure it claims to contain.
+    Truncated,
+    /// Bad magic bytes.
+    BadMagic,
+    /// Not 64-bit little-endian version 1.
+    UnsupportedFormat,
+    /// Unknown machine type.
+    UnsupportedMachine(u16),
+    /// A program header's file range is out of bounds or overflows.
+    BadSegmentBounds,
+    /// `p_memsz < p_filesz`, which no valid loader accepts.
+    MemSmallerThanFile,
+}
+
+impl core::fmt::Display for ElfError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ElfError::Truncated => f.write_str("ELF file truncated"),
+            ElfError::BadMagic => f.write_str("not an ELF file"),
+            ElfError::UnsupportedFormat => f.write_str("only ELF64 little-endian supported"),
+            ElfError::UnsupportedMachine(m) => write!(f, "unsupported machine {m:#x}"),
+            ElfError::BadSegmentBounds => f.write_str("segment bounds invalid"),
+            ElfError::MemSmallerThanFile => f.write_str("p_memsz smaller than p_filesz"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}
+
+/// An ELF64 image: entry point, machine, loadable segments.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ElfImage {
+    /// Entry point address.
+    pub entry: u64,
+    /// Target machine.
+    pub machine: ElfMachine,
+    /// Loadable segments in file order.
+    pub segments: Vec<Segment>,
+}
+
+impl ElfImage {
+    /// Creates an empty image.
+    pub fn new(entry: u64, machine: ElfMachine) -> Self {
+        ElfImage {
+            entry,
+            machine,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Adds a segment (builder style).
+    pub fn with_segment(mut self, seg: Segment) -> Self {
+        self.segments.push(seg);
+        self
+    }
+
+    /// Serializes to ELF64 bytes: header, program headers, then segment
+    /// data, 8-byte aligned.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use consts::*;
+        let phnum = self.segments.len() as u64;
+        let mut offsets = Vec::with_capacity(self.segments.len());
+        let mut cursor = EHDR_SIZE + PHDR_SIZE * phnum;
+        for seg in &self.segments {
+            cursor = (cursor + 7) & !7;
+            offsets.push(cursor);
+            cursor += seg.data.len() as u64;
+        }
+        let mut out = Vec::with_capacity(cursor as usize);
+        // ELF header.
+        out.extend_from_slice(&MAGIC);
+        out.push(CLASS64);
+        out.push(DATA_LE);
+        out.push(VERSION);
+        out.extend_from_slice(&[0u8; 9]); // OSABI + padding
+        out.extend_from_slice(&ET_EXEC.to_le_bytes());
+        let machine = match self.machine {
+            ElfMachine::X86_64 => EM_X86_64,
+            ElfMachine::RiscV => EM_RISCV,
+        };
+        out.extend_from_slice(&machine.to_le_bytes());
+        out.extend_from_slice(&1u32.to_le_bytes()); // e_version
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&EHDR_SIZE.to_le_bytes()); // e_phoff
+        out.extend_from_slice(&0u64.to_le_bytes()); // e_shoff
+        out.extend_from_slice(&0u32.to_le_bytes()); // e_flags
+        out.extend_from_slice(&(EHDR_SIZE as u16).to_le_bytes()); // e_ehsize
+        out.extend_from_slice(&(PHDR_SIZE as u16).to_le_bytes()); // e_phentsize
+        out.extend_from_slice(&(phnum as u16).to_le_bytes()); // e_phnum
+        out.extend_from_slice(&[0u8; 6]); // shentsize/shnum/shstrndx
+        debug_assert_eq!(out.len() as u64, EHDR_SIZE);
+        // Program headers.
+        for (seg, off) in self.segments.iter().zip(&offsets) {
+            out.extend_from_slice(&PT_LOAD.to_le_bytes());
+            out.extend_from_slice(&seg.flags.0.to_le_bytes());
+            out.extend_from_slice(&off.to_le_bytes()); // p_offset
+            out.extend_from_slice(&seg.vaddr.to_le_bytes()); // p_vaddr
+            out.extend_from_slice(&seg.vaddr.to_le_bytes()); // p_paddr
+            out.extend_from_slice(&(seg.data.len() as u64).to_le_bytes()); // p_filesz
+            out.extend_from_slice(&seg.memsz.to_le_bytes()); // p_memsz
+            out.extend_from_slice(&4096u64.to_le_bytes()); // p_align
+        }
+        // Segment data.
+        for (seg, off) in self.segments.iter().zip(&offsets) {
+            while (out.len() as u64) < *off {
+                out.push(0);
+            }
+            out.extend_from_slice(&seg.data);
+        }
+        out
+    }
+
+    /// Parses an ELF64 image.
+    pub fn parse(bytes: &[u8]) -> Result<ElfImage, ElfError> {
+        use consts::*;
+        let read_u16 = |off: usize| -> Result<u16, ElfError> {
+            bytes
+                .get(off..off + 2)
+                .map(|b| u16::from_le_bytes([b[0], b[1]]))
+                .ok_or(ElfError::Truncated)
+        };
+        let read_u32 = |off: usize| -> Result<u32, ElfError> {
+            bytes
+                .get(off..off + 4)
+                .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .ok_or(ElfError::Truncated)
+        };
+        let read_u64 = |off: usize| -> Result<u64, ElfError> {
+            bytes
+                .get(off..off + 8)
+                .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+                .ok_or(ElfError::Truncated)
+        };
+        if bytes.len() < EHDR_SIZE as usize {
+            return Err(ElfError::Truncated);
+        }
+        if bytes[..4] != MAGIC {
+            return Err(ElfError::BadMagic);
+        }
+        if bytes[4] != CLASS64 || bytes[5] != DATA_LE || bytes[6] != VERSION {
+            return Err(ElfError::UnsupportedFormat);
+        }
+        let machine = match read_u16(18)? {
+            EM_X86_64 => ElfMachine::X86_64,
+            EM_RISCV => ElfMachine::RiscV,
+            other => return Err(ElfError::UnsupportedMachine(other)),
+        };
+        let entry = read_u64(24)?;
+        let phoff = read_u64(32)?;
+        let phentsize = read_u16(54)? as u64;
+        let phnum = read_u16(56)? as u64;
+        if phentsize < PHDR_SIZE {
+            return Err(ElfError::UnsupportedFormat);
+        }
+        let mut segments = Vec::new();
+        for i in 0..phnum {
+            let base = phoff
+                .checked_add(i.checked_mul(phentsize).ok_or(ElfError::BadSegmentBounds)?)
+                .ok_or(ElfError::BadSegmentBounds)? as usize;
+            let p_type = read_u32(base)?;
+            if p_type != PT_LOAD {
+                continue;
+            }
+            let flags = SegmentFlags(read_u32(base + 4)?);
+            let offset = read_u64(base + 8)?;
+            let vaddr = read_u64(base + 16)?;
+            let filesz = read_u64(base + 32)?;
+            let memsz = read_u64(base + 40)?;
+            if memsz < filesz {
+                return Err(ElfError::MemSmallerThanFile);
+            }
+            if vaddr.checked_add(memsz).is_none() {
+                return Err(ElfError::BadSegmentBounds);
+            }
+            let start = offset as usize;
+            let end = offset
+                .checked_add(filesz)
+                .ok_or(ElfError::BadSegmentBounds)? as usize;
+            let data = bytes
+                .get(start..end)
+                .ok_or(ElfError::BadSegmentBounds)?
+                .to_vec();
+            segments.push(Segment {
+                vaddr,
+                memsz,
+                flags,
+                data,
+            });
+        }
+        Ok(ElfImage {
+            entry,
+            machine,
+            segments,
+        })
+    }
+
+    /// Total in-memory footprint (max end − min start), 0 when empty.
+    pub fn footprint(&self) -> u64 {
+        let lo = self.segments.iter().map(|s| s.vaddr).min().unwrap_or(0);
+        let hi = self.segments.iter().map(|s| s.end()).max().unwrap_or(0);
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ElfImage {
+        ElfImage::new(0x40_1000, ElfMachine::X86_64)
+            .with_segment(Segment::new(
+                0x40_1000,
+                SegmentFlags::RX,
+                b"\x90\x90\xc3".to_vec(),
+            ))
+            .with_segment(Segment::new(0x40_2000, SegmentFlags::RW, vec![1, 2, 3, 4]))
+            .with_segment(Segment {
+                vaddr: 0x40_3000,
+                memsz: 0x2000,
+                flags: SegmentFlags::RW,
+                data: vec![7, 7],
+            })
+    }
+
+    #[test]
+    fn roundtrip() {
+        let img = sample();
+        let bytes = img.to_bytes();
+        let parsed = ElfImage::parse(&bytes).unwrap();
+        assert_eq!(parsed, img);
+    }
+
+    #[test]
+    fn magic_and_layout() {
+        let bytes = sample().to_bytes();
+        assert_eq!(&bytes[..4], &[0x7f, b'E', b'L', b'F']);
+        assert_eq!(bytes[4], 2, "ELF64");
+        assert_eq!(bytes[5], 1, "little-endian");
+        assert_eq!(u16::from_le_bytes([bytes[16], bytes[17]]), 2, "ET_EXEC");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(ElfImage::parse(b"not an elf"), Err(ElfError::Truncated));
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 0x7e;
+        assert_eq!(ElfImage::parse(&bytes), Err(ElfError::BadMagic));
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 1; // ELF32
+        assert_eq!(ElfImage::parse(&bytes), Err(ElfError::UnsupportedFormat));
+        let mut bytes = sample().to_bytes();
+        bytes[18] = 0x08; // MIPS
+        assert!(matches!(
+            ElfImage::parse(&bytes),
+            Err(ElfError::UnsupportedMachine(8))
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_bad_bounds() {
+        let mut bytes = sample().to_bytes();
+        // Corrupt the first phdr's p_offset to point past EOF.
+        let phoff = 64usize;
+        bytes[phoff + 8..phoff + 16].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        assert_eq!(ElfImage::parse(&bytes), Err(ElfError::BadSegmentBounds));
+    }
+
+    #[test]
+    fn parse_rejects_memsz_lt_filesz() {
+        let mut bytes = sample().to_bytes();
+        let phoff = 64usize;
+        bytes[phoff + 40..phoff + 48].copy_from_slice(&1u64.to_le_bytes());
+        assert_eq!(ElfImage::parse(&bytes), Err(ElfError::MemSmallerThanFile));
+    }
+
+    #[test]
+    fn bss_memsz_preserved() {
+        let img = sample();
+        let parsed = ElfImage::parse(&img.to_bytes()).unwrap();
+        assert_eq!(parsed.segments[2].memsz, 0x2000);
+        assert_eq!(parsed.segments[2].data, vec![7, 7]);
+    }
+
+    #[test]
+    fn footprint() {
+        assert_eq!(sample().footprint(), 0x40_5000 - 0x40_1000);
+        assert_eq!(ElfImage::new(0, ElfMachine::RiscV).footprint(), 0);
+    }
+
+    #[test]
+    fn riscv_machine_roundtrip() {
+        let img = ElfImage::new(0x8000_0000, ElfMachine::RiscV).with_segment(Segment::new(
+            0x8000_0000,
+            SegmentFlags::RX,
+            vec![0x13],
+        ));
+        let parsed = ElfImage::parse(&img.to_bytes()).unwrap();
+        assert_eq!(parsed.machine, ElfMachine::RiscV);
+    }
+
+    #[test]
+    fn empty_image_roundtrip() {
+        let img = ElfImage::new(0, ElfMachine::X86_64);
+        assert_eq!(ElfImage::parse(&img.to_bytes()).unwrap(), img);
+    }
+}

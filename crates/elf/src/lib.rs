@@ -1,0 +1,28 @@
+//! ELF64 images and the libtyche manifest (§4.2 of the paper).
+//!
+//! libtyche "loads an ELF binary as a domain using a manifest that
+//! describes which segments should run in which privilege ring, whether
+//! they are shared or confidential, and if their content is part of the
+//! attestation", and "supports generating a binary's hash offline to be
+//! compared with the attestation provided by Tyche".
+//!
+//! This crate provides both halves, implemented from scratch:
+//!
+//! - [`image`]: a minimal ELF64 object model with a byte-exact writer and
+//!   parser (just what a loader needs: header + program headers + segment
+//!   bytes);
+//! - [`manifest`]: the per-segment policy manifest;
+//! - [`measure`]: the offline measurement — the same digest the monitor
+//!   computes when the image is loaded, computable by a verifier who has
+//!   only the ELF file and the manifest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod manifest;
+pub mod measure;
+
+pub use image::{ElfError, ElfImage, Segment, SegmentFlags};
+pub use manifest::{Manifest, Ring, SegmentPolicy, Visibility};
+pub use measure::offline_measurement;

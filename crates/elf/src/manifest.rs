@@ -1,0 +1,207 @@
+//! The libtyche manifest: per-segment isolation policy (§4.2).
+//!
+//! "The library loads an ELF binary as a domain using a manifest that
+//! describes which segments should run in which privilege ring, whether
+//! they are shared or confidential, and if their content is part of the
+//! attestation or not."
+
+use serde::{Deserialize, Serialize};
+
+/// The privilege ring a segment's code runs in inside its domain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize, Hash)]
+pub enum Ring {
+    /// Kernel/supervisor ring.
+    Ring0,
+    /// User ring.
+    Ring3,
+}
+
+/// Whether a segment is confidential to the domain or shared with its
+/// creator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize, Hash)]
+pub enum Visibility {
+    /// Exclusively owned: granted, refcount 1, zeroed on revocation.
+    Confidential,
+    /// Shared with the loading domain (a communication window).
+    Shared,
+}
+
+/// Policy for one ELF segment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SegmentPolicy {
+    /// Index into the ELF image's segment table.
+    pub segment: usize,
+    /// Ring the segment's code runs in.
+    pub ring: Ring,
+    /// Confidential or shared with the creator.
+    pub visibility: Visibility,
+    /// Whether the segment's initial content is measured into the
+    /// domain's attestation.
+    pub measured: bool,
+}
+
+/// A whole-binary manifest.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Per-segment policies, one per ELF segment (by index).
+    pub segments: Vec<SegmentPolicy>,
+}
+
+impl Manifest {
+    /// A sensible default for an enclave: every segment confidential and
+    /// measured, code in ring 3.
+    pub fn enclave_default(segment_count: usize) -> Manifest {
+        Manifest {
+            segments: (0..segment_count)
+                .map(|segment| SegmentPolicy {
+                    segment,
+                    ring: Ring::Ring3,
+                    visibility: Visibility::Confidential,
+                    measured: true,
+                })
+                .collect(),
+        }
+    }
+
+    /// A sandbox default: confidential, unmeasured (sandboxes bound a
+    /// blast radius; they do not need attestation), ring 3.
+    pub fn sandbox_default(segment_count: usize) -> Manifest {
+        Manifest {
+            segments: (0..segment_count)
+                .map(|segment| SegmentPolicy {
+                    segment,
+                    ring: Ring::Ring3,
+                    visibility: Visibility::Confidential,
+                    measured: false,
+                })
+                .collect(),
+        }
+    }
+
+    /// Marks segment `idx` shared (a communication window with the
+    /// creator).
+    pub fn share_segment(mut self, idx: usize) -> Manifest {
+        if let Some(p) = self.segments.iter_mut().find(|p| p.segment == idx) {
+            p.visibility = Visibility::Shared;
+            p.measured = false; // shared windows hold runtime data
+        }
+        self
+    }
+
+    /// Policy for segment `idx`, if present.
+    pub fn policy(&self, idx: usize) -> Option<&SegmentPolicy> {
+        self.segments.iter().find(|p| p.segment == idx)
+    }
+
+    /// Validates the manifest against an image's segment count: every
+    /// policy must reference an existing segment and no segment may have
+    /// two policies.
+    pub fn validate(&self, segment_count: usize) -> Result<(), String> {
+        let mut seen = vec![false; segment_count];
+        for p in &self.segments {
+            if p.segment >= segment_count {
+                return Err(format!("policy references missing segment {}", p.segment));
+            }
+            if seen[p.segment] {
+                return Err(format!("duplicate policy for segment {}", p.segment));
+            }
+            seen[p.segment] = true;
+            if p.visibility == Visibility::Shared && p.measured {
+                return Err(format!(
+                    "segment {} is shared and measured; shared windows hold runtime data and cannot have a stable measurement",
+                    p.segment
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical bytes for measurement (order-independent: sorted by
+    /// segment index).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut policies = self.segments.clone();
+        policies.sort_by_key(|p| p.segment);
+        let mut out = Vec::with_capacity(8 + policies.len() * 8);
+        out.extend_from_slice(b"tyche-manifest-v1");
+        out.extend_from_slice(&(policies.len() as u64).to_le_bytes());
+        for p in policies {
+            out.extend_from_slice(&(p.segment as u64).to_le_bytes());
+            out.push(match p.ring {
+                Ring::Ring0 => 0,
+                Ring::Ring3 => 3,
+            });
+            out.push(match p.visibility {
+                Visibility::Confidential => 0,
+                Visibility::Shared => 1,
+            });
+            out.push(p.measured as u8);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let m = Manifest::enclave_default(3);
+        assert_eq!(m.segments.len(), 3);
+        assert!(m.segments.iter().all(|p| p.measured));
+        assert!(m
+            .segments
+            .iter()
+            .all(|p| p.visibility == Visibility::Confidential));
+        let s = Manifest::sandbox_default(2);
+        assert!(s.segments.iter().all(|p| !p.measured));
+    }
+
+    #[test]
+    fn share_segment_unmeasures() {
+        let m = Manifest::enclave_default(3).share_segment(1);
+        assert_eq!(m.policy(1).unwrap().visibility, Visibility::Shared);
+        assert!(!m.policy(1).unwrap().measured);
+        assert!(m.policy(0).unwrap().measured);
+        assert!(m.validate(3).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_manifests() {
+        let m = Manifest::enclave_default(3);
+        assert!(
+            m.validate(2).is_err(),
+            "policy references segment 2 of 2-segment image"
+        );
+        let mut dup = Manifest::enclave_default(2);
+        dup.segments.push(dup.segments[0]);
+        assert!(dup.validate(2).is_err(), "duplicate policy");
+        let mut shared_measured = Manifest::enclave_default(1);
+        shared_measured.segments[0].visibility = Visibility::Shared;
+        assert!(
+            shared_measured.validate(1).is_err(),
+            "shared+measured contradiction"
+        );
+    }
+
+    #[test]
+    fn canonical_bytes_order_independent() {
+        let a = Manifest::enclave_default(3);
+        let mut b = a.clone();
+        b.segments.reverse();
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        // And policy changes change the bytes.
+        let c = a.clone().share_segment(0);
+        assert_ne!(a.canonical_bytes(), c.canonical_bytes());
+    }
+
+    #[test]
+    fn serde_derives_compile() {
+        // The manifest ships next to binaries; Serialize/Deserialize must
+        // exist. Asserting the trait bounds at compile time is enough —
+        // no JSON library is a dependency of this crate.
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<Manifest>();
+        assert_serde::<SegmentPolicy>();
+    }
+}

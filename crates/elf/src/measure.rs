@@ -1,0 +1,139 @@
+//! Offline measurement (§4.2): "the library further supports generating a
+//! binary's hash offline to be compared with the attestation provided by
+//! Tyche".
+//!
+//! The function here computes, from only the ELF file and its manifest,
+//! the same digest the monitor produces when libtyche loads the binary:
+//! the hash of the manifest's canonical bytes followed by each *measured*
+//! segment's index, load address, and padded contents. A remote verifier
+//! runs this over the source binary and compares against the attestation
+//! report — no access to the running machine required.
+
+use crate::image::ElfImage;
+use crate::manifest::Manifest;
+use tyche_crypto::{Digest, Sha256};
+
+/// Pads segment data to its in-memory size (the loader zero-fills BSS, so
+/// the measured bytes are the loaded bytes).
+fn padded(data: &[u8], memsz: u64) -> Vec<u8> {
+    let mut v = data.to_vec();
+    v.resize(memsz as usize, 0);
+    v
+}
+
+/// Computes the offline measurement of `(image, manifest)`.
+///
+/// # Panics
+///
+/// Panics if the manifest fails validation against the image — measuring
+/// an inconsistent pair would produce a digest no loader can reproduce.
+pub fn offline_measurement(image: &ElfImage, manifest: &Manifest) -> Digest {
+    manifest
+        .validate(image.segments.len())
+        .expect("manifest must validate against the image");
+    let mut h = Sha256::new();
+    h.update(b"tyche-offline-v1");
+    h.update(&manifest.canonical_bytes());
+    h.update(&image.entry.to_le_bytes());
+    for (idx, seg) in image.segments.iter().enumerate() {
+        let Some(policy) = manifest.policy(idx) else {
+            continue;
+        };
+        if !policy.measured {
+            continue;
+        }
+        h.update(&(idx as u64).to_le_bytes());
+        h.update(&seg.vaddr.to_le_bytes());
+        h.update(&seg.memsz.to_le_bytes());
+        h.update(&padded(&seg.data, seg.memsz));
+    }
+    h.finalize()
+}
+
+/// Per-segment content digests (what the monitor records via
+/// `RecordContent` for each measured segment): `(index, digest of padded
+/// bytes)`.
+pub fn segment_digests(image: &ElfImage, manifest: &Manifest) -> Vec<(usize, Digest)> {
+    image
+        .segments
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| manifest.policy(*idx).map(|p| p.measured).unwrap_or(false))
+        .map(|(idx, seg)| (idx, tyche_crypto::hash(&padded(&seg.data, seg.memsz))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{ElfMachine, Segment, SegmentFlags};
+
+    fn image() -> ElfImage {
+        ElfImage::new(0x1000, ElfMachine::X86_64)
+            .with_segment(Segment::new(0x1000, SegmentFlags::RX, b"code".to_vec()))
+            .with_segment(Segment::new(0x2000, SegmentFlags::RW, b"data".to_vec()))
+    }
+
+    #[test]
+    fn deterministic() {
+        let img = image();
+        let m = Manifest::enclave_default(2);
+        assert_eq!(offline_measurement(&img, &m), offline_measurement(&img, &m));
+    }
+
+    #[test]
+    fn content_changes_measurement() {
+        let img = image();
+        let m = Manifest::enclave_default(2);
+        let base = offline_measurement(&img, &m);
+        let mut img2 = img.clone();
+        img2.segments[0].data[0] ^= 1;
+        assert_ne!(offline_measurement(&img2, &m), base);
+    }
+
+    #[test]
+    fn unmeasured_segments_do_not_affect() {
+        let img = image();
+        let m = Manifest::enclave_default(2).share_segment(1);
+        let base = offline_measurement(&img, &m);
+        let mut img2 = img.clone();
+        img2.segments[1].data = b"DIFF".to_vec();
+        assert_eq!(
+            offline_measurement(&img2, &m),
+            base,
+            "shared segment not measured"
+        );
+        // But its *policy* is measured: a different manifest changes it.
+        let m2 = Manifest::enclave_default(2);
+        assert_ne!(offline_measurement(&img, &m2), base);
+    }
+
+    #[test]
+    fn entry_changes_measurement() {
+        let img = image();
+        let m = Manifest::enclave_default(2);
+        let base = offline_measurement(&img, &m);
+        let mut img2 = img.clone();
+        img2.entry = 0x2000;
+        assert_ne!(offline_measurement(&img2, &m), base);
+    }
+
+    #[test]
+    fn bss_padding_measured_as_zero() {
+        let mut img = image();
+        img.segments[1].memsz = 0x100; // BSS tail
+        let m = Manifest::enclave_default(2);
+        let d = segment_digests(&img, &m);
+        assert_eq!(d.len(), 2);
+        let mut padded_data = b"data".to_vec();
+        padded_data.resize(0x100, 0);
+        assert_eq!(d[1].1, tyche_crypto::hash(&padded_data));
+    }
+
+    #[test]
+    #[should_panic(expected = "manifest must validate")]
+    fn invalid_manifest_panics() {
+        let img = image();
+        offline_measurement(&img, &Manifest::enclave_default(5));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the ELF64 writer/parser and the measurement:
+//! write→parse is the identity, parsing never panics on mutated bytes,
+//! and measurements are injective over the measured surface.
+
+use proptest::prelude::*;
+use tyche_elf::image::{ElfImage, ElfMachine, Segment, SegmentFlags};
+use tyche_elf::manifest::Manifest;
+use tyche_elf::measure::offline_measurement;
+
+fn segment_strategy() -> impl Strategy<Value = Segment> {
+    (
+        0u64..(1 << 30),
+        proptest::collection::vec(any::<u8>(), 0..256),
+        0u64..512,
+        0u32..8,
+    )
+        .prop_map(|(vaddr, data, extra_mem, flags)| Segment {
+            vaddr: vaddr & !0xfff,
+            memsz: data.len() as u64 + extra_mem,
+            flags: SegmentFlags(flags),
+            data,
+        })
+}
+
+fn image_strategy() -> impl Strategy<Value = ElfImage> {
+    (
+        any::<u64>(),
+        any::<bool>(),
+        proptest::collection::vec(segment_strategy(), 0..6),
+    )
+        .prop_map(|(entry, riscv, segments)| ElfImage {
+            entry,
+            machine: if riscv {
+                ElfMachine::RiscV
+            } else {
+                ElfMachine::X86_64
+            },
+            segments,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn write_parse_roundtrip(img in image_strategy()) {
+        let bytes = img.to_bytes();
+        let parsed = ElfImage::parse(&bytes).expect("own output parses");
+        prop_assert_eq!(parsed, img);
+    }
+
+    #[test]
+    fn parser_total_on_mutations(img in image_strategy(), flips in proptest::collection::vec((0usize..4096, any::<u8>()), 1..8)) {
+        // Bit-flip the serialized image anywhere: the parser must return
+        // Ok or Err, never panic, never read out of bounds.
+        let mut bytes = img.to_bytes();
+        for (pos, val) in flips {
+            if !bytes.is_empty() {
+                let p = pos % bytes.len();
+                bytes[p] ^= val;
+            }
+        }
+        let _ = ElfImage::parse(&bytes);
+    }
+
+    #[test]
+    fn parser_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = ElfImage::parse(&bytes);
+    }
+
+    #[test]
+    fn measurement_sensitive_to_measured_bytes(
+        mut img in image_strategy(),
+        flip in (0usize..64, 1u8..255),
+    ) {
+        prop_assume!(!img.segments.is_empty());
+        // Non-overlapping pages are not required for measurement; use the
+        // enclave-default manifest (everything measured).
+        let manifest = Manifest::enclave_default(img.segments.len());
+        let base = offline_measurement(&img, &manifest);
+        let seg = 0;
+        prop_assume!(!img.segments[seg].data.is_empty());
+        let pos = flip.0 % img.segments[seg].data.len();
+        img.segments[seg].data[pos] ^= flip.1;
+        let changed = offline_measurement(&img, &manifest);
+        prop_assert_ne!(base, changed, "flipping a measured byte changes the measurement");
+    }
+}

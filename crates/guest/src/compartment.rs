@@ -1,0 +1,141 @@
+//! Process sub-compartments (§3.5: "the OS still provides the process
+//! abstraction, while the monitor transparently allows sub-compartments
+//! within a process").
+//!
+//! A compartment carves a slice of a *process's* memory into its own
+//! trust domain: the process keeps running under the OS as before, but
+//! the untrusted library inside the compartment can no longer read the
+//! rest of the process. This is the paper's answer to "applications give
+//! thousands of unverified libraries unrestricted access to their address
+//! space" — without the cost of a separate process.
+
+use crate::process::Pid;
+use libtyche::sandbox::{Sandbox, SandboxOutcome};
+use tyche_monitor::{Fault, Monitor, Status};
+
+/// A library compartment inside a process.
+pub struct Compartment {
+    /// The owning process.
+    pub pid: Pid,
+    /// The monitor-backed sandbox realizing the compartment.
+    sandbox: Sandbox,
+}
+
+impl Compartment {
+    /// Creates a compartment over `[start, end)` of the process's region,
+    /// with an in-process shared `window` for arguments/results.
+    ///
+    /// `start..end` and `window` must lie inside the process region — the
+    /// OS checks its own invariant before asking the monitor.
+    pub fn create(
+        monitor: &mut Monitor,
+        core: usize,
+        pid: Pid,
+        process_region: (u64, u64),
+        compartment: (u64, u64),
+        window: (u64, u64),
+    ) -> Result<Compartment, Status> {
+        let inside = |r: (u64, u64)| r.0 >= process_region.0 && r.1 <= process_region.1;
+        if !inside(compartment) || !inside(window) {
+            return Err(Status::InvalidArg);
+        }
+        let sandbox = Sandbox::create(monitor, core, compartment, Some(window))?;
+        Ok(Compartment { pid, sandbox })
+    }
+
+    /// Runs untrusted library code in the compartment.
+    pub fn invoke<F>(
+        &self,
+        monitor: &mut Monitor,
+        core: usize,
+        code: F,
+    ) -> Result<SandboxOutcome, Status>
+    where
+        F: FnOnce(&mut libtyche::sandbox::SandboxCtx<'_>) -> Result<(), Fault>,
+    {
+        self.sandbox.run(monitor, core, code)
+    }
+
+    /// Dissolves the compartment, returning (zeroed) memory to the
+    /// process.
+    pub fn dissolve(self, monitor: &mut Monitor, core: usize) -> Result<(), Status> {
+        self.sandbox.destroy(monitor, core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::GuestOs;
+    use tyche_monitor::{boot_x86, BootConfig};
+
+    #[test]
+    fn library_confined_within_process() {
+        let mut m = boot_x86(BootConfig::default());
+        let end = m.machine.domain_ram.end.as_u64();
+        let mut os = GuestOs::new((0, end), 0, 0x10_0000);
+        let pid = os.spawn(0x100_000).unwrap();
+        let region = os.process(pid).unwrap().region;
+
+        // The process keeps secrets at the start of its region and gives
+        // the untrusted parser library a compartment at the end.
+        m.dom_write(0, region.0, b"process secret").unwrap();
+        let comp_region = (region.1 - 0x4000, region.1 - 0x1000);
+        let window = (region.1 - 0x1000, region.1);
+        let comp = Compartment::create(&mut m, 0, pid, region, comp_region, window).unwrap();
+
+        // The library reads its input from the window and faults trying
+        // to read the process secret.
+        m.dom_write(0, window.0, b"input").unwrap();
+        let out = comp
+            .invoke(&mut m, 0, |ctx| {
+                let mut input = [0u8; 5];
+                ctx.read(window.0, &mut input)?;
+                let mut steal = [0u8; 14];
+                ctx.read(region.0, &mut steal)?; // must fault
+                Ok(())
+            })
+            .unwrap();
+        assert!(matches!(out, SandboxOutcome::Faulted(f) if f.addr == region.0));
+
+        // The process itself still owns the rest of its region.
+        let mut buf = [0u8; 14];
+        m.dom_read(0, region.0, &mut buf).unwrap();
+        assert_eq!(&buf, b"process secret");
+    }
+
+    #[test]
+    fn compartment_bounds_validated_by_os() {
+        let mut m = boot_x86(BootConfig::default());
+        let err = match Compartment::create(
+            &mut m,
+            0,
+            Pid(1),
+            (0x10_0000, 0x20_0000),
+            (0x30_0000, 0x31_0000), // outside the process
+            (0x10_0000, 0x10_1000),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("out-of-process compartment accepted"),
+        };
+        assert_eq!(err, Status::InvalidArg);
+    }
+
+    #[test]
+    fn dissolve_returns_zeroed_memory() {
+        let mut m = boot_x86(BootConfig::default());
+        let end = m.machine.domain_ram.end.as_u64();
+        let mut os = GuestOs::new((0, end), 0, 0x10_0000);
+        let pid = os.spawn(0x100_000).unwrap();
+        let region = os.process(pid).unwrap().region;
+        let comp_region = (region.0 + 0x10_000, region.0 + 0x14_000);
+        let window = (region.0 + 0x14_000, region.0 + 0x15_000);
+        let comp = Compartment::create(&mut m, 0, pid, region, comp_region, window).unwrap();
+        comp.invoke(&mut m, 0, |ctx| ctx.write(comp_region.0, b"library state"))
+            .unwrap();
+        comp.dissolve(&mut m, 0).unwrap();
+        let mut buf = [0u8; 13];
+        m.dom_read(0, comp_region.0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 13]);
+    }
+}

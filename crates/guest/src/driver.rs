@@ -1,0 +1,309 @@
+//! Kernel drivers and driver sandboxing (§4.2: "sandboxing unsafe code
+//! downloads in the kernel"; §2.2: kernels today must run untrusted
+//! drivers in user mode "at the cost of extra context switches").
+//!
+//! A [`Driver`] is untrusted code the kernel loads. The [`DriverHost`]
+//! runs it either **direct** (in the kernel's own domain — fast, but a
+//! wild write corrupts the kernel) or **sandboxed** (inside a
+//! `libtyche::Sandbox` kernel compartment — a wild write faults and the
+//! kernel survives). Experiment C11 measures the cost of the two modes;
+//! the tests here establish the safety difference.
+
+use libtyche::sandbox::{Sandbox, SandboxCtx, SandboxOutcome};
+use tyche_monitor::{Fault, Monitor, Status};
+
+/// A request to a driver: operate on `len` bytes at `addr` (a
+/// kernel-visible buffer inside the driver's window).
+#[derive(Clone, Copy, Debug)]
+pub struct DriverRequest {
+    /// Opcode (driver-specific).
+    pub op: u32,
+    /// Buffer address.
+    pub addr: u64,
+    /// Buffer length.
+    pub len: u64,
+}
+
+/// A driver's answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriverResponse {
+    /// Request completed.
+    Done,
+    /// The driver rejected the request.
+    Rejected,
+    /// The driver faulted (only observable in sandboxed mode — direct
+    /// mode corrupts silently or crashes the kernel).
+    Crashed,
+}
+
+/// Memory interface a driver uses — both modes provide it, so driver code
+/// is identical in either.
+pub trait DriverMemory {
+    /// Reads driver-visible memory.
+    fn read(&mut self, addr: u64, out: &mut [u8]) -> Result<(), Fault>;
+    /// Writes driver-visible memory.
+    fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), Fault>;
+}
+
+/// Untrusted driver code.
+pub trait Driver {
+    /// Handles one request.
+    fn handle(&mut self, mem: &mut dyn DriverMemory, req: DriverRequest) -> Result<(), Fault>;
+}
+
+/// Direct mode memory: the kernel's own domain view.
+struct DirectMemory<'a> {
+    monitor: &'a mut Monitor,
+    core: usize,
+}
+
+impl DriverMemory for DirectMemory<'_> {
+    fn read(&mut self, addr: u64, out: &mut [u8]) -> Result<(), Fault> {
+        self.monitor.dom_read(self.core, addr, out)
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), Fault> {
+        self.monitor.dom_write(self.core, addr, data)
+    }
+}
+
+impl DriverMemory for SandboxCtx<'_> {
+    fn read(&mut self, addr: u64, out: &mut [u8]) -> Result<(), Fault> {
+        SandboxCtx::read(self, addr, out)
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), Fault> {
+        SandboxCtx::write(self, addr, data)
+    }
+}
+
+/// How the kernel hosts a driver.
+pub enum DriverHost {
+    /// In the kernel's own domain.
+    Direct,
+    /// In a monitor-enforced kernel compartment.
+    Sandboxed(Sandbox),
+}
+
+impl DriverHost {
+    /// Creates a sandboxed host: scratch `[start, end)` for the driver,
+    /// with a shared `window` for request buffers.
+    pub fn sandboxed(
+        monitor: &mut Monitor,
+        core: usize,
+        scratch: (u64, u64),
+        window: (u64, u64),
+    ) -> Result<DriverHost, Status> {
+        Ok(DriverHost::Sandboxed(Sandbox::create(
+            monitor,
+            core,
+            scratch,
+            Some(window),
+        )?))
+    }
+
+    /// Dispatches `req` to `driver` under this host's isolation mode.
+    pub fn dispatch(
+        &self,
+        monitor: &mut Monitor,
+        core: usize,
+        driver: &mut dyn Driver,
+        req: DriverRequest,
+    ) -> Result<DriverResponse, Status> {
+        match self {
+            DriverHost::Direct => {
+                let mut mem = DirectMemory { monitor, core };
+                Ok(match driver.handle(&mut mem, req) {
+                    Ok(()) => DriverResponse::Done,
+                    Err(_) => DriverResponse::Crashed,
+                })
+            }
+            DriverHost::Sandboxed(sb) => {
+                let out = sb.run(monitor, core, |ctx| driver.handle(ctx, req))?;
+                Ok(match out {
+                    SandboxOutcome::Completed => DriverResponse::Done,
+                    SandboxOutcome::Faulted(_) => DriverResponse::Crashed,
+                })
+            }
+        }
+    }
+}
+
+/// A well-behaved "block device": XORs the buffer with a key (models an
+/// encrypting disk).
+pub struct XorBlockDriver {
+    /// The XOR key.
+    pub key: u8,
+}
+
+impl Driver for XorBlockDriver {
+    fn handle(&mut self, mem: &mut dyn DriverMemory, req: DriverRequest) -> Result<(), Fault> {
+        let mut buf = vec![0u8; req.len as usize];
+        mem.read(req.addr, &mut buf)?;
+        for b in buf.iter_mut() {
+            *b ^= self.key;
+        }
+        mem.write(req.addr, &buf)
+    }
+}
+
+/// A buggy driver: on opcode 666 it wild-writes to an attacker-chosen
+/// kernel address (models a memory-safety bug in third-party driver
+/// code).
+pub struct BuggyDriver {
+    /// Address the bug scribbles over.
+    pub wild_target: u64,
+}
+
+impl Driver for BuggyDriver {
+    fn handle(&mut self, mem: &mut dyn DriverMemory, req: DriverRequest) -> Result<(), Fault> {
+        if req.op == 666 {
+            // The bug: a stray pointer write far outside the request.
+            mem.write(self.wild_target, b"CORRUPTION")?;
+        }
+        mem.write(req.addr, b"ok")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyche_monitor::{boot_x86, BootConfig};
+
+    const KERNEL_STATE: u64 = 0x8_0000;
+    const WINDOW: (u64, u64) = (0x30_0000, 0x30_1000);
+    const SCRATCH: (u64, u64) = (0x31_0000, 0x31_4000);
+
+    #[test]
+    fn direct_driver_works_but_can_corrupt_kernel() {
+        let mut m = boot_x86(BootConfig::default());
+        m.dom_write(0, KERNEL_STATE, b"kernel struct").unwrap();
+        m.dom_write(0, WINDOW.0, b"abcd").unwrap();
+        let host = DriverHost::Direct;
+        let mut good = XorBlockDriver { key: 0xff };
+        let resp = host
+            .dispatch(
+                &mut m,
+                0,
+                &mut good,
+                DriverRequest {
+                    op: 1,
+                    addr: WINDOW.0,
+                    len: 4,
+                },
+            )
+            .unwrap();
+        assert_eq!(resp, DriverResponse::Done);
+
+        // The buggy driver in direct mode corrupts kernel state silently.
+        let mut buggy = BuggyDriver {
+            wild_target: KERNEL_STATE,
+        };
+        let resp = host
+            .dispatch(
+                &mut m,
+                0,
+                &mut buggy,
+                DriverRequest {
+                    op: 666,
+                    addr: WINDOW.0,
+                    len: 4,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            resp,
+            DriverResponse::Done,
+            "no fault: the write hit kernel memory"
+        );
+        let mut buf = [0u8; 10];
+        m.dom_read(0, KERNEL_STATE, &mut buf).unwrap();
+        assert_eq!(&buf, b"CORRUPTION", "kernel state destroyed");
+    }
+
+    #[test]
+    fn sandboxed_driver_contained() {
+        let mut m = boot_x86(BootConfig::default());
+        m.dom_write(0, KERNEL_STATE, b"kernel struct").unwrap();
+        m.dom_write(0, WINDOW.0, b"abcd").unwrap();
+        let host = DriverHost::sandboxed(&mut m, 0, SCRATCH, WINDOW).unwrap();
+
+        // The good driver still works through the shared window.
+        let mut good = XorBlockDriver { key: 0xff };
+        let resp = host
+            .dispatch(
+                &mut m,
+                0,
+                &mut good,
+                DriverRequest {
+                    op: 1,
+                    addr: WINDOW.0,
+                    len: 4,
+                },
+            )
+            .unwrap();
+        assert_eq!(resp, DriverResponse::Done);
+        let mut buf = [0u8; 4];
+        m.dom_read(0, WINDOW.0, &mut buf).unwrap();
+        assert_eq!(buf, [b'a' ^ 0xff, b'b' ^ 0xff, b'c' ^ 0xff, b'd' ^ 0xff]);
+
+        // The buggy driver faults instead of corrupting the kernel.
+        let mut buggy = BuggyDriver {
+            wild_target: KERNEL_STATE,
+        };
+        let resp = host
+            .dispatch(
+                &mut m,
+                0,
+                &mut buggy,
+                DriverRequest {
+                    op: 666,
+                    addr: WINDOW.0,
+                    len: 4,
+                },
+            )
+            .unwrap();
+        assert_eq!(resp, DriverResponse::Crashed);
+        let mut buf = [0u8; 13];
+        m.dom_read(0, KERNEL_STATE, &mut buf).unwrap();
+        assert_eq!(&buf, b"kernel struct", "kernel state intact");
+    }
+
+    #[test]
+    fn same_driver_code_both_modes() {
+        // The Driver trait abstracts the memory interface: identical code
+        // runs direct or sandboxed, so sandboxing is a deployment choice,
+        // not a rewrite (the paper's "retrofitted with minimal
+        // disruption").
+        let mut m = boot_x86(BootConfig::default());
+        m.dom_write(0, WINDOW.0, &[0x11, 0x22]).unwrap();
+        let mut drv = XorBlockDriver { key: 0x0f };
+        DriverHost::Direct
+            .dispatch(
+                &mut m,
+                0,
+                &mut drv,
+                DriverRequest {
+                    op: 1,
+                    addr: WINDOW.0,
+                    len: 2,
+                },
+            )
+            .unwrap();
+        let host = DriverHost::sandboxed(&mut m, 0, SCRATCH, WINDOW).unwrap();
+        host.dispatch(
+            &mut m,
+            0,
+            &mut drv,
+            DriverRequest {
+                op: 1,
+                addr: WINDOW.0,
+                len: 2,
+            },
+        )
+        .unwrap();
+        let mut buf = [0u8; 2];
+        m.dom_read(0, WINDOW.0, &mut buf).unwrap();
+        assert_eq!(buf, [0x11, 0x22], "double XOR restored the bytes");
+    }
+}

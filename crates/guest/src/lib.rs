@@ -1,0 +1,37 @@
+//! A small guest operating system run as a trust domain.
+//!
+//! The paper's prototype "boots on bare metal and runs an unmodified
+//! Ubuntu distribution and Linux kernel as an initial domain" (§4). The
+//! reproduction cannot run Linux, so this crate provides the closest
+//! exercising substitute: a compact OS kernel with processes, a
+//! round-robin scheduler, syscalls, pipes, and a device-driver framework
+//! — enough to drive every monitor path the paper's deployment (Figure 3)
+//! needs:
+//!
+//! - the OS manages *its own* abstractions (processes) while the monitor
+//!   manages domains — the two-layer split of §3.5;
+//! - the OS sandboxes untrusted **drivers** in kernel compartments
+//!   ([`driver`]), the §4.2 "sandboxing unsafe code in the kernel" story;
+//! - processes get monitor-backed **sub-compartments** ([`compartment`]),
+//!   "the monitor transparently allows sub-compartments within a
+//!   process";
+//! - the whole OS can run inside a [`libtyche::ConfidentialVm`].
+//!
+//! The kernel is single-address-space (the domain names physical memory);
+//! process isolation inside the guest is the OS's own bookkeeping — which
+//! is exactly the paper's point: the OS remains the resource manager, and
+//! only *isolation* moves to the monitor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compartment;
+pub mod driver;
+pub mod kernel;
+pub mod process;
+pub mod syscall;
+
+pub use driver::{Driver, DriverHost, DriverRequest, DriverResponse};
+pub use kernel::GuestOs;
+pub use process::{Pid, Process, ProcessState};
+pub use syscall::{SysResult, Syscall};

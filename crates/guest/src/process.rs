@@ -1,0 +1,92 @@
+//! Guest processes: the OS's own abstraction, below the monitor's radar.
+
+/// A process identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(pub u32);
+
+/// Scheduler state of a process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProcessState {
+    /// Runnable.
+    Ready,
+    /// Currently on a core.
+    Running,
+    /// Waiting on a pipe read.
+    Blocked,
+    /// Exited with a code.
+    Exited(i32),
+}
+
+/// A guest process.
+#[derive(Clone, Debug)]
+pub struct Process {
+    /// Its pid.
+    pub pid: Pid,
+    /// Memory region `[start, end)` of guest RAM the OS assigned to it.
+    pub region: (u64, u64),
+    /// Allocation cursor inside the region (bump allocator).
+    pub brk: u64,
+    /// Scheduler state.
+    pub state: ProcessState,
+    /// Number of times the scheduler dispatched it.
+    pub dispatches: u64,
+}
+
+impl Process {
+    /// Creates a ready process over `region`.
+    pub fn new(pid: Pid, region: (u64, u64)) -> Self {
+        Process {
+            pid,
+            region,
+            brk: region.0,
+            state: ProcessState::Ready,
+            dispatches: 0,
+        }
+    }
+
+    /// Allocates `len` bytes from the process region; `None` when full.
+    pub fn alloc(&mut self, len: u64) -> Option<u64> {
+        let aligned = (self.brk + 7) & !7;
+        let end = aligned.checked_add(len)?;
+        if end > self.region.1 {
+            return None;
+        }
+        self.brk = end;
+        Some(aligned)
+    }
+
+    /// True when `addr..addr+len` lies inside the process region — the
+    /// OS-level access check for syscall buffers.
+    pub fn owns(&self, addr: u64, len: u64) -> bool {
+        addr >= self.region.0
+            && addr
+                .checked_add(len)
+                .map(|e| e <= self.region.1)
+                .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation() {
+        let mut p = Process::new(Pid(1), (0x1000, 0x2000));
+        let a = p.alloc(100).unwrap();
+        assert_eq!(a, 0x1000);
+        let b = p.alloc(100).unwrap();
+        assert!(b >= a + 100);
+        assert_eq!(b % 8, 0, "aligned");
+        assert!(p.alloc(0x10000).is_none(), "over-allocation refused");
+    }
+
+    #[test]
+    fn ownership_check() {
+        let p = Process::new(Pid(1), (0x1000, 0x2000));
+        assert!(p.owns(0x1000, 0x1000));
+        assert!(!p.owns(0xfff, 2));
+        assert!(!p.owns(0x1fff, 2));
+        assert!(!p.owns(u64::MAX, 2), "overflow-safe");
+    }
+}

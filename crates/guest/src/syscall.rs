@@ -1,0 +1,72 @@
+//! The guest OS syscall surface.
+
+use crate::process::Pid;
+
+/// A system call issued by a guest process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Syscall {
+    /// Allocate `len` bytes in the caller's region; returns the address.
+    Alloc {
+        /// Bytes requested.
+        len: u64,
+    },
+    /// Write `data` at `addr` (must be inside the caller's region).
+    Write {
+        /// Destination address.
+        addr: u64,
+        /// Bytes to store.
+        data: Vec<u8>,
+    },
+    /// Read `len` bytes from `addr` (must be inside the caller's region).
+    Read {
+        /// Source address.
+        addr: u64,
+        /// Bytes to load.
+        len: u64,
+    },
+    /// Append `data` to the console log.
+    ConsoleWrite {
+        /// Message bytes.
+        data: Vec<u8>,
+    },
+    /// Send `data` to `dst`'s pipe.
+    PipeSend {
+        /// Receiver pid.
+        dst: Pid,
+        /// Message bytes.
+        data: Vec<u8>,
+    },
+    /// Receive one message from the caller's pipe (blocks when empty).
+    PipeRecv,
+    /// Exit with `code`.
+    Exit {
+        /// Exit code.
+        code: i32,
+    },
+}
+
+/// Result of a system call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SysResult {
+    /// Success with no value.
+    Ok,
+    /// An address (Alloc).
+    Addr(u64),
+    /// Bytes (Read / PipeRecv).
+    Bytes(Vec<u8>),
+    /// The caller blocked (PipeRecv on empty pipe).
+    WouldBlock,
+    /// The call was refused (bad address, dead peer, out of memory).
+    Denied,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syscall_variants_compare() {
+        assert_eq!(Syscall::PipeRecv, Syscall::PipeRecv);
+        assert_ne!(SysResult::Ok, SysResult::Denied);
+    }
+}

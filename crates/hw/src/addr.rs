@@ -1,0 +1,261 @@
+//! Physical and guest-physical addressing.
+//!
+//! The monitor reasons exclusively about *physical* names (§3.2 of the
+//! paper: "policies operate on physical name spaces"), so the address types
+//! here are deliberately minimal: a host-physical address, a guest-physical
+//! address, and page/alignment helpers.
+
+/// The architectural page size used throughout the simulation (4 KiB).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A host-physical address in the simulated machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// Constructs a physical address.
+    pub const fn new(addr: u64) -> Self {
+        PhysAddr(addr)
+    }
+
+    /// Returns the raw address value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rounds down to the containing page boundary.
+    pub const fn page_base(self) -> PhysAddr {
+        PhysAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Byte offset within the containing page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// True when the address is page-aligned.
+    pub const fn is_page_aligned(self) -> bool {
+        self.0.is_multiple_of(PAGE_SIZE)
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, delta: u64) -> Option<PhysAddr> {
+        self.0.checked_add(delta).map(PhysAddr)
+    }
+}
+
+impl core::fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "PhysAddr({:#x})", self.0)
+    }
+}
+
+impl core::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A guest-physical address — what a domain believes is physical memory,
+/// translated by EPT (x86) or checked by PMP (RISC-V, identity-mapped).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GuestPhysAddr(pub u64);
+
+impl GuestPhysAddr {
+    /// Constructs a guest-physical address.
+    pub const fn new(addr: u64) -> Self {
+        GuestPhysAddr(addr)
+    }
+
+    /// Returns the raw address value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rounds down to the containing page boundary.
+    pub const fn page_base(self) -> GuestPhysAddr {
+        GuestPhysAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Byte offset within the containing page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// True when the address is page-aligned.
+    pub const fn is_page_aligned(self) -> bool {
+        self.0.is_multiple_of(PAGE_SIZE)
+    }
+}
+
+impl core::fmt::Debug for GuestPhysAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "GuestPhysAddr({:#x})", self.0)
+    }
+}
+
+impl core::fmt::Display for GuestPhysAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Aligns `v` up to the next multiple of `align` (a power of two).
+///
+/// # Panics
+///
+/// Panics if `align` is not a power of two or the result overflows.
+pub fn align_up(v: u64, align: u64) -> u64 {
+    assert!(align.is_power_of_two(), "alignment must be a power of two");
+    v.checked_add(align - 1).expect("align_up overflow") & !(align - 1)
+}
+
+/// Aligns `v` down to a multiple of `align` (a power of two).
+///
+/// # Panics
+///
+/// Panics if `align` is not a power of two.
+pub fn align_down(v: u64, align: u64) -> u64 {
+    assert!(align.is_power_of_two(), "alignment must be a power of two");
+    v & !(align - 1)
+}
+
+/// A half-open physical address range `[start, end)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhysRange {
+    /// Inclusive start.
+    pub start: PhysAddr,
+    /// Exclusive end.
+    pub end: PhysAddr,
+}
+
+impl PhysRange {
+    /// Constructs a range; `start` must not exceed `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: PhysAddr, end: PhysAddr) -> Self {
+        assert!(start <= end, "inverted range {start}..{end}");
+        PhysRange { start, end }
+    }
+
+    /// Constructs a range from a start and a byte length.
+    pub fn from_len(start: PhysAddr, len: u64) -> Self {
+        let end = start.checked_add(len).expect("range end overflow");
+        PhysRange { start, end }
+    }
+
+    /// Range length in bytes.
+    pub fn len(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// True when the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True when `addr` falls inside the range.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        self.start <= addr && addr < self.end
+    }
+
+    /// True when `other` is fully inside this range.
+    pub fn contains_range(&self, other: &PhysRange) -> bool {
+        other.is_empty() || (self.start <= other.start && other.end <= self.end)
+    }
+
+    /// True when the ranges share at least one byte.
+    pub fn overlaps(&self, other: &PhysRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Iterates the page-aligned base addresses covered by the range.
+    ///
+    /// The range must be page-aligned at both ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is not page-aligned.
+    pub fn pages(&self) -> impl Iterator<Item = PhysAddr> + '_ {
+        assert!(
+            self.start.is_page_aligned() && self.end.is_page_aligned(),
+            "unaligned page range"
+        );
+        (self.start.0..self.end.0)
+            .step_by(PAGE_SIZE as usize)
+            .map(PhysAddr)
+    }
+}
+
+impl core::fmt::Debug for PhysRange {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start.0, self.end.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_math() {
+        let a = PhysAddr::new(0x1234);
+        assert_eq!(a.page_base(), PhysAddr::new(0x1000));
+        assert_eq!(a.page_offset(), 0x234);
+        assert!(!a.is_page_aligned());
+        assert!(PhysAddr::new(0x2000).is_page_aligned());
+    }
+
+    #[test]
+    fn align_helpers() {
+        assert_eq!(align_up(0, 4096), 0);
+        assert_eq!(align_up(1, 4096), 4096);
+        assert_eq!(align_up(4096, 4096), 4096);
+        assert_eq!(align_down(4097, 4096), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn align_rejects_non_pow2() {
+        align_up(5, 3);
+    }
+
+    #[test]
+    fn range_relations() {
+        let r = PhysRange::from_len(PhysAddr::new(0x1000), 0x2000);
+        assert_eq!(r.len(), 0x2000);
+        assert!(r.contains(PhysAddr::new(0x1000)));
+        assert!(r.contains(PhysAddr::new(0x2fff)));
+        assert!(!r.contains(PhysAddr::new(0x3000)));
+        let inner = PhysRange::from_len(PhysAddr::new(0x1800), 0x100);
+        assert!(r.contains_range(&inner));
+        assert!(r.overlaps(&inner));
+        let disjoint = PhysRange::from_len(PhysAddr::new(0x3000), 0x1000);
+        assert!(!r.overlaps(&disjoint));
+        let touching = PhysRange::from_len(PhysAddr::new(0x3000), 0);
+        assert!(touching.is_empty());
+        assert!(r.contains_range(&touching));
+    }
+
+    #[test]
+    fn range_pages_iteration() {
+        let r = PhysRange::from_len(PhysAddr::new(0x1000), 0x3000);
+        let pages: Vec<_> = r.pages().collect();
+        assert_eq!(
+            pages,
+            vec![
+                PhysAddr::new(0x1000),
+                PhysAddr::new(0x2000),
+                PhysAddr::new(0x3000)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        PhysRange::new(PhysAddr::new(0x2000), PhysAddr::new(0x1000));
+    }
+}

@@ -1,0 +1,140 @@
+//! The simulated cycle-cost model.
+//!
+//! The paper's only hard performance number is "fast (100 cycles) domain
+//! transitions using VMFUNC" (§4.1). We cannot measure real silicon, so the
+//! simulation charges each architectural event a cycle cost taken from
+//! published measurements of the corresponding hardware operation, and
+//! experiments report *simulated cycles* next to host wall-time. The
+//! constants live in one place so the ablation benches can vary them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cycle costs of architectural events, loosely calibrated to published
+/// numbers for recent Intel server parts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// A VM exit + VM entry round trip (VMCALL, EPT violation, ...).
+    pub vmexit_roundtrip: u64,
+    /// A VMFUNC EPTP switch (no exit). The paper's "100 cycles".
+    pub vmfunc_switch: u64,
+    /// One page-table / EPT level walked on a TLB miss.
+    pub page_walk_level: u64,
+    /// A TLB hit.
+    pub tlb_hit: u64,
+    /// Full TLB flush (INVEPT-style).
+    pub tlb_flush: u64,
+    /// Flushing one cache line (CLFLUSH).
+    pub cacheline_flush: u64,
+    /// Writing back and invalidating the whole L1/L2 (WBINVD-ish), charged
+    /// per resident line by the cache model.
+    pub cache_flush_base: u64,
+    /// A RISC-V M-mode trap round trip (ecall + mret).
+    pub mmode_trap_roundtrip: u64,
+    /// Reprogramming one PMP entry (CSR write + fence).
+    pub pmp_write: u64,
+    /// Zeroing one page of memory.
+    pub zero_page: u64,
+    /// Hashing one page of memory (measurement).
+    pub hash_page: u64,
+    /// A bare function call/return inside one domain (baseline for
+    /// comparisons).
+    pub fn_call: u64,
+    /// OS process creation (fork+exec-lite) for the process baseline.
+    pub process_create: u64,
+    /// OS context switch between processes.
+    pub context_switch: u64,
+    /// A cross-process IPC message (pipe-style round trip).
+    pub ipc_roundtrip: u64,
+}
+
+impl CostModel {
+    /// The default calibration used by all experiments.
+    pub const fn default_model() -> Self {
+        CostModel {
+            vmexit_roundtrip: 1200,
+            vmfunc_switch: 109,
+            page_walk_level: 30,
+            tlb_hit: 1,
+            tlb_flush: 500,
+            cacheline_flush: 45,
+            cache_flush_base: 400,
+            mmode_trap_roundtrip: 700,
+            pmp_write: 40,
+            zero_page: 250,
+            hash_page: 4000,
+            fn_call: 5,
+            process_create: 250_000,
+            context_switch: 3000,
+            ipc_roundtrip: 8000,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::default_model()
+    }
+}
+
+/// A monotonically increasing simulated cycle counter.
+///
+/// Shared by everything running on one simulated machine; atomic so that
+/// multi-threaded test drivers can charge cycles without holding the machine
+/// lock.
+#[derive(Debug, Default)]
+pub struct CycleCounter {
+    cycles: AtomicU64,
+}
+
+impl CycleCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `n` cycles.
+    pub fn charge(&self, n: u64) {
+        self.cycles.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads the current cycle count.
+    pub fn now(&self) -> u64 {
+        self.cycles.load(Ordering::Relaxed)
+    }
+
+    /// Convenience: cycles elapsed since `start`.
+    pub fn since(&self, start: u64) -> u64 {
+        self.now().saturating_sub(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = CycleCounter::new();
+        assert_eq!(c.now(), 0);
+        c.charge(100);
+        c.charge(9);
+        assert_eq!(c.now(), 109);
+        assert_eq!(c.since(100), 9);
+    }
+
+    #[test]
+    fn default_model_orderings() {
+        // The relationships the paper relies on must hold in the model:
+        let m = CostModel::default_model();
+        assert!(
+            m.vmfunc_switch < m.vmexit_roundtrip / 10,
+            "VMFUNC ~10x+ cheaper than an exit"
+        );
+        assert!(
+            m.process_create > 100 * m.vmexit_roundtrip,
+            "process creation is heavyweight"
+        );
+        assert!(m.tlb_hit < m.page_walk_level);
+        assert!((50..=200).contains(&m.vmfunc_switch), "paper: ~100 cycles");
+    }
+}

@@ -1,0 +1,318 @@
+//! An I/O-MMU model (VT-d-style DMA remapping).
+//!
+//! §3.3 of the paper: devices "can be partitioned using SR-IOV and isolated
+//! using I/O-MMUs". The model keeps a context table mapping a device id
+//! (source-id, i.e. PCI BDF) to a second-level translation root — the same
+//! EPT page-table format the CPU side uses — and checks every DMA through
+//! it. A device with no context entry has no bus access at all.
+
+use crate::addr::{GuestPhysAddr, PhysAddr};
+use crate::mem::PhysMem;
+use crate::x86::ept::{Access, Ept, EptViolation};
+use std::collections::HashMap;
+
+/// A PCI-like device identifier (bus/device/function flattened).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u16);
+
+impl core::fmt::Debug for DeviceId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "DeviceId({:#06x})", self.0)
+    }
+}
+
+/// A blocked DMA transaction, reported to the monitor as a fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DmaFault {
+    /// The device that issued the transaction.
+    pub device: DeviceId,
+    /// The faulting device-visible address.
+    pub addr: GuestPhysAddr,
+    /// Whether the transaction was a write.
+    pub write: bool,
+}
+
+/// The I/O-MMU: context table plus fault log.
+#[derive(Default)]
+pub struct Iommu {
+    /// Device → translation root (EPT-format table).
+    contexts: HashMap<DeviceId, PhysAddr>,
+    /// Faults recorded for monitor inspection.
+    faults: Vec<DmaFault>,
+}
+
+impl Iommu {
+    /// Creates an I/O-MMU with an empty context table: all DMA blocked.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or replaces) the translation root for `device`.
+    pub fn attach(&mut self, device: DeviceId, root: PhysAddr) {
+        self.contexts.insert(device, root);
+    }
+
+    /// Removes `device`'s context entry, blocking all its DMA.
+    pub fn detach(&mut self, device: DeviceId) {
+        self.contexts.remove(&device);
+    }
+
+    /// The translation root currently assigned to `device`.
+    pub fn context_of(&self, device: DeviceId) -> Option<PhysAddr> {
+        self.contexts.get(&device).copied()
+    }
+
+    /// Translates a device address for a DMA transaction.
+    fn translate(
+        &mut self,
+        mem: &PhysMem,
+        device: DeviceId,
+        addr: GuestPhysAddr,
+        write: bool,
+    ) -> Result<PhysAddr, DmaFault> {
+        let root = match self.contexts.get(&device) {
+            Some(r) => *r,
+            None => {
+                let fault = DmaFault {
+                    device,
+                    addr,
+                    write,
+                };
+                self.faults.push(fault);
+                return Err(fault);
+            }
+        };
+        let access = if write { Access::Write } else { Access::Read };
+        match Ept::from_root(root).translate(mem, addr, access) {
+            Ok((hpa, _)) => Ok(hpa),
+            Err(EptViolation { .. }) => {
+                let fault = DmaFault {
+                    device,
+                    addr,
+                    write,
+                };
+                self.faults.push(fault);
+                Err(fault)
+            }
+        }
+    }
+
+    /// Performs a DMA read on behalf of `device`.
+    pub fn dma_read(
+        &mut self,
+        mem: &PhysMem,
+        device: DeviceId,
+        addr: GuestPhysAddr,
+        out: &mut [u8],
+    ) -> Result<(), DmaFault> {
+        let mut off = 0u64;
+        while off < out.len() as u64 {
+            let cur = GuestPhysAddr::new(addr.as_u64() + off);
+            let in_page = (crate::addr::PAGE_SIZE - cur.page_offset()).min(out.len() as u64 - off);
+            let hpa = self.translate(mem, device, cur, false)?;
+            mem.read(hpa, &mut out[off as usize..(off + in_page) as usize])
+                .map_err(|_| DmaFault {
+                    device,
+                    addr: cur,
+                    write: false,
+                })?;
+            off += in_page;
+        }
+        Ok(())
+    }
+
+    /// Performs a DMA write on behalf of `device`.
+    pub fn dma_write(
+        &mut self,
+        mem: &mut PhysMem,
+        device: DeviceId,
+        addr: GuestPhysAddr,
+        data: &[u8],
+    ) -> Result<(), DmaFault> {
+        let mut off = 0u64;
+        while off < data.len() as u64 {
+            let cur = GuestPhysAddr::new(addr.as_u64() + off);
+            let in_page = (crate::addr::PAGE_SIZE - cur.page_offset()).min(data.len() as u64 - off);
+            let hpa = self.translate(mem, device, cur, true)?;
+            mem.write(hpa, &data[off as usize..(off + in_page) as usize])
+                .map_err(|_| DmaFault {
+                    device,
+                    addr: cur,
+                    write: true,
+                })?;
+            off += in_page;
+        }
+        Ok(())
+    }
+
+    /// Drains the recorded fault log.
+    pub fn take_faults(&mut self) -> Vec<DmaFault> {
+        std::mem::take(&mut self.faults)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PhysRange, PAGE_SIZE};
+    use crate::mem::FrameAllocator;
+    use crate::x86::ept::EptFlags;
+
+    fn setup() -> (PhysMem, FrameAllocator, Iommu) {
+        (
+            PhysMem::new(256 * PAGE_SIZE),
+            FrameAllocator::new(PhysRange::from_len(PhysAddr::new(0x40000), 128 * PAGE_SIZE)),
+            Iommu::new(),
+        )
+    }
+
+    #[test]
+    fn unattached_device_is_blocked() {
+        let (mut mem, _, mut iommu) = setup();
+        let dev = DeviceId(0x0100);
+        let mut buf = [0u8; 4];
+        assert!(iommu
+            .dma_read(&mem, dev, GuestPhysAddr::new(0x1000), &mut buf)
+            .is_err());
+        assert!(iommu
+            .dma_write(&mut mem, dev, GuestPhysAddr::new(0x1000), &[1])
+            .is_err());
+        assert_eq!(iommu.take_faults().len(), 2);
+    }
+
+    #[test]
+    fn attached_device_translates() {
+        let (mut mem, mut alloc, mut iommu) = setup();
+        let ept = Ept::new(&mut mem, &mut alloc).unwrap();
+        ept.map(
+            &mut mem,
+            &mut alloc,
+            GuestPhysAddr::new(0x1000),
+            PhysAddr::new(0x9000),
+            EptFlags::RW,
+        )
+        .unwrap();
+        let dev = DeviceId(0x0200);
+        iommu.attach(dev, ept.root());
+        iommu
+            .dma_write(&mut mem, dev, GuestPhysAddr::new(0x1004), b"dma!")
+            .unwrap();
+        assert_eq!(mem.read_u8(PhysAddr::new(0x9004)).unwrap(), b'd');
+        let mut out = [0u8; 4];
+        iommu
+            .dma_read(&mem, dev, GuestPhysAddr::new(0x1004), &mut out)
+            .unwrap();
+        assert_eq!(&out, b"dma!");
+    }
+
+    #[test]
+    fn read_only_window_blocks_writes() {
+        let (mut mem, mut alloc, mut iommu) = setup();
+        let ept = Ept::new(&mut mem, &mut alloc).unwrap();
+        ept.map(
+            &mut mem,
+            &mut alloc,
+            GuestPhysAddr::new(0x1000),
+            PhysAddr::new(0x9000),
+            EptFlags::RO,
+        )
+        .unwrap();
+        let dev = DeviceId(0x0300);
+        iommu.attach(dev, ept.root());
+        let mut out = [0u8; 1];
+        assert!(iommu
+            .dma_read(&mem, dev, GuestPhysAddr::new(0x1000), &mut out)
+            .is_ok());
+        let fault = iommu
+            .dma_write(&mut mem, dev, GuestPhysAddr::new(0x1000), &[0xff])
+            .unwrap_err();
+        assert!(fault.write);
+        assert_eq!(fault.device, dev);
+    }
+
+    #[test]
+    fn detach_revokes_access() {
+        let (mut mem, mut alloc, mut iommu) = setup();
+        let ept = Ept::new(&mut mem, &mut alloc).unwrap();
+        ept.map(
+            &mut mem,
+            &mut alloc,
+            GuestPhysAddr::new(0x1000),
+            PhysAddr::new(0x9000),
+            EptFlags::RW,
+        )
+        .unwrap();
+        let dev = DeviceId(0x0400);
+        iommu.attach(dev, ept.root());
+        assert!(iommu
+            .dma_write(&mut mem, dev, GuestPhysAddr::new(0x1000), &[1])
+            .is_ok());
+        iommu.detach(dev);
+        assert!(iommu
+            .dma_write(&mut mem, dev, GuestPhysAddr::new(0x1000), &[1])
+            .is_err());
+    }
+
+    #[test]
+    fn devices_have_independent_views() {
+        let (mut mem, mut alloc, mut iommu) = setup();
+        let ept_a = Ept::new(&mut mem, &mut alloc).unwrap();
+        let ept_b = Ept::new(&mut mem, &mut alloc).unwrap();
+        ept_a
+            .map(
+                &mut mem,
+                &mut alloc,
+                GuestPhysAddr::new(0),
+                PhysAddr::new(0x9000),
+                EptFlags::RW,
+            )
+            .unwrap();
+        ept_b
+            .map(
+                &mut mem,
+                &mut alloc,
+                GuestPhysAddr::new(0),
+                PhysAddr::new(0xa000),
+                EptFlags::RW,
+            )
+            .unwrap();
+        let da = DeviceId(1);
+        let db = DeviceId(2);
+        iommu.attach(da, ept_a.root());
+        iommu.attach(db, ept_b.root());
+        iommu
+            .dma_write(&mut mem, da, GuestPhysAddr::new(0), &[0xaa])
+            .unwrap();
+        iommu
+            .dma_write(&mut mem, db, GuestPhysAddr::new(0), &[0xbb])
+            .unwrap();
+        assert_eq!(mem.read_u8(PhysAddr::new(0x9000)).unwrap(), 0xaa);
+        assert_eq!(mem.read_u8(PhysAddr::new(0xa000)).unwrap(), 0xbb);
+    }
+
+    #[test]
+    fn cross_page_dma() {
+        let (mut mem, mut alloc, mut iommu) = setup();
+        let ept = Ept::new(&mut mem, &mut alloc).unwrap();
+        ept.map_range(
+            &mut mem,
+            &mut alloc,
+            GuestPhysAddr::new(0x1000),
+            PhysAddr::new(0x8000),
+            2 * PAGE_SIZE,
+            EptFlags::RW,
+        )
+        .unwrap();
+        let dev = DeviceId(9);
+        iommu.attach(dev, ept.root());
+        let data = vec![0x5a; 6000];
+        iommu
+            .dma_write(&mut mem, dev, GuestPhysAddr::new(0x1100), &data)
+            .unwrap();
+        let mut out = vec![0u8; 6000];
+        iommu
+            .dma_read(&mem, dev, GuestPhysAddr::new(0x1100), &mut out)
+            .unwrap();
+        assert_eq!(data, out);
+    }
+}

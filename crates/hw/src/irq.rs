@@ -1,0 +1,148 @@
+//! Interrupt remapping (VT-d IR-style).
+//!
+//! §4.1 of the paper: capabilities should extend to "cross-domain
+//! interrupt routing ... and hardware interrupt routing via remapping".
+//! This controller models the hardware half: a remapping table maps an
+//! interrupt vector to a *routing key* (the monitor uses one key per
+//! trust domain), and raised vectors land in the routed key's pending
+//! queue. Unrouted vectors are dropped and counted — the observable
+//! signal that the paper wants for "exposing denial of service attacks".
+
+use std::collections::{HashMap, VecDeque};
+
+/// Maximum vector number (x86 IDT size).
+pub const MAX_VECTOR: u32 = 256;
+
+/// The interrupt remapping controller.
+#[derive(Debug, Default)]
+pub struct IrqController {
+    /// vector → routing key.
+    remap: HashMap<u32, u64>,
+    /// routing key → pending vectors (FIFO).
+    pending: HashMap<u64, VecDeque<u32>>,
+    /// Vectors raised with no route (dropped).
+    pub spurious: u64,
+    /// Total raised.
+    pub raised: u64,
+}
+
+impl IrqController {
+    /// Creates a controller with an empty remap table: every interrupt is
+    /// dropped until the monitor routes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Routes `vector` to `key` (overwrites any previous route).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a vector ≥ [`MAX_VECTOR`] — monitor bug.
+    pub fn route(&mut self, vector: u32, key: u64) {
+        assert!(vector < MAX_VECTOR, "vector {vector} out of range");
+        self.remap.insert(vector, key);
+    }
+
+    /// Removes `vector`'s route; subsequent raises are dropped.
+    pub fn unroute(&mut self, vector: u32) {
+        self.remap.remove(&vector);
+    }
+
+    /// Current route of `vector`.
+    pub fn route_of(&self, vector: u32) -> Option<u64> {
+        self.remap.get(&vector).copied()
+    }
+
+    /// A device (or timer) raises `vector`; returns the routed key, or
+    /// `None` when the interrupt was dropped.
+    pub fn raise(&mut self, vector: u32) -> Option<u64> {
+        self.raised += 1;
+        match self.remap.get(&vector) {
+            Some(&key) => {
+                self.pending.entry(key).or_default().push_back(vector);
+                Some(key)
+            }
+            None => {
+                self.spurious += 1;
+                None
+            }
+        }
+    }
+
+    /// Drains all pending vectors for `key`, in arrival order.
+    pub fn drain(&mut self, key: u64) -> Vec<u32> {
+        self.pending
+            .remove(&key)
+            .map(|q| q.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Pending count for `key` without draining.
+    pub fn pending_count(&self, key: u64) -> usize {
+        self.pending.get(&key).map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Drops all state associated with `key` (domain teardown).
+    pub fn purge_key(&mut self, key: u64) {
+        self.remap.retain(|_, k| *k != key);
+        self.pending.remove(&key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routed_interrupts_queue_in_order() {
+        let mut c = IrqController::new();
+        c.route(32, 7);
+        c.route(33, 7);
+        assert_eq!(c.raise(32), Some(7));
+        assert_eq!(c.raise(33), Some(7));
+        assert_eq!(c.raise(32), Some(7));
+        assert_eq!(c.drain(7), vec![32, 33, 32]);
+        assert_eq!(c.drain(7), Vec::<u32>::new(), "drained");
+    }
+
+    #[test]
+    fn unrouted_vectors_drop_and_count() {
+        let mut c = IrqController::new();
+        assert_eq!(c.raise(40), None);
+        assert_eq!(c.spurious, 1);
+        c.route(40, 1);
+        assert_eq!(c.raise(40), Some(1));
+        c.unroute(40);
+        assert_eq!(c.raise(40), None);
+        assert_eq!(c.spurious, 2);
+        assert_eq!(c.pending_count(1), 1, "earlier delivery still pending");
+    }
+
+    #[test]
+    fn reroute_moves_delivery() {
+        let mut c = IrqController::new();
+        c.route(50, 1);
+        c.raise(50);
+        c.route(50, 2); // monitor revoked + re-granted the vector
+        c.raise(50);
+        assert_eq!(c.drain(1), vec![50]);
+        assert_eq!(c.drain(2), vec![50]);
+    }
+
+    #[test]
+    fn purge_clears_routes_and_queue() {
+        let mut c = IrqController::new();
+        c.route(60, 9);
+        c.route(61, 9);
+        c.raise(60);
+        c.purge_key(9);
+        assert_eq!(c.pending_count(9), 0);
+        assert_eq!(c.raise(60), None, "routes gone");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_vector_panics() {
+        IrqController::new().route(256, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Simulated commodity hardware for the Tyche reproduction.
+//!
+//! The real Tyche boots bare-metal and programs Intel VT-x / I/O-MMU (x86)
+//! or machine-mode PMP (RISC-V) to enforce isolation. This crate is a
+//! faithful software model of exactly the hardware surface the monitor
+//! touches:
+//!
+//! - [`mem`]: byte-addressable physical memory with a frame allocator.
+//! - [`x86`]: VT-x model — VMCS, vm-exit dispatch, a real 4-level EPT
+//!   walker operating on simulated physical memory, and the EPTP-list
+//!   VMFUNC fast-switch path.
+//! - [`iommu`]: an I/O-MMU with per-device context entries sharing the EPT
+//!   page-table format, checked on every device DMA.
+//! - [`device`]: DMA-capable devices (a GPU-like accelerator and a crypto
+//!   engine) used by the Figure 2 scenario.
+//! - [`riscv`]: machine-mode + PMP model with the spec's priority matching
+//!   and a fixed number of entries (the constraint §4 of the paper calls
+//!   out).
+//! - [`tpm`]: a TPM-like root of trust — PCR bank, extend semantics, signed
+//!   quotes — plus measured boot.
+//! - [`cache`]: micro-architectural residue (cache + TLB) so that
+//!   flush-on-transition revocation policies have observable effect.
+//! - [`cycles`]: the cycle-cost model used to report simulated costs for
+//!   transitions and exits.
+//! - [`machine`]: the assembled machine (memory + CPUs + devices + TPM).
+//!
+//! The model's contract: the monitor code that runs on top of it consumes
+//! *events* (vm exits, traps) and programs *structures* (EPT entries, PMP
+//! registers, context tables) with the same bit layouts and matching rules
+//! as the real hardware, so the monitor logic is transplantable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cache;
+pub mod cycles;
+pub mod device;
+pub mod iommu;
+pub mod irq;
+pub mod machine;
+pub mod mem;
+pub mod mktme;
+pub mod riscv;
+pub mod sriov;
+pub mod tpm;
+pub mod x86;
+
+pub use addr::{PhysAddr, PAGE_SIZE};
+pub use machine::Machine;

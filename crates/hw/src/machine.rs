@@ -1,0 +1,183 @@
+//! The assembled simulated machine.
+//!
+//! A [`Machine`] owns everything below the monitor: physical memory and its
+//! frame allocator, the cycle counter and cost model, the cache/TLB models,
+//! the TPM, the I/O-MMU, and a set of DMA devices. CPU state (vCPUs /
+//! harts) is owned by the monitor layer, which borrows a [`Platform`] view
+//! for each architectural operation.
+
+use crate::addr::{PhysAddr, PhysRange, PAGE_SIZE};
+use crate::cache::{Cache, Tlb};
+use crate::cycles::{CostModel, CycleCounter};
+use crate::iommu::Iommu;
+use crate::irq::IrqController;
+use crate::mem::{FrameAllocator, PhysMem};
+use crate::mktme::MemCrypt;
+use crate::tpm::Tpm;
+
+/// A borrowed view of the machine's shared fabric, passed to every vCPU and
+/// device operation. Keeping it a struct of references avoids five-argument
+/// functions while leaving [`Machine`] a plain owner.
+pub struct Platform<'a> {
+    /// Physical memory.
+    pub mem: &'a mut PhysMem,
+    /// Translation cache.
+    pub tlb: &'a mut Tlb,
+    /// Data cache residency model.
+    pub cache: &'a mut Cache,
+    /// Simulated cycle counter.
+    pub cycles: &'a CycleCounter,
+    /// Cycle cost calibration.
+    pub cost: &'a CostModel,
+    /// The memory-encryption controller (all CPU/device paths go
+    /// through it; raw `mem` access models a physical attacker).
+    pub mktme: &'a mut MemCrypt,
+}
+
+/// Configuration for building a [`Machine`].
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Installed RAM in bytes (page-aligned).
+    pub ram_bytes: u64,
+    /// Number of CPU cores.
+    pub cores: usize,
+    /// Bytes at the top of RAM reserved for the monitor and its translation
+    /// table frames. The rest belongs to the initial domain.
+    pub monitor_reserved: u64,
+    /// Cost model calibration.
+    pub cost: CostModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            ram_bytes: 64 * 1024 * 1024,
+            cores: 4,
+            monitor_reserved: 16 * 1024 * 1024,
+            cost: CostModel::default_model(),
+        }
+    }
+}
+
+/// The simulated machine.
+pub struct Machine {
+    /// Physical memory.
+    pub mem: PhysMem,
+    /// Frame allocator over the monitor-reserved region (translation
+    /// tables, EPTP lists, monitor metadata).
+    pub monitor_frames: FrameAllocator,
+    /// The RAM range available to domains (everything below the reserved
+    /// region).
+    pub domain_ram: PhysRange,
+    /// Number of CPU cores.
+    pub cores: usize,
+    /// Cycle counter.
+    pub cycles: CycleCounter,
+    /// Cost model.
+    pub cost: CostModel,
+    /// TLB model (shared; entries are tagged per EPT root).
+    pub tlb: Tlb,
+    /// L1-like cache model.
+    pub cache: Cache,
+    /// The TPM root of trust.
+    pub tpm: Tpm,
+    /// The I/O-MMU.
+    pub iommu: Iommu,
+    /// The memory-encryption controller.
+    pub mktme: MemCrypt,
+    /// The interrupt remapping controller.
+    pub irq: IrqController,
+}
+
+impl Machine {
+    /// Builds a machine from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation exceeds RAM or sizes are unaligned.
+    pub fn new(config: MachineConfig) -> Self {
+        assert!(
+            config.ram_bytes.is_multiple_of(PAGE_SIZE),
+            "RAM must be page-aligned"
+        );
+        assert!(
+            config.monitor_reserved.is_multiple_of(PAGE_SIZE),
+            "reservation must be page-aligned"
+        );
+        assert!(
+            config.monitor_reserved < config.ram_bytes,
+            "reservation exceeds RAM"
+        );
+        assert!(config.cores > 0, "need at least one core");
+        let mem = PhysMem::new(config.ram_bytes);
+        let reserve_base = config.ram_bytes - config.monitor_reserved;
+        let monitor_frames = FrameAllocator::new(PhysRange::new(
+            PhysAddr::new(reserve_base),
+            PhysAddr::new(config.ram_bytes),
+        ));
+        Machine {
+            mem,
+            monitor_frames,
+            domain_ram: PhysRange::new(PhysAddr::new(0), PhysAddr::new(reserve_base)),
+            cores: config.cores,
+            cycles: CycleCounter::new(),
+            cost: config.cost,
+            tlb: Tlb::new(),
+            cache: Cache::default_l1(),
+            tpm: Tpm::new_with_seed(0x7c7e_5eed),
+            iommu: Iommu::new(),
+            mktme: MemCrypt::new_with_seed(0x7c7e_5eed),
+            irq: IrqController::new(),
+        }
+    }
+
+    /// Builds the default machine (64 MiB RAM, 4 cores).
+    pub fn default_machine() -> Self {
+        Machine::new(MachineConfig::default())
+    }
+
+    /// Borrows the shared-fabric view used by vCPU and device operations.
+    pub fn platform(&mut self) -> Platform<'_> {
+        Platform {
+            mem: &mut self.mem,
+            tlb: &mut self.tlb,
+            cache: &mut self.cache,
+            cycles: &self.cycles,
+            cost: &self.cost,
+            mktme: &mut self.mktme,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_machine_layout() {
+        let m = Machine::default_machine();
+        assert_eq!(m.mem.size(), 64 * 1024 * 1024);
+        assert_eq!(m.domain_ram.start, PhysAddr::new(0));
+        assert_eq!(m.domain_ram.len(), 48 * 1024 * 1024);
+        assert!(m.monitor_frames.capacity() > 0);
+        assert_eq!(m.cores, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "reservation exceeds RAM")]
+    fn oversized_reservation_panics() {
+        Machine::new(MachineConfig {
+            ram_bytes: 1024 * 1024,
+            monitor_reserved: 2 * 1024 * 1024,
+            ..MachineConfig::default()
+        });
+    }
+
+    #[test]
+    fn platform_view_reaches_memory() {
+        let mut m = Machine::default_machine();
+        let plat = m.platform();
+        plat.mem.write_u8(PhysAddr::new(0x100), 7).unwrap();
+        assert_eq!(m.mem.read_u8(PhysAddr::new(0x100)).unwrap(), 7);
+    }
+}

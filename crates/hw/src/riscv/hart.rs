@@ -1,0 +1,221 @@
+//! A RISC-V hart: privilege modes, traps, and PMP-checked memory access.
+//!
+//! The monitor runs in M-mode; domains run in S/U-mode. An `ecall` from
+//! S/U-mode traps into M-mode — that is the RISC-V analogue of VMCALL and
+//! the monitor's direct communication channel (§3.3). All S/U memory
+//! accesses are checked against the hart's PMP unit; the RISC-V backend
+//! identity-maps domains in physical memory, which is why the paper calls
+//! for "a careful memory layout of trust domains".
+
+use crate::addr::PhysAddr;
+use crate::machine::Platform;
+use crate::riscv::pmp::{PmpAccess, PmpFault, PmpUnit};
+
+/// RISC-V privilege modes (subset: no H extension).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub enum PrivMode {
+    /// User mode.
+    User,
+    /// Supervisor mode.
+    Supervisor,
+    /// Machine mode — where the monitor lives.
+    Machine,
+}
+
+/// A trap delivered to M-mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Trap {
+    /// Environment call from S/U-mode: `a7` holds the function id, `a0..a5`
+    /// the arguments (SBI-style calling convention).
+    Ecall {
+        /// Function identifier (register a7).
+        fid: u64,
+        /// Arguments (registers a0..a5).
+        args: [u64; 6],
+    },
+    /// PMP access fault.
+    AccessFault(PmpFault),
+}
+
+/// One hart (hardware thread).
+#[derive(Clone, Debug)]
+pub struct Hart {
+    /// Hart id.
+    pub id: usize,
+    /// Current privilege mode.
+    pub mode: PrivMode,
+    /// Program counter (used by the monitor to set domain entry points).
+    pub pc: u64,
+    /// The PMP unit guarding this hart's accesses.
+    pub pmp: PmpUnit,
+    /// Domain tag for cache/TLB accounting (monitor-assigned).
+    pub domain_tag: u64,
+}
+
+impl Hart {
+    /// Creates a hart in M-mode (reset state).
+    pub fn new(id: usize) -> Self {
+        Hart {
+            id,
+            mode: PrivMode::Machine,
+            pc: 0,
+            pmp: PmpUnit::new(),
+            domain_tag: 0,
+        }
+    }
+
+    /// True when the hart is in machine mode.
+    pub fn in_mmode(&self) -> bool {
+        self.mode == PrivMode::Machine
+    }
+
+    /// Executes `ecall`: traps to M-mode and returns the trap the monitor
+    /// dispatches. Charges the trap round-trip cost.
+    pub fn ecall(&mut self, plat: &mut Platform<'_>, fid: u64, args: [u64; 6]) -> Trap {
+        plat.cycles.charge(plat.cost.mmode_trap_roundtrip);
+        self.mode = PrivMode::Machine;
+        Trap::Ecall { fid, args }
+    }
+
+    /// Returns from M-mode to `mode` at `pc` (an `mret`).
+    pub fn mret(&mut self, mode: PrivMode, pc: u64) {
+        assert!(mode != PrivMode::Machine, "mret must lower privilege");
+        self.mode = mode;
+        self.pc = pc;
+    }
+
+    /// PMP-checked load.
+    pub fn read(
+        &self,
+        plat: &mut Platform<'_>,
+        addr: PhysAddr,
+        out: &mut [u8],
+    ) -> Result<(), Trap> {
+        self.pmp
+            .check(self.in_mmode(), addr, out.len() as u64, PmpAccess::Read)
+            .map_err(|f| self.fault(plat, f))?;
+        plat.cache.access(self.domain_tag, addr);
+        plat.mktme.read(plat.mem, addr, out).map_err(|_| {
+            Trap::AccessFault(PmpFault {
+                addr,
+                access: PmpAccess::Read,
+            })
+        })
+    }
+
+    /// PMP-checked store.
+    pub fn write(&self, plat: &mut Platform<'_>, addr: PhysAddr, data: &[u8]) -> Result<(), Trap> {
+        self.pmp
+            .check(self.in_mmode(), addr, data.len() as u64, PmpAccess::Write)
+            .map_err(|f| self.fault(plat, f))?;
+        plat.cache.access(self.domain_tag, addr);
+        plat.mktme.write(plat.mem, addr, data).map_err(|_| {
+            Trap::AccessFault(PmpFault {
+                addr,
+                access: PmpAccess::Write,
+            })
+        })
+    }
+
+    /// PMP-checked instruction fetch (permission check only).
+    pub fn fetch(&self, plat: &mut Platform<'_>, addr: PhysAddr) -> Result<(), Trap> {
+        self.pmp
+            .check(self.in_mmode(), addr, 4, PmpAccess::Exec)
+            .map_err(|f| self.fault(plat, f))?;
+        Ok(())
+    }
+
+    /// Charges the trap cost for a PMP fault and wraps it.
+    fn fault(&self, plat: &mut Platform<'_>, f: PmpFault) -> Trap {
+        plat.cycles.charge(plat.cost.mmode_trap_roundtrip);
+        Trap::AccessFault(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::riscv::pmp::{napot_addr, AddressMode, PmpEntry};
+
+    fn rw_entry(base: u64, size: u64) -> PmpEntry {
+        PmpEntry {
+            r: true,
+            w: true,
+            x: false,
+            a: AddressMode::Napot,
+            l: false,
+            addr: napot_addr(base, size),
+        }
+    }
+
+    #[test]
+    fn smode_confined_by_pmp() {
+        let mut m = Machine::default_machine();
+        let mut hart = Hart::new(0);
+        hart.pmp.set(0, rw_entry(0x10000, 0x1000));
+        hart.mret(PrivMode::Supervisor, 0x10000);
+        assert_eq!(hart.mode, PrivMode::Supervisor);
+
+        hart.write(&mut m.platform(), PhysAddr::new(0x10010), b"ok")
+            .unwrap();
+        let mut out = [0u8; 2];
+        hart.read(&mut m.platform(), PhysAddr::new(0x10010), &mut out)
+            .unwrap();
+        assert_eq!(&out, b"ok");
+
+        let err = hart
+            .write(&mut m.platform(), PhysAddr::new(0x20000), b"no")
+            .unwrap_err();
+        assert!(matches!(err, Trap::AccessFault(f) if f.access == PmpAccess::Write));
+    }
+
+    #[test]
+    fn mmode_unrestricted_by_unlocked_entries() {
+        let mut m = Machine::default_machine();
+        let hart = Hart::new(0); // reset state: M-mode
+        hart.write(&mut m.platform(), PhysAddr::new(0x100), b"m")
+            .unwrap();
+    }
+
+    #[test]
+    fn ecall_raises_to_mmode_and_charges() {
+        let mut m = Machine::default_machine();
+        let mut hart = Hart::new(0);
+        hart.mret(PrivMode::User, 0x1000);
+        let before = m.cycles.now();
+        let trap = hart.ecall(&mut m.platform(), 7, [1, 2, 3, 4, 5, 6]);
+        assert_eq!(
+            trap,
+            Trap::Ecall {
+                fid: 7,
+                args: [1, 2, 3, 4, 5, 6]
+            }
+        );
+        assert!(hart.in_mmode());
+        assert_eq!(m.cycles.since(before), m.cost.mmode_trap_roundtrip);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower privilege")]
+    fn mret_to_mmode_panics() {
+        Hart::new(0).mret(PrivMode::Machine, 0);
+    }
+
+    #[test]
+    fn fetch_requires_exec() {
+        let mut m = Machine::default_machine();
+        let mut hart = Hart::new(0);
+        hart.pmp.set(0, rw_entry(0x10000, 0x1000)); // rw-, no exec
+        hart.mret(PrivMode::Supervisor, 0x10000);
+        assert!(hart
+            .fetch(&mut m.platform(), PhysAddr::new(0x10000))
+            .is_err());
+        let mut xe = rw_entry(0x20000, 0x1000);
+        xe.x = true;
+        hart.pmp.set(1, xe);
+        assert!(hart
+            .fetch(&mut m.platform(), PhysAddr::new(0x20000))
+            .is_ok());
+    }
+}

@@ -1,0 +1,15 @@
+//! RISC-V machine-mode model: PMP and the trap interface.
+//!
+//! §3.3/§4 of the paper: on RISC-V, Tyche runs in machine mode — "the most
+//! privileged programmable execution level" — and protects physical memory
+//! with PMP, which "only supports a fixed number of segments, which
+//! requires a careful memory layout of trust domains and validation by the
+//! monitor". This module models PMP exactly as the privileged spec defines
+//! it (entry formats, priority, lock bits) and the M/S/U trap interface the
+//! monitor call path uses.
+
+pub mod hart;
+pub mod pmp;
+
+pub use hart::{Hart, PrivMode, Trap};
+pub use pmp::{AddressMode, PmpEntry, PmpFault, PmpUnit, PMP_ENTRIES};

@@ -1,0 +1,436 @@
+//! Physical Memory Protection, per the RISC-V privileged specification.
+//!
+//! Modeled behaviours that the monitor relies on:
+//!
+//! - a fixed bank of [`PMP_ENTRIES`] entries (16, the common silicon
+//!   configuration) — the scarcity the paper's PMP backend must manage;
+//! - address modes OFF / TOR / NA4 / NAPOT with the spec's encodings;
+//! - *priority*: the lowest-numbered matching entry decides, regardless of
+//!   later entries;
+//! - accesses that only partially match an entry fail;
+//! - S/U-mode accesses with no matching entry fail; M-mode accesses with no
+//!   matching entry succeed;
+//! - the lock bit `L`: a locked entry applies to M-mode too and its CSRs
+//!   ignore writes until reset.
+
+use crate::addr::PhysAddr;
+
+/// Number of PMP entries in the modeled hart.
+pub const PMP_ENTRIES: usize = 16;
+
+/// The `A` field of a pmpcfg byte: how `pmpaddr` encodes a region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AddressMode {
+    /// Entry disabled.
+    #[default]
+    Off,
+    /// Top-of-range: matches `[pmpaddr[i-1] << 2, pmpaddr[i] << 2)`.
+    Tor,
+    /// Naturally aligned four-byte region.
+    Na4,
+    /// Naturally aligned power-of-two region (size ≥ 8 bytes).
+    Napot,
+}
+
+/// The kind of access being checked.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PmpAccess {
+    /// Load.
+    Read,
+    /// Store.
+    Write,
+    /// Instruction fetch.
+    Exec,
+}
+
+/// One PMP entry: configuration byte fields plus the address CSR.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PmpEntry {
+    /// Read permission.
+    pub r: bool,
+    /// Write permission.
+    pub w: bool,
+    /// Execute permission.
+    pub x: bool,
+    /// Address-matching mode.
+    pub a: AddressMode,
+    /// Lock bit: applies to M-mode and freezes the entry.
+    pub l: bool,
+    /// The raw `pmpaddr` CSR value (physical address >> 2, possibly with
+    /// NAPOT size encoding in the low bits).
+    pub addr: u64,
+}
+
+impl PmpEntry {
+    /// Decodes the byte range this entry covers, given the previous
+    /// entry's `pmpaddr` (needed for TOR). Returns `(base, len)` or `None`
+    /// when the entry is off or encodes an empty range.
+    pub fn region(&self, prev_addr: u64) -> Option<(u64, u64)> {
+        match self.a {
+            AddressMode::Off => None,
+            AddressMode::Tor => {
+                let base = prev_addr << 2;
+                let top = self.addr << 2;
+                (top > base).then(|| (base, top - base))
+            }
+            AddressMode::Na4 => Some((self.addr << 2, 4)),
+            AddressMode::Napot => {
+                // addr = (base >> 2) | ((size/8) - 1): trailing ones give
+                // the size.
+                let ones = self.addr.trailing_ones() as u64;
+                if ones >= 62 {
+                    return None; // unrepresentable in the model
+                }
+                let size = 8u64 << ones;
+                let base = (self.addr & !((1u64 << (ones + 1)) - 1)) << 2;
+                Some((base, size))
+            }
+        }
+    }
+
+    /// True when this entry's permissions allow `access`.
+    fn allows(&self, access: PmpAccess) -> bool {
+        match access {
+            PmpAccess::Read => self.r,
+            PmpAccess::Write => self.w,
+            PmpAccess::Exec => self.x,
+        }
+    }
+}
+
+/// Encodes a NAPOT `pmpaddr` value for a naturally-aligned region.
+///
+/// # Panics
+///
+/// Panics if `size` is not a power of two ≥ 8 or `base` is not aligned to
+/// `size`.
+pub fn napot_addr(base: u64, size: u64) -> u64 {
+    assert!(
+        size.is_power_of_two() && size >= 8,
+        "NAPOT size must be a power of two >= 8"
+    );
+    assert!(
+        base.is_multiple_of(size),
+        "NAPOT base must be aligned to its size"
+    );
+    (base >> 2) | ((size / 8) - 1)
+}
+
+/// A PMP access fault (reported to M-mode as an access exception).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PmpFault {
+    /// Faulting physical address.
+    pub addr: PhysAddr,
+    /// The attempted access.
+    pub access: PmpAccess,
+}
+
+/// The PMP unit of one hart.
+#[derive(Clone, Debug, Default)]
+pub struct PmpUnit {
+    entries: [PmpEntry; PMP_ENTRIES],
+}
+
+impl PmpUnit {
+    /// Creates a PMP unit with all entries off.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes entry `i`. Writes to locked entries are ignored, as the spec
+    /// requires (they stay in force until hart reset).
+    ///
+    /// Returns `true` when the write took effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, entry: PmpEntry) -> bool {
+        assert!(i < PMP_ENTRIES, "PMP index {i} out of range");
+        if self.entries[i].l {
+            return false;
+        }
+        // A locked TOR entry also locks the *previous* pmpaddr register.
+        if i + 1 < PMP_ENTRIES
+            && self.entries[i + 1].l
+            && self.entries[i + 1].a == AddressMode::Tor
+            && entry.addr != self.entries[i].addr
+        {
+            return false;
+        }
+        self.entries[i] = entry;
+        true
+    }
+
+    /// Reads entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> PmpEntry {
+        assert!(i < PMP_ENTRIES, "PMP index {i} out of range");
+        self.entries[i]
+    }
+
+    /// Clears all non-locked entries (what the monitor does on a domain
+    /// switch before installing the next domain's layout).
+    pub fn clear_unlocked(&mut self) {
+        for i in 0..PMP_ENTRIES {
+            if !self.entries[i].l {
+                self.entries[i] = PmpEntry::default();
+            }
+        }
+    }
+
+    /// Number of entries currently off (available for a domain layout).
+    pub fn free_entries(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.a == AddressMode::Off && !e.l)
+            .count()
+    }
+
+    /// Checks an access of `len` bytes at `addr` from privilege `machine
+    /// mode?` (`m_mode`).
+    ///
+    /// Per the spec: the lowest-numbered entry matching the access decides;
+    /// a partial match faults; no match faults in S/U and succeeds in M.
+    pub fn check(
+        &self,
+        m_mode: bool,
+        addr: PhysAddr,
+        len: u64,
+        access: PmpAccess,
+    ) -> Result<(), PmpFault> {
+        let start = addr.as_u64();
+        let end = start.saturating_add(len.max(1));
+        let fault = PmpFault { addr, access };
+        for i in 0..PMP_ENTRIES {
+            let prev = if i == 0 { 0 } else { self.entries[i - 1].addr };
+            let Some((base, size)) = self.entries[i].region(prev) else {
+                continue;
+            };
+            let rtop = base.saturating_add(size);
+            let overlaps = start < rtop && base < end;
+            if !overlaps {
+                continue;
+            }
+            let fully_inside = base <= start && end <= rtop;
+            if !fully_inside {
+                return Err(fault); // partial match always faults
+            }
+            let e = &self.entries[i];
+            // M-mode bypasses non-locked entries.
+            if m_mode && !e.l {
+                return Ok(());
+            }
+            return if e.allows(access) { Ok(()) } else { Err(fault) };
+        }
+        if m_mode {
+            Ok(())
+        } else {
+            Err(fault)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn napot_entry(base: u64, size: u64, r: bool, w: bool, x: bool) -> PmpEntry {
+        PmpEntry {
+            r,
+            w,
+            x,
+            a: AddressMode::Napot,
+            l: false,
+            addr: napot_addr(base, size),
+        }
+    }
+
+    #[test]
+    fn napot_encoding_roundtrip() {
+        let e = napot_entry(0x8000_0000, 0x1000, true, true, false);
+        assert_eq!(e.region(0), Some((0x8000_0000, 0x1000)));
+        let tiny = napot_entry(0x100, 8, true, false, false);
+        assert_eq!(tiny.region(0), Some((0x100, 8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn napot_misaligned_panics() {
+        napot_addr(0x1004, 0x1000);
+    }
+
+    #[test]
+    fn na4_and_tor_regions() {
+        let na4 = PmpEntry {
+            r: true,
+            a: AddressMode::Na4,
+            addr: 0x100 >> 2,
+            ..Default::default()
+        };
+        assert_eq!(na4.region(0), Some((0x100, 4)));
+        let tor = PmpEntry {
+            r: true,
+            a: AddressMode::Tor,
+            addr: 0x2000 >> 2,
+            ..Default::default()
+        };
+        assert_eq!(tor.region(0x1000 >> 2), Some((0x1000, 0x1000)));
+        // Empty TOR range.
+        assert_eq!(tor.region(0x3000 >> 2), None);
+    }
+
+    #[test]
+    fn smode_default_deny() {
+        let pmp = PmpUnit::new();
+        assert!(pmp
+            .check(false, PhysAddr::new(0x1000), 4, PmpAccess::Read)
+            .is_err());
+        // M-mode default allow.
+        assert!(pmp
+            .check(true, PhysAddr::new(0x1000), 4, PmpAccess::Read)
+            .is_ok());
+    }
+
+    #[test]
+    fn smode_allowed_inside_region() {
+        let mut pmp = PmpUnit::new();
+        pmp.set(0, napot_entry(0x8000_0000, 0x10000, true, true, false));
+        assert!(pmp
+            .check(false, PhysAddr::new(0x8000_0100), 8, PmpAccess::Read)
+            .is_ok());
+        assert!(pmp
+            .check(false, PhysAddr::new(0x8000_0100), 8, PmpAccess::Write)
+            .is_ok());
+        assert!(pmp
+            .check(false, PhysAddr::new(0x8000_0100), 8, PmpAccess::Exec)
+            .is_err());
+        // Outside the region: fault.
+        assert!(pmp
+            .check(false, PhysAddr::new(0x8001_0000), 8, PmpAccess::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn priority_lowest_entry_wins() {
+        let mut pmp = PmpUnit::new();
+        // Entry 0: small no-access hole; entry 1: big RW region over it.
+        pmp.set(0, napot_entry(0x8000_1000, 0x1000, false, false, false));
+        pmp.set(1, napot_entry(0x8000_0000, 0x10000, true, true, false));
+        assert!(pmp
+            .check(false, PhysAddr::new(0x8000_0000), 8, PmpAccess::Read)
+            .is_ok());
+        // Inside the hole, entry 0 matches first and denies.
+        assert!(pmp
+            .check(false, PhysAddr::new(0x8000_1000), 8, PmpAccess::Read)
+            .is_err());
+        // Reversing the order would hide the hole behind the allow rule.
+        let mut rev = PmpUnit::new();
+        rev.set(0, napot_entry(0x8000_0000, 0x10000, true, true, false));
+        rev.set(1, napot_entry(0x8000_1000, 0x1000, false, false, false));
+        assert!(rev
+            .check(false, PhysAddr::new(0x8000_1000), 8, PmpAccess::Read)
+            .is_ok());
+    }
+
+    #[test]
+    fn partial_match_faults() {
+        let mut pmp = PmpUnit::new();
+        pmp.set(0, napot_entry(0x1000, 0x1000, true, true, true));
+        // Access straddling the end of the region.
+        assert!(pmp
+            .check(false, PhysAddr::new(0x1ffc), 8, PmpAccess::Read)
+            .is_err());
+        // Even in M-mode a partial match faults.
+        assert!(pmp
+            .check(true, PhysAddr::new(0x1ffc), 8, PmpAccess::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn locked_entry_applies_to_mmode_and_resists_writes() {
+        let mut pmp = PmpUnit::new();
+        let mut e = napot_entry(0x0, 0x1000, true, false, false);
+        e.l = true;
+        assert!(pmp.set(0, e));
+        // M-mode write into the locked read-only region faults: this is how
+        // the monitor protects itself from... itself (and from a takeover).
+        assert!(pmp
+            .check(true, PhysAddr::new(0x100), 4, PmpAccess::Write)
+            .is_err());
+        assert!(pmp
+            .check(true, PhysAddr::new(0x100), 4, PmpAccess::Read)
+            .is_ok());
+        // Writes to the locked entry are ignored.
+        assert!(!pmp.set(0, napot_entry(0x0, 0x1000, true, true, true)));
+        assert!(!pmp.get(0).w, "locked entry unchanged");
+    }
+
+    #[test]
+    fn clear_unlocked_preserves_locked() {
+        let mut pmp = PmpUnit::new();
+        let mut locked = napot_entry(0, 0x1000, true, false, false);
+        locked.l = true;
+        pmp.set(0, locked);
+        pmp.set(1, napot_entry(0x2000, 0x1000, true, true, false));
+        assert_eq!(pmp.free_entries(), 14);
+        pmp.clear_unlocked();
+        assert_eq!(pmp.free_entries(), 15);
+        assert!(pmp.get(0).l);
+        assert_eq!(pmp.get(1).a, AddressMode::Off);
+    }
+
+    #[test]
+    fn tor_chain_layout() {
+        // A classic monitor layout: [0, monitor_end) locked no-access from
+        // S-mode, then TOR segments for the domain.
+        let mut pmp = PmpUnit::new();
+        let guard = PmpEntry {
+            r: false,
+            w: false,
+            x: false,
+            a: AddressMode::Tor,
+            l: true,
+            addr: 0x10_0000 >> 2,
+        };
+        assert!(pmp.set(0, guard));
+        // Domain segment [0x10_0000, 0x40_0000) RWX via TOR entry 1.
+        pmp.set(
+            1,
+            PmpEntry {
+                r: true,
+                w: true,
+                x: true,
+                a: AddressMode::Tor,
+                addr: 0x40_0000 >> 2,
+                ..Default::default()
+            },
+        );
+        assert!(
+            pmp.check(false, PhysAddr::new(0x1000), 4, PmpAccess::Read)
+                .is_err(),
+            "monitor hidden"
+        );
+        assert!(pmp
+            .check(false, PhysAddr::new(0x20_0000), 4, PmpAccess::Exec)
+            .is_ok());
+        assert!(pmp
+            .check(false, PhysAddr::new(0x50_0000), 4, PmpAccess::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn zero_length_access_checked_as_one_byte() {
+        let mut pmp = PmpUnit::new();
+        pmp.set(0, napot_entry(0x1000, 0x1000, true, false, false));
+        assert!(pmp
+            .check(false, PhysAddr::new(0x1000), 0, PmpAccess::Read)
+            .is_ok());
+        assert!(pmp
+            .check(false, PhysAddr::new(0x3000), 0, PmpAccess::Read)
+            .is_err());
+    }
+}

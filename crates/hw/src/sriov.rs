@@ -1,0 +1,401 @@
+//! SR-IOV: one physical device, many isolatable virtual functions.
+//!
+//! §4.2 lists "safely multiplexing (with and without SR-IOV) PCI
+//! devices, e.g., GPUs, among TEEs" as a libtyche extension. The enabler
+//! is SR-IOV: a physical function (PF) exposes virtual functions (VFs),
+//! each with its *own* bus id — so the I/O-MMU can give every VF a
+//! different translation context, and the monitor can hand different VFs
+//! to mutually distrustful domains.
+//!
+//! The model here is an SR-IOV NIC with an internal loopback switch:
+//! each VF has a TX doorbell and an RX ring (both in its owner's memory,
+//! reached by DMA through that VF's I/O-MMU context). Packets sent on
+//! one VF are delivered into the destination VF's RX ring — the device
+//! moves data between domains *without either domain mapping the other's
+//! memory*, which is precisely the controlled-sharing story.
+
+use crate::addr::GuestPhysAddr;
+use crate::iommu::{DeviceId, DmaFault, Iommu};
+use crate::mem::PhysMem;
+use std::collections::HashMap;
+
+/// A virtual function index on a physical device.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VfIndex(pub u16);
+
+/// Ring configuration for one VF, programmed by its owning domain.
+#[derive(Clone, Copy, Debug)]
+pub struct VfRing {
+    /// Device-visible base address of the RX ring.
+    pub rx_base: GuestPhysAddr,
+    /// RX ring capacity in slots.
+    pub rx_slots: u32,
+    /// Fixed slot size in bytes.
+    pub slot_bytes: u32,
+}
+
+/// Per-VF state.
+struct Vf {
+    ring: Option<VfRing>,
+    /// Next RX slot to fill.
+    rx_head: u32,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets dropped (no ring / ring overrun in this simple model).
+    pub dropped: u64,
+}
+
+/// An SR-IOV NIC with `vf_count` virtual functions and a loopback
+/// switch.
+pub struct SriovNic {
+    /// The physical function's bus id; VF `i` gets `pf + 1 + i`.
+    pub pf: DeviceId,
+    vfs: HashMap<VfIndex, Vf>,
+}
+
+impl SriovNic {
+    /// Creates a NIC with `vf_count` VFs.
+    pub fn new(pf: DeviceId, vf_count: u16) -> Self {
+        let vfs = (0..vf_count)
+            .map(|i| {
+                (
+                    VfIndex(i),
+                    Vf {
+                        ring: None,
+                        rx_head: 0,
+                        delivered: 0,
+                        dropped: 0,
+                    },
+                )
+            })
+            .collect();
+        SriovNic { pf, vfs }
+    }
+
+    /// The bus id of VF `i` — what the monitor attaches to a domain's
+    /// translation context and what the capability engine names.
+    pub fn vf_device_id(&self, i: VfIndex) -> DeviceId {
+        DeviceId(self.pf.0 + 1 + i.0)
+    }
+
+    /// Number of VFs.
+    pub fn vf_count(&self) -> usize {
+        self.vfs.len()
+    }
+
+    /// Programs VF `i`'s RX ring (done by the owning domain through its
+    /// driver; addresses are in the VF's own DMA space).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown VF index — driver bug, not runtime input.
+    pub fn configure_ring(&mut self, i: VfIndex, ring: VfRing) {
+        let vf = self.vfs.get_mut(&i).expect("VF exists");
+        vf.ring = Some(ring);
+        vf.rx_head = 0;
+    }
+
+    /// TX doorbell on VF `src`: reads `len` bytes from `addr` (through
+    /// `src`'s I/O-MMU context) and delivers them into `dst`'s RX ring
+    /// (through `dst`'s context). Returns the RX slot used.
+    ///
+    /// Errors surface exactly where hardware faults: a bad TX buffer
+    /// faults against the *sender's* context; a bad RX ring faults
+    /// against the *receiver's*.
+    pub fn send(
+        &mut self,
+        iommu: &mut Iommu,
+        mem: &mut PhysMem,
+        src: VfIndex,
+        dst: VfIndex,
+        addr: GuestPhysAddr,
+        len: u32,
+    ) -> Result<u32, SendError> {
+        let src_dev = self.vf_device_id(src);
+        let dst_dev = self.vf_device_id(dst);
+        let dst_ring = {
+            let vf = self.vfs.get(&dst).ok_or(SendError::NoSuchVf(dst))?;
+            match vf.ring {
+                Some(r) => r,
+                None => {
+                    self.vfs.get_mut(&dst).expect("checked").dropped += 1;
+                    return Err(SendError::NoRing(dst));
+                }
+            }
+        };
+        if len > dst_ring.slot_bytes {
+            return Err(SendError::TooLarge {
+                len,
+                slot: dst_ring.slot_bytes,
+            });
+        }
+        // DMA read from the sender's space.
+        let mut payload = vec![0u8; len as usize];
+        iommu
+            .dma_read(mem, src_dev, addr, &mut payload)
+            .map_err(SendError::TxFault)?;
+        // DMA write into the receiver's ring slot.
+        let slot = {
+            let vf = self.vfs.get_mut(&dst).expect("checked");
+            let s = vf.rx_head % dst_ring.rx_slots;
+            vf.rx_head = vf.rx_head.wrapping_add(1);
+            s
+        };
+        let slot_addr = GuestPhysAddr::new(
+            dst_ring.rx_base.as_u64() + (slot as u64) * (dst_ring.slot_bytes as u64),
+        );
+        match iommu.dma_write(mem, dst_dev, slot_addr, &payload) {
+            Ok(()) => {
+                self.vfs.get_mut(&dst).expect("checked").delivered += 1;
+                Ok(slot)
+            }
+            Err(f) => {
+                self.vfs.get_mut(&dst).expect("checked").dropped += 1;
+                Err(SendError::RxFault(f))
+            }
+        }
+    }
+
+    /// Delivery statistics for VF `i`: `(delivered, dropped)`.
+    pub fn stats(&self, i: VfIndex) -> Option<(u64, u64)> {
+        self.vfs.get(&i).map(|v| (v.delivered, v.dropped))
+    }
+}
+
+/// Why a send failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendError {
+    /// Unknown destination VF.
+    NoSuchVf(VfIndex),
+    /// Destination VF has no RX ring configured.
+    NoRing(VfIndex),
+    /// Payload exceeds the destination slot size.
+    TooLarge {
+        /// Attempted length.
+        len: u32,
+        /// Slot capacity.
+        slot: u32,
+    },
+    /// The sender's DMA read faulted (bad TX buffer).
+    TxFault(DmaFault),
+    /// The receiver's DMA write faulted (bad RX ring).
+    RxFault(DmaFault),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PhysAddr, PhysRange, PAGE_SIZE};
+    use crate::mem::FrameAllocator;
+    use crate::x86::ept::{Ept, EptFlags};
+
+    /// Two isolated DMA spaces (domains), each owning one VF.
+    struct Fixture {
+        mem: PhysMem,
+        iommu: Iommu,
+        nic: SriovNic,
+    }
+
+    fn setup() -> Fixture {
+        let mut mem = PhysMem::new(256 * PAGE_SIZE);
+        let mut alloc =
+            FrameAllocator::new(PhysRange::from_len(PhysAddr::new(0x80000), 128 * PAGE_SIZE));
+        let mut iommu = Iommu::new();
+        let mut nic = SriovNic::new(DeviceId(0x100), 2);
+        // Domain A's space: identity window [0x10000, 0x14000).
+        let ept_a = Ept::new(&mut mem, &mut alloc).unwrap();
+        ept_a
+            .map_range(
+                &mut mem,
+                &mut alloc,
+                GuestPhysAddr::new(0x10000),
+                PhysAddr::new(0x10000),
+                4 * PAGE_SIZE,
+                EptFlags::RW,
+            )
+            .unwrap();
+        // Domain B's space: identity window [0x20000, 0x24000).
+        let ept_b = Ept::new(&mut mem, &mut alloc).unwrap();
+        ept_b
+            .map_range(
+                &mut mem,
+                &mut alloc,
+                GuestPhysAddr::new(0x20000),
+                PhysAddr::new(0x20000),
+                4 * PAGE_SIZE,
+                EptFlags::RW,
+            )
+            .unwrap();
+        iommu.attach(nic.vf_device_id(VfIndex(0)), ept_a.root());
+        iommu.attach(nic.vf_device_id(VfIndex(1)), ept_b.root());
+        nic.configure_ring(
+            VfIndex(0),
+            VfRing {
+                rx_base: GuestPhysAddr::new(0x12000),
+                rx_slots: 4,
+                slot_bytes: 256,
+            },
+        );
+        nic.configure_ring(
+            VfIndex(1),
+            VfRing {
+                rx_base: GuestPhysAddr::new(0x22000),
+                rx_slots: 4,
+                slot_bytes: 256,
+            },
+        );
+        Fixture { mem, iommu, nic }
+    }
+
+    #[test]
+    fn vf_ids_are_distinct_bus_ids() {
+        let nic = SriovNic::new(DeviceId(0x100), 4);
+        let ids: std::collections::HashSet<_> =
+            (0..4).map(|i| nic.vf_device_id(VfIndex(i))).collect();
+        assert_eq!(ids.len(), 4);
+        assert!(!ids.contains(&nic.pf));
+    }
+
+    #[test]
+    fn cross_domain_packet_flow() {
+        let mut fx = setup();
+        fx.mem
+            .write(PhysAddr::new(0x10000), b"hello from A")
+            .unwrap();
+        let slot = fx
+            .nic
+            .send(
+                &mut fx.iommu,
+                &mut fx.mem,
+                VfIndex(0),
+                VfIndex(1),
+                GuestPhysAddr::new(0x10000),
+                12,
+            )
+            .unwrap();
+        assert_eq!(slot, 0);
+        let mut got = [0u8; 12];
+        fx.mem.read(PhysAddr::new(0x22000), &mut got).unwrap();
+        assert_eq!(&got, b"hello from A");
+        assert_eq!(fx.nic.stats(VfIndex(1)), Some((1, 0)));
+    }
+
+    #[test]
+    fn rings_wrap() {
+        let mut fx = setup();
+        fx.mem.write(PhysAddr::new(0x10000), b"pkt").unwrap();
+        for expect_slot in [0u32, 1, 2, 3, 0, 1] {
+            let s = fx
+                .nic
+                .send(
+                    &mut fx.iommu,
+                    &mut fx.mem,
+                    VfIndex(0),
+                    VfIndex(1),
+                    GuestPhysAddr::new(0x10000),
+                    3,
+                )
+                .unwrap();
+            assert_eq!(s, expect_slot);
+        }
+    }
+
+    #[test]
+    fn tx_confined_to_senders_space() {
+        let mut fx = setup();
+        // A tries to transmit *B's* memory — the VF's context does not
+        // map it, so the DMA read faults. The device cannot be used to
+        // exfiltrate another domain's data.
+        let err = fx
+            .nic
+            .send(
+                &mut fx.iommu,
+                &mut fx.mem,
+                VfIndex(0),
+                VfIndex(1),
+                GuestPhysAddr::new(0x20000),
+                8,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SendError::TxFault(_)));
+    }
+
+    #[test]
+    fn rx_ring_must_be_in_receivers_space() {
+        let mut fx = setup();
+        // B maliciously points its RX ring at A's memory; deliveries
+        // fault against *B's* context instead of scribbling on A.
+        fx.nic.configure_ring(
+            VfIndex(1),
+            VfRing {
+                rx_base: GuestPhysAddr::new(0x10000), // A's window
+                rx_slots: 4,
+                slot_bytes: 256,
+            },
+        );
+        fx.mem.write(PhysAddr::new(0x11000), b"x").unwrap();
+        let err = fx
+            .nic
+            .send(
+                &mut fx.iommu,
+                &mut fx.mem,
+                VfIndex(0),
+                VfIndex(1),
+                GuestPhysAddr::new(0x11000),
+                1,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SendError::RxFault(_)));
+        assert_eq!(fx.nic.stats(VfIndex(1)).unwrap().1, 1, "counted as a drop");
+    }
+
+    #[test]
+    fn unconfigured_ring_drops() {
+        let mut fx = setup();
+        let mut nic2 = SriovNic::new(DeviceId(0x200), 2);
+        nic2.configure_ring(
+            VfIndex(0),
+            VfRing {
+                rx_base: GuestPhysAddr::new(0x12000),
+                rx_slots: 1,
+                slot_bytes: 64,
+            },
+        );
+        // VF1 never configured a ring.
+        fx.mem.write(PhysAddr::new(0x10000), b"p").unwrap();
+        let err = nic2
+            .send(
+                &mut fx.iommu,
+                &mut fx.mem,
+                VfIndex(0),
+                VfIndex(1),
+                GuestPhysAddr::new(0x10000),
+                1,
+            )
+            .unwrap_err();
+        assert_eq!(err, SendError::NoRing(VfIndex(1)));
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut fx = setup();
+        let err = fx
+            .nic
+            .send(
+                &mut fx.iommu,
+                &mut fx.mem,
+                VfIndex(0),
+                VfIndex(1),
+                GuestPhysAddr::new(0x10000),
+                512,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SendError::TooLarge {
+                len: 512,
+                slot: 256
+            }
+        );
+    }
+}

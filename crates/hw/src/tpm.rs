@@ -1,0 +1,276 @@
+//! A TPM-like hardware root of trust and measured boot.
+//!
+//! §3.4 of the paper: "a hardware root of trust, such as an
+//! industry-standard TPM, measures the machine's boot-process and provides
+//! a signed remotely-verifiable attestation that the machine is under the
+//! complete control of a specific monitor implementation." This module
+//! models the pieces that protocol needs: a PCR bank with extend-only
+//! semantics, quote generation over a selection of PCRs and a verifier
+//! nonce, and an endorsement key whose verifying half a remote party holds.
+
+use crate::addr::PhysRange;
+use crate::mem::PhysMem;
+use tyche_crypto::sign::{Signature, SigningKey, VerifyingKey};
+use tyche_crypto::{hash_parts, ChaChaRng, Digest};
+
+/// Number of platform configuration registers, as in TPM 2.0.
+pub const PCR_COUNT: usize = 24;
+
+/// PCR index conventionally used for the monitor binary measurement (the
+/// TXT "measured launch environment" register).
+pub const PCR_MONITOR: usize = 17;
+
+/// PCR index used for the monitor's configuration (cost model, platform).
+pub const PCR_CONFIG: usize = 18;
+
+/// A quote: signed evidence of PCR contents at a point in time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Quote {
+    /// Which PCRs were quoted, in index order.
+    pub pcr_selection: Vec<usize>,
+    /// The quoted PCR values, parallel to `pcr_selection`.
+    pub pcr_values: Vec<Digest>,
+    /// The verifier-supplied anti-replay nonce.
+    pub nonce: [u8; 32],
+    /// Signature over the canonical serialization of the above.
+    pub signature: Signature,
+}
+
+impl Quote {
+    /// Canonical byte serialization covered by the signature.
+    fn message(pcr_selection: &[usize], pcr_values: &[Digest], nonce: &[u8; 32]) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(16 + pcr_selection.len() * 40 + 32);
+        msg.extend_from_slice(b"tpm-quote-v1");
+        msg.extend_from_slice(&(pcr_selection.len() as u32).to_le_bytes());
+        for (idx, val) in pcr_selection.iter().zip(pcr_values.iter()) {
+            msg.extend_from_slice(&(*idx as u32).to_le_bytes());
+            msg.extend_from_slice(val.as_bytes());
+        }
+        msg.extend_from_slice(nonce);
+        msg
+    }
+
+    /// Verifies the quote signature and freshness against `nonce`.
+    pub fn verify(&self, key: &VerifyingKey, nonce: &[u8; 32]) -> bool {
+        if &self.nonce != nonce || self.pcr_selection.len() != self.pcr_values.len() {
+            return false;
+        }
+        let msg = Self::message(&self.pcr_selection, &self.pcr_values, &self.nonce);
+        key.verify(&msg, &self.signature)
+    }
+
+    /// Returns the quoted value of `pcr`, if it was in the selection.
+    pub fn pcr(&self, pcr: usize) -> Option<Digest> {
+        self.pcr_selection
+            .iter()
+            .position(|&i| i == pcr)
+            .map(|p| self.pcr_values[p])
+    }
+}
+
+/// The TPM model.
+pub struct Tpm {
+    pcrs: [Digest; PCR_COUNT],
+    /// Endorsement/attestation signing key (MAC-based; see DESIGN.md).
+    ak: SigningKey,
+    /// Deterministic entropy source for nonces and derived keys.
+    rng: ChaChaRng,
+    /// Event log: every extend recorded as `(pcr, description, digest)`.
+    log: Vec<(usize, String, Digest)>,
+}
+
+impl Tpm {
+    /// Creates a TPM whose endorsement seed derives from `seed`
+    /// (deterministic so experiments are reproducible).
+    pub fn new_with_seed(seed: u64) -> Self {
+        let mut rng = ChaChaRng::from_seed(seed);
+        let ek_seed = rng.next_bytes32();
+        Tpm {
+            pcrs: [Digest::ZERO; PCR_COUNT],
+            ak: SigningKey::derive(&ek_seed, "tpm-attestation-key"),
+            rng,
+            log: Vec::new(),
+        }
+    }
+
+    /// The verifying key a remote party uses to check quotes. Distributing
+    /// this key models the TPM-vendor certificate chain.
+    pub fn attestation_key(&self) -> VerifyingKey {
+        self.ak.verifying_key()
+    }
+
+    /// Extends `pcr` with `measurement`: `PCR ← H(PCR || measurement)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pcr` is out of range.
+    pub fn extend(&mut self, pcr: usize, description: &str, measurement: Digest) {
+        assert!(pcr < PCR_COUNT, "PCR index {pcr} out of range");
+        self.pcrs[pcr] = hash_parts(&[self.pcrs[pcr].as_bytes(), measurement.as_bytes()]);
+        self.log.push((pcr, description.to_string(), measurement));
+    }
+
+    /// Reads the current value of `pcr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pcr` is out of range.
+    pub fn read_pcr(&self, pcr: usize) -> Digest {
+        assert!(pcr < PCR_COUNT, "PCR index {pcr} out of range");
+        self.pcrs[pcr]
+    }
+
+    /// The extend event log (for auditing which measurements produced the
+    /// PCR values).
+    pub fn event_log(&self) -> &[(usize, String, Digest)] {
+        &self.log
+    }
+
+    /// Produces a signed quote over `pcr_selection` with the verifier's
+    /// `nonce`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any selected PCR index is out of range.
+    pub fn quote(&self, pcr_selection: &[usize], nonce: [u8; 32]) -> Quote {
+        let pcr_values: Vec<Digest> = pcr_selection.iter().map(|&i| self.read_pcr(i)).collect();
+        let msg = Quote::message(pcr_selection, &pcr_values, &nonce);
+        Quote {
+            pcr_selection: pcr_selection.to_vec(),
+            pcr_values,
+            nonce,
+            signature: self.ak.sign(&msg),
+        }
+    }
+
+    /// Draws a fresh nonce (also usable by local verifiers in tests).
+    pub fn fresh_nonce(&mut self) -> [u8; 32] {
+        self.rng.next_bytes32()
+    }
+}
+
+/// Replays an event log against reset PCRs and checks it reproduces
+/// `expected` for each quoted register — how a verifier validates that a
+/// quote corresponds to a specific boot sequence.
+pub fn replay_log(log: &[(usize, String, Digest)], expected: &[(usize, Digest)]) -> bool {
+    let mut pcrs = [Digest::ZERO; PCR_COUNT];
+    for (pcr, _, m) in log {
+        if *pcr >= PCR_COUNT {
+            return false;
+        }
+        pcrs[*pcr] = hash_parts(&[pcrs[*pcr].as_bytes(), m.as_bytes()]);
+    }
+    expected
+        .iter()
+        .all(|(pcr, want)| *pcr < PCR_COUNT && pcrs[*pcr] == *want)
+}
+
+/// Measures a physical memory range (e.g. the loaded monitor image) —
+/// the measured-boot step TXT performs before handing control to the
+/// monitor.
+pub fn measure_range(mem: &PhysMem, range: PhysRange) -> Digest {
+    let bytes = mem.slice(range).expect("measured range must be in RAM");
+    tyche_crypto::hash(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PhysAddr, PAGE_SIZE};
+
+    #[test]
+    fn extend_is_order_sensitive_and_irreversible() {
+        let mut a = Tpm::new_with_seed(1);
+        let mut b = Tpm::new_with_seed(1);
+        let m1 = tyche_crypto::hash(b"stage1");
+        let m2 = tyche_crypto::hash(b"stage2");
+        a.extend(0, "s1", m1);
+        a.extend(0, "s2", m2);
+        b.extend(0, "s2", m2);
+        b.extend(0, "s1", m1);
+        assert_ne!(a.read_pcr(0), b.read_pcr(0), "order matters");
+        assert_ne!(a.read_pcr(0), m2, "cannot set a PCR directly");
+    }
+
+    #[test]
+    fn quote_verifies_with_correct_nonce_only() {
+        let mut tpm = Tpm::new_with_seed(2);
+        tpm.extend(PCR_MONITOR, "monitor", tyche_crypto::hash(b"monitor-image"));
+        let nonce = tpm.fresh_nonce();
+        let quote = tpm.quote(&[PCR_MONITOR], nonce);
+        let vk = tpm.attestation_key();
+        assert!(quote.verify(&vk, &nonce));
+        let other_nonce = tpm.fresh_nonce();
+        assert!(!quote.verify(&vk, &other_nonce), "replay rejected");
+    }
+
+    #[test]
+    fn tampered_quote_rejected() {
+        let mut tpm = Tpm::new_with_seed(3);
+        tpm.extend(PCR_MONITOR, "monitor", tyche_crypto::hash(b"image"));
+        let nonce = [9u8; 32];
+        let mut quote = tpm.quote(&[PCR_MONITOR], nonce);
+        let vk = tpm.attestation_key();
+        quote.pcr_values[0] = tyche_crypto::hash(b"evil-image");
+        assert!(!quote.verify(&vk, &nonce));
+    }
+
+    #[test]
+    fn quote_from_different_tpm_rejected() {
+        let mut tpm = Tpm::new_with_seed(4);
+        let mut rogue = Tpm::new_with_seed(5);
+        tpm.extend(PCR_MONITOR, "m", tyche_crypto::hash(b"image"));
+        rogue.extend(PCR_MONITOR, "m", tyche_crypto::hash(b"image"));
+        let nonce = [1u8; 32];
+        let quote = rogue.quote(&[PCR_MONITOR], nonce);
+        assert!(!quote.verify(&tpm.attestation_key(), &nonce));
+    }
+
+    #[test]
+    fn pcr_lookup_in_quote() {
+        let mut tpm = Tpm::new_with_seed(6);
+        tpm.extend(2, "x", tyche_crypto::hash(b"x"));
+        let quote = tpm.quote(&[0, 2], [0u8; 32]);
+        assert_eq!(quote.pcr(2), Some(tpm.read_pcr(2)));
+        assert_eq!(quote.pcr(0), Some(Digest::ZERO));
+        assert_eq!(quote.pcr(5), None);
+    }
+
+    #[test]
+    fn log_replay_reproduces_pcrs() {
+        let mut tpm = Tpm::new_with_seed(7);
+        tpm.extend(PCR_MONITOR, "a", tyche_crypto::hash(b"a"));
+        tpm.extend(PCR_MONITOR, "b", tyche_crypto::hash(b"b"));
+        tpm.extend(PCR_CONFIG, "cfg", tyche_crypto::hash(b"cfg"));
+        assert!(replay_log(
+            tpm.event_log(),
+            &[
+                (PCR_MONITOR, tpm.read_pcr(PCR_MONITOR)),
+                (PCR_CONFIG, tpm.read_pcr(PCR_CONFIG))
+            ]
+        ));
+        // A forged log does not replay.
+        let forged = vec![(PCR_MONITOR, "a".to_string(), tyche_crypto::hash(b"evil"))];
+        assert!(!replay_log(
+            &forged,
+            &[(PCR_MONITOR, tpm.read_pcr(PCR_MONITOR))]
+        ));
+    }
+
+    #[test]
+    fn measure_range_hashes_memory() {
+        let mut mem = PhysMem::new(4 * PAGE_SIZE);
+        mem.write(PhysAddr::new(0x1000), b"monitor code").unwrap();
+        let r = PhysRange::from_len(PhysAddr::new(0x1000), PAGE_SIZE);
+        let d1 = measure_range(&mem, r);
+        mem.write_u8(PhysAddr::new(0x1005), b'X').unwrap();
+        let d2 = measure_range(&mem, r);
+        assert_ne!(d1, d2, "any byte change changes the measurement");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn extend_rejects_bad_pcr() {
+        Tpm::new_with_seed(0).extend(PCR_COUNT, "bad", Digest::ZERO);
+    }
+}

@@ -1,0 +1,16 @@
+//! Intel VT-x model: EPT, VMCS, vCPU exits, VMFUNC.
+//!
+//! §3.3 of the paper: on x86 the monitor enforces memory access control
+//! through "a second level of page tables" (EPT) and gets "a direct
+//! communication channel" via VMCALL. §4.1 additionally uses the VMFUNC
+//! EPTP-switch fast path for ~100-cycle domain transitions. This module
+//! models those three mechanisms plus the vm-exit interface that connects
+//! them to the monitor.
+
+pub mod ept;
+pub mod vcpu;
+pub mod vmcs;
+
+pub use ept::{Access, Ept, EptError, EptFlags, EptViolation};
+pub use vcpu::{VCpu, VmExit};
+pub use vmcs::Vmcs;

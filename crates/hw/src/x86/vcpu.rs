@@ -1,0 +1,509 @@
+//! The virtual CPU: guest memory accesses, VMCALL exits, VMFUNC switches.
+//!
+//! The simulation does not emulate an instruction set. "Guest code" in
+//! tests and examples is Rust code that drives a [`VCpu`]: every load/store
+//! goes through [`VCpu::read`]/[`VCpu::write`] (which translate via the
+//! active EPT, consult the TLB, and touch the cache model), and every call
+//! to the monitor goes through [`VCpu::vmcall`] (which produces the vm exit
+//! the monitor dispatches on). This preserves the property that matters:
+//! *no access reaches physical memory except through hardware structures
+//! the monitor programmed*.
+
+use crate::addr::GuestPhysAddr;
+use crate::cache::LINE_SIZE;
+use crate::machine::Platform;
+use crate::x86::ept::{Access, Ept, EptViolation};
+use crate::x86::vmcs::Vmcs;
+
+/// Exit reason numbers (subset of SDM Appendix C).
+pub mod exit_reason {
+    /// VMCALL executed.
+    pub const VMCALL: u32 = 18;
+    /// EPT violation.
+    pub const EPT_VIOLATION: u32 = 48;
+    /// HLT executed.
+    pub const HLT: u32 = 12;
+}
+
+/// A vm exit delivered to the monitor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmExit {
+    /// The guest invoked the monitor (VMCALL): `leaf` selects the API
+    /// operation, `args` carry operands.
+    Vmcall {
+        /// API operation selector (guest rax).
+        leaf: u64,
+        /// Operands (guest rcx, rdx, rbx, rsi, rdi, r8).
+        args: [u64; 6],
+    },
+    /// The guest touched memory its EPT does not permit.
+    EptViolation(EptViolation),
+    /// The guest halted.
+    Hlt,
+    /// An unrecoverable guest error (e.g. VMFUNC with an invalid index and
+    /// no handler).
+    TripleFault,
+}
+
+/// A virtual CPU bound to one hardware core of the simulated machine.
+#[derive(Clone, Debug)]
+pub struct VCpu {
+    /// Hardware core this vCPU runs on.
+    pub core: usize,
+    /// The active control structure.
+    pub vmcs: Vmcs,
+}
+
+impl VCpu {
+    /// Creates a vCPU on `core` with the given VMCS.
+    pub fn new(core: usize, vmcs: Vmcs) -> Self {
+        VCpu { core, vmcs }
+    }
+
+    /// Tag used for TLB/cache ownership: the active EPT root, which is
+    /// unique per trust domain.
+    fn tag(&self) -> u64 {
+        self.vmcs.eptp.as_u64()
+    }
+
+    /// Translates one guest-physical address, charging TLB/page-walk
+    /// cycles and filling the TLB.
+    fn translate(
+        &self,
+        plat: &mut Platform<'_>,
+        gpa: GuestPhysAddr,
+        access: Access,
+    ) -> Result<crate::addr::PhysAddr, VmExit> {
+        let page = gpa.page_base().as_u64();
+        // TLB entries carry the permission bits the original walk
+        // verified, so a hit implies the access is allowed; an entry
+        // lacking the needed bit misses and falls through to a fresh walk
+        // (which faults on a real violation). The monitor must still
+        // flush on permission *downgrades*, like INVEPT.
+        let need: u8 = match access {
+            Access::Read => 0b001,
+            Access::Write => 0b010,
+            Access::Exec => 0b100,
+        };
+        if let Some(frame) = plat.tlb.lookup(self.tag(), page, need) {
+            plat.cycles.charge(plat.cost.tlb_hit);
+            let hpa = crate::addr::PhysAddr::new(frame + gpa.page_offset());
+            plat.cache.access(self.tag(), hpa);
+            return Ok(hpa);
+        }
+        let ept = Ept::from_root(self.vmcs.eptp);
+        match ept.translate(plat.mem, gpa, access) {
+            Ok((hpa, walked)) => {
+                plat.cycles
+                    .charge(plat.cost.page_walk_level * walked as u64);
+                plat.tlb
+                    .insert(self.tag(), page, hpa.page_base().as_u64(), need);
+                plat.cache.access(self.tag(), hpa);
+                Ok(hpa)
+            }
+            Err(v) => {
+                // The violation is a vm exit: charge the round trip and
+                // record exit info.
+                plat.cycles.charge(plat.cost.vmexit_roundtrip);
+                Err(VmExit::EptViolation(v))
+            }
+        }
+    }
+
+    /// Guest load: reads `out.len()` bytes from guest-physical `gpa`.
+    ///
+    /// Accesses that cross page boundaries are split per page, as hardware
+    /// splits them per translation.
+    pub fn read(
+        &self,
+        plat: &mut Platform<'_>,
+        gpa: GuestPhysAddr,
+        out: &mut [u8],
+    ) -> Result<(), VmExit> {
+        let mut off = 0u64;
+        while off < out.len() as u64 {
+            let cur = GuestPhysAddr::new(gpa.as_u64() + off);
+            let in_page = (crate::addr::PAGE_SIZE - cur.page_offset()).min(out.len() as u64 - off);
+            let hpa = self.translate(plat, cur, Access::Read)?;
+            // Touch every cache line covered by the access.
+            let mut line = hpa.as_u64() & !(LINE_SIZE - 1);
+            while line < hpa.as_u64() + in_page {
+                plat.cache
+                    .access(self.tag(), crate::addr::PhysAddr::new(line));
+                line += LINE_SIZE;
+            }
+            plat.mktme
+                .read(
+                    plat.mem,
+                    hpa,
+                    &mut out[off as usize..(off + in_page) as usize],
+                )
+                .map_err(|_| VmExit::TripleFault)?;
+            off += in_page;
+        }
+        Ok(())
+    }
+
+    /// Guest store: writes `data` at guest-physical `gpa`.
+    pub fn write(
+        &self,
+        plat: &mut Platform<'_>,
+        gpa: GuestPhysAddr,
+        data: &[u8],
+    ) -> Result<(), VmExit> {
+        let mut off = 0u64;
+        while off < data.len() as u64 {
+            let cur = GuestPhysAddr::new(gpa.as_u64() + off);
+            let in_page = (crate::addr::PAGE_SIZE - cur.page_offset()).min(data.len() as u64 - off);
+            let hpa = self.translate(plat, cur, Access::Write)?;
+            let mut line = hpa.as_u64() & !(LINE_SIZE - 1);
+            while line < hpa.as_u64() + in_page {
+                plat.cache
+                    .access(self.tag(), crate::addr::PhysAddr::new(line));
+                line += LINE_SIZE;
+            }
+            plat.mktme
+                .write(plat.mem, hpa, &data[off as usize..(off + in_page) as usize])
+                .map_err(|_| VmExit::TripleFault)?;
+            off += in_page;
+        }
+        Ok(())
+    }
+
+    /// Guest instruction fetch at `gpa` (execute permission check only).
+    pub fn fetch(&self, plat: &mut Platform<'_>, gpa: GuestPhysAddr) -> Result<(), VmExit> {
+        self.translate(plat, gpa, Access::Exec).map(|_| ())
+    }
+
+    /// Guest `u64` load.
+    pub fn read_u64(&self, plat: &mut Platform<'_>, gpa: GuestPhysAddr) -> Result<u64, VmExit> {
+        let mut b = [0u8; 8];
+        self.read(plat, gpa, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Guest `u64` store.
+    pub fn write_u64(
+        &self,
+        plat: &mut Platform<'_>,
+        gpa: GuestPhysAddr,
+        v: u64,
+    ) -> Result<(), VmExit> {
+        self.write(plat, gpa, &v.to_le_bytes())
+    }
+
+    /// Executes VMCALL: loads `leaf`/`args` into guest registers, charges
+    /// the exit cost, and returns the exit the monitor will dispatch.
+    pub fn vmcall(&mut self, plat: &mut Platform<'_>, leaf: u64, args: [u64; 6]) -> VmExit {
+        use crate::x86::vmcs::gpr;
+        let r = &mut self.vmcs.guest.regs;
+        r[gpr::RAX] = leaf;
+        r[gpr::RCX] = args[0];
+        r[gpr::RDX] = args[1];
+        r[gpr::RBX] = args[2];
+        r[gpr::RSI] = args[3];
+        r[gpr::RDI] = args[4];
+        r[gpr::R8] = args[5];
+        self.vmcs.exit.reason = exit_reason::VMCALL;
+        plat.cycles.charge(plat.cost.vmexit_roundtrip);
+        VmExit::Vmcall { leaf, args }
+    }
+
+    /// Executes `VMFUNC` leaf 0 (EPTP switching).
+    ///
+    /// Reads slot `index` of the EPTP list page and, when valid, installs
+    /// it as the active EPT root *without a vm exit* — this is the paper's
+    /// ~100-cycle fast transition path. An invalid index or a disabled list
+    /// causes a vm exit ([`VmExit::TripleFault`] models the resulting
+    /// failure since we give the guest no recovery path).
+    pub fn vmfunc_switch(&mut self, plat: &mut Platform<'_>, index: u64) -> Result<(), VmExit> {
+        let list = match self.vmcs.eptp_list {
+            Some(l) => l,
+            None => return Err(VmExit::TripleFault),
+        };
+        if index >= 512 {
+            return Err(VmExit::TripleFault);
+        }
+        let entry = plat
+            .mem
+            .read_u64(crate::addr::PhysAddr::new(list.as_u64() + index * 8))
+            .map_err(|_| VmExit::TripleFault)?;
+        if entry == 0 {
+            return Err(VmExit::TripleFault);
+        }
+        plat.cycles.charge(plat.cost.vmfunc_switch);
+        self.vmcs.eptp = crate::addr::PhysAddr::new(entry & 0x000f_ffff_ffff_f000);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PhysAddr, PhysRange, PAGE_SIZE};
+    use crate::cache::{Cache, Tlb};
+    use crate::cycles::{CostModel, CycleCounter};
+    use crate::mem::{FrameAllocator, PhysMem};
+    use crate::x86::ept::EptFlags;
+
+    struct Fixture {
+        mem: PhysMem,
+        alloc: FrameAllocator,
+        tlb: Tlb,
+        cache: Cache,
+        cycles: CycleCounter,
+        cost: CostModel,
+        mktme: crate::mktme::MemCrypt,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                mem: PhysMem::new(1024 * PAGE_SIZE),
+                alloc: FrameAllocator::new(PhysRange::from_len(
+                    PhysAddr::new(0x100000),
+                    512 * PAGE_SIZE,
+                )),
+                tlb: Tlb::new(),
+                cache: Cache::default_l1(),
+                cycles: CycleCounter::new(),
+                cost: CostModel::default_model(),
+                mktme: crate::mktme::MemCrypt::new_with_seed(0),
+            }
+        }
+
+        fn plat(&mut self) -> Platform<'_> {
+            Platform {
+                mem: &mut self.mem,
+                tlb: &mut self.tlb,
+                cache: &mut self.cache,
+                cycles: &self.cycles,
+                cost: &self.cost,
+                mktme: &mut self.mktme,
+            }
+        }
+    }
+
+    fn vcpu_with_mapping(fx: &mut Fixture, gpa: u64, hpa: u64, flags: EptFlags) -> VCpu {
+        let ept = Ept::new(&mut fx.mem, &mut fx.alloc).unwrap();
+        ept.map(
+            &mut fx.mem,
+            &mut fx.alloc,
+            GuestPhysAddr::new(gpa),
+            PhysAddr::new(hpa),
+            flags,
+        )
+        .unwrap();
+        VCpu::new(0, Vmcs::new(ept.root()))
+    }
+
+    #[test]
+    fn guest_read_write_through_ept() {
+        let mut fx = Fixture::new();
+        let vcpu = vcpu_with_mapping(&mut fx, 0x4000, 0x8000, EptFlags::RW);
+        vcpu.write(&mut fx.plat(), GuestPhysAddr::new(0x4010), b"tyche")
+            .unwrap();
+        let mut out = [0u8; 5];
+        vcpu.read(&mut fx.plat(), GuestPhysAddr::new(0x4010), &mut out)
+            .unwrap();
+        assert_eq!(&out, b"tyche");
+        // The bytes physically landed at the mapped frame.
+        assert_eq!(fx.mem.read_u8(PhysAddr::new(0x8010)).unwrap(), b't');
+    }
+
+    #[test]
+    fn violation_is_an_exit() {
+        let mut fx = Fixture::new();
+        let vcpu = vcpu_with_mapping(&mut fx, 0x4000, 0x8000, EptFlags::RO);
+        let err = vcpu
+            .write(&mut fx.plat(), GuestPhysAddr::new(0x4000), b"x")
+            .unwrap_err();
+        match err {
+            VmExit::EptViolation(v) => {
+                assert_eq!(v.gpa, GuestPhysAddr::new(0x4000));
+                assert_eq!(v.access, Access::Write);
+            }
+            other => panic!("expected EPT violation, got {other:?}"),
+        }
+        // Unmapped address also exits.
+        let mut b = [0u8; 1];
+        assert!(matches!(
+            vcpu.read(&mut fx.plat(), GuestPhysAddr::new(0xdead000), &mut b),
+            Err(VmExit::EptViolation(_))
+        ));
+    }
+
+    #[test]
+    fn cross_page_access_requires_both_mappings() {
+        let mut fx = Fixture::new();
+        let ept = Ept::new(&mut fx.mem, &mut fx.alloc).unwrap();
+        ept.map(
+            &mut fx.mem,
+            &mut fx.alloc,
+            GuestPhysAddr::new(0x4000),
+            PhysAddr::new(0x8000),
+            EptFlags::RW,
+        )
+        .unwrap();
+        let vcpu = VCpu::new(0, Vmcs::new(ept.root()));
+        // Write straddling 0x4ffe..0x5002: second page unmapped -> exit.
+        let err = vcpu
+            .write(&mut fx.plat(), GuestPhysAddr::new(0x4ffe), &[1, 2, 3, 4])
+            .unwrap_err();
+        assert!(matches!(err, VmExit::EptViolation(v) if v.gpa.page_base().as_u64() == 0x5000));
+        // Map the second page and the same write succeeds across frames.
+        ept.map(
+            &mut fx.mem,
+            &mut fx.alloc,
+            GuestPhysAddr::new(0x5000),
+            PhysAddr::new(0xa000),
+            EptFlags::RW,
+        )
+        .unwrap();
+        vcpu.write(&mut fx.plat(), GuestPhysAddr::new(0x4ffe), &[1, 2, 3, 4])
+            .unwrap();
+        assert_eq!(fx.mem.read_u8(PhysAddr::new(0x8ffe)).unwrap(), 1);
+        assert_eq!(fx.mem.read_u8(PhysAddr::new(0xa001)).unwrap(), 4);
+    }
+
+    #[test]
+    fn tlb_caches_translations() {
+        let mut fx = Fixture::new();
+        let vcpu = vcpu_with_mapping(&mut fx, 0x4000, 0x8000, EptFlags::RW);
+        let mut b = [0u8; 1];
+        vcpu.read(&mut fx.plat(), GuestPhysAddr::new(0x4000), &mut b)
+            .unwrap();
+        let misses = fx.tlb.misses;
+        vcpu.read(&mut fx.plat(), GuestPhysAddr::new(0x4008), &mut b)
+            .unwrap();
+        assert_eq!(fx.tlb.misses, misses, "second access hits the TLB");
+        assert!(fx.tlb.hits >= 1);
+    }
+
+    #[test]
+    fn vmcall_charges_exit_and_marshals() {
+        let mut fx = Fixture::new();
+        let mut vcpu = vcpu_with_mapping(&mut fx, 0x4000, 0x8000, EptFlags::RW);
+        let before = fx.cycles.now();
+        let exit = vcpu.vmcall(&mut fx.plat(), 42, [1, 2, 3, 4, 5, 6]);
+        assert_eq!(
+            exit,
+            VmExit::Vmcall {
+                leaf: 42,
+                args: [1, 2, 3, 4, 5, 6]
+            }
+        );
+        assert_eq!(fx.cycles.since(before), fx.cost.vmexit_roundtrip);
+        assert_eq!(vcpu.vmcs.exit.reason, exit_reason::VMCALL);
+    }
+
+    #[test]
+    fn vmfunc_switches_without_exit_cost() {
+        let mut fx = Fixture::new();
+        // Two EPTs mapping the same GPA to different frames.
+        let ept_a = Ept::new(&mut fx.mem, &mut fx.alloc).unwrap();
+        let ept_b = Ept::new(&mut fx.mem, &mut fx.alloc).unwrap();
+        let gpa = GuestPhysAddr::new(0x4000);
+        ept_a
+            .map(
+                &mut fx.mem,
+                &mut fx.alloc,
+                gpa,
+                PhysAddr::new(0x8000),
+                EptFlags::RW,
+            )
+            .unwrap();
+        ept_b
+            .map(
+                &mut fx.mem,
+                &mut fx.alloc,
+                gpa,
+                PhysAddr::new(0x9000),
+                EptFlags::RW,
+            )
+            .unwrap();
+        fx.mem.write_u8(PhysAddr::new(0x8000), 0xaa).unwrap();
+        fx.mem.write_u8(PhysAddr::new(0x9000), 0xbb).unwrap();
+        // EPTP list page with both roots.
+        let list = fx.alloc.alloc_zeroed(&mut fx.mem).unwrap();
+        fx.mem.write_u64(list, ept_a.root().as_u64() | 0x6).unwrap();
+        fx.mem
+            .write_u64(
+                PhysAddr::new(list.as_u64() + 8),
+                ept_b.root().as_u64() | 0x6,
+            )
+            .unwrap();
+
+        let mut vmcs = Vmcs::new(ept_a.root());
+        vmcs.eptp_list = Some(list);
+        let mut vcpu = VCpu::new(0, vmcs);
+
+        let mut b = [0u8; 1];
+        vcpu.read(&mut fx.plat(), gpa, &mut b).unwrap();
+        assert_eq!(b[0], 0xaa);
+
+        let before = fx.cycles.now();
+        vcpu.vmfunc_switch(&mut fx.plat(), 1).unwrap();
+        assert_eq!(
+            fx.cycles.since(before),
+            fx.cost.vmfunc_switch,
+            "no exit charged"
+        );
+
+        vcpu.read(&mut fx.plat(), gpa, &mut b).unwrap();
+        assert_eq!(b[0], 0xbb, "same GPA now reaches the other domain's frame");
+    }
+
+    #[test]
+    fn vmfunc_invalid_index_faults() {
+        let mut fx = Fixture::new();
+        let mut vcpu = vcpu_with_mapping(&mut fx, 0x4000, 0x8000, EptFlags::RW);
+        // No list configured.
+        assert_eq!(
+            vcpu.vmfunc_switch(&mut fx.plat(), 0),
+            Err(VmExit::TripleFault)
+        );
+        // List configured but slot empty / out of range.
+        let list = fx.alloc.alloc_zeroed(&mut fx.mem).unwrap();
+        vcpu.vmcs.eptp_list = Some(list);
+        assert_eq!(
+            vcpu.vmfunc_switch(&mut fx.plat(), 3),
+            Err(VmExit::TripleFault)
+        );
+        assert_eq!(
+            vcpu.vmfunc_switch(&mut fx.plat(), 512),
+            Err(VmExit::TripleFault)
+        );
+    }
+
+    #[test]
+    fn exec_permission_checked_on_fetch() {
+        let mut fx = Fixture::new();
+        let vcpu = vcpu_with_mapping(&mut fx, 0x4000, 0x8000, EptFlags::RW);
+        assert!(matches!(
+            vcpu.fetch(&mut fx.plat(), GuestPhysAddr::new(0x4000)),
+            Err(VmExit::EptViolation(v)) if v.access == Access::Exec
+        ));
+        let vcpu2 = vcpu_with_mapping(&mut fx, 0x6000, 0xc000, EptFlags::RX);
+        assert!(vcpu2
+            .fetch(&mut fx.plat(), GuestPhysAddr::new(0x6000))
+            .is_ok());
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut fx = Fixture::new();
+        let vcpu = vcpu_with_mapping(&mut fx, 0x4000, 0x8000, EptFlags::RW);
+        vcpu.write_u64(
+            &mut fx.plat(),
+            GuestPhysAddr::new(0x4100),
+            0xdead_beef_cafe_f00d,
+        )
+        .unwrap();
+        assert_eq!(
+            vcpu.read_u64(&mut fx.plat(), GuestPhysAddr::new(0x4100))
+                .unwrap(),
+            0xdead_beef_cafe_f00d
+        );
+    }
+}

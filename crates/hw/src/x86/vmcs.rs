@@ -1,0 +1,147 @@
+//! A VMCS model: the per-vCPU control structure the monitor programs.
+//!
+//! Only the fields the isolation monitor actually touches are modeled:
+//! guest register state, the EPT pointer, the VMFUNC controls (EPTP list),
+//! and the exit-information fields.
+
+use crate::addr::PhysAddr;
+
+/// Number of general-purpose registers tracked (rax..r15).
+pub const GPR_COUNT: usize = 16;
+
+/// Symbolic GPR indices for readability at call sites.
+pub mod gpr {
+    /// rax — VMCALL leaf / return value.
+    pub const RAX: usize = 0;
+    /// rcx — first argument.
+    pub const RCX: usize = 1;
+    /// rdx — second argument.
+    pub const RDX: usize = 2;
+    /// rbx — third argument.
+    pub const RBX: usize = 3;
+    /// rsp — stack pointer.
+    pub const RSP: usize = 4;
+    /// rbp.
+    pub const RBP: usize = 5;
+    /// rsi — fourth argument.
+    pub const RSI: usize = 6;
+    /// rdi — fifth argument.
+    pub const RDI: usize = 7;
+    /// r8 — sixth argument.
+    pub const R8: usize = 8;
+    /// r9 — seventh argument.
+    pub const R9: usize = 9;
+}
+
+/// Guest register state saved/loaded on VM transitions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GuestState {
+    /// Instruction pointer.
+    pub rip: u64,
+    /// General-purpose registers, indexed by [`gpr`] constants.
+    pub regs: [u64; GPR_COUNT],
+    /// Current privilege ring the guest believes it runs in (0..3).
+    pub ring: u8,
+}
+
+/// The virtual-machine control structure for one vCPU.
+#[derive(Clone, Debug)]
+pub struct Vmcs {
+    /// Guest state loaded on VM entry.
+    pub guest: GuestState,
+    /// Active EPT root ("EPTP" without the low control bits).
+    pub eptp: PhysAddr,
+    /// Physical address of the 512-slot EPTP list page, when VMFUNC leaf 0
+    /// is enabled (`None` disables VMFUNC).
+    pub eptp_list: Option<PhysAddr>,
+    /// Exit information, valid after a vm exit.
+    pub exit: ExitInfo,
+    /// Identifier of the domain this VMCS currently runs (monitor-assigned,
+    /// mirrored here so the TLB/cache models can tag state).
+    pub domain_tag: u64,
+}
+
+/// Exit-information fields (a compressed VMCS exit-info block).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExitInfo {
+    /// Basic exit reason number (SDM Appendix C values where modeled).
+    pub reason: u32,
+    /// Exit qualification (fault GPA for EPT violations).
+    pub qualification: u64,
+}
+
+impl Vmcs {
+    /// Creates a VMCS with zeroed guest state and the given EPT root.
+    pub fn new(eptp: PhysAddr) -> Self {
+        Vmcs {
+            guest: GuestState::default(),
+            eptp,
+            eptp_list: None,
+            exit: ExitInfo::default(),
+            domain_tag: 0,
+        }
+    }
+
+    /// Reads the VMCALL argument registers `(rax, rcx, rdx, rbx, rsi, rdi, r8)`.
+    pub fn vmcall_args(&self) -> (u64, [u64; 6]) {
+        let r = &self.guest.regs;
+        (
+            r[gpr::RAX],
+            [
+                r[gpr::RCX],
+                r[gpr::RDX],
+                r[gpr::RBX],
+                r[gpr::RSI],
+                r[gpr::RDI],
+                r[gpr::R8],
+            ],
+        )
+    }
+
+    /// Writes a VMCALL result back into guest registers: status in rax,
+    /// values in rcx/rdx/rbx.
+    pub fn set_vmcall_result(&mut self, status: u64, values: [u64; 3]) {
+        self.guest.regs[gpr::RAX] = status;
+        self.guest.regs[gpr::RCX] = values[0];
+        self.guest.regs[gpr::RDX] = values[1];
+        self.guest.regs[gpr::RBX] = values[2];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vmcall_arg_marshalling() {
+        let mut v = Vmcs::new(PhysAddr::new(0x1000));
+        v.guest.regs[gpr::RAX] = 7;
+        v.guest.regs[gpr::RCX] = 1;
+        v.guest.regs[gpr::RDX] = 2;
+        v.guest.regs[gpr::RBX] = 3;
+        v.guest.regs[gpr::RSI] = 4;
+        v.guest.regs[gpr::RDI] = 5;
+        v.guest.regs[gpr::R8] = 6;
+        let (leaf, args) = v.vmcall_args();
+        assert_eq!(leaf, 7);
+        assert_eq!(args, [1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn vmcall_result_marshalling() {
+        let mut v = Vmcs::new(PhysAddr::new(0));
+        v.set_vmcall_result(0, [10, 20, 30]);
+        assert_eq!(v.guest.regs[gpr::RAX], 0);
+        assert_eq!(v.guest.regs[gpr::RCX], 10);
+        assert_eq!(v.guest.regs[gpr::RDX], 20);
+        assert_eq!(v.guest.regs[gpr::RBX], 30);
+    }
+
+    #[test]
+    fn defaults() {
+        let v = Vmcs::new(PhysAddr::new(0x2000));
+        assert_eq!(v.eptp, PhysAddr::new(0x2000));
+        assert!(v.eptp_list.is_none());
+        assert_eq!(v.guest.ring, 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! A typed client for the monitor call interface.
+//!
+//! Code inside a domain talks to the monitor through VMCALL; this wrapper
+//! provides typed methods and unwraps the result variants. It is
+//! deliberately a thin veneer: everything still goes through
+//! [`tyche_monitor::Monitor::call`], so the ABI (and its validation) is
+//! exercised by every libtyche operation.
+
+use tyche_core::prelude::*;
+use tyche_monitor::abi::MonitorCall;
+use tyche_monitor::attest::SignedReport;
+use tyche_monitor::monitor::CallResult;
+use tyche_monitor::{Monitor, Status};
+
+/// Client handle: "the domain currently running on `core`".
+pub struct TycheClient<'m> {
+    /// The monitor (the hardware interface, from the domain's viewpoint).
+    pub monitor: &'m mut Monitor,
+    /// The core this domain is running on.
+    pub core: usize,
+}
+
+impl<'m> TycheClient<'m> {
+    /// Creates a client for the domain running on `core`.
+    pub fn new(monitor: &'m mut Monitor, core: usize) -> Self {
+        TycheClient { monitor, core }
+    }
+
+    /// The calling domain's identity (what the monitor believes).
+    pub fn whoami(&self) -> DomainId {
+        self.monitor.current_domain(self.core)
+    }
+
+    /// Creates a child domain; returns `(domain, transition capability)`.
+    pub fn create_domain(&mut self) -> Result<(DomainId, CapId), Status> {
+        match self.monitor.call(self.core, MonitorCall::CreateDomain)? {
+            CallResult::NewDomain { domain, transition } => Ok((domain, transition)),
+            _ => Err(Status::BackendFailure),
+        }
+    }
+
+    /// Shares (a window of) a capability.
+    pub fn share(
+        &mut self,
+        cap: CapId,
+        target: DomainId,
+        sub: Option<(u64, u64)>,
+        rights: Rights,
+        policy: RevocationPolicy,
+    ) -> Result<CapId, Status> {
+        match self.monitor.call(
+            self.core,
+            MonitorCall::Share {
+                cap,
+                target,
+                sub,
+                rights,
+                policy,
+            },
+        )? {
+            CallResult::Cap(c) => Ok(c),
+            _ => Err(Status::BackendFailure),
+        }
+    }
+
+    /// Grants a whole capability.
+    pub fn grant(
+        &mut self,
+        cap: CapId,
+        target: DomainId,
+        rights: Rights,
+        policy: RevocationPolicy,
+    ) -> Result<CapId, Status> {
+        match self.monitor.call(
+            self.core,
+            MonitorCall::Grant {
+                cap,
+                target,
+                rights,
+                policy,
+            },
+        )? {
+            CallResult::Cap(c) => Ok(c),
+            _ => Err(Status::BackendFailure),
+        }
+    }
+
+    /// Splits a memory capability at `at`.
+    pub fn split(&mut self, cap: CapId, at: u64) -> Result<(CapId, CapId), Status> {
+        match self
+            .monitor
+            .call(self.core, MonitorCall::Split { cap, at })?
+        {
+            CallResult::Caps(a, b) => Ok((a, b)),
+            _ => Err(Status::BackendFailure),
+        }
+    }
+
+    /// Revokes a capability subtree.
+    pub fn revoke(&mut self, cap: CapId) -> Result<(), Status> {
+        self.monitor
+            .call(self.core, MonitorCall::Revoke { cap })
+            .map(|_| ())
+    }
+
+    /// Sets a domain's entry point.
+    pub fn set_entry(&mut self, domain: DomainId, entry: u64) -> Result<(), Status> {
+        self.monitor
+            .call(self.core, MonitorCall::SetEntry { domain, entry })
+            .map(|_| ())
+    }
+
+    /// Records a content measurement for `[start, end)` of `domain`.
+    pub fn record_content(&mut self, domain: DomainId, start: u64, end: u64) -> Result<(), Status> {
+        self.monitor
+            .call(self.core, MonitorCall::RecordContent { domain, start, end })
+            .map(|_| ())
+    }
+
+    /// Seals a domain; returns its measurement.
+    pub fn seal(
+        &mut self,
+        domain: DomainId,
+        policy: SealPolicy,
+    ) -> Result<tyche_crypto::Digest, Status> {
+        match self.monitor.call(
+            self.core,
+            MonitorCall::Seal {
+                domain,
+                allow_outward: policy.allow_outward_sharing,
+                allow_children: policy.allow_child_domains,
+            },
+        )? {
+            CallResult::Measurement(m) => Ok(m),
+            _ => Err(Status::BackendFailure),
+        }
+    }
+
+    /// Creates a transition capability into `target`.
+    pub fn make_transition(
+        &mut self,
+        target: DomainId,
+        policy: RevocationPolicy,
+    ) -> Result<CapId, Status> {
+        match self
+            .monitor
+            .call(self.core, MonitorCall::MakeTransition { target, policy })?
+        {
+            CallResult::Cap(c) => Ok(c),
+            _ => Err(Status::BackendFailure),
+        }
+    }
+
+    /// Kills a managed domain.
+    pub fn kill(&mut self, domain: DomainId) -> Result<(), Status> {
+        self.monitor
+            .call(self.core, MonitorCall::Kill { domain })
+            .map(|_| ())
+    }
+
+    /// Enters a domain through a transition capability (mediated path).
+    pub fn enter(&mut self, cap: CapId) -> Result<DomainId, Status> {
+        match self.monitor.call(self.core, MonitorCall::Enter { cap })? {
+            CallResult::Entered { target, .. } => Ok(target),
+            _ => Err(Status::BackendFailure),
+        }
+    }
+
+    /// Returns to the calling domain.
+    pub fn ret(&mut self) -> Result<DomainId, Status> {
+        match self.monitor.call(self.core, MonitorCall::Return)? {
+            CallResult::Returned { to } => Ok(to),
+            _ => Err(Status::BackendFailure),
+        }
+    }
+
+    /// Requests a signed attestation report for `domain`.
+    pub fn attest(&mut self, domain: DomainId, nonce: u64) -> Result<SignedReport, Status> {
+        match self
+            .monitor
+            .call(self.core, MonitorCall::Attest { domain, nonce })?
+        {
+            CallResult::Report(r) => Ok(*r),
+            _ => Err(Status::BackendFailure),
+        }
+    }
+
+    /// Reads memory as the running domain.
+    pub fn read(&mut self, addr: u64, out: &mut [u8]) -> Result<(), tyche_monitor::Fault> {
+        self.monitor.dom_read(self.core, addr, out)
+    }
+
+    /// Writes memory as the running domain.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), tyche_monitor::Fault> {
+        self.monitor.dom_write(self.core, addr, data)
+    }
+
+    /// Finds one of the caller's active memory capabilities covering
+    /// `[start, end)`, for carving. (A real libtyche tracks its own
+    /// capability handles; the reproduction asks the monitor's public
+    /// engine view, which domains may query for their own caps.)
+    pub fn find_mem_cap(&self, start: u64, end: u64) -> Option<CapId> {
+        let me = self.whoami();
+        self.monitor
+            .engine
+            .caps_of(me)
+            .iter()
+            .find(|c| {
+                c.active
+                    && c.resource
+                        .as_mem()
+                        .map(|r| r.contains(&MemRegion::new(start, end)))
+                        .unwrap_or(false)
+            })
+            .map(|c| c.id)
+    }
+
+    /// Carves `[start, end)` out of the caller's memory holdings and
+    /// returns a capability covering exactly that region.
+    pub fn carve(&mut self, start: u64, end: u64) -> Result<CapId, Status> {
+        let cap = self.find_mem_cap(start, end).ok_or(Status::NotFound)?;
+        let region = self
+            .monitor
+            .engine
+            .cap(cap)
+            .and_then(|c| c.resource.as_mem())
+            .ok_or(Status::NotFound)?;
+        let mut cur = cap;
+        if region.start < start {
+            let (_lo, hi) = self.split(cur, start)?;
+            cur = hi;
+        }
+        let cur_region = self
+            .monitor
+            .engine
+            .cap(cur)
+            .and_then(|c| c.resource.as_mem())
+            .ok_or(Status::NotFound)?;
+        if cur_region.end > end {
+            let (lo, _hi) = self.split(cur, end)?;
+            cur = lo;
+        }
+        Ok(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyche_monitor::{boot_x86, BootConfig};
+
+    #[test]
+    fn carve_exact_region() {
+        let mut m = boot_x86(BootConfig::default());
+        let mut client = TycheClient::new(&mut m, 0);
+        let cap = client.carve(0x4000, 0x6000).unwrap();
+        let region = client
+            .monitor
+            .engine
+            .cap(cap)
+            .unwrap()
+            .resource
+            .as_mem()
+            .unwrap();
+        assert_eq!((region.start, region.end), (0x4000, 0x6000));
+        // Carving again from the remainder also works.
+        let cap2 = client.carve(0x0, 0x1000).unwrap();
+        let region2 = client
+            .monitor
+            .engine
+            .cap(cap2)
+            .unwrap()
+            .resource
+            .as_mem()
+            .unwrap();
+        assert_eq!((region2.start, region2.end), (0x0, 0x1000));
+    }
+
+    #[test]
+    fn carve_whole_holding_no_split() {
+        let mut m = boot_x86(BootConfig::default());
+        let end = m.machine.domain_ram.end.as_u64();
+        let mut client = TycheClient::new(&mut m, 0);
+        let cap = client.carve(0, end).unwrap();
+        let region = client
+            .monitor
+            .engine
+            .cap(cap)
+            .unwrap()
+            .resource
+            .as_mem()
+            .unwrap();
+        assert_eq!((region.start, region.end), (0, end));
+    }
+
+    #[test]
+    fn whoami_tracks_transitions() {
+        let mut m = boot_x86(BootConfig::default());
+        let mut client = TycheClient::new(&mut m, 0);
+        let os = client.whoami();
+        let (child, tcap) = client.create_domain().unwrap();
+        let page = client.carve(0x10_0000, 0x10_1000).unwrap();
+        client
+            .grant(page, child, Rights::RWX, RevocationPolicy::ZERO)
+            .unwrap();
+        let core_cap = {
+            let me = client.whoami();
+            client
+                .monitor
+                .engine
+                .caps_of(me)
+                .iter()
+                .find(|c| c.active && matches!(c.resource, Resource::CpuCore(0)))
+                .unwrap()
+                .id
+        };
+        client
+            .share(core_cap, child, None, Rights::USE, RevocationPolicy::NONE)
+            .unwrap();
+        client.set_entry(child, 0x10_0000).unwrap();
+        client.seal(child, SealPolicy::strict()).unwrap();
+        client.enter(tcap).unwrap();
+        assert_eq!(client.whoami(), child);
+        client.ret().unwrap();
+        assert_eq!(client.whoami(), os);
+    }
+}

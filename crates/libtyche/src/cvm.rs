@@ -1,0 +1,240 @@
+//! Confidential virtual machines (§4.2: "extending KVM with a Tyche
+//! backend for confidential VMs").
+//!
+//! A confidential VM is just a big trust domain: a contiguous slab of
+//! "guest RAM" granted exclusively, several CPU cores, and a nestable
+//! seal (a guest OS must manage its own processes, i.e. create
+//! sub-domains). The hypervisor-role domain keeps the transition
+//! capability — it can still *schedule* the cVM — but holds no capability
+//! over guest memory, so it cannot read or corrupt it. That asymmetry is
+//! the whole point: scheduling without trust.
+
+use crate::client::TycheClient;
+use tyche_core::prelude::*;
+use tyche_crypto::Digest;
+use tyche_monitor::attest::SignedReport;
+use tyche_monitor::{Monitor, Status};
+
+/// A confidential VM.
+pub struct ConfidentialVm {
+    /// The cVM's domain.
+    pub domain: DomainId,
+    /// Transition capability held by the hypervisor-role creator.
+    pub transition: CapId,
+    /// Guest RAM `[start, end)`.
+    pub guest_ram: (u64, u64),
+    /// Cores given to the guest.
+    pub cores: Vec<usize>,
+    /// Launch measurement.
+    pub measurement: Digest,
+}
+
+impl ConfidentialVm {
+    /// Launches a confidential VM: grants `guest_ram` exclusively (with
+    /// the obfuscating revocation policy — zero + flush on teardown),
+    /// shares `cores`, measures the pre-loaded guest image bytes in
+    /// `measured` regions, and seals nestable.
+    ///
+    /// The caller must have written the guest kernel image into
+    /// `guest_ram` beforehand (it owns that memory until the grant).
+    pub fn launch(
+        monitor: &mut Monitor,
+        core: usize,
+        guest_ram: (u64, u64),
+        cores: &[usize],
+        entry: u64,
+        measured: &[(u64, u64)],
+    ) -> Result<ConfidentialVm, Status> {
+        let mut client = TycheClient::new(monitor, core);
+        let (domain, transition) = client.create_domain()?;
+        for &(s, e) in measured {
+            client.record_content(domain, s, e)?;
+        }
+        let ram_cap = client.carve(guest_ram.0, guest_ram.1)?;
+        client.grant(ram_cap, domain, Rights::RWX, RevocationPolicy::OBFUSCATE)?;
+        for &c in cores {
+            let core_cap = {
+                let me = client.whoami();
+                client
+                    .monitor
+                    .engine
+                    .caps_of(me)
+                    .iter()
+                    .find(|k| k.active && matches!(k.resource, Resource::CpuCore(n) if n == c))
+                    .map(|k| k.id)
+            }
+            .ok_or(Status::NotFound)?;
+            client.share(core_cap, domain, None, Rights::USE, RevocationPolicy::NONE)?;
+        }
+        client.set_entry(domain, entry)?;
+        let measurement = client.seal(domain, SealPolicy::nestable())?;
+        Ok(ConfidentialVm {
+            domain,
+            transition,
+            guest_ram,
+            cores: cores.to_vec(),
+            measurement,
+        })
+    }
+
+    /// Like [`ConfidentialVm::launch`], but additionally enables
+    /// MKTME-class memory encryption on the guest (physical-attack
+    /// resistance, §4.2): a cold-boot snapshot of DRAM shows only
+    /// ciphertext for guest RAM. x86 only.
+    pub fn launch_encrypted(
+        monitor: &mut Monitor,
+        core: usize,
+        guest_ram: (u64, u64),
+        cores: &[usize],
+        entry: u64,
+        measured: &[(u64, u64)],
+    ) -> Result<ConfidentialVm, Status> {
+        let vm = Self::launch(monitor, core, guest_ram, cores, entry, measured)?;
+        monitor.enable_memory_encryption(core, vm.domain)?;
+        Ok(vm)
+    }
+
+    /// Enters the cVM on `core` (the hypervisor scheduling the guest).
+    pub fn enter(&self, monitor: &mut Monitor, core: usize) -> Result<(), Status> {
+        TycheClient::new(monitor, core)
+            .enter(self.transition)
+            .map(|_| ())
+    }
+
+    /// Yields back to the hypervisor-role domain.
+    pub fn exit(monitor: &mut Monitor, core: usize) -> Result<(), Status> {
+        TycheClient::new(monitor, core).ret().map(|_| ())
+    }
+
+    /// Attests the cVM (launch measurement + resource exclusivity).
+    pub fn attest(
+        &self,
+        monitor: &mut Monitor,
+        core: usize,
+        nonce: u64,
+    ) -> Result<SignedReport, Status> {
+        TycheClient::new(monitor, core).attest(self.domain, nonce)
+    }
+
+    /// Destroys the cVM; the obfuscating revocation policy guarantees the
+    /// guest RAM returns zeroed with micro-architectural state flushed.
+    pub fn destroy(self, monitor: &mut Monitor, core: usize) -> Result<(), Status> {
+        TycheClient::new(monitor, core).kill(self.domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyche_monitor::{boot_x86, BootConfig};
+
+    const GUEST_RAM: (u64, u64) = (0x40_0000, 0x80_0000);
+
+    fn launch(m: &mut Monitor) -> ConfidentialVm {
+        // "Hypervisor" (the root domain) writes a guest kernel image...
+        m.dom_write(0, GUEST_RAM.0, b"guest kernel image").unwrap();
+        ConfidentialVm::launch(
+            m,
+            0,
+            GUEST_RAM,
+            &[0, 1],
+            GUEST_RAM.0,
+            &[(GUEST_RAM.0, GUEST_RAM.0 + 0x1000)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hypervisor_cannot_read_guest_memory() {
+        let mut m = boot_x86(BootConfig::default());
+        let vm = launch(&mut m);
+        // The hypervisor-role domain lost all access to guest RAM.
+        assert!(m.dom_read(0, GUEST_RAM.0, &mut [0u8; 1]).is_err());
+        assert!(m.dom_write(0, GUEST_RAM.0 + 0x1000, &[1]).is_err());
+        // But the guest, once entered, sees its RAM.
+        vm.enter(&mut m, 0).unwrap();
+        let mut buf = [0u8; 18];
+        m.dom_read(0, GUEST_RAM.0, &mut buf).unwrap();
+        assert_eq!(&buf, b"guest kernel image");
+        ConfidentialVm::exit(&mut m, 0).unwrap();
+    }
+
+    #[test]
+    fn guest_cannot_escape_its_ram() {
+        let mut m = boot_x86(BootConfig::default());
+        m.dom_write(0, 0x10_0000, b"hypervisor secret").unwrap();
+        let vm = launch(&mut m);
+        vm.enter(&mut m, 0).unwrap();
+        assert!(m.dom_read(0, 0x10_0000, &mut [0u8; 1]).is_err());
+        ConfidentialVm::exit(&mut m, 0).unwrap();
+    }
+
+    #[test]
+    fn guest_ram_exclusive_and_attested() {
+        let mut m = boot_x86(BootConfig::default());
+        let vm = launch(&mut m);
+        assert!(m
+            .engine
+            .refcount_mem_full(MemRegion::new(GUEST_RAM.0, GUEST_RAM.1))
+            .is_exclusive());
+        let report = vm.attest(&mut m, 0, 7).unwrap();
+        assert!(report.report.check_sharing(&[]));
+        assert_eq!(report.report.content_measurements.len(), 1);
+    }
+
+    #[test]
+    fn multi_core_guest() {
+        let mut m = boot_x86(BootConfig::default());
+        let vm = launch(&mut m);
+        // The guest owns cores 0 and 1 — enterable on both.
+        vm.enter(&mut m, 0).unwrap();
+        ConfidentialVm::exit(&mut m, 0).unwrap();
+        vm.enter(&mut m, 1).unwrap();
+        ConfidentialVm::exit(&mut m, 1).unwrap();
+        // Core 2 was not given to the guest.
+        assert_eq!(vm.enter(&mut m, 2), Err(Status::Denied));
+    }
+
+    #[test]
+    fn teardown_scrubs_guest_ram() {
+        let mut m = boot_x86(BootConfig::default());
+        let vm = launch(&mut m);
+        vm.enter(&mut m, 0).unwrap();
+        m.dom_write(0, GUEST_RAM.0 + 0x2000, b"guest secrets")
+            .unwrap();
+        ConfidentialVm::exit(&mut m, 0).unwrap();
+        vm.destroy(&mut m, 0).unwrap();
+        // Hypervisor regains the RAM — zeroed.
+        let mut buf = [0u8; 13];
+        m.dom_read(0, GUEST_RAM.0 + 0x2000, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 13]);
+        let mut buf2 = [0u8; 18];
+        m.dom_read(0, GUEST_RAM.0, &mut buf2).unwrap();
+        assert_eq!(buf2, [0u8; 18], "even the kernel image is gone");
+    }
+
+    #[test]
+    fn guest_spawns_subdomains() {
+        // The nestable seal lets the guest OS compartmentalize itself —
+        // e.g. isolate a driver — without hypervisor involvement.
+        let mut m = boot_x86(BootConfig::default());
+        let vm = launch(&mut m);
+        vm.enter(&mut m, 0).unwrap();
+        let mut client = TycheClient::new(&mut m, 0);
+        let (sub, _t) = client.create_domain().unwrap();
+        let page = client
+            .carve(GUEST_RAM.0 + 0x10_0000, GUEST_RAM.0 + 0x10_1000)
+            .unwrap();
+        client
+            .grant(page, sub, Rights::RW, RevocationPolicy::ZERO)
+            .unwrap();
+        assert!(m
+            .engine
+            .refcount_mem_full(MemRegion::new(
+                GUEST_RAM.0 + 0x10_0000,
+                GUEST_RAM.0 + 0x10_1000
+            ))
+            .is_exclusive());
+        ConfidentialVm::exit(&mut m, 0).unwrap();
+    }
+}

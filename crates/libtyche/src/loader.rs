@@ -1,0 +1,385 @@
+//! The domain loader: ELF + manifest → sealed trust domain (§4.2).
+//!
+//! The loader runs *inside* the creating domain and uses only monitor
+//! calls: it carves the image's physical footprint out of the caller's
+//! memory, copies segment bytes, has the monitor measure the segments the
+//! manifest marks `measured`, grants confidential segments, shares shared
+//! ones, hands over a CPU core, sets the entry point, and seals.
+
+use crate::client::TycheClient;
+use tyche_core::prelude::*;
+use tyche_crypto::Digest;
+use tyche_elf::image::ElfImage;
+use tyche_elf::manifest::{Manifest, Visibility};
+use tyche_monitor::{Monitor, Status};
+
+/// Why a load failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// The manifest does not fit the image.
+    BadManifest(String),
+    /// A segment is not page-representable (overlapping pages with
+    /// conflicting policies, or zero-sized).
+    BadLayout(String),
+    /// A monitor call failed.
+    Monitor(Status),
+    /// The caller does not own the physical range the image loads at.
+    NotOwned(u64),
+    /// A memory write faulted.
+    Fault(u64),
+}
+
+impl From<Status> for LoadError {
+    fn from(s: Status) -> Self {
+        LoadError::Monitor(s)
+    }
+}
+
+impl core::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LoadError::BadManifest(s) => write!(f, "bad manifest: {s}"),
+            LoadError::BadLayout(s) => write!(f, "bad layout: {s}"),
+            LoadError::Monitor(s) => write!(f, "monitor refused: {s:?}"),
+            LoadError::NotOwned(a) => write!(f, "caller does not own {a:#x}"),
+            LoadError::Fault(a) => write!(f, "fault writing image at {a:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// A successfully loaded, sealed domain.
+#[derive(Clone, Debug)]
+pub struct LoadedDomain {
+    /// The new domain.
+    pub domain: DomainId,
+    /// Transition capability into it, owned by the loader's domain.
+    pub transition: CapId,
+    /// Seal-time measurement (compare with
+    /// [`tyche_elf::offline_measurement`]-style expectations via the
+    /// attestation report).
+    pub measurement: Digest,
+    /// Shared windows: `(segment index, start, end)` regions both domains
+    /// can touch.
+    pub shared: Vec<(usize, u64, u64)>,
+}
+
+/// The loader configuration.
+pub struct Loader {
+    /// The image to load.
+    pub image: ElfImage,
+    /// Per-segment policy.
+    pub manifest: Manifest,
+    /// Seal policy for the new domain.
+    pub seal: SealPolicy,
+    /// CPU cores to share with the domain.
+    pub cores: Vec<usize>,
+    /// Revocation policy attached to granted segments.
+    pub revocation: RevocationPolicy,
+}
+
+impl Loader {
+    /// Creates a loader with [`RevocationPolicy::ZERO`] grants and core 0.
+    pub fn new(image: ElfImage, manifest: Manifest, seal: SealPolicy) -> Self {
+        Loader {
+            image,
+            manifest,
+            seal,
+            cores: vec![0],
+            revocation: RevocationPolicy::ZERO,
+        }
+    }
+
+    /// Page-aligns a segment's footprint.
+    fn page_span(start: u64, end: u64) -> (u64, u64) {
+        (start & !0xfff, (end + 0xfff) & !0xfff)
+    }
+
+    /// Loads the image as a new sealed domain, driven by the domain
+    /// currently running on `core`.
+    pub fn load(&self, monitor: &mut Monitor, core: usize) -> Result<LoadedDomain, LoadError> {
+        self.load_with(monitor, core, |_, _| Ok(()))
+    }
+
+    /// Like [`Loader::load`], but runs `pre_seal` after segments are
+    /// placed and before the domain is sealed. This is the hook for
+    /// establishing extra shared regions — e.g. enclave-to-enclave
+    /// channels — which must exist *before* sealing because sealing
+    /// freezes a domain's incoming resources (§3.1).
+    pub fn load_with<F>(
+        &self,
+        monitor: &mut Monitor,
+        core: usize,
+        pre_seal: F,
+    ) -> Result<LoadedDomain, LoadError>
+    where
+        F: FnOnce(&mut TycheClient<'_>, DomainId) -> Result<(), Status>,
+    {
+        self.manifest
+            .validate(self.image.segments.len())
+            .map_err(LoadError::BadManifest)?;
+        // Validate page-disjointness of differently-policied segments.
+        let mut spans: Vec<(usize, u64, u64)> = Vec::new();
+        for (idx, seg) in self.image.segments.iter().enumerate() {
+            if seg.memsz == 0 {
+                return Err(LoadError::BadLayout(format!("segment {idx} is empty")));
+            }
+            let (s, e) = Self::page_span(seg.vaddr, seg.end());
+            for (j, js, je) in &spans {
+                if s < *je && *js < e {
+                    return Err(LoadError::BadLayout(format!(
+                        "segments {j} and {idx} share a page"
+                    )));
+                }
+            }
+            spans.push((idx, s, e));
+        }
+
+        let mut client = TycheClient::new(monitor, core);
+        let (domain, transition) = client.create_domain()?;
+
+        let mut shared = Vec::new();
+        for (idx, seg) in self.image.segments.iter().enumerate() {
+            let policy = self.manifest.policy(idx).expect("validated");
+            let (start, end) = Self::page_span(seg.vaddr, seg.end());
+            // Copy the bytes in while the caller still owns the pages.
+            let mut bytes = seg.data.clone();
+            bytes.resize(seg.memsz as usize, 0);
+            client
+                .write(seg.vaddr, &bytes)
+                .map_err(|f| LoadError::Fault(f.addr))?;
+            if policy.measured {
+                client.record_content(domain, start, end)?;
+            }
+            let rights = elf_rights(seg.flags);
+            let cap = client.carve(start, end).map_err(LoadError::Monitor)?;
+            match policy.visibility {
+                Visibility::Confidential => {
+                    client.grant(cap, domain, rights, self.revocation)?;
+                }
+                Visibility::Shared => {
+                    client.share(cap, domain, None, rights, RevocationPolicy::NONE)?;
+                    shared.push((idx, start, end));
+                }
+            }
+        }
+        // CPU cores.
+        for &c in &self.cores {
+            let core_cap = {
+                let me = client.whoami();
+                client
+                    .monitor
+                    .engine
+                    .caps_of(me)
+                    .iter()
+                    .find(|k| k.active && matches!(k.resource, Resource::CpuCore(n) if n == c))
+                    .map(|k| k.id)
+            }
+            .ok_or(LoadError::Monitor(Status::NotFound))?;
+            client.share(core_cap, domain, None, Rights::USE, RevocationPolicy::NONE)?;
+        }
+        pre_seal(&mut client, domain).map_err(LoadError::Monitor)?;
+        client.set_entry(domain, self.image.entry)?;
+        let measurement = client.seal(domain, self.seal)?;
+        Ok(LoadedDomain {
+            domain,
+            transition,
+            measurement,
+            shared,
+        })
+    }
+}
+
+/// Maps ELF segment flags to capability rights.
+fn elf_rights(flags: tyche_elf::image::SegmentFlags) -> Rights {
+    let mut r = 0u8;
+    if flags.readable() {
+        r |= Rights::R;
+    }
+    if flags.writable() {
+        r |= Rights::W;
+    }
+    if flags.executable() {
+        r |= Rights::X;
+    }
+    Rights(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyche_elf::image::{ElfMachine, Segment, SegmentFlags};
+    use tyche_monitor::{boot_x86, BootConfig};
+
+    fn image() -> ElfImage {
+        ElfImage::new(0x10_0000, ElfMachine::X86_64)
+            .with_segment(Segment::new(
+                0x10_0000,
+                SegmentFlags::RX,
+                b"\x90\x90\xc3".to_vec(),
+            ))
+            .with_segment(Segment::new(0x10_1000, SegmentFlags::RW, b"data".to_vec()))
+            .with_segment(Segment::new(
+                0x10_2000,
+                SegmentFlags::RW,
+                b"mailbox".to_vec(),
+            ))
+    }
+
+    #[test]
+    fn load_enclave_end_to_end() {
+        let mut m = boot_x86(BootConfig::default());
+        let manifest = Manifest::enclave_default(3).share_segment(2);
+        let loader = Loader::new(image(), manifest, SealPolicy::strict());
+        let loaded = loader.load(&mut m, 0).unwrap();
+
+        // Confidential segments belong exclusively to the enclave.
+        assert!(m
+            .engine
+            .refcount_mem_full(MemRegion::new(0x10_0000, 0x10_2000))
+            .is_exclusive());
+        // The shared mailbox has refcount 2.
+        assert_eq!(
+            m.engine.refcount_mem(MemRegion::new(0x10_2000, 0x10_3000)),
+            2
+        );
+        assert_eq!(loaded.shared, vec![(2, 0x10_2000, 0x10_3000)]);
+
+        // The OS cannot read enclave code, but can read the mailbox.
+        assert!(m.dom_read(0, 0x10_0000, &mut [0u8; 1]).is_err());
+        let mut mb = [0u8; 7];
+        m.dom_read(0, 0x10_2000, &mut mb).unwrap();
+        assert_eq!(&mb, b"mailbox");
+
+        // Entering the enclave: it sees its code and data.
+        let mut client = TycheClient::new(&mut m, 0);
+        client.enter(loaded.transition).unwrap();
+        let mut code = [0u8; 3];
+        client.read(0x10_0000, &mut code).unwrap();
+        assert_eq!(&code, b"\x90\x90\xc3");
+        client.ret().unwrap();
+    }
+
+    #[test]
+    fn measurement_reflects_content_and_manifest() {
+        let mut m1 = boot_x86(BootConfig::default());
+        let mut m2 = boot_x86(BootConfig::default());
+        let manifest = Manifest::enclave_default(3).share_segment(2);
+        let l1 = Loader::new(image(), manifest.clone(), SealPolicy::strict())
+            .load(&mut m1, 0)
+            .unwrap();
+        let l2 = Loader::new(image(), manifest, SealPolicy::strict())
+            .load(&mut m2, 0)
+            .unwrap();
+        assert_eq!(
+            l1.measurement, l2.measurement,
+            "same image, same measurement"
+        );
+
+        let mut m3 = boot_x86(BootConfig::default());
+        let mut evil = image();
+        evil.segments[0].data[0] = 0xcc; // patched code
+        let manifest = Manifest::enclave_default(3).share_segment(2);
+        let l3 = Loader::new(evil, manifest, SealPolicy::strict())
+            .load(&mut m3, 0)
+            .unwrap();
+        assert_ne!(
+            l1.measurement, l3.measurement,
+            "patched code changes measurement"
+        );
+    }
+
+    #[test]
+    fn unmeasured_shared_data_does_not_change_measurement() {
+        let manifest = Manifest::enclave_default(3).share_segment(2);
+        let mut m1 = boot_x86(BootConfig::default());
+        let l1 = Loader::new(image(), manifest.clone(), SealPolicy::strict())
+            .load(&mut m1, 0)
+            .unwrap();
+        let mut img2 = image();
+        img2.segments[2].data = b"MAILBX2".to_vec();
+        let mut m2 = boot_x86(BootConfig::default());
+        let l2 = Loader::new(img2, manifest, SealPolicy::strict())
+            .load(&mut m2, 0)
+            .unwrap();
+        assert_eq!(l1.measurement, l2.measurement);
+    }
+
+    #[test]
+    fn overlapping_policy_pages_rejected() {
+        let img = ElfImage::new(0x10_0000, ElfMachine::X86_64)
+            .with_segment(Segment::new(0x10_0000, SegmentFlags::RX, vec![0x90]))
+            .with_segment(Segment::new(0x10_0800, SegmentFlags::RW, vec![1]));
+        let manifest = Manifest::enclave_default(2);
+        let mut m = boot_x86(BootConfig::default());
+        let err = Loader::new(img, manifest, SealPolicy::strict())
+            .load(&mut m, 0)
+            .unwrap_err();
+        assert!(matches!(err, LoadError::BadLayout(_)));
+    }
+
+    #[test]
+    fn load_outside_owned_memory_fails() {
+        // Image placed in the monitor-reserved region: the caller owns no
+        // capability there, so the write faults.
+        let mut m = boot_x86(BootConfig::default());
+        let base = m.machine.domain_ram.end.as_u64() + 0x10_0000;
+        let img = ElfImage::new(base, ElfMachine::X86_64).with_segment(Segment::new(
+            base,
+            SegmentFlags::RX,
+            vec![0x90],
+        ));
+        let err = Loader::new(img, Manifest::enclave_default(1), SealPolicy::strict())
+            .load(&mut m, 0)
+            .unwrap_err();
+        assert!(matches!(err, LoadError::Fault(_)));
+    }
+
+    #[test]
+    fn nested_load_from_inside_a_domain() {
+        // A nestable enclave loads a further enclave from its own memory —
+        // the §4.2 nesting story through the loader path.
+        let mut m = boot_x86(BootConfig::default());
+        // Outer enclave with a generous footprint [0x10_0000, 0x14_0000).
+        let outer_img = ElfImage::new(0x10_0000, ElfMachine::X86_64).with_segment(Segment {
+            vaddr: 0x10_0000,
+            memsz: 0x4_0000,
+            flags: SegmentFlags::RW,
+            data: b"outer".to_vec(),
+        });
+        let outer = Loader::new(
+            outer_img,
+            Manifest::enclave_default(1),
+            SealPolicy::nestable(),
+        )
+        .load(&mut m, 0)
+        .unwrap();
+        let mut client = TycheClient::new(&mut m, 0);
+        client.enter(outer.transition).unwrap();
+        // Inside the outer enclave: load an inner enclave into own memory.
+        // The inner segment's rights must attenuate from the outer grant
+        // (RW), so it is RO data here.
+        let inner_img = ElfImage::new(0x12_0000, ElfMachine::X86_64).with_segment(Segment::new(
+            0x12_0000,
+            SegmentFlags::RO,
+            b"inner".to_vec(),
+        ));
+        let inner = Loader::new(
+            inner_img,
+            Manifest::enclave_default(1),
+            SealPolicy::strict(),
+        )
+        .load(client.monitor, 0)
+        .unwrap();
+        // The inner enclave's page is exclusive — not even the outer
+        // enclave can read it now.
+        assert!(m
+            .engine
+            .refcount_mem_full(MemRegion::new(0x12_0000, 0x12_1000))
+            .is_exclusive());
+        let mut c2 = TycheClient::new(&mut m, 0);
+        assert!(c2.read(0x12_0000, &mut [0u8; 1]).is_err());
+        let _ = inner;
+    }
+}

@@ -1,0 +1,227 @@
+//! Sandboxes: fault-contained compartments for untrusted code (§4.2
+//! "user and kernel compartments").
+//!
+//! A sandbox is a trust domain holding exactly the pages the creator
+//! decided to expose: its own scratch memory (granted) plus optional
+//! shared windows. Untrusted code running in the sandbox — modeled as a
+//! closure driving sandbox-context memory accesses — can scribble freely
+//! inside, but every access outside its capabilities faults into the
+//! monitor instead of corrupting the creator. This is the paper's answer
+//! to "isolate libraries coming from untrusted third parties" without
+//! process overheads.
+
+use crate::client::TycheClient;
+use tyche_core::prelude::*;
+use tyche_monitor::{Fault, Monitor, Status};
+
+/// A sandbox compartment.
+pub struct Sandbox {
+    /// The sandbox's domain.
+    pub domain: DomainId,
+    /// Transition capability into the sandbox.
+    pub transition: CapId,
+    /// The sandbox's private scratch region.
+    pub scratch: (u64, u64),
+    /// Shared window with the creator, if configured.
+    pub window: Option<(u64, u64)>,
+}
+
+/// What sandboxed code may do: access memory through its domain's
+/// capabilities. Out-of-capability access returns a [`Fault`] — the
+/// sandboxed code cannot suppress it, and the host observes it.
+pub struct SandboxCtx<'m> {
+    client: TycheClient<'m>,
+}
+
+impl SandboxCtx<'_> {
+    /// Reads sandbox-visible memory.
+    pub fn read(&mut self, addr: u64, out: &mut [u8]) -> Result<(), Fault> {
+        self.client.read(addr, out)
+    }
+
+    /// Writes sandbox-visible memory.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), Fault> {
+        self.client.write(addr, data)
+    }
+}
+
+/// Outcome of one sandbox invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SandboxOutcome {
+    /// The sandboxed code finished.
+    Completed,
+    /// The sandboxed code faulted (wild access) and was stopped; the
+    /// creator is unharmed.
+    Faulted(Fault),
+}
+
+impl Sandbox {
+    /// Creates a sandbox with a private scratch region `[start, end)`
+    /// carved from the creator's memory, an optional shared `window`, and
+    /// core `core`.
+    ///
+    /// The scratch region is granted RW with zero-on-revoke; the window is
+    /// shared RW with no clean-up (it belongs to the creator).
+    pub fn create(
+        monitor: &mut Monitor,
+        core: usize,
+        scratch: (u64, u64),
+        window: Option<(u64, u64)>,
+    ) -> Result<Sandbox, Status> {
+        let mut client = TycheClient::new(monitor, core);
+        let (domain, transition) = client.create_domain()?;
+        let scratch_cap = client.carve(scratch.0, scratch.1)?;
+        client.grant(scratch_cap, domain, Rights::RWX, RevocationPolicy::ZERO)?;
+        if let Some((ws, we)) = window {
+            let wcap = client.carve(ws, we)?;
+            client.share(wcap, domain, None, Rights::RW, RevocationPolicy::NONE)?;
+        }
+        let core_cap = {
+            let me = client.whoami();
+            client
+                .monitor
+                .engine
+                .caps_of(me)
+                .iter()
+                .find(|k| k.active && matches!(k.resource, Resource::CpuCore(n) if n == core))
+                .map(|k| k.id)
+        }
+        .ok_or(Status::NotFound)?;
+        client.share(core_cap, domain, None, Rights::USE, RevocationPolicy::NONE)?;
+        client.set_entry(domain, scratch.0)?;
+        client.seal(domain, SealPolicy::strict())?;
+        Ok(Sandbox {
+            domain,
+            transition,
+            scratch,
+            window,
+        })
+    }
+
+    /// Runs untrusted `code` inside the sandbox on `core`.
+    ///
+    /// The code gets a [`SandboxCtx`]; any fault it takes aborts the
+    /// invocation (the monitor returns control to the creator) and is
+    /// reported as [`SandboxOutcome::Faulted`].
+    pub fn run<F>(
+        &self,
+        monitor: &mut Monitor,
+        core: usize,
+        code: F,
+    ) -> Result<SandboxOutcome, Status>
+    where
+        F: FnOnce(&mut SandboxCtx<'_>) -> Result<(), Fault>,
+    {
+        let mut client = TycheClient::new(monitor, core);
+        client.enter(self.transition)?;
+        let mut ctx = SandboxCtx {
+            client: TycheClient::new(monitor, core),
+        };
+        let result = code(&mut ctx);
+        let mut client = TycheClient::new(monitor, core);
+        client.ret()?;
+        Ok(match result {
+            Ok(()) => SandboxOutcome::Completed,
+            Err(f) => SandboxOutcome::Faulted(f),
+        })
+    }
+
+    /// Tears the sandbox down: cascading revocation returns (zeroed)
+    /// scratch memory to the creator.
+    pub fn destroy(self, monitor: &mut Monitor, core: usize) -> Result<(), Status> {
+        let mut client = TycheClient::new(monitor, core);
+        client.kill(self.domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyche_monitor::{boot_x86, BootConfig};
+
+    const SCRATCH: (u64, u64) = (0x20_0000, 0x20_4000);
+    const WINDOW: (u64, u64) = (0x30_0000, 0x30_1000);
+
+    #[test]
+    fn wellbehaved_code_completes() {
+        let mut m = boot_x86(BootConfig::default());
+        let sb = Sandbox::create(&mut m, 0, SCRATCH, Some(WINDOW)).unwrap();
+        let out = sb
+            .run(&mut m, 0, |ctx| {
+                ctx.write(SCRATCH.0 + 0x100, b"local state")?;
+                ctx.write(WINDOW.0, b"result=42")?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(out, SandboxOutcome::Completed);
+        // The creator reads the result through the shared window.
+        let mut buf = [0u8; 9];
+        m.dom_read(0, WINDOW.0, &mut buf).unwrap();
+        assert_eq!(&buf, b"result=42");
+        // But the sandbox's scratch is invisible to the creator.
+        assert!(m.dom_read(0, SCRATCH.0, &mut [0u8; 1]).is_err());
+    }
+
+    #[test]
+    fn wild_write_faults_and_host_survives() {
+        let mut m = boot_x86(BootConfig::default());
+        m.dom_write(0, 0x40_0000, b"host data").unwrap();
+        let sb = Sandbox::create(&mut m, 0, SCRATCH, None).unwrap();
+        let out = sb
+            .run(&mut m, 0, |ctx| {
+                // The untrusted library scribbles over the host heap...
+                ctx.write(0x40_0000, b"pwned!!!!")?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(matches!(out, SandboxOutcome::Faulted(f) if f.addr == 0x40_0000 && f.write));
+        // Host data intact.
+        let mut buf = [0u8; 9];
+        m.dom_read(0, 0x40_0000, &mut buf).unwrap();
+        assert_eq!(&buf, b"host data");
+    }
+
+    #[test]
+    fn sandbox_cannot_read_host_secrets() {
+        let mut m = boot_x86(BootConfig::default());
+        m.dom_write(0, 0x40_0000, b"secret").unwrap();
+        let sb = Sandbox::create(&mut m, 0, SCRATCH, None).unwrap();
+        let out = sb
+            .run(&mut m, 0, |ctx| {
+                let mut steal = [0u8; 6];
+                ctx.read(0x40_0000, &mut steal)?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(matches!(out, SandboxOutcome::Faulted(_)));
+    }
+
+    #[test]
+    fn destroy_zeroes_scratch() {
+        let mut m = boot_x86(BootConfig::default());
+        let sb = Sandbox::create(&mut m, 0, SCRATCH, None).unwrap();
+        sb.run(&mut m, 0, |ctx| ctx.write(SCRATCH.0, b"residual secret"))
+            .unwrap();
+        sb.destroy(&mut m, 0).unwrap();
+        // The creator regains the pages, zeroed.
+        let mut buf = [0u8; 15];
+        m.dom_read(0, SCRATCH.0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 15]);
+    }
+
+    #[test]
+    fn two_sandboxes_are_mutually_isolated() {
+        let mut m = boot_x86(BootConfig::default());
+        let a = Sandbox::create(&mut m, 0, (0x20_0000, 0x20_2000), None).unwrap();
+        let b = Sandbox::create(&mut m, 0, (0x21_0000, 0x21_2000), None).unwrap();
+        a.run(&mut m, 0, |ctx| ctx.write(0x20_0000, b"A")).unwrap();
+        let out = b
+            .run(&mut m, 0, |ctx| {
+                let mut peek = [0u8; 1];
+                ctx.read(0x20_0000, &mut peek)?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(matches!(out, SandboxOutcome::Faulted(_)));
+    }
+}

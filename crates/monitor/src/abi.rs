@@ -1,0 +1,452 @@
+//! The monitor call ABI (§3.2: "a simple yet expressive API").
+//!
+//! A running domain invokes the monitor through VMCALL (x86) or `ecall`
+//! (RISC-V). Both deliver a *leaf* (operation number) and six argument
+//! registers. This module defines the register encoding as a typed
+//! [`MonitorCall`] with a lossless round-trip, plus the [`Status`] codes
+//! returned in the first result register.
+//!
+//! The acting domain is *never* an argument: the monitor knows which
+//! domain is running on the calling core. Identity comes from hardware
+//! context, not from a forgeable parameter.
+
+use tyche_core::prelude::*;
+
+/// Operation leaf numbers (the `rax`/`a7` selector).
+pub mod leaf {
+    /// Create a child domain.
+    pub const CREATE_DOMAIN: u64 = 0x100;
+    /// Share a capability.
+    pub const SHARE: u64 = 0x101;
+    /// Grant a capability.
+    pub const GRANT: u64 = 0x102;
+    /// Split a memory capability.
+    pub const SPLIT: u64 = 0x103;
+    /// Revoke a capability subtree.
+    pub const REVOKE: u64 = 0x104;
+    /// Seal a domain.
+    pub const SEAL: u64 = 0x105;
+    /// Set a domain's entry point.
+    pub const SET_ENTRY: u64 = 0x106;
+    /// Record a content measurement for a domain under construction.
+    pub const RECORD_CONTENT: u64 = 0x107;
+    /// Create a transition capability.
+    pub const MAKE_TRANSITION: u64 = 0x108;
+    /// Kill a managed domain.
+    pub const KILL: u64 = 0x109;
+    /// Enumerate own resources (returns a count; entries via ENUM_NEXT).
+    pub const ENUMERATE: u64 = 0x10a;
+    /// Enter another domain through a transition capability.
+    pub const ENTER: u64 = 0x200;
+    /// Return to the calling domain.
+    pub const RETURN: u64 = 0x201;
+    /// Request an attestation report for a domain.
+    pub const ATTEST: u64 = 0x300;
+}
+
+/// Result status returned in the first result register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u64)]
+pub enum Status {
+    /// Operation succeeded.
+    Ok = 0,
+    /// Malformed call (unknown leaf, bad flags, unaligned address).
+    InvalidArg = 1,
+    /// The engine refused the operation (policy violation).
+    Denied = 2,
+    /// Referenced capability or domain does not exist.
+    NotFound = 3,
+    /// The platform backend could not realize the operation (e.g. PMP
+    /// layout overflow).
+    BackendFailure = 4,
+}
+
+impl Status {
+    /// Decodes a status register value.
+    pub fn from_u64(v: u64) -> Status {
+        match v {
+            0 => Status::Ok,
+            1 => Status::InvalidArg,
+            2 => Status::Denied,
+            3 => Status::NotFound,
+            _ => Status::BackendFailure,
+        }
+    }
+}
+
+/// Packs rights + revocation policy flags into one register.
+///
+/// Bits 0..3: rights (r/w/x/use). Bits 8..10: zero/flush-cache/flush-TLB.
+pub fn pack_flags(rights: Rights, policy: RevocationPolicy) -> u64 {
+    (rights.0 as u64)
+        | ((policy.zero_memory as u64) << 8)
+        | ((policy.flush_cache as u64) << 9)
+        | ((policy.flush_tlb as u64) << 10)
+}
+
+/// Unpacks [`pack_flags`]. Returns `None` when reserved bits are set.
+pub fn unpack_flags(v: u64) -> Option<(Rights, RevocationPolicy)> {
+    if v & !0x70f != 0 {
+        return None;
+    }
+    Some((
+        Rights((v & 0xf) as u8),
+        RevocationPolicy {
+            zero_memory: v & (1 << 8) != 0,
+            flush_cache: v & (1 << 9) != 0,
+            flush_tlb: v & (1 << 10) != 0,
+        },
+    ))
+}
+
+/// A decoded monitor call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MonitorCall {
+    /// Create a child domain; returns (domain id, transition cap id).
+    CreateDomain,
+    /// Share `cap` with `target`; optional subrange `[start, end)` when
+    /// `has_sub`.
+    Share {
+        /// Capability to share.
+        cap: CapId,
+        /// Receiving domain.
+        target: DomainId,
+        /// Optional subrange.
+        sub: Option<(u64, u64)>,
+        /// Rights for the child capability.
+        rights: Rights,
+        /// Revocation policy for the child capability.
+        policy: RevocationPolicy,
+    },
+    /// Grant `cap` to `target` (whole capability).
+    Grant {
+        /// Capability to grant.
+        cap: CapId,
+        /// Receiving domain.
+        target: DomainId,
+        /// Rights for the child capability.
+        rights: Rights,
+        /// Revocation policy for the child capability.
+        policy: RevocationPolicy,
+    },
+    /// Split a memory capability at `at`.
+    Split {
+        /// Capability to split.
+        cap: CapId,
+        /// Split address.
+        at: u64,
+    },
+    /// Revoke a capability subtree.
+    Revoke {
+        /// Root of the subtree to revoke.
+        cap: CapId,
+    },
+    /// Seal `domain` with the given policy flags.
+    Seal {
+        /// Domain to seal.
+        domain: DomainId,
+        /// Whether outward sharing stays allowed.
+        allow_outward: bool,
+        /// Whether child-domain creation stays allowed.
+        allow_children: bool,
+    },
+    /// Set `domain`'s fixed entry point.
+    SetEntry {
+        /// Domain to configure.
+        domain: DomainId,
+        /// Entry address.
+        entry: u64,
+    },
+    /// Record that `[start, end)` of `domain`'s initial memory will be
+    /// measured by the monitor.
+    RecordContent {
+        /// Domain under construction.
+        domain: DomainId,
+        /// Region start.
+        start: u64,
+        /// Region end.
+        end: u64,
+    },
+    /// Create a transition capability into `target`.
+    MakeTransition {
+        /// Target domain.
+        target: DomainId,
+        /// Flush policy applied on transitions through this capability.
+        policy: RevocationPolicy,
+    },
+    /// Kill a managed domain.
+    Kill {
+        /// Domain to kill.
+        domain: DomainId,
+    },
+    /// Count the caller's resources.
+    Enumerate,
+    /// Enter a domain through a transition capability.
+    Enter {
+        /// Transition capability.
+        cap: CapId,
+    },
+    /// Return to the caller domain.
+    Return,
+    /// Request an attestation report for `domain` with an 8-byte nonce
+    /// seed (expanded by the monitor).
+    Attest {
+        /// Domain to attest.
+        domain: DomainId,
+        /// Verifier-chosen nonce seed.
+        nonce: u64,
+    },
+}
+
+impl MonitorCall {
+    /// Encodes the call as `(leaf, args)` register values.
+    pub fn encode(&self) -> (u64, [u64; 6]) {
+        match *self {
+            MonitorCall::CreateDomain => (leaf::CREATE_DOMAIN, [0; 6]),
+            MonitorCall::Share {
+                cap,
+                target,
+                sub,
+                rights,
+                policy,
+            } => {
+                let (has, s, e) = match sub {
+                    Some((s, e)) => (1, s, e),
+                    None => (0, 0, 0),
+                };
+                (
+                    leaf::SHARE,
+                    [cap.0, target.0, pack_flags(rights, policy), has, s, e],
+                )
+            }
+            MonitorCall::Grant {
+                cap,
+                target,
+                rights,
+                policy,
+            } => (
+                leaf::GRANT,
+                [cap.0, target.0, pack_flags(rights, policy), 0, 0, 0],
+            ),
+            MonitorCall::Split { cap, at } => (leaf::SPLIT, [cap.0, at, 0, 0, 0, 0]),
+            MonitorCall::Revoke { cap } => (leaf::REVOKE, [cap.0, 0, 0, 0, 0, 0]),
+            MonitorCall::Seal {
+                domain,
+                allow_outward,
+                allow_children,
+            } => (
+                leaf::SEAL,
+                [
+                    domain.0,
+                    allow_outward as u64,
+                    allow_children as u64,
+                    0,
+                    0,
+                    0,
+                ],
+            ),
+            MonitorCall::SetEntry { domain, entry } => {
+                (leaf::SET_ENTRY, [domain.0, entry, 0, 0, 0, 0])
+            }
+            MonitorCall::RecordContent { domain, start, end } => {
+                (leaf::RECORD_CONTENT, [domain.0, start, end, 0, 0, 0])
+            }
+            MonitorCall::MakeTransition { target, policy } => (
+                leaf::MAKE_TRANSITION,
+                [target.0, pack_flags(Rights::USE, policy), 0, 0, 0, 0],
+            ),
+            MonitorCall::Kill { domain } => (leaf::KILL, [domain.0, 0, 0, 0, 0, 0]),
+            MonitorCall::Enumerate => (leaf::ENUMERATE, [0; 6]),
+            MonitorCall::Enter { cap } => (leaf::ENTER, [cap.0, 0, 0, 0, 0, 0]),
+            MonitorCall::Return => (leaf::RETURN, [0; 6]),
+            MonitorCall::Attest { domain, nonce } => (leaf::ATTEST, [domain.0, nonce, 0, 0, 0, 0]),
+        }
+    }
+
+    /// Decodes `(leaf, args)` registers into a call. `None` on a malformed
+    /// encoding.
+    pub fn decode(leaf_v: u64, args: [u64; 6]) -> Option<MonitorCall> {
+        Some(match leaf_v {
+            leaf::CREATE_DOMAIN => MonitorCall::CreateDomain,
+            leaf::SHARE => {
+                let (rights, policy) = unpack_flags(args[2])?;
+                let sub = match args[3] {
+                    0 => None,
+                    1 => Some((args[4], args[5])),
+                    _ => return None,
+                };
+                MonitorCall::Share {
+                    cap: CapId(args[0]),
+                    target: DomainId(args[1]),
+                    sub,
+                    rights,
+                    policy,
+                }
+            }
+            leaf::GRANT => {
+                let (rights, policy) = unpack_flags(args[2])?;
+                MonitorCall::Grant {
+                    cap: CapId(args[0]),
+                    target: DomainId(args[1]),
+                    rights,
+                    policy,
+                }
+            }
+            leaf::SPLIT => MonitorCall::Split {
+                cap: CapId(args[0]),
+                at: args[1],
+            },
+            leaf::REVOKE => MonitorCall::Revoke {
+                cap: CapId(args[0]),
+            },
+            leaf::SEAL => {
+                if args[1] > 1 || args[2] > 1 {
+                    return None;
+                }
+                MonitorCall::Seal {
+                    domain: DomainId(args[0]),
+                    allow_outward: args[1] == 1,
+                    allow_children: args[2] == 1,
+                }
+            }
+            leaf::SET_ENTRY => MonitorCall::SetEntry {
+                domain: DomainId(args[0]),
+                entry: args[1],
+            },
+            leaf::RECORD_CONTENT => MonitorCall::RecordContent {
+                domain: DomainId(args[0]),
+                start: args[1],
+                end: args[2],
+            },
+            leaf::MAKE_TRANSITION => {
+                let (_, policy) = unpack_flags(args[1])?;
+                MonitorCall::MakeTransition {
+                    target: DomainId(args[0]),
+                    policy,
+                }
+            }
+            leaf::KILL => MonitorCall::Kill {
+                domain: DomainId(args[0]),
+            },
+            leaf::ENUMERATE => MonitorCall::Enumerate,
+            leaf::ENTER => MonitorCall::Enter {
+                cap: CapId(args[0]),
+            },
+            leaf::RETURN => MonitorCall::Return,
+            leaf::ATTEST => MonitorCall::Attest {
+                domain: DomainId(args[0]),
+                nonce: args[1],
+            },
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(call: MonitorCall) {
+        let (l, a) = call.encode();
+        assert_eq!(MonitorCall::decode(l, a), Some(call));
+    }
+
+    #[test]
+    fn all_calls_roundtrip() {
+        roundtrip(MonitorCall::CreateDomain);
+        roundtrip(MonitorCall::Share {
+            cap: CapId(3),
+            target: DomainId(4),
+            sub: Some((0x1000, 0x2000)),
+            rights: Rights::RW,
+            policy: RevocationPolicy::ZERO,
+        });
+        roundtrip(MonitorCall::Share {
+            cap: CapId(3),
+            target: DomainId(4),
+            sub: None,
+            rights: Rights::RO,
+            policy: RevocationPolicy::NONE,
+        });
+        roundtrip(MonitorCall::Grant {
+            cap: CapId(9),
+            target: DomainId(1),
+            rights: Rights::RWX,
+            policy: RevocationPolicy::OBFUSCATE,
+        });
+        roundtrip(MonitorCall::Split {
+            cap: CapId(1),
+            at: 0x4000,
+        });
+        roundtrip(MonitorCall::Revoke { cap: CapId(2) });
+        roundtrip(MonitorCall::Seal {
+            domain: DomainId(5),
+            allow_outward: true,
+            allow_children: false,
+        });
+        roundtrip(MonitorCall::SetEntry {
+            domain: DomainId(5),
+            entry: 0xdead,
+        });
+        roundtrip(MonitorCall::RecordContent {
+            domain: DomainId(5),
+            start: 0,
+            end: 0x1000,
+        });
+        roundtrip(MonitorCall::MakeTransition {
+            target: DomainId(6),
+            policy: RevocationPolicy::OBFUSCATE,
+        });
+        roundtrip(MonitorCall::Kill {
+            domain: DomainId(7),
+        });
+        roundtrip(MonitorCall::Enumerate);
+        roundtrip(MonitorCall::Enter { cap: CapId(11) });
+        roundtrip(MonitorCall::Return);
+        roundtrip(MonitorCall::Attest {
+            domain: DomainId(2),
+            nonce: 42,
+        });
+    }
+
+    #[test]
+    fn malformed_encodings_rejected() {
+        assert_eq!(MonitorCall::decode(0xdead, [0; 6]), None, "unknown leaf");
+        // Reserved flag bits set.
+        assert_eq!(
+            MonitorCall::decode(leaf::SHARE, [0, 0, 1 << 20, 0, 0, 0]),
+            None
+        );
+        // Bad has-sub discriminator.
+        assert_eq!(MonitorCall::decode(leaf::SHARE, [0, 0, 0, 7, 0, 0]), None);
+        // Non-boolean seal flags.
+        assert_eq!(MonitorCall::decode(leaf::SEAL, [0, 2, 0, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn flags_pack_roundtrip() {
+        for rights in [
+            Rights::NONE,
+            Rights::RO,
+            Rights::RW,
+            Rights::RWX,
+            Rights::USE,
+        ] {
+            for policy in [
+                RevocationPolicy::NONE,
+                RevocationPolicy::ZERO,
+                RevocationPolicy::OBFUSCATE,
+            ] {
+                let packed = pack_flags(rights, policy);
+                assert_eq!(unpack_flags(packed), Some((rights, policy)));
+            }
+        }
+    }
+
+    #[test]
+    fn status_decode() {
+        assert_eq!(Status::from_u64(0), Status::Ok);
+        assert_eq!(Status::from_u64(2), Status::Denied);
+        assert_eq!(Status::from_u64(99), Status::BackendFailure);
+    }
+}

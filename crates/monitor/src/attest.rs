@@ -1,0 +1,344 @@
+//! Two-tier remote attestation (§3.4 of the paper).
+//!
+//! Tier 1 — *the machine runs a specific monitor*: the TPM measured the
+//! monitor image into PCR 17 (and its configuration into PCR 18) at boot
+//! and produces a signed [`tyche_hw::tpm::Quote`] over those PCRs and a
+//! verifier nonce.
+//!
+//! Tier 2 — *a specific domain has a specific configuration*: the monitor
+//! signs a [`tyche_core::attest::DomainReport`] (resources, rights,
+//! reference counts, measurement) with its attestation key.
+//!
+//! A [`Verifier`] holds the TPM's verifying key, the *expected* monitor
+//! measurement (obtained by building the open-source monitor and hashing
+//! it), and the monitor's report-verification key (distributed alongside
+//! the quote, as a certificate would be). `verify` checks the whole chain
+//! and returns an [`AttestedDomain`] the relying party can query.
+
+use tyche_core::attest::DomainReport;
+use tyche_core::ids::DomainId;
+use tyche_crypto::sign::{Signature, VerifyingKey};
+use tyche_crypto::Digest;
+use tyche_hw::tpm::{Quote, PCR_CONFIG, PCR_MONITOR};
+
+/// A domain report signed by the monitor, bound to a verifier nonce.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SignedReport {
+    /// The report contents.
+    pub report: DomainReport,
+    /// The verifier nonce the signature covers (anti-replay).
+    pub nonce: [u8; 32],
+    /// Monitor signature over `report.canonical_bytes() || nonce`.
+    pub signature: Signature,
+}
+
+impl SignedReport {
+    /// The exact bytes the monitor signs.
+    pub fn signed_bytes(report: &DomainReport, nonce: &[u8; 32]) -> Vec<u8> {
+        let mut msg = report.canonical_bytes();
+        msg.extend_from_slice(nonce);
+        msg
+    }
+}
+
+/// Why verification failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The TPM quote signature or nonce check failed.
+    BadQuote,
+    /// PCR 17 does not match the expected monitor measurement: an unknown
+    /// monitor (or none) controls the machine.
+    WrongMonitor {
+        /// What the quote reported.
+        got: Digest,
+        /// What the verifier expected.
+        expected: Digest,
+    },
+    /// The quote did not cover the required PCRs.
+    MissingPcr(usize),
+    /// The domain report signature failed or the nonce was replayed.
+    BadReportSignature,
+    /// The report's domain measurement does not match the expected value.
+    WrongDomainMeasurement {
+        /// What the report carried.
+        got: Digest,
+        /// What the verifier expected.
+        expected: Digest,
+    },
+    /// A memory resource the verifier required to be exclusive is shared.
+    UnexpectedSharing,
+}
+
+impl core::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VerifyError::BadQuote => f.write_str("TPM quote verification failed"),
+            VerifyError::WrongMonitor { .. } => {
+                f.write_str("machine is not running the expected monitor")
+            }
+            VerifyError::MissingPcr(p) => write!(f, "quote does not cover PCR {p}"),
+            VerifyError::BadReportSignature => f.write_str("domain report signature invalid"),
+            VerifyError::WrongDomainMeasurement { .. } => {
+                f.write_str("domain measurement mismatch")
+            }
+            VerifyError::UnexpectedSharing => f.write_str("resource shared beyond stated policy"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The verified view of a domain a relying party acts on.
+#[derive(Clone, Debug)]
+pub struct AttestedDomain {
+    /// The attested domain id.
+    pub domain: DomainId,
+    /// Its verified measurement.
+    pub measurement: Digest,
+    /// The verified report (resources + reference counts).
+    pub report: DomainReport,
+}
+
+impl AttestedDomain {
+    /// The Figure 2 customer check: every memory resource is exclusive
+    /// except the listed `(start, end, expected_count)` shared windows.
+    pub fn sharing_is_exactly(&self, allowed_shared: &[(u64, u64, usize)]) -> bool {
+        self.report.check_sharing(allowed_shared)
+    }
+}
+
+/// A remote verifier's trust anchors.
+pub struct Verifier {
+    /// TPM attestation (quote) verification key.
+    pub tpm_key: VerifyingKey,
+    /// Expected PCR 17 value: `extend(0, H(monitor image))`.
+    pub expected_monitor_pcr: Digest,
+    /// The monitor's report-verification key.
+    pub monitor_key: VerifyingKey,
+}
+
+impl Verifier {
+    /// Verifies the full two-tier chain:
+    ///
+    /// 1. the quote is signed by the TPM and fresh (`quote_nonce`);
+    /// 2. PCR 17 proves the expected monitor controls the machine;
+    /// 3. the report is signed by that monitor and fresh (`report_nonce`);
+    /// 4. if `expected_measurement` is given, the domain measurement
+    ///    matches.
+    pub fn verify(
+        &self,
+        quote: &Quote,
+        quote_nonce: &[u8; 32],
+        signed: &SignedReport,
+        report_nonce: &[u8; 32],
+        expected_measurement: Option<Digest>,
+    ) -> Result<AttestedDomain, VerifyError> {
+        if !quote.verify(&self.tpm_key, quote_nonce) {
+            return Err(VerifyError::BadQuote);
+        }
+        let pcr17 = quote
+            .pcr(PCR_MONITOR)
+            .ok_or(VerifyError::MissingPcr(PCR_MONITOR))?;
+        quote
+            .pcr(PCR_CONFIG)
+            .ok_or(VerifyError::MissingPcr(PCR_CONFIG))?;
+        if pcr17 != self.expected_monitor_pcr {
+            return Err(VerifyError::WrongMonitor {
+                got: pcr17,
+                expected: self.expected_monitor_pcr,
+            });
+        }
+        if &signed.nonce != report_nonce {
+            return Err(VerifyError::BadReportSignature);
+        }
+        let msg = SignedReport::signed_bytes(&signed.report, &signed.nonce);
+        if !self.monitor_key.verify(&msg, &signed.signature) {
+            return Err(VerifyError::BadReportSignature);
+        }
+        if let Some(expected) = expected_measurement {
+            if signed.report.measurement != expected {
+                return Err(VerifyError::WrongDomainMeasurement {
+                    got: signed.report.measurement,
+                    expected,
+                });
+            }
+        }
+        Ok(AttestedDomain {
+            domain: signed.report.domain,
+            measurement: signed.report.measurement,
+            report: signed.report.clone(),
+        })
+    }
+}
+
+/// Computes the expected PCR 17 value for a monitor image measurement —
+/// what a verifier derives from the open-source monitor build.
+pub fn expected_pcr_for(image_measurement: Digest) -> Digest {
+    tyche_crypto::hash_parts(&[Digest::ZERO.as_bytes(), image_measurement.as_bytes()])
+}
+
+// ---------------------------------------------------------------------
+// Multi-domain topology attestation (§4.2 extension)
+// ---------------------------------------------------------------------
+
+/// What a verifier expects of a multi-domain deployment: a set of member
+/// domains (optionally with pinned measurements) and the exact shared
+/// channels among them. "All communication paths are secured and
+/// attested" (§4.2) means: every byte reachable by more than one member
+/// must be a declared channel, reachable by *exactly* its declared
+/// member set — no undeclared sharing, no outsiders on any channel.
+#[derive(Clone, Debug, Default)]
+pub struct TopologySpec {
+    /// Expected member measurements, parallel to the reports presented;
+    /// `None` skips the measurement pin for that slot.
+    pub member_measurements: Vec<Option<Digest>>,
+    /// Declared channels: `(start, end, member indices with access)`.
+    pub channels: Vec<(u64, u64, Vec<usize>)>,
+}
+
+/// Why a topology failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The spec and the report set disagree on cardinality.
+    WrongMemberCount {
+        /// Reports presented.
+        got: usize,
+        /// Spec slots.
+        expected: usize,
+    },
+    /// An individual report failed (index, underlying error).
+    Member(usize, VerifyError),
+    /// Member `member` shares `[start, end)` which no declared channel
+    /// covers.
+    UndeclaredSharing {
+        /// The offending member index.
+        member: usize,
+        /// Region start.
+        start: u64,
+        /// Region end.
+        end: u64,
+    },
+    /// A declared channel is missing from a member that should hold it.
+    MissingChannel {
+        /// The member index lacking the channel.
+        member: usize,
+        /// Channel start.
+        start: u64,
+    },
+    /// A channel's reference count does not equal its member-set size:
+    /// someone outside the deployment can reach it.
+    OutsiderOnChannel {
+        /// Channel start.
+        start: u64,
+        /// Declared member count.
+        expected: usize,
+        /// Observed reference count.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TopologyError::WrongMemberCount { got, expected } => {
+                write!(f, "expected {expected} member reports, got {got}")
+            }
+            TopologyError::Member(i, e) => write!(f, "member {i}: {e}"),
+            TopologyError::UndeclaredSharing { member, start, end } => {
+                write!(
+                    f,
+                    "member {member} shares undeclared region [{start:#x},{end:#x})"
+                )
+            }
+            TopologyError::MissingChannel { member, start } => {
+                write!(f, "member {member} lacks declared channel at {start:#x}")
+            }
+            TopologyError::OutsiderOnChannel {
+                start,
+                expected,
+                got,
+            } => write!(
+                f,
+                "channel at {start:#x}: refcount {got} but only {expected} members declared"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+impl Verifier {
+    /// Verifies a whole deployment: one machine quote, one signed report
+    /// per member, and the [`TopologySpec`]. On success the deployment's
+    /// communication graph is exactly the declared one.
+    pub fn verify_topology(
+        &self,
+        quote: &Quote,
+        quote_nonce: &[u8; 32],
+        reports: &[SignedReport],
+        report_nonce: &[u8; 32],
+        spec: &TopologySpec,
+    ) -> Result<Vec<AttestedDomain>, TopologyError> {
+        if reports.len() != spec.member_measurements.len() {
+            return Err(TopologyError::WrongMemberCount {
+                got: reports.len(),
+                expected: spec.member_measurements.len(),
+            });
+        }
+        let mut attested = Vec::with_capacity(reports.len());
+        for (i, (r, expect)) in reports.iter().zip(&spec.member_measurements).enumerate() {
+            let a = self
+                .verify(quote, quote_nonce, r, report_nonce, *expect)
+                .map_err(|e| TopologyError::Member(i, e))?;
+            attested.push(a);
+        }
+        // Every shared memory region of every member must be a declared
+        // channel covering that member...
+        for (i, a) in attested.iter().enumerate() {
+            for res in &a.report.resources {
+                let tyche_core::Resource::Memory(region) = res.resource else {
+                    continue;
+                };
+                if res.refcount.max <= 1 {
+                    continue;
+                }
+                let declared = spec.channels.iter().find(|(s, e, members)| {
+                    *s == region.start && *e == region.end && members.contains(&i)
+                });
+                let Some((s, _e, members)) = declared else {
+                    return Err(TopologyError::UndeclaredSharing {
+                        member: i,
+                        start: region.start,
+                        end: region.end,
+                    });
+                };
+                // ...with a refcount of exactly the member-set size.
+                if res.refcount.max != members.len() || res.refcount.min != members.len() {
+                    return Err(TopologyError::OutsiderOnChannel {
+                        start: *s,
+                        expected: members.len(),
+                        got: res.refcount.max,
+                    });
+                }
+            }
+        }
+        // ...and every declared channel must actually exist in each of
+        // its members' reports (a missing leg means the path is not the
+        // one the verifier will use).
+        for (s, e, members) in &spec.channels {
+            for &i in members {
+                let present = attested[i].report.resources.iter().any(|r| {
+                    matches!(r.resource, tyche_core::Resource::Memory(m)
+                        if m.start == *s && m.end == *e)
+                });
+                if !present {
+                    return Err(TopologyError::MissingChannel {
+                        member: i,
+                        start: *s,
+                    });
+                }
+            }
+        }
+        Ok(attested)
+    }
+}

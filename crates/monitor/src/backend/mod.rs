@@ -1,0 +1,118 @@
+//! Platform backends: mirroring engine state into hardware.
+//!
+//! A backend consumes the engine's [`tyche_core::Effect`] stream plus the
+//! engine's authoritative per-domain memory view, and programs the
+//! corresponding hardware structures. Two backends exist, matching the
+//! paper's two ports:
+//!
+//! - [`x86`]: EPT + EPTP-list (VMFUNC) + I/O-MMU contexts,
+//! - [`riscv`]: PMP layouts with entry-count validation.
+//!
+//! The contract both uphold: *after `apply` returns, hardware grants
+//! exactly the access the engine's active capabilities describe.* The
+//! integration test `tests/backend_equivalence.rs` checks the two backends
+//! agree on every accept/deny decision the hardware can express.
+
+pub mod riscv;
+pub mod x86;
+
+use std::collections::BTreeMap;
+use tyche_core::prelude::*;
+
+/// A domain's desired memory view: page base → rights, derived from the
+/// engine's active capabilities (union of rights where caps overlap).
+pub type PageView = BTreeMap<u64, Rights>;
+
+/// Computes `domain`'s page-level view from the engine.
+///
+/// Capability regions are page-truncated inward: partial pages at region
+/// edges are *not* mapped (hardware cannot protect sub-page granules), so
+/// the hardware view never exceeds the policy view.
+pub fn page_view(engine: &CapEngine, domain: DomainId) -> PageView {
+    const PAGE: u64 = 4096;
+    let mut view = PageView::new();
+    for cap in engine.caps_of(domain) {
+        if !cap.active {
+            continue;
+        }
+        if let Some(region) = cap.resource.as_mem() {
+            let start = region.start.div_ceil(PAGE) * PAGE;
+            let end = (region.end / PAGE) * PAGE;
+            let mut page = start;
+            while page < end {
+                let entry = view.entry(page).or_insert(Rights::NONE);
+                *entry = Rights(entry.0 | cap.rights.0);
+                page += PAGE;
+            }
+        }
+    }
+    view
+}
+
+/// Errors a backend can raise while realizing engine state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BackendError {
+    /// Hardware resource exhaustion or programming failure.
+    Hardware(String),
+    /// The domain's memory layout cannot be expressed by this platform's
+    /// protection mechanism (the RISC-V PMP entry limit, §4).
+    LayoutUnrepresentable {
+        /// The domain whose layout failed validation.
+        domain: DomainId,
+        /// Entries needed.
+        needed: usize,
+        /// Entries available.
+        available: usize,
+    },
+}
+
+impl core::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BackendError::Hardware(s) => write!(f, "hardware backend failure: {s}"),
+            BackendError::LayoutUnrepresentable {
+                domain,
+                needed,
+                available,
+            } => write!(
+                f,
+                "domain {domain} needs {needed} PMP entries but only {available} are available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_view_unions_rights_and_truncates() {
+        let mut e = CapEngine::new();
+        let os = e.create_root_domain();
+        // Two overlapping caps with different rights; one has a ragged end.
+        e.endow(os, Resource::mem(0x1000, 0x3000), Rights::RO)
+            .unwrap();
+        e.endow(os, Resource::mem(0x2000, 0x4800), Rights::RW)
+            .unwrap();
+        let view = page_view(&e, os);
+        assert_eq!(view.get(&0x1000), Some(&Rights::RO));
+        assert_eq!(view.get(&0x2000), Some(&Rights::RW), "union at overlap");
+        assert_eq!(view.get(&0x3000), Some(&Rights::RW));
+        assert_eq!(view.get(&0x4000), None, "partial page truncated inward");
+    }
+
+    #[test]
+    fn page_view_ignores_inactive() {
+        let mut e = CapEngine::new();
+        let os = e.create_root_domain();
+        let ram = e.endow(os, Resource::mem(0, 0x4000), Rights::RW).unwrap();
+        let (a, _) = e.create_domain(os).unwrap();
+        e.grant(os, ram, a, None, Rights::RW, RevocationPolicy::NONE)
+            .unwrap();
+        assert!(page_view(&e, os).is_empty(), "granted away");
+        assert_eq!(page_view(&e, a).len(), 4);
+    }
+}

@@ -1,0 +1,281 @@
+//! Measured boot (§3.4 tier 1).
+//!
+//! The boot sequence models what TXT (x86) or a first-stage boot ROM
+//! (RISC-V) does before the monitor gets control:
+//!
+//! 1. the monitor image is loaded into the reserved region of RAM,
+//! 2. the TPM measures it and extends PCR 17,
+//! 3. the monitor's configuration (cost model, core count — anything that
+//!    changes behaviour) is measured into PCR 18,
+//! 4. the monitor creates the initial domain and endows it with the whole
+//!    machine: all domain RAM, every CPU core, every registered device,
+//! 5. control drops to the initial domain (the unmodified OS in the
+//!    paper's prototype).
+
+use crate::attest::expected_pcr_for;
+use crate::backend::riscv::RiscvBackend;
+use crate::backend::x86::X86Backend;
+use crate::monitor::{Arch, Monitor};
+use tyche_core::prelude::*;
+use tyche_crypto::sign::SigningKey;
+use tyche_crypto::Digest;
+use tyche_hw::addr::PhysRange;
+use tyche_hw::machine::{Machine, MachineConfig};
+use tyche_hw::tpm::{measure_range, PCR_CONFIG, PCR_MONITOR};
+
+/// The simulated monitor image: deterministic bytes standing in for the
+/// compiled monitor binary. Version changes change the measurement, which
+/// is exactly how verifiers notice a different monitor.
+pub const MONITOR_VERSION: &str = "tyche-repro-monitor v1.0.0";
+
+/// Boot-time configuration.
+#[derive(Clone, Debug)]
+pub struct BootConfig {
+    /// Machine shape.
+    pub machine: MachineConfig,
+    /// PCI devices present at boot (endowed to the initial domain).
+    pub devices: Vec<u16>,
+    /// Interrupt vectors endowed to the initial domain (routable onward
+    /// as capabilities).
+    pub irq_vectors: Vec<u32>,
+    /// Monitor version string (changes the measurement).
+    pub version: &'static str,
+}
+
+impl Default for BootConfig {
+    fn default() -> Self {
+        BootConfig {
+            machine: MachineConfig::default(),
+            devices: Vec::new(),
+            irq_vectors: (32..48).collect(),
+            version: MONITOR_VERSION,
+        }
+    }
+}
+
+/// Synthesizes the monitor image bytes for `version` (one page).
+fn monitor_image(version: &str) -> Vec<u8> {
+    let mut image = Vec::with_capacity(4096);
+    while image.len() < 4096 {
+        image.extend_from_slice(version.as_bytes());
+        image.push(0);
+    }
+    image.truncate(4096);
+    image
+}
+
+/// The measurement a verifier expects for a given monitor version — the
+/// "known expected value" of §3.4, derivable from the open-source build.
+pub fn expected_monitor_measurement(version: &str) -> Digest {
+    tyche_crypto::hash(&monitor_image(version))
+}
+
+/// The expected PCR 17 value for a monitor version.
+pub fn expected_monitor_pcr(version: &str) -> Digest {
+    expected_pcr_for(expected_monitor_measurement(version))
+}
+
+/// Shared boot steps 1–4; returns the pieces `Monitor::assemble` needs.
+fn boot_common(config: &BootConfig) -> (Machine, CapEngine, DomainId, SigningKey, Digest) {
+    let mut machine = Machine::new(config.machine.clone());
+
+    // Step 1: load the monitor image into the first frame of the reserved
+    // region (claimed from the allocator so table frames never clobber it).
+    let image = monitor_image(config.version);
+    let image_base = machine
+        .monitor_frames
+        .alloc()
+        .expect("reserved region holds the image");
+    machine
+        .mem
+        .write(image_base, &image)
+        .expect("reserved region holds the image");
+
+    // Step 2: measure the image into PCR 17.
+    let image_range = PhysRange::from_len(image_base, image.len() as u64);
+    let measurement = measure_range(&machine.mem, image_range);
+    machine
+        .tpm
+        .extend(PCR_MONITOR, "monitor-image", measurement);
+
+    // Step 3: measure configuration into PCR 18.
+    let mut cfg = Vec::new();
+    cfg.extend_from_slice(&(machine.cores as u64).to_le_bytes());
+    cfg.extend_from_slice(&machine.mem.size().to_le_bytes());
+    cfg.extend_from_slice(&machine.cost.vmfunc_switch.to_le_bytes());
+    let cfg_digest = tyche_crypto::hash(&cfg);
+    machine.tpm.extend(PCR_CONFIG, "monitor-config", cfg_digest);
+
+    // The monitor's attestation key: derived from TPM-held entropy, as a
+    // sealed key released only to the measured monitor would be.
+    let key_seed = machine.tpm.fresh_nonce();
+    let sign_key = SigningKey::derive(&key_seed, "monitor-report-key");
+
+    // Step 4: initial domain owns the machine.
+    let mut engine = CapEngine::new();
+    let root = engine.create_root_domain();
+    engine
+        .endow(
+            root,
+            Resource::mem(0, machine.domain_ram.end.as_u64()),
+            Rights::RWX,
+        )
+        .expect("endow RAM");
+    for core in 0..machine.cores {
+        engine
+            .endow(root, Resource::CpuCore(core), Rights::USE)
+            .expect("endow core");
+    }
+    for dev in &config.devices {
+        engine
+            .endow(root, Resource::Device(*dev), Rights::USE)
+            .expect("endow device");
+    }
+    for v in &config.irq_vectors {
+        engine
+            .endow(root, Resource::Interrupt(*v), Rights::USE)
+            .expect("endow vector");
+    }
+    (machine, engine, root, sign_key, measurement)
+}
+
+/// Boots the monitor on the x86 (VT-x) platform.
+///
+/// # Panics
+///
+/// Panics if the machine cannot hold the monitor image or translation
+/// tables — a configuration error, not a runtime condition.
+pub fn boot_x86(config: BootConfig) -> Monitor {
+    let (mut machine, mut engine, root, sign_key, measurement) = boot_common(&config);
+    let mut backend = X86Backend::new(&mut machine).expect("EPTP list allocation");
+    for fx in engine.drain_effects() {
+        backend
+            .apply(&mut machine, &engine, &fx)
+            .expect("boot effects are realizable");
+    }
+    Monitor::assemble(
+        machine,
+        engine,
+        Arch::X86,
+        Some(backend),
+        None,
+        root,
+        sign_key,
+        measurement,
+    )
+}
+
+/// Boots the monitor on the RISC-V (machine mode + PMP) platform.
+///
+/// # Panics
+///
+/// Panics if boot effects are not realizable (the whole-RAM initial
+/// endowment is a single segment, so it always fits PMP).
+pub fn boot_riscv(config: BootConfig) -> Monitor {
+    assert!(
+        config.devices.is_empty(),
+        "the PMP backend does not support device isolation"
+    );
+    let (mut machine, mut engine, root, sign_key, measurement) = boot_common(&config);
+    let mut backend = RiscvBackend::new(&machine);
+    for fx in engine.drain_effects() {
+        backend
+            .apply(&mut machine, &engine, &fx)
+            .expect("boot effects are realizable");
+    }
+    // Step 5: drop every hart into S-mode running the initial domain, so
+    // PMP checks bind from the first instruction.
+    for core in 0..machine.cores {
+        backend
+            .enter_domain(&mut machine, root, core, 0)
+            .expect("initial layout fits PMP");
+    }
+    Monitor::assemble(
+        machine,
+        engine,
+        Arch::RiscV,
+        None,
+        Some(backend),
+        root,
+        sign_key,
+        measurement,
+    )
+}
+
+/// Verifies that the machine's reserved region still contains the exact
+/// monitor image (used by integrity tests).
+pub fn monitor_image_intact(monitor: &Monitor) -> bool {
+    let base = monitor.machine.domain_ram.end;
+    let range = PhysRange::from_len(base, 4096);
+    measure_range(&monitor.machine.mem, range) == monitor.measurement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyche_hw::tpm::replay_log;
+
+    #[test]
+    fn boot_measures_monitor() {
+        let m = boot_x86(BootConfig::default());
+        assert_eq!(
+            m.measurement(),
+            expected_monitor_measurement(MONITOR_VERSION)
+        );
+        assert_eq!(
+            m.machine.tpm.read_pcr(PCR_MONITOR),
+            expected_monitor_pcr(MONITOR_VERSION)
+        );
+        assert!(monitor_image_intact(&m));
+    }
+
+    #[test]
+    fn different_version_different_pcr() {
+        let good = boot_x86(BootConfig::default());
+        let evil = boot_x86(BootConfig {
+            version: "evil-monitor v6.6.6",
+            ..Default::default()
+        });
+        assert_ne!(
+            good.machine.tpm.read_pcr(PCR_MONITOR),
+            evil.machine.tpm.read_pcr(PCR_MONITOR)
+        );
+    }
+
+    #[test]
+    fn event_log_replays() {
+        let m = boot_x86(BootConfig::default());
+        assert!(replay_log(
+            m.machine.tpm.event_log(),
+            &[
+                (PCR_MONITOR, m.machine.tpm.read_pcr(PCR_MONITOR)),
+                (PCR_CONFIG, m.machine.tpm.read_pcr(PCR_CONFIG)),
+            ]
+        ));
+    }
+
+    #[test]
+    fn root_owns_machine() {
+        let m = boot_x86(BootConfig {
+            devices: vec![7],
+            ..Default::default()
+        });
+        let root = m.engine.root().unwrap();
+        assert_eq!(m.current_domain(0), root);
+        assert!(m.engine.owns_core(root, 0));
+        assert!(m.engine.owns_device(root, 7));
+        let end = m.machine.domain_ram.end.as_u64();
+        assert!(m
+            .engine
+            .refcount_mem_full(tyche_core::MemRegion::new(0, end))
+            .is_exclusive());
+    }
+
+    #[test]
+    fn riscv_boot_works() {
+        let m = boot_riscv(BootConfig::default());
+        assert_eq!(m.arch(), crate::Arch::RiscV);
+        let root = m.engine.root().unwrap();
+        assert!(m.riscv_backend().unwrap().layout(root).is_some());
+    }
+}

@@ -1,0 +1,812 @@
+//! The monitor runtime: call dispatch, mediated transitions, fast
+//! transitions, and memory access on behalf of the running domain.
+//!
+//! The monitor is the *executive* branch only (§3): it validates and
+//! enforces policies that running domains define through the call API,
+//! and it mediates every control transfer. It never chooses policies
+//! itself.
+
+use crate::abi::{MonitorCall, Status};
+use crate::attest::SignedReport;
+use crate::backend::riscv::RiscvBackend;
+use crate::backend::x86::X86Backend;
+use crate::backend::BackendError;
+use tyche_core::attest::DomainReport;
+use tyche_core::prelude::*;
+use tyche_crypto::sign::SigningKey;
+use tyche_crypto::Digest;
+use tyche_hw::machine::Machine;
+use tyche_hw::x86::vcpu::VCpu;
+use tyche_hw::x86::vmcs::Vmcs;
+
+/// Target architecture of a booted monitor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Arch {
+    /// Intel VT-x: EPT, VMCALL, VMFUNC, I/O-MMU.
+    X86,
+    /// RISC-V: machine mode + PMP.
+    RiscV,
+}
+
+/// A memory fault taken by the running domain (the hardware event the
+/// monitor sees; the domain gets no access).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// Faulting physical address.
+    pub addr: u64,
+    /// True for writes, false for reads/fetches.
+    pub write: bool,
+}
+
+/// Successful results of monitor calls.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CallResult {
+    /// Nothing to return.
+    Unit,
+    /// A new domain and the transition capability into it.
+    NewDomain {
+        /// The created domain.
+        domain: DomainId,
+        /// Transition capability owned by the caller.
+        transition: CapId,
+    },
+    /// A single capability.
+    Cap(CapId),
+    /// Two capabilities (split pieces).
+    Caps(CapId, CapId),
+    /// A measurement (seal).
+    Measurement(Digest),
+    /// A resource count (enumerate).
+    Count(u64),
+    /// A signed attestation report.
+    Report(Box<SignedReport>),
+    /// Control transferred into another domain.
+    Entered {
+        /// The domain now running on the core.
+        target: DomainId,
+        /// Its entry point.
+        entry: u64,
+    },
+    /// Control returned to the calling domain.
+    Returned {
+        /// The domain now running on the core.
+        to: DomainId,
+    },
+}
+
+/// Transition bookkeeping for returns.
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    caller: DomainId,
+    /// Flush policy of the transition capability (applied again on the
+    /// way back so the callee's micro-architectural state is scrubbed).
+    policy: RevocationPolicy,
+    /// Whether this frame was entered through the fast (VMFUNC) path.
+    fast: bool,
+}
+
+/// Runtime statistics (used by the benches).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Monitor calls dispatched.
+    pub calls: u64,
+    /// Mediated transitions (enter + return).
+    pub transitions_mediated: u64,
+    /// Fast-path transitions (VMFUNC).
+    pub transitions_fast: u64,
+    /// Backend compensations (rolled-back operations).
+    pub compensations: u64,
+}
+
+/// The isolation monitor.
+pub struct Monitor {
+    /// The simulated machine.
+    pub machine: Machine,
+    /// The capability engine (the paper's verified core).
+    pub engine: CapEngine,
+    arch: Arch,
+    x86: Option<X86Backend>,
+    riscv: Option<RiscvBackend>,
+    /// Per-core vCPUs (x86).
+    vcpus: Vec<VCpu>,
+    /// Per-core current domain.
+    current: Vec<DomainId>,
+    /// Per-core call stacks.
+    stacks: Vec<Vec<Frame>>,
+    sign_key: SigningKey,
+    monitor_measurement: Digest,
+    /// Runtime counters.
+    pub stats: Stats,
+}
+
+impl Monitor {
+    /// Assembles a monitor; used by [`crate::boot`]. Not public API for
+    /// applications — boot through [`crate::boot::boot_x86`] /
+    /// [`crate::boot::boot_riscv`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        machine: Machine,
+        engine: CapEngine,
+        arch: Arch,
+        x86: Option<X86Backend>,
+        riscv: Option<RiscvBackend>,
+        root: DomainId,
+        sign_key: SigningKey,
+        monitor_measurement: Digest,
+    ) -> Self {
+        let cores = machine.cores;
+        let mut vcpus = Vec::new();
+        if let Some(b) = &x86 {
+            let root_ept = b.ept_root(root).expect("root domain has a space");
+            for core in 0..cores {
+                let mut vmcs = Vmcs::new(root_ept);
+                vmcs.eptp_list = Some(b.eptp_list());
+                vcpus.push(VCpu::new(core, vmcs));
+            }
+        }
+        Monitor {
+            machine,
+            engine,
+            arch,
+            x86,
+            riscv,
+            vcpus,
+            current: vec![root; cores],
+            stacks: vec![Vec::new(); cores],
+            sign_key,
+            monitor_measurement,
+            stats: Stats::default(),
+        }
+    }
+
+    /// The architecture this monitor runs on.
+    pub fn arch(&self) -> Arch {
+        self.arch
+    }
+
+    /// The domain currently running on `core`.
+    pub fn current_domain(&self, core: usize) -> DomainId {
+        self.current[core]
+    }
+
+    /// The monitor's measurement (PCR 17 preimage).
+    pub fn measurement(&self) -> Digest {
+        self.monitor_measurement
+    }
+
+    /// The monitor's report-verification key (tier-2 trust anchor).
+    pub fn report_key(&self) -> tyche_crypto::sign::VerifyingKey {
+        self.sign_key.verifying_key()
+    }
+
+    /// Produces the tier-1 machine attestation: a TPM quote over the
+    /// monitor PCRs with the verifier's nonce.
+    pub fn machine_quote(&self, nonce: [u8; 32]) -> tyche_hw::tpm::Quote {
+        self.machine.tpm.quote(
+            &[tyche_hw::tpm::PCR_MONITOR, tyche_hw::tpm::PCR_CONFIG],
+            nonce,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // The call interface
+    // ------------------------------------------------------------------
+
+    /// Dispatches a monitor call issued by the domain running on `core`.
+    ///
+    /// Charges the architectural trap cost (VMCALL round trip on x86,
+    /// M-mode trap on RISC-V), validates through the capability engine,
+    /// applies effects through the platform backend, and — when the
+    /// backend cannot realize the new state (PMP layout overflow) —
+    /// rolls the operation back and reports [`Status::BackendFailure`].
+    pub fn call(&mut self, core: usize, call: MonitorCall) -> Result<CallResult, Status> {
+        self.stats.calls += 1;
+        let trap_cost = match self.arch {
+            Arch::X86 => self.machine.cost.vmexit_roundtrip,
+            Arch::RiscV => self.machine.cost.mmode_trap_roundtrip,
+        };
+        self.machine.cycles.charge(trap_cost);
+        let actor = self.current[core];
+        match call {
+            MonitorCall::CreateDomain => {
+                let (domain, transition) = self.engine.create_domain(actor).map_err(cap_status)?;
+                self.apply_or_compensate(&[RollBack::KillDomain(domain)])?;
+                Ok(CallResult::NewDomain { domain, transition })
+            }
+            MonitorCall::Share {
+                cap,
+                target,
+                sub,
+                rights,
+                policy,
+            } => {
+                let sub = match sub {
+                    Some((s, e)) => {
+                        if s >= e || !s.is_multiple_of(4096) || !e.is_multiple_of(4096) {
+                            return Err(Status::InvalidArg);
+                        }
+                        Some(MemRegion::new(s, e))
+                    }
+                    None => None,
+                };
+                let child = self
+                    .engine
+                    .share(actor, cap, target, sub, rights, policy)
+                    .map_err(cap_status)?;
+                self.apply_or_compensate(&[RollBack::Revoke { actor, cap: child }])?;
+                Ok(CallResult::Cap(child))
+            }
+            MonitorCall::Grant {
+                cap,
+                target,
+                rights,
+                policy,
+            } => {
+                let child = self
+                    .engine
+                    .grant(actor, cap, target, None, rights, policy)
+                    .map_err(cap_status)?;
+                self.apply_or_compensate(&[RollBack::Revoke { actor, cap: child }])?;
+                Ok(CallResult::Cap(child))
+            }
+            MonitorCall::Split { cap, at } => {
+                if !at.is_multiple_of(4096) {
+                    return Err(Status::InvalidArg);
+                }
+                let (lo, hi) = self.engine.split(actor, cap, at).map_err(cap_status)?;
+                self.apply_or_compensate(&[
+                    RollBack::Revoke { actor, cap: lo },
+                    RollBack::Revoke { actor, cap: hi },
+                ])?;
+                Ok(CallResult::Caps(lo, hi))
+            }
+            MonitorCall::Revoke { cap } => {
+                self.engine.revoke(actor, cap).map_err(cap_status)?;
+                // Revocation shrinks layouts; it cannot fail validation.
+                self.apply_or_compensate(&[])?;
+                Ok(CallResult::Unit)
+            }
+            MonitorCall::Seal {
+                domain,
+                allow_outward,
+                allow_children,
+            } => {
+                let policy = SealPolicy {
+                    allow_outward_sharing: allow_outward,
+                    allow_child_domains: allow_children,
+                };
+                let m = self
+                    .engine
+                    .seal(actor, domain, policy)
+                    .map_err(cap_status)?;
+                self.apply_or_compensate(&[])?;
+                Ok(CallResult::Measurement(m))
+            }
+            MonitorCall::SetEntry { domain, entry } => {
+                self.engine
+                    .set_entry(actor, domain, entry)
+                    .map_err(cap_status)?;
+                Ok(CallResult::Unit)
+            }
+            MonitorCall::RecordContent { domain, start, end } => {
+                if start >= end {
+                    return Err(Status::InvalidArg);
+                }
+                // The monitor itself measures the region's current bytes:
+                // the caller cannot claim arbitrary content.
+                let range = tyche_hw::addr::PhysRange::new(
+                    tyche_hw::PhysAddr::new(start),
+                    tyche_hw::PhysAddr::new(end),
+                );
+                let digest = tyche_hw::tpm::measure_range(&self.machine.mem, range);
+                self.machine
+                    .cycles
+                    .charge(self.machine.cost.hash_page * (end - start).div_ceil(4096));
+                self.engine
+                    .record_content(actor, domain, MemRegion::new(start, end), digest)
+                    .map_err(cap_status)?;
+                Ok(CallResult::Unit)
+            }
+            MonitorCall::MakeTransition { target, policy } => {
+                let cap = self
+                    .engine
+                    .make_transition(actor, target, policy)
+                    .map_err(cap_status)?;
+                Ok(CallResult::Cap(cap))
+            }
+            MonitorCall::Kill { domain } => {
+                // A domain that is currently running on some core (or is a
+                // caller in a transition stack) cannot be killed: tearing
+                // down its translation tables would leave that core's
+                // hardware context pointing at freed frames, which a later
+                // allocation could alias. Real hardware would need an IPI
+                // handshake here; the model refuses instead.
+                let busy = self.current.contains(&domain)
+                    || self.stacks.iter().flatten().any(|f| f.caller == domain);
+                if busy {
+                    return Err(Status::Denied);
+                }
+                self.engine.kill(actor, domain).map_err(cap_status)?;
+                self.apply_or_compensate(&[])?;
+                Ok(CallResult::Unit)
+            }
+            MonitorCall::Enumerate => {
+                let resources = self.engine.enumerate(actor).map_err(cap_status)?;
+                Ok(CallResult::Count(resources.len() as u64))
+            }
+            MonitorCall::Enter { cap } => self.enter_mediated(core, cap),
+            MonitorCall::Return => self.ret(core),
+            MonitorCall::Attest { domain, nonce } => {
+                let mut nonce_bytes = [0u8; 32];
+                nonce_bytes[..8].copy_from_slice(&nonce.to_le_bytes());
+                let signed = self
+                    .attest_domain(domain, nonce_bytes)
+                    .map_err(cap_status)?;
+                Ok(CallResult::Report(Box::new(signed)))
+            }
+        }
+    }
+
+    /// Signs an attestation report for a sealed domain (tier 2, §3.4).
+    pub fn attest_domain(
+        &mut self,
+        domain: DomainId,
+        nonce: [u8; 32],
+    ) -> Result<SignedReport, CapError> {
+        let report = DomainReport::build(&self.engine, domain)?;
+        self.machine
+            .cycles
+            .charge(self.machine.cost.hash_page * (1 + report.resources.len() as u64 / 16));
+        let msg = SignedReport::signed_bytes(&report, &nonce);
+        let signature = self.sign_key.sign(&msg);
+        Ok(SignedReport {
+            report,
+            nonce,
+            signature,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Transitions
+    // ------------------------------------------------------------------
+
+    /// Mediated transition (the VMCALL path): full validation, flush
+    /// policies applied, stack frame pushed.
+    fn enter_mediated(&mut self, core: usize, cap: CapId) -> Result<CallResult, Status> {
+        let actor = self.current[core];
+        let (target, entry, policy) = self
+            .engine
+            .can_enter(actor, cap, core)
+            .map_err(cap_status)?;
+        self.apply_flushes(actor, policy);
+        self.switch_hw(core, target, entry)
+            .map_err(|_| Status::BackendFailure)?;
+        self.stacks[core].push(Frame {
+            caller: actor,
+            policy,
+            fast: false,
+        });
+        self.current[core] = target;
+        self.stats.transitions_mediated += 1;
+        Ok(CallResult::Entered { target, entry })
+    }
+
+    /// Fast transition via VMFUNC (§4.1: "fast (100 cycles) domain
+    /// transitions using VMFUNC").
+    ///
+    /// No vm exit happens: the hardware switches EPTPs from the
+    /// pre-approved list. The monitor pre-approved the pair when it
+    /// created the transition capability; at runtime only the hardware
+    /// check runs. Transition capabilities with flush policies cannot use
+    /// the fast path (flushes need the monitor), and the RISC-V backend
+    /// has no equivalent.
+    pub fn enter_fast(&mut self, core: usize, cap: CapId) -> Result<DomainId, Status> {
+        if self.arch != Arch::X86 {
+            return Err(Status::BackendFailure);
+        }
+        let actor = self.current[core];
+        let (target, entry, policy) = self
+            .engine
+            .can_enter(actor, cap, core)
+            .map_err(cap_status)?;
+        if policy != RevocationPolicy::NONE {
+            return Err(Status::Denied);
+        }
+        let slot = self
+            .x86
+            .as_ref()
+            .and_then(|b| b.vmfunc_slot(target))
+            .ok_or(Status::BackendFailure)? as u64;
+        {
+            let backend = self.x86.as_ref().expect("x86 arch");
+            let _ = backend;
+        }
+        let (vcpu, machine) = (&mut self.vcpus[core], &mut self.machine);
+        let mut plat = machine.platform();
+        vcpu.vmfunc_switch(&mut plat, slot)
+            .map_err(|_| Status::BackendFailure)?;
+        self.stacks[core].push(Frame {
+            caller: actor,
+            policy,
+            fast: true,
+        });
+        self.current[core] = target;
+        self.vcpus[core].vmcs.guest.rip = entry;
+        self.stats.transitions_fast += 1;
+        Ok(target)
+    }
+
+    /// Returns from the current domain to its caller, applying the
+    /// transition capability's flush policy to scrub the callee's
+    /// micro-architectural footprint.
+    fn ret(&mut self, core: usize) -> Result<CallResult, Status> {
+        let frame = self.stacks[core].pop().ok_or(Status::Denied)?;
+        let leaving = self.current[core];
+        self.apply_flushes(leaving, frame.policy);
+        if frame.fast && self.arch == Arch::X86 {
+            let slot = self
+                .x86
+                .as_ref()
+                .and_then(|b| b.vmfunc_slot(frame.caller))
+                .ok_or(Status::BackendFailure)? as u64;
+            let (vcpu, machine) = (&mut self.vcpus[core], &mut self.machine);
+            let mut plat = machine.platform();
+            vcpu.vmfunc_switch(&mut plat, slot)
+                .map_err(|_| Status::BackendFailure)?;
+        } else {
+            // Mediated return: switch hardware context back. The caller
+            // resumes after its Enter call site; entry here is moot.
+            self.switch_hw(core, frame.caller, 0)
+                .map_err(|_| Status::BackendFailure)?;
+        }
+        self.current[core] = frame.caller;
+        self.stats.transitions_mediated += u64::from(!frame.fast);
+        self.stats.transitions_fast += u64::from(frame.fast);
+        Ok(CallResult::Returned { to: frame.caller })
+    }
+
+    /// Fast return counterpart of [`Monitor::enter_fast`].
+    pub fn ret_fast(&mut self, core: usize) -> Result<DomainId, Status> {
+        match self.ret(core) {
+            Ok(CallResult::Returned { to }) => Ok(to),
+            Ok(_) => Err(Status::BackendFailure),
+            Err(s) => Err(s),
+        }
+    }
+
+    /// Applies a transition/revocation flush policy to `domain`.
+    fn apply_flushes(&mut self, domain: DomainId, policy: RevocationPolicy) {
+        if !policy.flush_cache && !policy.flush_tlb {
+            return;
+        }
+        let tag = self.domain_tag(domain);
+        if let Some(tag) = tag {
+            if policy.flush_cache {
+                let flushed = self.machine.cache.flush_domain(tag);
+                self.machine.cycles.charge(
+                    self.machine.cost.cache_flush_base
+                        + self.machine.cost.cacheline_flush * flushed as u64,
+                );
+            }
+            if policy.flush_tlb {
+                self.machine.tlb.flush_domain(tag);
+                self.machine.cycles.charge(self.machine.cost.tlb_flush);
+            }
+        }
+    }
+
+    /// The cache/TLB tag of `domain` on the active backend.
+    fn domain_tag(&self, domain: DomainId) -> Option<u64> {
+        match self.arch {
+            Arch::X86 => self
+                .x86
+                .as_ref()
+                .and_then(|b| b.ept_root(domain))
+                .map(|r| r.as_u64()),
+            Arch::RiscV => self.riscv.as_ref().and_then(|b| b.tag(domain)),
+        }
+    }
+
+    /// Points `core`'s hardware context at `target`.
+    fn switch_hw(&mut self, core: usize, target: DomainId, entry: u64) -> Result<(), BackendError> {
+        match self.arch {
+            Arch::X86 => {
+                let root = self
+                    .x86
+                    .as_ref()
+                    .and_then(|b| b.ept_root(target))
+                    .ok_or_else(|| BackendError::Hardware(format!("no space for {target}")))?;
+                self.vcpus[core].vmcs.eptp = root;
+                self.vcpus[core].vmcs.guest.rip = entry;
+                Ok(())
+            }
+            Arch::RiscV => {
+                let b = self.riscv.as_mut().expect("riscv arch");
+                b.enter_domain(&mut self.machine, target, core, entry)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access on behalf of the running domain
+    // ------------------------------------------------------------------
+
+    /// Reads memory as the domain running on `core` (through EPT or PMP).
+    pub fn dom_read(&mut self, core: usize, addr: u64, out: &mut [u8]) -> Result<(), Fault> {
+        match self.arch {
+            Arch::X86 => {
+                let (vcpu, machine) = (&self.vcpus[core], &mut self.machine);
+                let mut plat = machine.platform();
+                vcpu.read(&mut plat, tyche_hw::addr::GuestPhysAddr::new(addr), out)
+                    .map_err(|_| Fault { addr, write: false })
+            }
+            Arch::RiscV => {
+                let b = self.riscv.as_ref().expect("riscv arch");
+                let hart = &b.harts[core];
+                let mut plat = self.machine.platform();
+                hart.read(&mut plat, tyche_hw::PhysAddr::new(addr), out)
+                    .map_err(|_| Fault { addr, write: false })
+            }
+        }
+    }
+
+    /// Writes memory as the domain running on `core`.
+    pub fn dom_write(&mut self, core: usize, addr: u64, data: &[u8]) -> Result<(), Fault> {
+        match self.arch {
+            Arch::X86 => {
+                let (vcpu, machine) = (&self.vcpus[core], &mut self.machine);
+                let mut plat = machine.platform();
+                vcpu.write(&mut plat, tyche_hw::addr::GuestPhysAddr::new(addr), data)
+                    .map_err(|_| Fault { addr, write: true })
+            }
+            Arch::RiscV => {
+                let b = self.riscv.as_ref().expect("riscv arch");
+                let hart = &b.harts[core];
+                let mut plat = self.machine.platform();
+                hart.write(&mut plat, tyche_hw::PhysAddr::new(addr), data)
+                    .map_err(|_| Fault { addr, write: true })
+            }
+        }
+    }
+
+    /// Instruction-fetch check at `addr` for the running domain.
+    pub fn dom_fetch(&mut self, core: usize, addr: u64) -> Result<(), Fault> {
+        match self.arch {
+            Arch::X86 => {
+                let (vcpu, machine) = (&self.vcpus[core], &mut self.machine);
+                let mut plat = machine.platform();
+                vcpu.fetch(&mut plat, tyche_hw::addr::GuestPhysAddr::new(addr))
+                    .map_err(|_| Fault { addr, write: false })
+            }
+            Arch::RiscV => {
+                let b = self.riscv.as_ref().expect("riscv arch");
+                let hart = &b.harts[core];
+                let mut plat = self.machine.platform();
+                hart.fetch(&mut plat, tyche_hw::PhysAddr::new(addr))
+                    .map_err(|_| Fault { addr, write: false })
+            }
+        }
+    }
+
+    /// Drains the interrupt vectors pending for the domain running on
+    /// `core` (§4.1 cross-domain interrupt routing). A domain receives a
+    /// vector's deliveries iff it holds an active capability for it.
+    pub fn pending_interrupts(&mut self, core: usize) -> Vec<u32> {
+        let d = self.current[core];
+        match self.domain_tag(d) {
+            Some(tag) => self.machine.irq.drain(tag),
+            None => Vec::new(),
+        }
+    }
+
+    /// Enables MKTME-class memory encryption for `domain` (physical-
+    /// attack resistance, §4.2). The caller (current domain on `core`)
+    /// must manage `domain` or be it. x86-only — the PMP platform has no
+    /// memory-encryption engine in this model.
+    pub fn enable_memory_encryption(
+        &mut self,
+        core: usize,
+        domain: DomainId,
+    ) -> Result<(), Status> {
+        let actor = self.current[core];
+        let managed = self
+            .engine
+            .domain(domain)
+            .map(|d| d.manager == Some(actor) || actor == domain)
+            .unwrap_or(false);
+        if !managed {
+            return Err(Status::Denied);
+        }
+        match self.arch {
+            Arch::X86 => self
+                .x86
+                .as_mut()
+                .expect("x86 arch")
+                .enable_encryption(&mut self.machine, domain)
+                .map_err(|_| Status::BackendFailure),
+            Arch::RiscV => Err(Status::BackendFailure),
+        }
+    }
+
+    /// Drains and applies any pending engine effects. Normal monitor
+    /// calls do this themselves; test fixtures that drive
+    /// [`Monitor::engine`] directly call this afterwards to bring
+    /// hardware state back in sync.
+    pub fn sync_effects(&mut self) -> Result<(), Status> {
+        self.apply_all().map_err(|_| Status::BackendFailure)
+    }
+
+    /// Audits hardware state against the capability engine: for every
+    /// live domain, the translation structures the backend programmed
+    /// must grant exactly the access the engine's active capabilities
+    /// describe. Returns human-readable discrepancies (empty = sound).
+    ///
+    /// This is the executive half of the judiciary story: the engine can
+    /// be verified in isolation, and this check pins the hardware to it.
+    pub fn audit_hardware(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for dom in self.engine.domains().filter(|d| d.is_alive()) {
+            let want = crate::backend::page_view(&self.engine, dom.id);
+            match self.arch {
+                Arch::X86 => {
+                    let Some(root) = self.x86.as_ref().and_then(|b| b.ept_root(dom.id)) else {
+                        if !want.is_empty() {
+                            out.push(format!("{}: no EPT but engine grants memory", dom.id));
+                        }
+                        continue;
+                    };
+                    let ept = tyche_hw::x86::ept::Ept::from_root(root);
+                    let Ok(mappings) = ept.mappings(&self.machine.mem) else {
+                        out.push(format!("{}: EPT walk failed", dom.id));
+                        continue;
+                    };
+                    let mut got = std::collections::BTreeMap::new();
+                    for (gpa, hpa, flags) in mappings {
+                        if gpa.as_u64() != hpa.as_u64() {
+                            out.push(format!("{}: non-identity mapping {gpa} -> {hpa}", dom.id));
+                        }
+                        let mut r = 0u8;
+                        if flags.allows(tyche_hw::x86::ept::Access::Read) {
+                            r |= Rights::R;
+                        }
+                        if flags.allows(tyche_hw::x86::ept::Access::Write) {
+                            r |= Rights::W;
+                        }
+                        if flags.allows(tyche_hw::x86::ept::Access::Exec) {
+                            r |= Rights::X;
+                        }
+                        got.insert(gpa.as_u64(), Rights(r));
+                    }
+                    if got != want {
+                        for (page, rights) in &want {
+                            match got.get(page) {
+                                None => out.push(format!(
+                                    "{}: page {page:#x} granted {rights:?} but unmapped",
+                                    dom.id
+                                )),
+                                Some(g) if g != rights => out.push(format!(
+                                    "{}: page {page:#x} rights {g:?} != engine {rights:?}",
+                                    dom.id
+                                )),
+                                _ => {}
+                            }
+                        }
+                        for page in got.keys() {
+                            if !want.contains_key(page) {
+                                out.push(format!(
+                                    "{}: page {page:#x} mapped but not granted",
+                                    dom.id
+                                ));
+                            }
+                        }
+                    }
+                }
+                Arch::RiscV => {
+                    let Some(layout) = self
+                        .riscv
+                        .as_ref()
+                        .and_then(|b| b.layout(dom.id).map(|l| l.to_vec()))
+                    else {
+                        if !want.is_empty() {
+                            out.push(format!(
+                                "{}: no PMP layout but engine grants memory",
+                                dom.id
+                            ));
+                        }
+                        continue;
+                    };
+                    let expected = crate::backend::riscv::coalesce(&want);
+                    if layout != expected {
+                        out.push(format!(
+                            "{}: PMP layout {layout:?} != engine view {expected:?}",
+                            dom.id
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Direct access to the x86 backend (tests, examples).
+    pub fn x86_backend(&self) -> Option<&X86Backend> {
+        self.x86.as_ref()
+    }
+
+    /// Direct access to the RISC-V backend (tests, examples).
+    pub fn riscv_backend(&self) -> Option<&RiscvBackend> {
+        self.riscv.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Effect application & compensation
+    // ------------------------------------------------------------------
+
+    /// Drains engine effects into the backend. When the backend refuses
+    /// (PMP layout overflow), performs the given compensations (revoking
+    /// the just-created capabilities / killing the just-created domain),
+    /// re-applies, and reports failure to the caller.
+    fn apply_or_compensate(&mut self, rollback: &[RollBack]) -> Result<(), Status> {
+        match self.apply_all() {
+            Ok(()) => Ok(()),
+            Err(_e) => {
+                self.stats.compensations += 1;
+                for rb in rollback {
+                    match rb {
+                        RollBack::Revoke { actor, cap } => {
+                            let _ = self.engine.revoke(*actor, *cap);
+                        }
+                        RollBack::KillDomain(d) => {
+                            if let Some(m) = self.engine.domain(*d).and_then(|x| x.manager) {
+                                let _ = self.engine.kill(m, *d);
+                            }
+                        }
+                    }
+                }
+                self.apply_all()
+                    .expect("compensated state must be realizable");
+                Err(Status::BackendFailure)
+            }
+        }
+    }
+
+    fn apply_all(&mut self) -> Result<(), BackendError> {
+        let effects = self.engine.drain_effects();
+        for fx in &effects {
+            match self.arch {
+                Arch::X86 => {
+                    self.x86.as_mut().expect("x86 arch").apply(
+                        &mut self.machine,
+                        &self.engine,
+                        fx,
+                    )?;
+                }
+                Arch::RiscV => {
+                    self.riscv.as_mut().expect("riscv arch").apply(
+                        &mut self.machine,
+                        &self.engine,
+                        fx,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compensating actions for backend-refused operations.
+enum RollBack {
+    Revoke { actor: DomainId, cap: CapId },
+    KillDomain(DomainId),
+}
+
+/// Maps engine errors onto ABI status codes.
+fn cap_status(e: CapError) -> Status {
+    match e {
+        CapError::NoSuchDomain(_) | CapError::NoSuchCap(_) => Status::NotFound,
+        CapError::OutOfRange | CapError::SubrangeOnNonMemory | CapError::WrongResourceType => {
+            Status::InvalidArg
+        }
+        _ => Status::Denied,
+    }
+}

@@ -1,0 +1,132 @@
+//! ABI fuzzing: the register encoding of monitor calls must round-trip
+//! for every representable call, and the decoder must be total (never
+//! panic) on arbitrary register values — a domain controls those
+//! registers fully.
+
+use proptest::prelude::*;
+use tyche_core::prelude::*;
+use tyche_monitor::abi::{pack_flags, unpack_flags, MonitorCall};
+
+fn rights_strategy() -> impl Strategy<Value = Rights> {
+    (0u8..16).prop_map(Rights)
+}
+
+fn policy_strategy() -> impl Strategy<Value = RevocationPolicy> {
+    (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(zero_memory, flush_cache, flush_tlb)| RevocationPolicy {
+            zero_memory,
+            flush_cache,
+            flush_tlb,
+        },
+    )
+}
+
+fn call_strategy() -> impl Strategy<Value = MonitorCall> {
+    prop_oneof![
+        Just(MonitorCall::CreateDomain),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::option::of((any::<u64>(), any::<u64>())),
+            rights_strategy(),
+            policy_strategy()
+        )
+            .prop_map(|(cap, target, sub, rights, policy)| MonitorCall::Share {
+                cap: CapId(cap),
+                target: DomainId(target),
+                sub,
+                rights,
+                policy,
+            }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            rights_strategy(),
+            policy_strategy()
+        )
+            .prop_map(|(cap, target, rights, policy)| MonitorCall::Grant {
+                cap: CapId(cap),
+                target: DomainId(target),
+                rights,
+                policy,
+            }),
+        (any::<u64>(), any::<u64>()).prop_map(|(cap, at)| MonitorCall::Split {
+            cap: CapId(cap),
+            at
+        }),
+        any::<u64>().prop_map(|cap| MonitorCall::Revoke { cap: CapId(cap) }),
+        (any::<u64>(), any::<bool>(), any::<bool>()).prop_map(
+            |(domain, allow_outward, allow_children)| MonitorCall::Seal {
+                domain: DomainId(domain),
+                allow_outward,
+                allow_children,
+            }
+        ),
+        (any::<u64>(), any::<u64>()).prop_map(|(domain, entry)| MonitorCall::SetEntry {
+            domain: DomainId(domain),
+            entry
+        }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(domain, start, end)| {
+            MonitorCall::RecordContent {
+                domain: DomainId(domain),
+                start,
+                end,
+            }
+        }),
+        (any::<u64>(), policy_strategy()).prop_map(|(target, policy)| {
+            MonitorCall::MakeTransition {
+                target: DomainId(target),
+                policy,
+            }
+        }),
+        any::<u64>().prop_map(|domain| MonitorCall::Kill {
+            domain: DomainId(domain)
+        }),
+        Just(MonitorCall::Enumerate),
+        any::<u64>().prop_map(|cap| MonitorCall::Enter { cap: CapId(cap) }),
+        Just(MonitorCall::Return),
+        (any::<u64>(), any::<u64>()).prop_map(|(domain, nonce)| MonitorCall::Attest {
+            domain: DomainId(domain),
+            nonce
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_roundtrip(call in call_strategy()) {
+        let (leaf, args) = call.encode();
+        prop_assert_eq!(MonitorCall::decode(leaf, args), Some(call));
+    }
+
+    #[test]
+    fn decoder_total_on_arbitrary_registers(leaf in any::<u64>(), args in any::<[u64; 6]>()) {
+        // A guest controls every register bit; decode must never panic
+        // and, when it accepts, re-encoding must agree (no two register
+        // states map to "the same call" with different canonical forms
+        // in a way that loses information the handler uses).
+        if let Some(call) = MonitorCall::decode(leaf, args) {
+            let (leaf2, args2) = call.encode();
+            prop_assert_eq!(MonitorCall::decode(leaf2, args2), Some(call));
+        }
+    }
+
+    #[test]
+    fn flags_roundtrip(rights in rights_strategy(), policy in policy_strategy()) {
+        prop_assert_eq!(unpack_flags(pack_flags(rights, policy)), Some((rights, policy)));
+    }
+
+    #[test]
+    fn flags_reject_reserved_bits(v in any::<u64>()) {
+        match unpack_flags(v) {
+            Some((rights, policy)) => {
+                // Accepted values must re-pack to themselves: no reserved
+                // bit survives a round trip.
+                prop_assert_eq!(pack_flags(rights, policy), v);
+            }
+            None => prop_assert_ne!(v & !0x70f, 0, "only reserved bits justify rejection"),
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! §4.2's kernel story: the guest OS loads an untrusted third-party
+//! driver. Run direct, a driver bug corrupts the kernel; run in a Tyche
+//! kernel compartment, the same bug faults harmlessly.
+//!
+//! Run with: `cargo run -p tyche-bench --example driver_sandbox`
+
+use tyche_guest::driver::{BuggyDriver, DriverHost, DriverRequest, DriverResponse, XorBlockDriver};
+use tyche_guest::{GuestOs, SysResult, Syscall};
+use tyche_monitor::{boot_x86, BootConfig};
+
+const KERNEL_STATE: u64 = 0x8_0000;
+const WINDOW: (u64, u64) = (0x30_0000, 0x30_1000);
+const SCRATCH: (u64, u64) = (0x31_0000, 0x31_4000);
+
+fn main() {
+    let mut m = boot_x86(BootConfig::default());
+    let end = m.machine.domain_ram.end.as_u64();
+
+    // Boot the guest OS inside the initial domain and run a process, to
+    // show the kernel is a live system, not a prop.
+    let mut os = GuestOs::new((0, end), 0, 0x10_0000);
+    let pid = os.spawn(0x10_0000).expect("spawn");
+    let addr = match os.syscall(&mut m, pid, Syscall::Alloc { len: 32 }) {
+        SysResult::Addr(a) => a,
+        other => panic!("{other:?}"),
+    };
+    os.syscall(
+        &mut m,
+        pid,
+        Syscall::Write {
+            addr,
+            data: b"user process data".to_vec(),
+        },
+    );
+    println!("guest OS up; process {pid:?} running at {addr:#x}");
+
+    // Kernel state the driver must never touch.
+    m.dom_write(0, KERNEL_STATE, b"kernel page tables")
+        .expect("kernel state");
+    m.dom_write(0, WINDOW.0, b"disk block 0")
+        .expect("stage request");
+
+    // --- Act 1: direct dispatch. ---
+    println!("\n[direct mode]");
+    let direct = DriverHost::Direct;
+    let mut good = XorBlockDriver { key: 0x42 };
+    let r = direct
+        .dispatch(
+            &mut m,
+            0,
+            &mut good,
+            DriverRequest {
+                op: 1,
+                addr: WINDOW.0,
+                len: 12,
+            },
+        )
+        .expect("dispatch");
+    println!("well-behaved driver: {r:?}");
+
+    let mut buggy = BuggyDriver {
+        wild_target: KERNEL_STATE,
+    };
+    let r = direct
+        .dispatch(
+            &mut m,
+            0,
+            &mut buggy,
+            DriverRequest {
+                op: 666,
+                addr: WINDOW.0,
+                len: 12,
+            },
+        )
+        .expect("dispatch");
+    let mut state = [0u8; 18];
+    m.dom_read(0, KERNEL_STATE, &mut state).expect("read state");
+    println!(
+        "buggy driver: {r:?}; kernel state = {:?}",
+        std::str::from_utf8(&state).unwrap_or("<binary>")
+    );
+    assert_eq!(
+        &state[..10],
+        b"CORRUPTION",
+        "direct mode: the kernel just died"
+    );
+
+    // --- Act 2: the same driver code, sandboxed. ---
+    println!("\n[sandboxed mode]");
+    m.dom_write(0, KERNEL_STATE, b"kernel page tables")
+        .expect("restore");
+    let host = DriverHost::sandboxed(&mut m, 0, SCRATCH, WINDOW).expect("sandbox");
+    let r = host
+        .dispatch(
+            &mut m,
+            0,
+            &mut good,
+            DriverRequest {
+                op: 1,
+                addr: WINDOW.0,
+                len: 12,
+            },
+        )
+        .expect("dispatch");
+    println!("well-behaved driver: {r:?}");
+
+    let r = host
+        .dispatch(
+            &mut m,
+            0,
+            &mut buggy,
+            DriverRequest {
+                op: 666,
+                addr: WINDOW.0,
+                len: 12,
+            },
+        )
+        .expect("dispatch");
+    let mut state = [0u8; 18];
+    m.dom_read(0, KERNEL_STATE, &mut state).expect("read state");
+    println!(
+        "buggy driver: {r:?}; kernel state = {:?}",
+        std::str::from_utf8(&state).unwrap()
+    );
+    assert_eq!(r, DriverResponse::Crashed);
+    assert_eq!(
+        &state, b"kernel page tables",
+        "sandboxed mode: kernel intact"
+    );
+
+    // The user process never noticed.
+    let check = os.syscall(&mut m, pid, Syscall::Read { addr, len: 17 });
+    println!(
+        "\nuser process still reads its data: {:?}",
+        matches!(check, SysResult::Bytes(_))
+    );
+}

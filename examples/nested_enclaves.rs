@@ -1,0 +1,116 @@
+//! §4.2's nesting story: an enclave maps libtyche, spawns a nested
+//! enclave from its own memory, and opens a secured channel on an
+//! exclusively-owned page — none of which SGX can express.
+//!
+//! Run with: `cargo run -p tyche-bench --example nested_enclaves`
+
+use tyche_baselines::sgx::{HostPid, SgxError, SgxMachine};
+use tyche_core::prelude::*;
+use tyche_elf::image::{ElfImage, ElfMachine, Segment, SegmentFlags};
+use tyche_elf::manifest::Manifest;
+use tyche_monitor::{boot_x86, BootConfig};
+
+fn main() {
+    // --- The SGX model first: nesting is structurally impossible. ---
+    let mut sgx = SgxMachine::new(10_000);
+    let result = sgx.ecreate(
+        HostPid(1),
+        (0x10_0000, 0x20_0000),
+        16,
+        /*from_enclave=*/ true,
+    );
+    println!("SGX: enclave calls ECREATE -> {result:?}");
+    assert_eq!(result.unwrap_err(), SgxError::NestingUnsupported);
+
+    // --- Tyche: the outer enclave, sealed `nestable`. ---
+    let mut m = boot_x86(BootConfig::default());
+    let outer_img = ElfImage::new(0x10_0000, ElfMachine::X86_64).with_segment(Segment {
+        vaddr: 0x10_0000,
+        memsz: 0x8_0000,
+        flags: SegmentFlags::RW,
+        data: b"outer enclave image".to_vec(),
+    });
+    let outer = libtyche::Enclave::load(&mut m, 0, outer_img, Manifest::enclave_default(1), true)
+        .expect("load outer");
+    println!(
+        "\nTyche: outer enclave {} sealed (nestable), measurement {}",
+        outer.domain(),
+        outer.measurement()
+    );
+
+    // Enter the outer enclave; from inside, spawn a nested enclave out of
+    // our own exclusively-owned pages, with a channel page shared between
+    // the two at construction (so it is part of the attested config).
+    outer.enter(&mut m, 0).expect("enter outer");
+    let inner_img = ElfImage::new(0x14_0000, ElfMachine::X86_64).with_segment(Segment::new(
+        0x14_0000,
+        SegmentFlags::RW,
+        b"inner enclave".to_vec(),
+    ));
+    let (inner, channels) = libtyche::Enclave::load_with_channels(
+        &mut m,
+        0,
+        inner_img,
+        Manifest::enclave_default(1),
+        false,
+        &[(0x16_0000, 0x16_1000)],
+    )
+    .expect("load inner");
+    let chan = channels[0];
+    println!(
+        "nested enclave {} created from inside {}",
+        inner.domain(),
+        outer.domain()
+    );
+    println!(
+        "channel [{:#x},{:#x}) refcount = {}",
+        chan.start,
+        chan.end,
+        m.engine.refcount_mem(MemRegion::new(chan.start, chan.end))
+    );
+    assert_eq!(
+        m.engine.refcount_mem(MemRegion::new(chan.start, chan.end)),
+        2
+    );
+
+    // Ping-pong over the channel: outer writes, inner reads + replies.
+    m.dom_write(0, chan.start, b"ping").expect("outer writes");
+    inner.enter(&mut m, 0).expect("enter inner");
+    let mut msg = [0u8; 4];
+    m.dom_read(0, chan.start, &mut msg).expect("inner reads");
+    assert_eq!(&msg, b"ping");
+    m.dom_write(0, chan.start, b"pong").expect("inner replies");
+    libtyche::Enclave::exit(&mut m, 0).expect("exit inner");
+    let mut reply = [0u8; 4];
+    m.dom_read(0, chan.start, &mut reply)
+        .expect("outer reads reply");
+    println!(
+        "channel ping-pong: outer got {:?}",
+        std::str::from_utf8(&reply).unwrap()
+    );
+    libtyche::Enclave::exit(&mut m, 0).expect("exit outer");
+
+    // The host OS sees none of it.
+    let os_sees_inner = m.dom_read(0, 0x14_0000, &mut [0u8; 1]).is_ok();
+    let os_sees_chan = m.dom_read(0, chan.start, &mut [0u8; 1]).is_ok();
+    println!("\nhost OS reads inner enclave = {os_sees_inner}, channel = {os_sees_chan}");
+    assert!(!os_sees_inner && !os_sees_chan);
+
+    // And the whole nest unwinds from the top: revoking the outer
+    // enclave's grant cascades through the nested enclave too.
+    let os = m.engine.root().expect("root");
+    let outer_grant = m
+        .engine
+        .caps_of(outer.domain())
+        .iter()
+        .filter(|c| c.is_memory())
+        .map(|c| c.id)
+        .next();
+    if let Some(g) = outer_grant {
+        m.engine.revoke(os, g).expect("revoke outer grant");
+        m.sync_effects().expect("sync");
+    }
+    let inner_caps = m.engine.caps_of(inner.domain()).len();
+    println!("after revoking the outer grant, inner enclave holds {inner_caps} memory caps");
+    assert!(tyche_core::audit::audit(&m.engine).is_empty());
+}

@@ -1,0 +1,161 @@
+//! C12 — confidential VMs: the hypervisor schedules what it cannot read,
+//! guests self-compartmentalize, and teardown is provably clean.
+
+use tyche_bench::boot;
+use tyche_core::prelude::*;
+use tyche_guest::{GuestOs, SysResult, Syscall};
+
+const GUEST_RAM: (u64, u64) = (0x40_0000, 0x80_0000);
+
+fn launch(m: &mut tyche_monitor::Monitor) -> libtyche::ConfidentialVm {
+    m.dom_write(0, GUEST_RAM.0, b"guest kernel image").unwrap();
+    libtyche::ConfidentialVm::launch(
+        m,
+        0,
+        GUEST_RAM,
+        &[0, 1],
+        GUEST_RAM.0,
+        &[(GUEST_RAM.0, GUEST_RAM.0 + 0x1000)],
+    )
+    .unwrap()
+}
+
+#[test]
+fn scheduling_without_trust() {
+    // The asymmetry the paper wants: the hypervisor-role domain keeps the
+    // transition capability (it can schedule) but no memory capability
+    // (it cannot inspect).
+    let mut m = boot();
+    let vm = launch(&mut m);
+    let provider = m.engine.root().unwrap();
+    // Can schedule: enter works.
+    vm.enter(&mut m, 0).unwrap();
+    libtyche::ConfidentialVm::exit(&mut m, 0).unwrap();
+    // Cannot inspect: no active memory caps over guest RAM.
+    let covering: Vec<_> = m
+        .engine
+        .active_mem_coverage()
+        .into_iter()
+        .filter(|(d, r)| *d == provider && r.overlaps(&MemRegion::new(GUEST_RAM.0, GUEST_RAM.1)))
+        .collect();
+    assert!(
+        covering.is_empty(),
+        "provider holds nothing over guest RAM: {covering:?}"
+    );
+}
+
+#[test]
+fn full_guest_os_lifecycle_inside_cvm() {
+    let mut m = boot();
+    let vm = launch(&mut m);
+    vm.enter(&mut m, 0).unwrap();
+    let mut guest = GuestOs::new(GUEST_RAM, 0, 0x10_0000);
+    // Multi-process workload with IPC, entirely inside the cVM.
+    let a = guest.spawn(0x8_0000).unwrap();
+    let b = guest.spawn(0x8_0000).unwrap();
+    assert_eq!(
+        guest.syscall(&mut m, b, Syscall::PipeRecv),
+        SysResult::WouldBlock
+    );
+    guest.syscall(
+        &mut m,
+        a,
+        Syscall::PipeSend {
+            dst: b,
+            data: b"from a".to_vec(),
+        },
+    );
+    assert_eq!(
+        guest.syscall(&mut m, b, Syscall::PipeRecv),
+        SysResult::Bytes(b"from a".to_vec())
+    );
+    // Scheduler round-robins the two.
+    let first = guest.schedule().unwrap();
+    guest.preempt(first);
+    let second = guest.schedule().unwrap();
+    assert_ne!(first, second);
+    libtyche::ConfidentialVm::exit(&mut m, 0).unwrap();
+    // All of that was invisible to the provider.
+    assert!(m
+        .dom_read(0, GUEST_RAM.0 + 0x10_0000, &mut [0u8; 1])
+        .is_err());
+}
+
+#[test]
+fn guest_isolates_its_own_driver() {
+    // Fig. 3 composed: a driver sandbox *inside* a confidential VM. The
+    // guest kernel is protected from its driver; the provider from both.
+    let mut m = boot();
+    let vm = launch(&mut m);
+    vm.enter(&mut m, 0).unwrap();
+    let kernel_state = GUEST_RAM.0 + 0x8_0000;
+    m.dom_write(0, kernel_state, b"guest kernel state").unwrap();
+    let scratch = (GUEST_RAM.0 + 0x20_0000, GUEST_RAM.0 + 0x20_4000);
+    let window = (GUEST_RAM.0 + 0x21_0000, GUEST_RAM.0 + 0x21_1000);
+    let host = tyche_guest::driver::DriverHost::sandboxed(&mut m, 0, scratch, window).unwrap();
+    let mut buggy = tyche_guest::driver::BuggyDriver {
+        wild_target: kernel_state,
+    };
+    let resp = host
+        .dispatch(
+            &mut m,
+            0,
+            &mut buggy,
+            tyche_guest::driver::DriverRequest {
+                op: 666,
+                addr: window.0,
+                len: 4,
+            },
+        )
+        .unwrap();
+    assert_eq!(resp, tyche_guest::driver::DriverResponse::Crashed);
+    let mut buf = [0u8; 18];
+    m.dom_read(0, kernel_state, &mut buf).unwrap();
+    assert_eq!(&buf, b"guest kernel state");
+    libtyche::ConfidentialVm::exit(&mut m, 0).unwrap();
+    assert!(tyche_core::audit::audit(&m.engine).is_empty());
+}
+
+#[test]
+fn cvm_attestation_binds_launch_image() {
+    let mut m1 = boot();
+    let vm1 = launch(&mut m1);
+    let r1 = vm1.attest(&mut m1, 0, 1).unwrap();
+
+    // A second machine with a *different* guest image produces a
+    // different content measurement.
+    let mut m2 = boot();
+    m2.dom_write(0, GUEST_RAM.0, b"trojaned kernel!!!").unwrap();
+    let vm2 = libtyche::ConfidentialVm::launch(
+        &mut m2,
+        0,
+        GUEST_RAM,
+        &[0, 1],
+        GUEST_RAM.0,
+        &[(GUEST_RAM.0, GUEST_RAM.0 + 0x1000)],
+    )
+    .unwrap();
+    let r2 = vm2.attest(&mut m2, 0, 1).unwrap();
+    assert_ne!(
+        r1.report.content_measurements[0].2, r2.report.content_measurements[0].2,
+        "launch image is bound into the attestation"
+    );
+}
+
+#[test]
+fn destroy_scrubs_even_after_guest_activity() {
+    let mut m = boot();
+    let vm = launch(&mut m);
+    vm.enter(&mut m, 0).unwrap();
+    for off in (0u64..0x10_0000).step_by(0x1_0000) {
+        m.dom_write(0, GUEST_RAM.0 + off, b"guest secret block")
+            .unwrap();
+    }
+    libtyche::ConfidentialVm::exit(&mut m, 0).unwrap();
+    vm.destroy(&mut m, 0).unwrap();
+    for off in (0u64..0x10_0000).step_by(0x1_0000) {
+        let mut buf = [0u8; 18];
+        m.dom_read(0, GUEST_RAM.0 + off, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 18], "offset {off:#x} scrubbed");
+    }
+}

@@ -1,0 +1,165 @@
+//! C11 — kernel compartments for untrusted drivers, integrated with the
+//! guest OS: the kernel survives driver bugs, user processes keep
+//! working, and repeated crashes can be handled by recycling the sandbox.
+
+use tyche_bench::boot;
+use tyche_guest::driver::{BuggyDriver, DriverHost, DriverRequest, DriverResponse, XorBlockDriver};
+use tyche_guest::{GuestOs, SysResult, Syscall};
+
+const KERNEL_STATE: u64 = 0x8_0000;
+const WINDOW: (u64, u64) = (0x30_0000, 0x30_1000);
+const SCRATCH: (u64, u64) = (0x31_0000, 0x31_4000);
+
+#[test]
+fn kernel_and_processes_survive_driver_crash() {
+    let mut m = boot();
+    let end = m.machine.domain_ram.end.as_u64();
+    let mut os = GuestOs::new((0, end), 0, 0x10_0000);
+    let pid = os.spawn(0x10_0000).unwrap();
+    let addr = match os.syscall(&mut m, pid, Syscall::Alloc { len: 32 }) {
+        SysResult::Addr(a) => a,
+        other => panic!("{other:?}"),
+    };
+    os.syscall(
+        &mut m,
+        pid,
+        Syscall::Write {
+            addr,
+            data: b"app data".to_vec(),
+        },
+    );
+    m.dom_write(0, KERNEL_STATE, b"scheduler queue").unwrap();
+
+    let host = DriverHost::sandboxed(&mut m, 0, SCRATCH, WINDOW).unwrap();
+    let mut buggy = BuggyDriver {
+        wild_target: KERNEL_STATE,
+    };
+    let resp = host
+        .dispatch(
+            &mut m,
+            0,
+            &mut buggy,
+            DriverRequest {
+                op: 666,
+                addr: WINDOW.0,
+                len: 8,
+            },
+        )
+        .unwrap();
+    assert_eq!(resp, DriverResponse::Crashed);
+
+    // Kernel metadata intact; the process continues unharmed.
+    let mut state = [0u8; 15];
+    m.dom_read(0, KERNEL_STATE, &mut state).unwrap();
+    assert_eq!(&state, b"scheduler queue");
+    assert_eq!(
+        os.syscall(&mut m, pid, Syscall::Read { addr, len: 8 }),
+        SysResult::Bytes(b"app data".to_vec())
+    );
+    assert!(os.schedule().is_some(), "scheduler still runs");
+}
+
+#[test]
+fn crashed_driver_can_be_recycled() {
+    // After a crash the kernel destroys the compartment (zeroing driver
+    // state) and builds a fresh one — crash-and-restart à la Nooks.
+    let mut m = boot();
+    let host = DriverHost::sandboxed(&mut m, 0, SCRATCH, WINDOW).unwrap();
+    let mut buggy = BuggyDriver {
+        wild_target: KERNEL_STATE,
+    };
+    let resp = host
+        .dispatch(
+            &mut m,
+            0,
+            &mut buggy,
+            DriverRequest {
+                op: 666,
+                addr: WINDOW.0,
+                len: 8,
+            },
+        )
+        .unwrap();
+    assert_eq!(resp, DriverResponse::Crashed);
+    if let DriverHost::Sandboxed(sb) = host {
+        sb.destroy(&mut m, 0).unwrap();
+    }
+    // Fresh compartment, same addresses, working driver.
+    let host2 = DriverHost::sandboxed(&mut m, 0, SCRATCH, WINDOW).unwrap();
+    m.dom_write(0, WINDOW.0, b"ab").unwrap();
+    let mut good = XorBlockDriver { key: 0x01 };
+    let resp = host2
+        .dispatch(
+            &mut m,
+            0,
+            &mut good,
+            DriverRequest {
+                op: 1,
+                addr: WINDOW.0,
+                len: 2,
+            },
+        )
+        .unwrap();
+    assert_eq!(resp, DriverResponse::Done);
+    let mut out = [0u8; 2];
+    m.dom_read(0, WINDOW.0, &mut out).unwrap();
+    assert_eq!(out, [b'a' ^ 1, b'b' ^ 1]);
+}
+
+#[test]
+fn driver_cannot_read_process_memory() {
+    // Even a merely *curious* driver sees nothing beyond its window: the
+    // compartment's blast radius and its visibility are the same set.
+    let mut m = boot();
+    let end = m.machine.domain_ram.end.as_u64();
+    let mut os = GuestOs::new((0, end), 0, 0x10_0000);
+    let pid = os.spawn(0x10_0000).unwrap();
+    let addr = match os.syscall(&mut m, pid, Syscall::Alloc { len: 16 }) {
+        SysResult::Addr(a) => a,
+        other => panic!("{other:?}"),
+    };
+    os.syscall(
+        &mut m,
+        pid,
+        Syscall::Write {
+            addr,
+            data: b"private".to_vec(),
+        },
+    );
+    let host = DriverHost::sandboxed(&mut m, 0, SCRATCH, WINDOW).unwrap();
+
+    struct SnoopingDriver {
+        target: u64,
+        got: Option<Vec<u8>>,
+    }
+    impl tyche_guest::Driver for SnoopingDriver {
+        fn handle(
+            &mut self,
+            mem: &mut dyn tyche_guest::driver::DriverMemory,
+            _req: DriverRequest,
+        ) -> Result<(), tyche_monitor::Fault> {
+            let mut buf = vec![0u8; 7];
+            mem.read(self.target, &mut buf)?;
+            self.got = Some(buf);
+            Ok(())
+        }
+    }
+    let mut snoop = SnoopingDriver {
+        target: addr,
+        got: None,
+    };
+    let resp = host
+        .dispatch(
+            &mut m,
+            0,
+            &mut snoop,
+            DriverRequest {
+                op: 2,
+                addr: WINDOW.0,
+                len: 0,
+            },
+        )
+        .unwrap();
+    assert_eq!(resp, DriverResponse::Crashed, "the read faulted");
+    assert!(snoop.got.is_none(), "nothing was exfiltrated");
+}

@@ -1,0 +1,134 @@
+//! F3 — Figure 3: the Figure 2 workload deployed across traditional
+//! system abstractions (hypervisor, VM, processes), with trust domains
+//! cutting orthogonally through all of them.
+
+use tyche_bench::boot;
+use tyche_core::prelude::*;
+use tyche_guest::{GuestOs, SysResult, Syscall};
+
+/// Builds the full Figure 3 stack and returns what each box can see.
+#[test]
+fn full_deployment() {
+    let mut m = boot();
+    let provider = m.engine.root().unwrap();
+
+    // --- The SaaS VM: a confidential VM the provider schedules blind. ---
+    m.dom_write(0, 0x40_0000, b"saas vm kernel").unwrap();
+    let vm = libtyche::ConfidentialVm::launch(
+        &mut m,
+        0,
+        (0x40_0000, 0x80_0000),
+        &[0, 1],
+        0x40_0000,
+        &[(0x40_0000, 0x40_1000)],
+    )
+    .unwrap();
+    assert!(
+        m.dom_read(0, 0x40_0000, &mut [0u8; 1]).is_err(),
+        "provider blind to VM"
+    );
+
+    // --- Inside the VM: a guest OS with processes. ---
+    vm.enter(&mut m, 0).unwrap();
+    let mut guest = GuestOs::new((0x40_0000, 0x80_0000), 0, 0x10_0000);
+    let app_proc = guest.spawn(0x10_0000).unwrap();
+    let addr = match guest.syscall(&mut m, app_proc, Syscall::Alloc { len: 64 }) {
+        SysResult::Addr(a) => a,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(
+        guest.syscall(
+            &mut m,
+            app_proc,
+            Syscall::Write {
+                addr,
+                data: b"saas app".to_vec()
+            }
+        ),
+        SysResult::Ok
+    );
+
+    // --- The crypto engine: an enclave nested *inside* the VM, carved
+    // from guest RAM by the guest itself. The trust domain crosses the VM
+    // boundary: not even the guest kernel can read it afterwards. ---
+    let mut client = libtyche::TycheClient::new(&mut m, 0);
+    let (crypto, _gate) = client.create_domain().unwrap();
+    let page = client.carve(0x60_0000, 0x60_1000).unwrap();
+    client
+        .grant(page, crypto, Rights::RW, RevocationPolicy::OBFUSCATE)
+        .unwrap();
+    client.set_entry(crypto, 0x60_0000).unwrap();
+    client.seal(crypto, SealPolicy::strict()).unwrap();
+    assert!(
+        m.dom_read(0, 0x60_0000, &mut [0u8; 1]).is_err(),
+        "guest kernel blind to enclave"
+    );
+    libtyche::ConfidentialVm::exit(&mut m, 0).unwrap();
+    assert!(
+        m.dom_read(0, 0x60_0000, &mut [0u8; 1]).is_err(),
+        "provider blind to enclave"
+    );
+
+    // --- The driver: sandboxed inside the provider's own kernel. ---
+    let sb = libtyche::Sandbox::create(&mut m, 0, (0x10_0000, 0x10_4000), None).unwrap();
+    assert!(
+        m.dom_read(0, 0x10_0000, &mut [0u8; 1]).is_err(),
+        "provider blind to driver scratch"
+    );
+
+    // --- The monitor sees a flat set of trust domains; every one of the
+    // traditional boxes (hypervisor/VM/process) maps onto one or none. ---
+    let live: Vec<DomainId> = m
+        .engine
+        .domains()
+        .filter(|d| d.is_alive())
+        .map(|d| d.id)
+        .collect();
+    assert!(live.contains(&provider));
+    assert!(live.contains(&vm.domain));
+    assert!(live.contains(&crypto));
+    assert!(live.contains(&sb.domain));
+    // Depth does not grow the TCB: the crypto enclave nested inside a VM
+    // inside the hypervisor trusts only the monitor (its report's memory
+    // is refcount-1 regardless of nesting).
+    assert!(m
+        .engine
+        .refcount_mem_full(MemRegion::new(0x60_0000, 0x60_1000))
+        .is_exclusive());
+    assert!(tyche_core::audit::audit(&m.engine).is_empty());
+}
+
+#[test]
+fn vm_teardown_takes_nested_enclave_with_it() {
+    let mut m = boot();
+    m.dom_write(0, 0x40_0000, b"k").unwrap();
+    let vm =
+        libtyche::ConfidentialVm::launch(&mut m, 0, (0x40_0000, 0x60_0000), &[0], 0x40_0000, &[])
+            .unwrap();
+    vm.enter(&mut m, 0).unwrap();
+    let mut client = libtyche::TycheClient::new(&mut m, 0);
+    let (crypto, _gate) = client.create_domain().unwrap();
+    let page = client.carve(0x50_0000, 0x50_1000).unwrap();
+    client
+        .grant(page, crypto, Rights::RW, RevocationPolicy::ZERO)
+        .unwrap();
+    client.write(0x44_0000, b"vm data").unwrap();
+    libtyche::ConfidentialVm::exit(&mut m, 0).unwrap();
+    // Destroying the VM cascades: its grant to the nested enclave dies
+    // too, and all memory returns to the provider zeroed.
+    vm.destroy(&mut m, 0).unwrap();
+    assert!(
+        !m.engine
+            .domain(crypto)
+            .map(|d| d.is_alive())
+            .unwrap_or(false)
+            || m.engine.caps_of(crypto).is_empty(),
+        "nested enclave lost its resources with the VM"
+    );
+    let mut buf = [0u8; 7];
+    m.dom_read(0, 0x44_0000, &mut buf).unwrap();
+    assert_eq!(buf, [0u8; 7]);
+    m.dom_read(0, 0x50_0000, &mut buf).unwrap();
+    assert_eq!(buf, [0u8; 7]);
+    assert!(tyche_core::audit::audit(&m.engine).is_empty());
+}

@@ -1,0 +1,111 @@
+//! F4 — Figure 4: the reference-count view is exact, live, and matches
+//! the figure's numbers for the paper's own deployment.
+
+use tyche_bench::scenarios::{self, layout};
+use tyche_core::prelude::*;
+
+#[test]
+fn figure4_numbers_reproduced() {
+    // The paper's Figure 4 shows, for the Fig. 3 deployment: confidential
+    // regions with reference count 1, the shared window with 2, and the
+    // driver/VM regions each with 1.
+    let f = scenarios::fig2();
+    let rows = scenarios::fig4_view(
+        &f.monitor,
+        &[
+            layout::CRYPTO,
+            layout::APP,
+            layout::APP_CRYPTO,
+            layout::APP_GPU,
+            layout::NET,
+        ],
+    );
+    assert_eq!(
+        rows.iter().map(|r| r.refcount).collect::<Vec<_>>(),
+        vec![1, 1, 2, 2, 2],
+        "the figure's refcount column"
+    );
+    // And the figure's ownership column: who exactly is in each set.
+    assert_eq!(rows[0].domains, vec![f.crypto]);
+    assert_eq!(rows[1].domains, vec![f.app]);
+    let mut want = vec![f.crypto, f.app];
+    want.sort();
+    assert_eq!(rows[2].domains, want);
+    let mut want = vec![f.gpu_domain, f.app];
+    want.sort();
+    assert_eq!(rows[3].domains, want);
+    let mut want = vec![f.provider, f.app];
+    want.sort();
+    assert_eq!(rows[4].domains, want);
+}
+
+#[test]
+fn refcounts_track_every_transition_of_state() {
+    let mut m = tyche_bench::boot();
+    let os = m.engine.root().unwrap();
+    let region = MemRegion::new(0x10_0000, 0x10_1000);
+    let check = |m: &tyche_monitor::Monitor, want: usize, stage: &str| {
+        assert_eq!(m.engine.refcount_mem(region), want, "{stage}");
+    };
+    check(&m, 1, "boot: OS only");
+    let (a, _) = m.engine.create_domain(os).unwrap();
+    let (b, _) = m.engine.create_domain(os).unwrap();
+    let cap = {
+        let mut client = libtyche::TycheClient::new(&mut m, 0);
+        client.carve(region.start, region.end).unwrap()
+    };
+    check(&m, 1, "carve changes nothing");
+    let s1 = m
+        .engine
+        .share(os, cap, a, None, Rights::RW, RevocationPolicy::NONE)
+        .unwrap();
+    check(&m, 2, "share adds a domain");
+    let s2 = m
+        .engine
+        .share(a, s1, b, None, Rights::RO, RevocationPolicy::NONE)
+        .unwrap();
+    check(&m, 3, "onward share adds another");
+    m.engine.revoke(a, s2).unwrap();
+    check(&m, 2, "revoking the leaf share");
+    let g = m
+        .engine
+        .grant(os, cap, b, None, Rights::RW, RevocationPolicy::ZERO)
+        .unwrap();
+    // Wait: cap still has the a-share child under it... grant suspends
+    // the OS cap; a's share survives (it is an independent child).
+    check(&m, 2, "grant moved OS's access to b; a still shares");
+    m.engine.revoke(os, g).unwrap();
+    check(&m, 2, "grant returned: OS + a");
+    m.engine.revoke(os, s1).unwrap();
+    check(&m, 1, "all sharing revoked");
+    m.sync_effects().unwrap();
+    assert!(tyche_core::audit::audit(&m.engine).is_empty());
+}
+
+#[test]
+fn min_max_distinguish_partial_coverage() {
+    let mut m = tyche_bench::boot();
+    let os = m.engine.root().unwrap();
+    let (a, _) = m.engine.create_domain(os).unwrap();
+    let cap = {
+        let mut client = libtyche::TycheClient::new(&mut m, 0);
+        client.carve(0x10_0000, 0x10_2000).unwrap()
+    };
+    // Share only the first page of a two-page query range.
+    m.engine
+        .share(
+            os,
+            cap,
+            a,
+            Some(MemRegion::new(0x10_0000, 0x10_1000)),
+            Rights::RO,
+            RevocationPolicy::NONE,
+        )
+        .unwrap();
+    let rc = m
+        .engine
+        .refcount_mem_full(MemRegion::new(0x10_0000, 0x10_2000));
+    assert_eq!(rc.max, 2);
+    assert_eq!(rc.min, 1);
+    assert!(!rc.is_exclusive());
+}

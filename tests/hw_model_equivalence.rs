@@ -1,0 +1,236 @@
+//! The executive is pinned to the model: after any sequence of monitor
+//! calls, the hardware translation structures must grant exactly what
+//! the capability engine says (`Monitor::audit_hardware`), on both
+//! platforms, including across backend-refused (compensated) operations.
+
+use proptest::prelude::*;
+use tyche_core::prelude::*;
+use tyche_monitor::abi::MonitorCall;
+use tyche_monitor::{boot_riscv, boot_x86, BootConfig, Monitor};
+
+/// An abstract monitor-call script the fuzzer drives. Capability ids are
+/// chosen from the acting domain's live capabilities by index.
+#[derive(Clone, Debug)]
+enum Op {
+    Create,
+    Share {
+        cap: usize,
+        target: usize,
+        page: u8,
+        rights: u8,
+    },
+    Grant {
+        cap: usize,
+        target: usize,
+    },
+    Split {
+        cap: usize,
+        frac: u8,
+    },
+    Revoke {
+        cap: usize,
+    },
+    SealAndEnter {
+        target: usize,
+    },
+    Kill {
+        target: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Create),
+        (0usize..32, 0usize..8, 0u8..200, 1u8..8).prop_map(|(cap, target, page, rights)| {
+            Op::Share {
+                cap,
+                target,
+                page,
+                rights,
+            }
+        }),
+        (0usize..32, 0usize..8).prop_map(|(cap, target)| Op::Grant { cap, target }),
+        (0usize..32, 1u8..16).prop_map(|(cap, frac)| Op::Split { cap, frac }),
+        (0usize..32).prop_map(|cap| Op::Revoke { cap }),
+        (0usize..8).prop_map(|target| Op::SealAndEnter { target }),
+        (0usize..8).prop_map(|target| Op::Kill { target }),
+    ]
+}
+
+fn apply(m: &mut Monitor, op: &Op) {
+    let os = m.engine.root().unwrap();
+    // Always act as the OS on core 0 (return first if a prior op entered).
+    while m.current_domain(0) != os {
+        let _ = m.call(0, MonitorCall::Return);
+    }
+    let domains: Vec<DomainId> = m
+        .engine
+        .domains()
+        .filter(|d| d.is_alive() && d.id != os)
+        .map(|d| d.id)
+        .collect();
+    let caps: Vec<CapId> = m
+        .engine
+        .caps_of(os)
+        .iter()
+        .filter(|c| c.active)
+        .map(|c| c.id)
+        .collect();
+    if caps.is_empty() {
+        return;
+    }
+    let cap = |i: usize| caps[i % caps.len()];
+    let dom = |i: usize| domains.get(i % domains.len().max(1)).copied();
+
+    match op {
+        Op::Create => {
+            let _ = m.call(0, MonitorCall::CreateDomain);
+        }
+        Op::Share {
+            cap: c,
+            target,
+            page,
+            rights,
+        } => {
+            if let Some(t) = dom(*target) {
+                let s = 0x10_0000 + (*page as u64) * 0x1000;
+                let _ = m.call(
+                    0,
+                    MonitorCall::Share {
+                        cap: cap(*c),
+                        target: t,
+                        sub: Some((s, s + 0x1000)),
+                        rights: Rights(*rights),
+                        policy: RevocationPolicy::ZERO,
+                    },
+                );
+            }
+        }
+        Op::Grant { cap: c, target } => {
+            if let Some(t) = dom(*target) {
+                let _ = m.call(
+                    0,
+                    MonitorCall::Grant {
+                        cap: cap(*c),
+                        target: t,
+                        rights: Rights::RW,
+                        policy: RevocationPolicy::OBFUSCATE,
+                    },
+                );
+            }
+        }
+        Op::Split { cap: c, frac } => {
+            let id = cap(*c);
+            if let Some(region) = m.engine.cap(id).and_then(|k| k.resource.as_mem()) {
+                let at = (region.start + region.len() * (*frac as u64) / 16) & !0xfff;
+                let _ = m.call(0, MonitorCall::Split { cap: id, at });
+            }
+        }
+        Op::Revoke { cap: c } => {
+            let _ = m.call(0, MonitorCall::Revoke { cap: cap(*c) });
+        }
+        Op::SealAndEnter { target } => {
+            if let Some(t) = dom(*target) {
+                let _ = m.call(
+                    0,
+                    MonitorCall::SetEntry {
+                        domain: t,
+                        entry: 0,
+                    },
+                );
+                let _ = m.call(
+                    0,
+                    MonitorCall::Seal {
+                        domain: t,
+                        allow_outward: true,
+                        allow_children: true,
+                    },
+                );
+            }
+        }
+        Op::Kill { target } => {
+            if let Some(t) = dom(*target) {
+                let _ = m.call(0, MonitorCall::Kill { domain: t });
+            }
+        }
+    }
+}
+
+fn small_boot(x86: bool) -> Monitor {
+    // A small machine keeps the audit fast (fewer pages to enumerate).
+    let config = BootConfig {
+        machine: tyche_hw::machine::MachineConfig {
+            ram_bytes: 8 * 1024 * 1024,
+            monitor_reserved: 4 * 1024 * 1024,
+            cores: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    if x86 {
+        boot_x86(config)
+    } else {
+        boot_riscv(config)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn x86_hardware_tracks_engine(ops in proptest::collection::vec(op_strategy(), 1..25)) {
+        let mut m = small_boot(true);
+        for op in &ops {
+            apply(&mut m, op);
+        }
+        let issues = m.audit_hardware();
+        prop_assert!(issues.is_empty(), "after {:?}: {:?}", ops, issues);
+        prop_assert!(tyche_core::audit::audit(&m.engine).is_empty());
+    }
+
+    #[test]
+    fn riscv_hardware_tracks_engine(ops in proptest::collection::vec(op_strategy(), 1..25)) {
+        let mut m = small_boot(false);
+        for op in &ops {
+            apply(&mut m, op);
+        }
+        let issues = m.audit_hardware();
+        prop_assert!(issues.is_empty(), "after {:?}: {:?}", ops, issues);
+        prop_assert!(tyche_core::audit::audit(&m.engine).is_empty());
+    }
+}
+
+#[test]
+fn audit_clean_after_known_scenarios() {
+    let m = boot_x86(BootConfig::default());
+    let issues = m.audit_hardware();
+    assert!(issues.is_empty(), "{issues:?}");
+    // A full Figure 2 deployment audits clean too.
+    let f = tyche_bench::scenarios::fig2();
+    let issues = f.monitor.audit_hardware();
+    assert!(issues.is_empty(), "{issues:?}");
+    let _ = m;
+}
+
+#[test]
+fn audit_detects_divergence() {
+    // Sanity: the auditor is not vacuous — corrupt an EPT entry behind
+    // the engine's back and the audit flags it.
+    let mut m = small_boot(true);
+    let os = m.engine.root().unwrap();
+    let root = m.x86_backend().unwrap().ept_root(os).unwrap();
+    let ept = tyche_hw::x86::ept::Ept::from_root(root);
+    // Unmap a page the engine still grants.
+    ept.unmap(
+        &mut m.machine.mem,
+        tyche_hw::addr::GuestPhysAddr::new(0x1000),
+    )
+    .unwrap();
+    let issues = m.audit_hardware();
+    assert!(
+        issues
+            .iter()
+            .any(|i| i.contains("0x1000") && i.contains("unmapped")),
+        "{issues:?}"
+    );
+}

@@ -1,0 +1,171 @@
+//! §4.1 extension: cross-domain interrupt routing via remapping —
+//! interrupt vectors are ordinary capabilities: grantable, shareable,
+//! revocable, attested, and enforced by the remapping hardware.
+
+use tyche_bench::boot;
+use tyche_core::prelude::*;
+use tyche_monitor::abi::MonitorCall;
+
+const VEC: u32 = 33;
+
+/// Builds a sealed driver domain holding one page, core 0, and interrupt
+/// vector [`VEC`] (granted — exclusive delivery).
+fn driver_domain(m: &mut tyche_monitor::Monitor) -> (DomainId, CapId, CapId) {
+    let mut client = libtyche::TycheClient::new(m, 0);
+    let (d, gate) = client.create_domain().unwrap();
+    let page = client.carve(0x10_0000, 0x10_1000).unwrap();
+    client
+        .grant(page, d, Rights::RW, RevocationPolicy::ZERO)
+        .unwrap();
+    let (core0, irq) = {
+        let me = client.whoami();
+        let caps = client.monitor.engine.caps_of(me);
+        let core0 = caps
+            .iter()
+            .find(|c| c.active && matches!(c.resource, Resource::CpuCore(0)))
+            .map(|c| c.id)
+            .unwrap();
+        let irq = caps
+            .iter()
+            .find(|c| c.active && matches!(c.resource, Resource::Interrupt(v) if v == VEC))
+            .map(|c| c.id)
+            .unwrap();
+        (core0, irq)
+    };
+    client
+        .share(core0, d, None, Rights::USE, RevocationPolicy::NONE)
+        .unwrap();
+    let granted_irq = client
+        .grant(irq, d, Rights::USE, RevocationPolicy::NONE)
+        .unwrap();
+    client.set_entry(d, 0x10_0000).unwrap();
+    client.seal(d, SealPolicy::strict()).unwrap();
+    (d, gate, granted_irq)
+}
+
+#[test]
+fn vector_deliveries_follow_the_capability() {
+    let mut m = boot();
+    let (driver, gate, _irq) = driver_domain(&mut m);
+
+    // The device raises the vector twice.
+    assert!(m.machine.irq.raise(VEC).is_some());
+    assert!(m.machine.irq.raise(VEC).is_some());
+
+    // The OS (running now) sees nothing — it granted the vector away.
+    assert!(m.pending_interrupts(0).is_empty());
+
+    // The driver domain drains both deliveries on entry.
+    m.call(0, MonitorCall::Enter { cap: gate }).unwrap();
+    assert_eq!(m.current_domain(0), driver);
+    assert_eq!(m.pending_interrupts(0), vec![VEC, VEC]);
+    assert!(m.pending_interrupts(0).is_empty(), "drained");
+    m.call(0, MonitorCall::Return).unwrap();
+}
+
+#[test]
+fn revocation_stops_delivery_and_exposes_dos() {
+    let mut m = boot();
+    let (_driver, _gate, granted_irq) = driver_domain(&mut m);
+    assert!(m.machine.irq.raise(VEC).is_some(), "routed while granted");
+
+    // The OS revokes the vector: deliveries return to the OS (the grant's
+    // parent reactivates and re-routes).
+    let mut client = libtyche::TycheClient::new(&mut m, 0);
+    client.revoke(granted_irq).unwrap();
+    assert!(m.machine.irq.raise(VEC).is_some());
+    assert_eq!(m.pending_interrupts(0), vec![VEC], "OS receives again");
+
+    // Now the OS drops its own root endowment entirely: the vector is
+    // unrouted; raises are dropped AND counted — the observable
+    // denial-of-service signal (§4.1 "expose denial of service attacks").
+    let os = m.engine.root().unwrap();
+    let root_irq = m
+        .engine
+        .caps_of(os)
+        .iter()
+        .find(|c| c.active && matches!(c.resource, Resource::Interrupt(v) if v == VEC))
+        .map(|c| c.id)
+        .unwrap();
+    m.call(0, MonitorCall::Revoke { cap: root_irq }).unwrap();
+    let spurious_before = m.machine.irq.spurious;
+    assert!(m.machine.irq.raise(VEC).is_none(), "dropped");
+    assert_eq!(
+        m.machine.irq.spurious,
+        spurious_before + 1,
+        "and accounted for"
+    );
+}
+
+#[test]
+fn vector_appears_in_attestation() {
+    let mut m = boot();
+    let (driver, _gate, _irq) = driver_domain(&mut m);
+    let report = m.attest_domain(driver, [0u8; 32]).unwrap();
+    let irq_entry = report
+        .report
+        .resources
+        .iter()
+        .find(|r| matches!(r.resource, Resource::Interrupt(v) if v == VEC))
+        .expect("vector enumerated");
+    assert_eq!(irq_entry.refcount.max, 1, "exclusive delivery, attestable");
+    assert_eq!(irq_entry.rights, Rights::USE);
+}
+
+#[test]
+fn shared_vector_fans_out_to_last_router() {
+    // Sharing (rather than granting) a vector keeps both capabilities
+    // active; the remap table holds one route, so the most recent
+    // routing wins — and the refcount 2 in both attestations makes the
+    // ambiguity *visible*, which is the controlled-sharing contract.
+    let mut m = boot();
+    let os = m.engine.root().unwrap();
+    let (d, _gate) = {
+        let mut client = libtyche::TycheClient::new(&mut m, 0);
+        let (d, gate) = client.create_domain().unwrap();
+        let page = client.carve(0x10_0000, 0x10_1000).unwrap();
+        client
+            .grant(page, d, Rights::RW, RevocationPolicy::NONE)
+            .unwrap();
+        let irq = {
+            let me = client.whoami();
+            client
+                .monitor
+                .engine
+                .caps_of(me)
+                .iter()
+                .find(|c| c.active && matches!(c.resource, Resource::Interrupt(v) if v == VEC))
+                .map(|c| c.id)
+                .unwrap()
+        };
+        client
+            .share(irq, d, None, Rights::USE, RevocationPolicy::NONE)
+            .unwrap();
+        client.set_entry(d, 0x10_0000).unwrap();
+        client.seal(d, SealPolicy::strict()).unwrap();
+        (d, gate)
+    };
+    let entry = m
+        .engine
+        .enumerate(d)
+        .unwrap()
+        .into_iter()
+        .find(|r| matches!(r.resource, Resource::Interrupt(_)))
+        .unwrap();
+    assert_eq!(entry.refcount.max, 2, "sharing is visible: os + d");
+    let _ = os;
+}
+
+#[test]
+fn domain_death_purges_routes() {
+    let mut m = boot();
+    let (driver, _gate, _irq) = driver_domain(&mut m);
+    m.machine.irq.raise(VEC).unwrap();
+    let mut client = libtyche::TycheClient::new(&mut m, 0);
+    client.kill(driver).unwrap();
+    // The OS's parent capability reactivated, re-routing the vector to
+    // the OS; the dead domain's pending queue is purged.
+    assert!(m.machine.irq.raise(VEC).is_some());
+    assert_eq!(m.pending_interrupts(0), vec![VEC]);
+    assert!(tyche_core::audit::audit(&m.engine).is_empty());
+}

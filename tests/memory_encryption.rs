@@ -1,0 +1,145 @@
+//! §4.2 extension: "building physical attack resistance with multi-key
+//! memory encryption technologies". An encrypted confidential VM's RAM
+//! is ciphertext to a physical attacker (cold boot / DRAM interposer),
+//! plaintext to the guest, and keys are per-domain.
+
+use tyche_bench::boot;
+use tyche_core::prelude::*;
+use tyche_hw::PhysAddr;
+use tyche_monitor::Status;
+
+const GUEST_RAM: (u64, u64) = (0x40_0000, 0x44_0000);
+
+fn launch_encrypted(m: &mut tyche_monitor::Monitor) -> libtyche::ConfidentialVm {
+    m.dom_write(0, GUEST_RAM.0, b"guest kernel image").unwrap();
+    libtyche::ConfidentialVm::launch_encrypted(
+        m,
+        0,
+        GUEST_RAM,
+        &[0],
+        GUEST_RAM.0,
+        &[(GUEST_RAM.0, GUEST_RAM.0 + 0x1000)],
+    )
+    .unwrap()
+}
+
+/// Reads raw DRAM — the physical attacker's view (no controller).
+fn cold_boot_read(m: &tyche_monitor::Monitor, addr: u64, len: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; len];
+    m.machine.mem.read(PhysAddr::new(addr), &mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn cold_boot_sees_ciphertext_guest_sees_plaintext() {
+    let mut m = boot();
+    let vm = launch_encrypted(&mut m);
+    // The pre-loaded image was retagged with content preserved: the guest
+    // reads it fine...
+    vm.enter(&mut m, 0).unwrap();
+    let mut img = [0u8; 18];
+    m.dom_read(0, GUEST_RAM.0, &mut img).unwrap();
+    assert_eq!(&img, b"guest kernel image");
+    // ...and writes secrets that also land encrypted.
+    m.dom_write(0, GUEST_RAM.0 + 0x2000, b"runtime secret")
+        .unwrap();
+    libtyche::ConfidentialVm::exit(&mut m, 0).unwrap();
+
+    // Cold-boot attack: raw DRAM shows neither the image nor the secret.
+    assert_ne!(
+        cold_boot_read(&m, GUEST_RAM.0, 18),
+        b"guest kernel image".to_vec()
+    );
+    assert_ne!(
+        cold_boot_read(&m, GUEST_RAM.0 + 0x2000, 14),
+        b"runtime secret".to_vec()
+    );
+    // Non-zero ciphertext (not just scrubbed).
+    assert_ne!(cold_boot_read(&m, GUEST_RAM.0 + 0x2000, 14), vec![0u8; 14]);
+    // Unencrypted OS memory is still plaintext at the DRAM level.
+    m.dom_write(0, 0x10_0000, b"os plaintext").unwrap();
+    assert_eq!(cold_boot_read(&m, 0x10_0000, 12), b"os plaintext".to_vec());
+}
+
+#[test]
+fn two_encrypted_vms_use_distinct_keys() {
+    let mut m = boot();
+    m.dom_write(0, 0x40_0000, b"same image bytes").unwrap();
+    m.dom_write(0, 0x50_0000, b"same image bytes").unwrap();
+    let _a = libtyche::ConfidentialVm::launch_encrypted(
+        &mut m,
+        0,
+        (0x40_0000, 0x42_0000),
+        &[0],
+        0x40_0000,
+        &[],
+    )
+    .unwrap();
+    let _b = libtyche::ConfidentialVm::launch_encrypted(
+        &mut m,
+        0,
+        (0x50_0000, 0x52_0000),
+        &[0],
+        0x50_0000,
+        &[],
+    )
+    .unwrap();
+    let ca = cold_boot_read(&m, 0x40_0000, 16);
+    let cb = cold_boot_read(&m, 0x50_0000, 16);
+    assert_ne!(ca, b"same image bytes".to_vec());
+    assert_ne!(cb, b"same image bytes".to_vec());
+    assert_ne!(ca, cb, "multi-key: per-domain ciphertexts differ");
+}
+
+#[test]
+fn teardown_leaves_no_ciphertext_residue() {
+    // Destroy = zero + flush; the zero path also clears the page tags, so
+    // the returned pages read as plain zeros for the provider, not as
+    // keystream garbage.
+    let mut m = boot();
+    let vm = launch_encrypted(&mut m);
+    vm.enter(&mut m, 0).unwrap();
+    m.dom_write(0, GUEST_RAM.0 + 0x3000, b"to be destroyed")
+        .unwrap();
+    libtyche::ConfidentialVm::exit(&mut m, 0).unwrap();
+    vm.destroy(&mut m, 0).unwrap();
+    // Provider view through the CPU: zeros.
+    let mut buf = [0u8; 15];
+    m.dom_read(0, GUEST_RAM.0 + 0x3000, &mut buf).unwrap();
+    assert_eq!(buf, [0u8; 15]);
+    // Physical view: also zeros (tags dropped with the scrub).
+    assert_eq!(cold_boot_read(&m, GUEST_RAM.0 + 0x3000, 15), vec![0u8; 15]);
+    assert_eq!(
+        m.machine.mktme.protected_pages(),
+        0,
+        "no stray tagged pages"
+    );
+}
+
+#[test]
+fn only_the_manager_enables_encryption() {
+    let mut m = boot();
+    let vm = launch_encrypted(&mut m);
+    // Another (sealed, unrelated) domain cannot flip encryption on the VM.
+    let (_other, gate) =
+        tyche_bench::spawn_sealed(&mut m, 0, 0x60_0000, 0x1000, &[0], SealPolicy::strict());
+    m.call(0, tyche_monitor::abi::MonitorCall::Enter { cap: gate })
+        .unwrap();
+    assert_eq!(
+        m.enable_memory_encryption(0, vm.domain),
+        Err(Status::Denied)
+    );
+    m.call(0, tyche_monitor::abi::MonitorCall::Return).unwrap();
+}
+
+#[test]
+fn unsupported_on_riscv() {
+    let mut m = tyche_monitor::boot_riscv(tyche_monitor::BootConfig::default());
+    let os = m.engine.root().unwrap();
+    let (d, _) = m.engine.create_domain(os).unwrap();
+    m.sync_effects().unwrap();
+    assert_eq!(
+        m.enable_memory_encryption(0, d),
+        Err(Status::BackendFailure)
+    );
+}

@@ -1,0 +1,229 @@
+//! C7 — the PMP backend: fixed segments force layout discipline (§4),
+//! the monitor validates layouts, and a rejected layout leaves the
+//! system consistent.
+
+use tyche_core::prelude::*;
+use tyche_monitor::abi::MonitorCall;
+use tyche_monitor::{boot_riscv, BootConfig, Monitor, Status};
+
+fn ram_cap(m: &Monitor) -> CapId {
+    let os = m.engine.root().unwrap();
+    m.engine
+        .caps_of(os)
+        .iter()
+        .find(|c| c.active && c.is_memory())
+        .map(|c| c.id)
+        .unwrap()
+}
+
+#[test]
+fn fragmentation_frontier_is_exactly_available_entries() {
+    let mut m = boot_riscv(BootConfig::default());
+    let os = m.engine.root().unwrap();
+    let (child, _) = m.engine.create_domain(os).unwrap();
+    m.sync_effects().unwrap();
+    let available = m.riscv_backend().unwrap().available_entries();
+    assert_eq!(
+        available, 14,
+        "16 entries minus the 2-entry locked monitor guard"
+    );
+    let ram = ram_cap(&m);
+    let mut accepted = 0;
+    for i in 0..available + 3 {
+        let s = 0x10_0000 + (i as u64) * 0x4000; // discontiguous pages: 1 NAPOT entry each
+        let r = m.call(
+            0,
+            MonitorCall::Share {
+                cap: ram,
+                target: child,
+                sub: Some((s, s + 0x1000)),
+                rights: Rights::RO,
+                policy: RevocationPolicy::NONE,
+            },
+        );
+        if r.is_ok() {
+            accepted += 1;
+        } else {
+            assert_eq!(r, Err(Status::BackendFailure));
+        }
+    }
+    assert_eq!(accepted, available);
+}
+
+#[test]
+fn contiguous_layouts_are_cheap() {
+    // The same (much larger) amount of memory in one contiguous region
+    // costs one segment: the "careful memory layout" the paper prescribes.
+    let mut m = boot_riscv(BootConfig::default());
+    let os = m.engine.root().unwrap();
+    let (child, _) = m.engine.create_domain(os).unwrap();
+    m.sync_effects().unwrap();
+    let ram = ram_cap(&m);
+    m.call(
+        0,
+        MonitorCall::Share {
+            cap: ram,
+            target: child,
+            sub: Some((0x10_0000, 0x80_0000)), // 7 MiB, one segment
+            rights: Rights::RO,
+            policy: RevocationPolicy::NONE,
+        },
+    )
+    .unwrap();
+    assert_eq!(m.riscv_backend().unwrap().layout(child).unwrap().len(), 1);
+}
+
+#[test]
+fn rejected_layout_leaves_consistent_state() {
+    let mut m = boot_riscv(BootConfig::default());
+    let os = m.engine.root().unwrap();
+    let (child, _) = m.engine.create_domain(os).unwrap();
+    m.sync_effects().unwrap();
+    let ram = ram_cap(&m);
+    // Fill to the frontier, then push one more.
+    for i in 0..15u64 {
+        let s = 0x10_0000 + i * 0x4000;
+        let _ = m.call(
+            0,
+            MonitorCall::Share {
+                cap: ram,
+                target: child,
+                sub: Some((s, s + 0x1000)),
+                rights: Rights::RO,
+                policy: RevocationPolicy::NONE,
+            },
+        );
+    }
+    // Engine and backend agree on what exists; the auditor is clean; and
+    // the backend layout matches the engine's page view exactly.
+    assert!(tyche_core::audit::audit(&m.engine).is_empty());
+    let engine_pages = m
+        .engine
+        .caps_of(child)
+        .iter()
+        .filter(|c| c.is_memory())
+        .count();
+    assert_eq!(engine_pages, 14);
+    let layout = m.riscv_backend().unwrap().layout(child).unwrap();
+    assert_eq!(layout.len(), 14);
+    // Revoking a fragment frees an entry and a new share succeeds again.
+    let some_frag = m
+        .engine
+        .caps_of(child)
+        .iter()
+        .find(|c| c.is_memory())
+        .map(|c| c.id)
+        .unwrap();
+    m.call(0, MonitorCall::Revoke { cap: some_frag }).unwrap();
+    let s = 0x90_0000u64;
+    m.call(
+        0,
+        MonitorCall::Share {
+            cap: ram,
+            target: child,
+            sub: Some((s, s + 0x1000)),
+            rights: Rights::RO,
+            policy: RevocationPolicy::NONE,
+        },
+    )
+    .unwrap();
+}
+
+#[test]
+fn adjacent_fragments_coalesce() {
+    // The backend coalesces same-rights adjacent pages, so defragmenting
+    // a layout recovers entries — the optimization the layout discipline
+    // enables.
+    let mut m = boot_riscv(BootConfig::default());
+    let os = m.engine.root().unwrap();
+    let (child, _) = m.engine.create_domain(os).unwrap();
+    m.sync_effects().unwrap();
+    let ram = ram_cap(&m);
+    // 20 *adjacent* single-page shares: they merge into ONE segment, so
+    // all succeed — contrast with the discontiguous case.
+    for i in 0..20u64 {
+        let s = 0x10_0000 + i * 0x1000;
+        m.call(
+            0,
+            MonitorCall::Share {
+                cap: ram,
+                target: child,
+                sub: Some((s, s + 0x1000)),
+                rights: Rights::RO,
+                policy: RevocationPolicy::NONE,
+            },
+        )
+        .unwrap();
+    }
+    assert_eq!(m.riscv_backend().unwrap().layout(child).unwrap().len(), 1);
+}
+
+#[test]
+fn pmp_enforces_after_transition() {
+    // End-to-end on RISC-V: enter the child and verify its PMP view.
+    let mut m = boot_riscv(BootConfig::default());
+    let os = m.engine.root().unwrap();
+    let (child, gate) = m.engine.create_domain(os).unwrap();
+    m.sync_effects().unwrap();
+    let ram = ram_cap(&m);
+    m.call(
+        0,
+        MonitorCall::Share {
+            cap: ram,
+            target: child,
+            sub: Some((0x10_0000, 0x10_4000)),
+            rights: Rights::RWX,
+            policy: RevocationPolicy::NONE,
+        },
+    )
+    .unwrap();
+    let core0 = m
+        .engine
+        .caps_of(os)
+        .iter()
+        .find(|c| c.active && matches!(c.resource, Resource::CpuCore(0)))
+        .map(|c| c.id)
+        .unwrap();
+    m.call(
+        0,
+        MonitorCall::Share {
+            cap: core0,
+            target: child,
+            sub: None,
+            rights: Rights::USE,
+            policy: RevocationPolicy::NONE,
+        },
+    )
+    .unwrap();
+    m.call(
+        0,
+        MonitorCall::SetEntry {
+            domain: child,
+            entry: 0x10_0000,
+        },
+    )
+    .unwrap();
+    m.call(
+        0,
+        MonitorCall::Seal {
+            domain: child,
+            allow_outward: false,
+            allow_children: false,
+        },
+    )
+    .unwrap();
+    m.call(0, MonitorCall::Enter { cap: gate }).unwrap();
+    assert!(
+        m.dom_read(0, 0x10_2000, &mut [0u8; 4]).is_ok(),
+        "inside the shared window"
+    );
+    assert!(
+        m.dom_read(0, 0x20_0000, &mut [0u8; 4]).is_err(),
+        "outside: PMP fault"
+    );
+    m.call(0, MonitorCall::Return).unwrap();
+    assert!(
+        m.dom_read(0, 0x20_0000, &mut [0u8; 4]).is_ok(),
+        "the OS view is restored"
+    );
+}

@@ -1,0 +1,170 @@
+//! §4.2 extension: "safely multiplexing (with and without SR-IOV) PCI
+//! devices among TEEs". Two mutually distrustful enclaves each own one
+//! virtual function of the same NIC; packets flow between them through
+//! the device, yet neither can reach the other's memory — and the
+//! no-SR-IOV alternative is demonstrably unsafe.
+
+use tyche_core::prelude::*;
+use tyche_hw::addr::GuestPhysAddr;
+use tyche_hw::iommu::DeviceId;
+use tyche_hw::sriov::{SriovNic, VfIndex, VfRing};
+use tyche_monitor::{boot_x86, BootConfig};
+
+const PF: u16 = 0x100;
+const A_MEM: (u64, u64) = (0x10_0000, 0x10_4000);
+const B_MEM: (u64, u64) = (0x20_0000, 0x20_4000);
+
+/// Builds a TEE with memory + a VF device capability, sealed after both
+/// (device capabilities, like all resources, must arrive before sealing).
+fn tee_with_vf(m: &mut tyche_monitor::Monitor, mem: (u64, u64), vf_bus: u16) -> DomainId {
+    let mut client = libtyche::TycheClient::new(m, 0);
+    let (d, _gate) = client.create_domain().unwrap();
+    let cap = client.carve(mem.0, mem.1).unwrap();
+    client
+        .grant(cap, d, Rights::RW, RevocationPolicy::OBFUSCATE)
+        .unwrap();
+    let dev = {
+        let me = client.whoami();
+        client
+            .monitor
+            .engine
+            .caps_of(me)
+            .iter()
+            .find(|c| c.active && matches!(c.resource, Resource::Device(x) if x == vf_bus))
+            .map(|c| c.id)
+            .unwrap()
+    };
+    client
+        .grant(dev, d, Rights::USE, RevocationPolicy::NONE)
+        .unwrap();
+    let core0 = {
+        let me = client.whoami();
+        client
+            .monitor
+            .engine
+            .caps_of(me)
+            .iter()
+            .find(|c| c.active && matches!(c.resource, Resource::CpuCore(0)))
+            .map(|c| c.id)
+            .unwrap()
+    };
+    client
+        .share(core0, d, None, Rights::USE, RevocationPolicy::NONE)
+        .unwrap();
+    client.set_entry(d, mem.0).unwrap();
+    client.seal(d, SealPolicy::strict()).unwrap();
+    d
+}
+
+#[test]
+fn sriov_full_path() {
+    let mut m = boot_x86(BootConfig {
+        devices: vec![PF + 1, PF + 2],
+        ..Default::default()
+    });
+    m.dom_write(0, A_MEM.0, b"packet from TEE A").unwrap();
+    let a = tee_with_vf(&mut m, A_MEM, PF + 1);
+    let b = tee_with_vf(&mut m, B_MEM, PF + 2);
+
+    // The engine view: each VF owned by exactly one TEE.
+    assert!(m.engine.owns_device(a, PF + 1));
+    assert!(m.engine.owns_device(b, PF + 2));
+    assert!(!m.engine.owns_device(a, PF + 2));
+    // The I/O-MMU contexts follow the capabilities.
+    let ctx_a = m.machine.iommu.context_of(DeviceId(PF + 1)).unwrap();
+    let ctx_b = m.machine.iommu.context_of(DeviceId(PF + 2)).unwrap();
+    assert_eq!(Some(ctx_a), m.x86_backend().unwrap().ept_root(a));
+    assert_eq!(Some(ctx_b), m.x86_backend().unwrap().ept_root(b));
+    assert_ne!(ctx_a, ctx_b);
+
+    // Wire up the NIC: VF0 -> TEE A, VF1 -> TEE B.
+    let mut nic = SriovNic::new(DeviceId(PF), 2);
+    assert_eq!(nic.vf_device_id(VfIndex(0)), DeviceId(PF + 1));
+    nic.configure_ring(
+        VfIndex(0),
+        VfRing {
+            rx_base: GuestPhysAddr::new(A_MEM.0 + 0x2000),
+            rx_slots: 4,
+            slot_bytes: 256,
+        },
+    );
+    nic.configure_ring(
+        VfIndex(1),
+        VfRing {
+            rx_base: GuestPhysAddr::new(B_MEM.0 + 0x2000),
+            rx_slots: 4,
+            slot_bytes: 256,
+        },
+    );
+
+    // A TEE-A packet lands in TEE B's ring through the device...
+    nic.send(
+        &mut m.machine.iommu,
+        &mut m.machine.mem,
+        VfIndex(0),
+        VfIndex(1),
+        GuestPhysAddr::new(A_MEM.0),
+        17,
+    )
+    .unwrap();
+    // ...readable by B (as B), invisible to the provider.
+    let mut got = [0u8; 17];
+    let gate_b = m
+        .engine
+        .caps()
+        .find(|c| matches!(c.resource, Resource::Transition(t) if t == b))
+        .map(|c| c.id)
+        .unwrap();
+    m.call(0, tyche_monitor::abi::MonitorCall::Enter { cap: gate_b })
+        .unwrap();
+    m.dom_read(0, B_MEM.0 + 0x2000, &mut got).unwrap();
+    assert_eq!(&got, b"packet from TEE A");
+    m.call(0, tyche_monitor::abi::MonitorCall::Return).unwrap();
+    assert!(
+        m.dom_read(0, B_MEM.0 + 0x2000, &mut [0u8; 1]).is_err(),
+        "provider blind"
+    );
+
+    // And the boundary: A cannot transmit B's memory through its VF.
+    let err = nic
+        .send(
+            &mut m.machine.iommu,
+            &mut m.machine.mem,
+            VfIndex(0),
+            VfIndex(1),
+            GuestPhysAddr::new(B_MEM.0),
+            8,
+        )
+        .unwrap_err();
+    assert!(matches!(err, tyche_hw::sriov::SendError::TxFault(_)));
+}
+
+#[test]
+fn without_sriov_sharing_one_function_is_unsafe() {
+    // The contrast case: one single-function device shared between two
+    // TEEs. The I/O-MMU has ONE context per function, so whoever
+    // programs the device last gets a DMA engine with the other's view —
+    // the paper's motivation for SR-IOV-based multiplexing.
+    let mut m = boot_x86(BootConfig {
+        devices: vec![PF + 1],
+        ..Default::default()
+    });
+    m.dom_write(0, A_MEM.0, b"tee a secret").unwrap();
+    let a = tee_with_vf(&mut m, A_MEM, PF + 1);
+    // The OS later re-grants the same function to a second TEE: the
+    // engine forbids it while A holds it (exclusive USE grant) — the
+    // monitor-level protection that makes non-SR-IOV sharing refusable.
+    let os = m.engine.root().unwrap();
+    let dev_cap_left: Vec<_> = m
+        .engine
+        .caps_of(os)
+        .iter()
+        .filter(|c| c.active && matches!(c.resource, Resource::Device(x) if x == PF + 1))
+        .map(|c| c.id)
+        .collect();
+    assert!(
+        dev_cap_left.is_empty(),
+        "the OS granted the function away entirely"
+    );
+    assert!(m.engine.owns_device(a, PF + 1));
+}
