@@ -2,9 +2,11 @@
 //!
 //! Usage: `cargo run -p tyche-bench --bin repro [-- <ids...>]`
 //!
-//! With no arguments, runs every experiment (F1–F4, C1–C12) and prints
-//! one table each; `EXPERIMENTS.md` records these outputs next to the
-//! paper's claims.
+//! With no arguments, runs every experiment (F1–F4, C1–C12, E1–E5) plus
+//! the verification suite (`verify`) and prints one table each;
+//! `EXPERIMENTS.md` records these outputs next to the paper's claims.
+//! `repro verify` runs the judiciary toolchain alone: the static TCB
+//! audit and the bounded model check, exiting non-zero on any failure.
 
 use std::time::Instant;
 use tyche_bench::scenarios::{self, layout};
@@ -85,6 +87,99 @@ fn main() {
     if want("e5") {
         e5();
     }
+    if want("verify") && !verify() {
+        std::process::exit(1);
+    }
+}
+
+/// The workspace root, anchored at compile time so every LOC/audit path
+/// works from any working directory.
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/bench has a workspace root")
+        .to_path_buf()
+}
+
+/// `repro verify` — the judiciary toolchain: static TCB audit + bounded
+/// model check, summarized in one table. Returns false on any failure.
+fn verify() -> bool {
+    let root = workspace_root();
+    let config = tyche_verify::static_audit::AuditConfig::tyche_defaults(&root);
+    let report = match tyche_verify::static_audit::run(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("verify: static audit failed to run: {e}");
+            return false;
+        }
+    };
+    let bmc_config = tyche_verify::bmc::BmcConfig::default();
+    let result = tyche_verify::bmc::run(&bmc_config);
+
+    let mut t = Table::new(
+        "VERIFY — judiciary toolchain (static TCB audit + bounded model check)",
+        &["check", "scope", "result"],
+    );
+    t.row(&[
+        "no unsafe / forbid(unsafe_code)".into(),
+        config.tcb_crates.join(", "),
+        pass_fail(!report.findings.iter().any(|f| {
+            matches!(
+                f.check,
+                tyche_verify::static_audit::Check::ForbidUnsafe
+                    | tyche_verify::static_audit::Check::UnsafeToken
+            )
+        })),
+    ]);
+    t.row(&[
+        "panic-construct allowlist".into(),
+        format!("{} files", report.files_scanned),
+        pass_fail(!report.findings.iter().any(|f| {
+            matches!(
+                f.check,
+                tyche_verify::static_audit::Check::PanicConstruct
+                    | tyche_verify::static_audit::Check::StaleAllowlist
+            )
+        })),
+    ]);
+    t.row(&[
+        "C1 LOC budget".into(),
+        format!("{} / {} lines", report.tcb_loc, report.loc_budget),
+        pass_fail(!report
+            .findings
+            .iter()
+            .any(|f| f.check == tyche_verify::static_audit::Check::LocBudget)),
+    ]);
+    t.row(&[
+        "dependency closure (workspace-only)".into(),
+        "TCB manifests".into(),
+        pass_fail(!report
+            .findings
+            .iter()
+            .any(|f| f.check == tyche_verify::static_audit::Check::Dependency)),
+    ]);
+    t.row(&[
+        "bounded model check".into(),
+        format!(
+            "{} states, depth {}, exhaustive: {}",
+            result.states, result.max_depth_reached, result.exhaustive
+        ),
+        pass_fail(result.violations.is_empty() && result.exhaustive),
+    ]);
+    t.print();
+
+    for finding in &report.findings {
+        println!("  finding: {finding}");
+    }
+    for violation in result.violations.iter().take(5) {
+        println!("  bmc violation: {} (trace: {:?})", violation.message, violation.trace);
+    }
+    report.passed() && result.violations.is_empty() && result.exhaustive
+}
+
+fn pass_fail(ok: bool) -> String {
+    if ok { "PASS".into() } else { "FAIL".into() }
 }
 
 /// F1 — the separation of powers: legislative (domain defines policy),
@@ -258,48 +353,17 @@ fn c1() {
         "C1 — TCB size (paper: monitor is 'minimal (<10K LOC)')",
         &["component", "in TCB?", "LOC"],
     );
-    // Anchor on the workspace root at compile time so the counter works
-    // from any working directory.
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .and_then(|p| p.parent())
-        .expect("crates/bench has a workspace root")
-        .to_path_buf();
-    let count = move |dirs: &[&str]| -> u64 {
-        let mut total = 0u64;
-        for d in dirs {
-            let mut stack = vec![root.join(format!("crates/{d}/src"))];
-            while let Some(p) = stack.pop() {
-                let Ok(entries) = std::fs::read_dir(&p) else {
-                    continue;
-                };
-                for e in entries.flatten() {
-                    let path = e.path();
-                    if path.is_dir() {
-                        stack.push(path);
-                    } else if path.extension().map(|x| x == "rs").unwrap_or(false) {
-                        if let Ok(text) = std::fs::read_to_string(&path) {
-                            // Count non-test, non-comment, non-blank lines.
-                            let mut in_tests = false;
-                            for line in text.lines() {
-                                let l = line.trim();
-                                if l.starts_with("#[cfg(test)]") {
-                                    in_tests = true;
-                                }
-                                if in_tests {
-                                    continue;
-                                }
-                                if l.is_empty() || l.starts_with("//") {
-                                    continue;
-                                }
-                                total += 1;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        total
+    // The count comes from tyche-verify's shared counter — the same one
+    // `tcb-audit` gates on, so this table and CI can never disagree.
+    let root = workspace_root();
+    let count = move |dirs: &[&str]| -> usize {
+        dirs.iter()
+            .map(|d| {
+                tyche_verify::loc::count_crate(&root.join("crates").join(d))
+                    .expect("count crate LOC")
+                    .code
+            })
+            .sum()
     };
     let core = count(&["core"]);
     let monitor = count(&["monitor"]);

@@ -18,6 +18,9 @@
 //! | [`seal`](CapEngine::seal) | manager or self | freezes config, takes measurement |
 //! | [`kill`](CapEngine::kill) | manager | revokes everything, retires the domain |
 //! | [`can_enter`](CapEngine::can_enter) | transition-cap owner | validated entry point for the monitor to switch to |
+// Approved panic paths: every `expect(` in this module is budgeted,
+// with a reviewed reason, in crates/verify/allowlist.toml.
+#![allow(clippy::expect_used)]
 
 use crate::capability::{CapKind, Capability};
 use crate::domain::{Domain, DomainState, SealPolicy};
@@ -115,6 +118,38 @@ impl CapEngine {
     /// Seal stamp of a domain (for the auditor).
     pub fn domain_sealed_at(&self, domain: DomainId) -> Option<u64> {
         self.sealed_at.get(&domain).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Corruption hooks (mutation tests only)
+    //
+    // The engine's public operations refuse to create unsound states, so
+    // the auditor's negative tests need a way to corrupt internals
+    // directly. Hidden from docs; never call these outside tests.
+    // ------------------------------------------------------------------
+
+    /// Test-only mutable access to a capability record.
+    #[doc(hidden)]
+    pub fn corrupt_cap(&mut self, cap: CapId) -> Option<&mut Capability> {
+        self.caps.get_mut(&cap)
+    }
+
+    /// Test-only mutable access to a domain record.
+    #[doc(hidden)]
+    pub fn corrupt_domain(&mut self, domain: DomainId) -> Option<&mut Domain> {
+        self.domains.get_mut(&domain)
+    }
+
+    /// Test-only override of a capability's creation stamp.
+    #[doc(hidden)]
+    pub fn corrupt_created_at(&mut self, cap: CapId, stamp: u64) {
+        self.created_at.insert(cap, stamp);
+    }
+
+    /// Test-only override of a domain's seal stamp.
+    #[doc(hidden)]
+    pub fn corrupt_sealed_at(&mut self, domain: DomainId, stamp: u64) {
+        self.sealed_at.insert(domain, stamp);
     }
 
     /// Drains the pending backend effects in emission order.

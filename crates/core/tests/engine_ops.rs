@@ -1,5 +1,6 @@
 //! Exhaustive behavioural tests for the capability engine: every operation,
 //! its success path, and each typed refusal.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use tyche_core::audit::assert_sound;
 use tyche_core::prelude::*;

@@ -1,6 +1,7 @@
 //! Property-based tests: random operation sequences must preserve every
 //! engine invariant, reference counts must agree with a naive model, and
 //! cascading revocation must always terminate and restore baseline state.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use proptest::prelude::*;
 use tyche_core::audit::audit;

@@ -11,6 +11,9 @@
 //!    machine: all domain RAM, every CPU core, every registered device,
 //! 5. control drops to the initial domain (the unmodified OS in the
 //!    paper's prototype).
+// Approved panic paths: every `expect(` in this module is budgeted,
+// with a reviewed reason, in crates/verify/allowlist.toml.
+#![allow(clippy::expect_used)]
 
 use crate::attest::expected_pcr_for;
 use crate::backend::riscv::RiscvBackend;

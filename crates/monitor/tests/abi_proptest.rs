@@ -2,6 +2,7 @@
 //! for every representable call, and the decoder must be total (never
 //! panic) on arbitrary register values — a domain controls those
 //! registers fully.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use proptest::prelude::*;
 use tyche_core::prelude::*;

@@ -1,5 +1,6 @@
 //! The two-tier attestation chain (§3.4), end to end, including the full
 //! tamper matrix: every forgery a remote verifier must catch.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use tyche_core::prelude::*;
 use tyche_monitor::abi::MonitorCall;

@@ -1,5 +1,6 @@
 //! End-to-end monitor runtime tests: the full VMCALL path, mediated and
 //! fast transitions, hardware-enforced isolation, and clean-up policies.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use tyche_core::prelude::*;
 use tyche_monitor::abi::MonitorCall;

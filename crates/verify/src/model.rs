@@ -1,0 +1,270 @@
+//! The naive reference model of memory ownership.
+//!
+//! The bounded model checker runs every operation against *two*
+//! implementations: the real `CapEngine` (a lineage tree with
+//! suspension, reactivation, and a sweep-based refcount) and this model
+//! — a deliberately dumb flat list of `(owner, region, active)` records
+//! with the spec's transfer rules restated in the most literal way
+//! possible. The two share no code; agreement between them is evidence
+//! that the engine implements the spec rather than its own bugs.
+//!
+//! The model mirrors only *accepted* operations: the engine is the
+//! authority on which requests are legal, the model is the authority on
+//! what an accepted request must do to ownership.
+
+/// One capability record in the flat model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelCap {
+    /// Engine capability id (`CapId.0`) — the join key for mirroring.
+    pub id: u64,
+    /// Owning domain (`DomainId.0`).
+    pub owner: u64,
+    /// Covered memory `[start, end)`.
+    pub region: (u64, u64),
+    /// Lineage parent, `None` for boot endowments.
+    pub parent: Option<u64>,
+    /// How this record was derived.
+    pub kind: ModelKind,
+    /// Whether the record currently conveys access.
+    pub active: bool,
+}
+
+/// Derivation kind, restated independently of the engine's `CapKind`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Boot endowment.
+    Root,
+    /// Share: parent stays active, both owners have access.
+    Shared,
+    /// Grant: exclusive move; parent is suspended until the grant is
+    /// revoked.
+    Granted,
+    /// Carve: a split piece; parent suspended until all pieces are gone.
+    Carved,
+}
+
+/// The flat ownership model.
+#[derive(Clone, Debug, Default)]
+pub struct RefModel {
+    caps: Vec<ModelCap>,
+}
+
+impl RefModel {
+    /// An empty model.
+    pub fn new() -> RefModel {
+        RefModel::default()
+    }
+
+    /// Mirrors a boot endowment.
+    pub fn endow(&mut self, id: u64, owner: u64, region: (u64, u64)) {
+        self.caps.push(ModelCap {
+            id,
+            owner,
+            region,
+            parent: None,
+            kind: ModelKind::Root,
+            active: true,
+        });
+    }
+
+    /// Mirrors an accepted share: the child covers `region` for
+    /// `target`; the parent keeps access.
+    pub fn share(&mut self, parent: u64, child: u64, target: u64, region: (u64, u64)) {
+        self.caps.push(ModelCap {
+            id: child,
+            owner: target,
+            region,
+            parent: Some(parent),
+            kind: ModelKind::Shared,
+            active: true,
+        });
+    }
+
+    /// Mirrors an accepted grant: the child covers the parent's whole
+    /// region for `target`; the parent loses access until revocation.
+    pub fn grant(&mut self, parent: u64, child: u64, target: u64, region: (u64, u64)) {
+        self.set_active(parent, false);
+        self.caps.push(ModelCap {
+            id: child,
+            owner: target,
+            region,
+            parent: Some(parent),
+            kind: ModelKind::Granted,
+            active: true,
+        });
+    }
+
+    /// Mirrors an accepted split at `at`: two carved pieces replace the
+    /// parent's access (same owner, no net ownership change).
+    pub fn split(&mut self, parent: u64, lo: u64, hi: u64, at: u64) {
+        let (owner, (start, end)) = {
+            let p = self.cap(parent).expect("split parent exists in model");
+            (p.owner, p.region)
+        };
+        self.set_active(parent, false);
+        self.caps.push(ModelCap {
+            id: lo,
+            owner,
+            region: (start, at),
+            parent: Some(parent),
+            kind: ModelKind::Carved,
+            active: true,
+        });
+        self.caps.push(ModelCap {
+            id: hi,
+            owner,
+            region: (at, end),
+            parent: Some(parent),
+            kind: ModelKind::Carved,
+            active: true,
+        });
+    }
+
+    /// Mirrors an accepted revoke of `id`: the record and everything
+    /// derived from it disappear; suspended parents get their access
+    /// back (a granted parent always, a split parent once all pieces
+    /// are gone).
+    pub fn revoke(&mut self, id: u64) {
+        // Collect the subtree by repeated parent-link scans — the naive
+        // way, no child lists to maintain.
+        let mut doomed = vec![id];
+        loop {
+            let more: Vec<u64> = self
+                .caps
+                .iter()
+                .filter(|c| {
+                    c.parent.is_some_and(|p| doomed.contains(&p)) && !doomed.contains(&c.id)
+                })
+                .map(|c| c.id)
+                .collect();
+            if more.is_empty() {
+                break;
+            }
+            doomed.extend(more);
+        }
+        // Remove leaves-first so parent reactivation sees the final
+        // child population: every child of a doomed record is itself
+        // doomed, so the doomed set always contains a childless record.
+        while !doomed.is_empty() {
+            let next = doomed
+                .iter()
+                .copied()
+                .find(|&d| !self.has_children(d))
+                .unwrap_or(doomed[0]);
+            self.remove_one(next);
+            doomed.retain(|&d| d != next);
+        }
+    }
+
+    fn remove_one(&mut self, id: u64) {
+        let Some(pos) = self.caps.iter().position(|c| c.id == id) else {
+            return;
+        };
+        let removed = self.caps.remove(pos);
+        if let Some(pid) = removed.parent {
+            let reactivate = match removed.kind {
+                ModelKind::Granted => true,
+                ModelKind::Carved => !self.has_children(pid),
+                _ => false,
+            };
+            if reactivate {
+                self.set_active(pid, true);
+            }
+        }
+    }
+
+    fn has_children(&self, id: u64) -> bool {
+        self.caps.iter().any(|c| c.parent == Some(id))
+    }
+
+    fn set_active(&mut self, id: u64, active: bool) {
+        if let Some(c) = self.caps.iter_mut().find(|c| c.id == id) {
+            c.active = active;
+        }
+    }
+
+    /// The record with engine id `id`.
+    pub fn cap(&self, id: u64) -> Option<&ModelCap> {
+        self.caps.iter().find(|c| c.id == id)
+    }
+
+    /// Number of records currently in the model.
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// True when the model holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+
+    /// True when *any* record — active or suspended — covers `addr`.
+    /// This is the conservation invariant's notion of "accounted for":
+    /// a suspended record (grant outstanding, or a carved parent) can
+    /// always be reactivated by revocations, so the byte is not lost.
+    pub fn covered(&self, addr: u64) -> bool {
+        self.caps
+            .iter()
+            .any(|c| c.region.0 <= addr && addr < c.region.1)
+    }
+
+    /// Distinct owners with active access to the byte at `addr` — the
+    /// model's answer to the engine's per-byte refcount.
+    pub fn owners_of(&self, addr: u64) -> Vec<u64> {
+        let mut owners: Vec<u64> = self
+            .caps
+            .iter()
+            .filter(|c| c.active && c.region.0 <= addr && addr < c.region.1)
+            .map(|c| c.owner)
+            .collect();
+        owners.sort_unstable();
+        owners.dedup();
+        owners
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_keeps_both_grant_moves() {
+        let mut m = RefModel::new();
+        m.endow(1, 0, (0x1000, 0x3000));
+        m.share(1, 2, 7, (0x1000, 0x3000));
+        assert_eq!(m.owners_of(0x1000), vec![0, 7]);
+        m.revoke(2);
+        assert_eq!(m.owners_of(0x1000), vec![0]);
+        m.grant(1, 3, 7, (0x1000, 0x3000));
+        assert_eq!(m.owners_of(0x1000), vec![7], "granter suspended");
+        m.revoke(3);
+        assert_eq!(m.owners_of(0x1000), vec![0], "granter reactivated");
+    }
+
+    #[test]
+    fn split_preserves_ownership_and_reactivates_when_pieces_go() {
+        let mut m = RefModel::new();
+        m.endow(1, 0, (0x1000, 0x3000));
+        m.split(1, 2, 3, 0x2000);
+        assert_eq!(m.owners_of(0x1000), vec![0]);
+        assert_eq!(m.owners_of(0x2000), vec![0]);
+        assert!(!m.cap(1).unwrap().active);
+        m.revoke(2);
+        assert!(!m.cap(1).unwrap().active, "one piece remains");
+        m.revoke(3);
+        assert!(m.cap(1).unwrap().active, "all pieces gone");
+        assert_eq!(m.owners_of(0x1000), vec![0]);
+    }
+
+    #[test]
+    fn revoke_cascades_through_derived_records() {
+        let mut m = RefModel::new();
+        m.endow(1, 0, (0x1000, 0x2000));
+        m.share(1, 2, 5, (0x1000, 0x2000));
+        m.share(2, 3, 6, (0x1000, 0x2000));
+        assert_eq!(m.owners_of(0x1000), vec![0, 5, 6]);
+        m.revoke(2);
+        assert_eq!(m.owners_of(0x1000), vec![0], "cascade removed 3 too");
+        assert_eq!(m.len(), 1);
+    }
+}

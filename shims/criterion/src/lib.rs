@@ -1,0 +1,280 @@
+//! A minimal, std-only stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace must build with `--offline` and no registry, so this
+//! shim provides the API surface the repo's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! [`BenchmarkId`], [`BatchSize`], `benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `iter`, and `iter_batched` —
+//! with a simple adaptive wall-clock timer instead of criterion's
+//! statistical machinery. Results print as `name ... time/iter`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches may use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark. Small: the shim exists to keep
+/// benches compiling and runnable, not to produce publication numbers.
+const TARGET: Duration = Duration::from_millis(100);
+
+/// How per-iteration setup cost is amortized; accepted for API
+/// compatibility, the shim always runs setup outside the timed section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: large batches in real criterion.
+    SmallInput,
+    /// Large inputs: small batches.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier with a function name and a parameter, printed
+/// as `name/param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Only a parameter (grouped under the group name).
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives the timed closure; handed to `bench_function` callbacks.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine`, adaptively doubling the iteration count until
+    /// the measurement window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            self.iters_done += n;
+            self.elapsed += took;
+            if self.elapsed >= TARGET || n >= (1 << 24) {
+                break;
+            }
+            n = n.saturating_mul(2);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup runs outside
+    /// the timed section.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+            if self.elapsed >= TARGET || self.iters_done >= (1 << 20) {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters_done == 0 {
+            println!("{label:<50} ... no iterations");
+            return;
+        }
+        let per = self.elapsed.as_nanos() / self.iters_done as u128;
+        println!("{label:<50} ... {per} ns/iter ({} iters)", self.iters_done);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's timer is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        if self.criterion.matches(&label) {
+            let mut b = Bencher::new();
+            f(&mut b);
+            b.report(&label);
+        }
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        if self.criterion.matches(&label) {
+            let mut b = Bencher::new();
+            f(&mut b, input);
+            b.report(&label);
+        }
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a driver honoring a substring filter from the command
+    /// line (`cargo bench -- <filter>`).
+    pub fn from_args() -> Self {
+        // cargo passes flags like `--bench`; anything not flag-shaped is
+        // a name filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches(name) {
+            let mut b = Bencher::new();
+            f(&mut b);
+            b.report(name);
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher::new();
+        b.iter(|| 1 + 1);
+        assert!(b.iters_done > 0);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn filter_matches_substrings() {
+        let c = Criterion {
+            filter: Some("engine".into()),
+        };
+        assert!(c.matches("engine_ops/share/10"));
+        assert!(!c.matches("attest/quote"));
+        let all = Criterion { filter: None };
+        assert!(all.matches("anything"));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("share", 10).id, "share/10");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}
