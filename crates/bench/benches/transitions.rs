@@ -24,6 +24,11 @@ fn bench_transitions(c: &mut Criterion) {
             .expect("enter");
             m.call(0, MonitorCall::Return).expect("return");
         });
+        // Counter symmetry: every round trip is exactly two mediated
+        // one-way transitions, and the fast counter never moves.
+        assert_eq!(m.stats.transitions_mediated % 2, 0);
+        assert!(m.stats.transitions_mediated > 0);
+        assert_eq!(m.stats.transitions_fast, 0);
     });
 
     group.bench_function("vmfunc_roundtrip", |b| {
@@ -33,6 +38,11 @@ fn bench_transitions(c: &mut Criterion) {
             m.enter_fast(0, black_box(gate)).expect("enter");
             m.ret_fast(0).expect("ret");
         });
+        // Counter symmetry: every round trip is exactly two fast one-way
+        // transitions, and the mediated counter never moves.
+        assert_eq!(m.stats.transitions_fast % 2, 0);
+        assert!(m.stats.transitions_fast > 0);
+        assert_eq!(m.stats.transitions_mediated, 0);
     });
 
     group.bench_function("mediated_with_flush_policy", |b| {
@@ -55,6 +65,8 @@ fn bench_transitions(c: &mut Criterion) {
             m.dom_write(0, 0x10_0000, &[1]).expect("dirty a line");
             m.call(0, MonitorCall::Return).expect("return");
         });
+        assert_eq!(m.stats.transitions_mediated % 2, 0);
+        assert_eq!(m.stats.transitions_fast, 0);
     });
 
     // Baseline: what a monitor call costs without a transition at all.

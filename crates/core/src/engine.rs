@@ -30,7 +30,7 @@ use crate::ids::{CapId, DomainId, IdAllocator};
 use crate::refcount::{mem_refcount, RefCount};
 use crate::resource::{MemRegion, Resource, Rights};
 use crate::RevocationPolicy;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A resource entry as enumerated for attestation (§3.4): resource,
 /// rights, sharing kind, and the current reference count.
@@ -63,6 +63,27 @@ pub struct CapEngine {
     created_at: BTreeMap<CapId, u64>,
     /// Domain id → seal stamp.
     sealed_at: BTreeMap<DomainId, u64>,
+    /// Owner → capability ids (active and suspended). Every mutation path
+    /// keeps this in lock-step with `caps`; in debug builds the indexed
+    /// queries cross-check against a full scan.
+    by_owner: BTreeMap<DomainId, BTreeSet<CapId>>,
+    /// Active memory capabilities, keyed by `(region.start, cap)` →
+    /// `(region.end, owner)`. Refcount queries range-scan this instead of
+    /// walking every capability.
+    mem_index: BTreeMap<(u64, CapId), (u64, DomainId)>,
+    /// Non-memory resource → capability ids (active and suspended), keyed
+    /// by `(type_tag, value)`. Backs `owns_core`/`owns_device`, the unit
+    /// refcounts in `enumerate`, and the dangling-transition sweep in
+    /// `kill`.
+    res_index: BTreeMap<(u8, u64), BTreeSet<CapId>>,
+    /// Set once a corruption hook hands out mutable internals: the
+    /// indexes may be stale, so every query falls back to the scan path
+    /// (corruption hooks exist only for mutation tests).
+    indexes_poisoned: bool,
+    /// Bumped whenever a previously-validated transition could have
+    /// become invalid (revoke, kill, seal, grant). The monitor's
+    /// fast-path cache keys its validity on this counter.
+    generation: u64,
 }
 
 impl CapEngine {
@@ -107,7 +128,38 @@ impl CapEngine {
 
     /// All capabilities owned by `domain`.
     pub fn caps_of(&self, domain: DomainId) -> Vec<&Capability> {
+        if self.indexes_poisoned {
+            return self.caps_of_scan(domain);
+        }
+        let out: Vec<&Capability> = self
+            .by_owner
+            .get(&domain)
+            .into_iter()
+            .flat_map(|ids| ids.iter())
+            .filter_map(|id| self.caps.get(id))
+            .collect();
+        #[cfg(debug_assertions)]
+        {
+            let scan: Vec<CapId> = self.caps_of_scan(domain).iter().map(|c| c.id).collect();
+            let indexed: Vec<CapId> = out.iter().map(|c| c.id).collect();
+            debug_assert_eq!(indexed, scan, "owner index diverged from scan for {domain}");
+        }
+        out
+    }
+
+    /// Scan-based reference implementation of [`caps_of`](Self::caps_of):
+    /// walks every capability. Kept as the differential-check oracle and
+    /// the benchmark "before" path.
+    #[doc(hidden)]
+    pub fn caps_of_scan(&self, domain: DomainId) -> Vec<&Capability> {
         self.caps.values().filter(|c| c.owner == domain).collect()
+    }
+
+    /// Engine generation: bumped whenever a previously-validated
+    /// transition could have become invalid (revoke, kill, seal, grant).
+    /// Callers caching validation results compare this before reuse.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Creation stamp of a capability (for the auditor).
@@ -128,15 +180,22 @@ impl CapEngine {
     // directly. Hidden from docs; never call these outside tests.
     // ------------------------------------------------------------------
 
-    /// Test-only mutable access to a capability record.
+    /// Test-only mutable access to a capability record. Poisons the
+    /// secondary indexes: the caller can rewrite owner/resource/active
+    /// behind their back, so queries fall back to full scans.
     #[doc(hidden)]
     pub fn corrupt_cap(&mut self, cap: CapId) -> Option<&mut Capability> {
+        self.indexes_poisoned = true;
+        self.generation += 1;
         self.caps.get_mut(&cap)
     }
 
-    /// Test-only mutable access to a domain record.
+    /// Test-only mutable access to a domain record. Poisons the indexes
+    /// and invalidates cached transition validations.
     #[doc(hidden)]
     pub fn corrupt_domain(&mut self, domain: DomainId) -> Option<&mut Domain> {
+        self.indexes_poisoned = true;
+        self.generation += 1;
         self.domains.get_mut(&domain)
     }
 
@@ -226,6 +285,7 @@ impl CapEngine {
             active: true,
         };
         self.emit_gain(&cap);
+        self.index_insert(&cap);
         self.caps.insert(id, cap);
         let t = self.tick();
         self.created_at.insert(id, t);
@@ -344,6 +404,9 @@ impl CapEngine {
         dom.seal_policy = policy;
         dom.measurement = Some(measurement);
         self.sealed_at.insert(domain, t);
+        // Sealing changes what a transition validation observes (the
+        // target becomes enterable, its config freezes): new generation.
+        self.generation += 1;
         Ok(measurement)
     }
 
@@ -366,12 +429,19 @@ impl CapEngine {
         }
         // Revoke every capability owned by the dying domain. Collect ids
         // first; each revocation may cascade into caps owned by others.
-        let owned: Vec<CapId> = self
-            .caps
-            .values()
-            .filter(|c| c.owner == domain)
-            .map(|c| c.id)
-            .collect();
+        let owned: Vec<CapId> = if self.indexes_poisoned {
+            self.caps
+                .values()
+                .filter(|c| c.owner == domain)
+                .map(|c| c.id)
+                .collect()
+        } else {
+            self.by_owner
+                .get(&domain)
+                .into_iter()
+                .flat_map(|ids| ids.iter().copied())
+                .collect()
+        };
         for cap in owned {
             if self.caps.contains_key(&cap) {
                 self.revoke_subtree(cap);
@@ -379,12 +449,19 @@ impl CapEngine {
         }
         // Also revoke transition capabilities *into* the dead domain held
         // by others — they dangle otherwise.
-        let dangling: Vec<CapId> = self
-            .caps
-            .values()
-            .filter(|c| matches!(c.resource, Resource::Transition(t) if t == domain))
-            .map(|c| c.id)
-            .collect();
+        let dangling: Vec<CapId> = if self.indexes_poisoned {
+            self.caps
+                .values()
+                .filter(|c| matches!(c.resource, Resource::Transition(t) if t == domain))
+                .map(|c| c.id)
+                .collect()
+        } else {
+            self.res_index
+                .get(&(3, domain.0))
+                .into_iter()
+                .flat_map(|ids| ids.iter().copied())
+                .collect()
+        };
         for cap in dangling {
             if self.caps.contains_key(&cap) {
                 self.revoke_subtree(cap);
@@ -392,6 +469,7 @@ impl CapEngine {
         }
         let dom = self.domains.get_mut(&domain).expect("checked above");
         dom.state = DomainState::Dead;
+        self.generation += 1;
         self.effects.push(Effect::DomainKilled { domain });
         self.tick();
         Ok(())
@@ -483,7 +561,7 @@ impl CapEngine {
         // The parent is consumed: its coverage is now represented by the
         // carved pieces. No hardware effect — the owner's access is
         // unchanged.
-        self.caps.get_mut(&cap).expect("exists").active = false;
+        self.set_cap_active(cap, false);
         self.tick();
         Ok((lo, hi))
     }
@@ -501,10 +579,18 @@ impl CapEngine {
         // owners revoking their own carved pieces.
         let mut authorized = c.granter == actor;
         if !authorized {
-            // Walk up the lineage: any ancestor owner may revoke.
+            // Walk up the lineage: any ancestor owner may revoke. The walk
+            // is checked and hop-bounded — a dangling parent id or a
+            // parent cycle means the lineage tree is corrupt, and the TCB
+            // must refuse rather than panic or loop.
+            let mut hops = 0usize;
             let mut cur = c.parent;
             while let Some(p) = cur {
-                let pc = self.caps.get(&p).expect("lineage parents exist");
+                hops += 1;
+                if hops > self.caps.len() {
+                    return Err(CapError::NoSuchCap(p));
+                }
+                let pc = self.caps.get(&p).ok_or(CapError::NoSuchCap(p))?;
                 if pc.owner == actor {
                     authorized = true;
                     break;
@@ -557,6 +643,7 @@ impl CapEngine {
             policy,
             active: true,
         };
+        self.index_insert(&capability);
         self.caps.insert(id, capability);
         let t = self.tick();
         self.created_at.insert(id, t);
@@ -613,6 +700,27 @@ impl CapEngine {
 
     /// True when `domain` holds an active capability for CPU `core`.
     pub fn owns_core(&self, domain: DomainId, core: usize) -> bool {
+        if self.indexes_poisoned {
+            return self.owns_core_scan(domain, core);
+        }
+        let out = self
+            .res_index
+            .get(&(1, core as u64))
+            .into_iter()
+            .flat_map(|ids| ids.iter())
+            .filter_map(|id| self.caps.get(id))
+            .any(|c| c.owner == domain && c.active && c.rights.can_use());
+        debug_assert_eq!(
+            out,
+            self.owns_core_scan(domain, core),
+            "core index diverged from scan"
+        );
+        out
+    }
+
+    /// Scan-based reference implementation of [`owns_core`](Self::owns_core).
+    #[doc(hidden)]
+    pub fn owns_core_scan(&self, domain: DomainId, core: usize) -> bool {
         self.caps.values().any(|c| {
             c.owner == domain
                 && c.active
@@ -623,6 +731,28 @@ impl CapEngine {
 
     /// True when `domain` holds an active capability for `device`.
     pub fn owns_device(&self, domain: DomainId, device: u16) -> bool {
+        if self.indexes_poisoned {
+            return self.owns_device_scan(domain, device);
+        }
+        let out = self
+            .res_index
+            .get(&(2, u64::from(device)))
+            .into_iter()
+            .flat_map(|ids| ids.iter())
+            .filter_map(|id| self.caps.get(id))
+            .any(|c| c.owner == domain && c.active && c.rights.can_use());
+        debug_assert_eq!(
+            out,
+            self.owns_device_scan(domain, device),
+            "device index diverged from scan"
+        );
+        out
+    }
+
+    /// Scan-based reference implementation of
+    /// [`owns_device`](Self::owns_device).
+    #[doc(hidden)]
+    pub fn owns_device_scan(&self, domain: DomainId, device: u16) -> bool {
         self.caps.values().any(|c| {
             c.owner == domain
                 && c.active
@@ -637,6 +767,30 @@ impl CapEngine {
 
     /// All active `(domain, region)` memory coverage pairs.
     pub fn active_mem_coverage(&self) -> Vec<(DomainId, MemRegion)> {
+        if self.indexes_poisoned {
+            return self.active_mem_coverage_scan();
+        }
+        let out: Vec<(DomainId, MemRegion)> = self
+            .mem_index
+            .iter()
+            .map(|(&(start, _), &(end, owner))| (owner, MemRegion::new(start, end)))
+            .collect();
+        #[cfg(debug_assertions)]
+        {
+            let key = |e: &(DomainId, MemRegion)| (e.0, e.1.start, e.1.end);
+            let mut a = out.clone();
+            let mut b = self.active_mem_coverage_scan();
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            debug_assert_eq!(a, b, "memory index diverged from scan");
+        }
+        out
+    }
+
+    /// Scan-based reference implementation of
+    /// [`active_mem_coverage`](Self::active_mem_coverage).
+    #[doc(hidden)]
+    pub fn active_mem_coverage_scan(&self) -> Vec<(DomainId, MemRegion)> {
         self.caps
             .values()
             .filter(|c| c.active)
@@ -644,9 +798,36 @@ impl CapEngine {
             .collect()
     }
 
-    /// Full reference-count query over a memory range (Figure 4).
+    /// Full reference-count query over a memory range (Figure 4). Visits
+    /// only capabilities whose interval can overlap `region` (via the
+    /// `(start, cap)`-keyed index), not every capability in the system.
     pub fn refcount_mem_full(&self, region: MemRegion) -> RefCount {
-        mem_refcount(&self.active_mem_coverage(), region)
+        if self.indexes_poisoned {
+            return self.refcount_mem_full_scan(region);
+        }
+        // Keys with start >= region.end cannot overlap; of the rest, keep
+        // intervals with end > region.start. `mem_refcount` ignores
+        // non-overlapping entries, so pruning is sound.
+        let coverage: Vec<(DomainId, MemRegion)> = self
+            .mem_index
+            .range(..(region.end, CapId(0)))
+            .filter(|&(_, &(end, _))| end > region.start)
+            .map(|(&(start, _), &(end, owner))| (owner, MemRegion::new(start, end)))
+            .collect();
+        let out = mem_refcount(&coverage, region);
+        debug_assert_eq!(
+            out,
+            self.refcount_mem_full_scan(region),
+            "interval index diverged from scan"
+        );
+        out
+    }
+
+    /// Scan-based reference implementation of
+    /// [`refcount_mem_full`](Self::refcount_mem_full).
+    #[doc(hidden)]
+    pub fn refcount_mem_full_scan(&self, region: MemRegion) -> RefCount {
+        mem_refcount(&self.active_mem_coverage_scan(), region)
     }
 
     /// Maximum per-byte reference count over a memory range.
@@ -657,6 +838,30 @@ impl CapEngine {
     /// Enumerates `domain`'s active resources with rights and reference
     /// counts — the attestation view (§3.4).
     pub fn enumerate(&self, domain: DomainId) -> Result<Vec<EnumeratedResource>, CapError> {
+        if self.indexes_poisoned {
+            return self.enumerate_impl(domain, false);
+        }
+        let out = self.enumerate_impl(domain, true)?;
+        #[cfg(debug_assertions)]
+        {
+            let scan = self.enumerate_impl(domain, false)?;
+            debug_assert_eq!(out, scan, "enumeration index diverged from scan");
+        }
+        Ok(out)
+    }
+
+    /// Scan-based reference implementation of
+    /// [`enumerate`](Self::enumerate).
+    #[doc(hidden)]
+    pub fn enumerate_scan(&self, domain: DomainId) -> Result<Vec<EnumeratedResource>, CapError> {
+        self.enumerate_impl(domain, false)
+    }
+
+    fn enumerate_impl(
+        &self,
+        domain: DomainId,
+        use_index: bool,
+    ) -> Result<Vec<EnumeratedResource>, CapError> {
         let dom = self
             .domains
             .get(&domain)
@@ -664,49 +869,33 @@ impl CapEngine {
         if !dom.is_alive() {
             return Err(CapError::NoSuchDomain(domain));
         }
-        let coverage = self.active_mem_coverage();
-        let mut out: Vec<EnumeratedResource> = self
-            .caps
-            .values()
-            .filter(|c| c.owner == domain && c.active)
+        let coverage = if use_index {
+            self.active_mem_coverage()
+        } else {
+            self.active_mem_coverage_scan()
+        };
+        let own: Vec<&Capability> = if use_index {
+            self.by_owner
+                .get(&domain)
+                .into_iter()
+                .flat_map(|ids| ids.iter())
+                .filter_map(|id| self.caps.get(id))
+                .filter(|c| c.active)
+                .collect()
+        } else {
+            self.caps
+                .values()
+                .filter(|c| c.owner == domain && c.active)
+                .collect()
+        };
+        let mut out: Vec<EnumeratedResource> = own
+            .into_iter()
             .map(|c| {
                 let refcount = match c.resource {
                     Resource::Memory(r) => mem_refcount(&coverage, r),
-                    Resource::CpuCore(n) => {
-                        let owners: Vec<DomainId> = self
-                            .caps
-                            .values()
-                            .filter(|k| {
-                                k.active && matches!(k.resource, Resource::CpuCore(m) if m == n)
-                            })
-                            .map(|k| k.owner)
-                            .collect();
-                        let n = crate::refcount::unit_refcount(owners);
-                        RefCount { max: n, min: n }
-                    }
-                    Resource::Device(d) => {
-                        let owners: Vec<DomainId> = self
-                            .caps
-                            .values()
-                            .filter(|k| {
-                                k.active && matches!(k.resource, Resource::Device(e) if e == d)
-                            })
-                            .map(|k| k.owner)
-                            .collect();
-                        let n = crate::refcount::unit_refcount(owners);
-                        RefCount { max: n, min: n }
-                    }
                     Resource::Transition(_) => RefCount { max: 1, min: 1 },
-                    Resource::Interrupt(v) => {
-                        let owners: Vec<DomainId> = self
-                            .caps
-                            .values()
-                            .filter(|k| {
-                                k.active && matches!(k.resource, Resource::Interrupt(w) if w == v)
-                            })
-                            .map(|k| k.owner)
-                            .collect();
-                        let n = crate::refcount::unit_refcount(owners);
+                    _ => {
+                        let n = self.unit_owner_count(c.resource, use_index);
                         RefCount { max: n, min: n }
                     }
                 };
@@ -723,9 +912,96 @@ impl CapEngine {
         Ok(out)
     }
 
+    /// Reference count of a unit (core/device/interrupt) resource:
+    /// distinct owners holding an active capability over it.
+    fn unit_owner_count(&self, resource: Resource, use_index: bool) -> usize {
+        let owners: Vec<DomainId> = if use_index {
+            Self::res_key(&resource)
+                .and_then(|key| self.res_index.get(&key))
+                .into_iter()
+                .flat_map(|ids| ids.iter())
+                .filter_map(|id| self.caps.get(id))
+                .filter(|k| k.active)
+                .map(|k| k.owner)
+                .collect()
+        } else {
+            self.caps
+                .values()
+                .filter(|k| k.active && k.resource == resource)
+                .map(|k| k.owner)
+                .collect()
+        };
+        crate::refcount::unit_refcount(owners)
+    }
+
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// Index key for non-memory resources: `(type_tag, value)`.
+    fn res_key(resource: &Resource) -> Option<(u8, u64)> {
+        match resource {
+            Resource::Memory(_) => None,
+            Resource::CpuCore(n) => Some((1, *n as u64)),
+            Resource::Device(d) => Some((2, u64::from(*d))),
+            Resource::Transition(t) => Some((3, t.0)),
+            Resource::Interrupt(v) => Some((4, u64::from(*v))),
+        }
+    }
+
+    /// Registers a capability in the secondary indexes. Must be called
+    /// for every capability inserted into `caps`.
+    fn index_insert(&mut self, cap: &Capability) {
+        self.by_owner.entry(cap.owner).or_default().insert(cap.id);
+        if let Some(key) = Self::res_key(&cap.resource) {
+            self.res_index.entry(key).or_default().insert(cap.id);
+        }
+        if cap.active {
+            if let Some(r) = cap.resource.as_mem() {
+                self.mem_index.insert((r.start, cap.id), (r.end, cap.owner));
+            }
+        }
+    }
+
+    /// Removes a capability from the secondary indexes. Must be called
+    /// for every capability removed from `caps`.
+    fn index_remove(&mut self, cap: &Capability) {
+        if let Some(ids) = self.by_owner.get_mut(&cap.owner) {
+            ids.remove(&cap.id);
+            if ids.is_empty() {
+                self.by_owner.remove(&cap.owner);
+            }
+        }
+        if let Some(key) = Self::res_key(&cap.resource) {
+            if let Some(ids) = self.res_index.get_mut(&key) {
+                ids.remove(&cap.id);
+                if ids.is_empty() {
+                    self.res_index.remove(&key);
+                }
+            }
+        }
+        if let Some(r) = cap.resource.as_mem() {
+            self.mem_index.remove(&(r.start, cap.id));
+        }
+    }
+
+    /// Flips a capability's `active` flag, keeping the active-memory
+    /// index in lock-step. The only two places `active` changes are
+    /// suspension (grant/split) and reactivation (revocation of the
+    /// suspending children) — both funnel through here.
+    fn set_cap_active(&mut self, id: CapId, active: bool) {
+        if let Some(c) = self.caps.get_mut(&id) {
+            c.active = active;
+            let (resource, owner) = (c.resource, c.owner);
+            if let Some(r) = resource.as_mem() {
+                if active {
+                    self.mem_index.insert((r.start, id), (r.end, owner));
+                } else {
+                    self.mem_index.remove(&(r.start, id));
+                }
+            }
+        }
+    }
 
     /// Manager check: `actor` manages `domain` (directly) or is the
     /// domain itself while unsealed.
@@ -805,8 +1081,11 @@ impl CapEngine {
             }
             CapKind::Granted => {
                 // Suspend the granter's capability and its hardware access.
-                let parent = self.caps.get_mut(&cap).expect("exists");
-                parent.active = false;
+                // The grant may take a core or transition target out from
+                // under a cached fast-path validation: new generation.
+                self.set_cap_active(cap, false);
+                self.generation += 1;
+                let parent = self.caps.get(&cap).expect("exists");
                 let (owner, res) = (parent.owner, parent.resource);
                 self.emit_loss(owner, res);
                 if matches!(res, Resource::Memory(_)) {
@@ -833,21 +1112,20 @@ impl CapEngine {
         policy: RevocationPolicy,
     ) -> CapId {
         let id = CapId(self.ids.next());
-        self.caps.insert(
+        let cap = Capability {
             id,
-            Capability {
-                id,
-                owner,
-                granter,
-                resource,
-                rights,
-                kind,
-                parent: Some(parent),
-                children: Vec::new(),
-                policy,
-                active: true,
-            },
-        );
+            owner,
+            granter,
+            resource,
+            rights,
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+            policy,
+            active: true,
+        };
+        self.index_insert(&cap);
+        self.caps.insert(id, cap);
         self.caps
             .get_mut(&parent)
             .expect("parent exists")
@@ -920,6 +1198,8 @@ impl CapEngine {
     /// visited exactly once, so this terminates regardless of domain-level
     /// sharing cycles.
     fn revoke_subtree(&mut self, cap: CapId) {
+        // Any cached transition validation may now be stale.
+        self.generation += 1;
         // Collect the subtree in DFS order.
         let mut order = Vec::new();
         let mut stack = vec![cap];
@@ -941,6 +1221,7 @@ impl CapEngine {
         let Some(c) = self.caps.remove(&id) else {
             return;
         };
+        self.index_remove(&c);
         self.created_at.remove(&id);
         let owner_alive = self
             .domains
@@ -968,52 +1249,28 @@ impl CapEngine {
         // Detach parent linkage and reactivate a granter suspended by a
         // grant, or a split parent whose pieces are all gone.
         if let Some(pid) = c.parent {
-            if let Some(parent) = self.caps.get_mut(&pid) {
+            let reactivate = if let Some(parent) = self.caps.get_mut(&pid) {
                 parent.children.retain(|&k| k != id);
-                let should_reactivate = match c.kind {
+                let should = match c.kind {
                     CapKind::Granted => true,
                     CapKind::Carved => parent.children.is_empty(),
                     _ => false,
                 };
-                if should_reactivate && !parent.active {
-                    parent.active = true;
-                    let owner = parent.owner;
-                    let resource = parent.resource;
-                    let rights = parent.rights;
+                should && !parent.active
+            } else {
+                false
+            };
+            if reactivate {
+                self.set_cap_active(pid, true);
+                if let Some(parent) = self.caps.get(&pid) {
                     let palive = self
                         .domains
-                        .get(&owner)
+                        .get(&parent.owner)
                         .map(|d| d.is_alive())
                         .unwrap_or(false);
                     if palive {
-                        match resource {
-                            Resource::Memory(region) => {
-                                self.effects.push(Effect::MapMem {
-                                    domain: owner,
-                                    region,
-                                    rights,
-                                });
-                            }
-                            Resource::CpuCore(core) => {
-                                self.effects.push(Effect::AddCore {
-                                    domain: owner,
-                                    core,
-                                });
-                            }
-                            Resource::Device(device) => {
-                                self.effects.push(Effect::AttachDevice {
-                                    device,
-                                    domain: owner,
-                                });
-                            }
-                            Resource::Transition(_) => {}
-                            Resource::Interrupt(vector) => {
-                                self.effects.push(Effect::RouteIrq {
-                                    vector,
-                                    domain: owner,
-                                });
-                            }
-                        }
+                        let parent = parent.clone();
+                        self.emit_gain(&parent);
                     }
                 }
             }
@@ -1029,9 +1286,9 @@ impl CapEngine {
         bytes.extend_from_slice(&dom.entry.unwrap_or(0).to_le_bytes());
         bytes.push(policy.encode());
         let mut entries: Vec<(u8, u64, u64, u8, u8)> = self
-            .caps
-            .values()
-            .filter(|c| c.owner == domain && c.active)
+            .caps_of(domain)
+            .into_iter()
+            .filter(|c| c.active)
             .map(|c| {
                 let (a, b) = match c.resource {
                     Resource::Memory(r) => (r.start, r.end),

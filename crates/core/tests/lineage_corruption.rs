@@ -1,0 +1,98 @@
+//! Regression tests for the checked revoke-authorization walk and the
+//! poisoned-index fallback.
+//!
+//! The revoke lineage walk used to `.expect("lineage parents exist")`:
+//! a dangling parent id — reachable only through memory corruption or an
+//! engine bug, i.e. exactly the states `audit()` exists to catch — would
+//! panic the TCB instead of returning a typed refusal. These tests pin
+//! the new contract: corruption yields `CapError`, never a panic, and
+//! every indexed query falls back to the linear-scan twin once a
+//! corruption hook has fired.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use tyche_core::prelude::*;
+
+const RAM: MemRegion = MemRegion {
+    start: 0x0,
+    end: 0x10_000,
+};
+const PAGE: MemRegion = MemRegion {
+    start: 0x1000,
+    end: 0x2000,
+};
+
+/// Boots root with a RAM endowment and a two-hop share chain:
+/// `root --(ca: PAGE)--> a --(cb: PAGE)--> b`.
+fn engine_with_chain() -> (CapEngine, DomainId, DomainId, DomainId, CapId, CapId) {
+    let mut e = CapEngine::new();
+    let root = e.create_root_domain();
+    let ram = e
+        .endow(root, Resource::Memory(RAM), Rights::RWX)
+        .expect("endow RAM");
+    let (a, _) = e.create_domain(root).expect("create a");
+    let (b, _) = e.create_domain(root).expect("create b");
+    let ca = e
+        .share(root, ram, a, Some(PAGE), Rights::RW, RevocationPolicy::NONE)
+        .expect("share root->a");
+    let cb = e
+        .share(a, ca, b, Some(PAGE), Rights::RW, RevocationPolicy::NONE)
+        .expect("share a->b");
+    (e, root, a, b, ca, cb)
+}
+
+#[test]
+fn revoke_with_dangling_parent_errors_instead_of_panicking() {
+    let (mut e, root, _a, _b, _ca, cb) = engine_with_chain();
+    let bogus = CapId(0xDEAD);
+    e.corrupt_cap(cb).unwrap().parent = Some(bogus);
+    // Root is not the granter of cb, so authorization needs the lineage
+    // walk — which must now report the dangling link, not unwrap it.
+    assert_eq!(e.revoke(root, cb), Err(CapError::NoSuchCap(bogus)));
+}
+
+#[test]
+fn revoke_with_parent_cycle_terminates_with_error() {
+    let (mut e, root, _a, _b, _ca, cb) = engine_with_chain();
+    // Self-cycle: the walk would previously spin forever looking for an
+    // authorizing ancestor. The hop bound turns it into a refusal. Root
+    // neither granted nor owns any link of the cycle, so the walk must
+    // run until the bound trips.
+    e.corrupt_cap(cb).unwrap().parent = Some(cb);
+    assert!(matches!(e.revoke(root, cb), Err(CapError::NoSuchCap(_))));
+}
+
+#[test]
+fn revoke_by_granter_survives_corrupt_lineage() {
+    let (mut e, _root, a, _b, _ca, cb) = engine_with_chain();
+    e.corrupt_cap(cb).unwrap().parent = Some(CapId(0xDEAD));
+    // The granter check short-circuits before the lineage walk, so the
+    // direct granter can still clean up a corrupted capability.
+    assert_eq!(e.revoke(a, cb), Ok(()));
+    assert!(matches!(e.revoke(a, cb), Err(CapError::NoSuchCap(_))));
+}
+
+#[test]
+fn poisoned_indexes_fall_back_to_scan() {
+    let (mut e, root, a, b, _ca, _cb) = engine_with_chain();
+    // Redirect ownership behind the indexes' back: the by_owner/res/mem
+    // indexes still reflect the old owner, the scan sees the new one.
+    let moved = e
+        .caps_of(b)
+        .iter()
+        .find(|c| c.is_memory())
+        .map(|c| c.id)
+        .unwrap();
+    e.corrupt_cap(moved).unwrap().owner = a;
+    // Every indexed query must now answer from the scan twin.
+    let ids = |v: Vec<&Capability>| {
+        let mut ids: Vec<CapId> = v.into_iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids
+    };
+    assert_eq!(ids(e.caps_of(a)), ids(e.caps_of_scan(a)));
+    assert_eq!(ids(e.caps_of(b)), ids(e.caps_of_scan(b)));
+    assert!(e.caps_of(a).iter().any(|c| c.id == moved));
+    assert_eq!(e.refcount_mem_full(PAGE), e.refcount_mem_full_scan(PAGE));
+    assert_eq!(e.enumerate(a), e.enumerate_scan(a));
+    assert_eq!(e.enumerate(root), e.enumerate_scan(root));
+}

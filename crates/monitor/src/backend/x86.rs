@@ -284,7 +284,12 @@ impl X86Backend {
             )));
         };
         let hw = |e: tyche_hw::x86::ept::EptError| BackendError::Hardware(e.to_string());
-        // Unmap pages no longer covered; re-protect changed pages.
+        // Unmap pages no longer covered; re-protect changed pages. Track
+        // whether any existing translation changed: only those need the
+        // TLB shootdown at the end (the TLB model caches positive,
+        // permission-carrying entries, so newly mapped pages miss and
+        // walk — no stale entry can exist for them).
+        let mut translation_changed = false;
         let programmed = space.programmed.clone();
         for (page, old) in &programmed {
             match desired.get(page) {
@@ -294,6 +299,7 @@ impl X86Backend {
                         .unmap(&mut machine.mem, GuestPhysAddr::new(*page))
                         .map_err(hw)?;
                     space.programmed.remove(page);
+                    translation_changed = true;
                 }
                 Some(new) if new != old => {
                     space
@@ -301,6 +307,7 @@ impl X86Backend {
                         .protect(&mut machine.mem, GuestPhysAddr::new(*page), ept_flags(*new))
                         .map_err(hw)?;
                     space.programmed.insert(*page, *new);
+                    translation_changed = true;
                 }
                 Some(_) => {}
             }
@@ -334,8 +341,12 @@ impl X86Backend {
             }
         }
         // Any downgrade requires a TLB shootdown for this domain, exactly
-        // like INVEPT after reducing permissions.
-        machine.tlb.flush_domain(space.ept.root().as_u64());
+        // like INVEPT after reducing permissions — charged once per
+        // resync, not per effect. Map-only resyncs skip it.
+        if translation_changed {
+            machine.tlb.flush_domain(space.ept.root().as_u64());
+            machine.cycles.charge(machine.cost.tlb_flush);
+        }
         Ok(())
     }
 }

@@ -14,6 +14,7 @@ use crate::attest::SignedReport;
 use crate::backend::riscv::RiscvBackend;
 use crate::backend::x86::X86Backend;
 use crate::backend::BackendError;
+use std::collections::HashMap;
 use tyche_core::attest::DomainReport;
 use tyche_core::prelude::*;
 use tyche_crypto::sign::SigningKey;
@@ -86,6 +87,10 @@ struct Frame {
     policy: RevocationPolicy,
     /// Whether this frame was entered through the fast (VMFUNC) path.
     fast: bool,
+    /// The caller's VMFUNC slot, captured at fast-enter time so the fast
+    /// return needs no lookup. Sound to cache: a stacked caller cannot be
+    /// killed, so its slot cannot be recycled while the frame is live.
+    caller_slot: Option<usize>,
 }
 
 /// Runtime statistics (used by the benches).
@@ -118,6 +123,12 @@ pub struct Monitor {
     stacks: Vec<Vec<Frame>>,
     sign_key: SigningKey,
     monitor_measurement: Digest,
+    /// Validated fast-path entries: `(core, caller, cap)` → `(target,
+    /// entry, vmfunc slot)`. Valid only while `fast_cache_gen` matches
+    /// the engine's generation counter — revoke/kill/seal/grant bump it,
+    /// which drops every cached validation at the next fast enter.
+    fast_cache: HashMap<(usize, DomainId, CapId), (DomainId, u64, usize)>,
+    fast_cache_gen: u64,
     /// Runtime counters.
     pub stats: Stats,
 }
@@ -158,6 +169,8 @@ impl Monitor {
             stacks: vec![Vec::new(); cores],
             sign_key,
             monitor_measurement,
+            fast_cache: HashMap::new(),
+            fast_cache_gen: 0,
             stats: Stats::default(),
         }
     }
@@ -388,6 +401,7 @@ impl Monitor {
             caller: actor,
             policy,
             fast: false,
+            caller_slot: None,
         });
         self.current[core] = target;
         self.stats.transitions_mediated += 1;
@@ -400,38 +414,82 @@ impl Monitor {
     /// No vm exit happens: the hardware switches EPTPs from the
     /// pre-approved list. The monitor pre-approved the pair when it
     /// created the transition capability; at runtime only the hardware
-    /// check runs. Transition capabilities with flush policies cannot use
-    /// the fast path (flushes need the monitor), and the RISC-V backend
-    /// has no equivalent.
+    /// check runs, plus a cache lookup keyed on the engine generation.
+    /// Transition capabilities with flush policies cannot stay on the
+    /// fast path (flushes need the monitor) — they fall back to the
+    /// mediated path, paying the full trap cost. The RISC-V backend has
+    /// no equivalent.
     pub fn enter_fast(&mut self, core: usize, cap: CapId) -> Result<DomainId, Status> {
+        self.enter_fast_inner(core, cap, true)
+    }
+
+    /// Cache-ablated variant of [`enter_fast`](Self::enter_fast):
+    /// revalidates through the engine on every call. Benchmark "before"
+    /// path.
+    #[doc(hidden)]
+    pub fn enter_fast_uncached(&mut self, core: usize, cap: CapId) -> Result<DomainId, Status> {
+        self.enter_fast_inner(core, cap, false)
+    }
+
+    fn enter_fast_inner(
+        &mut self,
+        core: usize,
+        cap: CapId,
+        use_cache: bool,
+    ) -> Result<DomainId, Status> {
         if self.arch != Arch::X86 {
             return Err(Status::BackendFailure);
         }
         let actor = self.current[core];
-        let (target, entry, policy) = self
-            .engine
-            .can_enter(actor, cap, core)
-            .map_err(cap_status)?;
-        if policy != RevocationPolicy::NONE {
-            return Err(Status::Denied);
+        if use_cache && self.fast_cache_gen != self.engine.generation() {
+            self.fast_cache.clear();
+            self.fast_cache_gen = self.engine.generation();
         }
-        let slot = self
-            .x86
-            .as_ref()
-            .and_then(|b| b.vmfunc_slot(target))
-            .ok_or(Status::BackendFailure)? as u64;
-        {
-            let backend = self.x86.as_ref().expect("x86 arch");
-            let _ = backend;
-        }
+        let key = (core, actor, cap);
+        let hit = if use_cache {
+            self.fast_cache.get(&key).copied()
+        } else {
+            None
+        };
+        let (target, entry, slot) = match hit {
+            Some(v) => v,
+            None => {
+                let (target, entry, policy) = self
+                    .engine
+                    .can_enter(actor, cap, core)
+                    .map_err(cap_status)?;
+                if policy != RevocationPolicy::NONE {
+                    // Flush policies need the monitor in the loop: take
+                    // the mediated path instead, paying the trap cost the
+                    // hardware would charge for the vm exit.
+                    self.stats.calls += 1;
+                    self.machine.cycles.charge(self.machine.cost.vmexit_roundtrip);
+                    return match self.enter_mediated(core, cap)? {
+                        CallResult::Entered { target, .. } => Ok(target),
+                        _ => Err(Status::BackendFailure),
+                    };
+                }
+                let slot = self
+                    .x86
+                    .as_ref()
+                    .and_then(|b| b.vmfunc_slot(target))
+                    .ok_or(Status::BackendFailure)?;
+                if use_cache {
+                    self.fast_cache.insert(key, (target, entry, slot));
+                }
+                (target, entry, slot)
+            }
+        };
+        let caller_slot = self.x86.as_ref().and_then(|b| b.vmfunc_slot(actor));
         let (vcpu, machine) = (&mut self.vcpus[core], &mut self.machine);
         let mut plat = machine.platform();
-        vcpu.vmfunc_switch(&mut plat, slot)
+        vcpu.vmfunc_switch(&mut plat, slot as u64)
             .map_err(|_| Status::BackendFailure)?;
         self.stacks[core].push(Frame {
             caller: actor,
-            policy,
+            policy: RevocationPolicy::NONE,
             fast: true,
+            caller_slot,
         });
         self.current[core] = target;
         self.vcpus[core].vmcs.guest.rip = entry;
@@ -443,15 +501,29 @@ impl Monitor {
     /// transition capability's flush policy to scrub the callee's
     /// micro-architectural footprint.
     fn ret(&mut self, core: usize) -> Result<CallResult, Status> {
+        self.ret_inner(core, false)
+    }
+
+    /// Shared return path. `via_fast` records the mechanism the caller
+    /// actually used: a `MonitorCall::Return` is a vm exit and counts as
+    /// mediated even when the frame was entered fast; only a
+    /// [`ret_fast`](Self::ret_fast) on a fast-entered frame rides VMFUNC
+    /// and counts as fast. One transition is counted per one-way switch,
+    /// by the mechanism used — symmetric with the enter paths.
+    fn ret_inner(&mut self, core: usize, via_fast: bool) -> Result<CallResult, Status> {
         let frame = self.stacks[core].pop().ok_or(Status::Denied)?;
         let leaving = self.current[core];
         self.apply_flushes(leaving, frame.policy);
-        if frame.fast && self.arch == Arch::X86 {
-            let slot = self
-                .x86
-                .as_ref()
-                .and_then(|b| b.vmfunc_slot(frame.caller))
-                .ok_or(Status::BackendFailure)? as u64;
+        let fast_return = via_fast && frame.fast && self.arch == Arch::X86;
+        if fast_return {
+            let slot = match frame.caller_slot {
+                Some(s) => s,
+                None => self
+                    .x86
+                    .as_ref()
+                    .and_then(|b| b.vmfunc_slot(frame.caller))
+                    .ok_or(Status::BackendFailure)?,
+            } as u64;
             let (vcpu, machine) = (&mut self.vcpus[core], &mut self.machine);
             let mut plat = machine.platform();
             vcpu.vmfunc_switch(&mut plat, slot)
@@ -463,14 +535,14 @@ impl Monitor {
                 .map_err(|_| Status::BackendFailure)?;
         }
         self.current[core] = frame.caller;
-        self.stats.transitions_mediated += u64::from(!frame.fast);
-        self.stats.transitions_fast += u64::from(frame.fast);
+        self.stats.transitions_mediated += u64::from(!fast_return);
+        self.stats.transitions_fast += u64::from(fast_return);
         Ok(CallResult::Returned { to: frame.caller })
     }
 
     /// Fast return counterpart of [`Monitor::enter_fast`].
     pub fn ret_fast(&mut self, core: usize) -> Result<DomainId, Status> {
-        match self.ret(core) {
+        match self.ret_inner(core, true) {
             Ok(CallResult::Returned { to }) => Ok(to),
             Ok(_) => Err(Status::BackendFailure),
             Err(s) => Err(s),
@@ -639,6 +711,15 @@ impl Monitor {
         self.apply_all().map_err(|_| Status::BackendFailure)
     }
 
+    /// Coalescing-ablated variant of [`sync_effects`](Self::sync_effects):
+    /// applies the drained effects one at a time, exactly as emitted.
+    /// Benchmark "before" path.
+    #[doc(hidden)]
+    pub fn sync_effects_uncoalesced(&mut self) -> Result<(), Status> {
+        let effects = self.engine.drain_effects();
+        self.apply_list(&effects).map_err(|_| Status::BackendFailure)
+    }
+
     /// Audits hardware state against the capability engine: for every
     /// live domain, the translation structures the backend programmed
     /// must grant exactly the access the engine's active capabilities
@@ -774,8 +855,57 @@ impl Monitor {
     }
 
     fn apply_all(&mut self) -> Result<(), BackendError> {
-        let effects = self.engine.drain_effects();
-        for fx in &effects {
+        let effects = Self::coalesce_effects(self.engine.drain_effects());
+        self.apply_list(&effects)
+    }
+
+    /// Coalesces a drained effect batch before backend application.
+    ///
+    /// The backends resync a domain's *entire* translation state from the
+    /// engine on every `MapMem`/`UnmapMem` (the engine is the authority),
+    /// so only the last mem effect per domain needs applying — earlier
+    /// ones would program intermediate states the final resync overwrites.
+    /// A resync ends in a TLB shootdown for the domain, so standalone
+    /// `FlushTlb` effects for a resynced domain are redundant; otherwise
+    /// one flush per (domain, batch) suffices, as flushes are idempotent.
+    /// Everything else is preserved in emission order.
+    fn coalesce_effects(effects: Vec<Effect>) -> Vec<Effect> {
+        let mut last_sync: HashMap<DomainId, usize> = HashMap::new();
+        let mut last_tlb: HashMap<DomainId, usize> = HashMap::new();
+        let mut last_cache: HashMap<DomainId, usize> = HashMap::new();
+        for (i, fx) in effects.iter().enumerate() {
+            match fx {
+                Effect::MapMem { domain, .. } | Effect::UnmapMem { domain, .. } => {
+                    last_sync.insert(*domain, i);
+                }
+                Effect::FlushTlb { domain } => {
+                    last_tlb.insert(*domain, i);
+                }
+                Effect::FlushCache { domain } => {
+                    last_cache.insert(*domain, i);
+                }
+                _ => {}
+            }
+        }
+        effects
+            .into_iter()
+            .enumerate()
+            .filter(|(i, fx)| match fx {
+                Effect::MapMem { domain, .. } | Effect::UnmapMem { domain, .. } => {
+                    last_sync.get(domain) == Some(i)
+                }
+                Effect::FlushTlb { domain } => {
+                    !last_sync.contains_key(domain) && last_tlb.get(domain) == Some(i)
+                }
+                Effect::FlushCache { domain } => last_cache.get(domain) == Some(i),
+                _ => true,
+            })
+            .map(|(_, fx)| fx)
+            .collect()
+    }
+
+    fn apply_list(&mut self, effects: &[Effect]) -> Result<(), BackendError> {
+        for fx in effects {
             match self.arch {
                 Arch::X86 => {
                     self.x86.as_mut().expect("x86 arch").apply(

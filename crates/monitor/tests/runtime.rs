@@ -250,7 +250,7 @@ fn fast_path_is_cheaper_than_mediated() {
 }
 
 #[test]
-fn fast_path_refused_with_flush_policy() {
+fn fast_path_with_flush_policy_falls_back_to_mediated() {
     let mut m = x86();
     let (child, _tcap) = spawn_sealed(&mut m, 0x50_0000);
     let os = m.engine.root().unwrap();
@@ -258,9 +258,88 @@ fn fast_path_refused_with_flush_policy() {
         .engine
         .make_transition(os, child, RevocationPolicy::OBFUSCATE)
         .unwrap();
-    assert_eq!(m.enter_fast(0, flushing), Err(Status::Denied));
-    // Mediated entry with the same cap works and flushes.
-    assert!(m.call(0, MonitorCall::Enter { cap: flushing }).is_ok());
+    // A flush policy needs the monitor in the loop: the fast path falls
+    // back to the mediated path (the doc comment's contract) instead of
+    // refusing outright. The entry succeeds, is counted as mediated, and
+    // pays at least the vm-exit trap cost.
+    let calls = m.stats.calls;
+    let before = m.machine.cycles.now();
+    assert_eq!(m.enter_fast(0, flushing), Ok(child));
+    assert!(m.machine.cycles.since(before) >= m.machine.cost.vmexit_roundtrip);
+    assert_eq!(m.stats.transitions_fast, 0);
+    assert_eq!(m.stats.transitions_mediated, 1);
+    assert_eq!(m.stats.calls, calls + 1, "fallback is a monitor call");
+    // The frame is a normal mediated frame: Return works and re-applies
+    // the flush policy on the way back.
+    assert_eq!(
+        m.call(0, MonitorCall::Return),
+        Ok(CallResult::Returned { to: os })
+    );
+    assert_eq!(m.stats.transitions_mediated, 2);
+}
+
+#[test]
+fn fast_path_cache_invalidated_by_revoke() {
+    let mut m = x86();
+    let (child, tcap) = spawn_sealed(&mut m, 0x70_0000);
+    // Two round trips: the second enter rides the warm validation cache.
+    assert_eq!(m.enter_fast(0, tcap), Ok(child));
+    m.ret_fast(0).unwrap();
+    assert_eq!(m.enter_fast(0, tcap), Ok(child));
+    m.ret_fast(0).unwrap();
+    // Revoke the transition capability (engine generation bumps): the
+    // cached validation must not let the dead capability enter.
+    let os = m.engine.root().unwrap();
+    m.engine.revoke(os, tcap).unwrap();
+    m.sync_effects().unwrap();
+    assert_eq!(m.enter_fast(0, tcap), Err(Status::NotFound));
+}
+
+#[test]
+fn fast_path_cache_invalidated_by_core_revoke() {
+    let mut m = x86();
+    let (child, tcap) = spawn_sealed(&mut m, 0x72_0000);
+    assert_eq!(m.enter_fast(0, tcap), Ok(child));
+    m.ret_fast(0).unwrap();
+    // Revoke the child's core share: it can no longer be scheduled, even
+    // though the transition capability itself is untouched.
+    let os = m.engine.root().unwrap();
+    let core_cap = m
+        .engine
+        .caps_of(child)
+        .iter()
+        .find(|c| matches!(c.resource, Resource::CpuCore(0)))
+        .map(|c| c.id)
+        .unwrap();
+    m.engine.revoke(os, core_cap).unwrap();
+    m.sync_effects().unwrap();
+    assert_eq!(m.enter_fast(0, tcap), Err(Status::Denied));
+}
+
+#[test]
+fn fast_path_cache_invalidated_by_kill() {
+    let mut m = x86();
+    let (child, tcap) = spawn_sealed(&mut m, 0x74_0000);
+    assert_eq!(m.enter_fast(0, tcap), Ok(child));
+    m.ret_fast(0).unwrap();
+    m.call(0, MonitorCall::Kill { domain: child }).unwrap();
+    assert_eq!(m.enter_fast(0, tcap), Err(Status::NotFound));
+}
+
+#[test]
+fn fast_path_cached_matches_uncached() {
+    // The cached and revalidating fast paths agree on results and end
+    // state; only the validation work differs.
+    let mut m = x86();
+    let (child, tcap) = spawn_sealed(&mut m, 0x76_0000);
+    assert_eq!(m.enter_fast(0, tcap), Ok(child));
+    m.ret_fast(0).unwrap();
+    assert_eq!(m.enter_fast_uncached(0, tcap), Ok(child));
+    m.ret_fast(0).unwrap();
+    assert_eq!(m.enter_fast(0, tcap), Ok(child));
+    m.ret_fast(0).unwrap();
+    assert_eq!(m.stats.transitions_fast, 6);
+    assert_eq!(m.stats.transitions_mediated, 0);
 }
 
 #[test]

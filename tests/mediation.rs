@@ -188,6 +188,99 @@ fn cannot_kill_a_running_domain() {
 }
 
 #[test]
+fn revoking_memory_of_a_running_domain_takes_effect_immediately() {
+    // Revocation does not wait for the victim to stop running: its
+    // hardware access is torn down while it is current on another core,
+    // with the TLB shootdown applied in the same sync.
+    let mut m = boot();
+    let (victim, gate) = spawn_sealed(&mut m, 0, 0x10_0000, 0x1000, &[0], SealPolicy::strict());
+    m.call(0, MonitorCall::Enter { cap: gate }).unwrap();
+    assert!(m.dom_read(0, 0x10_0000, &mut [0u8; 1]).is_ok());
+    // The OS (running on core 1) revokes the victim's memory grant.
+    let mem_cap = m
+        .engine
+        .caps_of(victim)
+        .iter()
+        .find(|c| c.is_memory())
+        .map(|c| c.id)
+        .unwrap();
+    m.call(1, MonitorCall::Revoke { cap: mem_cap }).unwrap();
+    // The running domain lost the page at once — no stale-TLB window.
+    assert!(
+        m.dom_read(0, 0x10_0000, &mut [0u8; 1]).is_err(),
+        "revocation strips a running domain immediately"
+    );
+    // The victim stays alive and still returns cleanly.
+    assert!(m.engine.domain(victim).unwrap().is_alive());
+    m.call(0, MonitorCall::Return).unwrap();
+    assert!(m.audit_hardware().is_empty());
+}
+
+#[test]
+fn revoking_the_gate_of_a_running_domain_does_not_strand_the_stack() {
+    // Revoking the transition capability used to enter a running domain
+    // closes the door for future entries but does not invalidate the
+    // in-flight frame: the return path unwinds normally.
+    let mut m = boot();
+    let (_victim, gate) = spawn_sealed(&mut m, 0, 0x10_0000, 0x1000, &[0], SealPolicy::strict());
+    m.call(0, MonitorCall::Enter { cap: gate }).unwrap();
+    m.call(1, MonitorCall::Revoke { cap: gate }).unwrap();
+    m.call(0, MonitorCall::Return).unwrap();
+    assert_eq!(m.current_domain(0), m.engine.root().unwrap());
+    // Re-entry through the revoked gate is refused.
+    assert_eq!(
+        m.call(0, MonitorCall::Enter { cap: gate }),
+        Err(Status::NotFound)
+    );
+}
+
+#[test]
+fn cannot_kill_a_fast_path_caller() {
+    // The kill refusal covers fast-path frames too. This matters because
+    // a fast frame caches the caller's VMFUNC slot for the return; if the
+    // caller could be killed mid-call, the slot could be recycled by a
+    // new domain and the return would switch into the wrong EPT.
+    let mut m = boot();
+    let (mid, gate_mid) = spawn_sealed(&mut m, 0, 0x10_0000, 0x8000, &[0], SealPolicy::nestable());
+    m.enter_fast(0, gate_mid).unwrap();
+    // mid creates + fast-enters a child, putting itself on the stack.
+    let mut client = libtyche::TycheClient::new(&mut m, 0);
+    let (child, gate_child) = client.create_domain().unwrap();
+    let page = client.carve(0x10_4000, 0x10_5000).unwrap();
+    client
+        .grant(page, child, Rights::RW, RevocationPolicy::NONE)
+        .unwrap();
+    let core = {
+        let me = client.whoami();
+        client
+            .monitor
+            .engine
+            .caps_of(me)
+            .iter()
+            .find(|c| c.active && matches!(c.resource, Resource::CpuCore(0)))
+            .map(|c| c.id)
+            .unwrap()
+    };
+    client
+        .share(core, child, None, Rights::USE, RevocationPolicy::NONE)
+        .unwrap();
+    client.set_entry(child, 0x10_4000).unwrap();
+    client.seal(child, SealPolicy::strict()).unwrap();
+    m.enter_fast(0, gate_child).unwrap();
+    // The OS on core 1 cannot kill `mid` while its fast frame is live.
+    assert_eq!(
+        m.call(1, MonitorCall::Kill { domain: mid }),
+        Err(Status::Denied)
+    );
+    assert!(m.engine.domain(mid).unwrap().is_alive());
+    // Unwind the fast frames; now the kill goes through.
+    m.ret_fast(0).unwrap();
+    m.ret_fast(0).unwrap();
+    m.call(1, MonitorCall::Kill { domain: mid }).unwrap();
+    assert!(!m.engine.domain(mid).unwrap().is_alive());
+}
+
+#[test]
 fn cannot_kill_a_stacked_caller() {
     // A domain that is a *caller* in an active transition stack is also
     // unkillable: the return path would switch into freed state.
