@@ -12,8 +12,12 @@
 //! benchmarks (revocation, transitions, flush_policy, capability_ops)
 //! introduced with the capability-indexing and effect-coalescing work;
 //! `--json` writes `BENCH_hotpath.json` at the workspace root and
-//! `--smoke` runs one tiny iteration for CI. `bench` is explicit-only:
-//! it is not part of the no-argument full run.
+//! `--smoke` runs one tiny iteration for CI (which also exercises a
+//! 2-thread SMP smoke pass). `repro bench --smp [--json] [--smoke]`
+//! runs the SMP serving suite instead — concurrent hypercall throughput
+//! through the sharded `ConcurrentMonitor` vs a mutex around the whole
+//! monitor — and `--json` writes `BENCH_smp.json`. `bench` is
+//! explicit-only: it is not part of the no-argument full run.
 
 use std::time::Instant;
 use tyche_bench::scenarios::{self, layout};
@@ -23,7 +27,8 @@ use tyche_core::prelude::*;
 use tyche_monitor::abi::MonitorCall;
 use tyche_monitor::attest::Verifier;
 use tyche_monitor::boot::{expected_monitor_pcr, MONITOR_VERSION};
-use tyche_monitor::{boot_riscv, BootConfig, Status};
+use tyche_monitor::monitor::CallResult;
+use tyche_monitor::{boot_riscv, boot_x86, BootConfig, ConcurrentMonitor, SmpStats, Status};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
@@ -32,12 +37,21 @@ fn main() {
 
     println!("Tyche reproduction harness — {MONITOR_VERSION}");
     if args.iter().any(|a| a == "bench") {
-        // Explicit-only: the hot-path benchmarks are not part of the
-        // default all-run (they exist to regenerate BENCH_hotpath.json).
-        bench_hotpath(
-            args.iter().any(|a| a == "--json"),
-            args.iter().any(|a| a == "--smoke"),
-        );
+        // Explicit-only: the benchmarks are not part of the default
+        // all-run (they exist to regenerate BENCH_hotpath.json and
+        // BENCH_smp.json).
+        let json = args.iter().any(|a| a == "--json");
+        let smoke = args.iter().any(|a| a == "--smoke");
+        if args.iter().any(|a| a == "--smp") {
+            bench_smp(json, smoke);
+        } else {
+            bench_hotpath(json, smoke);
+            if smoke {
+                // The CI smoke pass also exercises the SMP serving path
+                // (2 threads, no artifact rewrite).
+                bench_smp(false, true);
+            }
+        }
         return;
     }
     if want("f1") {
@@ -1846,5 +1860,474 @@ fn bench_flush_policy(iters: usize) -> HotpathEntry {
         before: obfuscate,
         after: none,
         detail: vec![("zero_cycles", zero)],
+    }
+}
+
+// ----------------------------------------------------------------------
+// `repro bench --smp` — SMP serving benchmarks (BENCH_smp.json)
+// ----------------------------------------------------------------------
+
+/// One SMP bench entry: the same workload pushed through a mutex around
+/// the whole monitor (one global simulated clock — `baseline`) and the
+/// sharded [`ConcurrentMonitor`] (per-core clocks — `smp`). Throughput
+/// is hypercalls per million simulated cycles; both sides charge the
+/// identical per-operation cost, so the ratio isolates serialization.
+struct SmpEntry {
+    workload: &'static str,
+    threads: usize,
+    ops: u64,
+    /// Simulated cycles to drain the workload on the single global clock.
+    baseline_cycles: u64,
+    /// Simulated makespan (max over per-core clocks) on the sharded path.
+    smp_cycles: u64,
+    detail: Vec<(&'static str, u64)>,
+}
+
+impl SmpEntry {
+    fn baseline_tput(&self) -> f64 {
+        self.ops as f64 * 1e6 / self.baseline_cycles.max(1) as f64
+    }
+
+    fn smp_tput(&self) -> f64 {
+        self.ops as f64 * 1e6 / self.smp_cycles.max(1) as f64
+    }
+
+    fn speedup(&self) -> f64 {
+        self.smp_tput() / self.baseline_tput().max(f64::MIN_POSITIVE)
+    }
+
+    fn to_json(&self) -> String {
+        let detail = self
+            .detail
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \
+             \"metric\": \"ops_per_mcycle\", \"ops\": {}, \
+             \"baseline_cycles\": {}, \"smp_cycles\": {}, \
+             \"baseline_tput\": {:.2}, \"smp_tput\": {:.2}, \
+             \"speedup\": {:.2}, \"detail\": {{{}}}}}",
+            self.workload,
+            self.threads,
+            self.ops,
+            self.baseline_cycles,
+            self.smp_cycles,
+            self.baseline_tput(),
+            self.smp_tput(),
+            self.speedup(),
+            detail
+        )
+    }
+}
+
+/// Per-core SMP bench setup: the sealed tenant pinned to the core, the
+/// transition capability into it, and its private memory window.
+#[derive(Clone, Copy)]
+struct SmpLane {
+    tenant: DomainId,
+    gate: CapId,
+    window: CapId,
+}
+
+/// Base address of core `c`'s private 64 KiB window.
+fn lane_base(core: usize) -> u64 {
+    0x40_0000 + (core as u64) * 0x10_000
+}
+
+/// Boots an x86 machine with `threads` cores; each core gets a sealed
+/// (nestable, so it can still share outward) tenant owning that core
+/// plus a private window. One unsealed root child serves as the common
+/// victim for the contended workload. Returns the monitor, the lanes,
+/// the root RAM cap, and the victim.
+///
+/// Tenant `c` is steered onto capability shard `c`: the distinct
+/// workload measures per-shard parallelism, and two tenants hashing to
+/// the same shard would re-serialize it. Domain and capability ids come
+/// from one sequential allocator, so burning filler ids (root
+/// self-transition caps) until the next id lands on the wanted residue
+/// places each tenant deterministically; the assert fails loudly if the
+/// allocator ever stops cooperating.
+fn smp_fixture(threads: usize) -> (tyche_monitor::Monitor, Vec<SmpLane>, CapId, DomainId) {
+    use tyche_core::shared::{SharedEngine, SHARDS};
+
+    let mut cfg = BootConfig::default();
+    cfg.machine.cores = threads;
+    let mut m = boot_x86(cfg);
+    let os = m.engine.root().expect("root");
+    let hi = lane_base(threads);
+    let ram = m
+        .engine
+        .caps_of(os)
+        .iter()
+        .find(|c| {
+            c.active
+                && matches!(c.resource, Resource::Memory(r)
+                    if r.start <= lane_base(0) && hi <= r.end)
+        })
+        .map(|c| c.id)
+        .expect("root RAM cap");
+    let (victim, _victim_gate) = m.engine.create_domain(os).expect("victim");
+    let mut next_id = m
+        .engine
+        .make_transition(os, os, RevocationPolicy::NONE)
+        .expect("probe")
+        .0
+        + 1;
+    let lanes: Vec<SmpLane> = (0..threads)
+        .map(|core| {
+            while next_id % SHARDS as u64 != core as u64 {
+                next_id = m
+                    .engine
+                    .make_transition(os, os, RevocationPolicy::NONE)
+                    .expect("filler")
+                    .0
+                    + 1;
+            }
+            let base = lane_base(core);
+            let (tenant, gate) = m.engine.create_domain(os).expect("tenant");
+            assert_eq!(SharedEngine::shard_of(tenant), core, "tenant off its shard");
+            let window = m
+                .engine
+                .share(
+                    os,
+                    ram,
+                    tenant,
+                    Some(MemRegion::new(base, base + 0x10_000)),
+                    Rights::RWX,
+                    RevocationPolicy::NONE,
+                )
+                .expect("window");
+            let core_cap = m
+                .engine
+                .caps_of(os)
+                .iter()
+                .find(|c| c.active && matches!(c.resource, Resource::CpuCore(n) if n == core))
+                .map(|c| c.id)
+                .expect("core cap");
+            let core_share = m
+                .engine
+                .share(os, core_cap, tenant, None, Rights::USE, RevocationPolicy::NONE)
+                .expect("share core");
+            m.engine.set_entry(os, tenant, base).expect("entry");
+            m.engine
+                .seal(os, tenant, SealPolicy::nestable())
+                .expect("seal tenant");
+            next_id = core_share.0 + 1;
+            SmpLane { tenant, gate, window }
+        })
+        .collect();
+    m.sync_effects().expect("sync fixture");
+    (m, lanes, ram, victim)
+}
+
+/// The Share hypercall one worker issues on iteration `i`: distinct mode
+/// has the core's tenant sub-share a page of its own window with itself
+/// (one domain, one shard — sealing permits self-shares); contended mode
+/// acts as root, sharing from the single root RAM cap to one common
+/// victim domain (every call conflicts on the same shards).
+fn smp_share_call(
+    contended: bool,
+    core: usize,
+    i: usize,
+    lane: SmpLane,
+    ram: CapId,
+    victim: DomainId,
+) -> MonitorCall {
+    let base = lane_base(core) + ((i % 16) as u64) * 0x1000;
+    let (cap, target) = if contended {
+        (ram, victim)
+    } else {
+        (lane.window, lane.tenant)
+    };
+    MonitorCall::Share {
+        cap,
+        target,
+        sub: Some((base, base + 0x1000)),
+        rights: Rights::RW,
+        policy: RevocationPolicy::NONE,
+    }
+}
+
+/// Runs the mutation workload (`pairs` Share+Revoke pairs per worker,
+/// one worker per core) through both serving models and returns the
+/// measured entry. Distinct mode first mediated-enters each core's
+/// tenant so the workers mutate as per-core actors.
+fn smp_run_mutations(threads: usize, pairs: usize, contended: bool) -> SmpEntry {
+    use std::sync::{Arc, Mutex};
+
+    // Baseline: a mutex around the whole monitor; every call serializes
+    // on the machine's single global cycle counter.
+    let (mut m, lanes, ram, victim) = smp_fixture(threads);
+    if !contended {
+        for (core, lane) in lanes.iter().enumerate() {
+            m.call(core, MonitorCall::Enter { cap: lane.gate }).expect("enter tenant");
+        }
+    }
+    let c0 = m.machine.cycles.now();
+    let shared = Arc::new(Mutex::new(m));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|core| {
+            let shared = Arc::clone(&shared);
+            let lane = lanes[core];
+            std::thread::spawn(move || {
+                for i in 0..pairs {
+                    let call = smp_share_call(contended, core, i, lane, ram, victim);
+                    let cap = match shared.lock().expect("monitor lock").call(core, call) {
+                        Ok(CallResult::Cap(c)) => c,
+                        other => panic!("baseline share failed: {other:?}"),
+                    };
+                    shared
+                        .lock()
+                        .expect("monitor lock")
+                        .call(core, MonitorCall::Revoke { cap })
+                        .expect("baseline revoke");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("baseline worker");
+    }
+    let wall_base = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let baseline_cycles = shared.lock().expect("monitor lock").machine.cycles.now() - c0;
+
+    // Sharded front-end: same fixture, same ops, served concurrently.
+    let (mut m, lanes, ram, victim) = smp_fixture(threads);
+    if !contended {
+        for (core, lane) in lanes.iter().enumerate() {
+            m.call(core, MonitorCall::Enter { cap: lane.gate }).expect("enter tenant");
+        }
+    }
+    let cm = Arc::new(ConcurrentMonitor::new(m));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|core| {
+            let cm = Arc::clone(&cm);
+            let lane = lanes[core];
+            std::thread::spawn(move || {
+                for i in 0..pairs {
+                    let call = smp_share_call(contended, core, i, lane, ram, victim);
+                    let cap = match cm.serve(core, call) {
+                        Ok(CallResult::Cap(c)) => c,
+                        other => panic!("smp share failed: {other:?}"),
+                    };
+                    cm.serve(core, MonitorCall::Revoke { cap }).expect("smp revoke");
+                    // Shootdowns batch: one IPI round per 16 pairs
+                    // delivers every invalidation queued since the last.
+                    if i % 16 == 15 {
+                        cm.sync_shootdowns(core);
+                    }
+                }
+                cm.sync_shootdowns(core);
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("smp worker");
+    }
+    let wall_smp = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let smp_cycles = cm.makespan();
+    let shard_waits = SmpStats::get(&cm.stats.shard_waits);
+    let shootdowns = SmpStats::get(&cm.stats.shootdowns_requested);
+    let ipis = SmpStats::get(&cm.stats.ipis_sent);
+    let monitor = Arc::try_unwrap(cm).ok().expect("workers joined").finish();
+    assert!(
+        audit::audit(&monitor.engine).is_empty(),
+        "smp bench left the engine unauditable"
+    );
+
+    SmpEntry {
+        workload: if contended {
+            "hypercalls_contended"
+        } else {
+            "hypercalls_distinct"
+        },
+        threads,
+        ops: (2 * pairs * threads) as u64,
+        baseline_cycles,
+        smp_cycles,
+        detail: vec![
+            ("wall_ns_baseline", wall_base),
+            ("wall_ns_smp", wall_smp),
+            ("shard_waits", shard_waits),
+            ("shootdowns_requested", shootdowns),
+            ("ipis_sent", ipis),
+        ],
+    }
+}
+
+/// Runs the transition workload: each core does `roundtrips` fast
+/// Enter+Return roundtrips into its own sealed tenant. The baseline
+/// still takes the whole-monitor mutex per one-way switch; the SMP path
+/// serves them from per-core state with no shared lock at all.
+fn smp_run_transitions(threads: usize, roundtrips: usize) -> SmpEntry {
+    use std::sync::{Arc, Mutex};
+
+    let (m, lanes, _ram, _victim) = smp_fixture(threads);
+    let c0 = m.machine.cycles.now();
+    let shared = Arc::new(Mutex::new(m));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|core| {
+            let shared = Arc::clone(&shared);
+            let lane = lanes[core];
+            std::thread::spawn(move || {
+                for _ in 0..roundtrips {
+                    shared
+                        .lock()
+                        .expect("monitor lock")
+                        .enter_fast(core, lane.gate)
+                        .expect("baseline enter");
+                    shared
+                        .lock()
+                        .expect("monitor lock")
+                        .ret_fast(core)
+                        .expect("baseline return");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("baseline worker");
+    }
+    let wall_base = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let baseline_cycles = shared.lock().expect("monitor lock").machine.cycles.now() - c0;
+
+    let (m, lanes, _ram, _victim) = smp_fixture(threads);
+    let cm = Arc::new(ConcurrentMonitor::new(m));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|core| {
+            let cm = Arc::clone(&cm);
+            let lane = lanes[core];
+            std::thread::spawn(move || {
+                for _ in 0..roundtrips {
+                    match cm.serve(core, MonitorCall::Enter { cap: lane.gate }) {
+                        Ok(CallResult::Entered { .. }) => {}
+                        other => panic!("smp enter failed: {other:?}"),
+                    }
+                    match cm.serve(core, MonitorCall::Return) {
+                        Ok(CallResult::Returned { .. }) => {}
+                        other => panic!("smp return failed: {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("smp worker");
+    }
+    let wall_smp = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let smp_cycles = cm.makespan();
+    let fast = SmpStats::get(&cm.stats.fast_transitions);
+    let mutations = SmpStats::get(&cm.stats.mutations);
+
+    SmpEntry {
+        workload: "transitions_distinct",
+        threads,
+        ops: (2 * roundtrips * threads) as u64,
+        baseline_cycles,
+        smp_cycles,
+        detail: vec![
+            ("wall_ns_baseline", wall_base),
+            ("wall_ns_smp", wall_smp),
+            ("fast_transitions", fast),
+            ("mediated_fallbacks", mutations),
+        ],
+    }
+}
+
+/// Runs the SMP serving suite at 1/2/4/8 worker threads (one per modeled
+/// core) and (with `json`) rewrites `BENCH_smp.json` at the workspace
+/// root. `smoke` shrinks it to a single 2-thread pass for CI. Cycle
+/// numbers are simulated, so they are independent of the host machine,
+/// and IPI charges are per-requester batches (TLB-gather discipline),
+/// so they do not depend on thread interleaving either. Wall-clock
+/// appears only in `detail`.
+fn bench_smp(json: bool, smoke: bool) {
+    let threads: &[usize] = if smoke { &[2] } else { &[1, 2, 4, 8] };
+    let pairs: usize = if smoke { 8 } else { 64 };
+    let roundtrips: usize = if smoke { 16 } else { 256 };
+    let mut entries: Vec<SmpEntry> = Vec::new();
+
+    type Workload<'a> = (&'a str, Box<dyn Fn(usize) -> SmpEntry>);
+    let workloads: [Workload; 3] = [
+        (
+            "hypercalls_distinct: per-core tenants mutate their own domains",
+            Box::new(move |t| smp_run_mutations(t, pairs, false)),
+        ),
+        (
+            "hypercalls_contended: every core mutates one shared domain",
+            Box::new(move |t| smp_run_mutations(t, pairs, true)),
+        ),
+        (
+            "transitions_distinct: per-core fast enter/return roundtrips",
+            Box::new(move |t| smp_run_transitions(t, roundtrips)),
+        ),
+    ];
+    for (title, run) in &workloads {
+        let mut t = Table::new(
+            &format!("BENCH SMP — {title}"),
+            &[
+                "threads",
+                "baseline (ops/Mcycle)",
+                "smp (ops/Mcycle)",
+                "speedup",
+            ],
+        );
+        for &n in threads {
+            let e = run(n);
+            t.row(&[
+                n.to_string(),
+                format!("{:.1}", e.baseline_tput()),
+                format!("{:.1}", e.smp_tput()),
+                format!("{:.2}x", e.speedup()),
+            ]);
+            entries.push(e);
+        }
+        t.print();
+    }
+
+    // The headline criterion: distinct-domain throughput must scale from
+    // the lowest to the highest thread count, and beat the whole-monitor
+    // mutex at the highest one.
+    let distinct: Vec<&SmpEntry> = entries
+        .iter()
+        .filter(|e| e.workload == "hypercalls_distinct")
+        .collect();
+    let first = distinct.first().expect("distinct entries");
+    let last = distinct.last().expect("distinct entries");
+    let scaling = last.smp_tput() / first.smp_tput().max(f64::MIN_POSITIVE);
+    let vs_baseline = last.speedup();
+    println!(
+        "SMP scaling (hypercalls_distinct): {:.2}x from {} to {} threads; \
+         {vs_baseline:.2}x vs whole-monitor mutex at {} threads",
+        scaling, first.threads, last.threads, last.threads
+    );
+
+    if json {
+        let body = entries
+            .iter()
+            .map(SmpEntry::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let doc = format!(
+            "{{\n  \"schema\": \"tyche-bench-smp/v1\",\n  \
+             \"mode\": \"{}\",\n  \"monitor_version\": \"{}\",\n  \
+             \"distinct_scaling\": {:.2},\n  \
+             \"distinct_vs_baseline\": {:.2},\n  \
+             \"benches\": [\n{}\n  ]\n}}\n",
+            if smoke { "smoke" } else { "full" },
+            MONITOR_VERSION,
+            scaling,
+            vs_baseline,
+            body
+        );
+        let path = workspace_root().join("BENCH_smp.json");
+        std::fs::write(&path, doc).expect("write BENCH_smp.json");
+        println!("wrote {}", path.display());
     }
 }

@@ -34,7 +34,7 @@ pub enum CapKind {
 }
 
 /// One node of the capability tree.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Capability {
     /// This capability's id.
     pub id: CapId,

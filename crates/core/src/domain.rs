@@ -63,7 +63,7 @@ pub enum DomainState {
 }
 
 /// Per-domain bookkeeping held by the engine.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Domain {
     /// This domain's id.
     pub id: DomainId,

@@ -49,7 +49,7 @@ pub struct EnumeratedResource {
 }
 
 /// The capability engine.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CapEngine {
     domains: BTreeMap<DomainId, Domain>,
     caps: BTreeMap<CapId, Capability>,
@@ -80,9 +80,9 @@ pub struct CapEngine {
     /// indexes may be stale, so every query falls back to the scan path
     /// (corruption hooks exist only for mutation tests).
     indexes_poisoned: bool,
-    /// Bumped whenever a previously-validated transition could have
-    /// become invalid (revoke, kill, seal, grant). The monitor's
-    /// fast-path cache keys its validity on this counter.
+    /// Bumped on every mutation (see `tick()`) and by the corruption
+    /// hooks. The monitor's fast-path cache and `SharedEngine`'s cached
+    /// snapshot key their validity on this counter.
     generation: u64,
 }
 
@@ -94,6 +94,11 @@ impl CapEngine {
 
     fn tick(&mut self) -> u64 {
         self.op_counter += 1;
+        // Every mutation is also a new generation: snapshot readers
+        // (SharedEngine) key staleness on `generation()`, so it must move
+        // on *every* state change, not just the transition-invalidating
+        // ones. The monitor's fast-path cache only over-invalidates.
+        self.generation += 1;
         self.op_counter
     }
 
@@ -138,11 +143,11 @@ impl CapEngine {
             .flat_map(|ids| ids.iter())
             .filter_map(|id| self.caps.get(id))
             .collect();
-        #[cfg(debug_assertions)]
+        #[cfg(any(debug_assertions, feature = "paranoid-checks"))]
         {
             let scan: Vec<CapId> = self.caps_of_scan(domain).iter().map(|c| c.id).collect();
             let indexed: Vec<CapId> = out.iter().map(|c| c.id).collect();
-            debug_assert_eq!(indexed, scan, "owner index diverged from scan for {domain}");
+            assert_eq!(indexed, scan, "owner index diverged from scan for {domain}");
         }
         out
     }
@@ -155,9 +160,12 @@ impl CapEngine {
         self.caps.values().filter(|c| c.owner == domain).collect()
     }
 
-    /// Engine generation: bumped whenever a previously-validated
-    /// transition could have become invalid (revoke, kill, seal, grant).
-    /// Callers caching validation results compare this before reuse.
+    /// Engine generation: bumped on every mutation (any `tick()`ed
+    /// operation plus the corruption hooks), so it moves whenever a
+    /// previously-validated transition could have become invalid *and*
+    /// whenever a cached snapshot of the whole engine could be stale.
+    /// Callers caching validation results or snapshots compare this
+    /// before reuse.
     pub fn generation(&self) -> u64 {
         self.generation
     }
@@ -404,9 +412,6 @@ impl CapEngine {
         dom.seal_policy = policy;
         dom.measurement = Some(measurement);
         self.sealed_at.insert(domain, t);
-        // Sealing changes what a transition validation observes (the
-        // target becomes enterable, its config freezes): new generation.
-        self.generation += 1;
         Ok(measurement)
     }
 
@@ -469,7 +474,6 @@ impl CapEngine {
         }
         let dom = self.domains.get_mut(&domain).expect("checked above");
         dom.state = DomainState::Dead;
-        self.generation += 1;
         self.effects.push(Effect::DomainKilled { domain });
         self.tick();
         Ok(())
@@ -548,7 +552,7 @@ impl CapEngine {
             rights,
             CapKind::Carved,
             policy,
-        );
+        )?;
         let hi = self.insert_child(
             cap,
             actor,
@@ -557,7 +561,7 @@ impl CapEngine {
             rights,
             CapKind::Carved,
             policy,
-        );
+        )?;
         // The parent is consumed: its coverage is now represented by the
         // carved pieces. No hardware effect — the owner's access is
         // unchanged.
@@ -710,7 +714,8 @@ impl CapEngine {
             .flat_map(|ids| ids.iter())
             .filter_map(|id| self.caps.get(id))
             .any(|c| c.owner == domain && c.active && c.rights.can_use());
-        debug_assert_eq!(
+        #[cfg(any(debug_assertions, feature = "paranoid-checks"))]
+        assert_eq!(
             out,
             self.owns_core_scan(domain, core),
             "core index diverged from scan"
@@ -741,7 +746,8 @@ impl CapEngine {
             .flat_map(|ids| ids.iter())
             .filter_map(|id| self.caps.get(id))
             .any(|c| c.owner == domain && c.active && c.rights.can_use());
-        debug_assert_eq!(
+        #[cfg(any(debug_assertions, feature = "paranoid-checks"))]
+        assert_eq!(
             out,
             self.owns_device_scan(domain, device),
             "device index diverged from scan"
@@ -775,14 +781,14 @@ impl CapEngine {
             .iter()
             .map(|(&(start, _), &(end, owner))| (owner, MemRegion::new(start, end)))
             .collect();
-        #[cfg(debug_assertions)]
+        #[cfg(any(debug_assertions, feature = "paranoid-checks"))]
         {
             let key = |e: &(DomainId, MemRegion)| (e.0, e.1.start, e.1.end);
             let mut a = out.clone();
             let mut b = self.active_mem_coverage_scan();
             a.sort_by_key(key);
             b.sort_by_key(key);
-            debug_assert_eq!(a, b, "memory index diverged from scan");
+            assert_eq!(a, b, "memory index diverged from scan");
         }
         out
     }
@@ -815,7 +821,8 @@ impl CapEngine {
             .map(|(&(start, _), &(end, owner))| (owner, MemRegion::new(start, end)))
             .collect();
         let out = mem_refcount(&coverage, region);
-        debug_assert_eq!(
+        #[cfg(any(debug_assertions, feature = "paranoid-checks"))]
+        assert_eq!(
             out,
             self.refcount_mem_full_scan(region),
             "interval index diverged from scan"
@@ -842,10 +849,10 @@ impl CapEngine {
             return self.enumerate_impl(domain, false);
         }
         let out = self.enumerate_impl(domain, true)?;
-        #[cfg(debug_assertions)]
+        #[cfg(any(debug_assertions, feature = "paranoid-checks"))]
         {
             let scan = self.enumerate_impl(domain, false)?;
-            debug_assert_eq!(out, scan, "enumeration index diverged from scan");
+            assert_eq!(out, scan, "enumeration index diverged from scan");
         }
         Ok(out)
     }
@@ -1073,7 +1080,11 @@ impl CapEngine {
             (r, None) => r,
             (_, Some(_)) => return Err(CapError::SubrangeOnNonMemory),
         };
-        let child = self.insert_child(cap, target, actor, resource, rights, kind, policy);
+        // Capture the parent's identity before any mutation: the Granted
+        // branch needs it after `insert_child`, and reading it now avoids
+        // a second (fallible) lookup of a capability we already hold.
+        let (parent_owner, parent_res) = (c.owner, c.resource);
+        let child = self.insert_child(cap, target, actor, resource, rights, kind, policy)?;
         let child_cap = self.caps.get(&child).expect("just inserted").clone();
         match kind {
             CapKind::Shared => {
@@ -1082,14 +1093,14 @@ impl CapEngine {
             CapKind::Granted => {
                 // Suspend the granter's capability and its hardware access.
                 // The grant may take a core or transition target out from
-                // under a cached fast-path validation: new generation.
+                // under a cached fast-path validation; `tick()` below
+                // bumps the generation.
                 self.set_cap_active(cap, false);
-                self.generation += 1;
-                let parent = self.caps.get(&cap).expect("exists");
-                let (owner, res) = (parent.owner, parent.resource);
-                self.emit_loss(owner, res);
-                if matches!(res, Resource::Memory(_)) {
-                    self.effects.push(Effect::FlushTlb { domain: owner });
+                self.emit_loss(parent_owner, parent_res);
+                if matches!(parent_res, Resource::Memory(_)) {
+                    self.effects.push(Effect::FlushTlb {
+                        domain: parent_owner,
+                    });
                 }
                 self.emit_gain(&child_cap);
             }
@@ -1100,6 +1111,13 @@ impl CapEngine {
     }
 
     /// Inserts a child capability node under `parent`.
+    ///
+    /// Returns `NoSuchCap(parent)` instead of panicking if the parent is
+    /// missing: like the revoke lineage walk, a dangling parent means the
+    /// capability tree is corrupt, and the TCB must refuse the operation
+    /// rather than abort the whole monitor. The parent is linked *before*
+    /// the child node is created, so a refused insert adds no capability
+    /// state (only the id allocator advances, and ids are never reused).
     #[allow(clippy::too_many_arguments)]
     fn insert_child(
         &mut self,
@@ -1110,8 +1128,13 @@ impl CapEngine {
         rights: Rights,
         kind: CapKind,
         policy: RevocationPolicy,
-    ) -> CapId {
+    ) -> Result<CapId, CapError> {
         let id = CapId(self.ids.next());
+        self.caps
+            .get_mut(&parent)
+            .ok_or(CapError::NoSuchCap(parent))?
+            .children
+            .push(id);
         let cap = Capability {
             id,
             owner,
@@ -1126,14 +1149,9 @@ impl CapEngine {
         };
         self.index_insert(&cap);
         self.caps.insert(id, cap);
-        self.caps
-            .get_mut(&parent)
-            .expect("parent exists")
-            .children
-            .push(id);
         let t = self.tick();
         self.created_at.insert(id, t);
-        id
+        Ok(id)
     }
 
     /// Emits the effects that give `cap.owner` access to `cap.resource`.

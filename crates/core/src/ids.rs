@@ -40,7 +40,7 @@ impl core::fmt::Display for CapId {
 }
 
 /// Monotonic id allocator shared by domain and capability id spaces.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct IdAllocator {
     next: u64,
 }

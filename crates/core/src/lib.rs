@@ -74,6 +74,7 @@ pub mod error;
 pub mod ids;
 pub mod refcount;
 pub mod resource;
+pub mod shared;
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
@@ -94,6 +95,7 @@ pub use engine::CapEngine;
 pub use error::CapError;
 pub use ids::{CapId, DomainId};
 pub use resource::{MemRegion, Resource, Rights};
+pub use shared::SharedEngine;
 
 /// The clean-up contract attached to a capability (§3.2 of the paper):
 /// operations "guaranteed to execute upon revocation".

@@ -1,0 +1,261 @@
+//! A thread-shareable front-end over [`CapEngine`].
+//!
+//! The engine itself stays a plain `&mut self` state machine — the BMC,
+//! the corruption hooks, and every existing test keep driving it
+//! directly. [`SharedEngine`] wraps one engine for SMP serving:
+//!
+//! - **Reads** go through a generation-validated snapshot
+//!   ([`SharedEngine::snapshot`]): a cached `Arc<CapEngine>` clone that
+//!   is refreshed only when the engine's [`CapEngine::generation`]
+//!   counter has moved. Queries on the snapshot take no lock at all, and
+//!   the seqlock-style validation (compare generation before reuse)
+//!   guarantees a snapshot is an actual point-in-time state, never a
+//!   torn one — the clone happens under the same lock as mutations.
+//! - **Mutations** ([`SharedEngine::mutate`]) first take the per-domain
+//!   *shard* locks of every involved domain — in ascending shard order,
+//!   the global ordering rule that makes cross-domain operations
+//!   (grant/share/revoke lock both sides) deadlock-free — and then the
+//!   engine write lock for the actual state change. The shard locks are
+//!   what serialize logically-conflicting hypercalls; the inner write
+//!   lock is held only for the (short) engine operation itself, and the
+//!   concurrent monitor's cycle model charges contention accordingly.
+//!
+//! Each mutation is stamped with a monotonically increasing **sequence
+//! number** assigned inside the exclusive section, so a concurrent
+//! stress driver can record `(seq, op)` pairs and later *replay* the log
+//! single-threadedly: because every mutation ran under the write lock,
+//! the sequence order is a linearization, and the replayed engine must
+//! be `==` to the shared one (`CapEngine` derives `PartialEq`).
+//!
+//! Lock poisoning: a panicked writer (e.g. a paranoid-check assertion
+//! firing in another thread's test) must not cascade into opaque
+//! `PoisonError` panics here, so every acquisition recovers the guard
+//! with `into_inner()`. The state seen afterwards is whatever the
+//! panicking thread had committed — fine for the engine, whose public
+//! operations keep it consistent at every return point.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::engine::CapEngine;
+use crate::ids::DomainId;
+
+/// Number of domain shards. Domains hash to shards by id modulo this;
+/// more shards than plausible worker threads keeps false conflicts rare
+/// while bounding the lock table.
+pub const SHARDS: usize = 16;
+
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    match l.read() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    match l.write() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn mutex_lock<T>(l: &Mutex<T>) -> MutexGuard<'_, T> {
+    match l.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// A [`CapEngine`] shared between worker threads. See the module docs
+/// for the locking discipline.
+pub struct SharedEngine {
+    engine: RwLock<CapEngine>,
+    shards: Vec<Mutex<()>>,
+    /// Generation of the engine after the most recent committed
+    /// mutation; read without the engine lock to validate snapshots.
+    live_gen: AtomicU64,
+    /// Cached snapshot: (generation it was taken at, the clone).
+    snap: Mutex<(u64, Arc<CapEngine>)>,
+    /// Next mutation sequence number.
+    seq: AtomicU64,
+}
+
+impl SharedEngine {
+    /// Wraps `engine` for shared use.
+    pub fn new(engine: CapEngine) -> Self {
+        let gen = engine.generation();
+        let snap = Arc::new(engine.clone());
+        SharedEngine {
+            engine: RwLock::new(engine),
+            shards: (0..SHARDS).map(|_| Mutex::new(())).collect(),
+            live_gen: AtomicU64::new(gen),
+            snap: Mutex::new((gen, snap)),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The shard index a domain maps to.
+    pub fn shard_of(domain: DomainId) -> usize {
+        (domain.0 % SHARDS as u64) as usize
+    }
+
+    /// Runs `f` with a read lock on the live engine. Prefer
+    /// [`snapshot`](Self::snapshot) for read-mostly query paths — this
+    /// blocks writers for the duration of `f`.
+    pub fn with_read<R>(&self, f: impl FnOnce(&CapEngine) -> R) -> R {
+        f(&read_lock(&self.engine))
+    }
+
+    /// Returns a point-in-time snapshot of the engine, lock-free for the
+    /// common case.
+    ///
+    /// The cached clone is reused while its generation still matches the
+    /// live generation (seqlock-style validation); a stale cache is
+    /// refreshed by cloning under the engine read lock. Queries on the
+    /// returned `Arc` never contend with anything.
+    pub fn snapshot(&self) -> Arc<CapEngine> {
+        let live = self.live_gen.load(Ordering::Acquire);
+        {
+            let cached = mutex_lock(&self.snap);
+            if cached.0 == live {
+                return Arc::clone(&cached.1);
+            }
+        }
+        // Stale: re-clone. Take the engine read lock first so the clone
+        // is a consistent state, then publish it for other readers.
+        let (gen, fresh) = {
+            let eng = read_lock(&self.engine);
+            (eng.generation(), Arc::new(eng.clone()))
+        };
+        let mut cached = mutex_lock(&self.snap);
+        // Another reader may have refreshed to something even newer
+        // while we cloned; keep the newest.
+        if gen >= cached.0 {
+            *cached = (gen, Arc::clone(&fresh));
+        }
+        fresh
+    }
+
+    /// Runs the mutation `f` under the shard locks of `domains` (taken
+    /// in ascending shard order — the global deadlock-freedom rule) and
+    /// the engine write lock. Returns the mutation's sequence number —
+    /// assigned *inside* the exclusive section, so ascending sequence
+    /// numbers are a linearization of all mutations — and `f`'s result.
+    pub fn mutate<R>(
+        &self,
+        domains: &[DomainId],
+        f: impl FnOnce(&mut CapEngine) -> R,
+    ) -> (u64, R) {
+        // Sort + dedup the shard indexes so each lock is taken once, in
+        // the global order, regardless of the caller's domain order.
+        let mut idx: Vec<usize> = domains.iter().map(|&d| Self::shard_of(d)).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        let _shard_guards: Vec<MutexGuard<'_, ()>> = idx
+            .into_iter()
+            .filter_map(|i| self.shards.get(i))
+            .map(mutex_lock)
+            .collect();
+        let mut eng = write_lock(&self.engine);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let out = f(&mut eng);
+        self.live_gen.store(eng.generation(), Ordering::Release);
+        (seq, out)
+    }
+
+    /// Number of mutations committed so far.
+    pub fn mutations(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Unwraps the shared engine back into a plain [`CapEngine`] (e.g.
+    /// for a final single-threaded `audit()` pass).
+    pub fn into_inner(self) -> CapEngine {
+        match self.engine.into_inner() {
+            Ok(e) => e,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn seeded() -> (SharedEngine, DomainId, crate::ids::CapId) {
+        let mut e = CapEngine::new();
+        let root = e.create_root_domain();
+        let ram = e
+            .endow(root, Resource::mem(0x0, 0x10_0000), Rights::RWX)
+            .unwrap();
+        (SharedEngine::new(e), root, ram)
+    }
+
+    #[test]
+    fn snapshot_reused_until_mutation() {
+        let (shared, root, _ram) = seeded();
+        let a = shared.snapshot();
+        let b = shared.snapshot();
+        assert!(Arc::ptr_eq(&a, &b), "unchanged engine reuses the cache");
+        let (seq, child) = shared.mutate(&[root], |e| e.create_domain(root));
+        assert_eq!(seq, 0);
+        child.unwrap();
+        let c = shared.snapshot();
+        assert!(!Arc::ptr_eq(&a, &c), "mutation invalidates the cache");
+        assert_eq!(c.domains().count(), 2);
+        // The old snapshot still reads its point-in-time state.
+        assert_eq!(a.domains().count(), 1);
+    }
+
+    #[test]
+    fn mutation_seq_is_dense_and_ordered() {
+        let (shared, root, ram) = seeded();
+        let (s0, r0) = shared.mutate(&[root], |e| e.split(root, ram, 0x8000));
+        let (lo, _hi) = r0.unwrap();
+        let (s1, r1) = shared.mutate(&[root], |e| e.revoke(root, lo));
+        r1.unwrap();
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(shared.mutations(), 2);
+    }
+
+    #[test]
+    fn cross_thread_mutations_all_commit() {
+        let (shared, root, _ram) = seeded();
+        let shared = Arc::new(shared);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let (_, r) = s.mutate(&[root], |e| e.create_domain(root));
+                        r.unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let shared = Arc::try_unwrap(shared).ok().expect("threads joined");
+        assert_eq!(shared.mutations(), 200);
+        let engine = shared.into_inner();
+        assert_eq!(engine.domains().count(), 201);
+        assert!(crate::audit::audit(&engine).is_empty());
+    }
+
+    #[test]
+    fn shard_order_is_global() {
+        // shard_of is a pure function of the id: two domains always map
+        // to the same pair of shards in the same order, whichever side
+        // initiates the cross-domain operation.
+        let a = DomainId(3);
+        let b = DomainId(7);
+        assert_eq!(SharedEngine::shard_of(a), 3);
+        assert_eq!(SharedEngine::shard_of(b), 7);
+        assert_eq!(
+            SharedEngine::shard_of(DomainId(3 + SHARDS as u64)),
+            SharedEngine::shard_of(a)
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! Seeded concurrent stress test for [`SharedEngine`].
+//!
+//! N threads race capability mutations (create/share/grant/revoke/seal/
+//! set-entry/make-transition) through the sharded front-end while also
+//! auditing point-in-time snapshots. Every mutation is recorded with its
+//! concrete arguments and the sequence number [`SharedEngine::mutate`]
+//! assigned inside the exclusive section. Afterwards the log is replayed
+//! single-threadedly in sequence order on a fresh engine: because the
+//! sequence order is a linearization, the replay must produce the *same
+//! result for every operation* and an engine that is `==` to the shared
+//! one — ids, stamps, and pending effects included. Any lost update,
+//! torn snapshot, or non-linearizable interleaving shows up as a replay
+//! divergence; any invariant break shows up in `audit()`.
+//!
+//! The seed comes from `TYCHE_STRESS_SEED` (default 1) so CI can sweep
+//! a fixed set of seeds. Run with `--features paranoid-checks` to keep
+//! the index-vs-scan differential checks hot in release builds.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tyche_core::audit::audit;
+use tyche_core::prelude::*;
+use tyche_core::shared::SharedEngine;
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: usize = 100;
+/// Each thread's private 1 MiB window inside the root endowment.
+const WINDOW: u64 = 0x10_0000;
+
+/// xorshift64* — tiny, seedable, good enough to diversify interleavings.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One recorded mutation: everything needed to re-issue it verbatim.
+#[derive(Clone, Debug)]
+enum Op {
+    Create { mgr: DomainId },
+    Share { actor: DomainId, cap: CapId, target: DomainId, sub: Option<MemRegion> },
+    Grant { actor: DomainId, cap: CapId, target: DomainId },
+    Revoke { actor: DomainId, cap: CapId },
+    SetEntry { actor: DomainId, domain: DomainId, entry: u64 },
+    Seal { actor: DomainId, domain: DomainId },
+    MakeTransition { actor: DomainId, target: DomainId },
+}
+
+impl Op {
+    /// Applies the operation to an engine, returning a comparable result
+    /// digest (success payloads and errors both derive `Debug`).
+    fn apply(&self, e: &mut CapEngine) -> String {
+        match *self {
+            Op::Create { mgr } => format!("{:?}", e.create_domain(mgr)),
+            Op::Share { actor, cap, target, sub } => format!(
+                "{:?}",
+                e.share(actor, cap, target, sub, Rights::RW, RevocationPolicy::NONE)
+            ),
+            Op::Grant { actor, cap, target } => format!(
+                "{:?}",
+                e.grant(actor, cap, target, None, Rights::RW, RevocationPolicy::ZERO)
+            ),
+            Op::Revoke { actor, cap } => format!("{:?}", e.revoke(actor, cap)),
+            Op::SetEntry { actor, domain, entry } => {
+                format!("{:?}", e.set_entry(actor, domain, entry))
+            }
+            Op::Seal { actor, domain } => {
+                format!("{:?}", e.seal(actor, domain, SealPolicy::nestable()))
+            }
+            Op::MakeTransition { actor, target } => format!(
+                "{:?}",
+                e.make_transition(actor, target, RevocationPolicy::NONE)
+            ),
+        }
+    }
+
+    /// The domains whose shards the shared run locks for this op.
+    fn domains(&self) -> Vec<DomainId> {
+        match *self {
+            Op::Create { mgr } => vec![mgr],
+            Op::Share { actor, target, .. } | Op::Grant { actor, target, .. } => {
+                vec![actor, target]
+            }
+            Op::Revoke { actor, .. } => vec![actor],
+            Op::SetEntry { actor, domain, .. } | Op::Seal { actor, domain } => {
+                vec![actor, domain]
+            }
+            Op::MakeTransition { actor, target } => vec![actor, target],
+        }
+    }
+}
+
+/// Deterministic setup shared by the concurrent run and the replay:
+/// root endows THREADS private windows to tenant domains T_0..T_N.
+fn setup() -> (CapEngine, DomainId, Vec<(DomainId, CapId)>) {
+    let mut e = CapEngine::new();
+    let root = e.create_root_domain();
+    let ram = e
+        .endow(root, Resource::mem(0, THREADS as u64 * WINDOW), Rights::RWX)
+        .unwrap();
+    let tenants: Vec<(DomainId, CapId)> = (0..THREADS as u64)
+        .map(|i| {
+            let (t, _gate) = e.create_domain(root).unwrap();
+            let window = e
+                .share(
+                    root,
+                    ram,
+                    t,
+                    Some(MemRegion::new(i * WINDOW, (i + 1) * WINDOW)),
+                    Rights::RWX,
+                    RevocationPolicy::NONE,
+                )
+                .unwrap();
+            (t, window)
+        })
+        .collect();
+    (e, root, tenants)
+}
+
+fn seed_from_env() -> u64 {
+    std::env::var("TYCHE_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+#[test]
+fn concurrent_mutations_linearize_and_audit_clean() {
+    let seed = seed_from_env();
+    let (engine, _root, tenants) = setup();
+    let shared = Arc::new(SharedEngine::new(engine));
+    let log: Arc<Mutex<Vec<(u64, Op, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    let snapshot_audits = Arc::new(AtomicU64::new(0));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let shared = Arc::clone(&shared);
+            let log = Arc::clone(&log);
+            let snapshot_audits = Arc::clone(&snapshot_audits);
+            let tenants = tenants.clone();
+            std::thread::spawn(move || {
+                let mut rng = Rng::new(seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let (me, my_window) = tenants[tid];
+                let (peer, _) = tenants[(tid + 1) % THREADS];
+                for i in 0..OPS_PER_THREAD {
+                    // Decide the op and its *concrete* arguments from a
+                    // point-in-time snapshot; the shared state may move
+                    // before the mutation commits, which is exactly the
+                    // raciness the replay check has to absorb.
+                    let snap = shared.snapshot();
+                    let op = match rng.below(10) {
+                        0 | 1 => Op::Create { mgr: me },
+                        2 | 3 => {
+                            // Share a random subrange of my window with a
+                            // peer (or back to one of my own children).
+                            let base = (tid as u64) * WINDOW;
+                            let page = rng.below(WINDOW / 0x1000 - 1) * 0x1000;
+                            let target = if rng.below(2) == 0 {
+                                peer
+                            } else {
+                                pick_child(&snap, me, &mut rng).unwrap_or(peer)
+                            };
+                            Op::Share {
+                                actor: me,
+                                cap: my_window,
+                                target,
+                                sub: Some(MemRegion::new(base + page, base + page + 0x1000)),
+                            }
+                        }
+                        4 => {
+                            // Grant a previously shared child cap onward.
+                            match pick_cap(&snap, me, &mut rng) {
+                                Some(cap) => Op::Grant { actor: me, cap, target: peer },
+                                None => Op::Create { mgr: me },
+                            }
+                        }
+                        5 | 6 => {
+                            // Revoke something I granted (I am the granter
+                            // of every cap derived from my window).
+                            match pick_granted(&snap, me, &mut rng) {
+                                Some(cap) => Op::Revoke { actor: me, cap },
+                                None => Op::Create { mgr: me },
+                            }
+                        }
+                        7 => match pick_child(&snap, me, &mut rng) {
+                            Some(d) => Op::SetEntry {
+                                actor: me,
+                                domain: d,
+                                entry: (tid as u64) * WINDOW,
+                            },
+                            None => Op::Create { mgr: me },
+                        },
+                        8 => match pick_child(&snap, me, &mut rng) {
+                            Some(d) => Op::Seal { actor: me, domain: d },
+                            None => Op::Create { mgr: me },
+                        },
+                        _ => Op::MakeTransition { actor: me, target: me },
+                    };
+                    let domains = op.domains();
+                    let (seq, result) = shared.mutate(&domains, |e| op.apply(e));
+                    match log.lock() {
+                        Ok(mut g) => g.push((seq, op, result)),
+                        Err(p) => p.into_inner().push((seq, op, result)),
+                    }
+                    // Periodically audit a fresh snapshot: every committed
+                    // prefix of the linearization must be invariant-clean.
+                    if i % 16 == 0 {
+                        let s = shared.snapshot();
+                        assert!(
+                            audit(&s).is_empty(),
+                            "snapshot audit failed (seed {seed}, thread {tid}, iter {i})"
+                        );
+                        snapshot_audits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let shared = Arc::try_unwrap(shared).ok().expect("workers joined");
+    assert_eq!(shared.mutations(), (THREADS * OPS_PER_THREAD) as u64);
+    let final_engine = shared.into_inner();
+    assert!(
+        audit(&final_engine).is_empty(),
+        "final audit failed (seed {seed})"
+    );
+    assert!(snapshot_audits.load(Ordering::Relaxed) > 0);
+
+    // Linearized replay: same setup, ops in sequence order, must agree
+    // op-for-op and end in an identical engine.
+    let mut log = match Arc::try_unwrap(log).map(Mutex::into_inner) {
+        Ok(Ok(v)) => v,
+        _ => panic!("log lock poisoned"),
+    };
+    log.sort_by_key(|(seq, _, _)| *seq);
+    assert_eq!(log.len(), THREADS * OPS_PER_THREAD);
+    let (mut replay, _root, _tenants) = setup();
+    for (seq, op, recorded) in &log {
+        let got = op.apply(&mut replay);
+        assert_eq!(
+            &got, recorded,
+            "replay diverged at seq {seq} for {op:?} (seed {seed})"
+        );
+    }
+    assert!(audit(&replay).is_empty());
+    assert_eq!(
+        replay, final_engine,
+        "linearized replay does not reproduce the shared engine (seed {seed})"
+    );
+}
+
+/// A random unsealed child domain of `mgr` from the snapshot.
+fn pick_child(snap: &CapEngine, mgr: DomainId, rng: &mut Rng) -> Option<DomainId> {
+    let kids: Vec<DomainId> = snap
+        .domains()
+        .filter(|d| d.manager == Some(mgr) && d.is_alive())
+        .map(|d| d.id)
+        .collect();
+    if kids.is_empty() {
+        None
+    } else {
+        Some(kids[rng.below(kids.len() as u64) as usize])
+    }
+}
+
+/// A random active memory capability owned by `who`.
+fn pick_cap(snap: &CapEngine, who: DomainId, rng: &mut Rng) -> Option<CapId> {
+    let caps: Vec<CapId> = snap
+        .caps_of(who)
+        .iter()
+        .filter(|c| c.active && matches!(c.resource, Resource::Memory(_)))
+        .map(|c| c.id)
+        .collect();
+    if caps.is_empty() {
+        None
+    } else {
+        Some(caps[rng.below(caps.len() as u64) as usize])
+    }
+}
+
+/// A random capability granted by `who` (so `who` may revoke it).
+fn pick_granted(snap: &CapEngine, who: DomainId, rng: &mut Rng) -> Option<CapId> {
+    let caps: Vec<CapId> = snap
+        .caps()
+        .filter(|c| c.granter == who && c.owner != who)
+        .map(|c| c.id)
+        .collect();
+    if caps.is_empty() {
+        None
+    } else {
+        Some(caps[rng.below(caps.len() as u64) as usize])
+    }
+}

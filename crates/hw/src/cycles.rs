@@ -45,6 +45,15 @@ pub struct CostModel {
     pub context_switch: u64,
     /// A cross-process IPC message (pipe-style round trip).
     pub ipc_roundtrip: u64,
+    /// Sending one IPI from the initiating core (ICR write + fabric
+    /// latency charged to the sender).
+    pub ipi_send: u64,
+    /// Receiving an IPI on the target core (interrupt delivery + handler
+    /// entry/exit, before any flush work the handler performs).
+    pub ipi_deliver: u64,
+    /// Hand-off of a contended in-monitor lock between cores (cacheline
+    /// transfer + wakeup); charged once per acquisition that had to wait.
+    pub lock_handoff: u64,
 }
 
 impl CostModel {
@@ -66,6 +75,9 @@ impl CostModel {
             process_create: 250_000,
             context_switch: 3000,
             ipc_roundtrip: 8000,
+            ipi_send: 1000,
+            ipi_deliver: 700,
+            lock_handoff: 60,
         }
     }
 }
@@ -106,6 +118,68 @@ impl CycleCounter {
     pub fn since(&self, start: u64) -> u64 {
         self.now().saturating_sub(start)
     }
+
+    /// Advances the counter to at least `t` (discrete-event style: "this
+    /// core is busy until simulated time `t`"). Never moves backwards, so
+    /// concurrent advances from racing threads are safe and the final
+    /// value is the max over all of them.
+    pub fn advance_to(&self, t: u64) {
+        self.cycles.fetch_max(t, Ordering::Relaxed);
+    }
+}
+
+/// Per-core simulated clocks for an SMP machine.
+///
+/// Each core owns an independent [`CycleCounter`]; the monitor charges
+/// work to the core that performs it, serialization points advance the
+/// waiting core past the lock holder via [`CycleCounter::advance_to`],
+/// and the *makespan* (max over cores) is the SMP wall-clock analogue.
+/// All counters are atomic, so worker threads charge their own core
+/// without any shared lock.
+#[derive(Debug)]
+pub struct PerCoreClocks {
+    clocks: Vec<CycleCounter>,
+}
+
+impl PerCoreClocks {
+    /// Creates `cores` clocks, all at zero.
+    pub fn new(cores: usize) -> Self {
+        Self {
+            clocks: (0..cores).map(|_| CycleCounter::new()).collect(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Charges `n` cycles to `core`. Out-of-range cores are ignored (the
+    /// monitor validates core ids at its call boundary; the clock model
+    /// must not panic on behalf of a buggy driver).
+    pub fn charge(&self, core: usize, n: u64) {
+        if let Some(c) = self.clocks.get(core) {
+            c.charge(n);
+        }
+    }
+
+    /// Reads `core`'s clock (0 for out-of-range cores).
+    pub fn now(&self, core: usize) -> u64 {
+        self.clocks.get(core).map_or(0, CycleCounter::now)
+    }
+
+    /// Advances `core`'s clock to at least `t`.
+    pub fn advance_to(&self, core: usize, t: u64) {
+        if let Some(c) = self.clocks.get(core) {
+            c.advance_to(t);
+        }
+    }
+
+    /// The makespan: the maximum clock over all cores. This is the
+    /// simulated elapsed time of the whole machine.
+    pub fn max_now(&self) -> u64 {
+        self.clocks.iter().map(CycleCounter::now).max().unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +210,40 @@ mod tests {
         );
         assert!(m.tlb_hit < m.page_walk_level);
         assert!((50..=200).contains(&m.vmfunc_switch), "paper: ~100 cycles");
+        // IPI costs: delivery rides the same interrupt machinery as a trap
+        // entry, and a full remote shootdown (send + deliver + flush) must
+        // stay more expensive than a local flush, or coalescing would be
+        // pointless in the model.
+        assert!(m.ipi_send + m.ipi_deliver + m.tlb_flush > m.tlb_flush);
+        assert!(m.lock_handoff < m.vmfunc_switch);
+    }
+
+    #[test]
+    fn advance_to_is_monotone_max() {
+        let c = CycleCounter::new();
+        c.charge(50);
+        c.advance_to(40); // behind: no-op
+        assert_eq!(c.now(), 50);
+        c.advance_to(120);
+        assert_eq!(c.now(), 120);
+    }
+
+    #[test]
+    fn per_core_clocks_independent() {
+        let clocks = PerCoreClocks::new(4);
+        assert_eq!(clocks.cores(), 4);
+        clocks.charge(0, 100);
+        clocks.charge(2, 300);
+        clocks.advance_to(1, 250);
+        assert_eq!(clocks.now(0), 100);
+        assert_eq!(clocks.now(1), 250);
+        assert_eq!(clocks.now(2), 300);
+        assert_eq!(clocks.now(3), 0);
+        assert_eq!(clocks.max_now(), 300);
+        // Out-of-range cores are silently ignored, never panic.
+        clocks.charge(99, 1);
+        clocks.advance_to(99, 1);
+        assert_eq!(clocks.now(99), 0);
+        assert_eq!(clocks.max_now(), 300);
     }
 }

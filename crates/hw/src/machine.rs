@@ -6,9 +6,11 @@
 //! harts) is owned by the monitor layer, which borrows a [`Platform`] view
 //! for each architectural operation.
 
+use std::sync::Arc;
+
 use crate::addr::{PhysAddr, PhysRange, PAGE_SIZE};
 use crate::cache::{Cache, Tlb};
-use crate::cycles::{CostModel, CycleCounter};
+use crate::cycles::{CostModel, CycleCounter, PerCoreClocks};
 use crate::iommu::Iommu;
 use crate::irq::IrqController;
 use crate::mem::{FrameAllocator, PhysMem};
@@ -71,8 +73,13 @@ pub struct Machine {
     pub domain_ram: PhysRange,
     /// Number of CPU cores.
     pub cores: usize,
-    /// Cycle counter.
+    /// Cycle counter (machine-global; single-threaded drivers charge
+    /// here, and the SMP front-end uses it to measure per-call deltas).
     pub cycles: CycleCounter,
+    /// Per-core simulated clocks for SMP timing. Behind an `Arc` so the
+    /// concurrent monitor's worker threads can charge their core without
+    /// holding any machine lock.
+    pub core_clocks: Arc<PerCoreClocks>,
     /// Cost model.
     pub cost: CostModel,
     /// TLB model (shared; entries are tagged per EPT root).
@@ -121,6 +128,7 @@ impl Machine {
             domain_ram: PhysRange::new(PhysAddr::new(0), PhysAddr::new(reserve_base)),
             cores: config.cores,
             cycles: CycleCounter::new(),
+            core_clocks: Arc::new(PerCoreClocks::new(config.cores)),
             cost: config.cost,
             tlb: Tlb::new(),
             cache: Cache::default_l1(),
@@ -134,6 +142,30 @@ impl Machine {
     /// Builds the default machine (64 MiB RAM, 4 cores).
     pub fn default_machine() -> Self {
         Machine::new(MachineConfig::default())
+    }
+
+    /// Charges a cross-core TLB shootdown initiated by `from` against the
+    /// cores in `targets`, using the per-core clocks.
+    ///
+    /// The initiator pays `ipi_send` per target (ICR writes are serial);
+    /// each target core's clock advances to the point the IPI was sent,
+    /// then pays delivery plus a local TLB flush. Returns the number of
+    /// remote cores actually charged (`from` and out-of-range ids are
+    /// skipped: a core never IPIs itself for its own flush).
+    pub fn shootdown(&self, from: usize, targets: &[usize]) -> usize {
+        let mut charged = 0;
+        for &t in targets {
+            if t == from || t >= self.core_clocks.cores() {
+                continue;
+            }
+            self.core_clocks.charge(from, self.cost.ipi_send);
+            let sent_at = self.core_clocks.now(from);
+            self.core_clocks.advance_to(t, sent_at);
+            self.core_clocks
+                .charge(t, self.cost.ipi_deliver + self.cost.tlb_flush);
+            charged += 1;
+        }
+        charged
     }
 
     /// Borrows the shared-fabric view used by vCPU and device operations.
@@ -171,6 +203,41 @@ mod tests {
             monitor_reserved: 2 * 1024 * 1024,
             ..MachineConfig::default()
         });
+    }
+
+    #[test]
+    fn shootdown_charges_ipi_model() {
+        let m = Machine::default_machine();
+        let cost = m.cost;
+        // Core 0 shoots down cores 1 and 3; core 0 itself and an
+        // out-of-range core are skipped.
+        let charged = m.shootdown(0, &[1, 0, 3, 99]);
+        assert_eq!(charged, 2);
+        assert_eq!(m.core_clocks.now(0), 2 * cost.ipi_send);
+        // Target 1 was idle: its clock jumps to the send point, then pays
+        // delivery + flush.
+        assert_eq!(
+            m.core_clocks.now(1),
+            cost.ipi_send + cost.ipi_deliver + cost.tlb_flush
+        );
+        assert_eq!(
+            m.core_clocks.now(3),
+            2 * cost.ipi_send + cost.ipi_deliver + cost.tlb_flush
+        );
+        assert_eq!(m.core_clocks.now(2), 0);
+    }
+
+    #[test]
+    fn shootdown_busy_target_not_rewound() {
+        let m = Machine::default_machine();
+        // A target already past the send point keeps its own clock and
+        // just pays delivery + flush on top.
+        m.core_clocks.charge(1, 1_000_000);
+        m.shootdown(0, &[1]);
+        assert_eq!(
+            m.core_clocks.now(1),
+            1_000_000 + m.cost.ipi_deliver + m.cost.tlb_flush
+        );
     }
 
     #[test]

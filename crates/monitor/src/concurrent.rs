@@ -1,0 +1,709 @@
+//! SMP front-end: concurrent hypercall serving over one [`Monitor`].
+//!
+//! [`ConcurrentMonitor`] lets one worker thread per modeled core issue
+//! hypercalls against a shared monitor. Three serving tiers:
+//!
+//! - **Read-only calls** (`Enumerate`) run against a generation-validated
+//!   snapshot of the capability engine — seqlock-style: a cached
+//!   `Arc<CapEngine>` clone is reused while the engine's `generation()`
+//!   counter is unchanged, so queries never contend with anything.
+//! - **Fast transitions** (`Enter` through a `NONE`-policy transition
+//!   capability, and the matching `Return`) touch only per-core state:
+//!   validation runs on the snapshot, the VMFUNC switch is charged to
+//!   the core's own clock, and no shared lock is taken. This is the
+//!   paper's "fast (100 cycles) transitions" path, now per-core.
+//! - **Mutations** (everything else) take the *shard locks* of every
+//!   involved domain — in ascending shard order, the same global rule
+//!   as [`tyche_core::shared::SharedEngine`], so cross-domain grants and
+//!   revokes are deadlock-free — and then the inner monitor lock for
+//!   the actual state change.
+//!
+//! ## Simulated-time contention model
+//!
+//! Correctness comes from the real locks; *cost* comes from the
+//! discrete-event clock model. Each shard lock carries a simulated
+//! clock: a mutation starts at `t0 = max(core clock, involved shard
+//! clocks)` (+ a lock hand-off penalty if it had to wait), runs for the
+//! operation's charged cycle count, and advances the core clock and
+//! every involved shard clock to `t0 + dt`. Two cores mutating
+//! *distinct* domains never share a shard clock and proceed in parallel
+//! simulated time; two cores hammering the *same* domain serialize on
+//! its shard clock exactly like a contended lock. The machine makespan
+//! is `max` over core clocks. The engine object itself is still guarded
+//! by one inner lock (it is a single data structure); the shard clocks
+//! model the per-domain engine sharding the lock order is designed for,
+//! and the whole-monitor-mutex baseline in `tyche-bench` models the
+//! alternative where every call serializes on one global clock.
+//!
+//! ## Cross-core shootdowns
+//!
+//! Translation-shrinking mutations (grant, revoke, kill) queue the
+//! domains that lost access into the *calling core's* invalidation
+//! batch instead of IPI-ing immediately — the per-CPU TLB-gather
+//! discipline: whoever shrinks a translation owns its flush.
+//! [`ConcurrentMonitor::sync_shootdowns`] drains the caller's batch,
+//! finds the cores currently running an affected domain, and charges
+//! the IPI + remote-flush cost through [`Machine::shootdown`] — one IPI
+//! per (core, batch) however many pending invalidations coalesced into
+//! it, replacing the single-stream `sync_effects` model. Until a core's
+//! shootdown is delivered, its fast path may still validate against the
+//! pre-revocation snapshot — the same TOCTOU grace window real
+//! shootdown-based revocation has between the capability update and the
+//! remote TLB flush.
+//!
+//! ## What a fast-entered domain may do
+//!
+//! A fast transition never traps into the monitor, so the inner
+//! monitor's per-core "current domain" still names the caller. A domain
+//! entered through the fast path must *return* before issuing mutating
+//! hypercalls: `serve` refuses (Denied) when the SMP view and the inner
+//! monitor disagree about who is running on the core, rather than let a
+//! hypercall execute with the wrong actor.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use tyche_core::engine::CapEngine;
+use tyche_core::ids::{CapId, DomainId};
+use tyche_core::shared::{SharedEngine, SHARDS};
+use tyche_core::RevocationPolicy;
+use tyche_hw::cycles::{CycleCounter, PerCoreClocks};
+
+use crate::abi::{MonitorCall, Status};
+use crate::monitor::{Arch, CallResult, Monitor};
+
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    match l.read() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    match l.write() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn mutex_lock<T>(l: &Mutex<T>) -> MutexGuard<'_, T> {
+    match l.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// One shard: the real lock serializing conflicting mutations, plus the
+/// simulated clock modeling when the shard is next free.
+struct Shard {
+    lock: Mutex<()>,
+    clock: CycleCounter,
+}
+
+/// A fast-path stack frame mirrored per core.
+struct SmpFrame {
+    caller: DomainId,
+    fast: bool,
+}
+
+/// Per-core SMP state: which domain this core believes it is running,
+/// the fast-transition stack, and the validated fast-path cache.
+struct SmpCore {
+    current: DomainId,
+    stack: Vec<SmpFrame>,
+    /// `(engine generation, actor, cap)` → `(target, entry)`; valid only
+    /// while the generation matches.
+    cache: Option<(u64, DomainId, CapId, DomainId, u64)>,
+}
+
+/// Aggregate counters, all atomics so workers update them lock-free.
+#[derive(Default)]
+pub struct SmpStats {
+    /// Hypercalls served (all tiers).
+    pub calls: AtomicU64,
+    /// Mutating hypercalls that went through the inner monitor.
+    pub mutations: AtomicU64,
+    /// Fast (per-core, no-lock) transitions, one per one-way switch.
+    pub fast_transitions: AtomicU64,
+    /// Read-only calls served from a snapshot.
+    pub snapshot_reads: AtomicU64,
+    /// Domain invalidations queued for shootdown (pre-coalescing).
+    pub shootdowns_requested: AtomicU64,
+    /// Remote IPIs actually sent (post-coalescing).
+    pub ipis_sent: AtomicU64,
+    /// Mutations that had to wait on a busy shard clock.
+    pub shard_waits: AtomicU64,
+}
+
+impl SmpStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a counter (for reports).
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// The SMP serving layer. See the module docs for the tier and locking
+/// model.
+pub struct ConcurrentMonitor {
+    inner: RwLock<Monitor>,
+    shards: Vec<Shard>,
+    cores: Vec<Mutex<SmpCore>>,
+    clocks: Arc<PerCoreClocks>,
+    /// Per-core invalidation batches: domains whose translations a core
+    /// shrank since its last shootdown sync. The shrinking core owns the
+    /// batch (like per-CPU TLB gather), which keeps IPI accounting
+    /// deterministic — it never depends on which core happens to sync
+    /// first.
+    pending: Vec<Mutex<BTreeSet<DomainId>>>,
+    /// Engine generation after the most recent committed mutation.
+    live_gen: AtomicU64,
+    /// Cached engine snapshot: (generation, clone).
+    snap: Mutex<(u64, Arc<CapEngine>)>,
+    /// Counters.
+    pub stats: SmpStats,
+    arch: Arch,
+    trap_cost: u64,
+    vmfunc_cost: u64,
+    lock_handoff: u64,
+}
+
+impl ConcurrentMonitor {
+    /// Wraps a booted monitor for SMP serving. Each core's SMP view
+    /// starts at the domain the inner monitor has current on that core.
+    pub fn new(monitor: Monitor) -> Self {
+        let arch = monitor.arch();
+        let cost = monitor.machine.cost;
+        let trap_cost = match arch {
+            Arch::X86 => cost.vmexit_roundtrip,
+            Arch::RiscV => cost.mmode_trap_roundtrip,
+        };
+        let clocks = Arc::clone(&monitor.machine.core_clocks);
+        let gen = monitor.engine.generation();
+        let snap = Arc::new(monitor.engine.clone());
+        let core_count = monitor.machine.cores;
+        let cores = (0..core_count)
+            .map(|core| {
+                Mutex::new(SmpCore {
+                    current: monitor.current_domain(core),
+                    stack: Vec::new(),
+                    cache: None,
+                })
+            })
+            .collect();
+        ConcurrentMonitor {
+            inner: RwLock::new(monitor),
+            shards: (0..SHARDS)
+                .map(|_| Shard {
+                    lock: Mutex::new(()),
+                    clock: CycleCounter::new(),
+                })
+                .collect(),
+            cores,
+            clocks,
+            pending: (0..core_count).map(|_| Mutex::new(BTreeSet::new())).collect(),
+            live_gen: AtomicU64::new(gen),
+            snap: Mutex::new((gen, snap)),
+            stats: SmpStats::default(),
+            arch,
+            trap_cost,
+            vmfunc_cost: cost.vmfunc_switch,
+            lock_handoff: cost.lock_handoff,
+        }
+    }
+
+    /// Number of modeled cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The per-core simulated clocks (shared with the inner machine).
+    pub fn clocks(&self) -> &PerCoreClocks {
+        &self.clocks
+    }
+
+    /// The machine makespan so far: max over all core clocks.
+    pub fn makespan(&self) -> u64 {
+        self.clocks.max_now()
+    }
+
+    /// Runs `f` with read access to the inner monitor (blocks mutations
+    /// for the duration; use for assertions and teardown, not serving).
+    pub fn with_inner<R>(&self, f: impl FnOnce(&Monitor) -> R) -> R {
+        f(&read_lock(&self.inner))
+    }
+
+    /// Unwraps back into the inner [`Monitor`] (e.g. for a final
+    /// `audit()` / `audit_hardware()` pass after workers joined).
+    pub fn finish(self) -> Monitor {
+        match self.inner.into_inner() {
+            Ok(m) => m,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// A point-in-time engine snapshot, reusing the cached clone while
+    /// the live generation is unchanged.
+    pub fn snapshot(&self) -> Arc<CapEngine> {
+        let live = self.live_gen.load(Ordering::Acquire);
+        {
+            let cached = mutex_lock(&self.snap);
+            if cached.0 == live {
+                return Arc::clone(&cached.1);
+            }
+        }
+        let (gen, fresh) = {
+            let m = read_lock(&self.inner);
+            (m.engine.generation(), Arc::new(m.engine.clone()))
+        };
+        let mut cached = mutex_lock(&self.snap);
+        if gen >= cached.0 {
+            *cached = (gen, Arc::clone(&fresh));
+        }
+        fresh
+    }
+
+    /// Serves one hypercall issued by the domain running on `core`.
+    pub fn serve(&self, core: usize, call: MonitorCall) -> Result<CallResult, Status> {
+        if core >= self.cores.len() {
+            return Err(Status::InvalidArg);
+        }
+        SmpStats::bump(&self.stats.calls);
+        match call {
+            MonitorCall::Enumerate => self.serve_enumerate(core),
+            MonitorCall::Enter { cap } => self.serve_enter(core, cap),
+            MonitorCall::Return => self.serve_return(core),
+            other => self.serve_mutating(core, other),
+        }
+    }
+
+    /// Read tier: enumerate on a snapshot. Charges the trap cost to the
+    /// calling core's clock; takes no lock beyond the snapshot cache.
+    fn serve_enumerate(&self, core: usize) -> Result<CallResult, Status> {
+        SmpStats::bump(&self.stats.snapshot_reads);
+        self.clocks.charge(core, self.trap_cost);
+        let actor = mutex_lock(self.core_state(core)?).current;
+        let snap = self.snapshot();
+        let resources = snap.enumerate(actor).map_err(crate::monitor::cap_status)?;
+        Ok(CallResult::Count(resources.len() as u64))
+    }
+
+    fn core_state(&self, core: usize) -> Result<&Mutex<SmpCore>, Status> {
+        self.cores.get(core).ok_or(Status::InvalidArg)
+    }
+
+    /// Fast-or-mediated enter. The fast path validates on the snapshot
+    /// and touches only this core's state; flush-policy transitions and
+    /// non-x86 architectures fall back to the mediated (mutating) tier.
+    fn serve_enter(&self, core: usize, cap: CapId) -> Result<CallResult, Status> {
+        if self.arch == Arch::X86 {
+            let mut state = mutex_lock(self.core_state(core)?);
+            let actor = state.current;
+            let gen = self.live_gen.load(Ordering::Acquire);
+            let hit = match state.cache {
+                Some((g, a, c, target, entry)) if g == gen && a == actor && c == cap => {
+                    Some((target, entry))
+                }
+                _ => None,
+            };
+            let validated = match hit {
+                Some(v) => Some(v),
+                None => {
+                    let snap = self.snapshot();
+                    match snap.can_enter(actor, cap, core) {
+                        Ok((target, entry, policy)) if policy == RevocationPolicy::NONE => {
+                            state.cache = Some((gen, actor, cap, target, entry));
+                            Some((target, entry))
+                        }
+                        // Flush policies need the monitor in the loop:
+                        // fall through to the mediated tier below.
+                        Ok(_) => None,
+                        Err(e) => return Err(crate::monitor::cap_status(e)),
+                    }
+                }
+            };
+            if let Some((target, entry)) = validated {
+                self.clocks.charge(core, self.vmfunc_cost);
+                state.stack.push(SmpFrame {
+                    caller: actor,
+                    fast: true,
+                });
+                state.current = target;
+                SmpStats::bump(&self.stats.fast_transitions);
+                return Ok(CallResult::Entered { target, entry });
+            }
+        }
+        self.serve_mutating(core, MonitorCall::Enter { cap })
+    }
+
+    /// Return: fast if the top frame was entered fast, mediated
+    /// otherwise.
+    fn serve_return(&self, core: usize) -> Result<CallResult, Status> {
+        let mut state = mutex_lock(self.core_state(core)?);
+        match state.stack.last() {
+            Some(f) if f.fast => {
+                let frame = match state.stack.pop() {
+                    Some(f) => f,
+                    None => return Err(Status::Denied),
+                };
+                self.clocks.charge(core, self.vmfunc_cost);
+                state.current = frame.caller;
+                SmpStats::bump(&self.stats.fast_transitions);
+                Ok(CallResult::Returned { to: frame.caller })
+            }
+            _ => {
+                drop(state);
+                self.serve_mutating(core, MonitorCall::Return)
+            }
+        }
+    }
+
+    /// Mutation tier: shard locks in ascending order, then the inner
+    /// monitor, with the discrete-event timing described in the module
+    /// docs.
+    fn serve_mutating(&self, core: usize, call: MonitorCall) -> Result<CallResult, Status> {
+        let mut state = mutex_lock(self.core_state(core)?);
+        let actor = state.current;
+        let (involved, losers) = self.involved_domains(actor, &call);
+        let mut shard_idx: Vec<usize> = involved.iter().map(|&d| SharedEngine::shard_of(d)).collect();
+        shard_idx.sort_unstable();
+        shard_idx.dedup();
+        let shards: Vec<&Shard> = shard_idx
+            .iter()
+            .filter_map(|&i| self.shards.get(i))
+            .collect();
+        let _guards: Vec<MutexGuard<'_, ()>> = shards.iter().map(|s| mutex_lock(&s.lock)).collect();
+        let mut inner = write_lock(&self.inner);
+        // A fast-entered domain has not trapped into the monitor: the
+        // inner monitor still has its caller current on this core, so a
+        // mutating hypercall would execute as the wrong actor. It must
+        // return first.
+        if inner.current_domain(core) != actor {
+            return Err(Status::Denied);
+        }
+        // Discrete-event lock timing: start when the core *and* every
+        // involved shard are free; pay a hand-off if the shard clocks
+        // made us wait.
+        let core_now = self.clocks.now(core);
+        let shard_free = shards.iter().map(|s| s.clock.now()).max().unwrap_or(0);
+        let mut t0 = core_now.max(shard_free);
+        if shard_free > core_now {
+            SmpStats::bump(&self.stats.shard_waits);
+            t0 += self.lock_handoff;
+        }
+        // The inner call charges the machine-global counter; the delta
+        // is this operation's cost, re-charged to the core's timeline.
+        let before = inner.machine.cycles.now();
+        let result = inner.call(core, call);
+        let dt = inner.machine.cycles.since(before);
+        let end = t0 + dt;
+        self.clocks.advance_to(core, end);
+        for s in &shards {
+            s.clock.advance_to(end);
+        }
+        self.live_gen
+            .store(inner.engine.generation(), Ordering::Release);
+        SmpStats::bump(&self.stats.mutations);
+        // Mirror mediated transitions into the SMP view.
+        match &result {
+            Ok(CallResult::Entered { target, .. }) => {
+                state.stack.push(SmpFrame {
+                    caller: actor,
+                    fast: false,
+                });
+                state.current = *target;
+            }
+            Ok(CallResult::Returned { to }) => {
+                state.stack.pop();
+                state.current = *to;
+            }
+            _ => {}
+        }
+        drop(inner);
+        drop(state);
+        // Translation-shrinking ops queue the domains that *lost* access
+        // for a batched cross-core shootdown instead of IPI-ing inline.
+        if result.is_ok() && !losers.is_empty() {
+            // `core` was validated by `core_state` above; `get` keeps the
+            // no-panic discipline anyway.
+            if let Some(batch) = self.pending.get(core) {
+                let mut pending = mutex_lock(batch);
+                for d in losers {
+                    SmpStats::bump(&self.stats.shootdowns_requested);
+                    pending.insert(d);
+                }
+            }
+        }
+        result
+    }
+
+    /// The domains a call touches, for shard locking, plus the subset
+    /// that *loses* translations (shootdown targets). The involved set is
+    /// conservative — a superset is always safe, since the inner lock
+    /// guarantees correctness and shards only model contention — but
+    /// tight enough that distinct-domain workloads stay disjoint. The
+    /// loser set mirrors the backends' flush rule: map-only changes
+    /// (share, split, create) never shoot down; grant strips the granter,
+    /// revoke strips the subtree owners, kill strips the dead domain.
+    fn involved_domains(
+        &self,
+        actor: DomainId,
+        call: &MonitorCall,
+    ) -> (BTreeSet<DomainId>, BTreeSet<DomainId>) {
+        let mut set = BTreeSet::new();
+        let mut losers = BTreeSet::new();
+        set.insert(actor);
+        match call {
+            MonitorCall::Share { cap, target, .. } => {
+                set.insert(*target);
+                if let Some(c) = self.snapshot().cap(*cap) {
+                    set.insert(c.owner);
+                }
+            }
+            MonitorCall::Grant { cap, target, .. } => {
+                set.insert(*target);
+                if let Some(c) = self.snapshot().cap(*cap) {
+                    set.insert(c.owner);
+                    if matches!(c.resource, tyche_core::Resource::Memory(_)) {
+                        losers.insert(c.owner);
+                    }
+                }
+            }
+            MonitorCall::Revoke { cap } => {
+                // Owners across the revoked subtree, from the snapshot.
+                let snap = self.snapshot();
+                let mut stack = vec![*cap];
+                while let Some(id) = stack.pop() {
+                    if let Some(c) = snap.cap(id) {
+                        set.insert(c.owner);
+                        if c.active && matches!(c.resource, tyche_core::Resource::Memory(_)) {
+                            losers.insert(c.owner);
+                        }
+                        stack.extend(c.children.iter().copied());
+                    }
+                }
+            }
+            MonitorCall::Kill { domain } => {
+                set.insert(*domain);
+                losers.insert(*domain);
+            }
+            MonitorCall::Seal { domain, .. }
+            | MonitorCall::SetEntry { domain, .. }
+            | MonitorCall::RecordContent { domain, .. }
+            | MonitorCall::Attest { domain, .. } => {
+                set.insert(*domain);
+            }
+            MonitorCall::MakeTransition { target, .. } => {
+                set.insert(*target);
+            }
+            MonitorCall::Enter { cap } => {
+                if let Some(c) = self.snapshot().cap(*cap) {
+                    if let tyche_core::Resource::Transition(t) = c.resource {
+                        set.insert(t);
+                    }
+                }
+            }
+            MonitorCall::Split { .. }
+            | MonitorCall::CreateDomain
+            | MonitorCall::Return
+            | MonitorCall::Enumerate => {}
+        }
+        (set, losers)
+    }
+
+    /// Drains `core`'s own invalidation batch and delivers one batched
+    /// IPI round: every *other* core currently running an affected domain
+    /// gets one IPI + remote flush, however many invalidations coalesced
+    /// into the batch. Returns the number of IPIs sent. Each core flushes
+    /// only what it shrank — the TLB-gather discipline — so IPI counts
+    /// are a function of the workload, not of sync interleaving.
+    pub fn sync_shootdowns(&self, core: usize) -> usize {
+        let affected: BTreeSet<DomainId> = match self.pending.get(core) {
+            Some(batch) => std::mem::take(&mut *mutex_lock(batch)),
+            None => return 0,
+        };
+        if affected.is_empty() {
+            return 0;
+        }
+        // Snapshot each core's current domain one lock at a time (no
+        // nested core locks, so this cannot deadlock against workers).
+        let mut targets = Vec::new();
+        for (i, slot) in self.cores.iter().enumerate() {
+            if i == core {
+                continue;
+            }
+            let st = mutex_lock(slot);
+            if affected.contains(&st.current) {
+                targets.push(i);
+            }
+        }
+        if targets.is_empty() {
+            return 0;
+        }
+        let sent = {
+            let m = read_lock(&self.inner);
+            m.machine.shootdown(core, &targets)
+        };
+        for _ in 0..sent {
+            SmpStats::bump(&self.stats.ipis_sent);
+        }
+        sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boot::{boot_x86, BootConfig};
+    use tyche_core::{MemRegion, Resource, Rights, SealPolicy};
+
+    /// Boots, creates one sealed child per core (each owning its core and
+    /// a private memory window), and returns the wrapper plus per-core
+    /// (domain, transition cap) pairs.
+    fn smp_fixture() -> (ConcurrentMonitor, Vec<(DomainId, CapId)>) {
+        let mut m = boot_x86(BootConfig::default());
+        let root = m.engine.root().unwrap();
+        let cores = m.machine.cores;
+        let mut out = Vec::new();
+        for core in 0..cores {
+            let base = 0x40_0000 + (core as u64) * 0x10_000;
+            let (child, gate) = m.engine.create_domain(root).unwrap();
+            let ram_cap = m
+                .engine
+                .caps_of(root)
+                .iter()
+                .find(|c| {
+                    c.active
+                        && matches!(c.resource, Resource::Memory(r)
+                            if r.start <= base && base + 0x10_000 <= r.end)
+                })
+                .map(|c| c.id)
+                .unwrap();
+            m.engine
+                .share(
+                    root,
+                    ram_cap,
+                    child,
+                    Some(MemRegion::new(base, base + 0x10_000)),
+                    Rights::RWX,
+                    RevocationPolicy::NONE,
+                )
+                .unwrap();
+            let core_cap = m
+                .engine
+                .caps_of(root)
+                .iter()
+                .find(|c| c.active && matches!(c.resource, Resource::CpuCore(n) if n == core))
+                .map(|c| c.id)
+                .unwrap();
+            m.engine
+                .share(root, core_cap, child, None, Rights::USE, RevocationPolicy::NONE)
+                .unwrap();
+            m.engine.set_entry(root, child, base).unwrap();
+            m.engine.seal(root, child, SealPolicy::strict()).unwrap();
+            m.sync_effects().unwrap();
+            out.push((child, gate));
+        }
+        (ConcurrentMonitor::new(m), out)
+    }
+
+    #[test]
+    fn fast_transitions_stay_per_core() {
+        let (cm, doms) = smp_fixture();
+        let (_, cap0) = doms[0];
+        let before_other = cm.clocks().now(1);
+        match cm.serve(0, MonitorCall::Enter { cap: cap0 }) {
+            Ok(CallResult::Entered { .. }) => {}
+            other => panic!("fast enter failed: {other:?}"),
+        }
+        match cm.serve(0, MonitorCall::Return) {
+            Ok(CallResult::Returned { .. }) => {}
+            other => panic!("fast return failed: {other:?}"),
+        }
+        assert_eq!(SmpStats::get(&cm.stats.fast_transitions), 2);
+        assert_eq!(SmpStats::get(&cm.stats.mutations), 0);
+        let vmfunc = tyche_hw::cycles::CostModel::default_model().vmfunc_switch;
+        assert_eq!(cm.clocks().now(0), 2 * vmfunc);
+        assert_eq!(cm.clocks().now(1), before_other, "core 1 untouched");
+    }
+
+    #[test]
+    fn mutating_call_denied_while_fast_entered() {
+        let (cm, doms) = smp_fixture();
+        let (_, cap0) = doms[0];
+        cm.serve(0, MonitorCall::Enter { cap: cap0 }).unwrap();
+        // The fast-entered child never trapped in; the inner monitor
+        // still has root current. Mutations must be refused, not run as
+        // the wrong actor.
+        assert_eq!(
+            cm.serve(0, MonitorCall::CreateDomain),
+            Err(Status::Denied)
+        );
+        cm.serve(0, MonitorCall::Return).unwrap();
+        assert!(matches!(
+            cm.serve(0, MonitorCall::CreateDomain),
+            Ok(CallResult::NewDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_serving_stays_auditable() {
+        let (cm, doms) = smp_fixture();
+        let cm = Arc::new(cm);
+        let workers: Vec<_> = (0..cm.cores())
+            .map(|core| {
+                let cm = Arc::clone(&cm);
+                let (_, cap) = doms[core];
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        cm.serve(core, MonitorCall::Enter { cap }).unwrap();
+                        cm.serve(core, MonitorCall::Return).unwrap();
+                        match cm.serve(core, MonitorCall::CreateDomain) {
+                            Ok(CallResult::NewDomain { domain, .. }) => {
+                                cm.serve(core, MonitorCall::Kill { domain }).unwrap();
+                            }
+                            other => panic!("create failed: {other:?}"),
+                        }
+                        cm.serve(core, MonitorCall::Enumerate).unwrap();
+                        cm.sync_shootdowns(core);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let cm = Arc::try_unwrap(cm).ok().expect("workers joined");
+        let monitor = cm.finish();
+        assert!(tyche_core::audit::audit(&monitor.engine).is_empty());
+        assert!(monitor.audit_hardware().is_empty());
+    }
+
+    #[test]
+    fn revoke_triggers_coalesced_shootdown() {
+        let (cm, doms) = smp_fixture();
+        let (d1, cap1) = doms[1];
+        // Core 1 fast-enters its domain so a shootdown can target it.
+        cm.serve(1, MonitorCall::Enter { cap: cap1 }).unwrap();
+        // Root on core 0 revokes two of d1's capabilities; both queue
+        // invalidations, but one sync sends a single IPI to core 1.
+        let caps: Vec<CapId> = cm
+            .snapshot()
+            .caps_of(d1)
+            .iter()
+            .filter(|c| matches!(c.resource, tyche_core::Resource::Memory(_)))
+            .map(|c| c.id)
+            .collect();
+        for cap in caps {
+            cm.serve(0, MonitorCall::Revoke { cap }).unwrap();
+        }
+        assert!(SmpStats::get(&cm.stats.shootdowns_requested) >= 1);
+        let sent = cm.sync_shootdowns(0);
+        assert_eq!(sent, 1, "batched invalidations coalesce to one IPI");
+        assert_eq!(cm.sync_shootdowns(0), 0, "pending set drained");
+    }
+}

@@ -34,9 +34,11 @@ pub mod abi;
 pub mod attest;
 pub mod backend;
 pub mod boot;
+pub mod concurrent;
 pub mod monitor;
 
 pub use abi::{MonitorCall, Status};
+pub use concurrent::{ConcurrentMonitor, SmpStats};
 pub use attest::{AttestedDomain, Verifier};
 pub use boot::{boot_riscv, boot_x86, BootConfig};
 pub use monitor::{Arch, Fault, Monitor};

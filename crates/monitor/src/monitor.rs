@@ -934,7 +934,7 @@ enum RollBack {
 }
 
 /// Maps engine errors onto ABI status codes.
-fn cap_status(e: CapError) -> Status {
+pub(crate) fn cap_status(e: CapError) -> Status {
     match e {
         CapError::NoSuchDomain(_) | CapError::NoSuchCap(_) => Status::NotFound,
         CapError::OutOfRange | CapError::SubrangeOnNonMemory | CapError::WrongResourceType => {

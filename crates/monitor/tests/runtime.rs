@@ -3,7 +3,10 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use tyche_core::prelude::*;
+use tyche_hw::machine::{Machine, MachineConfig};
 use tyche_monitor::abi::MonitorCall;
+use tyche_monitor::backend::riscv::RiscvBackend;
+use tyche_monitor::backend::x86::X86Backend;
 use tyche_monitor::monitor::CallResult;
 use tyche_monitor::{boot_riscv, boot_x86, BootConfig, Monitor, Status};
 
@@ -530,4 +533,117 @@ fn domain_churn_beyond_eptp_list_capacity() {
         m.call(0, MonitorCall::Kill { domain }).unwrap();
     }
     assert!(tyche_core::audit::audit(&m.engine).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Backend resync cost rules: these pin down the charging discipline the SMP
+// shootdown model relies on — redundant resyncs must be free (riscv) and TLB
+// shootdowns must only be charged when a live translation actually changed
+// (x86). A regression here silently inflates every BENCH_smp number.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn riscv_resync_of_unchanged_layout_is_free() {
+    let mut machine = Machine::new(MachineConfig::default());
+    let mut engine = CapEngine::new();
+    let mut backend = RiscvBackend::new(&machine);
+    let os = engine.create_root_domain();
+    engine
+        .endow(os, Resource::mem(0, 0x10_0000), Rights::RWX)
+        .unwrap();
+    for fx in engine.drain_effects() {
+        backend.apply(&mut machine, &engine, &fx).unwrap();
+    }
+
+    // Re-delivering a map effect whose page view coalesces to the layout
+    // already programmed must early-exit before any PMP write is charged.
+    let c0 = machine.cycles.now();
+    backend
+        .apply(
+            &mut machine,
+            &engine,
+            &Effect::MapMem {
+                domain: os,
+                region: MemRegion::new(0, 0x1000),
+                rights: Rights::RWX,
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        machine.cycles.now(),
+        c0,
+        "unchanged layout resync must not charge PMP writes"
+    );
+
+    // A real layout change pays for its segment writes.
+    let ram = engine.caps_of(os)[0].id;
+    let (child, _gate) = engine.create_domain(os).unwrap();
+    engine
+        .share(
+            os,
+            ram,
+            child,
+            Some(MemRegion::new(0x4000, 0x8000)),
+            Rights::RO,
+            RevocationPolicy::NONE,
+        )
+        .unwrap();
+    for fx in engine.drain_effects() {
+        backend.apply(&mut machine, &engine, &fx).unwrap();
+    }
+    assert!(
+        machine.cycles.now() > c0,
+        "changed layout resync must charge PMP writes"
+    );
+}
+
+#[test]
+fn x86_shootdown_charged_only_on_translation_change() {
+    let mut machine = Machine::new(MachineConfig::default());
+    let mut engine = CapEngine::new();
+    let mut backend = X86Backend::new(&mut machine).unwrap();
+    let os = engine.create_root_domain();
+    engine
+        .endow(os, Resource::mem(0, 0x10_0000), Rights::RWX)
+        .unwrap();
+    for fx in engine.drain_effects() {
+        backend.apply(&mut machine, &engine, &fx).unwrap();
+    }
+
+    // Map-only resync: the child only *gains* pages. No stale translation
+    // can exist for a page that was never mapped, so no shootdown charge.
+    let ram = engine.caps_of(os)[0].id;
+    let (child, _gate) = engine.create_domain(os).unwrap();
+    let share = engine
+        .share(
+            os,
+            ram,
+            child,
+            Some(MemRegion::new(0x4000, 0x6000)),
+            Rights::RW,
+            RevocationPolicy::NONE,
+        )
+        .unwrap();
+    let c0 = machine.cycles.now();
+    for fx in engine.drain_effects() {
+        backend.apply(&mut machine, &engine, &fx).unwrap();
+    }
+    assert_eq!(
+        machine.cycles.now(),
+        c0,
+        "map-only resync must not charge a TLB shootdown"
+    );
+
+    // Revoking the window unmaps live child translations: exactly one
+    // coalesced shootdown for the whole resync, nothing more.
+    engine.revoke(os, share).unwrap();
+    let c1 = machine.cycles.now();
+    for fx in engine.drain_effects() {
+        backend.apply(&mut machine, &engine, &fx).unwrap();
+    }
+    assert_eq!(
+        machine.cycles.now() - c1,
+        machine.cost.tlb_flush,
+        "unmap resync must charge exactly one TLB shootdown"
+    );
 }
