@@ -36,7 +36,7 @@ fn bench_attestation(c: &mut Criterion) {
         let mut i = 0u8;
         b.iter(|| {
             i = i.wrapping_add(1);
-            black_box(m.machine_quote([i; 32]))
+            black_box(m.machine_quote([i; 32]).expect("quote"))
         });
     });
 
@@ -60,7 +60,7 @@ fn bench_attestation(c: &mut Criterion) {
                 monitor_key: m.report_key(),
             };
             let nonce = [7u8; 32];
-            let quote = m.machine_quote(nonce);
+            let quote = m.machine_quote(nonce).expect("quote");
             let signed = m.attest_domain(d, nonce).expect("attest");
             b.iter(|| {
                 black_box(

@@ -21,7 +21,7 @@
 
 use std::time::Instant;
 use tyche_bench::scenarios::{self, layout};
-use tyche_bench::{boot, spawn_sealed, Table};
+use tyche_bench::{boot, fuzz, spawn_sealed, Table};
 use tyche_core::audit;
 use tyche_core::prelude::*;
 use tyche_monitor::abi::MonitorCall;
@@ -51,6 +51,18 @@ fn main() {
                 // (2 threads, no artifact rewrite).
                 bench_smp(false, true);
             }
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "fuzz") {
+        // Explicit-only, like `bench`: the adversarial hypercall fuzzer
+        // over fixed seeds. Exits non-zero on any audit finding or
+        // replay divergence; a panic anywhere in the TCB kills the
+        // process, which the CI gate treats as failure.
+        let json = args.iter().any(|a| a == "--json");
+        let smoke = args.iter().any(|a| a == "--smoke");
+        if !fuzz_campaign(json, smoke) {
+            std::process::exit(1);
         }
         return;
     }
@@ -243,7 +255,7 @@ fn f1() {
         monitor_key: m.report_key(),
     };
     let qn = [3u8; 32];
-    let quote = m.machine_quote(qn);
+    let quote = m.machine_quote(qn).expect("quote");
     let rn = [4u8; 32];
     let report = m.attest_domain(enclave, rn).expect("report");
     let ok = verifier.verify(&quote, &qn, &report, &rn, None).is_ok();
@@ -826,7 +838,7 @@ fn c8() {
     };
     let qn = [1u8; 32];
     let rn = [2u8; 32];
-    let quote = m.machine_quote(qn);
+    let quote = m.machine_quote(qn).expect("quote");
     let signed = m.attest_domain(enclave, rn).expect("report");
     let check = |q, qn2: &[u8; 32], s, rn2: &[u8; 32]| match verifier.verify(q, qn2, s, rn2, None) {
         Ok(_) => "ACCEPTED".to_string(),
@@ -867,7 +879,7 @@ fn c8() {
         expected_monitor_pcr: expected_monitor_pcr(MONITOR_VERSION),
         monitor_key: evil.report_key(),
     };
-    let eq = evil.machine_quote(qn);
+    let eq = evil.machine_quote(qn).expect("quote");
     let es = evil.attest_domain(evil_dom, rn).expect("report");
     t.row(&[
         "machine running a different monitor".into(),
@@ -909,7 +921,7 @@ fn c8() {
                 expected_monitor_pcr: expected_monitor_pcr(MONITOR_VERSION),
                 monitor_key: m.report_key(),
             };
-            let quote = m.machine_quote(rn);
+            let quote = m.machine_quote(rn).expect("quote");
             verifier
                 .verify(&quote, &rn, &signed, &rn, None)
                 .expect("verify");
@@ -1292,7 +1304,7 @@ fn e2() {
     };
     let qn = [1u8; 32];
     let rn = [2u8; 32];
-    let quote = f.monitor.machine_quote(qn);
+    let quote = f.monitor.machine_quote(qn).expect("quote");
     let reports = vec![
         f.monitor.attest_domain(f.crypto, rn).expect("crypto"),
         f.monitor.attest_domain(f.app, rn).expect("app"),
@@ -1447,7 +1459,7 @@ fn e5() {
     let (mut mb, db, gb) = mk(0x10_0000);
     let qn = [1u8; 32];
     let rn = [2u8; 32];
-    let quote_b = mb.machine_quote(qn);
+    let quote_b = mb.machine_quote(qn).expect("quote");
     let report_b = mb.attest_domain(db, rn).expect("report b");
     let report_a = ma.attest_domain(da, rn).expect("report a");
     let verifier = Verifier {
@@ -2330,4 +2342,112 @@ fn bench_smp(json: bool, smoke: bool) {
         std::fs::write(&path, doc).expect("write BENCH_smp.json");
         println!("wrote {}", path.display());
     }
+}
+
+// ---------------------------------------------------------------------
+// `repro fuzz` — adversarial hypercall fuzzing over fixed seeds
+// ---------------------------------------------------------------------
+
+/// The fixed seed corpus (documented in EXPERIMENTS.md § Fuzz
+/// methodology). Full runs take all eight; `--smoke` takes the first
+/// four with a smaller call budget for CI.
+const FUZZ_SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+
+/// Runs the adversarial fuzzer over the fixed seed corpus, replaying
+/// each seed to check trace determinism. Returns false on any audit
+/// finding or replay divergence.
+fn fuzz_campaign(json: bool, smoke: bool) -> bool {
+    let seeds: &[u64] = if smoke { &FUZZ_SEEDS[..4] } else { &FUZZ_SEEDS };
+    let calls: u64 = if smoke { 1_500 } else { 10_000 };
+    let mut t = Table::new(
+        "FUZZ — adversarial hypercalls under deterministic fault injection",
+        &[
+            "seed", "calls", "ok", "refused", "malformed", "accesses", "faults", "quar",
+            "replay", "trace",
+        ],
+    );
+    let mut pass = true;
+    let mut reports = Vec::new();
+    let started = Instant::now();
+    for &seed in seeds {
+        let config = fuzz::FuzzConfig {
+            seed,
+            calls,
+            faults: true,
+        };
+        let r = fuzz::run(config);
+        let replayed = fuzz::run(config).trace == r.trace;
+        if !r.clean() {
+            pass = false;
+            for f in &r.audit_failures {
+                println!("AUDIT FAILURE: {f}");
+            }
+        }
+        if !replayed {
+            pass = false;
+            println!("REPLAY DIVERGENCE: seed {seed} produced two different traces");
+        }
+        t.row(&[
+            seed.to_string(),
+            r.calls.to_string(),
+            r.ok.to_string(),
+            r.refused.to_string(),
+            r.malformed.to_string(),
+            r.accesses.to_string(),
+            r.faults_fired.to_string(),
+            r.quarantines.to_string(),
+            if replayed { "=".into() } else { "DIVERGED".into() },
+            r.trace.to_hex()[..16].to_string(),
+        ]);
+        reports.push((r, replayed));
+    }
+    t.print();
+    println!(
+        "fuzz: {} seeds x {} calls in {:.1}s — {}",
+        seeds.len(),
+        calls,
+        started.elapsed().as_secs_f64(),
+        if pass {
+            "no panics, no audit findings, all traces replay"
+        } else {
+            "FAILURES above"
+        }
+    );
+    if json {
+        let body = reports
+            .iter()
+            .map(|(r, replayed)| {
+                format!(
+                    "    {{\"seed\": {}, \"calls\": {}, \"ok\": {}, \"refused\": {}, \
+                     \"malformed\": {}, \"accesses\": {}, \"faults_fired\": {}, \
+                     \"quarantines\": {}, \"audit_failures\": {}, \"replayed\": {}, \
+                     \"trace\": \"{}\"}}",
+                    r.seed,
+                    r.calls,
+                    r.ok,
+                    r.refused,
+                    r.malformed,
+                    r.accesses,
+                    r.faults_fired,
+                    r.quarantines,
+                    r.audit_failures.len(),
+                    replayed,
+                    r.trace.to_hex()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let doc = format!(
+            "{{\n  \"schema\": \"tyche-fuzz/v1\",\n  \"mode\": \"{}\",\n  \
+             \"monitor_version\": \"{}\",\n  \"pass\": {},\n  \"seeds\": [\n{}\n  ]\n}}\n",
+            if smoke { "smoke" } else { "full" },
+            MONITOR_VERSION,
+            pass,
+            body
+        );
+        let path = workspace_root().join("FUZZ.json");
+        std::fs::write(&path, doc).expect("write FUZZ.json");
+        println!("wrote {}", path.display());
+    }
+    pass
 }

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod fixtures;
+pub mod fuzz;
 pub mod scenarios;
 pub mod table;
 

@@ -247,7 +247,7 @@ pub fn fig2_customer_verifies(f: &mut Fig2) -> bool {
         monitor_key: f.monitor.report_key(),
     };
     let qn = [1u8; 32];
-    let quote = f.monitor.machine_quote(qn);
+    let quote = f.monitor.machine_quote(qn).expect("quote");
     let rn = [2u8; 32];
     let crypto_report = f
         .monitor

@@ -39,6 +39,10 @@ pub enum Violation {
     SealedExtended(CapId),
     /// A strictly sealed domain shared/granted a capability after sealing.
     StrictSealShared(CapId),
+    /// An active transition capability targets a quarantined domain —
+    /// quarantined domains are killable and enumerable but never
+    /// enterable.
+    TransitionIntoQuarantined(CapId),
 }
 
 /// Audits every engine invariant; returns all violations found.
@@ -115,6 +119,16 @@ pub fn audit(engine: &CapEngine) -> Vec<Violation> {
                 }
             }
         }
+        // I7: quarantine isolation — no active transition capability may
+        // point into a quarantined domain.
+        if cap.active {
+            if let Resource::Transition(t) = cap.resource {
+                if engine.domain(t).map(|d| d.is_quarantined()).unwrap_or(false) {
+                    out.push(Violation::TransitionIntoQuarantined(cap.id));
+                }
+            }
+        }
+
         if let Some(granter_dom) = engine.domain(cap.granter) {
             if cap.granter != cap.owner {
                 if let (Some(created), Some(sealed)) = (

@@ -82,6 +82,12 @@ pub struct Domain {
     /// region-end, digest)`, supplied by the monitor when it loads the
     /// domain's initial memory.
     pub content_measurements: Vec<(u64, u64, Digest)>,
+    /// Poisoned-domain quarantine: the hardware backing this domain
+    /// faulted mid-reprogramming, so its translation state can no longer
+    /// be trusted to match the capability view. A quarantined domain
+    /// stays alive — killable and enumerable, so its manager can tear it
+    /// down and auditors can inspect it — but is never enterable again.
+    pub quarantined: bool,
 }
 
 impl Domain {
@@ -93,6 +99,12 @@ impl Domain {
     /// True when the domain is alive (configuring or sealed).
     pub fn is_alive(&self) -> bool {
         self.state != DomainState::Dead
+    }
+
+    /// True when the domain is quarantined (alive but not enterable;
+    /// see [`Domain::quarantined`]).
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
     }
 }
 
@@ -130,11 +142,16 @@ mod tests {
             entry: None,
             measurement: None,
             content_measurements: vec![],
+            quarantined: false,
         };
         assert!(d.is_alive());
         assert!(!d.is_sealed());
+        assert!(!d.is_quarantined());
         d.state = DomainState::Sealed;
         assert!(d.is_sealed());
+        d.quarantined = true;
+        assert!(d.is_quarantined());
+        assert!(d.is_alive(), "quarantined domains stay alive (killable)");
         d.state = DomainState::Dead;
         assert!(!d.is_alive());
     }

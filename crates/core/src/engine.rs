@@ -252,6 +252,7 @@ impl CapEngine {
                 entry: None,
                 measurement: None,
                 content_measurements: Vec::new(),
+                quarantined: false,
             },
         );
         self.root = Some(id);
@@ -328,6 +329,7 @@ impl CapEngine {
                 entry: None,
                 measurement: None,
                 content_measurements: Vec::new(),
+                quarantined: false,
             },
         );
         self.effects.push(Effect::DomainCreated { domain: id });
@@ -479,6 +481,49 @@ impl CapEngine {
         Ok(())
     }
 
+    /// Quarantines `domain` after a hardware fault left its translation
+    /// state untrusted: the domain stays alive (killable, enumerable) but
+    /// is never enterable again. Every active transition capability into
+    /// the domain is deactivated so the invariant "no active transition
+    /// targets a quarantined domain" holds immediately; the auditor
+    /// enforces it from then on. Idempotent on already-quarantined
+    /// domains. No hardware effects are emitted — the caller (the
+    /// monitor) owns whatever backend state triggered the quarantine.
+    pub fn quarantine(&mut self, domain: DomainId) -> Result<(), CapError> {
+        let dom = self
+            .domains
+            .get_mut(&domain)
+            .ok_or(CapError::NoSuchDomain(domain))?;
+        if !dom.is_alive() {
+            return Err(CapError::NoSuchDomain(domain));
+        }
+        let already = dom.quarantined;
+        dom.quarantined = true;
+        if !already {
+            let transitions: Vec<CapId> = if self.indexes_poisoned {
+                self.caps
+                    .values()
+                    .filter(|c| matches!(c.resource, Resource::Transition(t) if t == domain))
+                    .map(|c| c.id)
+                    .collect()
+            } else {
+                self.res_index
+                    .get(&(3, domain.0))
+                    .into_iter()
+                    .flat_map(|ids| ids.iter().copied())
+                    .collect()
+            };
+            for cap in transitions {
+                if self.caps.get(&cap).map(|c| c.active).unwrap_or(false) {
+                    self.set_cap_active(cap, false);
+                }
+            }
+        }
+        // Cached fast-path transition validations are stale either way.
+        self.tick();
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Capability operations
     // ------------------------------------------------------------------
@@ -521,6 +566,25 @@ impl CapEngine {
             }
         }
         self.derive(actor, cap, target, None, rights, policy, CapKind::Granted)
+    }
+
+    /// Drives [`derive`](Self::derive) with an arbitrary kind, including
+    /// the `Root`/`Carved` kinds the public API can never produce.
+    /// Regression hook for the panic that used to sit at the end of
+    /// `derive`; a refused kind must leave the engine untouched.
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn derive_raw(
+        &mut self,
+        actor: DomainId,
+        cap: CapId,
+        target: DomainId,
+        sub: Option<MemRegion>,
+        rights: Rights,
+        policy: RevocationPolicy,
+        kind: CapKind,
+    ) -> Result<CapId, CapError> {
+        self.derive(actor, cap, target, sub, rights, policy, kind)
     }
 
     /// Splits an active memory capability at address `at`, producing two
@@ -627,6 +691,18 @@ impl CapEngine {
         if actor != target {
             self.check_manager(actor, target)?;
         }
+        let t = self
+            .domains
+            .get(&target)
+            .ok_or(CapError::NoSuchDomain(target))?;
+        if !t.is_alive() {
+            return Err(CapError::NoSuchDomain(target));
+        }
+        // A new transition capability into a quarantined domain would be
+        // born violating the quarantine invariant (audit I7).
+        if t.is_quarantined() {
+            return Err(CapError::Quarantined(target));
+        }
         let a = self
             .domains
             .get(&actor)
@@ -688,6 +764,9 @@ impl CapEngine {
             .ok_or(CapError::NoSuchDomain(target))?;
         if !dom.is_alive() {
             return Err(CapError::NoSuchDomain(target));
+        }
+        if dom.is_quarantined() {
+            return Err(CapError::Quarantined(target));
         }
         if !dom.is_sealed() {
             return Err(CapError::NotSealed(target));
@@ -1042,6 +1121,13 @@ impl CapEngine {
         policy: RevocationPolicy,
         kind: CapKind,
     ) -> Result<CapId, CapError> {
+        // Only shares and grants derive; a `Root` or `Carved` kind here
+        // would corrupt the lineage bookkeeping. Validated before any
+        // mutation, so a bad request leaves the engine untouched (this
+        // used to be an `unreachable!` *after* the child was inserted).
+        if !matches!(kind, CapKind::Shared | CapKind::Granted) {
+            return Err(CapError::InvalidDerivation);
+        }
         let c = self.caps.get(&cap).ok_or(CapError::NoSuchCap(cap))?;
         if c.owner != actor {
             return Err(CapError::NotOwner { cap, actor });
@@ -1086,25 +1172,22 @@ impl CapEngine {
         let (parent_owner, parent_res) = (c.owner, c.resource);
         let child = self.insert_child(cap, target, actor, resource, rights, kind, policy)?;
         let child_cap = self.caps.get(&child).expect("just inserted").clone();
-        match kind {
-            CapKind::Shared => {
-                self.emit_gain(&child_cap);
+        if matches!(kind, CapKind::Shared) {
+            self.emit_gain(&child_cap);
+        } else {
+            // Granted (the only other kind past the entry validation).
+            // Suspend the granter's capability and its hardware access.
+            // The grant may take a core or transition target out from
+            // under a cached fast-path validation; `tick()` below
+            // bumps the generation.
+            self.set_cap_active(cap, false);
+            self.emit_loss(parent_owner, parent_res);
+            if matches!(parent_res, Resource::Memory(_)) {
+                self.effects.push(Effect::FlushTlb {
+                    domain: parent_owner,
+                });
             }
-            CapKind::Granted => {
-                // Suspend the granter's capability and its hardware access.
-                // The grant may take a core or transition target out from
-                // under a cached fast-path validation; `tick()` below
-                // bumps the generation.
-                self.set_cap_active(cap, false);
-                self.emit_loss(parent_owner, parent_res);
-                if matches!(parent_res, Resource::Memory(_)) {
-                    self.effects.push(Effect::FlushTlb {
-                        domain: parent_owner,
-                    });
-                }
-                self.emit_gain(&child_cap);
-            }
-            CapKind::Root | CapKind::Carved => unreachable!("derive only shares or grants"),
+            self.emit_gain(&child_cap);
         }
         self.tick();
         Ok(child)
@@ -1278,6 +1361,15 @@ impl CapEngine {
             } else {
                 false
             };
+            // Quarantine is sticky: a suspended transition capability into
+            // a quarantined domain must never come back to life when its
+            // suspending child goes away (audit I7).
+            let reactivate = reactivate
+                && !matches!(
+                    self.caps.get(&pid).map(|p| p.resource),
+                    Some(Resource::Transition(t))
+                        if self.domains.get(&t).map(|d| d.is_quarantined()).unwrap_or(false)
+                );
             if reactivate {
                 self.set_cap_active(pid, true);
                 if let Some(parent) = self.caps.get(&pid) {

@@ -64,6 +64,13 @@ pub enum CapError {
         /// The domain that attempted the revocation.
         actor: DomainId,
     },
+    /// The domain is quarantined: its backing hardware faulted, so it is
+    /// killable and enumerable but not enterable.
+    Quarantined(DomainId),
+    /// A derivation was requested with a kind that cannot be derived
+    /// (only `Shared` and `Granted` children exist; `Root`/`Carved` would
+    /// corrupt the lineage bookkeeping).
+    InvalidDerivation,
 }
 
 impl core::fmt::Display for CapError {
@@ -93,6 +100,12 @@ impl core::fmt::Display for CapError {
             CapError::RootDomain => f.write_str("operation not applicable to the root domain"),
             CapError::NotGranter { cap, actor } => {
                 write!(f, "{actor} is not the granter of {cap}")
+            }
+            CapError::Quarantined(d) => {
+                write!(f, "domain {d} is quarantined after a hardware fault")
+            }
+            CapError::InvalidDerivation => {
+                f.write_str("capability derivation must be a share or a grant")
             }
         }
     }

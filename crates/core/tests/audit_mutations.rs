@@ -167,3 +167,19 @@ fn strict_seal_shared_is_reported() {
     e.corrupt_sealed_at(root, 0);
     assert_eq!(audit(&e), vec![Violation::StrictSealShared(shared)]);
 }
+
+#[test]
+fn transition_into_quarantined_is_reported() {
+    let (mut e, root, _ram, child) = booted();
+    let tcap = e
+        .make_transition(root, child, RevocationPolicy::NONE)
+        .expect("transition");
+    assert!(audit(&e).is_empty());
+
+    // `quarantine()` deactivates every transition into the domain, so the
+    // unsound state needs a forged reactivation afterwards.
+    e.quarantine(child).expect("quarantine");
+    assert!(audit(&e).is_empty(), "quarantine itself is sound");
+    e.corrupt_cap(tcap).unwrap().active = true;
+    assert_eq!(audit(&e), vec![Violation::TransitionIntoQuarantined(tcap)]);
+}

@@ -749,3 +749,77 @@ fn enumerate_reports_refcounts() {
     let eb = e.enumerate(b).unwrap();
     assert_eq!(eb.len(), 1);
 }
+
+// ---------------------------------------------------------------------
+// Derivation-kind validation & poisoned-domain quarantine
+// ---------------------------------------------------------------------
+
+#[test]
+fn derive_with_invalid_kind_is_refused_without_mutation() {
+    // Regression: `derive` used to hit `unreachable!` on a Root/Carved
+    // kind *after* inserting the child — a corrupted caller could panic
+    // the TCB and leave a half-derived lineage behind.
+    let (mut e, os, ram) = boot();
+    let (child, _) = e.create_domain(os).unwrap();
+    let before = e.caps().count();
+    for kind in [CapKind::Root, CapKind::Carved] {
+        assert_eq!(
+            e.derive_raw(os, ram, child, None, Rights::RW, RevocationPolicy::NONE, kind),
+            Err(CapError::InvalidDerivation)
+        );
+    }
+    assert_eq!(e.caps().count(), before, "refusal must not mutate");
+    assert!(e.cap(ram).unwrap().children.is_empty());
+    assert_sound(&e);
+}
+
+#[test]
+fn quarantined_domain_is_killable_and_enumerable_but_not_enterable() {
+    let (mut e, os, ram) = boot();
+    let (child, tcap, _) = sealed_child(&mut e, os, ram);
+    assert!(e.can_enter(os, tcap, 0).is_ok());
+    e.quarantine(child).unwrap();
+    assert_sound(&e);
+    // Not enterable: the transition capability was deactivated, and even
+    // a forged-active one is refused on the target's quarantine flag.
+    assert_eq!(e.can_enter(os, tcap, 0), Err(CapError::Inactive(tcap)));
+    e.corrupt_cap(tcap).unwrap().active = true;
+    assert_eq!(e.can_enter(os, tcap, 0), Err(CapError::Quarantined(child)));
+    e.corrupt_cap(tcap).unwrap().active = false;
+    // No new routes in: fresh transition capabilities are refused.
+    assert_eq!(
+        e.make_transition(os, child, RevocationPolicy::NONE),
+        Err(CapError::Quarantined(child))
+    );
+    // Still enumerable (auditors can inspect) and killable (managers can
+    // tear it down).
+    assert!(e.enumerate(child).is_ok());
+    assert!(e.domain(child).unwrap().is_quarantined());
+    e.kill(os, child).unwrap();
+    assert_sound(&e);
+    assert_eq!(e.quarantine(child), Err(CapError::NoSuchDomain(child)));
+}
+
+#[test]
+fn quarantine_is_sticky_across_revocation() {
+    // A suspended transition capability into a quarantined domain must
+    // not reactivate when the suspending grant is revoked.
+    let (mut e, os, ram) = boot();
+    let (child, tcap, _) = sealed_child(&mut e, os, ram);
+    let (caller, _) = e.create_domain(os).unwrap();
+    let handed = e
+        .grant(os, tcap, caller, None, Rights::USE, RevocationPolicy::NONE)
+        .unwrap();
+    e.quarantine(child).unwrap();
+    assert_sound(&e);
+    assert!(!e.cap(handed).unwrap().active, "quarantine deactivates");
+    e.revoke(os, handed).unwrap();
+    assert!(
+        !e.cap(tcap).unwrap().active,
+        "granter's transition must stay suspended after quarantine"
+    );
+    assert_sound(&e);
+    // Idempotent on an already-quarantined domain.
+    e.quarantine(child).unwrap();
+    assert_sound(&e);
+}

@@ -146,6 +146,13 @@ impl PhysRange {
         PhysRange { start, end }
     }
 
+    /// Overflow-checked [`from_len`](Self::from_len): `None` when
+    /// `start + len` would wrap. Use this for untrusted lengths.
+    pub fn checked_from_len(start: PhysAddr, len: u64) -> Option<Self> {
+        let end = start.checked_add(len)?;
+        Some(PhysRange { start, end })
+    }
+
     /// Range length in bytes.
     pub fn len(&self) -> u64 {
         self.end.0 - self.start.0
@@ -257,5 +264,57 @@ mod tests {
     #[should_panic(expected = "inverted")]
     fn inverted_range_panics() {
         PhysRange::new(PhysAddr::new(0x2000), PhysAddr::new(0x1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "range end overflow")]
+    fn from_len_overflow_panics_rather_than_wrapping() {
+        PhysRange::from_len(PhysAddr::new(u64::MAX), 1);
+    }
+
+    #[test]
+    fn checked_from_len_at_u64_max() {
+        // End-of-range computation at the top of the address space: the
+        // checked constructor refuses to wrap instead of producing an
+        // inverted range.
+        assert!(PhysRange::checked_from_len(PhysAddr::new(u64::MAX), 1).is_none());
+        // The exclusive end makes a page butting against u64::MAX + 1
+        // unrepresentable too — refused, not wrapped.
+        assert!(PhysRange::checked_from_len(PhysAddr::new(u64::MAX - 4095), 4096).is_none());
+        assert!(PhysRange::checked_from_len(PhysAddr::new(u64::MAX - 4096), 4096).is_some());
+        let r = PhysRange::checked_from_len(PhysAddr::new(u64::MAX - 4096), 4096).unwrap();
+        assert_eq!(r.len(), 4096);
+        assert!(r.contains(PhysAddr::new(u64::MAX - 1)));
+        assert!(!r.contains(PhysAddr::new(u64::MAX)));
+        // Zero-length at the very top is representable and empty.
+        let z = PhysRange::checked_from_len(PhysAddr::new(u64::MAX), 0).unwrap();
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn checked_add_at_u64_max() {
+        assert_eq!(PhysAddr::new(u64::MAX).checked_add(1), None);
+        assert_eq!(
+            PhysAddr::new(u64::MAX - 1).checked_add(1),
+            Some(PhysAddr::new(u64::MAX))
+        );
+    }
+
+    #[test]
+    fn top_of_address_space_range_relations() {
+        // Walk-termination shape: iteration bounds and overlap tests at
+        // the last representable page must not wrap.
+        let top_page = PhysRange::new(PhysAddr::new(u64::MAX - 0xFFF), PhysAddr::new(u64::MAX));
+        assert_eq!(top_page.len(), 0xFFF);
+        let below = PhysRange::new(PhysAddr::new(0), PhysAddr::new(0x1000));
+        assert!(!top_page.overlaps(&below));
+        assert!(top_page.overlaps(&top_page));
+        assert!(top_page.contains_range(&top_page));
+    }
+
+    #[test]
+    #[should_panic(expected = "align_up overflow")]
+    fn align_up_overflow_panics_rather_than_wrapping() {
+        align_up(u64::MAX, 4096);
     }
 }

@@ -1,0 +1,241 @@
+//! Deterministic, seeded fault injection for the simulated hardware.
+//!
+//! Robustness testing needs hardware that fails on demand — but *exactly*
+//! reproducibly, so a failing fuzz run can be replayed from its seed. A
+//! [`FaultPlan`] arms one fault **site** with a countdown: skip the first
+//! `skip` visits, then fire `count` times, then go quiet. No randomness is
+//! consulted at check time; the only nondeterminism allowed into a run is
+//! the seed that generated the plans. The injector itself lives behind a
+//! shared, clonable handle ([`Faults`]) threaded through [`PhysMem`], the
+//! interrupt controller, and the TPM so every architectural path — EPT
+//! walks, PMP checks, DMA, IPIs, quotes — reaches the same plan list.
+//!
+//! The hot-path cost when nothing is armed is a single relaxed atomic
+//! load, so the injector can stay compiled into the benchmarks.
+//!
+//! [`PhysMem`]: crate::mem::PhysMem
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Where a fault can be injected.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultSite {
+    /// A physical memory read fails (DRAM uncorrectable error).
+    MemRead,
+    /// A physical memory write fails.
+    MemWrite,
+    /// A raised interrupt is silently dropped before remapping.
+    IpiDrop,
+    /// A raised interrupt is delivered twice (spurious duplication).
+    IpiDup,
+    /// An EPT translation aborts at the walk root.
+    EptWalk,
+    /// A PMP check aborts regardless of the programmed entries.
+    PmpWalk,
+    /// The TPM's DRBG refuses to produce entropy.
+    DrbgEntropy,
+    /// The TPM fails to produce a quote.
+    TpmQuote,
+}
+
+impl core::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            FaultSite::MemRead => "mem-read",
+            FaultSite::MemWrite => "mem-write",
+            FaultSite::IpiDrop => "ipi-drop",
+            FaultSite::IpiDup => "ipi-dup",
+            FaultSite::EptWalk => "ept-walk",
+            FaultSite::PmpWalk => "pmp-walk",
+            FaultSite::DrbgEntropy => "drbg-entropy",
+            FaultSite::TpmQuote => "tpm-quote",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One armed fault: skip the first `skip` visits to `site`, then fire on
+/// the next `count` visits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultPlan {
+    /// The site this plan triggers at.
+    pub site: FaultSite,
+    /// Visits to let through before firing.
+    pub skip: u64,
+    /// Number of consecutive visits that then fire.
+    pub count: u64,
+}
+
+impl FaultPlan {
+    /// A plan that fires on the very next visit to `site`, once.
+    pub fn once(site: FaultSite) -> Self {
+        FaultPlan {
+            site,
+            skip: 0,
+            count: 1,
+        }
+    }
+
+    /// A plan that fires `count` times after skipping `skip` visits.
+    pub fn after(site: FaultSite, skip: u64, count: u64) -> Self {
+        FaultPlan { site, skip, count }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    plans: Vec<FaultPlan>,
+    /// Total faults fired per run, for reporting.
+    fired: u64,
+}
+
+/// Shared handle to the machine's fault injector.
+///
+/// Cloning shares the underlying plan list (all hardware units on one
+/// machine see the same plans). The default handle is inert.
+#[derive(Clone, Debug, Default)]
+pub struct Faults {
+    /// Fast-path gate: false whenever no plan can still fire.
+    armed: Arc<AtomicBool>,
+    state: Arc<Mutex<State>>,
+}
+
+impl Faults {
+    /// Creates an inert injector (no plans armed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // A panic while holding this lock (only possible from another
+        // injector call, none of which panic) must not wedge the machine.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Arms `plan`. Plans on the same site are consulted in arming order;
+    /// the first with remaining skip-or-count budget decides the visit.
+    pub fn arm(&self, plan: FaultPlan) {
+        let mut st = self.lock();
+        st.plans.push(plan);
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Disarms everything and zeroes the fired counter.
+    pub fn clear(&self) {
+        let mut st = self.lock();
+        st.plans.clear();
+        st.fired = 0;
+        self.armed.store(false, Ordering::Release);
+    }
+
+    /// A hardware unit visits `site`; returns true when the visit must
+    /// fault. Deterministic: purely a countdown over the armed plans.
+    pub fn fire(&self, site: FaultSite) -> bool {
+        if !self.armed.load(Ordering::Acquire) {
+            return false;
+        }
+        let mut st = self.lock();
+        let mut hit = false;
+        for plan in st.plans.iter_mut() {
+            // Spent plans never block a later plan on the same site.
+            if plan.site != site || (plan.skip == 0 && plan.count == 0) {
+                continue;
+            }
+            if plan.skip > 0 {
+                plan.skip -= 1;
+                break;
+            }
+            if plan.count > 0 {
+                plan.count -= 1;
+                hit = true;
+            }
+            break;
+        }
+        if hit {
+            st.fired += 1;
+        }
+        if st.plans.iter().all(|p| p.count == 0) {
+            self.armed.store(false, Ordering::Release);
+        }
+        hit
+    }
+
+    /// Total faults fired since the last [`clear`](Self::clear).
+    pub fn fired(&self) -> u64 {
+        self.lock().fired
+    }
+
+    /// True when at least one plan can still fire.
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_by_default() {
+        let f = Faults::new();
+        assert!(!f.is_armed());
+        assert!(!f.fire(FaultSite::MemRead));
+        assert_eq!(f.fired(), 0);
+    }
+
+    #[test]
+    fn once_fires_exactly_once() {
+        let f = Faults::new();
+        f.arm(FaultPlan::once(FaultSite::MemWrite));
+        assert!(!f.fire(FaultSite::MemRead), "other sites unaffected");
+        assert!(f.fire(FaultSite::MemWrite));
+        assert!(!f.fire(FaultSite::MemWrite), "exhausted");
+        assert!(!f.is_armed(), "auto-disarms when spent");
+        assert_eq!(f.fired(), 1);
+    }
+
+    #[test]
+    fn skip_then_burst() {
+        let f = Faults::new();
+        f.arm(FaultPlan::after(FaultSite::EptWalk, 2, 3));
+        let hits: Vec<bool> = (0..6).map(|_| f.fire(FaultSite::EptWalk)).collect();
+        assert_eq!(hits, [false, false, true, true, true, false]);
+        assert_eq!(f.fired(), 3);
+    }
+
+    #[test]
+    fn clones_share_plans() {
+        let f = Faults::new();
+        let g = f.clone();
+        f.arm(FaultPlan::once(FaultSite::TpmQuote));
+        assert!(g.fire(FaultSite::TpmQuote), "armed via the other handle");
+        assert_eq!(f.fired(), 1);
+    }
+
+    #[test]
+    fn clear_disarms() {
+        let f = Faults::new();
+        f.arm(FaultPlan::after(FaultSite::IpiDrop, 0, 100));
+        assert!(f.fire(FaultSite::IpiDrop));
+        f.clear();
+        assert!(!f.fire(FaultSite::IpiDrop));
+        assert_eq!(f.fired(), 0);
+    }
+
+    #[test]
+    fn identical_plans_replay_identically() {
+        let run = || {
+            let f = Faults::new();
+            f.arm(FaultPlan::after(FaultSite::MemRead, 1, 2));
+            f.arm(FaultPlan::after(FaultSite::MemRead, 5, 1));
+            (0..12)
+                .map(|_| f.fire(FaultSite::MemRead))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

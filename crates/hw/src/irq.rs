@@ -8,6 +8,7 @@
 //! queue. Unrouted vectors are dropped and counted — the observable
 //! signal that the paper wants for "exposing denial of service attacks".
 
+use crate::faults::{FaultSite, Faults};
 use std::collections::{HashMap, VecDeque};
 
 /// Maximum vector number (x86 IDT size).
@@ -24,6 +25,12 @@ pub struct IrqController {
     pub spurious: u64,
     /// Total raised.
     pub raised: u64,
+    /// Interrupts lost to injected faults.
+    pub injected_drops: u64,
+    /// Interrupts duplicated by injected faults.
+    pub injected_dups: u64,
+    /// Fault injector; inert by default.
+    faults: Faults,
 }
 
 impl IrqController {
@@ -53,13 +60,34 @@ impl IrqController {
         self.remap.get(&vector).copied()
     }
 
+    /// Attaches a shared fault injector (done once by `Machine::new`).
+    pub fn set_faults(&mut self, faults: Faults) {
+        self.faults = faults;
+    }
+
     /// A device (or timer) raises `vector`; returns the routed key, or
     /// `None` when the interrupt was dropped.
+    ///
+    /// An injected [`FaultSite::IpiDrop`] loses the interrupt before
+    /// remapping (counted in `injected_drops`); an injected
+    /// [`FaultSite::IpiDup`] enqueues it twice (counted in
+    /// `injected_dups`) — both are observable, checked degradations, not
+    /// silent state corruption.
     pub fn raise(&mut self, vector: u32) -> Option<u64> {
         self.raised += 1;
+        if self.faults.fire(FaultSite::IpiDrop) {
+            self.injected_drops += 1;
+            self.spurious += 1;
+            return None;
+        }
+        let dup = self.faults.fire(FaultSite::IpiDup);
         match self.remap.get(&vector) {
             Some(&key) => {
                 self.pending.entry(key).or_default().push_back(vector);
+                if dup {
+                    self.injected_dups += 1;
+                    self.pending.entry(key).or_default().push_back(vector);
+                }
                 Some(key)
             }
             None => {
@@ -144,5 +172,25 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn oversized_vector_panics() {
         IrqController::new().route(256, 0);
+    }
+
+    #[test]
+    fn injected_drop_and_dup_are_counted() {
+        use crate::faults::{FaultPlan, FaultSite, Faults};
+        let mut c = IrqController::new();
+        let faults = Faults::new();
+        c.set_faults(faults.clone());
+        c.route(32, 7);
+        faults.arm(FaultPlan::once(FaultSite::IpiDrop));
+        assert_eq!(c.raise(32), None, "dropped by injection");
+        assert_eq!(c.injected_drops, 1);
+        assert_eq!(c.pending_count(7), 0);
+        faults.arm(FaultPlan::once(FaultSite::IpiDup));
+        assert_eq!(c.raise(32), Some(7));
+        assert_eq!(c.injected_dups, 1);
+        assert_eq!(c.drain(7), vec![32, 32], "delivered twice");
+        // Injector spent: normal delivery resumes.
+        assert_eq!(c.raise(32), Some(7));
+        assert_eq!(c.drain(7), vec![32]);
     }
 }

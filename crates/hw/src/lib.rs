@@ -23,6 +23,8 @@
 //! - [`cycles`]: the cycle-cost model used to report simulated costs for
 //!   transitions and exits.
 //! - [`machine`]: the assembled machine (memory + CPUs + devices + TPM).
+//! - [`faults`]: deterministic, seeded fault injection threaded through
+//!   memory, the walkers, the interrupt controller, and the TPM.
 //!
 //! The model's contract: the monitor code that runs on top of it consumes
 //! *events* (vm exits, traps) and programs *structures* (EPT entries, PMP
@@ -36,6 +38,7 @@ pub mod addr;
 pub mod cache;
 pub mod cycles;
 pub mod device;
+pub mod faults;
 pub mod iommu;
 pub mod irq;
 pub mod machine;
@@ -47,4 +50,5 @@ pub mod tpm;
 pub mod x86;
 
 pub use addr::{PhysAddr, PAGE_SIZE};
+pub use faults::{FaultPlan, FaultSite, Faults};
 pub use machine::Machine;

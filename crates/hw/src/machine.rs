@@ -11,6 +11,7 @@ use std::sync::Arc;
 use crate::addr::{PhysAddr, PhysRange, PAGE_SIZE};
 use crate::cache::{Cache, Tlb};
 use crate::cycles::{CostModel, CycleCounter, PerCoreClocks};
+use crate::faults::Faults;
 use crate::iommu::Iommu;
 use crate::irq::IrqController;
 use crate::mem::{FrameAllocator, PhysMem};
@@ -94,6 +95,10 @@ pub struct Machine {
     pub mktme: MemCrypt,
     /// The interrupt remapping controller.
     pub irq: IrqController,
+    /// Master handle to the fault injector shared by memory, the
+    /// interrupt controller, and the TPM. Arm plans here; the units
+    /// consult the same shared plan list.
+    pub faults: Faults,
 }
 
 impl Machine {
@@ -116,7 +121,13 @@ impl Machine {
             "reservation exceeds RAM"
         );
         assert!(config.cores > 0, "need at least one core");
-        let mem = PhysMem::new(config.ram_bytes);
+        let faults = Faults::new();
+        let mut mem = PhysMem::new(config.ram_bytes);
+        mem.set_faults(faults.clone());
+        let mut tpm = Tpm::new_with_seed(0x7c7e_5eed);
+        tpm.set_faults(faults.clone());
+        let mut irq = IrqController::new();
+        irq.set_faults(faults.clone());
         let reserve_base = config.ram_bytes - config.monitor_reserved;
         let monitor_frames = FrameAllocator::new(PhysRange::new(
             PhysAddr::new(reserve_base),
@@ -132,10 +143,11 @@ impl Machine {
             cost: config.cost,
             tlb: Tlb::new(),
             cache: Cache::default_l1(),
-            tpm: Tpm::new_with_seed(0x7c7e_5eed),
+            tpm,
             iommu: Iommu::new(),
             mktme: MemCrypt::new_with_seed(0x7c7e_5eed),
-            irq: IrqController::new(),
+            irq,
+            faults,
         }
     }
 
@@ -238,6 +250,18 @@ mod tests {
             m.core_clocks.now(1),
             1_000_000 + m.cost.ipi_deliver + m.cost.tlb_flush
         );
+    }
+
+    #[test]
+    fn fault_injector_is_shared_machine_wide() {
+        use crate::faults::{FaultPlan, FaultSite};
+        let m = Machine::default_machine();
+        m.faults.arm(FaultPlan::once(FaultSite::MemRead));
+        assert!(
+            m.mem.read_u8(PhysAddr::new(0)).is_err(),
+            "plan armed on the machine handle fires in memory"
+        );
+        m.mem.read_u8(PhysAddr::new(0)).unwrap();
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! model honest.
 
 use crate::addr::{PhysAddr, PhysRange, PAGE_SIZE};
+use crate::faults::{FaultSite, Faults};
 
 /// Errors raised by physical memory accesses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -19,6 +20,11 @@ pub enum MemError {
     },
     /// No free frames remain.
     OutOfFrames,
+    /// An injected hardware fault (uncorrectable memory error).
+    Injected {
+        /// Address of the failed access.
+        addr: PhysAddr,
+    },
 }
 
 impl core::fmt::Display for MemError {
@@ -28,6 +34,9 @@ impl core::fmt::Display for MemError {
                 write!(f, "physical access out of bounds: {addr} + {len}")
             }
             MemError::OutOfFrames => f.write_str("physical frame allocator exhausted"),
+            MemError::Injected { addr } => {
+                write!(f, "injected uncorrectable memory error at {addr}")
+            }
         }
     }
 }
@@ -38,6 +47,8 @@ impl std::error::Error for MemError {}
 #[derive(Clone)]
 pub struct PhysMem {
     bytes: Vec<u8>,
+    /// Fault injector consulted on every access; inert by default.
+    faults: Faults,
 }
 
 impl PhysMem {
@@ -53,12 +64,24 @@ impl PhysMem {
         );
         PhysMem {
             bytes: vec![0u8; size as usize],
+            faults: Faults::new(),
         }
     }
 
     /// Installed RAM size in bytes.
     pub fn size(&self) -> u64 {
         self.bytes.len() as u64
+    }
+
+    /// Attaches a shared fault injector (done once by `Machine::new`).
+    pub fn set_faults(&mut self, faults: Faults) {
+        self.faults = faults;
+    }
+
+    /// The fault injector consulted by this memory (shared machine-wide;
+    /// the EPT walker fires its walk-abort site through this handle).
+    pub fn faults(&self) -> &Faults {
+        &self.faults
     }
 
     /// Bounds-checks an access.
@@ -75,6 +98,9 @@ impl PhysMem {
 
     /// Reads `out.len()` bytes starting at `addr`.
     pub fn read(&self, addr: PhysAddr, out: &mut [u8]) -> Result<(), MemError> {
+        if self.faults.fire(FaultSite::MemRead) {
+            return Err(MemError::Injected { addr });
+        }
         let (s, e) = self.check(addr, out.len() as u64)?;
         out.copy_from_slice(&self.bytes[s..e]);
         Ok(())
@@ -82,6 +108,9 @@ impl PhysMem {
 
     /// Writes `data` starting at `addr`.
     pub fn write(&mut self, addr: PhysAddr, data: &[u8]) -> Result<(), MemError> {
+        if self.faults.fire(FaultSite::MemWrite) {
+            return Err(MemError::Injected { addr });
+        }
         let (s, e) = self.check(addr, data.len() as u64)?;
         self.bytes[s..e].copy_from_slice(data);
         Ok(())
@@ -113,6 +142,9 @@ impl PhysMem {
 
     /// Zeroes a byte range — the "zero on revocation" clean-up primitive.
     pub fn zero_range(&mut self, range: PhysRange) -> Result<(), MemError> {
+        if self.faults.fire(FaultSite::MemWrite) {
+            return Err(MemError::Injected { addr: range.start });
+        }
         let (s, e) = self.check(range.start, range.len())?;
         self.bytes[s..e].fill(0);
         Ok(())
@@ -120,6 +152,9 @@ impl PhysMem {
 
     /// Borrows a range immutably (for measurement).
     pub fn slice(&self, range: PhysRange) -> Result<&[u8], MemError> {
+        if self.faults.fire(FaultSite::MemRead) {
+            return Err(MemError::Injected { addr: range.start });
+        }
         let (s, e) = self.check(range.start, range.len())?;
         Ok(&self.bytes[s..e])
     }
@@ -253,6 +288,65 @@ mod tests {
         assert!(m.read(PhysAddr::new(end), &mut out).is_err());
         // Address arithmetic overflow must not panic.
         assert!(m.read_u64(PhysAddr::new(u64::MAX - 3)).is_err());
+    }
+
+    #[test]
+    fn boundary_arithmetic_near_u64_max_is_checked() {
+        let mut m = mem();
+        // End-of-range computation at the very top of the address space:
+        // start + len wraps for every len > 0, and len == 0 still lands
+        // beyond installed RAM. All must be errors, never panics.
+        let top = PhysAddr::new(u64::MAX);
+        let mut out = [0u8; 1];
+        assert!(matches!(
+            m.read(top, &mut out),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.write(top, &[0u8; 8]),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        assert!(m.read_u64(top).is_err());
+        assert!(m.write_u64(top, 7).is_err());
+        assert!(m.read_u8(top).is_err());
+        assert!(m.write_u8(top, 7).is_err());
+        // Maximum-length access from address 0 overflows usize/RAM checks.
+        assert!(m.read(PhysAddr::new(0), &mut out).is_ok());
+        assert!(matches!(
+            m.write(PhysAddr::new(1), &[0u8; 16]).and_then(|_| {
+                let r = PhysRange::new(PhysAddr::new(u64::MAX - PAGE_SIZE), PhysAddr::new(u64::MAX));
+                m.zero_range(r)
+            }),
+            Err(MemError::OutOfBounds { .. })
+        ));
+        assert!(m
+            .slice(PhysRange::new(
+                PhysAddr::new(u64::MAX - 1),
+                PhysAddr::new(u64::MAX)
+            ))
+            .is_err());
+    }
+
+    #[test]
+    fn injected_faults_are_checked_and_one_shot() {
+        use crate::faults::{FaultPlan, FaultSite};
+        let mut m = mem();
+        m.write(PhysAddr::new(0), b"ok").unwrap();
+        m.faults().arm(FaultPlan::once(FaultSite::MemRead));
+        let mut out = [0u8; 2];
+        assert!(matches!(
+            m.read(PhysAddr::new(0), &mut out),
+            Err(MemError::Injected { .. })
+        ));
+        m.read(PhysAddr::new(0), &mut out).unwrap();
+        assert_eq!(&out, b"ok", "memory intact after the injected error");
+        m.faults().arm(FaultPlan::once(FaultSite::MemWrite));
+        assert!(matches!(
+            m.write(PhysAddr::new(0), b"x"),
+            Err(MemError::Injected { .. })
+        ));
+        m.write(PhysAddr::new(0), b"x").unwrap();
+        assert_eq!(m.faults().fired(), 2);
     }
 
     #[test]

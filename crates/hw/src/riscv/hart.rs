@@ -84,6 +84,20 @@ impl Hart {
         self.pc = pc;
     }
 
+    /// An injected PMP-check abort: the fault hardware would deliver on
+    /// an internal PMP unit error, regardless of the programmed entries.
+    fn injected_pmp_fault(
+        &self,
+        plat: &mut Platform<'_>,
+        addr: PhysAddr,
+        access: PmpAccess,
+    ) -> Result<(), Trap> {
+        if plat.mem.faults().fire(crate::faults::FaultSite::PmpWalk) {
+            return Err(self.fault(plat, PmpFault { addr, access }));
+        }
+        Ok(())
+    }
+
     /// PMP-checked load.
     pub fn read(
         &self,
@@ -91,6 +105,7 @@ impl Hart {
         addr: PhysAddr,
         out: &mut [u8],
     ) -> Result<(), Trap> {
+        self.injected_pmp_fault(plat, addr, PmpAccess::Read)?;
         self.pmp
             .check(self.in_mmode(), addr, out.len() as u64, PmpAccess::Read)
             .map_err(|f| self.fault(plat, f))?;
@@ -105,6 +120,7 @@ impl Hart {
 
     /// PMP-checked store.
     pub fn write(&self, plat: &mut Platform<'_>, addr: PhysAddr, data: &[u8]) -> Result<(), Trap> {
+        self.injected_pmp_fault(plat, addr, PmpAccess::Write)?;
         self.pmp
             .check(self.in_mmode(), addr, data.len() as u64, PmpAccess::Write)
             .map_err(|f| self.fault(plat, f))?;
@@ -119,6 +135,7 @@ impl Hart {
 
     /// PMP-checked instruction fetch (permission check only).
     pub fn fetch(&self, plat: &mut Platform<'_>, addr: PhysAddr) -> Result<(), Trap> {
+        self.injected_pmp_fault(plat, addr, PmpAccess::Exec)?;
         self.pmp
             .check(self.in_mmode(), addr, 4, PmpAccess::Exec)
             .map_err(|f| self.fault(plat, f))?;
@@ -194,6 +211,23 @@ mod tests {
         );
         assert!(hart.in_mmode());
         assert_eq!(m.cycles.since(before), m.cost.mmode_trap_roundtrip);
+    }
+
+    #[test]
+    fn injected_pmp_abort_traps_even_inside_window() {
+        use crate::faults::{FaultPlan, FaultSite};
+        let mut m = Machine::default_machine();
+        let mut hart = Hart::new(0);
+        hart.pmp.set(0, rw_entry(0x10000, 0x1000));
+        hart.mret(PrivMode::Supervisor, 0x10000);
+        m.faults.arm(FaultPlan::once(FaultSite::PmpWalk));
+        let err = hart
+            .write(&mut m.platform(), PhysAddr::new(0x10010), b"ok")
+            .unwrap_err();
+        assert!(matches!(err, Trap::AccessFault(_)), "checked trap");
+        // One-shot: the same access then succeeds.
+        hart.write(&mut m.platform(), PhysAddr::new(0x10010), b"ok")
+            .unwrap();
     }
 
     #[test]

@@ -123,6 +123,9 @@ impl SriovNic {
                 }
             }
         };
+        if dst_ring.rx_slots == 0 {
+            return Err(SendError::BadRing(dst));
+        }
         if len > dst_ring.slot_bytes {
             return Err(SendError::TooLarge {
                 len,
@@ -134,16 +137,29 @@ impl SriovNic {
         iommu
             .dma_read(mem, src_dev, addr, &mut payload)
             .map_err(SendError::TxFault)?;
-        // DMA write into the receiver's ring slot.
+        // DMA write into the receiver's ring slot. The head is kept
+        // *masked* — always in `[0, rx_slots)` — so the sequence stays
+        // strictly cyclic even across `u32` wraparound. (The former
+        // free-running `rx_head.wrapping_add(1)` broke the modulo
+        // sequence at `u32::MAX` for any non-power-of-two `rx_slots`:
+        // `u32::MAX % 3 == 0` is followed by `0 % 3 == 0`, a duplicated
+        // slot.)
         let slot = {
             let vf = self.vfs.get_mut(&dst).expect("checked");
             let s = vf.rx_head % dst_ring.rx_slots;
-            vf.rx_head = vf.rx_head.wrapping_add(1);
+            vf.rx_head = (s + 1) % dst_ring.rx_slots;
             s
         };
-        let slot_addr = GuestPhysAddr::new(
-            dst_ring.rx_base.as_u64() + (slot as u64) * (dst_ring.slot_bytes as u64),
-        );
+        let slot_off = (slot as u64)
+            .checked_mul(dst_ring.slot_bytes as u64)
+            .and_then(|off| dst_ring.rx_base.as_u64().checked_add(off));
+        let slot_addr = match slot_off {
+            Some(a) => GuestPhysAddr::new(a),
+            None => {
+                self.vfs.get_mut(&dst).expect("checked").dropped += 1;
+                return Err(SendError::BadRing(dst));
+            }
+        };
         match iommu.dma_write(mem, dst_dev, slot_addr, &payload) {
             Ok(()) => {
                 self.vfs.get_mut(&dst).expect("checked").delivered += 1;
@@ -160,6 +176,16 @@ impl SriovNic {
     pub fn stats(&self, i: VfIndex) -> Option<(u64, u64)> {
         self.vfs.get(&i).map(|v| (v.delivered, v.dropped))
     }
+
+    /// Test-only: presets VF `i`'s raw RX head register, modelling
+    /// device state restored unmasked (the wraparound regression test
+    /// drives the head to the `u32` boundary). The send path re-masks.
+    #[doc(hidden)]
+    pub fn corrupt_rx_head(&mut self, i: VfIndex, head: u32) {
+        if let Some(vf) = self.vfs.get_mut(&i) {
+            vf.rx_head = head;
+        }
+    }
 }
 
 /// Why a send failed.
@@ -169,6 +195,9 @@ pub enum SendError {
     NoSuchVf(VfIndex),
     /// Destination VF has no RX ring configured.
     NoRing(VfIndex),
+    /// Destination ring is malformed: zero slots, or slot addressing
+    /// overflows the DMA address space.
+    BadRing(VfIndex),
     /// Payload exceeds the destination slot size.
     TooLarge {
         /// Attempted length.
@@ -298,6 +327,102 @@ mod tests {
                 .unwrap();
             assert_eq!(s, expect_slot);
         }
+    }
+
+    #[test]
+    fn rings_wrap_across_u32_boundary_non_power_of_two() {
+        // Regression: a free-running rx_head broke the modulo sequence
+        // when the u32 counter wrapped with a non-power-of-two ring
+        // (`u32::MAX % 3 == 0` is followed by `0 % 3 == 0` — the same
+        // slot twice, overwriting an undrained packet). The head is now
+        // masked, so consecutive deliveries always advance by exactly
+        // one slot, modulo the ring.
+        let mut fx = setup();
+        fx.nic.configure_ring(
+            VfIndex(1),
+            VfRing {
+                rx_base: GuestPhysAddr::new(0x22000),
+                rx_slots: 3,
+                slot_bytes: 256,
+            },
+        );
+        fx.nic.corrupt_rx_head(VfIndex(1), u32::MAX - 2);
+        fx.mem.write(PhysAddr::new(0x10000), b"pkt").unwrap();
+        let mut prev: Option<u32> = None;
+        for _ in 0..7 {
+            let s = fx
+                .nic
+                .send(
+                    &mut fx.iommu,
+                    &mut fx.mem,
+                    VfIndex(0),
+                    VfIndex(1),
+                    GuestPhysAddr::new(0x10000),
+                    3,
+                )
+                .unwrap();
+            assert!(s < 3, "slot index always masked");
+            if let Some(p) = prev {
+                assert_eq!(s, (p + 1) % 3, "strictly cyclic, no skip or dup");
+            }
+            prev = Some(s);
+        }
+    }
+
+    #[test]
+    fn zero_slot_ring_rejected() {
+        let mut fx = setup();
+        fx.nic.configure_ring(
+            VfIndex(1),
+            VfRing {
+                rx_base: GuestPhysAddr::new(0x22000),
+                rx_slots: 0,
+                slot_bytes: 256,
+            },
+        );
+        fx.mem.write(PhysAddr::new(0x10000), b"p").unwrap();
+        let err = fx
+            .nic
+            .send(
+                &mut fx.iommu,
+                &mut fx.mem,
+                VfIndex(0),
+                VfIndex(1),
+                GuestPhysAddr::new(0x10000),
+                1,
+            )
+            .unwrap_err();
+        assert_eq!(err, SendError::BadRing(VfIndex(1)), "no divide-by-zero");
+    }
+
+    #[test]
+    fn overflowing_slot_address_rejected() {
+        let mut fx = setup();
+        // A ring base near the top of the DMA address space must not
+        // wrap slot addressing around to low memory.
+        fx.nic.configure_ring(
+            VfIndex(1),
+            VfRing {
+                rx_base: GuestPhysAddr::new(u64::MAX - 100),
+                rx_slots: 4,
+                slot_bytes: 256,
+            },
+        );
+        fx.nic.corrupt_rx_head(VfIndex(1), 1); // slot 1: offset overflows
+        fx.mem.write(PhysAddr::new(0x10000), b"p").unwrap();
+        let err = fx
+            .nic
+            .send(
+                &mut fx.iommu,
+                &mut fx.mem,
+                VfIndex(0),
+                VfIndex(1),
+                GuestPhysAddr::new(0x10000),
+                1,
+            )
+            .unwrap_err();
+        assert_eq!(err, SendError::BadRing(VfIndex(1)));
+        assert_eq!(fx.nic.stats(VfIndex(1)).unwrap().1, 1, "counted as drop");
     }
 
     #[test]

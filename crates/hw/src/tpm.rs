@@ -9,12 +9,36 @@
 //! nonce, and an endorsement key whose verifying half a remote party holds.
 
 use crate::addr::PhysRange;
-use crate::mem::PhysMem;
+use crate::faults::{FaultSite, Faults};
+use crate::mem::{MemError, PhysMem};
 use tyche_crypto::sign::{Signature, SigningKey, VerifyingKey};
 use tyche_crypto::{hash_parts, ChaChaRng, Digest};
 
 /// Number of platform configuration registers, as in TPM 2.0.
 pub const PCR_COUNT: usize = 24;
+
+/// Why a TPM operation failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TpmError {
+    /// The quote engine failed (injected hardware fault).
+    QuoteFailed,
+    /// The DRBG refused to produce entropy (injected exhaustion).
+    EntropyExhausted,
+    /// A selected PCR index is out of range.
+    BadPcr(usize),
+}
+
+impl core::fmt::Display for TpmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TpmError::QuoteFailed => f.write_str("TPM quote engine failure"),
+            TpmError::EntropyExhausted => f.write_str("TPM DRBG entropy exhausted"),
+            TpmError::BadPcr(i) => write!(f, "PCR index {i} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for TpmError {}
 
 /// PCR index conventionally used for the monitor binary measurement (the
 /// TXT "measured launch environment" register).
@@ -77,6 +101,8 @@ pub struct Tpm {
     rng: ChaChaRng,
     /// Event log: every extend recorded as `(pcr, description, digest)`.
     log: Vec<(usize, String, Digest)>,
+    /// Fault injector; inert by default.
+    faults: Faults,
 }
 
 impl Tpm {
@@ -90,7 +116,13 @@ impl Tpm {
             ak: SigningKey::derive(&ek_seed, "tpm-attestation-key"),
             rng,
             log: Vec::new(),
+            faults: Faults::new(),
         }
+    }
+
+    /// Attaches a shared fault injector (done once by `Machine::new`).
+    pub fn set_faults(&mut self, faults: Faults) {
+        self.faults = faults;
     }
 
     /// The verifying key a remote party uses to check quotes. Distributing
@@ -129,23 +161,35 @@ impl Tpm {
     /// Produces a signed quote over `pcr_selection` with the verifier's
     /// `nonce`.
     ///
-    /// # Panics
-    ///
-    /// Panics if any selected PCR index is out of range.
-    pub fn quote(&self, pcr_selection: &[usize], nonce: [u8; 32]) -> Quote {
+    /// Fails on an out-of-range PCR index or an injected quote-engine
+    /// fault ([`FaultSite::TpmQuote`]) — both are checked errors the
+    /// attestation path must surface, never panics.
+    pub fn quote(&self, pcr_selection: &[usize], nonce: [u8; 32]) -> Result<Quote, TpmError> {
+        if self.faults.fire(FaultSite::TpmQuote) {
+            return Err(TpmError::QuoteFailed);
+        }
+        if let Some(&bad) = pcr_selection.iter().find(|&&i| i >= PCR_COUNT) {
+            return Err(TpmError::BadPcr(bad));
+        }
         let pcr_values: Vec<Digest> = pcr_selection.iter().map(|&i| self.read_pcr(i)).collect();
         let msg = Quote::message(pcr_selection, &pcr_values, &nonce);
-        Quote {
+        Ok(Quote {
             pcr_selection: pcr_selection.to_vec(),
             pcr_values,
             nonce,
             signature: self.ak.sign(&msg),
-        }
+        })
     }
 
     /// Draws a fresh nonce (also usable by local verifiers in tests).
-    pub fn fresh_nonce(&mut self) -> [u8; 32] {
-        self.rng.next_bytes32()
+    ///
+    /// Fails on injected DRBG entropy exhaustion
+    /// ([`FaultSite::DrbgEntropy`]).
+    pub fn fresh_nonce(&mut self) -> Result<[u8; 32], TpmError> {
+        if self.faults.fire(FaultSite::DrbgEntropy) {
+            return Err(TpmError::EntropyExhausted);
+        }
+        Ok(self.rng.next_bytes32())
     }
 }
 
@@ -168,9 +212,20 @@ pub fn replay_log(log: &[(usize, String, Digest)], expected: &[(usize, Digest)])
 /// Measures a physical memory range (e.g. the loaded monitor image) —
 /// the measured-boot step TXT performs before handing control to the
 /// monitor.
+///
+/// # Panics
+///
+/// Panics when the range is not backed by RAM or the read faults; only
+/// for boot-time ranges the caller controls. Runtime callers measuring
+/// caller-supplied ranges must use [`try_measure_range`].
 pub fn measure_range(mem: &PhysMem, range: PhysRange) -> Digest {
-    let bytes = mem.slice(range).expect("measured range must be in RAM");
-    tyche_crypto::hash(bytes)
+    try_measure_range(mem, range).expect("measured range must be in RAM")
+}
+
+/// Fallible [`measure_range`]: surfaces an out-of-RAM range or an
+/// injected DRAM fault as the [`MemError`] instead of panicking.
+pub fn try_measure_range(mem: &PhysMem, range: PhysRange) -> Result<Digest, MemError> {
+    Ok(tyche_crypto::hash(mem.slice(range)?))
 }
 
 #[cfg(test)]
@@ -196,11 +251,11 @@ mod tests {
     fn quote_verifies_with_correct_nonce_only() {
         let mut tpm = Tpm::new_with_seed(2);
         tpm.extend(PCR_MONITOR, "monitor", tyche_crypto::hash(b"monitor-image"));
-        let nonce = tpm.fresh_nonce();
-        let quote = tpm.quote(&[PCR_MONITOR], nonce);
+        let nonce = tpm.fresh_nonce().unwrap();
+        let quote = tpm.quote(&[PCR_MONITOR], nonce).unwrap();
         let vk = tpm.attestation_key();
         assert!(quote.verify(&vk, &nonce));
-        let other_nonce = tpm.fresh_nonce();
+        let other_nonce = tpm.fresh_nonce().unwrap();
         assert!(!quote.verify(&vk, &other_nonce), "replay rejected");
     }
 
@@ -209,7 +264,7 @@ mod tests {
         let mut tpm = Tpm::new_with_seed(3);
         tpm.extend(PCR_MONITOR, "monitor", tyche_crypto::hash(b"image"));
         let nonce = [9u8; 32];
-        let mut quote = tpm.quote(&[PCR_MONITOR], nonce);
+        let mut quote = tpm.quote(&[PCR_MONITOR], nonce).unwrap();
         let vk = tpm.attestation_key();
         quote.pcr_values[0] = tyche_crypto::hash(b"evil-image");
         assert!(!quote.verify(&vk, &nonce));
@@ -222,7 +277,7 @@ mod tests {
         tpm.extend(PCR_MONITOR, "m", tyche_crypto::hash(b"image"));
         rogue.extend(PCR_MONITOR, "m", tyche_crypto::hash(b"image"));
         let nonce = [1u8; 32];
-        let quote = rogue.quote(&[PCR_MONITOR], nonce);
+        let quote = rogue.quote(&[PCR_MONITOR], nonce).unwrap();
         assert!(!quote.verify(&tpm.attestation_key(), &nonce));
     }
 
@@ -230,7 +285,7 @@ mod tests {
     fn pcr_lookup_in_quote() {
         let mut tpm = Tpm::new_with_seed(6);
         tpm.extend(2, "x", tyche_crypto::hash(b"x"));
-        let quote = tpm.quote(&[0, 2], [0u8; 32]);
+        let quote = tpm.quote(&[0, 2], [0u8; 32]).unwrap();
         assert_eq!(quote.pcr(2), Some(tpm.read_pcr(2)));
         assert_eq!(quote.pcr(0), Some(Digest::ZERO));
         assert_eq!(quote.pcr(5), None);
@@ -272,5 +327,36 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn extend_rejects_bad_pcr() {
         Tpm::new_with_seed(0).extend(PCR_COUNT, "bad", Digest::ZERO);
+    }
+
+    #[test]
+    fn quote_rejects_bad_pcr_selection() {
+        let tpm = Tpm::new_with_seed(8);
+        assert_eq!(
+            tpm.quote(&[0, PCR_COUNT], [0u8; 32]),
+            Err(TpmError::BadPcr(PCR_COUNT))
+        );
+    }
+
+    #[test]
+    fn injected_quote_and_entropy_faults_are_checked() {
+        use crate::faults::{FaultPlan, FaultSite, Faults};
+        let mut tpm = Tpm::new_with_seed(9);
+        let faults = Faults::new();
+        tpm.set_faults(faults.clone());
+        faults.arm(FaultPlan::once(FaultSite::TpmQuote));
+        assert_eq!(
+            tpm.quote(&[PCR_MONITOR], [0u8; 32]).unwrap_err(),
+            TpmError::QuoteFailed
+        );
+        // Spent: the quote engine recovers.
+        let q = tpm.quote(&[PCR_MONITOR], [0u8; 32]).unwrap();
+        assert!(q.verify(&tpm.attestation_key(), &[0u8; 32]));
+        faults.arm(FaultPlan::once(FaultSite::DrbgEntropy));
+        assert_eq!(tpm.fresh_nonce().unwrap_err(), TpmError::EntropyExhausted);
+        // Determinism: the failed draw consumed no RNG state, so the next
+        // nonce equals what an uninjected TPM at the same point produces.
+        let mut twin = Tpm::new_with_seed(9);
+        assert_eq!(tpm.fresh_nonce().unwrap(), twin.fresh_nonce().unwrap());
     }
 }

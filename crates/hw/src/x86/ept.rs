@@ -302,6 +302,17 @@ impl Ept {
         gpa: GuestPhysAddr,
         access: Access,
     ) -> Result<(PhysAddr, u8), EptViolation> {
+        // An injected walk abort surfaces as the violation hardware
+        // delivers on an uncorrectable table-fetch error: root level,
+        // nothing walked. (Injected memory-read faults during the walk
+        // itself are caught by the `read_u64` arms below.)
+        if mem.faults().fire(crate::faults::FaultSite::EptWalk) {
+            return Err(EptViolation {
+                gpa,
+                access,
+                level: 4,
+            });
+        }
         let mut table = self.root;
         let mut walked = 0u8;
         for level in (2..=4u8).rev() {
@@ -453,6 +464,25 @@ mod tests {
         assert_eq!(v.access, Access::Write);
         assert_eq!(v.level, 1, "permission fault at the leaf");
         assert!(ept.translate(&mem, gpa, Access::Exec).is_err());
+    }
+
+    #[test]
+    fn injected_walk_abort_faults_at_root() {
+        use crate::faults::{FaultPlan, FaultSite};
+        let (mut mem, mut alloc) = setup();
+        let ept = Ept::new(&mut mem, &mut alloc).unwrap();
+        let gpa = GuestPhysAddr::new(0x40_0000);
+        ept.map(&mut mem, &mut alloc, gpa, PhysAddr::new(0x10_0000), EptFlags::RW)
+            .unwrap();
+        mem.faults().arm(FaultPlan::once(FaultSite::EptWalk));
+        let v = ept.translate(&mem, gpa, Access::Read).unwrap_err();
+        assert_eq!(v.level, 4, "aborts before walking");
+        // One-shot: the mapping is intact and translates again.
+        assert!(ept.translate(&mem, gpa, Access::Read).is_ok());
+        // A memory-read fault mid-walk is also a violation, not a panic.
+        mem.faults().arm(FaultPlan::once(FaultSite::MemRead));
+        assert!(ept.translate(&mem, gpa, Access::Read).is_err());
+        assert!(ept.translate(&mem, gpa, Access::Read).is_ok());
     }
 
     #[test]

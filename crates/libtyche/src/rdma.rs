@@ -250,12 +250,19 @@ impl RdmaConnection {
         if frame.len() < 40 {
             return Err(RdmaError::BadFrame);
         }
+        // Wire bytes are untrusted input: a malformed tag or header is a
+        // checked `BadFrame`, never a caller abort.
         let (body, rtag) = frame.split_at(frame.len() - 32);
-        let expect = tyche_crypto::Digest(rtag.try_into().expect("32-byte tag"));
+        let rtag: [u8; 32] = rtag.try_into().map_err(|_| RdmaError::BadFrame)?;
+        let expect = tyche_crypto::Digest(rtag);
         if !tyche_crypto::HmacSha256::verify(&self.key, body, &expect) {
             return Err(RdmaError::BadFrame);
         }
-        let rseq = u64::from_le_bytes(body[..8].try_into().expect("frame header"));
+        let rseq_bytes: [u8; 8] = body
+            .get(..8)
+            .and_then(|b| b.try_into().ok())
+            .ok_or(RdmaError::BadFrame)?;
+        let rseq = u64::from_le_bytes(rseq_bytes);
         let rks = self.keystream(rseq, len);
         let plain: Vec<u8> = body[8..].iter().zip(&rks).map(|(c, k)| c ^ k).collect();
 
@@ -375,7 +382,7 @@ mod tests {
         let (mut mb, db, gb) = machine_with_tee();
         let qn = [1u8; 32];
         let rn = [2u8; 32];
-        let quote_b = mb.machine_quote(qn);
+        let quote_b = mb.machine_quote(qn).expect("quote");
         let report_b = mb.attest_domain(db, rn).unwrap();
         let report_a = {
             let da = ma.current_domain(0);
@@ -643,7 +650,7 @@ mod tests {
         let (evil_tee, _gate) = tyche_bench_spawn(&mut evil, 0x10_0000, 0x1000);
         let qn = [1u8; 32];
         let rn = [2u8; 32];
-        let quote = evil.machine_quote(qn);
+        let quote = evil.machine_quote(qn).expect("quote");
         let report = evil.attest_domain(evil_tee, rn).unwrap();
         let my_report = {
             let mut ma = ma;

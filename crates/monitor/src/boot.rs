@@ -110,8 +110,10 @@ fn boot_common(config: &BootConfig) -> (Machine, CapEngine, DomainId, SigningKey
     machine.tpm.extend(PCR_CONFIG, "monitor-config", cfg_digest);
 
     // The monitor's attestation key: derived from TPM-held entropy, as a
-    // sealed key released only to the measured monitor would be.
-    let key_seed = machine.tpm.fresh_nonce();
+    // sealed key released only to the measured monitor would be. Fault
+    // plans are armed post-boot, so boot-time entropy is an invariant —
+    // a machine whose TPM cannot seed the monitor key cannot boot.
+    let key_seed = machine.tpm.fresh_nonce().expect("boot-time entropy");
     let sign_key = SigningKey::derive(&key_seed, "monitor-report-key");
 
     // Step 4: initial domain owns the machine.

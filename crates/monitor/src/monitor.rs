@@ -14,7 +14,7 @@ use crate::attest::SignedReport;
 use crate::backend::riscv::RiscvBackend;
 use crate::backend::x86::X86Backend;
 use crate::backend::BackendError;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use tyche_core::attest::DomainReport;
 use tyche_core::prelude::*;
 use tyche_crypto::sign::SigningKey;
@@ -104,6 +104,8 @@ pub struct Stats {
     pub transitions_fast: u64,
     /// Backend compensations (rolled-back operations).
     pub compensations: u64,
+    /// Domains quarantined after unrecoverable backend faults.
+    pub quarantines: u64,
 }
 
 /// The isolation monitor.
@@ -196,8 +198,13 @@ impl Monitor {
     }
 
     /// Produces the tier-1 machine attestation: a TPM quote over the
-    /// monitor PCRs with the verifier's nonce.
-    pub fn machine_quote(&self, nonce: [u8; 32]) -> tyche_hw::tpm::Quote {
+    /// monitor PCRs with the verifier's nonce. Fails when the TPM does
+    /// (e.g. an injected quote fault) — attestation degrades to a checked
+    /// error, never a panic.
+    pub fn machine_quote(
+        &self,
+        nonce: [u8; 32],
+    ) -> Result<tyche_hw::tpm::Quote, tyche_hw::tpm::TpmError> {
         self.machine.tpm.quote(
             &[tyche_hw::tpm::PCR_MONITOR, tyche_hw::tpm::PCR_CONFIG],
             nonce,
@@ -309,12 +316,22 @@ impl Monitor {
                     return Err(Status::InvalidArg);
                 }
                 // The monitor itself measures the region's current bytes:
-                // the caller cannot claim arbitrary content.
+                // the caller cannot claim arbitrary content. The range is
+                // caller-controlled, so a region outside installed RAM is
+                // a malformed request and an injected DRAM fault during
+                // the measurement is a backend failure — neither may
+                // panic the monitor.
                 let range = tyche_hw::addr::PhysRange::new(
                     tyche_hw::PhysAddr::new(start),
                     tyche_hw::PhysAddr::new(end),
                 );
-                let digest = tyche_hw::tpm::measure_range(&self.machine.mem, range);
+                let digest = match tyche_hw::tpm::try_measure_range(&self.machine.mem, range) {
+                    Ok(d) => d,
+                    Err(tyche_hw::mem::MemError::Injected { .. }) => {
+                        return Err(Status::BackendFailure)
+                    }
+                    Err(_) => return Err(Status::InvalidArg),
+                };
                 self.machine
                     .cycles
                     .charge(self.machine.cost.hash_page * (end - start).div_ceil(4096));
@@ -596,7 +613,10 @@ impl Monitor {
                 Ok(())
             }
             Arch::RiscV => {
-                let b = self.riscv.as_mut().expect("riscv arch");
+                let b = self
+                    .riscv
+                    .as_mut()
+                    .ok_or_else(|| BackendError::Hardware("riscv backend missing".into()))?;
                 b.enter_domain(&mut self.machine, target, core, entry)
             }
         }
@@ -616,8 +636,11 @@ impl Monitor {
                     .map_err(|_| Fault { addr, write: false })
             }
             Arch::RiscV => {
-                let b = self.riscv.as_ref().expect("riscv arch");
-                let hart = &b.harts[core];
+                // A missing backend or hart is a machine-configuration
+                // fault; surface it as a memory fault, never a panic.
+                let Some(hart) = self.riscv.as_ref().and_then(|b| b.harts.get(core)) else {
+                    return Err(Fault { addr, write: false });
+                };
                 let mut plat = self.machine.platform();
                 hart.read(&mut plat, tyche_hw::PhysAddr::new(addr), out)
                     .map_err(|_| Fault { addr, write: false })
@@ -635,8 +658,9 @@ impl Monitor {
                     .map_err(|_| Fault { addr, write: true })
             }
             Arch::RiscV => {
-                let b = self.riscv.as_ref().expect("riscv arch");
-                let hart = &b.harts[core];
+                let Some(hart) = self.riscv.as_ref().and_then(|b| b.harts.get(core)) else {
+                    return Err(Fault { addr, write: true });
+                };
                 let mut plat = self.machine.platform();
                 hart.write(&mut plat, tyche_hw::PhysAddr::new(addr), data)
                     .map_err(|_| Fault { addr, write: true })
@@ -654,8 +678,9 @@ impl Monitor {
                     .map_err(|_| Fault { addr, write: false })
             }
             Arch::RiscV => {
-                let b = self.riscv.as_ref().expect("riscv arch");
-                let hart = &b.harts[core];
+                let Some(hart) = self.riscv.as_ref().and_then(|b| b.harts.get(core)) else {
+                    return Err(Fault { addr, write: false });
+                };
                 let mut plat = self.machine.platform();
                 hart.fetch(&mut plat, tyche_hw::PhysAddr::new(addr))
                     .map_err(|_| Fault { addr, write: false })
@@ -692,14 +717,11 @@ impl Monitor {
         if !managed {
             return Err(Status::Denied);
         }
-        match self.arch {
-            Arch::X86 => self
-                .x86
-                .as_mut()
-                .expect("x86 arch")
+        match (self.arch, self.x86.as_mut()) {
+            (Arch::X86, Some(b)) => b
                 .enable_encryption(&mut self.machine, domain)
                 .map_err(|_| Status::BackendFailure),
-            Arch::RiscV => Err(Status::BackendFailure),
+            _ => Err(Status::BackendFailure),
         }
     }
 
@@ -729,7 +751,16 @@ impl Monitor {
     /// be verified in isolation, and this check pins the hardware to it.
     pub fn audit_hardware(&self) -> Vec<String> {
         let mut out = Vec::new();
-        for dom in self.engine.domains().filter(|d| d.is_alive()) {
+        // Quarantined domains are the *documented* divergence: their
+        // hardware state is exactly what the engine could no longer
+        // realize, they can never be entered, and killing them resyncs.
+        // Auditing them would report the divergence quarantine exists to
+        // contain.
+        for dom in self
+            .engine
+            .domains()
+            .filter(|d| d.is_alive() && !d.is_quarantined())
+        {
             let want = crate::backend::page_view(&self.engine, dom.id);
             match self.arch {
                 Arch::X86 => {
@@ -833,7 +864,7 @@ impl Monitor {
     fn apply_or_compensate(&mut self, rollback: &[RollBack]) -> Result<(), Status> {
         match self.apply_all() {
             Ok(()) => Ok(()),
-            Err(_e) => {
+            Err((_, mut implicated)) => {
                 self.stats.compensations += 1;
                 for rb in rollback {
                     match rb {
@@ -847,14 +878,41 @@ impl Monitor {
                         }
                     }
                 }
-                self.apply_all()
-                    .expect("compensated state must be realizable");
+                if let Err((_, more)) = self.apply_all() {
+                    implicated.extend(more);
+                }
+                // The failed effects were drained before they could reach
+                // hardware, and the rollback may have emitted nothing at
+                // all (revoke/kill/seal roll back by doing nothing) — so
+                // even a clean re-apply can leave an implicated domain's
+                // translations stale. Force a full resync of each one:
+                // the backends rebuild a domain's entire state from the
+                // engine on any memory effect (the synthetic region is
+                // irrelevant). A domain whose resync fails too is
+                // quarantined — it stays killable and enumerable but is
+                // never entered on untrusted translations — instead of
+                // panicking the TCB.
+                for d in implicated {
+                    let alive = self.engine.domain(d).map(|x| x.is_alive()).unwrap_or(false);
+                    if !alive {
+                        continue;
+                    }
+                    let healed = self
+                        .apply_list(&[Effect::UnmapMem {
+                            domain: d,
+                            region: MemRegion::new(0, 4096),
+                        }])
+                        .is_ok();
+                    if !healed && self.engine.quarantine(d).is_ok() {
+                        self.stats.quarantines += 1;
+                    }
+                }
                 Err(Status::BackendFailure)
             }
         }
     }
 
-    fn apply_all(&mut self) -> Result<(), BackendError> {
+    fn apply_all(&mut self) -> Result<(), (BackendError, BTreeSet<DomainId>)> {
         let effects = Self::coalesce_effects(self.engine.drain_effects());
         self.apply_list(&effects)
     }
@@ -904,26 +962,41 @@ impl Monitor {
             .collect()
     }
 
-    fn apply_list(&mut self, effects: &[Effect]) -> Result<(), BackendError> {
+    /// Applies every effect in order and returns the *first* failure,
+    /// paired with the set of domains the failures implicate (several
+    /// resyncs can fail in one batch — e.g. a persistent DRAM fault
+    /// breaks every table write). Application is best-effort: a fault on
+    /// one domain's translation update must not strand the remaining
+    /// domains' hardware state, so later effects still run.
+    fn apply_list(&mut self, effects: &[Effect]) -> Result<(), (BackendError, BTreeSet<DomainId>)> {
+        let mut first: Option<BackendError> = None;
+        let mut implicated = BTreeSet::new();
         for fx in effects {
-            match self.arch {
-                Arch::X86 => {
-                    self.x86.as_mut().expect("x86 arch").apply(
-                        &mut self.machine,
-                        &self.engine,
-                        fx,
-                    )?;
-                }
-                Arch::RiscV => {
-                    self.riscv.as_mut().expect("riscv arch").apply(
-                        &mut self.machine,
-                        &self.engine,
-                        fx,
-                    )?;
+            let res = match self.arch {
+                Arch::X86 => match self.x86.as_mut() {
+                    Some(b) => b.apply(&mut self.machine, &self.engine, fx),
+                    None => Err(BackendError::Hardware("x86 backend missing".into())),
+                },
+                Arch::RiscV => match self.riscv.as_mut() {
+                    Some(b) => b.apply(&mut self.machine, &self.engine, fx),
+                    None => Err(BackendError::Hardware("riscv backend missing".into())),
+                },
+            };
+            if let Err(error) = res {
+                let domain = match &error {
+                    BackendError::LayoutUnrepresentable { domain, .. } => Some(*domain),
+                    BackendError::Hardware(_) => fx.domain(),
+                };
+                implicated.extend(domain);
+                if first.is_none() {
+                    first = Some(error);
                 }
             }
         }
-        Ok(())
+        match first {
+            None => Ok(()),
+            Some(e) => Err((e, implicated)),
+        }
     }
 }
 

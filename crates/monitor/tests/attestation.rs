@@ -107,7 +107,7 @@ fn full_chain_verifies() {
     let verifier = verifier_for(&m);
     let quote_nonce = [7u8; 32];
     let report_nonce = [9u8; 32];
-    let quote = m.machine_quote(quote_nonce);
+    let quote = m.machine_quote(quote_nonce).unwrap();
     let signed = m.attest_domain(child, report_nonce).unwrap();
 
     let attested = verifier
@@ -145,7 +145,7 @@ fn wrong_monitor_detected() {
     let mut verifier = verifier_for(&m);
     // The verifier expects a different monitor version.
     verifier.expected_monitor_pcr = expected_monitor_pcr("tyche-repro-monitor v9.9.9");
-    let quote = m.machine_quote([1u8; 32]);
+    let quote = m.machine_quote([1u8; 32]).unwrap();
     let signed = m.attest_domain(child, [2u8; 32]).unwrap();
     assert!(matches!(
         verifier.verify(&quote, &[1u8; 32], &signed, &[2u8; 32], None),
@@ -157,7 +157,7 @@ fn wrong_monitor_detected() {
 fn replayed_quote_detected() {
     let (mut m, child, _) = setup_with_enclave();
     let verifier = verifier_for(&m);
-    let old_quote = m.machine_quote([1u8; 32]);
+    let old_quote = m.machine_quote([1u8; 32]).unwrap();
     let signed = m.attest_domain(child, [2u8; 32]).unwrap();
     // Verifier asked with a fresh nonce but got a stale quote.
     assert!(matches!(
@@ -170,7 +170,7 @@ fn replayed_quote_detected() {
 fn replayed_report_detected() {
     let (mut m, child, _) = setup_with_enclave();
     let verifier = verifier_for(&m);
-    let quote = m.machine_quote([1u8; 32]);
+    let quote = m.machine_quote([1u8; 32]).unwrap();
     let stale = m.attest_domain(child, [2u8; 32]).unwrap();
     assert!(matches!(
         verifier.verify(&quote, &[1u8; 32], &stale, &[3u8; 32], None),
@@ -182,7 +182,7 @@ fn replayed_report_detected() {
 fn tampered_report_detected() {
     let (mut m, child, _) = setup_with_enclave();
     let verifier = verifier_for(&m);
-    let quote = m.machine_quote([1u8; 32]);
+    let quote = m.machine_quote([1u8; 32]).unwrap();
     let mut signed = m.attest_domain(child, [2u8; 32]).unwrap();
     // The adversary edits the refcounts to hide a shared mapping.
     for r in &mut signed.report.resources {
@@ -201,7 +201,7 @@ fn tampered_report_detected() {
 fn forged_signature_detected() {
     let (mut m, child, _) = setup_with_enclave();
     let verifier = verifier_for(&m);
-    let quote = m.machine_quote([1u8; 32]);
+    let quote = m.machine_quote([1u8; 32]).unwrap();
     let mut signed = m.attest_domain(child, [2u8; 32]).unwrap();
     // A monitor key the verifier does not trust.
     let rogue = tyche_crypto::sign::SigningKey::derive(b"rogue", "monitor-report-key");
@@ -216,7 +216,7 @@ fn forged_signature_detected() {
 fn wrong_domain_measurement_detected() {
     let (mut m, child, _) = setup_with_enclave();
     let verifier = verifier_for(&m);
-    let quote = m.machine_quote([1u8; 32]);
+    let quote = m.machine_quote([1u8; 32]).unwrap();
     let signed = m.attest_domain(child, [2u8; 32]).unwrap();
     let wrong = tyche_crypto::hash(b"some other enclave");
     assert!(matches!(

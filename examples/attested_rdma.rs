@@ -40,7 +40,7 @@ fn main() {
     // report); the channel key binds to both attested configurations.
     let qn = [1u8; 32];
     let rn = [2u8; 32];
-    let quote_b = mb.machine_quote(qn);
+    let quote_b = mb.machine_quote(qn).expect("quote");
     let report_b = mb.attest_domain(tee_b, rn).expect("report B");
     let report_a = ma.attest_domain(tee_a, rn).expect("report A");
     let verifier = Verifier {

@@ -71,7 +71,7 @@ fn main() {
     };
     let qn = [1u8; 32];
     let rn = [2u8; 32];
-    let quote = m.machine_quote(qn);
+    let quote = m.machine_quote(qn).expect("quote");
     let report = m.attest_domain(enclave, rn).expect("attest");
     let attested = verifier
         .verify(&quote, &qn, &report, &rn, Some(measurement))

@@ -25,7 +25,7 @@ fn exclusive_plus_obfuscating_gives_confidentiality_and_integrity() {
     let verifier = verifier_for(&m);
     let qn = [1u8; 32];
     let rn = [2u8; 32];
-    let quote = m.machine_quote(qn);
+    let quote = m.machine_quote(qn).expect("quote");
     let report = m.attest_domain(enclave, rn).unwrap();
     let att = verifier.verify(&quote, &qn, &report, &rn, None).unwrap();
     assert!(att.sharing_is_exactly(&[]), "refcount 1 everywhere");
@@ -59,7 +59,7 @@ fn attestation_is_a_snapshot_with_freshness() {
     let mut m = boot();
     let (enclave, _) = spawn_sealed(&mut m, 0, 0x10_0000, 0x1000, &[0], SealPolicy::strict());
     let verifier = verifier_for(&m);
-    let quote = m.machine_quote([1u8; 32]);
+    let quote = m.machine_quote([1u8; 32]).expect("quote");
     let r1 = m.attest_domain(enclave, [10u8; 32]).unwrap();
     let r2 = m.attest_domain(enclave, [11u8; 32]).unwrap();
     assert_eq!(r1.report, r2.report, "same state, same report content");

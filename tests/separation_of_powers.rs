@@ -102,7 +102,7 @@ fn judiciary_oversees_monitor_and_domains() {
     };
     let qn = [5u8; 32];
     let rn = [6u8; 32];
-    let quote = m.machine_quote(qn);
+    let quote = m.machine_quote(qn).expect("quote");
     let report = m.attest_domain(enclave, rn).unwrap();
     assert!(verifier.verify(&quote, &qn, &report, &rn, None).is_ok());
     // ...and the judiciary binds the executive: the report's refcounts

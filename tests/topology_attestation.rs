@@ -46,7 +46,7 @@ fn undeclared_sharing_detected() {
     // the point: nothing shared escapes the declaration.
     let mut f = scenarios::fig2();
     let verifier = verifier_for(&f.monitor);
-    let quote = f.monitor.machine_quote(QN);
+    let quote = f.monitor.machine_quote(QN).expect("quote");
     let crypto_r = f.monitor.attest_domain(f.crypto, RN).unwrap();
     let app_r = f.monitor.attest_domain(f.app, RN).unwrap();
     let err = verifier
@@ -65,7 +65,7 @@ fn full_member_set_verifies() {
     // channel: the topology verifies.
     let mut f = scenarios::fig2();
     let verifier = verifier_for(&f.monitor);
-    let quote = f.monitor.machine_quote(QN);
+    let quote = f.monitor.machine_quote(QN).expect("quote");
     let crypto_r = f.monitor.attest_domain(f.crypto, RN).unwrap();
     let app_r = f.monitor.attest_domain(f.app, RN).unwrap();
     let gpu_r = f.monitor.attest_domain(f.gpu_domain, RN).unwrap();
@@ -141,7 +141,7 @@ fn full_member_set_verifies() {
     // entirely — rebuild the deployment without a NET share.
     let mut f2 = scenarios::fig2_without_net();
     let verifier2 = verifier_for(&f2.monitor);
-    let quote2 = f2.monitor.machine_quote(QN);
+    let quote2 = f2.monitor.machine_quote(QN).expect("quote");
     let crypto2 = f2.monitor.attest_domain(f2.crypto, RN).unwrap();
     let app2 = f2.monitor.attest_domain(f2.app, RN).unwrap();
     let gpu2 = f2.monitor.attest_domain(f2.gpu_domain, RN).unwrap();
@@ -163,7 +163,7 @@ fn missing_channel_detected() {
     // The spec declares a channel the deployment never built.
     let mut f = scenarios::fig2_without_net();
     let verifier = verifier_for(&f.monitor);
-    let quote = f.monitor.machine_quote(QN);
+    let quote = f.monitor.machine_quote(QN).expect("quote");
     let crypto_r = f.monitor.attest_domain(f.crypto, RN).unwrap();
     let app_r = f.monitor.attest_domain(f.app, RN).unwrap();
     let gpu_r = f.monitor.attest_domain(f.gpu_domain, RN).unwrap();
@@ -200,7 +200,7 @@ fn member_substitution_detected() {
         .measurement
         .unwrap();
     let verifier = verifier_for(&f.monitor);
-    let quote = f.monitor.machine_quote(QN);
+    let quote = f.monitor.machine_quote(QN).expect("quote");
     // The impostor: the GPU domain's report in the crypto slot.
     let impostor = f.monitor.attest_domain(f.gpu_domain, RN).unwrap();
     let app_r = f.monitor.attest_domain(f.app, RN).unwrap();
@@ -225,7 +225,7 @@ fn member_substitution_detected() {
 fn member_count_checked() {
     let mut f = scenarios::fig2_without_net();
     let verifier = verifier_for(&f.monitor);
-    let quote = f.monitor.machine_quote(QN);
+    let quote = f.monitor.machine_quote(QN).expect("quote");
     let crypto_r = f.monitor.attest_domain(f.crypto, RN).unwrap();
     let spec = TopologySpec {
         member_measurements: vec![None, None],
