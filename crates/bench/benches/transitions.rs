@@ -26,9 +26,9 @@ fn bench_transitions(c: &mut Criterion) {
         });
         // Counter symmetry: every round trip is exactly two mediated
         // one-way transitions, and the fast counter never moves.
-        assert_eq!(m.stats.transitions_mediated % 2, 0);
-        assert!(m.stats.transitions_mediated > 0);
-        assert_eq!(m.stats.transitions_fast, 0);
+        assert_eq!(m.stats().transitions_mediated % 2, 0);
+        assert!(m.stats().transitions_mediated > 0);
+        assert_eq!(m.stats().transitions_fast, 0);
     });
 
     group.bench_function("vmfunc_roundtrip", |b| {
@@ -40,9 +40,9 @@ fn bench_transitions(c: &mut Criterion) {
         });
         // Counter symmetry: every round trip is exactly two fast one-way
         // transitions, and the mediated counter never moves.
-        assert_eq!(m.stats.transitions_fast % 2, 0);
-        assert!(m.stats.transitions_fast > 0);
-        assert_eq!(m.stats.transitions_mediated, 0);
+        assert_eq!(m.stats().transitions_fast % 2, 0);
+        assert!(m.stats().transitions_fast > 0);
+        assert_eq!(m.stats().transitions_mediated, 0);
     });
 
     group.bench_function("mediated_with_flush_policy", |b| {
@@ -65,8 +65,8 @@ fn bench_transitions(c: &mut Criterion) {
             m.dom_write(0, 0x10_0000, &[1]).expect("dirty a line");
             m.call(0, MonitorCall::Return).expect("return");
         });
-        assert_eq!(m.stats.transitions_mediated % 2, 0);
-        assert_eq!(m.stats.transitions_fast, 0);
+        assert_eq!(m.stats().transitions_mediated % 2, 0);
+        assert_eq!(m.stats().transitions_fast, 0);
     });
 
     // Baseline: what a monitor call costs without a transition at all.

@@ -18,12 +18,23 @@
 //! through the sharded `ConcurrentMonitor` vs a mutex around the whole
 //! monitor — and `--json` writes `BENCH_smp.json`. `bench` is
 //! explicit-only: it is not part of the no-argument full run.
+//!
+//! `repro trace [--json] [--smoke]` runs traced fuzz campaigns over the
+//! trace seed corpus, drains each machine's event log, replays it
+//! through every `tyche-verify::rv` temporal checker, re-runs each seed
+//! to confirm the attested hash chain reproduces, and finishes with the
+//! tracing-overhead gate (deterministic cycle metrics with the sink
+//! recording must stay within 5% of the committed `BENCH_hotpath.json`
+//! numbers). `--json` writes `TRACE.json` at the workspace root.
 
 use std::time::Instant;
 use tyche_bench::scenarios::{self, layout};
 use tyche_bench::{boot, fuzz, spawn_sealed, Table};
 use tyche_core::audit;
+use tyche_core::metrics::Counter;
 use tyche_core::prelude::*;
+use tyche_core::trace::EventKind;
+use tyche_verify::rv;
 use tyche_monitor::abi::MonitorCall;
 use tyche_monitor::attest::Verifier;
 use tyche_monitor::boot::{expected_monitor_pcr, MONITOR_VERSION};
@@ -62,6 +73,18 @@ fn main() {
         let json = args.iter().any(|a| a == "--json");
         let smoke = args.iter().any(|a| a == "--smoke");
         if !fuzz_campaign(json, smoke) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "trace") {
+        // Explicit-only: traced fuzz campaigns replayed through the
+        // runtime verifiers, plus the tracing-overhead gate. Exits
+        // non-zero on any RV finding, chain divergence, or overhead
+        // breach; `--json` writes `TRACE.json` at the workspace root.
+        let json = args.iter().any(|a| a == "--json");
+        let smoke = args.iter().any(|a| a == "--smoke");
+        if !trace_campaign(json, smoke) {
             std::process::exit(1);
         }
         return;
@@ -1436,7 +1459,7 @@ fn e4() {
         format!(
             "OS pending={:?} spurious={}",
             m.pending_interrupts(0),
-            m.machine.irq.spurious
+            m.machine.metrics.get(Counter::IrqSpurious)
         ),
     ]);
     t.print();
@@ -1624,7 +1647,7 @@ fn bench_hotpath(json: bool, smoke: bool) {
     }
     t.print();
 
-    let e = bench_transitions(iters);
+    let e = bench_transitions(iters, false);
     let mut t = Table::new(
         "BENCH — transition latency: uncached fast path (before) vs validated cache (after)",
         &["variant", "wall ns/roundtrip", "simulated cycles/roundtrip"],
@@ -1647,7 +1670,7 @@ fn bench_hotpath(json: bool, smoke: bool) {
     t.print();
     entries.push(e);
 
-    let e = bench_flush_policy(iters);
+    let e = bench_flush_policy(iters, false);
     let mut t = Table::new(
         "BENCH — flush-policy cost per mediated roundtrip (simulated cycles)",
         &["policy", "cycles/roundtrip"],
@@ -1795,8 +1818,13 @@ fn bench_capability_ops(fanout: usize, iters: usize) -> HotpathEntry {
 
 /// Times one-way-symmetric roundtrips: mediated VMCALL, fast VMFUNC with
 /// the validated cache bypassed, and fast VMFUNC with the cache warm.
-fn bench_transitions(iters: usize) -> HotpathEntry {
+/// With `traced` the sink records every event — the overhead gate runs
+/// this variant and holds the cycle metrics to the untraced baseline.
+fn bench_transitions(iters: usize, traced: bool) -> HotpathEntry {
     let mut m = boot();
+    if traced {
+        m.machine.trace.enable(m.machine.cores);
+    }
     let (_d, gate) = spawn_sealed(&mut m, 0, 0x10_0000, 0x1000, &[0], SealPolicy::strict());
     let roundtrip = |m: &mut tyche_monitor::Monitor,
                      enter: &mut dyn FnMut(&mut tyche_monitor::Monitor)| {
@@ -1846,10 +1874,14 @@ fn bench_transitions(iters: usize) -> HotpathEntry {
 
 /// Simulated cycle cost of a mediated roundtrip under each revocation
 /// policy; the flush charges are deterministic, so this entry is stable
-/// across machines.
-fn bench_flush_policy(iters: usize) -> HotpathEntry {
+/// across machines. `traced` turns the sink on, as in
+/// [`bench_transitions`].
+fn bench_flush_policy(iters: usize, traced: bool) -> HotpathEntry {
     let per_policy = |policy: RevocationPolicy| {
         let mut m = boot();
+        if traced {
+            m.machine.trace.enable(m.machine.cores);
+        }
         let (d, _g) = spawn_sealed(&mut m, 0, 0x10_0000, 0x1000, &[0], SealPolicy::strict());
         let os = m.engine.root().expect("root");
         let gate = m.engine.make_transition(os, d, policy).expect("gate");
@@ -2449,5 +2481,255 @@ fn fuzz_campaign(json: bool, smoke: bool) -> bool {
         std::fs::write(&path, doc).expect("write FUZZ.json");
         println!("wrote {}", path.display());
     }
+    pass
+}
+
+// ---------------------------------------------------------------------
+// `repro trace` — attested trace replay + runtime verification
+// ---------------------------------------------------------------------
+
+/// The trace seed corpus (a subset of [`FUZZ_SEEDS`], documented in
+/// EXPERIMENTS.md § Trace/RV methodology): seed 1 is the plain witness;
+/// seed 13 quarantines a domain under fault injection, so the
+/// sticky-quarantine and shootdown checkers replay a non-vacuous
+/// history.
+const TRACE_SEEDS: [u64; 2] = [1, 13];
+
+/// Runs traced fuzz campaigns over [`TRACE_SEEDS`], drains each
+/// machine's event log, replays it through every `tyche-verify::rv`
+/// temporal checker, re-runs each seed to confirm the attested hash
+/// chain reproduces bit-for-bit, and finishes with
+/// [`tracing_overhead_gate`]. Returns false on any RV finding, audit
+/// failure, chain divergence, or overhead breach.
+fn trace_campaign(json: bool, smoke: bool) -> bool {
+    let calls: u64 = if smoke { 1_500 } else { 10_000 };
+    let mut t = Table::new(
+        "TRACE — drained event logs replayed through the RV checkers",
+        &[
+            "seed", "machine", "events", "hyper", "enters", "ipis", "findings", "replay", "chain",
+        ],
+    );
+    let mut pass = true;
+    let mut per_checker = std::collections::BTreeMap::new();
+    for name in rv::CHECKERS {
+        per_checker.insert(name, 0usize);
+    }
+    let mut seeds_json = Vec::new();
+    let started = Instant::now();
+    for &seed in &TRACE_SEEDS {
+        let config = fuzz::FuzzConfig {
+            seed,
+            calls,
+            faults: true,
+        };
+        let out = fuzz::run_traced(config);
+        let again = fuzz::run_traced(config);
+        if !out.report.clean() {
+            pass = false;
+            for f in &out.report.audit_failures {
+                println!("AUDIT FAILURE: {f}");
+            }
+        }
+        let mut machines_json = Vec::new();
+        for (phase, replay) in out.phases.iter().zip(again.phases.iter()) {
+            let replayed = phase.chain == replay.chain;
+            if !replayed {
+                pass = false;
+                println!(
+                    "CHAIN DIVERGENCE: seed {seed} {} chained differently on replay",
+                    phase.name
+                );
+            }
+            for f in &phase.findings {
+                pass = false;
+                println!("RV FINDING: seed {seed} {}: {f}", phase.name);
+                if let Some(n) = per_checker.get_mut(f.checker) {
+                    *n += 1;
+                }
+            }
+            let count = |pred: fn(&EventKind) -> bool| {
+                phase
+                    .log
+                    .events()
+                    .iter()
+                    .filter(|e| pred(&e.kind))
+                    .count()
+            };
+            let hyper = count(|k| matches!(k, EventKind::HyperEnter { .. }));
+            let enters = count(|k| matches!(k, EventKind::Enter { .. }));
+            let ipis = count(|k| matches!(k, EventKind::Ipi { .. }));
+            t.row(&[
+                seed.to_string(),
+                phase.name.into(),
+                phase.log.len().to_string(),
+                hyper.to_string(),
+                enters.to_string(),
+                ipis.to_string(),
+                phase.findings.len().to_string(),
+                if replayed { "=".into() } else { "DIVERGED".into() },
+                phase.chain.to_hex()[..16].to_string(),
+            ]);
+            machines_json.push(format!(
+                "        {{\"name\": \"{}\", \"events\": {}, \"findings\": {}, \
+                 \"replayed\": {}, \"chain\": \"{}\"}}",
+                phase.name,
+                phase.log.len(),
+                phase.findings.len(),
+                replayed,
+                phase.chain.to_hex()
+            ));
+        }
+        seeds_json.push(format!(
+            "    {{\"seed\": {}, \"calls\": {}, \"machines\": [\n{}\n    ]}}",
+            seed,
+            calls,
+            machines_json.join(",\n")
+        ));
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "TRACE — runtime-verification verdicts (all seeds, all machines)",
+        &["checker", "findings", "verdict"],
+    );
+    for name in rv::CHECKERS {
+        let n = per_checker.get(name).copied().unwrap_or(0);
+        t.row(&[
+            name.to_string(),
+            n.to_string(),
+            if n == 0 { "ok".into() } else { "VIOLATED".into() },
+        ]);
+    }
+    t.print();
+
+    let overhead_ok = tracing_overhead_gate();
+    pass = pass && overhead_ok;
+    println!(
+        "trace: {} seeds x {} calls in {:.1}s — {}",
+        TRACE_SEEDS.len(),
+        calls,
+        started.elapsed().as_secs_f64(),
+        if pass {
+            "all RV checkers clean, chains reproduce, overhead within gate"
+        } else {
+            "FAILURES above"
+        }
+    );
+    if json {
+        let doc = format!(
+            "{{\n  \"schema\": \"tyche-trace/v1\",\n  \"mode\": \"{}\",\n  \
+             \"monitor_version\": \"{}\",\n  \"pass\": {},\n  \
+             \"checkers\": [{}],\n  \"overhead_gate\": {},\n  \
+             \"seeds\": [\n{}\n  ]\n}}\n",
+            if smoke { "smoke" } else { "full" },
+            MONITOR_VERSION,
+            pass,
+            rv::CHECKERS
+                .iter()
+                .map(|c| format!("\"{c}\""))
+                .collect::<Vec<_>>()
+                .join(", "),
+            overhead_ok,
+            seeds_json.join(",\n")
+        );
+        let path = workspace_root().join("TRACE.json");
+        std::fs::write(&path, doc).expect("write TRACE.json");
+        println!("wrote {}", path.display());
+    }
+    pass
+}
+
+/// Pulls `"key": <integer>` out of the first JSON object after
+/// `section` in `doc` — enough of a parser for the artifact files this
+/// binary writes itself (flat integers, stable key order).
+fn json_field_u64(doc: &str, section: &str, key: &str) -> Option<u64> {
+    let tail = &doc[doc.find(section)?..];
+    let marker = format!("\"{key}\": ");
+    let rest = &tail[tail.find(&marker)? + marker.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The tracing-overhead gate: recomputes the deterministic
+/// simulated-cycle hot-path metrics with the trace sink recording and
+/// holds each within 5% of the committed `BENCH_hotpath.json` value.
+/// Wall-clock metrics are excluded — they gate nothing on shared CI
+/// hardware; the cycle model is what the paper-facing claims rest on,
+/// and tracing must not move it.
+fn tracing_overhead_gate() -> bool {
+    let path = workspace_root().join("BENCH_hotpath.json");
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            println!("overhead gate: cannot read {}: {e}", path.display());
+            return false;
+        }
+    };
+    let trans = bench_transitions(16, true);
+    let flush = bench_flush_policy(16, true);
+    let detail = |e: &HotpathEntry, key: &str| {
+        e.detail
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+    };
+    let rows: [(&str, &str, &str, Option<u64>); 5] = [
+        (
+            "transitions.mediated_cycles",
+            "\"name\": \"transitions\"",
+            "mediated_cycles",
+            detail(&trans, "mediated_cycles"),
+        ),
+        (
+            "transitions.fast_cycles",
+            "\"name\": \"transitions\"",
+            "fast_cycles",
+            detail(&trans, "fast_cycles"),
+        ),
+        (
+            "flush_policy.obfuscate_cycles",
+            "\"name\": \"flush_policy\"",
+            "before",
+            Some(flush.before),
+        ),
+        (
+            "flush_policy.none_cycles",
+            "\"name\": \"flush_policy\"",
+            "after",
+            Some(flush.after),
+        ),
+        (
+            "flush_policy.zero_cycles",
+            "\"name\": \"flush_policy\"",
+            "zero_cycles",
+            detail(&flush, "zero_cycles"),
+        ),
+    ];
+    let mut t = Table::new(
+        "TRACE — tracing-overhead gate: traced cycle metrics vs committed BENCH_hotpath.json",
+        &["metric", "committed", "traced", "delta", "verdict"],
+    );
+    let mut pass = true;
+    for (label, section, key, traced) in rows {
+        let committed = json_field_u64(&doc, section, key);
+        let (Some(committed), Some(traced)) = (committed, traced) else {
+            pass = false;
+            t.row(&[label.to_string(), "?".into(), "?".into(), "?".into(), "MISSING".into()]);
+            continue;
+        };
+        let delta = (traced.abs_diff(committed) as f64) * 100.0 / (committed.max(1) as f64);
+        let ok = delta <= 5.0;
+        pass = pass && ok;
+        t.row(&[
+            label.to_string(),
+            committed.to_string(),
+            traced.to_string(),
+            format!("{delta:.2}%"),
+            if ok { "ok".into() } else { "OVER BUDGET".into() },
+        ]);
+    }
+    t.print();
     pass
 }

@@ -29,7 +29,9 @@
 
 use tyche_core::audit;
 use tyche_core::engine::CapEngine;
+use tyche_core::trace::{EventKind, TraceLog};
 use tyche_crypto::{hash_parts, ChaChaRng, Digest};
+use tyche_verify::rv;
 use tyche_hw::faults::{FaultPlan, FaultSite};
 use tyche_monitor::abi::leaf;
 use tyche_monitor::monitor::CallResult;
@@ -418,26 +420,118 @@ fn drive_concurrent(m: Monitor, d: &mut Driver, n: u64, faults: bool, phase: u64
     m
 }
 
-/// Runs one seed's full campaign.
+/// One machine's drained trace: the structured event log, its chained
+/// digest, and the runtime-verification verdicts over it.
+#[derive(Clone, Debug)]
+pub struct PhaseTrace {
+    /// Which machine produced it (`"x86"` covers the direct + SMP
+    /// phases, which share one monitor; `"riscv"` is phase 3).
+    pub name: &'static str,
+    /// The drained, seq-ordered event log.
+    pub log: TraceLog,
+    /// SHA-256 hash chain over the canonical event encoding.
+    pub chain: Digest,
+    /// Temporal-invariant violations found by [`rv::check_all`].
+    pub findings: Vec<rv::Finding>,
+}
+
+/// Everything one seed's campaign produced beyond the summary report:
+/// the per-machine traces and the final engine states (for the
+/// zero-perturbation property test).
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// The summary report (RV findings are folded into
+    /// `audit_failures` with an `rv:` prefix).
+    pub report: FuzzReport,
+    /// Drained traces, one per machine: `x86` then `riscv`.
+    pub phases: Vec<PhaseTrace>,
+    /// Final x86 engine state.
+    pub x86_engine: CapEngine,
+    /// Final RISC-V engine state.
+    pub riscv_engine: CapEngine,
+}
+
+/// Runs one seed's full campaign with tracing enabled (the default:
+/// emission consumes no RNG draws and no simulated cycles, so the step
+/// digest is identical either way — `zero_perturbation` locks that in).
 pub fn run(config: FuzzConfig) -> FuzzReport {
+    run_traced(config).report
+}
+
+/// Runs one seed's campaign with the trace layer recording, drains each
+/// machine's log at its last phase boundary, and replays the runtime
+/// verifiers over it. Any RV finding lands in
+/// `report.audit_failures` as `rv:...` — a fuzz campaign now fails when
+/// the *temporal* story breaks, not just the state story.
+pub fn run_traced(config: FuzzConfig) -> CampaignOutcome {
+    campaign(config, true)
+}
+
+/// Runs one seed's campaign with the trace layer left disabled (its
+/// emission gate stays cold). Exists for the zero-perturbation property
+/// test: report and engine states must match [`run_traced`] exactly.
+pub fn run_untraced(config: FuzzConfig) -> CampaignOutcome {
+    campaign(config, false)
+}
+
+fn campaign(config: FuzzConfig, traced: bool) -> CampaignOutcome {
     let mut d = Driver::new(&config);
     let direct = config.calls * 2 / 5;
     let smp = config.calls * 2 / 5;
     let riscv = config.calls - direct - smp;
 
     let mut m = boot_x86(BootConfig::default());
+    if traced {
+        m.machine.trace.enable(m.machine.cores);
+    }
     drive_monitor(&mut m, &mut d, direct, config.faults, 1, "x86-direct");
+    m.trace().emit_engine(EventKind::PhaseEnd { phase: 1 });
     let m = drive_concurrent(m, &mut d, smp, config.faults, 2);
-    d.report.quarantines += m.stats.quarantines;
+    d.report.quarantines += m.stats().quarantines;
+    m.trace().emit_engine(EventKind::PhaseEnd { phase: 2 });
+    let x86_log = m.trace().drain();
 
     // Fresh corpus for the RISC-V machine: its id space starts over.
     d.caps.clear();
     d.domains.clear();
-    let mut rv = boot_riscv(BootConfig::default());
-    drive_monitor(&mut rv, &mut d, riscv, config.faults, 3, "riscv-direct");
-    d.report.quarantines += rv.stats.quarantines;
+    let mut rv_m = boot_riscv(BootConfig::default());
+    if traced {
+        rv_m.machine.trace.enable(rv_m.machine.cores);
+    }
+    drive_monitor(&mut rv_m, &mut d, riscv, config.faults, 3, "riscv-direct");
+    d.report.quarantines += rv_m.stats().quarantines;
+    rv_m.trace().emit_engine(EventKind::PhaseEnd { phase: 3 });
+    let riscv_log = rv_m.trace().drain();
 
-    d.report
+    let phases: Vec<PhaseTrace> = [("x86", x86_log), ("riscv", riscv_log)]
+        .into_iter()
+        .map(|(name, log)| {
+            let findings = rv::check_all(&log);
+            let chain = log.chain();
+            PhaseTrace {
+                name,
+                log,
+                chain,
+                findings,
+            }
+        })
+        .collect();
+    for phase in &phases {
+        for f in &phase.findings {
+            if d.report.audit_failures.len() < 8 {
+                d.report
+                    .audit_failures
+                    .push(format!("rv:seed {} {}: {f}", d.report.seed, phase.name));
+            }
+        }
+    }
+
+    CampaignOutcome {
+        report: d.report,
+        phases,
+        x86_engine: m.engine,
+        riscv_engine: rv_m.engine,
+    }
 }
 
 /// Runs `config` twice and checks the traces match — the determinism

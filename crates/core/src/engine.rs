@@ -29,6 +29,7 @@ use crate::error::CapError;
 use crate::ids::{CapId, DomainId, IdAllocator};
 use crate::refcount::{mem_refcount, RefCount};
 use crate::resource::{MemRegion, Resource, Rights};
+use crate::trace::{CapOpKind, EventKind, TraceSink};
 use crate::RevocationPolicy;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -84,6 +85,10 @@ pub struct CapEngine {
     /// hooks. The monitor's fast-path cache and `SharedEngine`'s cached
     /// snapshot key their validity on this counter.
     generation: u64,
+    /// Observability sink (disabled by default; installed by the boot
+    /// path). Compares vacuously equal so engine equality — replay
+    /// checks, the zero-perturbation gate — ignores what was recorded.
+    trace: TraceSink,
 }
 
 impl CapEngine {
@@ -99,7 +104,21 @@ impl CapEngine {
         // on *every* state change, not just the transition-invalidating
         // ones. The monitor's fast-path cache only over-invalidates.
         self.generation += 1;
+        self.trace.emit_engine(EventKind::GenBump {
+            gen: self.generation,
+        });
         self.op_counter
+    }
+
+    /// Installs the machine-wide trace sink (done once by the boot
+    /// path). The default sink is disabled and drops every emission.
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
+    }
+
+    /// The engine's trace sink handle.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     // ------------------------------------------------------------------
@@ -195,6 +214,9 @@ impl CapEngine {
     pub fn corrupt_cap(&mut self, cap: CapId) -> Option<&mut Capability> {
         self.indexes_poisoned = true;
         self.generation += 1;
+        self.trace.emit_engine(EventKind::GenBump {
+            gen: self.generation,
+        });
         self.caps.get_mut(&cap)
     }
 
@@ -204,7 +226,19 @@ impl CapEngine {
     pub fn corrupt_domain(&mut self, domain: DomainId) -> Option<&mut Domain> {
         self.indexes_poisoned = true;
         self.generation += 1;
+        self.trace.emit_engine(EventKind::GenBump {
+            gen: self.generation,
+        });
         self.domains.get_mut(&domain)
+    }
+
+    /// Test-only override of the mutation generation (including the
+    /// matching [`EventKind::GenBump`] emission, so the runtime-verification
+    /// seqlock checker can observe the corruption in the trace).
+    #[doc(hidden)]
+    pub fn corrupt_generation(&mut self, gen: u64) {
+        self.generation = gen;
+        self.trace.emit_engine(EventKind::GenBump { gen });
     }
 
     /// Test-only override of a capability's creation stamp.
@@ -258,6 +292,12 @@ impl CapEngine {
         self.root = Some(id);
         self.effects.push(Effect::DomainCreated { domain: id });
         self.tick();
+        self.trace.emit_engine(EventKind::CapOp {
+            op: CapOpKind::CreateDomain,
+            actor: id.0,
+            subject: id.0,
+            aux: 0,
+        });
         id
     }
 
@@ -298,6 +338,12 @@ impl CapEngine {
         self.caps.insert(id, cap);
         let t = self.tick();
         self.created_at.insert(id, t);
+        self.trace.emit_engine(EventKind::CapOp {
+            op: CapOpKind::Endow,
+            actor: domain.0,
+            subject: id.0,
+            aux: 0,
+        });
         Ok(id)
     }
 
@@ -334,6 +380,12 @@ impl CapEngine {
         );
         self.effects.push(Effect::DomainCreated { domain: id });
         self.tick();
+        self.trace.emit_engine(EventKind::CapOp {
+            op: CapOpKind::CreateDomain,
+            actor: manager.0,
+            subject: id.0,
+            aux: 0,
+        });
         let tcap = self.make_transition(manager, id, RevocationPolicy::NONE)?;
         Ok((id, tcap))
     }
@@ -356,6 +408,12 @@ impl CapEngine {
         }
         dom.entry = Some(entry);
         self.tick();
+        self.trace.emit_engine(EventKind::CapOp {
+            op: CapOpKind::SetEntry,
+            actor: actor.0,
+            subject: domain.0,
+            aux: entry,
+        });
         Ok(())
     }
 
@@ -381,6 +439,12 @@ impl CapEngine {
         dom.content_measurements
             .push((region.start, region.end, digest));
         self.tick();
+        self.trace.emit_engine(EventKind::CapOp {
+            op: CapOpKind::RecordContent,
+            actor: actor.0,
+            subject: domain.0,
+            aux: region.start,
+        });
         Ok(())
     }
 
@@ -414,6 +478,12 @@ impl CapEngine {
         dom.seal_policy = policy;
         dom.measurement = Some(measurement);
         self.sealed_at.insert(domain, t);
+        self.trace.emit_engine(EventKind::CapOp {
+            op: CapOpKind::Seal,
+            actor: actor.0,
+            subject: domain.0,
+            aux: 0,
+        });
         Ok(measurement)
     }
 
@@ -478,6 +548,12 @@ impl CapEngine {
         dom.state = DomainState::Dead;
         self.effects.push(Effect::DomainKilled { domain });
         self.tick();
+        self.trace.emit_engine(EventKind::CapOp {
+            op: CapOpKind::Kill,
+            actor: actor.0,
+            subject: domain.0,
+            aux: 0,
+        });
         Ok(())
     }
 
@@ -521,6 +597,9 @@ impl CapEngine {
         }
         // Cached fast-path transition validations are stale either way.
         self.tick();
+        if !already {
+            self.trace.emit_engine(EventKind::Quarantine { domain: domain.0 });
+        }
         Ok(())
     }
 
@@ -631,6 +710,12 @@ impl CapEngine {
         // unchanged.
         self.set_cap_active(cap, false);
         self.tick();
+        self.trace.emit_engine(EventKind::CapOp {
+            op: CapOpKind::Split,
+            actor: actor.0,
+            subject: cap.0,
+            aux: at,
+        });
         Ok((lo, hi))
     }
 
@@ -671,6 +756,12 @@ impl CapEngine {
         }
         self.revoke_subtree(cap);
         self.tick();
+        self.trace.emit_engine(EventKind::CapOp {
+            op: CapOpKind::Revoke,
+            actor: actor.0,
+            subject: cap.0,
+            aux: 0,
+        });
         Ok(())
     }
 
@@ -727,6 +818,12 @@ impl CapEngine {
         self.caps.insert(id, capability);
         let t = self.tick();
         self.created_at.insert(id, t);
+        self.trace.emit_engine(EventKind::CapOp {
+            op: CapOpKind::Transition,
+            actor: actor.0,
+            subject: id.0,
+            aux: target.0,
+        });
         Ok(id)
     }
 
@@ -1190,6 +1287,16 @@ impl CapEngine {
             self.emit_gain(&child_cap);
         }
         self.tick();
+        self.trace.emit_engine(EventKind::CapOp {
+            op: if matches!(kind, CapKind::Shared) {
+                CapOpKind::Share
+            } else {
+                CapOpKind::Grant
+            },
+            actor: actor.0,
+            subject: cap.0,
+            aux: target.0,
+        });
         Ok(child)
     }
 
@@ -1301,6 +1408,9 @@ impl CapEngine {
     fn revoke_subtree(&mut self, cap: CapId) {
         // Any cached transition validation may now be stale.
         self.generation += 1;
+        self.trace.emit_engine(EventKind::GenBump {
+            gen: self.generation,
+        });
         // Collect the subtree in DFS order.
         let mut order = Vec::new();
         let mut stack = vec![cap];

@@ -72,9 +72,11 @@ pub mod effect;
 pub mod engine;
 pub mod error;
 pub mod ids;
+pub mod metrics;
 pub mod refcount;
 pub mod resource;
 pub mod shared;
+pub mod trace;
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
@@ -94,8 +96,10 @@ pub use effect::Effect;
 pub use engine::CapEngine;
 pub use error::CapError;
 pub use ids::{CapId, DomainId};
+pub use metrics::{Counter, Metrics};
 pub use resource::{MemRegion, Resource, Rights};
 pub use shared::SharedEngine;
+pub use trace::{EventKind, TraceEvent, TraceLog, TraceSink};
 
 /// The clean-up contract attached to a capability (§3.2 of the paper):
 /// operations "guaranteed to execute upon revocation".

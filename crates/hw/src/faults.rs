@@ -17,6 +17,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use tyche_core::trace::{EventKind, TraceSink};
 
 /// Where a fault can be injected.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -37,6 +38,23 @@ pub enum FaultSite {
     DrbgEntropy,
     /// The TPM fails to produce a quote.
     TpmQuote,
+}
+
+impl FaultSite {
+    /// Stable numeric code carried by [`EventKind::FaultFired`] trace
+    /// events (declaration order, 1-based).
+    pub fn code(self) -> u8 {
+        match self {
+            FaultSite::MemRead => 1,
+            FaultSite::MemWrite => 2,
+            FaultSite::IpiDrop => 3,
+            FaultSite::IpiDup => 4,
+            FaultSite::EptWalk => 5,
+            FaultSite::PmpWalk => 6,
+            FaultSite::DrbgEntropy => 7,
+            FaultSite::TpmQuote => 8,
+        }
+    }
 }
 
 impl core::fmt::Display for FaultSite {
@@ -88,6 +106,9 @@ struct State {
     plans: Vec<FaultPlan>,
     /// Total faults fired per run, for reporting.
     fired: u64,
+    /// Observability sink; every fired fault is recorded as a
+    /// `FaultFired` trace event. Inert by default.
+    trace: TraceSink,
 }
 
 /// Shared handle to the machine's fault injector.
@@ -114,6 +135,12 @@ impl Faults {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         }
+    }
+
+    /// Attaches the machine-wide trace sink (done once by `Machine::new`;
+    /// shared through the state so existing clones see it too).
+    pub fn set_trace(&self, trace: TraceSink) {
+        self.lock().trace = trace;
     }
 
     /// Arms `plan`. Plans on the same site are consulted in arming order;
@@ -157,6 +184,8 @@ impl Faults {
         }
         if hit {
             st.fired += 1;
+            st.trace
+                .emit_engine(EventKind::FaultFired { site: site.code() });
         }
         if st.plans.iter().all(|p| p.count == 0) {
             self.armed.store(false, Ordering::Release);

@@ -10,6 +10,7 @@
 
 use crate::faults::{FaultSite, Faults};
 use std::collections::{HashMap, VecDeque};
+use tyche_core::metrics::{Counter, Metrics};
 
 /// Maximum vector number (x86 IDT size).
 pub const MAX_VECTOR: u32 = 256;
@@ -21,14 +22,9 @@ pub struct IrqController {
     remap: HashMap<u32, u64>,
     /// routing key → pending vectors (FIFO).
     pending: HashMap<u64, VecDeque<u32>>,
-    /// Vectors raised with no route (dropped).
-    pub spurious: u64,
-    /// Total raised.
-    pub raised: u64,
-    /// Interrupts lost to injected faults.
-    pub injected_drops: u64,
-    /// Interrupts duplicated by injected faults.
-    pub injected_dups: u64,
+    /// Counter registry (`irq.*` counters). A standalone controller gets
+    /// its own registry; `Machine::new` installs the machine-wide one.
+    metrics: Metrics,
     /// Fault injector; inert by default.
     faults: Faults,
 }
@@ -65,6 +61,41 @@ impl IrqController {
         self.faults = faults;
     }
 
+    /// Attaches the machine-wide metrics registry (done once by
+    /// `Machine::new`); the controller counts into `irq.*` there.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// The registry this controller counts into.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Vectors raised with no route (dropped).
+    #[deprecated(note = "read `Counter::IrqSpurious` from the machine's metrics registry")]
+    pub fn spurious(&self) -> u64 {
+        self.metrics.get(Counter::IrqSpurious)
+    }
+
+    /// Total vectors raised.
+    #[deprecated(note = "read `Counter::IrqRaised` from the machine's metrics registry")]
+    pub fn raised(&self) -> u64 {
+        self.metrics.get(Counter::IrqRaised)
+    }
+
+    /// Interrupts lost to injected faults.
+    #[deprecated(note = "read `Counter::IrqInjectedDrops` from the machine's metrics registry")]
+    pub fn injected_drops(&self) -> u64 {
+        self.metrics.get(Counter::IrqInjectedDrops)
+    }
+
+    /// Interrupts duplicated by injected faults.
+    #[deprecated(note = "read `Counter::IrqInjectedDups` from the machine's metrics registry")]
+    pub fn injected_dups(&self) -> u64 {
+        self.metrics.get(Counter::IrqInjectedDups)
+    }
+
     /// A device (or timer) raises `vector`; returns the routed key, or
     /// `None` when the interrupt was dropped.
     ///
@@ -74,10 +105,10 @@ impl IrqController {
     /// `injected_dups`) — both are observable, checked degradations, not
     /// silent state corruption.
     pub fn raise(&mut self, vector: u32) -> Option<u64> {
-        self.raised += 1;
+        self.metrics.bump(Counter::IrqRaised);
         if self.faults.fire(FaultSite::IpiDrop) {
-            self.injected_drops += 1;
-            self.spurious += 1;
+            self.metrics.bump(Counter::IrqInjectedDrops);
+            self.metrics.bump(Counter::IrqSpurious);
             return None;
         }
         let dup = self.faults.fire(FaultSite::IpiDup);
@@ -85,13 +116,13 @@ impl IrqController {
             Some(&key) => {
                 self.pending.entry(key).or_default().push_back(vector);
                 if dup {
-                    self.injected_dups += 1;
+                    self.metrics.bump(Counter::IrqInjectedDups);
                     self.pending.entry(key).or_default().push_back(vector);
                 }
                 Some(key)
             }
             None => {
-                self.spurious += 1;
+                self.metrics.bump(Counter::IrqSpurious);
                 None
             }
         }
@@ -137,12 +168,13 @@ mod tests {
     fn unrouted_vectors_drop_and_count() {
         let mut c = IrqController::new();
         assert_eq!(c.raise(40), None);
-        assert_eq!(c.spurious, 1);
+        assert_eq!(c.metrics().get(Counter::IrqSpurious), 1);
         c.route(40, 1);
         assert_eq!(c.raise(40), Some(1));
         c.unroute(40);
         assert_eq!(c.raise(40), None);
-        assert_eq!(c.spurious, 2);
+        assert_eq!(c.metrics().get(Counter::IrqSpurious), 2);
+        assert_eq!(c.metrics().get(Counter::IrqRaised), 3);
         assert_eq!(c.pending_count(1), 1, "earlier delivery still pending");
     }
 
@@ -183,14 +215,36 @@ mod tests {
         c.route(32, 7);
         faults.arm(FaultPlan::once(FaultSite::IpiDrop));
         assert_eq!(c.raise(32), None, "dropped by injection");
-        assert_eq!(c.injected_drops, 1);
+        assert_eq!(c.metrics().get(Counter::IrqInjectedDrops), 1);
         assert_eq!(c.pending_count(7), 0);
         faults.arm(FaultPlan::once(FaultSite::IpiDup));
         assert_eq!(c.raise(32), Some(7));
-        assert_eq!(c.injected_dups, 1);
+        assert_eq!(c.metrics().get(Counter::IrqInjectedDups), 1);
         assert_eq!(c.drain(7), vec![32, 32], "delivered twice");
         // Injector spent: normal delivery resumes.
         assert_eq!(c.raise(32), Some(7));
         assert_eq!(c.drain(7), vec![32]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_accessors_mirror_the_registry() {
+        let mut c = IrqController::new();
+        c.route(32, 7);
+        c.raise(32);
+        c.raise(99);
+        assert_eq!(c.raised(), 2);
+        assert_eq!(c.spurious(), 1);
+        assert_eq!(c.injected_drops(), 0);
+        assert_eq!(c.injected_dups(), 0);
+    }
+
+    #[test]
+    fn shared_registry_counts_machine_wide() {
+        let shared = Metrics::new();
+        let mut c = IrqController::new();
+        c.set_metrics(shared.clone());
+        c.raise(5);
+        assert_eq!(shared.get(Counter::IrqSpurious), 1, "visible via the clone");
     }
 }

@@ -8,6 +8,9 @@
 
 use std::sync::Arc;
 
+use tyche_core::metrics::Metrics;
+use tyche_core::trace::{EventKind, TraceSink};
+
 use crate::addr::{PhysAddr, PhysRange, PAGE_SIZE};
 use crate::cache::{Cache, Tlb};
 use crate::cycles::{CostModel, CycleCounter, PerCoreClocks};
@@ -99,6 +102,13 @@ pub struct Machine {
     /// interrupt controller, and the TPM. Arm plans here; the units
     /// consult the same shared plan list.
     pub faults: Faults,
+    /// Master handle to the machine-wide trace sink. Disabled by
+    /// default; `enable` it here and every layer (engine, monitor,
+    /// hardware units) records into the same log.
+    pub trace: TraceSink,
+    /// Master handle to the machine-wide metrics registry (the IRQ
+    /// controller and the monitor count into clones of this).
+    pub metrics: Metrics,
 }
 
 impl Machine {
@@ -121,13 +131,17 @@ impl Machine {
             "reservation exceeds RAM"
         );
         assert!(config.cores > 0, "need at least one core");
+        let trace = TraceSink::new();
+        let metrics = Metrics::new();
         let faults = Faults::new();
+        faults.set_trace(trace.clone());
         let mut mem = PhysMem::new(config.ram_bytes);
         mem.set_faults(faults.clone());
         let mut tpm = Tpm::new_with_seed(0x7c7e_5eed);
         tpm.set_faults(faults.clone());
         let mut irq = IrqController::new();
         irq.set_faults(faults.clone());
+        irq.set_metrics(metrics.clone());
         let reserve_base = config.ram_bytes - config.monitor_reserved;
         let monitor_frames = FrameAllocator::new(PhysRange::new(
             PhysAddr::new(reserve_base),
@@ -148,6 +162,8 @@ impl Machine {
             mktme: MemCrypt::new_with_seed(0x7c7e_5eed),
             irq,
             faults,
+            trace,
+            metrics,
         }
     }
 
@@ -175,6 +191,8 @@ impl Machine {
             self.core_clocks.advance_to(t, sent_at);
             self.core_clocks
                 .charge(t, self.cost.ipi_deliver + self.cost.tlb_flush);
+            self.trace
+                .emit(from as u32, EventKind::Ipi { to: t as u64 });
             charged += 1;
         }
         charged

@@ -67,6 +67,7 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuar
 use tyche_core::engine::CapEngine;
 use tyche_core::ids::{CapId, DomainId};
 use tyche_core::shared::{SharedEngine, SHARDS};
+use tyche_core::trace::{EventKind, TraceSink};
 use tyche_core::RevocationPolicy;
 use tyche_hw::cycles::{CycleCounter, PerCoreClocks};
 
@@ -166,6 +167,9 @@ pub struct ConcurrentMonitor {
     snap: Mutex<(u64, Arc<CapEngine>)>,
     /// Counters.
     pub stats: SmpStats,
+    /// Trace sink (clone of the inner monitor's; lock-free to emit into,
+    /// so fast-tier events need no inner lock).
+    trace: TraceSink,
     arch: Arch,
     trap_cost: u64,
     vmfunc_cost: u64,
@@ -183,6 +187,7 @@ impl ConcurrentMonitor {
             Arch::RiscV => cost.mmode_trap_roundtrip,
         };
         let clocks = Arc::clone(&monitor.machine.core_clocks);
+        let trace = monitor.trace().clone();
         let gen = monitor.engine.generation();
         let snap = Arc::new(monitor.engine.clone());
         let core_count = monitor.machine.cores;
@@ -209,6 +214,7 @@ impl ConcurrentMonitor {
             live_gen: AtomicU64::new(gen),
             snap: Mutex::new((gen, snap)),
             stats: SmpStats::default(),
+            trace,
             arch,
             trap_cost,
             vmfunc_cost: cost.vmfunc_switch,
@@ -285,11 +291,28 @@ impl ConcurrentMonitor {
     /// calling core's clock; takes no lock beyond the snapshot cache.
     fn serve_enumerate(&self, core: usize) -> Result<CallResult, Status> {
         SmpStats::bump(&self.stats.snapshot_reads);
+        let start = self.clocks.now(core);
         self.clocks.charge(core, self.trap_cost);
         let actor = mutex_lock(self.core_state(core)?).current;
+        let leaf = MonitorCall::Enumerate.encode().0;
+        self.trace
+            .emit(core as u32, EventKind::HyperEnter { leaf, actor: actor.0 });
         let snap = self.snapshot();
-        let resources = snap.enumerate(actor).map_err(crate::monitor::cap_status)?;
-        Ok(CallResult::Count(resources.len() as u64))
+        self.trace.emit(
+            core as u32,
+            EventKind::SnapRead {
+                gen: snap.generation(),
+            },
+        );
+        let res = snap.enumerate(actor).map_err(crate::monitor::cap_status);
+        let code = match &res {
+            Ok(_) => 0,
+            Err(s) => *s as u64,
+        };
+        let cycles = self.clocks.now(core).saturating_sub(start);
+        self.trace
+            .emit(core as u32, EventKind::HyperExit { leaf, code, cycles });
+        res.map(|resources| CallResult::Count(resources.len() as u64))
     }
 
     fn core_state(&self, core: usize) -> Result<&Mutex<SmpCore>, Status> {
@@ -311,12 +334,30 @@ impl ConcurrentMonitor {
                 _ => None,
             };
             let validated = match hit {
-                Some(v) => Some(v),
+                Some(v) => {
+                    self.trace.emit(
+                        core as u32,
+                        EventKind::CacheHit {
+                            actor: actor.0,
+                            cap: cap.0,
+                            gen,
+                        },
+                    );
+                    Some(v)
+                }
                 None => {
                     let snap = self.snapshot();
                     match snap.can_enter(actor, cap, core) {
                         Ok((target, entry, policy)) if policy == RevocationPolicy::NONE => {
                             state.cache = Some((gen, actor, cap, target, entry));
+                            self.trace.emit(
+                                core as u32,
+                                EventKind::CacheFill {
+                                    actor: actor.0,
+                                    cap: cap.0,
+                                    gen,
+                                },
+                            );
                             Some((target, entry))
                         }
                         // Flush policies need the monitor in the loop:
@@ -334,6 +375,14 @@ impl ConcurrentMonitor {
                 });
                 state.current = target;
                 SmpStats::bump(&self.stats.fast_transitions);
+                self.trace.emit(
+                    core as u32,
+                    EventKind::Enter {
+                        from: actor.0,
+                        to: target.0,
+                        fast: true,
+                    },
+                );
                 return Ok(CallResult::Entered { target, entry });
             }
         }
@@ -351,8 +400,17 @@ impl ConcurrentMonitor {
                     None => return Err(Status::Denied),
                 };
                 self.clocks.charge(core, self.vmfunc_cost);
+                let leaving = state.current;
                 state.current = frame.caller;
                 SmpStats::bump(&self.stats.fast_transitions);
+                self.trace.emit(
+                    core as u32,
+                    EventKind::Return {
+                        from: leaving.0,
+                        to: frame.caller.0,
+                        fast: true,
+                    },
+                );
                 Ok(CallResult::Returned { to: frame.caller })
             }
             _ => {
@@ -389,10 +447,24 @@ impl ConcurrentMonitor {
         // involved shard are free; pay a hand-off if the shard clocks
         // made us wait.
         let core_now = self.clocks.now(core);
-        let shard_free = shards.iter().map(|s| s.clock.now()).max().unwrap_or(0);
+        let mut shard_free = 0;
+        let mut busiest_shard = 0u64;
+        for (s, &i) in shards.iter().zip(shard_idx.iter()) {
+            let now = s.clock.now();
+            if now > shard_free {
+                shard_free = now;
+                busiest_shard = i as u64;
+            }
+        }
         let mut t0 = core_now.max(shard_free);
         if shard_free > core_now {
             SmpStats::bump(&self.stats.shard_waits);
+            self.trace.emit(
+                core as u32,
+                EventKind::ShardWait {
+                    shard: busiest_shard,
+                },
+            );
             t0 += self.lock_handoff;
         }
         // The inner call charges the machine-global counter; the delta
@@ -434,7 +506,10 @@ impl ConcurrentMonitor {
                 let mut pending = mutex_lock(batch);
                 for d in losers {
                     SmpStats::bump(&self.stats.shootdowns_requested);
-                    pending.insert(d);
+                    if pending.insert(d) {
+                        self.trace
+                            .emit(core as u32, EventKind::ShootQueue { domain: d.0 });
+                    }
                 }
             }
         }
@@ -541,13 +616,22 @@ impl ConcurrentMonitor {
                 targets.push(i);
             }
         }
-        if targets.is_empty() {
-            return 0;
-        }
-        let sent = {
+        let sent = if targets.is_empty() {
+            0
+        } else {
             let m = read_lock(&self.inner);
             m.machine.shootdown(core, &targets)
         };
+        // The batch event closes the core's gather window even when no
+        // remote core was running an affected domain (zero IPIs) — the
+        // RV shootdown checker keys on it.
+        self.trace.emit(
+            core as u32,
+            EventKind::ShootBatch {
+                drained: affected.len() as u64,
+                ipis: sent as u64,
+            },
+        );
         for _ in 0..sent {
             SmpStats::bump(&self.stats.ipis_sent);
         }

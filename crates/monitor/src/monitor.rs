@@ -16,7 +16,9 @@ use crate::backend::x86::X86Backend;
 use crate::backend::BackendError;
 use std::collections::{BTreeSet, HashMap};
 use tyche_core::attest::DomainReport;
+use tyche_core::metrics::{Counter, Metrics};
 use tyche_core::prelude::*;
+use tyche_core::trace::{EventKind, TraceSink};
 use tyche_crypto::sign::SigningKey;
 use tyche_crypto::Digest;
 use tyche_hw::machine::Machine;
@@ -93,7 +95,10 @@ struct Frame {
     caller_slot: Option<usize>,
 }
 
-/// Runtime statistics (used by the benches).
+/// A point-in-time snapshot of the runtime counters (used by the
+/// benches). Built from the machine-wide metrics registry by
+/// [`Monitor::stats`]; the field names are the registry's dotted
+/// counter names with the `monitor.`/`transitions.` prefixes folded in.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Stats {
     /// Monitor calls dispatched.
@@ -131,8 +136,11 @@ pub struct Monitor {
     /// which drops every cached validation at the next fast enter.
     fast_cache: HashMap<(usize, DomainId, CapId), (DomainId, u64, usize)>,
     fast_cache_gen: u64,
-    /// Runtime counters.
-    pub stats: Stats,
+    /// Counter registry (a clone of the machine's master handle).
+    metrics: Metrics,
+    /// Trace sink (a clone of the machine's master handle; the engine
+    /// holds its own clone, installed at assembly).
+    trace: TraceSink,
 }
 
 impl Monitor {
@@ -142,7 +150,7 @@ impl Monitor {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         machine: Machine,
-        engine: CapEngine,
+        mut engine: CapEngine,
         arch: Arch,
         x86: Option<X86Backend>,
         riscv: Option<RiscvBackend>,
@@ -151,6 +159,11 @@ impl Monitor {
         monitor_measurement: Digest,
     ) -> Self {
         let cores = machine.cores;
+        // The machine owns the master trace/metrics handles; the engine
+        // and the monitor record into clones of the same sinks.
+        engine.set_trace(machine.trace.clone());
+        let trace = machine.trace.clone();
+        let metrics = machine.metrics.clone();
         let mut vcpus = Vec::new();
         if let Some(b) = &x86 {
             let root_ept = b.ept_root(root).expect("root domain has a space");
@@ -173,8 +186,32 @@ impl Monitor {
             monitor_measurement,
             fast_cache: HashMap::new(),
             fast_cache_gen: 0,
-            stats: Stats::default(),
+            metrics,
+            trace,
         }
+    }
+
+    /// Snapshot of the runtime counters from the metrics registry.
+    pub fn stats(&self) -> Stats {
+        Stats {
+            calls: self.metrics.get(Counter::MonitorCalls),
+            transitions_mediated: self.metrics.get(Counter::TransitionsMediated),
+            transitions_fast: self.metrics.get(Counter::TransitionsFast),
+            compensations: self.metrics.get(Counter::Compensations),
+            quarantines: self.metrics.get(Counter::Quarantines),
+        }
+    }
+
+    /// The metrics registry this monitor counts into (shared with the
+    /// machine and its hardware units).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The trace sink this monitor emits into (shared with the machine
+    /// and the engine).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// The architecture this monitor runs on.
@@ -223,7 +260,30 @@ impl Monitor {
     /// backend cannot realize the new state (PMP layout overflow) —
     /// rolls the operation back and reports [`Status::BackendFailure`].
     pub fn call(&mut self, core: usize, call: MonitorCall) -> Result<CallResult, Status> {
-        self.stats.calls += 1;
+        let leaf = call.encode().0;
+        let actor = self
+            .current
+            .get(core)
+            .map(|d| d.0)
+            .unwrap_or(u64::MAX);
+        let start = self.machine.cycles.now();
+        self.trace
+            .emit(core as u32, EventKind::HyperEnter { leaf, actor });
+        let res = self.call_inner(core, call);
+        let code = match &res {
+            Ok(_) => 0,
+            Err(s) => *s as u64,
+        };
+        let cycles = self.machine.cycles.now().saturating_sub(start);
+        self.trace
+            .emit(core as u32, EventKind::HyperExit { leaf, code, cycles });
+        res
+    }
+
+    /// The dispatch body of [`call`](Self::call), inside the
+    /// hyper-enter/hyper-exit trace bracket.
+    fn call_inner(&mut self, core: usize, call: MonitorCall) -> Result<CallResult, Status> {
+        self.metrics.bump(Counter::MonitorCalls);
         let trap_cost = match self.arch {
             Arch::X86 => self.machine.cost.vmexit_roundtrip,
             Arch::RiscV => self.machine.cost.mmode_trap_roundtrip,
@@ -411,7 +471,7 @@ impl Monitor {
             .engine
             .can_enter(actor, cap, core)
             .map_err(cap_status)?;
-        self.apply_flushes(actor, policy);
+        self.apply_flushes(core, actor, policy);
         self.switch_hw(core, target, entry)
             .map_err(|_| Status::BackendFailure)?;
         self.stacks[core].push(Frame {
@@ -421,7 +481,15 @@ impl Monitor {
             caller_slot: None,
         });
         self.current[core] = target;
-        self.stats.transitions_mediated += 1;
+        self.metrics.bump(Counter::TransitionsMediated);
+        self.trace.emit(
+            core as u32,
+            EventKind::Enter {
+                from: actor.0,
+                to: target.0,
+                fast: false,
+            },
+        );
         Ok(CallResult::Entered { target, entry })
     }
 
@@ -468,6 +536,16 @@ impl Monitor {
         } else {
             None
         };
+        if hit.is_some() {
+            self.trace.emit(
+                core as u32,
+                EventKind::CacheHit {
+                    actor: actor.0,
+                    cap: cap.0,
+                    gen: self.fast_cache_gen,
+                },
+            );
+        }
         let (target, entry, slot) = match hit {
             Some(v) => v,
             None => {
@@ -479,7 +557,7 @@ impl Monitor {
                     // Flush policies need the monitor in the loop: take
                     // the mediated path instead, paying the trap cost the
                     // hardware would charge for the vm exit.
-                    self.stats.calls += 1;
+                    self.metrics.bump(Counter::MonitorCalls);
                     self.machine.cycles.charge(self.machine.cost.vmexit_roundtrip);
                     return match self.enter_mediated(core, cap)? {
                         CallResult::Entered { target, .. } => Ok(target),
@@ -493,6 +571,14 @@ impl Monitor {
                     .ok_or(Status::BackendFailure)?;
                 if use_cache {
                     self.fast_cache.insert(key, (target, entry, slot));
+                    self.trace.emit(
+                        core as u32,
+                        EventKind::CacheFill {
+                            actor: actor.0,
+                            cap: cap.0,
+                            gen: self.fast_cache_gen,
+                        },
+                    );
                 }
                 (target, entry, slot)
             }
@@ -510,7 +596,15 @@ impl Monitor {
         });
         self.current[core] = target;
         self.vcpus[core].vmcs.guest.rip = entry;
-        self.stats.transitions_fast += 1;
+        self.metrics.bump(Counter::TransitionsFast);
+        self.trace.emit(
+            core as u32,
+            EventKind::Enter {
+                from: actor.0,
+                to: target.0,
+                fast: true,
+            },
+        );
         Ok(target)
     }
 
@@ -530,7 +624,7 @@ impl Monitor {
     fn ret_inner(&mut self, core: usize, via_fast: bool) -> Result<CallResult, Status> {
         let frame = self.stacks[core].pop().ok_or(Status::Denied)?;
         let leaving = self.current[core];
-        self.apply_flushes(leaving, frame.policy);
+        self.apply_flushes(core, leaving, frame.policy);
         let fast_return = via_fast && frame.fast && self.arch == Arch::X86;
         if fast_return {
             let slot = match frame.caller_slot {
@@ -552,9 +646,40 @@ impl Monitor {
                 .map_err(|_| Status::BackendFailure)?;
         }
         self.current[core] = frame.caller;
-        self.stats.transitions_mediated += u64::from(!fast_return);
-        self.stats.transitions_fast += u64::from(fast_return);
+        self.metrics.add(
+            Counter::TransitionsMediated,
+            u64::from(!fast_return),
+        );
+        self.metrics
+            .add(Counter::TransitionsFast, u64::from(fast_return));
+        self.trace.emit(
+            core as u32,
+            EventKind::Return {
+                from: leaving.0,
+                to: frame.caller.0,
+                fast: fast_return,
+            },
+        );
         Ok(CallResult::Returned { to: frame.caller })
+    }
+
+    /// Test-only corruption hook: forges the generation the fast cache
+    /// believes current *without* dropping its entries, modelling a
+    /// monitor bug that serves stale validations. Used by the
+    /// trace-oracle suite to prove the RV cache checker catches it.
+    #[doc(hidden)]
+    pub fn corrupt_fast_cache_gen(&mut self, gen: u64) {
+        self.fast_cache_gen = gen;
+    }
+
+    /// Test-only corruption hook: rewrites the caller recorded in
+    /// `core`'s top transition frame, modelling stack corruption. The
+    /// next return transfers to the forged caller.
+    #[doc(hidden)]
+    pub fn corrupt_frame(&mut self, core: usize, caller: DomainId) {
+        if let Some(frame) = self.stacks.get_mut(core).and_then(|s| s.last_mut()) {
+            frame.caller = caller;
+        }
     }
 
     /// Fast return counterpart of [`Monitor::enter_fast`].
@@ -566,8 +691,9 @@ impl Monitor {
         }
     }
 
-    /// Applies a transition/revocation flush policy to `domain`.
-    fn apply_flushes(&mut self, domain: DomainId, policy: RevocationPolicy) {
+    /// Applies a transition/revocation flush policy to `domain` on
+    /// behalf of `core`.
+    fn apply_flushes(&mut self, core: usize, domain: DomainId, policy: RevocationPolicy) {
         if !policy.flush_cache && !policy.flush_tlb {
             return;
         }
@@ -584,6 +710,14 @@ impl Monitor {
                 self.machine.tlb.flush_domain(tag);
                 self.machine.cycles.charge(self.machine.cost.tlb_flush);
             }
+            self.trace.emit(
+                core as u32,
+                EventKind::Flush {
+                    domain: domain.0,
+                    tlb: policy.flush_tlb,
+                    cache: policy.flush_cache,
+                },
+            );
         }
     }
 
@@ -865,7 +999,7 @@ impl Monitor {
         match self.apply_all() {
             Ok(()) => Ok(()),
             Err((_, mut implicated)) => {
-                self.stats.compensations += 1;
+                self.metrics.bump(Counter::Compensations);
                 for rb in rollback {
                     match rb {
                         RollBack::Revoke { actor, cap } => {
@@ -904,7 +1038,7 @@ impl Monitor {
                         }])
                         .is_ok();
                     if !healed && self.engine.quarantine(d).is_ok() {
-                        self.stats.quarantines += 1;
+                        self.metrics.bump(Counter::Quarantines);
                     }
                 }
                 Err(Status::BackendFailure)

@@ -6,6 +6,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use tyche_core::audit;
+use tyche_core::metrics::Counter;
 use tyche_core::prelude::*;
 use tyche_hw::faults::{FaultPlan, FaultSite};
 use tyche_monitor::abi::MonitorCall;
@@ -129,7 +130,7 @@ fn transient_write_fault_during_revoke_heals_without_quarantine() {
     m.machine.faults.arm(FaultPlan::once(FaultSite::MemWrite));
     let res = m.call(0, MonitorCall::Revoke { cap: granted });
     assert_eq!(res.unwrap_err(), Status::BackendFailure);
-    assert_eq!(m.stats.quarantines, 0, "transient fault must self-heal");
+    assert_eq!(m.stats().quarantines, 0, "transient fault must self-heal");
     assert!(audit::audit(&m.engine).is_empty());
     m.machine.faults.clear();
     let hw = m.audit_hardware();
@@ -148,7 +149,7 @@ fn persistent_write_faults_quarantine_instead_of_diverging() {
         .arm(FaultPlan::after(FaultSite::MemWrite, 0, 1 << 32));
     let res = m.call(0, MonitorCall::Revoke { cap: granted });
     assert_eq!(res.unwrap_err(), Status::BackendFailure);
-    assert!(m.stats.quarantines >= 1, "divergence must be quarantined");
+    assert!(m.stats().quarantines >= 1, "divergence must be quarantined");
     assert!(
         m.engine.domain(child).unwrap().is_quarantined(),
         "the domain whose unmap was lost is quarantined"
@@ -223,8 +224,8 @@ fn dropped_and_duplicated_ipis_are_counted_not_fatal() {
     assert!(dropped.is_none(), "dropped IPI delivers nowhere");
     let duplicated = m.machine.irq.raise(32);
     assert_eq!(duplicated, Some(7));
-    assert_eq!(m.machine.irq.injected_drops, 1);
-    assert_eq!(m.machine.irq.injected_dups, 1);
+    assert_eq!(m.machine.metrics.get(Counter::IrqInjectedDrops), 1);
+    assert_eq!(m.machine.metrics.get(Counter::IrqInjectedDups), 1);
     assert_eq!(m.machine.irq.drain(7), vec![32, 32], "delivered twice");
     // Injectors spent: delivery is back to normal.
     assert_eq!(m.machine.irq.raise(32), Some(7));

@@ -243,7 +243,7 @@ fn fast_path_is_cheaper_than_mediated() {
         fast * 5 < mediated,
         "VMFUNC path ({fast} cycles) should be >5x cheaper than mediated ({mediated} cycles)"
     );
-    assert_eq!(m.stats.transitions_fast, 2);
+    assert_eq!(m.stats().transitions_fast, 2);
     // The paper's number: ~100 cycles per one-way fast transition.
     assert!(
         (50..500).contains(&(fast / 2)),
@@ -265,20 +265,20 @@ fn fast_path_with_flush_policy_falls_back_to_mediated() {
     // back to the mediated path (the doc comment's contract) instead of
     // refusing outright. The entry succeeds, is counted as mediated, and
     // pays at least the vm-exit trap cost.
-    let calls = m.stats.calls;
+    let calls = m.stats().calls;
     let before = m.machine.cycles.now();
     assert_eq!(m.enter_fast(0, flushing), Ok(child));
     assert!(m.machine.cycles.since(before) >= m.machine.cost.vmexit_roundtrip);
-    assert_eq!(m.stats.transitions_fast, 0);
-    assert_eq!(m.stats.transitions_mediated, 1);
-    assert_eq!(m.stats.calls, calls + 1, "fallback is a monitor call");
+    assert_eq!(m.stats().transitions_fast, 0);
+    assert_eq!(m.stats().transitions_mediated, 1);
+    assert_eq!(m.stats().calls, calls + 1, "fallback is a monitor call");
     // The frame is a normal mediated frame: Return works and re-applies
     // the flush policy on the way back.
     assert_eq!(
         m.call(0, MonitorCall::Return),
         Ok(CallResult::Returned { to: os })
     );
-    assert_eq!(m.stats.transitions_mediated, 2);
+    assert_eq!(m.stats().transitions_mediated, 2);
 }
 
 #[test]
@@ -341,8 +341,8 @@ fn fast_path_cached_matches_uncached() {
     m.ret_fast(0).unwrap();
     assert_eq!(m.enter_fast(0, tcap), Ok(child));
     m.ret_fast(0).unwrap();
-    assert_eq!(m.stats.transitions_fast, 6);
-    assert_eq!(m.stats.transitions_mediated, 0);
+    assert_eq!(m.stats().transitions_fast, 6);
+    assert_eq!(m.stats().transitions_mediated, 0);
 }
 
 #[test]
@@ -459,7 +459,7 @@ fn riscv_fragmented_share_compensated() {
         }
     }
     assert_eq!(failures, 6, "fragments 15..20 rejected");
-    assert!(m.stats.compensations >= 6);
+    assert!(m.stats().compensations >= 6);
     // The engine view matches what the backend accepted: 14 fragments.
     let mems = m
         .engine

@@ -12,7 +12,10 @@
 //!   small-scope operation interleavings of the capability engine,
 //!   checking the runtime invariant auditor, refcount conservation,
 //!   revocation soundness, and a differential oracle against the naive
-//!   ownership model in [`model`].
+//!   ownership model in [`model`];
+//! - [`rv`] — offline runtime verification: temporal invariants
+//!   replayed over drained execution traces from the observability
+//!   layer (`tyche_core::trace`).
 //!
 //! Support modules: [`lex`] (comment/literal stripping), [`loc`] (the
 //! single LOC counter every tool shares), [`allowlist`] (the panic
@@ -29,6 +32,7 @@ pub mod bmc;
 pub mod lex;
 pub mod loc;
 pub mod model;
+pub mod rv;
 pub mod static_audit;
 
 use std::path::{Path, PathBuf};

@@ -3,6 +3,7 @@
 //! revocable, attested, and enforced by the remapping hardware.
 
 use tyche_bench::boot;
+use tyche_core::metrics::Counter;
 use tyche_core::prelude::*;
 use tyche_monitor::abi::MonitorCall;
 
@@ -88,10 +89,10 @@ fn revocation_stops_delivery_and_exposes_dos() {
         .map(|c| c.id)
         .unwrap();
     m.call(0, MonitorCall::Revoke { cap: root_irq }).unwrap();
-    let spurious_before = m.machine.irq.spurious;
+    let spurious_before = m.machine.metrics.get(Counter::IrqSpurious);
     assert!(m.machine.irq.raise(VEC).is_none(), "dropped");
     assert_eq!(
-        m.machine.irq.spurious,
+        m.machine.metrics.get(Counter::IrqSpurious),
         spurious_before + 1,
         "and accounted for"
     );
