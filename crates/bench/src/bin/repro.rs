@@ -179,11 +179,19 @@ fn verify() -> bool {
             return false;
         }
     };
+    let static_config = tyche_verify::static_lints::StaticConfig::tyche_defaults(&root);
+    let deep = match tyche_verify::static_lints::run(&static_config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("verify: deep static lints failed to run: {e}");
+            return false;
+        }
+    };
     let bmc_config = tyche_verify::bmc::BmcConfig::default();
     let result = tyche_verify::bmc::run(&bmc_config);
 
     let mut t = Table::new(
-        "VERIFY — judiciary toolchain (static TCB audit + bounded model check)",
+        "VERIFY — judiciary toolchain (static TCB audit + deep lints + bounded model check)",
         &["check", "scope", "result"],
     );
     t.row(&[
@@ -224,6 +232,38 @@ fn verify() -> bool {
             .iter()
             .any(|f| f.check == tyche_verify::static_audit::Check::Dependency)),
     ]);
+    let lint_rows: &[(&str, tyche_verify::static_lints::Lint, String)] = &[
+        (
+            "lock-order hierarchy",
+            tyche_verify::static_lints::Lint::LockOrder,
+            format!("{} acquisition sites", deep.lock_sites),
+        ),
+        (
+            "panic-reachability from hypercall entry",
+            tyche_verify::static_lints::Lint::PanicReach,
+            format!("{} leaves + {} tiers", deep.leaves.len(), deep.tiers.len()),
+        ),
+        (
+            "atomics-ordering discipline",
+            tyche_verify::static_lints::Lint::AtomicOrder,
+            format!(
+                "{} atomic ops, {}/{} relaxed-ok",
+                deep.atomic_sites, deep.relaxed_ok_used, deep.relaxed_ok_budget
+            ),
+        ),
+        (
+            "trace completeness (mutating engine ops)",
+            tyche_verify::static_lints::Lint::TraceComplete,
+            format!("{} ops proven to emit", deep.traced_ops),
+        ),
+    ];
+    for (name, lint, scope) in lint_rows {
+        t.row(&[
+            (*name).into(),
+            scope.clone(),
+            pass_fail(!deep.findings.iter().any(|f| f.lint == *lint)),
+        ]);
+    }
     t.row(&[
         "bounded model check".into(),
         format!(
@@ -237,10 +277,19 @@ fn verify() -> bool {
     for finding in &report.findings {
         println!("  finding: {finding}");
     }
+    for finding in &deep.findings {
+        println!("  static-lint finding: {finding}");
+    }
     for violation in result.violations.iter().take(5) {
         println!("  bmc violation: {} (trace: {:?})", violation.message, violation.trace);
     }
-    report.passed() && result.violations.is_empty() && result.exhaustive
+
+    let doc = deep.to_json();
+    let path = workspace_root().join("STATIC.json");
+    std::fs::write(&path, doc).expect("write STATIC.json");
+    println!("  wrote {}", path.display());
+
+    report.passed() && deep.passed() && result.violations.is_empty() && result.exhaustive
 }
 
 fn pass_fail(ok: bool) -> String {

@@ -105,6 +105,7 @@ impl Metrics {
     /// Increments `counter` by `n`.
     pub fn add(&self, counter: Counter, n: u64) {
         if let Some(slot) = self.slots.get(counter as usize) {
+            // verify: relaxed-ok monotonic diagnostic counter; no data is published through it
             slot.fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -113,6 +114,7 @@ impl Metrics {
     pub fn get(&self, counter: Counter) -> u64 {
         self.slots
             .get(counter as usize)
+            // verify: relaxed-ok diagnostic read; staleness is acceptable and nothing is ordered after it
             .map(|slot| slot.load(Ordering::Relaxed))
             .unwrap_or(0)
     }

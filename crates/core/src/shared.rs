@@ -157,6 +157,7 @@ impl SharedEngine {
             .map(mutex_lock)
             .collect();
         let mut eng = write_lock(&self.engine);
+        // verify: relaxed-ok mutation counter ordered by the engine write lock; live_gen carries the Release publication
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let out = f(&mut eng);
         self.live_gen.store(eng.generation(), Ordering::Release);
@@ -165,6 +166,7 @@ impl SharedEngine {
 
     /// Number of mutations committed so far.
     pub fn mutations(&self) -> u64 {
+        // verify: relaxed-ok statistics read; snapshot validity is proven through live_gen, not this counter
         self.seq.load(Ordering::Relaxed)
     }
 

@@ -427,6 +427,7 @@ mod sink {
             }
             drop(lanes);
             lock_mutex(&self.shared.log).clear();
+            // verify: relaxed-ok reset is published by the Release store to enabled on the next line
             self.shared.seq.store(0, Ordering::Relaxed);
             self.shared.enabled.store(true, Ordering::Release);
         }
@@ -447,6 +448,7 @@ mod sink {
             if !self.shared.enabled.load(Ordering::Acquire) {
                 return;
             }
+            // verify: relaxed-ok ticket draw only needs atomicity; per-event ordering is the RV replayer's job
             let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
             let event = TraceEvent { seq, core, kind };
             let lanes = read_lanes(&self.shared.lanes);

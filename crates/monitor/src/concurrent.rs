@@ -139,11 +139,13 @@ pub struct SmpStats {
 
 impl SmpStats {
     fn bump(counter: &AtomicU64) {
+        // verify: relaxed-ok SMP statistics counter; never synchronizes monitor state
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Reads a counter (for reports).
     pub fn get(counter: &AtomicU64) -> u64 {
+        // verify: relaxed-ok report-time read; counters are advisory
         counter.load(Ordering::Relaxed)
     }
 }
@@ -439,8 +441,22 @@ impl ConcurrentMonitor {
         // A fast-entered domain has not trapped into the monitor: the
         // inner monitor still has its caller current on this core, so a
         // mutating hypercall would execute as the wrong actor. It must
-        // return first.
+        // return first. The refusal still leaves a hypercall bracket in
+        // the trace — an attempted mutation the observability layer
+        // cannot see is exactly what the trace-completeness argument
+        // forbids.
         if inner.current_domain(core) != actor {
+            let leaf = call.encode().0;
+            self.trace
+                .emit(core as u32, EventKind::HyperEnter { leaf, actor: actor.0 });
+            self.trace.emit(
+                core as u32,
+                EventKind::HyperExit {
+                    leaf,
+                    code: Status::Denied as u64,
+                    cycles: 0,
+                },
+            );
             return Err(Status::Denied);
         }
         // Discrete-event lock timing: start when the core *and* every
@@ -722,11 +738,32 @@ mod tests {
         cm.serve(0, MonitorCall::Enter { cap: cap0 }).unwrap();
         // The fast-entered child never trapped in; the inner monitor
         // still has root current. Mutations must be refused, not run as
-        // the wrong actor.
+        // the wrong actor — and the refusal must still leave a
+        // HyperEnter/HyperExit bracket, or the RV replay would never see
+        // the attempt.
+        cm.trace.enable(cm.cores());
         assert_eq!(
             cm.serve(0, MonitorCall::CreateDomain),
             Err(Status::Denied)
         );
+        let leaf = MonitorCall::CreateDomain.encode().0;
+        let events = cm.trace.drain();
+        assert!(
+            events
+                .events()
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::HyperEnter { leaf: l, .. } if l == leaf)),
+            "denied mutation left no HyperEnter: {events:?}"
+        );
+        assert!(
+            events.events().iter().any(|e| matches!(
+                e.kind,
+                EventKind::HyperExit { leaf: l, code, .. }
+                    if l == leaf && code == Status::Denied as u64
+            )),
+            "denied mutation left no HyperExit with the Denied code: {events:?}"
+        );
+        cm.trace.disable();
         cm.serve(0, MonitorCall::Return).unwrap();
         assert!(matches!(
             cm.serve(0, MonitorCall::CreateDomain),

@@ -10,11 +10,13 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use tyche_verify::{bmc, locate_workspace_root, static_audit};
+use tyche_verify::{bmc, locate_workspace_root, static_audit, static_lints};
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut run_bmc = false;
+    let mut run_static = false;
+    let mut json_out: Option<PathBuf> = None;
     let mut budget: Option<usize> = None;
     let mut bmc_config = bmc::BmcConfig::default();
     let mut args = std::env::args().skip(1);
@@ -23,6 +25,11 @@ fn main() -> ExitCode {
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root needs a directory"),
+            },
+            "--static" => run_static = true,
+            "--json" => match args.next() {
+                Some(path) => json_out = Some(PathBuf::from(path)),
+                None => return usage("--json needs a file path"),
             },
             "--loc-budget" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => budget = Some(n),
@@ -40,9 +47,14 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "tcb-audit [--root <workspace>] [--loc-budget <n>]\n\
+                     \x20         [--static] [--json <path>]\n\
                      \x20         [--bmc] [--bmc-depth <n>] [--bmc-caps <n>]\n\
-                     Static TCB audit (and optionally the bounded model check)\n\
-                     of the Tyche trust path. Exits non-zero on any violation."
+                     Static TCB audit (and optionally the deep static lints\n\
+                     and/or the bounded model check) of the Tyche trust path.\n\
+                     --static adds the call-graph lints (lock order, panic\n\
+                     reachability, atomics ordering, trace completeness);\n\
+                     --json writes their STATIC.json report to <path>.\n\
+                     Exits non-zero on any violation."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -73,6 +85,27 @@ fn main() -> ExitCode {
     };
     print!("{}", report.render());
     let mut failed = !report.passed();
+
+    if run_static {
+        let static_config = static_lints::StaticConfig::tyche_defaults(&root);
+        match static_lints::run(&static_config) {
+            Ok(deep) => {
+                println!();
+                print!("{}", deep.render());
+                if let Some(path) = &json_out {
+                    if let Err(e) = std::fs::write(path, deep.to_json()) {
+                        eprintln!("tcb-audit: cannot write {}: {e}", path.display());
+                        failed = true;
+                    }
+                }
+                failed |= !deep.passed();
+            }
+            Err(e) => {
+                eprintln!("tcb-audit: deep lints: {e}");
+                failed = true;
+            }
+        }
+    }
 
     if run_bmc {
         let result = bmc::run(&bmc_config);

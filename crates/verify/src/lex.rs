@@ -42,11 +42,12 @@ pub fn strip_noncode(src: &str) -> String {
             let end = string_end(bytes, i);
             blank(&mut out, bytes, i, end);
             i = end;
-        } else if b == b'r' && matches!(next, Some(b'"') | Some(b'#')) && is_raw_string(bytes, i) {
-            let end = raw_string_end(bytes, i);
+        } else if !prev_is_ident(bytes, i) && raw_prefix(bytes, i).is_some() {
+            let r = raw_prefix(bytes, i).unwrap_or(i);
+            let end = raw_string_end(bytes, r);
             blank(&mut out, bytes, i, end);
             i = end;
-        } else if b == b'b' && next == Some(b'"') {
+        } else if (b == b'b' || b == b'c') && next == Some(b'"') && !prev_is_ident(bytes, i) {
             let end = string_end(bytes, i + 1);
             blank(&mut out, bytes, i, end);
             i = end;
@@ -110,13 +111,27 @@ fn string_end(bytes: &[u8], start: usize) -> usize {
     bytes.len()
 }
 
-/// True when position `i` (at `r`) starts `r"..."` or `r#"..."#`.
-fn is_raw_string(bytes: &[u8], i: usize) -> bool {
-    let mut j = i + 1;
+/// True when the byte before `i` can continue an identifier — in which
+/// case an `r`/`b`/`c` at `i` is the tail of a longer name (`attr`,
+/// `ptr`, ...), not a literal prefix.
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && is_ident_byte(bytes[i - 1])
+}
+
+/// When `i` starts a raw-string literal — `r"`, `r#"` with any fence
+/// depth, or the `br`/`cr` prefixed forms — the offset of the `r`
+/// itself (where fence counting begins). `None` otherwise.
+fn raw_prefix(bytes: &[u8], i: usize) -> Option<usize> {
+    let r = match bytes.get(i) {
+        Some(b'r') => i,
+        Some(b'b') | Some(b'c') if bytes.get(i + 1) == Some(&b'r') => i + 1,
+        _ => return None,
+    };
+    let mut j = r + 1;
     while bytes.get(j) == Some(&b'#') {
         j += 1;
     }
-    bytes.get(j) == Some(&b'"')
+    (bytes.get(j) == Some(&b'"')).then_some(r)
 }
 
 fn raw_string_end(bytes: &[u8], i: usize) -> usize {
@@ -240,6 +255,59 @@ mod tests {
         let stripped = strip_noncode(src);
         assert!(!stripped.contains("unsafe"));
         assert!(stripped.contains("done"));
+    }
+
+    #[test]
+    fn strips_fenced_raw_strings_with_inner_quote_hash() {
+        // The body contains `"#` — a fence shorter than the literal's,
+        // which must not terminate it.
+        let src = "let s = r##\"tail \"# unsafe\"##; done";
+        let stripped = strip_noncode(src);
+        assert!(!stripped.contains("unsafe"));
+        assert!(stripped.contains("done"));
+    }
+
+    #[test]
+    fn strips_prefixed_literals() {
+        let src = "let a = br#\"unsafe\"#; let b = cr\"unsafe\"; let c = c\"unsafe\"; end";
+        let stripped = strip_noncode(src);
+        assert!(!stripped.contains("unsafe"));
+        assert!(stripped.contains("end"));
+    }
+
+    #[test]
+    fn identifier_tail_is_not_a_literal_prefix() {
+        // `ptr` ends in `r`; the lexer must not count fences from inside
+        // the identifier and swallow it.
+        let stripped = strip_noncode("ptr\"x\" attr");
+        assert!(stripped.starts_with("ptr"));
+        assert!(stripped.ends_with("attr"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_blanks_to_eof() {
+        let stripped = strip_noncode("code /* unsafe /* still unsafe ");
+        assert!(stripped.starts_with("code"));
+        assert!(!stripped.contains("unsafe"));
+    }
+
+    #[test]
+    fn unterminated_string_blanks_to_eof() {
+        let stripped = strip_noncode("let s = \"unsafe\npanic!");
+        assert!(stripped.starts_with("let s = "));
+        assert!(!stripped.contains("unsafe"));
+        assert!(!stripped.contains("panic"));
+        assert_eq!(stripped.lines().count(), 2, "newlines survive blanking");
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime_disambiguation() {
+        let src = "fn f<'a>(x: &'a u8) { let c = 'a'; let e = '\\u{1F600}'; let b = b'u'; }";
+        let stripped = strip_noncode(src);
+        assert!(stripped.contains("fn f<'a>(x: &'a u8)"), "lifetimes survive");
+        assert!(!stripped.contains("= 'a'"), "char literal blanked");
+        assert!(!stripped.contains("1F600"), "escaped char blanked");
+        assert!(!stripped.contains("b'u'"), "byte-char blanked");
     }
 
     #[test]

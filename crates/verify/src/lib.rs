@@ -15,11 +15,15 @@
 //!   ownership model in [`model`];
 //! - [`rv`] — offline runtime verification: temporal invariants
 //!   replayed over drained execution traces from the observability
-//!   layer (`tyche_core::trace`).
+//!   layer (`tyche_core::trace`);
+//! - [`static_lints`] — the deep static certifier: a whole-workspace
+//!   call-graph model ([`parse`]) feeding four cross-cutting lints —
+//!   lock-order/deadlock, panic-reachability from hypercall entry,
+//!   atomics-ordering discipline, and trace completeness.
 //!
 //! Support modules: [`lex`] (comment/literal stripping), [`loc`] (the
 //! single LOC counter every tool shares), [`allowlist`] (the panic
-//! budget file format).
+//! budget file format), [`parse`] (the item-level workspace model).
 //!
 //! The crate depends on nothing outside the workspace and std — a
 //! verifier you cannot audit is not a verifier.
@@ -32,8 +36,13 @@ pub mod bmc;
 pub mod lex;
 pub mod loc;
 pub mod model;
+pub mod parse;
 pub mod rv;
 pub mod static_audit;
+// `static` is a keyword, so the directory-named module gets an
+// explicit path and a usable identifier.
+#[path = "static/mod.rs"]
+pub mod static_lints;
 
 use std::path::{Path, PathBuf};
 

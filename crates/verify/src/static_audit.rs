@@ -10,8 +10,10 @@
 //! 2. **No unapproved panic paths.** Panic-capable constructs
 //!    (`panic!`, `unwrap()`, `expect(`, `todo!`, `unimplemented!`, and
 //!    indexing `x[i]`) in production TCB code must appear in the
-//!    checked-in allowlist with a budget and a reason. Exceeding the
-//!    budget fails; a stale over-approving entry also fails.
+//!    checked-in allowlist with a budget and a reason. Budgets are
+//!    exact: more occurrences than granted fails, and so does a stale
+//!    entry granting more than the code contains — the list cannot rot
+//!    in either direction.
 //! 3. **LOC budget.** Claim 1 bounds the TCB below
 //!    [`AuditConfig::loc_budget`] lines (default 10 000), counted by
 //!    [`crate::loc`] — the same counter `repro c1` reports.
@@ -157,8 +159,15 @@ impl Report {
 /// slice-indexing heuristic: a `[` immediately preceded by an
 /// identifier, `)`, or `]` (so `#[attr]`, array types, and literals do
 /// not match).
-pub const PANIC_CONSTRUCTS: &[&str] =
-    &["panic!", "todo!", "unimplemented!", "unwrap()", "expect(", "index["];
+pub const PANIC_CONSTRUCTS: &[&str] = &[
+    "panic!",
+    "todo!",
+    "unimplemented!",
+    "unreachable!",
+    "unwrap()",
+    "expect(",
+    "index[",
+];
 
 /// Runs the audit.
 pub fn run(config: &AuditConfig) -> Result<Report, String> {
@@ -255,8 +264,6 @@ fn scan_file(
 ) {
     let stripped = lex::strip_noncode(src);
     let classes = loc::classify_lines(src);
-    let is_code_line =
-        |line: usize| classes.get(line - 1).is_some_and(|c| *c == LineClass::Code);
 
     // `unsafe` is forbidden everywhere in TCB sources, tests included:
     // forbid(unsafe_code) covers unit tests, and the gate should match.
@@ -272,27 +279,35 @@ fn scan_file(
     // Panic constructs only count in production code; tests unwrap at
     // will. Occurrences are recorded here and reconciled against the
     // allowlist once all files are scanned.
-    let mut record = |construct: &str, line: usize| {
-        seen.entry((rel.to_string(), construct.to_string()))
-            .or_default()
-            .push(line);
-    };
-    for word in ["panic", "todo", "unimplemented"] {
-        for pos in lex::word_offsets(&stripped, word) {
+    for (construct, line) in panic_occurrences(&stripped, &classes) {
+        seen.entry((rel.to_string(), construct)).or_default().push(line);
+    }
+}
+
+/// Every panic-capable construct on a production line of `stripped`
+/// (comment/literal-stripped source), as `(construct, 1-based line)`.
+/// Shared between the flat per-file audit and the call-graph
+/// reachability lint so the two can never disagree on what counts.
+pub(crate) fn panic_occurrences(stripped: &str, classes: &[LineClass]) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let is_code_line =
+        |line: usize| classes.get(line - 1).is_some_and(|c| *c == LineClass::Code);
+    for word in ["panic", "todo", "unimplemented", "unreachable"] {
+        for pos in lex::word_offsets(stripped, word) {
             let after = stripped.as_bytes().get(pos + word.len());
-            let line = lex::line_of(&stripped, pos);
+            let line = lex::line_of(stripped, pos);
             if after == Some(&b'!') && is_code_line(line) {
-                record(&format!("{word}!"), line);
+                out.push((format!("{word}!"), line));
             }
         }
     }
     for word in ["unwrap", "expect"] {
-        for pos in lex::word_offsets(&stripped, word) {
-            let line = lex::line_of(&stripped, pos);
+        for pos in lex::word_offsets(stripped, word) {
+            let line = lex::line_of(stripped, pos);
             let rest = stripped[pos + word.len()..].trim_start();
             if rest.starts_with('(') && is_code_line(line) {
                 let construct = if word == "unwrap" { "unwrap()" } else { "expect(" };
-                record(construct, line);
+                out.push((construct.to_string(), line));
             }
         }
     }
@@ -303,13 +318,15 @@ fn scan_file(
         if b == b'[' && pos > 0 {
             let prev = bytes[pos - 1];
             if lex::is_ident_byte(prev) || prev == b')' || prev == b']' {
-                let line = lex::line_of(&stripped, pos);
+                let line = lex::line_of(stripped, pos);
                 if is_code_line(line) {
-                    record("index[", line);
+                    out.push(("index[".to_string(), line));
                 }
             }
         }
     }
+    out.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+    out
 }
 
 /// Gate 2's second half: every seen construct must be within budget and
@@ -343,6 +360,18 @@ fn reconcile_allowlist(
                     lines
                 ),
             });
+        } else if lines.len() < budget {
+            // Budgets are exact: code that shrank leaves headroom a
+            // later change could silently spend. Re-derive the entry.
+            report.findings.push(Finding {
+                check: Check::StaleAllowlist,
+                file: file.clone(),
+                line: lines.first().copied(),
+                message: format!(
+                    "allowlist grants {budget} `{construct}` but the code contains {}; budgets are exact — re-derive the entry",
+                    lines.len()
+                ),
+            });
         }
     }
 
@@ -359,8 +388,6 @@ fn reconcile_allowlist(
             });
         }
     }
-    // Under-use of a nonzero budget that still matched some lines is
-    // tolerated (code shrank within budget); only zero matches is rot.
 }
 
 /// Gate 3: TCB crates may only depend on workspace members by path.
@@ -528,5 +555,29 @@ mod tests {
         assert!(checks.contains(&Check::StaleAllowlist), "{checks:?}");
         // a.rs over budget (2 > 1), b.rs unapproved (1 > 0), gone.rs stale.
         assert_eq!(report.findings.len(), 3);
+    }
+
+    #[test]
+    fn reconcile_flags_under_budget_as_stale() {
+        let allow = vec![AllowEntry {
+            file: "a.rs".into(),
+            construct: "index[".into(),
+            count: 5,
+            reason: "bounds pre-validated".into(),
+        }];
+        let mut seen = BTreeMap::new();
+        seen.insert(("a.rs".to_string(), "index[".to_string()), vec![2, 7]);
+        let mut report = Report::default();
+        reconcile_allowlist(&allow, &mut seen, &mut report);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].check, Check::StaleAllowlist);
+        assert!(report.findings[0].message.contains("grants 5"), "{}", report.findings[0].message);
+        assert!(report.findings[0].message.contains("contains 2"), "{}", report.findings[0].message);
+    }
+
+    #[test]
+    fn unreachable_macro_is_a_tracked_construct() {
+        let (_, seen) = scan_str("fn f(x: u8) { match x { 0 => (), _ => unreachable!() } }\n");
+        assert!(seen.contains_key(&("x.rs".into(), "unreachable!".into())));
     }
 }

@@ -176,6 +176,53 @@ fn loc_budget_gate_fails_when_exceeded() {
 }
 
 #[test]
+fn static_flag_gates_the_exit_code() {
+    // The minimal fixture has none of the hypercall entrypoints, so the
+    // deep lints must report entrypoint-table rot and fail the run even
+    // though the flat audit passes.
+    let f = Fixture::compliant("static");
+    let (ok, text) = f.audit(&[]);
+    assert!(ok, "flat audit alone passes:\n{text}");
+    let (ok, text) = f.audit(&["--static"]);
+    assert!(!ok, "--static must gate the exit code:\n{text}");
+    assert!(text.contains("entrypoint table rot"), "{text}");
+}
+
+#[test]
+fn real_tree_passes_deep_lints_and_writes_static_json() {
+    let ws = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let json_path = std::env::temp_dir().join(format!("static-{}.json", std::process::id()));
+    let out = Command::new(BIN)
+        .arg("--root")
+        .arg(ws)
+        .arg("--static")
+        .arg("--json")
+        .arg(&json_path)
+        .output()
+        .expect("run tcb-audit --static");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        out.status.success(),
+        "the real tree must pass its own deep lints:\n{text}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Path evidence, not counts: every hypercall leaf row is present.
+    for leaf in [
+        "CreateDomain", "Share", "Grant", "Split", "Revoke", "Seal", "SetEntry",
+        "RecordContent", "MakeTransition", "Kill", "Enumerate", "Enter", "Return", "Attest",
+    ] {
+        assert!(text.contains(leaf), "missing leaf evidence for {leaf}:\n{text}");
+    }
+    let json = fs::read_to_string(&json_path).expect("STATIC.json written");
+    let _ = fs::remove_file(&json_path);
+    assert!(json.contains("\"schema\": \"tyche-static/v1\""), "{json}");
+    assert!(json.contains("\"pass\": true"), "{json}");
+}
+
+#[test]
 fn real_tree_passes() {
     // The actual repository must satisfy its own gates.
     let ws = Path::new(env!("CARGO_MANIFEST_DIR"))
