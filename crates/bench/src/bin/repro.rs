@@ -39,7 +39,9 @@ use tyche_monitor::abi::MonitorCall;
 use tyche_monitor::attest::Verifier;
 use tyche_monitor::boot::{expected_monitor_pcr, MONITOR_VERSION};
 use tyche_monitor::monitor::CallResult;
-use tyche_monitor::{boot_riscv, boot_x86, BootConfig, ConcurrentMonitor, SmpStats, Status};
+use tyche_monitor::{
+    boot_riscv, boot_x86, BootConfig, ConcurrentMonitor, RingOutcome, SmpStats, Status,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
@@ -1968,6 +1970,11 @@ fn bench_flush_policy(iters: usize, traced: bool) -> HotpathEntry {
 struct SmpEntry {
     workload: &'static str,
     threads: usize,
+    /// Capability shard count the concurrent front-end was built with.
+    shards: usize,
+    /// Submission-ring auto-drain depth (meaningful for ring workloads;
+    /// recorded for every row so sweeps stay self-describing).
+    ring_depth: usize,
     ops: u64,
     /// Simulated cycles to drain the workload on the single global clock.
     baseline_cycles: u64,
@@ -1998,12 +2005,15 @@ impl SmpEntry {
             .join(", ");
         format!(
             "    {{\"workload\": \"{}\", \"threads\": {}, \
+             \"shards\": {}, \"ring_depth\": {}, \
              \"metric\": \"ops_per_mcycle\", \"ops\": {}, \
              \"baseline_cycles\": {}, \"smp_cycles\": {}, \
              \"baseline_tput\": {:.2}, \"smp_tput\": {:.2}, \
              \"speedup\": {:.2}, \"detail\": {{{}}}}}",
             self.workload,
             self.threads,
+            self.shards,
+            self.ring_depth,
             self.ops,
             self.baseline_cycles,
             self.smp_cycles,
@@ -2029,27 +2039,59 @@ fn lane_base(core: usize) -> u64 {
     0x40_0000 + (core as u64) * 0x10_000
 }
 
-/// Boots an x86 machine with `threads` cores; each core gets a sealed
-/// (nestable, so it can still share outward) tenant owning that core
-/// plus a private window. One unsealed root child serves as the common
-/// victim for the contended workload. Returns the monitor, the lanes,
-/// the root RAM cap, and the victim.
+/// The booted SMP bench machine: one worker lane per thread plus the
+/// shared victim tenant running on its own extra core, and (for the
+/// contended workloads) a pre-created pool of revocable victim-owned
+/// capabilities, one column per worker.
+struct SmpFixture {
+    m: tyche_monitor::Monitor,
+    lanes: Vec<SmpLane>,
+    victim: DomainId,
+    victim_gate: CapId,
+    victim_core: usize,
+    pool: Vec<Vec<CapId>>,
+}
+
+/// Finds root's capability for CPU core `core`.
+fn find_core_cap(m: &tyche_monitor::Monitor, os: DomainId, core: usize) -> CapId {
+    m.engine
+        .caps_of(os)
+        .iter()
+        .find(|c| c.active && matches!(c.resource, Resource::CpuCore(n) if n == core))
+        .map(|c| c.id)
+        .expect("core cap")
+}
+
+/// Boots an x86 machine with `threads + 1` cores; worker core `c` gets a
+/// sealed (nestable, so it can still share outward) tenant owning that
+/// core plus a private window. The extra core hosts the *victim*: a
+/// sealed, enterable tenant every contended worker mutates. Running the
+/// victim on a core of its own is what makes contended revocations
+/// produce real cross-core IPIs — a queued shootdown only turns into an
+/// IPI if some remote core is executing an affected domain.
 ///
-/// Tenant `c` is steered onto capability shard `c`: the distinct
-/// workload measures per-shard parallelism, and two tenants hashing to
-/// the same shard would re-serialize it. Domain and capability ids come
-/// from one sequential allocator, so burning filler ids (root
+/// Tenant `c` is steered onto capability shard `c % nshards`: the
+/// distinct workload measures per-shard parallelism, and an *unplanned*
+/// collision would re-serialize it (at `threads > nshards` the fold-over
+/// is the point — that is the shard-sweep knee). Domain and capability
+/// ids come from one sequential allocator, so burning filler ids (root
 /// self-transition caps) until the next id lands on the wanted residue
 /// places each tenant deterministically; the assert fails loudly if the
 /// allocator ever stops cooperating.
-fn smp_fixture(threads: usize) -> (tyche_monitor::Monitor, Vec<SmpLane>, CapId, DomainId) {
-    use tyche_core::shared::{SharedEngine, SHARDS};
+///
+/// `pool_depth > 0` pre-creates, per worker, that many victim-owned
+/// sub-shares of the victim's window (self-shares are legal while
+/// sealed). Revoking one strips the running victim, so each contended
+/// iteration has a fresh capability whose revocation must shoot down
+/// the victim core.
+fn smp_fixture(threads: usize, nshards: usize, pool_depth: usize) -> SmpFixture {
+    use tyche_core::shared::SharedEngine;
 
     let mut cfg = BootConfig::default();
-    cfg.machine.cores = threads;
+    cfg.machine.cores = threads + 1;
     let mut m = boot_x86(cfg);
     let os = m.engine.root().expect("root");
-    let hi = lane_base(threads);
+    let hi = lane_base(threads + 1);
     let ram = m
         .engine
         .caps_of(os)
@@ -2061,7 +2103,32 @@ fn smp_fixture(threads: usize) -> (tyche_monitor::Monitor, Vec<SmpLane>, CapId, 
         })
         .map(|c| c.id)
         .expect("root RAM cap");
-    let (victim, _victim_gate) = m.engine.create_domain(os).expect("victim");
+
+    // The victim lane: window + core + entry, sealed nestable so it can
+    // still self-share (the revocation pool) after sealing.
+    let victim_core = threads;
+    let (victim, victim_gate) = m.engine.create_domain(os).expect("victim");
+    let vbase = lane_base(victim_core);
+    let vwindow = m
+        .engine
+        .share(
+            os,
+            ram,
+            victim,
+            Some(MemRegion::new(vbase, vbase + 0x10_000)),
+            Rights::RWX,
+            RevocationPolicy::NONE,
+        )
+        .expect("victim window");
+    let vcore_cap = find_core_cap(&m, os, victim_core);
+    m.engine
+        .share(os, vcore_cap, victim, None, Rights::USE, RevocationPolicy::NONE)
+        .expect("share victim core");
+    m.engine.set_entry(os, victim, vbase).expect("victim entry");
+    m.engine
+        .seal(os, victim, SealPolicy::nestable())
+        .expect("seal victim");
+
     let mut next_id = m
         .engine
         .make_transition(os, os, RevocationPolicy::NONE)
@@ -2070,7 +2137,8 @@ fn smp_fixture(threads: usize) -> (tyche_monitor::Monitor, Vec<SmpLane>, CapId, 
         + 1;
     let lanes: Vec<SmpLane> = (0..threads)
         .map(|core| {
-            while next_id % SHARDS as u64 != core as u64 {
+            let want = (core % nshards) as u64;
+            while next_id % nshards as u64 != want {
                 next_id = m
                     .engine
                     .make_transition(os, os, RevocationPolicy::NONE)
@@ -2080,7 +2148,11 @@ fn smp_fixture(threads: usize) -> (tyche_monitor::Monitor, Vec<SmpLane>, CapId, 
             }
             let base = lane_base(core);
             let (tenant, gate) = m.engine.create_domain(os).expect("tenant");
-            assert_eq!(SharedEngine::shard_of(tenant), core, "tenant off its shard");
+            assert_eq!(
+                SharedEngine::shard_of_n(tenant, nshards),
+                core % nshards,
+                "tenant off its shard"
+            );
             let window = m
                 .engine
                 .share(
@@ -2092,13 +2164,7 @@ fn smp_fixture(threads: usize) -> (tyche_monitor::Monitor, Vec<SmpLane>, CapId, 
                     RevocationPolicy::NONE,
                 )
                 .expect("window");
-            let core_cap = m
-                .engine
-                .caps_of(os)
-                .iter()
-                .find(|c| c.active && matches!(c.resource, Resource::CpuCore(n) if n == core))
-                .map(|c| c.id)
-                .expect("core cap");
+            let core_cap = find_core_cap(&m, os, core);
             let core_share = m
                 .engine
                 .share(os, core_cap, tenant, None, Rights::USE, RevocationPolicy::NONE)
@@ -2111,53 +2177,105 @@ fn smp_fixture(threads: usize) -> (tyche_monitor::Monitor, Vec<SmpLane>, CapId, 
             SmpLane { tenant, gate, window }
         })
         .collect();
+
+    // The revocation pool comes after the lanes so its allocations
+    // cannot disturb the id steering above.
+    let pool: Vec<Vec<CapId>> = (0..threads)
+        .map(|_| {
+            (0..pool_depth)
+                .map(|i| {
+                    let page = vbase + ((i % 16) as u64) * 0x1000;
+                    m.engine
+                        .share(
+                            victim,
+                            vwindow,
+                            victim,
+                            Some(MemRegion::new(page, page + 0x1000)),
+                            Rights::RW,
+                            RevocationPolicy::NONE,
+                        )
+                        .expect("pool cap")
+                })
+                .collect()
+        })
+        .collect();
     m.sync_effects().expect("sync fixture");
-    (m, lanes, ram, victim)
+    SmpFixture {
+        m,
+        lanes,
+        victim,
+        victim_gate,
+        victim_core,
+        pool,
+    }
 }
 
-/// The Share hypercall one worker issues on iteration `i`: distinct mode
-/// has the core's tenant sub-share a page of its own window with itself
-/// (one domain, one shard — sealing permits self-shares); contended mode
-/// acts as root, sharing from the single root RAM cap to one common
-/// victim domain (every call conflicts on the same shards).
-fn smp_share_call(
-    contended: bool,
-    core: usize,
-    i: usize,
-    lane: SmpLane,
-    ram: CapId,
-    victim: DomainId,
-) -> MonitorCall {
+/// The self-share a distinct-mode worker issues on iteration `i`: the
+/// core's tenant sub-shares a page of its own window with itself (one
+/// domain, one shard — sealing permits self-shares).
+fn smp_distinct_share(core: usize, i: usize, lane: SmpLane) -> MonitorCall {
     let base = lane_base(core) + ((i % 16) as u64) * 0x1000;
-    let (cap, target) = if contended {
-        (ram, victim)
-    } else {
-        (lane.window, lane.tenant)
-    };
     MonitorCall::Share {
-        cap,
-        target,
+        cap: lane.window,
+        target: lane.tenant,
         sub: Some((base, base + 0x1000)),
         rights: Rights::RW,
         policy: RevocationPolicy::NONE,
     }
 }
 
-/// Runs the mutation workload (`pairs` Share+Revoke pairs per worker,
+/// How the mutation workload reaches the monitor.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SmpMode {
+    /// Per-core tenants mutate their own domains (no cross-core losers).
+    Distinct,
+    /// Every worker mutates the shared victim through `serve`, one trap
+    /// per call, draining shootdowns every iteration.
+    Contended,
+    /// Same contended calls, but enqueued into the per-core submission
+    /// ring (`submit` + doorbell auto-drain) so trap crossings and
+    /// shootdown rounds amortize over whole batches.
+    ContendedRing,
+}
+
+/// Enters the actors the mode needs: distinct workers run as their
+/// core's tenant; contended modes put the victim on its own core so
+/// revocations have a remote core to shoot down.
+fn smp_enter_actors(m: &mut tyche_monitor::Monitor, fx_lanes: &[SmpLane], mode: SmpMode, victim_core: usize, victim_gate: CapId) {
+    if mode == SmpMode::Distinct {
+        for (core, lane) in fx_lanes.iter().enumerate() {
+            m.call(core, MonitorCall::Enter { cap: lane.gate }).expect("enter tenant");
+        }
+    } else {
+        m.call(victim_core, MonitorCall::Enter { cap: victim_gate })
+            .expect("enter victim");
+    }
+}
+
+/// Runs the mutation workload (`pairs` two-call iterations per worker,
 /// one worker per core) through both serving models and returns the
-/// measured entry. Distinct mode first mediated-enters each core's
-/// tenant so the workers mutate as per-core actors.
-fn smp_run_mutations(threads: usize, pairs: usize, contended: bool) -> SmpEntry {
+/// measured entry. Distinct mode pairs a tenant self-share with its
+/// revocation; contended modes pair a `MakeTransition` into the victim
+/// with the revocation of one pre-created victim-owned pool capability,
+/// so every iteration both contends on the victim's shard and strips
+/// the *running* victim (a real IPI, not just a queued shootdown).
+fn smp_run_mutations(
+    workload: &'static str,
+    threads: usize,
+    pairs: usize,
+    mode: SmpMode,
+    nshards: usize,
+    ring_depth: usize,
+) -> SmpEntry {
     use std::sync::{Arc, Mutex};
+
+    let pool_depth = if mode == SmpMode::Distinct { 0 } else { pairs };
 
     // Baseline: a mutex around the whole monitor; every call serializes
     // on the machine's single global cycle counter.
-    let (mut m, lanes, ram, victim) = smp_fixture(threads);
-    if !contended {
-        for (core, lane) in lanes.iter().enumerate() {
-            m.call(core, MonitorCall::Enter { cap: lane.gate }).expect("enter tenant");
-        }
-    }
+    let fx = smp_fixture(threads, nshards, pool_depth);
+    let (mut m, lanes, victim, pool) = (fx.m, fx.lanes, fx.victim, fx.pool);
+    smp_enter_actors(&mut m, &lanes, mode, fx.victim_core, fx.victim_gate);
     let c0 = m.machine.cycles.now();
     let shared = Arc::new(Mutex::new(m));
     let t0 = Instant::now();
@@ -2165,18 +2283,37 @@ fn smp_run_mutations(threads: usize, pairs: usize, contended: bool) -> SmpEntry 
         .map(|core| {
             let shared = Arc::clone(&shared);
             let lane = lanes[core];
+            let pool_caps = pool.get(core).cloned().unwrap_or_default();
             std::thread::spawn(move || {
-                for i in 0..pairs {
-                    let call = smp_share_call(contended, core, i, lane, ram, victim);
-                    let cap = match shared.lock().expect("monitor lock").call(core, call) {
-                        Ok(CallResult::Cap(c)) => c,
-                        other => panic!("baseline share failed: {other:?}"),
-                    };
-                    shared
-                        .lock()
-                        .expect("monitor lock")
-                        .call(core, MonitorCall::Revoke { cap })
-                        .expect("baseline revoke");
+                if mode == SmpMode::Distinct {
+                    for i in 0..pairs {
+                        let call = smp_distinct_share(core, i, lane);
+                        let cap = match shared.lock().expect("monitor lock").call(core, call) {
+                            Ok(CallResult::Cap(c)) => c,
+                            other => panic!("baseline share failed: {other:?}"),
+                        };
+                        shared
+                            .lock()
+                            .expect("monitor lock")
+                            .call(core, MonitorCall::Revoke { cap })
+                            .expect("baseline revoke");
+                    }
+                } else {
+                    for &cap in pool_caps.iter().take(pairs) {
+                        let make = MonitorCall::MakeTransition {
+                            target: victim,
+                            policy: RevocationPolicy::NONE,
+                        };
+                        match shared.lock().expect("monitor lock").call(core, make) {
+                            Ok(CallResult::Cap(_)) => {}
+                            other => panic!("baseline make_transition failed: {other:?}"),
+                        }
+                        shared
+                            .lock()
+                            .expect("monitor lock")
+                            .call(core, MonitorCall::Revoke { cap })
+                            .expect("baseline revoke");
+                    }
                 }
             })
         })
@@ -2188,33 +2325,77 @@ fn smp_run_mutations(threads: usize, pairs: usize, contended: bool) -> SmpEntry 
     let baseline_cycles = shared.lock().expect("monitor lock").machine.cycles.now() - c0;
 
     // Sharded front-end: same fixture, same ops, served concurrently.
-    let (mut m, lanes, ram, victim) = smp_fixture(threads);
-    if !contended {
-        for (core, lane) in lanes.iter().enumerate() {
-            m.call(core, MonitorCall::Enter { cap: lane.gate }).expect("enter tenant");
-        }
-    }
-    let cm = Arc::new(ConcurrentMonitor::new(m));
+    let fx = smp_fixture(threads, nshards, pool_depth);
+    let (mut m, lanes, victim, pool) = (fx.m, fx.lanes, fx.victim, fx.pool);
+    smp_enter_actors(&mut m, &lanes, mode, fx.victim_core, fx.victim_gate);
+    let cm = Arc::new(ConcurrentMonitor::with_config(m, nshards, ring_depth));
     let t0 = Instant::now();
     let workers: Vec<_> = (0..threads)
         .map(|core| {
             let cm = Arc::clone(&cm);
             let lane = lanes[core];
-            std::thread::spawn(move || {
-                for i in 0..pairs {
-                    let call = smp_share_call(contended, core, i, lane, ram, victim);
-                    let cap = match cm.serve(core, call) {
-                        Ok(CallResult::Cap(c)) => c,
-                        other => panic!("smp share failed: {other:?}"),
-                    };
-                    cm.serve(core, MonitorCall::Revoke { cap }).expect("smp revoke");
-                    // Shootdowns batch: one IPI round per 16 pairs
-                    // delivers every invalidation queued since the last.
-                    if i % 16 == 15 {
+            let pool_caps = pool.get(core).cloned().unwrap_or_default();
+            std::thread::spawn(move || match mode {
+                SmpMode::Distinct => {
+                    for i in 0..pairs {
+                        let call = smp_distinct_share(core, i, lane);
+                        let cap = match cm.serve(core, call) {
+                            Ok(CallResult::Cap(c)) => c,
+                            other => panic!("smp share failed: {other:?}"),
+                        };
+                        cm.serve(core, MonitorCall::Revoke { cap }).expect("smp revoke");
+                        // Per-iteration drain. Distinct losers run on the
+                        // requesting core itself, so the drain finds no
+                        // remote core to interrupt: shootdowns_requested
+                        // counts up while ipis_sent stays 0 — by design.
                         cm.sync_shootdowns(core);
                     }
                 }
-                cm.sync_shootdowns(core);
+                SmpMode::Contended => {
+                    for &cap in pool_caps.iter().take(pairs) {
+                        let make = MonitorCall::MakeTransition {
+                            target: victim,
+                            policy: RevocationPolicy::NONE,
+                        };
+                        match cm.serve(core, make) {
+                            Ok(CallResult::Cap(_)) => {}
+                            other => panic!("smp make_transition failed: {other:?}"),
+                        }
+                        cm.serve(core, MonitorCall::Revoke { cap }).expect("smp revoke");
+                        // Per-iteration drain: the victim runs on its own
+                        // core, so every revocation's queued invalidation
+                        // becomes a real IPI here.
+                        cm.sync_shootdowns(core);
+                    }
+                }
+                SmpMode::ContendedRing => {
+                    let check = |outcome: RingOutcome| match outcome {
+                        RingOutcome::Queued(_) => {}
+                        RingOutcome::Completed(r) => {
+                            r.expect("ring inline");
+                        }
+                        RingOutcome::Drained(results) => {
+                            for r in results {
+                                r.expect("ring drain");
+                            }
+                        }
+                    };
+                    for &cap in pool_caps.iter().take(pairs) {
+                        check(cm.submit(
+                            core,
+                            MonitorCall::MakeTransition {
+                                target: victim,
+                                policy: RevocationPolicy::NONE,
+                            },
+                        ));
+                        check(cm.submit(core, MonitorCall::Revoke { cap }));
+                    }
+                    // Ring drains are themselves flush boundaries (one
+                    // coalesced shootdown round per batch); flush the tail.
+                    for r in cm.ring_doorbell(core) {
+                        r.expect("ring flush");
+                    }
+                }
             })
         })
         .collect();
@@ -2226,19 +2407,22 @@ fn smp_run_mutations(threads: usize, pairs: usize, contended: bool) -> SmpEntry 
     let shard_waits = SmpStats::get(&cm.stats.shard_waits);
     let shootdowns = SmpStats::get(&cm.stats.shootdowns_requested);
     let ipis = SmpStats::get(&cm.stats.ipis_sent);
+    let ring_submitted = SmpStats::get(&cm.stats.ring_submitted);
+    let ring_batches = SmpStats::get(&cm.stats.ring_batches);
     let monitor = Arc::try_unwrap(cm).ok().expect("workers joined").finish();
     assert!(
         audit::audit(&monitor.engine).is_empty(),
         "smp bench left the engine unauditable"
     );
+    if mode != SmpMode::Distinct {
+        assert!(ipis > 0, "contended workload must deliver real IPIs");
+    }
 
     SmpEntry {
-        workload: if contended {
-            "hypercalls_contended"
-        } else {
-            "hypercalls_distinct"
-        },
+        workload,
         threads,
+        shards: nshards,
+        ring_depth,
         ops: (2 * pairs * threads) as u64,
         baseline_cycles,
         smp_cycles,
@@ -2248,6 +2432,8 @@ fn smp_run_mutations(threads: usize, pairs: usize, contended: bool) -> SmpEntry 
             ("shard_waits", shard_waits),
             ("shootdowns_requested", shootdowns),
             ("ipis_sent", ipis),
+            ("ring_submitted", ring_submitted),
+            ("ring_batches", ring_batches),
         ],
     }
 }
@@ -2258,8 +2444,10 @@ fn smp_run_mutations(threads: usize, pairs: usize, contended: bool) -> SmpEntry 
 /// serves them from per-core state with no shared lock at all.
 fn smp_run_transitions(threads: usize, roundtrips: usize) -> SmpEntry {
     use std::sync::{Arc, Mutex};
+    use tyche_core::shared::SHARDS;
 
-    let (m, lanes, _ram, _victim) = smp_fixture(threads);
+    let fx = smp_fixture(threads, SHARDS, 0);
+    let (m, lanes) = (fx.m, fx.lanes);
     let c0 = m.machine.cycles.now();
     let shared = Arc::new(Mutex::new(m));
     let t0 = Instant::now();
@@ -2289,7 +2477,8 @@ fn smp_run_transitions(threads: usize, roundtrips: usize) -> SmpEntry {
     let wall_base = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let baseline_cycles = shared.lock().expect("monitor lock").machine.cycles.now() - c0;
 
-    let (m, lanes, _ram, _victim) = smp_fixture(threads);
+    let fx = smp_fixture(threads, SHARDS, 0);
+    let (m, lanes) = (fx.m, fx.lanes);
     let cm = Arc::new(ConcurrentMonitor::new(m));
     let t0 = Instant::now();
     let workers: Vec<_> = (0..threads)
@@ -2321,6 +2510,8 @@ fn smp_run_transitions(threads: usize, roundtrips: usize) -> SmpEntry {
     SmpEntry {
         workload: "transitions_distinct",
         threads,
+        shards: SHARDS,
+        ring_depth: ConcurrentMonitor::DEFAULT_RING_DEPTH,
         ops: (2 * roundtrips * threads) as u64,
         baseline_cycles,
         smp_cycles,
@@ -2333,28 +2524,51 @@ fn smp_run_transitions(threads: usize, roundtrips: usize) -> SmpEntry {
     }
 }
 
-/// Runs the SMP serving suite at 1/2/4/8 worker threads (one per modeled
+/// Runs the SMP serving suite at 1–32 worker threads (one per modeled
 /// core) and (with `json`) rewrites `BENCH_smp.json` at the workspace
-/// root. `smoke` shrinks it to a single 2-thread pass for CI. Cycle
-/// numbers are simulated, so they are independent of the host machine,
-/// and IPI charges are per-requester batches (TLB-gather discipline),
-/// so they do not depend on thread interleaving either. Wall-clock
-/// appears only in `detail`.
+/// root. Full runs append two sweeps at fixed thread counts: shard
+/// count at the widest fan-out (locating the shard-collision knee) and
+/// ring depth on the contended path (the batching amortization curve).
+/// `smoke` shrinks everything to a single 2-thread pass per workload
+/// for CI. Cycle numbers are simulated, so they are independent of the
+/// host machine, and IPI charges are per-requester batches (TLB-gather
+/// discipline), so they do not depend on thread interleaving either.
+/// Wall-clock appears only in `detail`.
 fn bench_smp(json: bool, smoke: bool) {
-    let threads: &[usize] = if smoke { &[2] } else { &[1, 2, 4, 8] };
+    use tyche_core::shared::SHARDS;
+
+    let threads: &[usize] = if smoke { &[2] } else { &[1, 2, 4, 8, 16, 32] };
     let pairs: usize = if smoke { 8 } else { 64 };
     let roundtrips: usize = if smoke { 16 } else { 256 };
+    let depth = ConcurrentMonitor::DEFAULT_RING_DEPTH;
     let mut entries: Vec<SmpEntry> = Vec::new();
 
     type Workload<'a> = (&'a str, Box<dyn Fn(usize) -> SmpEntry>);
-    let workloads: [Workload; 3] = [
+    let workloads: [Workload; 4] = [
         (
             "hypercalls_distinct: per-core tenants mutate their own domains",
-            Box::new(move |t| smp_run_mutations(t, pairs, false)),
+            Box::new(move |t| {
+                smp_run_mutations("hypercalls_distinct", t, pairs, SmpMode::Distinct, SHARDS, depth)
+            }),
         ),
         (
-            "hypercalls_contended: every core mutates one shared domain",
-            Box::new(move |t| smp_run_mutations(t, pairs, true)),
+            "hypercalls_contended: every core mutates one shared running domain",
+            Box::new(move |t| {
+                smp_run_mutations("hypercalls_contended", t, pairs, SmpMode::Contended, SHARDS, depth)
+            }),
+        ),
+        (
+            "hypercalls_contended_ring: same contention through per-core submission rings",
+            Box::new(move |t| {
+                smp_run_mutations(
+                    "hypercalls_contended_ring",
+                    t,
+                    pairs,
+                    SmpMode::ContendedRing,
+                    SHARDS,
+                    depth,
+                )
+            }),
         ),
         (
             "transitions_distinct: per-core fast enter/return roundtrips",
@@ -2384,9 +2598,63 @@ fn bench_smp(json: bool, smoke: bool) {
         t.print();
     }
 
-    // The headline criterion: distinct-domain throughput must scale from
-    // the lowest to the highest thread count, and beat the whole-monitor
-    // mutex at the highest one.
+    if !smoke {
+        // Shard-count sweep at the widest fan-out: below 32 shards some
+        // tenants fold onto one shard and re-serialize — the knee.
+        let wide = *threads.last().expect("thread list");
+        let mut t = Table::new(
+            &format!("BENCH SMP — hypercalls_distinct_shards: shard sweep at {wide} threads"),
+            &["shards", "baseline (ops/Mcycle)", "smp (ops/Mcycle)", "speedup"],
+        );
+        for &ns in &[8usize, 16, 32, 64] {
+            let e = smp_run_mutations(
+                "hypercalls_distinct_shards",
+                wide,
+                pairs,
+                SmpMode::Distinct,
+                ns,
+                depth,
+            );
+            t.row(&[
+                ns.to_string(),
+                format!("{:.1}", e.baseline_tput()),
+                format!("{:.1}", e.smp_tput()),
+                format!("{:.2}x", e.speedup()),
+            ]);
+            entries.push(e);
+        }
+        t.print();
+
+        // Ring-depth sweep: how much batching is needed before the
+        // per-batch trap and shootdown round stop dominating.
+        let mut t = Table::new(
+            "BENCH SMP — hypercalls_contended_ringdepth: ring-depth sweep at 8 threads",
+            &["ring_depth", "baseline (ops/Mcycle)", "smp (ops/Mcycle)", "speedup"],
+        );
+        for &d in &[4usize, 8, 16, 32] {
+            let e = smp_run_mutations(
+                "hypercalls_contended_ringdepth",
+                8,
+                pairs,
+                SmpMode::ContendedRing,
+                SHARDS,
+                d,
+            );
+            t.row(&[
+                d.to_string(),
+                format!("{:.1}", e.baseline_tput()),
+                format!("{:.1}", e.smp_tput()),
+                format!("{:.2}x", e.speedup()),
+            ]);
+            entries.push(e);
+        }
+        t.print();
+    }
+
+    // Headline criteria: distinct-domain throughput must scale from the
+    // lowest to the highest thread count and beat the whole-monitor
+    // mutex there, and the ring-batched contended path must beat the
+    // mutex on the workload where per-call serving plateaus.
     let distinct: Vec<&SmpEntry> = entries
         .iter()
         .filter(|e| e.workload == "hypercalls_distinct")
@@ -2400,6 +2668,21 @@ fn bench_smp(json: bool, smoke: bool) {
          {vs_baseline:.2}x vs whole-monitor mutex at {} threads",
         scaling, first.threads, last.threads, last.threads
     );
+    let contended_last = entries
+        .iter()
+        .rfind(|e| e.workload == "hypercalls_contended")
+        .expect("contended entries");
+    let ring_last = entries
+        .iter()
+        .rfind(|e| e.workload == "hypercalls_contended_ring")
+        .expect("ring entries");
+    let ring_vs_baseline = ring_last.speedup();
+    println!(
+        "SMP contended path at {} threads: {:.2}x serve-per-call, \
+         {ring_vs_baseline:.2}x ring-batched vs whole-monitor mutex",
+        ring_last.threads,
+        contended_last.speedup()
+    );
 
     if json {
         let body = entries
@@ -2408,15 +2691,17 @@ fn bench_smp(json: bool, smoke: bool) {
             .collect::<Vec<_>>()
             .join(",\n");
         let doc = format!(
-            "{{\n  \"schema\": \"tyche-bench-smp/v1\",\n  \
+            "{{\n  \"schema\": \"tyche-bench-smp/v2\",\n  \
              \"mode\": \"{}\",\n  \"monitor_version\": \"{}\",\n  \
              \"distinct_scaling\": {:.2},\n  \
              \"distinct_vs_baseline\": {:.2},\n  \
+             \"contended_ring_vs_baseline\": {:.2},\n  \
              \"benches\": [\n{}\n  ]\n}}\n",
             if smoke { "smoke" } else { "full" },
             MONITOR_VERSION,
             scaling,
             vs_baseline,
+            ring_vs_baseline,
             body
         );
         let path = workspace_root().join("BENCH_smp.json");

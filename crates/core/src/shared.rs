@@ -4,13 +4,17 @@
 //! the corruption hooks, and every existing test keep driving it
 //! directly. [`SharedEngine`] wraps one engine for SMP serving:
 //!
-//! - **Reads** go through a generation-validated snapshot
-//!   ([`SharedEngine::snapshot`]): a cached `Arc<CapEngine>` clone that
-//!   is refreshed only when the engine's [`CapEngine::generation`]
-//!   counter has moved. Queries on the snapshot take no lock at all, and
-//!   the seqlock-style validation (compare generation before reuse)
-//!   guarantees a snapshot is an actual point-in-time state, never a
-//!   torn one — the clone happens under the same lock as mutations.
+//! - **Reads** go through an epoch/RCU-style read side
+//!   ([`EpochReadSide`]): every committed mutation *publishes* a fresh
+//!   `Arc<CapEngine>` clone into a small ring of snapshot slots and
+//!   swaps the head pointer, so [`SharedEngine::snapshot`] is one
+//!   atomic head load plus an uncontended slot read — readers never
+//!   take a shard lock and never serialize on a shared cache mutex.
+//!   Readers that need a stable reclamation horizon across several
+//!   reads pin an epoch first ([`EpochReadSide::pin`]); displaced
+//!   snapshots are retired and reclaimed only after every pinned
+//!   reader has advanced past their displacement epoch
+//!   (retire-after-grace).
 //! - **Mutations** ([`SharedEngine::mutate`]) first take the per-domain
 //!   *shard* locks of every involved domain — in ascending shard order,
 //!   the global ordering rule that makes cross-domain operations
@@ -27,6 +31,29 @@
 //! the sequence order is a linearization, and the replayed engine must
 //! be `==` to the shared one (`CapEngine` derives `PartialEq`).
 //!
+//! ## Epoch lifecycle
+//!
+//! Memory safety here is unconditional — snapshots are `Arc`s, so no
+//! reader can ever observe a freed engine whatever the epochs say. The
+//! epochs govern *slot reuse and retirement timing*, which is what the
+//! RCU discipline is about:
+//!
+//! 1. A publisher (running under the engine write lock) bumps the
+//!    global epoch, overwrites the oldest slot with the new snapshot,
+//!    swaps the head pointer (Release), and records the epoch at which
+//!    the displaced slot stopped being reachable.
+//! 2. The displaced snapshot goes onto the retired list tagged with its
+//!    displacement epoch.
+//! 3. Retired snapshots are dropped only once every reader is idle or
+//!    pinned at an epoch strictly newer than the displacement — the
+//!    grace condition. A pinned reader therefore keeps every snapshot
+//!    it could still be holding alive on the retired list.
+//! 4. Overwriting a slot before its grace has elapsed (a straggling
+//!    reader still inside the slot's read guard) is *counted*
+//!    ([`EpochReadSide::deferred`]) and handled by the slot `RwLock`,
+//!    which simply waits the reader out — a stall, never a
+//!    use-after-free.
+//!
 //! Lock poisoning: a panicked writer (e.g. a paranoid-check assertion
 //! firing in another thread's test) must not cascade into opaque
 //! `PoisonError` panics here, so every acquisition recovers the guard
@@ -34,16 +61,23 @@
 //! panicking thread had committed — fine for the engine, whose public
 //! operations keep it consistent at every return point.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::engine::CapEngine;
 use crate::ids::DomainId;
 
-/// Number of domain shards. Domains hash to shards by id modulo this;
-/// more shards than plausible worker threads keeps false conflicts rare
-/// while bounding the lock table.
+/// Default number of domain shards. Domains hash to shards by id modulo
+/// the shard count; more shards than plausible worker threads keeps
+/// false conflicts rare while bounding the lock table.
 pub const SHARDS: usize = 16;
+
+/// Number of published snapshot slots in an [`EpochReadSide`]. Small on
+/// purpose: one live head plus a short grace window of displaced slots.
+pub const SNAP_SLOTS: usize = 4;
+
+/// Reader-slot value meaning "not pinned".
+pub const EPOCH_IDLE: u64 = u64::MAX;
 
 fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
     match l.read() {
@@ -66,6 +100,199 @@ fn mutex_lock<T>(l: &Mutex<T>) -> MutexGuard<'_, T> {
     }
 }
 
+/// One published `(generation, snapshot)` slot in the epoch ring.
+type SnapSlot = RwLock<(u64, Arc<CapEngine>)>;
+
+/// The epoch-based read side shared by [`SharedEngine`] and the
+/// concurrent monitor: a ring of published `(generation, snapshot)`
+/// slots, per-reader epoch pins, and a retired list reclaimed after
+/// grace. See the module docs for the lifecycle.
+pub struct EpochReadSide {
+    /// Published snapshot slots; `head` indexes the newest.
+    snaps: Box<[SnapSlot]>,
+    /// Epoch at which each slot was displaced from head (0 = never).
+    displaced: Box<[AtomicU64]>,
+    /// Index of the most recently published slot.
+    head: AtomicUsize,
+    /// Global publication epoch; bumped once per publish.
+    epoch: AtomicU64,
+    /// Per-reader pinned epoch, [`EPOCH_IDLE`] when unpinned.
+    readers: Box<[AtomicU64]>,
+    /// Displaced snapshots awaiting grace: (displacement epoch, clone).
+    retired: Mutex<Vec<(u64, Arc<CapEngine>)>>,
+    /// Publications so far.
+    published: AtomicU64,
+    /// Retired snapshots dropped after their grace elapsed.
+    reclaimed: AtomicU64,
+    /// Publications that overwrote a slot before its grace elapsed (the
+    /// slot lock waited out a straggling reader).
+    deferred: AtomicU64,
+    /// Boot-time snapshot, kept as an infallible fallback so the read
+    /// path never needs a panicking index.
+    boot: (u64, Arc<CapEngine>),
+}
+
+/// An epoch pin: while alive, no snapshot displaced at or after the
+/// pinned epoch is reclaimed. Dropping unpins.
+pub struct EpochPin<'a> {
+    reads: &'a EpochReadSide,
+    reader: usize,
+}
+
+impl Drop for EpochPin<'_> {
+    fn drop(&mut self) {
+        if let Some(r) = self.reads.readers.get(self.reader) {
+            r.store(EPOCH_IDLE, Ordering::SeqCst);
+        }
+    }
+}
+
+impl EpochReadSide {
+    /// Creates a read side publishing `snap` (taken at `gen`) with
+    /// `readers` pin slots (at least one).
+    pub fn new(gen: u64, snap: Arc<CapEngine>, readers: usize) -> Self {
+        let snaps: Box<[SnapSlot]> = (0..SNAP_SLOTS)
+            .map(|_| RwLock::new((gen, Arc::clone(&snap))))
+            .collect();
+        EpochReadSide {
+            snaps,
+            displaced: (0..SNAP_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            head: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            readers: (0..readers.max(1)).map(|_| AtomicU64::new(EPOCH_IDLE)).collect(),
+            retired: Mutex::new(Vec::new()),
+            published: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
+            deferred: AtomicU64::new(0),
+            boot: (gen, snap),
+        }
+    }
+
+    /// Pins `reader` at the current epoch. Out-of-range readers get a
+    /// no-op pin (safe either way: pins only tighten reclamation).
+    pub fn pin(&self, reader: usize) -> EpochPin<'_> {
+        let now = self.epoch.load(Ordering::SeqCst);
+        if let Some(r) = self.readers.get(reader) {
+            r.store(now, Ordering::SeqCst);
+        }
+        EpochPin { reads: self, reader }
+    }
+
+    /// The newest published `(generation, snapshot)`. One Acquire head
+    /// load plus an uncontended slot read; never blocks on a mutex.
+    pub fn current_with_gen(&self) -> (u64, Arc<CapEngine>) {
+        let idx = self.head.load(Ordering::Acquire);
+        match self.snaps.get(idx).or_else(|| self.snaps.first()) {
+            Some(snap_cell) => {
+                let published = read_lock(snap_cell);
+                (published.0, Arc::clone(&published.1))
+            }
+            // Unreachable: `snaps` is non-empty by construction.
+            None => (self.boot.0, Arc::clone(&self.boot.1)),
+        }
+    }
+
+    /// The newest published snapshot.
+    pub fn current(&self) -> Arc<CapEngine> {
+        self.current_with_gen().1
+    }
+
+    /// Publishes a new snapshot. Must be called from the committing
+    /// mutator (while it still holds the engine write lock) so
+    /// publications are totally ordered; the caller stores `live_gen`
+    /// with Release *after* this returns.
+    pub fn publish(&self, gen: u64, snap: Arc<CapEngine>) {
+        let epoch_now = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let old_head = self.head.load(Ordering::Acquire);
+        let next = if old_head + 1 >= self.snaps.len() { 0 } else { old_head + 1 };
+        let next_displaced = self
+            .displaced
+            .get(next)
+            .map_or(0, |d| d.load(Ordering::SeqCst));
+        if !self.grace_elapsed(next_displaced) {
+            // A straggling reader may still sit inside this slot's read
+            // guard; the write acquisition below waits it out. Counted,
+            // never unsafe.
+            self.deferred.fetch_add(1, Ordering::SeqCst);
+        }
+        let prev = match self.snaps.get(next) {
+            Some(snap_cell) => {
+                let mut published = write_lock(snap_cell);
+                std::mem::replace(&mut *published, (gen, snap))
+            }
+            None => return,
+        };
+        self.head.store(next, Ordering::Release);
+        if let Some(d) = self.displaced.get(old_head) {
+            d.store(epoch_now, Ordering::SeqCst);
+        }
+        {
+            let mut retired = mutex_lock(&self.retired);
+            retired.push((next_displaced, prev.1));
+        }
+        self.published.fetch_add(1, Ordering::SeqCst);
+        self.reclaim();
+    }
+
+    /// True when every reader is idle or pinned strictly after
+    /// `displaced_at` — i.e. no pinned reader can still reference a
+    /// snapshot displaced at that epoch.
+    fn grace_elapsed(&self, displaced_at: u64) -> bool {
+        self.readers.iter().all(|r| {
+            let pinned = r.load(Ordering::SeqCst);
+            pinned == EPOCH_IDLE || pinned > displaced_at
+        })
+    }
+
+    /// Drops every retired snapshot whose grace has elapsed. Returns how
+    /// many were reclaimed. Safe to call from any thread at any time.
+    pub fn reclaim(&self) -> usize {
+        let horizon = self
+            .readers
+            .iter()
+            .map(|r| r.load(Ordering::SeqCst))
+            .filter(|&p| p != EPOCH_IDLE)
+            .min();
+        let freed = {
+            let mut retired = mutex_lock(&self.retired);
+            let before = retired.len();
+            match horizon {
+                None => retired.clear(),
+                Some(min_pinned) => retired.retain(|(displaced_at, _)| *displaced_at >= min_pinned),
+            }
+            before - retired.len()
+        };
+        self.reclaimed.fetch_add(freed as u64, Ordering::SeqCst);
+        freed
+    }
+
+    /// Snapshots currently awaiting grace.
+    pub fn retired_len(&self) -> usize {
+        mutex_lock(&self.retired).len()
+    }
+
+    /// Total publications.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::SeqCst)
+    }
+
+    /// Total retired snapshots reclaimed after grace.
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed.load(Ordering::SeqCst)
+    }
+
+    /// Publications that found their target slot's grace not yet
+    /// elapsed.
+    pub fn deferred(&self) -> u64 {
+        self.deferred.load(Ordering::SeqCst)
+    }
+
+    /// The current global epoch.
+    pub fn epoch_now(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+}
+
 /// A [`CapEngine`] shared between worker threads. See the module docs
 /// for the locking discipline.
 pub struct SharedEngine {
@@ -74,29 +301,61 @@ pub struct SharedEngine {
     /// Generation of the engine after the most recent committed
     /// mutation; read without the engine lock to validate snapshots.
     live_gen: AtomicU64,
-    /// Cached snapshot: (generation it was taken at, the clone).
-    snap: Mutex<(u64, Arc<CapEngine>)>,
+    /// Epoch read side: published snapshots, reader pins, retired list.
+    reads: EpochReadSide,
     /// Next mutation sequence number.
     seq: AtomicU64,
 }
 
+/// Reader pin slots a standalone [`SharedEngine`] offers. Callers that
+/// know their core count (the concurrent monitor) size their own
+/// [`EpochReadSide`] instead.
+const DEFAULT_READERS: usize = 64;
+
 impl SharedEngine {
-    /// Wraps `engine` for shared use.
+    /// Wraps `engine` for shared use with the default shard count.
     pub fn new(engine: CapEngine) -> Self {
+        Self::with_shards(engine, SHARDS)
+    }
+
+    /// Wraps `engine` with `nshards` domain shards (at least one).
+    /// Shard-count is swept by the SMP benches: fewer shards means more
+    /// false conflicts, more shards means a longer lock table.
+    pub fn with_shards(engine: CapEngine, nshards: usize) -> Self {
         let gen = engine.generation();
         let snap = Arc::new(engine.clone());
         SharedEngine {
             engine: RwLock::new(engine),
-            shards: (0..SHARDS).map(|_| Mutex::new(())).collect(),
+            shards: (0..nshards.max(1)).map(|_| Mutex::new(())).collect(),
             live_gen: AtomicU64::new(gen),
-            snap: Mutex::new((gen, snap)),
+            reads: EpochReadSide::new(gen, snap, DEFAULT_READERS),
             seq: AtomicU64::new(0),
         }
     }
 
-    /// The shard index a domain maps to.
+    /// The shard index a domain maps to under the default shard count.
     pub fn shard_of(domain: DomainId) -> usize {
         (domain.0 % SHARDS as u64) as usize
+    }
+
+    /// The shard index a domain maps to under `nshards` shards.
+    pub fn shard_of_n(domain: DomainId, nshards: usize) -> usize {
+        (domain.0 % nshards.max(1) as u64) as usize
+    }
+
+    /// This engine's shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a domain maps to in *this* engine.
+    pub fn shard_index(&self, domain: DomainId) -> usize {
+        Self::shard_of_n(domain, self.shards.len())
+    }
+
+    /// The epoch read side (pinning, reclamation counters).
+    pub fn epochs(&self) -> &EpochReadSide {
+        &self.reads
     }
 
     /// Runs `f` with a read lock on the live engine. Prefer
@@ -106,34 +365,14 @@ impl SharedEngine {
         f(&read_lock(&self.engine))
     }
 
-    /// Returns a point-in-time snapshot of the engine, lock-free for the
-    /// common case.
+    /// Returns a point-in-time snapshot of the engine.
     ///
-    /// The cached clone is reused while its generation still matches the
-    /// live generation (seqlock-style validation); a stale cache is
-    /// refreshed by cloning under the engine read lock. Queries on the
-    /// returned `Arc` never contend with anything.
+    /// Every committed mutation publishes a fresh clone into the epoch
+    /// read side, so this is one Acquire head load plus an uncontended
+    /// slot read — no snapshot-cache mutex, no shard lock, and queries
+    /// on the returned `Arc` never contend with anything.
     pub fn snapshot(&self) -> Arc<CapEngine> {
-        let live = self.live_gen.load(Ordering::Acquire);
-        {
-            let cached = mutex_lock(&self.snap);
-            if cached.0 == live {
-                return Arc::clone(&cached.1);
-            }
-        }
-        // Stale: re-clone. Take the engine read lock first so the clone
-        // is a consistent state, then publish it for other readers.
-        let (gen, fresh) = {
-            let eng = read_lock(&self.engine);
-            (eng.generation(), Arc::new(eng.clone()))
-        };
-        let mut cached = mutex_lock(&self.snap);
-        // Another reader may have refreshed to something even newer
-        // while we cloned; keep the newest.
-        if gen >= cached.0 {
-            *cached = (gen, Arc::clone(&fresh));
-        }
-        fresh
+        self.reads.current()
     }
 
     /// Runs the mutation `f` under the shard locks of `domains` (taken
@@ -141,6 +380,9 @@ impl SharedEngine {
     /// the engine write lock. Returns the mutation's sequence number —
     /// assigned *inside* the exclusive section, so ascending sequence
     /// numbers are a linearization of all mutations — and `f`'s result.
+    /// Before releasing the write lock the mutation *publishes* the new
+    /// state to the epoch read side, so readers observe it without ever
+    /// locking.
     pub fn mutate<R>(
         &self,
         domains: &[DomainId],
@@ -148,7 +390,7 @@ impl SharedEngine {
     ) -> (u64, R) {
         // Sort + dedup the shard indexes so each lock is taken once, in
         // the global order, regardless of the caller's domain order.
-        let mut idx: Vec<usize> = domains.iter().map(|&d| Self::shard_of(d)).collect();
+        let mut idx: Vec<usize> = domains.iter().map(|&d| self.shard_index(d)).collect();
         idx.sort_unstable();
         idx.dedup();
         let _shard_guards: Vec<MutexGuard<'_, ()>> = idx
@@ -160,7 +402,9 @@ impl SharedEngine {
         // verify: relaxed-ok mutation counter ordered by the engine write lock; live_gen carries the Release publication
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let out = f(&mut eng);
-        self.live_gen.store(eng.generation(), Ordering::Release);
+        let gen = eng.generation();
+        self.reads.publish(gen, Arc::new(eng.clone()));
+        self.live_gen.store(gen, Ordering::Release);
         (seq, out)
     }
 
@@ -199,12 +443,12 @@ mod tests {
         let (shared, root, _ram) = seeded();
         let a = shared.snapshot();
         let b = shared.snapshot();
-        assert!(Arc::ptr_eq(&a, &b), "unchanged engine reuses the cache");
+        assert!(Arc::ptr_eq(&a, &b), "unchanged engine reuses the published slot");
         let (seq, child) = shared.mutate(&[root], |e| e.create_domain(root));
         assert_eq!(seq, 0);
         child.unwrap();
         let c = shared.snapshot();
-        assert!(!Arc::ptr_eq(&a, &c), "mutation invalidates the cache");
+        assert!(!Arc::ptr_eq(&a, &c), "mutation publishes a fresh snapshot");
         assert_eq!(c.domains().count(), 2);
         // The old snapshot still reads its point-in-time state.
         assert_eq!(a.domains().count(), 1);
@@ -259,5 +503,59 @@ mod tests {
             SharedEngine::shard_of(DomainId(3 + SHARDS as u64)),
             SharedEngine::shard_of(a)
         );
+    }
+
+    #[test]
+    fn with_shards_folds_ids_onto_smaller_table() {
+        let mut e = CapEngine::new();
+        let root = e.create_root_domain();
+        let shared = SharedEngine::with_shards(e, 4);
+        assert_eq!(shared.shard_count(), 4);
+        assert_eq!(shared.shard_index(DomainId(7)), 3);
+        assert_eq!(shared.shard_index(DomainId(11)), 3);
+        // Degenerate counts clamp to one shard instead of dividing by 0.
+        assert_eq!(SharedEngine::shard_of_n(DomainId(9), 0), 0);
+        let (_, r) = shared.mutate(&[root], |e| e.create_domain(root));
+        r.unwrap();
+        assert_eq!(shared.snapshot().domains().count(), 2);
+    }
+
+    #[test]
+    fn pinned_reader_defers_reclamation() {
+        let (shared, root, _ram) = seeded();
+        let pin = shared.epochs().pin(0);
+        let pinned_view = shared.snapshot();
+        // A storm of publications while the reader stays pinned: nothing
+        // displaced during the pin may be reclaimed.
+        for _ in 0..(3 * SNAP_SLOTS) {
+            let (_, r) = shared.mutate(&[root], |e| e.create_domain(root));
+            r.unwrap();
+        }
+        assert_eq!(shared.epochs().published(), 3 * SNAP_SLOTS as u64);
+        assert_eq!(
+            shared.epochs().reclaimed(),
+            0,
+            "grace cannot elapse under a pin taken before the storm"
+        );
+        assert!(shared.epochs().retired_len() > 0);
+        // The pinned reader's view is still the pre-storm state.
+        assert_eq!(pinned_view.domains().count(), 1);
+        drop(pin);
+        shared.epochs().reclaim();
+        assert_eq!(shared.epochs().retired_len(), 0, "unpinning drains the retired list");
+        assert!(shared.epochs().reclaimed() > 0);
+    }
+
+    #[test]
+    fn unpinned_publications_reclaim_immediately() {
+        let (shared, root, _ram) = seeded();
+        for _ in 0..SNAP_SLOTS {
+            let (_, r) = shared.mutate(&[root], |e| e.create_domain(root));
+            r.unwrap();
+        }
+        // With no readers pinned, each publish reclaims its own retiree.
+        assert_eq!(shared.epochs().retired_len(), 0);
+        assert_eq!(shared.epochs().reclaimed(), SNAP_SLOTS as u64);
+        assert_eq!(shared.epochs().deferred(), 0);
     }
 }

@@ -54,6 +54,13 @@ pub struct CostModel {
     /// Hand-off of a contended in-monitor lock between cores (cacheline
     /// transfer + wakeup); charged once per acquisition that had to wait.
     pub lock_handoff: u64,
+    /// Writing one entry into a per-core submission ring (slot store +
+    /// producer-index publish, both core-local).
+    pub ring_enqueue: u64,
+    /// Dispatching one ring entry inside a drained batch (slot read +
+    /// call decode on the serving side; the trap crossing itself is paid
+    /// once per batch, not per entry).
+    pub ring_dispatch: u64,
 }
 
 impl CostModel {
@@ -78,6 +85,8 @@ impl CostModel {
             ipi_send: 1000,
             ipi_deliver: 700,
             lock_handoff: 60,
+            ring_enqueue: 40,
+            ring_dispatch: 25,
         }
     }
 }
@@ -216,6 +225,15 @@ mod tests {
         // pointless in the model.
         assert!(m.ipi_send + m.ipi_deliver + m.tlb_flush > m.tlb_flush);
         assert!(m.lock_handoff < m.vmfunc_switch);
+        // Ring costs: enqueue + dispatch for one entry must be far below
+        // a trap round trip, or batching mutating hypercalls through a
+        // doorbell ring could never amortize the crossing.
+        assert!(
+            m.ring_enqueue + m.ring_dispatch < m.vmexit_roundtrip / 10,
+            "ring overhead per entry must be <10% of a trap"
+        );
+        assert!(m.ring_dispatch < m.ring_enqueue + m.lock_handoff);
+        assert!(m.ring_enqueue < m.vmfunc_switch, "enqueue is core-local");
     }
 
     #[test]

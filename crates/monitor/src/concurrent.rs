@@ -3,10 +3,13 @@
 //! [`ConcurrentMonitor`] lets one worker thread per modeled core issue
 //! hypercalls against a shared monitor. Three serving tiers:
 //!
-//! - **Read-only calls** (`Enumerate`) run against a generation-validated
-//!   snapshot of the capability engine — seqlock-style: a cached
-//!   `Arc<CapEngine>` clone is reused while the engine's `generation()`
-//!   counter is unchanged, so queries never contend with anything.
+//! - **Read-only calls** (`Enumerate`) run against a published snapshot
+//!   from the epoch read side ([`EpochReadSide`]): every committed
+//!   mutation publishes a fresh `Arc<CapEngine>` clone, so a read is one
+//!   Acquire head load plus an uncontended slot read — no snapshot-cache
+//!   mutex, no shard lock. Readers pin their core's epoch slot for the
+//!   duration, which keeps the snapshot they hold off the reclamation
+//!   path (retire-after-grace; see `tyche_core::shared`).
 //! - **Fast transitions** (`Enter` through a `NONE`-policy transition
 //!   capability, and the matching `Return`) touch only per-core state:
 //!   validation runs on the snapshot, the VMFUNC switch is charged to
@@ -51,7 +54,30 @@
 //! shootdown-based revocation has between the capability update and the
 //! remote TLB flush.
 //!
-//! ## What a fast-entered domain may do
+//! Queue-vs-drain responsibilities: `serve` (the single-call mutating
+//! tier) only *queues* invalidations — it never drains its own batch, so
+//! consecutive shrinking calls keep coalescing (the whole point of the
+//! TLB-gather discipline) and the caller decides the flush boundary by
+//! calling [`ConcurrentMonitor::sync_shootdowns`]. A *ring drain* is
+//! different: the batch is an explicit boundary, so
+//! [`ConcurrentMonitor::ring_doorbell`] delivers the batch's coalesced
+//! shootdown round itself before returning.
+//!
+//! ## Batched submission rings
+//!
+//! The TNIC-style doorbell path for mutation-heavy cores: workers
+//! [`submit`](ConcurrentMonitor::submit) mutating calls into a per-core
+//! ring (paying only the core-local `ring_enqueue` cost), and the ring
+//! is drained as one batch — by an explicit
+//! [`ring_doorbell`](ConcurrentMonitor::ring_doorbell) or automatically
+//! when the ring reaches its configured depth. A drain charges **one**
+//! trap crossing for the whole batch (each entry then pays its operation
+//! cost minus the per-call trap, plus `ring_dispatch`), takes the shard
+//! locks of the batch's involved-set union **once**, pays at most one
+//! `lock_handoff`, and coalesces every entry's invalidations into one
+//! shootdown round. Read-tier and transition calls are never enqueued:
+//! they have their own no-lock tiers, and their results are needed
+//! synchronously to know what the core runs next.
 //!
 //! A fast transition never traps into the monitor, so the inner
 //! monitor's per-core "current domain" still names the caller. A domain
@@ -66,7 +92,7 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuar
 
 use tyche_core::engine::CapEngine;
 use tyche_core::ids::{CapId, DomainId};
-use tyche_core::shared::{SharedEngine, SHARDS};
+use tyche_core::shared::{EpochReadSide, SharedEngine, SHARDS};
 use tyche_core::trace::{EventKind, TraceSink};
 use tyche_core::RevocationPolicy;
 use tyche_hw::cycles::{CycleCounter, PerCoreClocks};
@@ -135,6 +161,11 @@ pub struct SmpStats {
     pub ipis_sent: AtomicU64,
     /// Mutations that had to wait on a busy shard clock.
     pub shard_waits: AtomicU64,
+    /// Calls enqueued into a submission ring.
+    pub ring_submitted: AtomicU64,
+    /// Ring batches drained (each = one trap crossing, one shard-lock
+    /// acquisition, one shootdown round).
+    pub ring_batches: AtomicU64,
 }
 
 impl SmpStats {
@@ -165,8 +196,13 @@ pub struct ConcurrentMonitor {
     pending: Vec<Mutex<BTreeSet<DomainId>>>,
     /// Engine generation after the most recent committed mutation.
     live_gen: AtomicU64,
-    /// Cached engine snapshot: (generation, clone).
-    snap: Mutex<(u64, Arc<CapEngine>)>,
+    /// Epoch read side: published snapshots, one reader pin slot per
+    /// core, retire-after-grace reclamation.
+    reads: EpochReadSide,
+    /// Per-core submission rings of pending mutating calls.
+    rings: Vec<Mutex<Vec<MonitorCall>>>,
+    /// Ring depth at which `submit` force-drains the ring.
+    ring_depth: usize,
     /// Counters.
     pub stats: SmpStats,
     /// Trace sink (clone of the inner monitor's; lock-free to emit into,
@@ -176,12 +212,46 @@ pub struct ConcurrentMonitor {
     trap_cost: u64,
     vmfunc_cost: u64,
     lock_handoff: u64,
+    ring_enqueue_cost: u64,
+    ring_dispatch_cost: u64,
+}
+
+/// What [`ConcurrentMonitor::submit`] did with a call.
+#[derive(Debug)]
+pub enum RingOutcome {
+    /// Enqueued into the core's ring; the value is the ring occupancy
+    /// after the push. Results arrive at the next drain.
+    Queued(usize),
+    /// Not ring-eligible (read tier or transition): served inline.
+    Completed(Result<CallResult, Status>),
+    /// The push filled the ring and triggered a drain; results for the
+    /// whole batch, in submission order.
+    Drained(Vec<Result<CallResult, Status>>),
 }
 
 impl ConcurrentMonitor {
-    /// Wraps a booted monitor for SMP serving. Each core's SMP view
-    /// starts at the domain the inner monitor has current on that core.
+    /// Default submission-ring depth: deep enough to amortize the trap
+    /// crossing well below 10% per entry, shallow enough that a drain's
+    /// critical section stays short.
+    pub const DEFAULT_RING_DEPTH: usize = 16;
+
+    /// Wraps a booted monitor for SMP serving with the default shard
+    /// count and ring depth. Each core's SMP view starts at the domain
+    /// the inner monitor has current on that core.
     pub fn new(monitor: Monitor) -> Self {
+        Self::with_config(monitor, SHARDS, Self::DEFAULT_RING_DEPTH)
+    }
+
+    /// Like [`new`](Self::new) with an explicit shard count (the SMP
+    /// benches sweep it).
+    pub fn with_shards(monitor: Monitor, nshards: usize) -> Self {
+        Self::with_config(monitor, nshards, Self::DEFAULT_RING_DEPTH)
+    }
+
+    /// Full-control constructor: `nshards` domain shards (at least one)
+    /// and `ring_depth` (at least one) for the per-core submission
+    /// rings.
+    pub fn with_config(monitor: Monitor, nshards: usize, ring_depth: usize) -> Self {
         let arch = monitor.arch();
         let cost = monitor.machine.cost;
         let trap_cost = match arch {
@@ -204,7 +274,7 @@ impl ConcurrentMonitor {
             .collect();
         ConcurrentMonitor {
             inner: RwLock::new(monitor),
-            shards: (0..SHARDS)
+            shards: (0..nshards.max(1))
                 .map(|_| Shard {
                     lock: Mutex::new(()),
                     clock: CycleCounter::new(),
@@ -214,14 +284,38 @@ impl ConcurrentMonitor {
             clocks,
             pending: (0..core_count).map(|_| Mutex::new(BTreeSet::new())).collect(),
             live_gen: AtomicU64::new(gen),
-            snap: Mutex::new((gen, snap)),
+            reads: EpochReadSide::new(gen, snap, core_count.max(1)),
+            rings: (0..core_count).map(|_| Mutex::new(Vec::new())).collect(),
+            ring_depth: ring_depth.max(1),
             stats: SmpStats::default(),
             trace,
             arch,
             trap_cost,
             vmfunc_cost: cost.vmfunc_switch,
             lock_handoff: cost.lock_handoff,
+            ring_enqueue_cost: cost.ring_enqueue,
+            ring_dispatch_cost: cost.ring_dispatch,
         }
+    }
+
+    /// Number of domain shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured submission-ring depth.
+    pub fn ring_depth(&self) -> usize {
+        self.ring_depth
+    }
+
+    /// The epoch read side (reader pins, reclamation counters).
+    pub fn epochs(&self) -> &EpochReadSide {
+        &self.reads
+    }
+
+    /// The shard index a domain maps to in *this* monitor.
+    fn shard_index(&self, domain: DomainId) -> usize {
+        SharedEngine::shard_of_n(domain, self.shards.len())
     }
 
     /// Number of modeled cores.
@@ -254,25 +348,14 @@ impl ConcurrentMonitor {
         }
     }
 
-    /// A point-in-time engine snapshot, reusing the cached clone while
-    /// the live generation is unchanged.
+    /// A point-in-time engine snapshot: the newest published clone from
+    /// the epoch read side. One Acquire head load plus an uncontended
+    /// slot read — no snapshot-cache mutex, no shard lock, no inner
+    /// lock. Every committed mutation publishes before it releases the
+    /// inner lock, so the head can lag a mutation only within the same
+    /// window a real remote core has before its shootdown lands.
     pub fn snapshot(&self) -> Arc<CapEngine> {
-        let live = self.live_gen.load(Ordering::Acquire);
-        {
-            let cached = mutex_lock(&self.snap);
-            if cached.0 == live {
-                return Arc::clone(&cached.1);
-            }
-        }
-        let (gen, fresh) = {
-            let m = read_lock(&self.inner);
-            (m.engine.generation(), Arc::new(m.engine.clone()))
-        };
-        let mut cached = mutex_lock(&self.snap);
-        if gen >= cached.0 {
-            *cached = (gen, Arc::clone(&fresh));
-        }
-        fresh
+        self.reads.current()
     }
 
     /// Serves one hypercall issued by the domain running on `core`.
@@ -289,8 +372,9 @@ impl ConcurrentMonitor {
         }
     }
 
-    /// Read tier: enumerate on a snapshot. Charges the trap cost to the
-    /// calling core's clock; takes no lock beyond the snapshot cache.
+    /// Read tier: enumerate on a published snapshot, pinned for the
+    /// duration. Charges the trap cost to the calling core's clock;
+    /// takes no shared lock at all.
     fn serve_enumerate(&self, core: usize) -> Result<CallResult, Status> {
         SmpStats::bump(&self.stats.snapshot_reads);
         let start = self.clocks.now(core);
@@ -299,13 +383,13 @@ impl ConcurrentMonitor {
         let leaf = MonitorCall::Enumerate.encode().0;
         self.trace
             .emit(core as u32, EventKind::HyperEnter { leaf, actor: actor.0 });
-        let snap = self.snapshot();
-        self.trace.emit(
-            core as u32,
-            EventKind::SnapRead {
-                gen: snap.generation(),
-            },
-        );
+        // Pin this core's epoch slot before loading the head: everything
+        // published-then-displaced from here on stays on the retired
+        // list until the pin drops, so the borrowed view cannot be
+        // reclaimed mid-read however long enumeration takes.
+        let _pin = self.reads.pin(core);
+        let (gen, snap) = self.reads.current_with_gen();
+        self.trace.emit(core as u32, EventKind::SnapRead { gen });
         let res = snap.enumerate(actor).map_err(crate::monitor::cap_status);
         let code = match &res {
             Ok(_) => 0,
@@ -428,8 +512,13 @@ impl ConcurrentMonitor {
     fn serve_mutating(&self, core: usize, call: MonitorCall) -> Result<CallResult, Status> {
         let mut state = mutex_lock(self.core_state(core)?);
         let actor = state.current;
-        let (involved, losers) = self.involved_domains(actor, &call);
-        let mut shard_idx: Vec<usize> = involved.iter().map(|&d| SharedEngine::shard_of(d)).collect();
+        // One snapshot for the whole involved-set computation, so the
+        // set and the loser set come from a single generation (mixing
+        // generations across the per-cap lookups under-computed
+        // shootdown targets).
+        let snap = self.snapshot();
+        let (involved, losers) = self.involved_domains(&snap, actor, &call);
+        let mut shard_idx: Vec<usize> = involved.iter().map(|&d| self.shard_index(d)).collect();
         shard_idx.sort_unstable();
         shard_idx.dedup();
         let shards: Vec<&Shard> = shard_idx
@@ -493,8 +582,16 @@ impl ConcurrentMonitor {
         for s in &shards {
             s.clock.advance_to(end);
         }
-        self.live_gen
-            .store(inner.engine.generation(), Ordering::Release);
+        // Publish the committed state to the epoch read side before the
+        // Release store makes the new generation observable: a reader
+        // that sees `live_gen == gen` finds a snapshot at least that new
+        // at the head. Failed and read-only calls leave the generation
+        // unchanged and skip the clone.
+        let gen = inner.engine.generation();
+        if gen != self.live_gen.load(Ordering::Acquire) {
+            self.reads.publish(gen, Arc::new(inner.engine.clone()));
+        }
+        self.live_gen.store(gen, Ordering::Release);
         SmpStats::bump(&self.stats.mutations);
         // Mirror mediated transitions into the SMP view.
         match &result {
@@ -532,16 +629,202 @@ impl ConcurrentMonitor {
         result
     }
 
+    /// Submits a call through `core`'s doorbell ring. Read-tier and
+    /// transition calls are served inline — they have their own no-lock
+    /// tiers and the core needs their results synchronously — and
+    /// everything else is enqueued (core-local `ring_enqueue` cost) to
+    /// be served in submission order at the next drain. Reaching the
+    /// configured ring depth force-drains inline.
+    pub fn submit(&self, core: usize, call: MonitorCall) -> RingOutcome {
+        match call {
+            MonitorCall::Enumerate | MonitorCall::Enter { .. } | MonitorCall::Return => {
+                RingOutcome::Completed(self.serve(core, call))
+            }
+            mutating => {
+                let ring_cell = match self.rings.get(core) {
+                    Some(r) => r,
+                    None => return RingOutcome::Completed(Err(Status::InvalidArg)),
+                };
+                self.clocks.charge(core, self.ring_enqueue_cost);
+                SmpStats::bump(&self.stats.ring_submitted);
+                let occupancy = {
+                    let mut ring = mutex_lock(ring_cell);
+                    ring.push(mutating);
+                    ring.len()
+                };
+                if occupancy >= self.ring_depth {
+                    RingOutcome::Drained(self.ring_doorbell(core))
+                } else {
+                    RingOutcome::Queued(occupancy)
+                }
+            }
+        }
+    }
+
+    /// Rings `core`'s doorbell: drains every queued call as one batch —
+    /// one trap crossing, one shard-lock acquisition over the batch's
+    /// involved-set union, at most one lock hand-off, and one coalesced
+    /// shootdown round delivered before returning — and returns the
+    /// per-call results in submission order. Empty ring ⇒ empty vec.
+    pub fn ring_doorbell(&self, core: usize) -> Vec<Result<CallResult, Status>> {
+        let queued: Vec<MonitorCall> = match self.rings.get(core) {
+            Some(ring_cell) => std::mem::take(&mut *mutex_lock(ring_cell)),
+            None => Vec::new(),
+        };
+        if queued.is_empty() {
+            return Vec::new();
+        }
+        match self.serve_batch(core, &queued) {
+            Ok(results) => results,
+            Err(status) => queued.iter().map(|_| Err(status)).collect(),
+        }
+    }
+
+    /// Serves one drained batch. Same locking story as the single-call
+    /// mutating tier, paid once: the shard locks cover the union of
+    /// every entry's involved set at one generation (a superset of any
+    /// per-entry set, so still conservative), and the timing model
+    /// charges one trap crossing plus per-entry dispatch overhead
+    /// instead of a trap per call.
+    fn serve_batch(
+        &self,
+        core: usize,
+        batch: &[MonitorCall],
+    ) -> Result<Vec<Result<CallResult, Status>>, Status> {
+        let state = mutex_lock(self.core_state(core)?);
+        let actor = state.current;
+        // One snapshot for the whole batch: the union is computed at a
+        // single generation. Intra-batch mutations may shift ownership
+        // mid-batch — the shard locks only model contention, so a
+        // pre-batch union stays safe; shootdown targets are recomputed
+        // per entry against the live engine below.
+        let snap = self.snapshot();
+        let mut involved: BTreeSet<DomainId> = BTreeSet::new();
+        for call in batch {
+            let (inv, _) = self.involved_domains(&snap, actor, call);
+            involved.extend(inv);
+        }
+        let mut shard_idx: Vec<usize> = involved.iter().map(|&d| self.shard_index(d)).collect();
+        shard_idx.sort_unstable();
+        shard_idx.dedup();
+        let shards: Vec<&Shard> = shard_idx
+            .iter()
+            .filter_map(|&i| self.shards.get(i))
+            .collect();
+        let guards: Vec<MutexGuard<'_, ()>> = shards.iter().map(|s| mutex_lock(&s.lock)).collect();
+        let mut inner = write_lock(&self.inner);
+        // Same refusal rule as the single-call tier: a fast-entered
+        // domain must return before mutating. Each refused entry still
+        // leaves a hypercall bracket in the trace.
+        if inner.current_domain(core) != actor {
+            for call in batch {
+                let leaf = call.encode().0;
+                self.trace
+                    .emit(core as u32, EventKind::HyperEnter { leaf, actor: actor.0 });
+                self.trace.emit(
+                    core as u32,
+                    EventKind::HyperExit {
+                        leaf,
+                        code: Status::Denied as u64,
+                        cycles: 0,
+                    },
+                );
+            }
+            return Ok(batch.iter().map(|_| Err(Status::Denied)).collect());
+        }
+        let core_now = self.clocks.now(core);
+        let mut shard_free = 0;
+        let mut busiest_shard = 0u64;
+        for (s, &i) in shards.iter().zip(shard_idx.iter()) {
+            let now = s.clock.now();
+            if now > shard_free {
+                shard_free = now;
+                busiest_shard = i as u64;
+            }
+        }
+        let mut t0 = core_now.max(shard_free);
+        if shard_free > core_now {
+            SmpStats::bump(&self.stats.shard_waits);
+            self.trace.emit(
+                core as u32,
+                EventKind::ShardWait {
+                    shard: busiest_shard,
+                },
+            );
+            t0 += self.lock_handoff;
+        }
+        // One doorbell trap crossing for the whole batch; each entry
+        // then pays its operation cost *minus* the per-call trap the
+        // inner monitor charges, plus the ring dispatch overhead.
+        let mut t_end = t0 + self.trap_cost;
+        let mut results = Vec::with_capacity(batch.len());
+        let mut all_losers: BTreeSet<DomainId> = BTreeSet::new();
+        for call in batch {
+            SmpStats::bump(&self.stats.calls);
+            // Shootdown targets come from the live engine state this
+            // entry actually executes against: an earlier entry in the
+            // same batch may already have moved ownership.
+            let (_, call_losers) = self.involved_domains(&inner.engine, actor, call);
+            let before = inner.machine.cycles.now();
+            let result = inner.call(core, *call);
+            let dt = inner.machine.cycles.since(before);
+            t_end += dt.saturating_sub(self.trap_cost) + self.ring_dispatch_cost;
+            SmpStats::bump(&self.stats.mutations);
+            if result.is_ok() {
+                all_losers.extend(call_losers);
+            }
+            results.push(result);
+        }
+        let gen = inner.engine.generation();
+        if gen != self.live_gen.load(Ordering::Acquire) {
+            self.reads.publish(gen, Arc::new(inner.engine.clone()));
+        }
+        self.live_gen.store(gen, Ordering::Release);
+        self.clocks.advance_to(core, t_end);
+        for s in &shards {
+            s.clock.advance_to(t_end);
+        }
+        SmpStats::bump(&self.stats.ring_batches);
+        drop(inner);
+        drop(state);
+        // The shard guards must go before the sync below: it takes other
+        // cores' state locks (rank below the shards), and a core waiting
+        // on one of our shards could be holding its own state lock.
+        drop(guards);
+        if !all_losers.is_empty() {
+            if let Some(pending_cell) = self.pending.get(core) {
+                let mut pending = mutex_lock(pending_cell);
+                for d in all_losers {
+                    SmpStats::bump(&self.stats.shootdowns_requested);
+                    if pending.insert(d) {
+                        self.trace
+                            .emit(core as u32, EventKind::ShootQueue { domain: d.0 });
+                    }
+                }
+            }
+        }
+        // A batch is an explicit flush boundary: its invalidations are
+        // already coalesced, so deliver the shootdown round now instead
+        // of leaving the gather window open.
+        self.sync_shootdowns(core);
+        Ok(results)
+    }
+
     /// The domains a call touches, for shard locking, plus the subset
-    /// that *loses* translations (shootdown targets). The involved set is
-    /// conservative — a superset is always safe, since the inner lock
-    /// guarantees correctness and shards only model contention — but
-    /// tight enough that distinct-domain workloads stay disjoint. The
-    /// loser set mirrors the backends' flush rule: map-only changes
-    /// (share, split, create) never shoot down; grant strips the granter,
-    /// revoke strips the subtree owners, kill strips the dead domain.
+    /// that *loses* translations (shootdown targets), all computed
+    /// against the **one** engine state the caller passes in — never a
+    /// fresh snapshot per cap, which could mix generations within a
+    /// single involved-set computation and under-compute shootdown
+    /// targets. The involved set is conservative — a superset is always
+    /// safe, since the inner lock guarantees correctness and shards only
+    /// model contention — but tight enough that distinct-domain
+    /// workloads stay disjoint. The loser set mirrors the backends'
+    /// flush rule: map-only changes (share, split, create) never shoot
+    /// down; grant strips the granter, revoke strips the subtree owners,
+    /// kill strips the dead domain.
     fn involved_domains(
         &self,
+        snap: &CapEngine,
         actor: DomainId,
         call: &MonitorCall,
     ) -> (BTreeSet<DomainId>, BTreeSet<DomainId>) {
@@ -551,13 +834,13 @@ impl ConcurrentMonitor {
         match call {
             MonitorCall::Share { cap, target, .. } => {
                 set.insert(*target);
-                if let Some(c) = self.snapshot().cap(*cap) {
+                if let Some(c) = snap.cap(*cap) {
                     set.insert(c.owner);
                 }
             }
             MonitorCall::Grant { cap, target, .. } => {
                 set.insert(*target);
-                if let Some(c) = self.snapshot().cap(*cap) {
+                if let Some(c) = snap.cap(*cap) {
                     set.insert(c.owner);
                     if matches!(c.resource, tyche_core::Resource::Memory(_)) {
                         losers.insert(c.owner);
@@ -565,8 +848,8 @@ impl ConcurrentMonitor {
                 }
             }
             MonitorCall::Revoke { cap } => {
-                // Owners across the revoked subtree, from the snapshot.
-                let snap = self.snapshot();
+                // Owners across the revoked subtree, all from the same
+                // generation.
                 let mut stack = vec![*cap];
                 while let Some(id) = stack.pop() {
                     if let Some(c) = snap.cap(id) {
@@ -592,7 +875,7 @@ impl ConcurrentMonitor {
                 set.insert(*target);
             }
             MonitorCall::Enter { cap } => {
-                if let Some(c) = self.snapshot().cap(*cap) {
+                if let Some(c) = snap.cap(*cap) {
                     if let tyche_core::Resource::Transition(t) = c.resource {
                         set.insert(t);
                     }
@@ -826,5 +1109,184 @@ mod tests {
         let sent = cm.sync_shootdowns(0);
         assert_eq!(sent, 1, "batched invalidations coalesce to one IPI");
         assert_eq!(cm.sync_shootdowns(0), 0, "pending set drained");
+    }
+
+    /// Regression test for the torn-snapshot bug: `involved_domains`
+    /// used to call `self.snapshot()` separately per cap, so a mutation
+    /// committing between the lookups could make one computation mix
+    /// two generations. The fixed signature takes the snapshot as a
+    /// parameter, which makes the result a pure function of one
+    /// generation — interleaved mutations (modeled both with a real
+    /// served call and with the corruption hooks) must not change it.
+    #[test]
+    fn involved_set_computed_at_one_generation() {
+        let (cm, doms) = smp_fixture();
+        let (d1, _) = doms[1];
+        let root = cm.with_inner(|m| m.engine.root().unwrap());
+        let snap = cm.snapshot();
+        let cap = snap
+            .caps_of(d1)
+            .iter()
+            .find(|c| matches!(c.resource, Resource::Memory(_)))
+            .map(|c| c.id)
+            .unwrap();
+        let call = MonitorCall::Revoke { cap };
+        let before = cm.involved_domains(&snap, root, &call);
+        assert!(before.0.contains(&d1), "owner of the revoked cap is involved");
+        assert!(before.1.contains(&d1), "memory revocation shoots d1 down");
+        // A mutation interleaves: the cap is revoked for real. The
+        // computation against the *held* snapshot must not change.
+        cm.serve(0, call).unwrap();
+        let after = cm.involved_domains(&snap, root, &call);
+        assert_eq!(before, after, "one snapshot in => one generation out");
+        // Same property under the corruption hooks: tampering a clone
+        // (the interleaved-mutation stand-in the pre-fix code could
+        // have observed mid-computation) changes the answer, proving
+        // the per-cap re-snapshot really could tear the set...
+        let mut tampered = (*snap).clone();
+        if let Some(c) = tampered.corrupt_cap(cap) {
+            c.owner = root;
+        }
+        let torn = cm.involved_domains(&tampered, root, &call);
+        assert_ne!(before, torn, "a different generation gives a different set");
+        // ...while the held snapshot still answers as before.
+        assert_eq!(cm.involved_domains(&snap, root, &call), before);
+    }
+
+    #[test]
+    fn ring_batch_amortizes_trap_crossings() {
+        let (cm, _doms) = smp_fixture();
+        let n = cm.ring_depth();
+        // Fill the ring: the first n-1 submissions queue, the n-th
+        // force-drains the whole batch.
+        for i in 0..n - 1 {
+            match cm.submit(0, MonitorCall::CreateDomain) {
+                RingOutcome::Queued(occ) => assert_eq!(occ, i + 1),
+                other => panic!("expected Queued, got {other:?}"),
+            }
+        }
+        let results = match cm.submit(0, MonitorCall::CreateDomain) {
+            RingOutcome::Drained(r) => r,
+            other => panic!("expected Drained, got {other:?}"),
+        };
+        assert_eq!(results.len(), n);
+        for r in &results {
+            assert!(matches!(r, Ok(CallResult::NewDomain { .. })), "{r:?}");
+        }
+        assert_eq!(SmpStats::get(&cm.stats.ring_batches), 1);
+        assert_eq!(SmpStats::get(&cm.stats.ring_submitted), n as u64);
+        assert_eq!(SmpStats::get(&cm.stats.mutations), n as u64);
+        let ring_cost = cm.clocks().now(0);
+        // The same calls through the single-call tier on a fresh,
+        // identical fixture: deterministic costs, so the saving is
+        // exactly (n-1) trap crossings minus the ring overhead.
+        let (cm2, _doms2) = smp_fixture();
+        for _ in 0..n {
+            cm2.serve(0, MonitorCall::CreateDomain).unwrap();
+        }
+        let solo_cost = cm2.clocks().now(0);
+        let m = tyche_hw::cycles::CostModel::default_model();
+        assert!(ring_cost < solo_cost, "batching must be cheaper");
+        assert_eq!(
+            solo_cost - ring_cost,
+            (n as u64 - 1) * m.vmexit_roundtrip
+                - n as u64 * (m.ring_enqueue + m.ring_dispatch),
+            "batch pays one trap, plus per-entry enqueue+dispatch"
+        );
+    }
+
+    #[test]
+    fn ring_drain_coalesces_shootdowns_and_syncs() {
+        let (cm, doms) = smp_fixture();
+        let (d1, cap1) = doms[1];
+        // Core 1 fast-enters its domain so a shootdown can target it.
+        cm.serve(1, MonitorCall::Enter { cap: cap1 }).unwrap();
+        let caps: Vec<CapId> = cm
+            .snapshot()
+            .caps_of(d1)
+            .iter()
+            .filter(|c| matches!(c.resource, tyche_core::Resource::Memory(_)))
+            .map(|c| c.id)
+            .collect();
+        assert!(!caps.is_empty());
+        for cap in caps {
+            match cm.submit(0, MonitorCall::Revoke { cap }) {
+                RingOutcome::Queued(_) => {}
+                other => panic!("expected Queued, got {other:?}"),
+            }
+        }
+        let results = cm.ring_doorbell(0);
+        assert!(results.iter().all(Result::is_ok), "{results:?}");
+        // The drain is its own flush boundary: the coalesced IPI went
+        // out with the batch, nothing is left to sync.
+        assert_eq!(SmpStats::get(&cm.stats.ipis_sent), 1);
+        assert_eq!(cm.sync_shootdowns(0), 0, "gather window already closed");
+        assert!(cm.ring_doorbell(0).is_empty(), "ring fully drained");
+    }
+
+    #[test]
+    fn ring_refused_while_fast_entered() {
+        let (cm, doms) = smp_fixture();
+        let (_, cap0) = doms[0];
+        cm.serve(0, MonitorCall::Enter { cap: cap0 }).unwrap();
+        match cm.submit(0, MonitorCall::CreateDomain) {
+            RingOutcome::Queued(1) => {}
+            other => panic!("expected Queued(1), got {other:?}"),
+        }
+        let results = cm.ring_doorbell(0);
+        assert_eq!(results, vec![Err(Status::Denied)]);
+        assert!(cm.ring_doorbell(0).is_empty(), "refused batch is not requeued");
+        cm.serve(0, MonitorCall::Return).unwrap();
+        cm.submit(0, MonitorCall::CreateDomain);
+        let retried = cm.ring_doorbell(0);
+        assert!(matches!(retried.first(), Some(Ok(CallResult::NewDomain { .. }))));
+    }
+
+    #[test]
+    fn ring_results_in_submission_order_and_inline_tiers() {
+        let (cm, doms) = smp_fixture();
+        let (d1, _) = doms[1];
+        // Read-tier calls bypass the ring entirely.
+        match cm.submit(0, MonitorCall::Enumerate) {
+            RingOutcome::Completed(Ok(CallResult::Count(_))) => {}
+            other => panic!("expected inline Completed, got {other:?}"),
+        }
+        cm.submit(0, MonitorCall::CreateDomain);
+        cm.submit(
+            0,
+            MonitorCall::MakeTransition {
+                target: d1,
+                policy: RevocationPolicy::NONE,
+            },
+        );
+        let results = cm.ring_doorbell(0);
+        assert_eq!(results.len(), 2, "inline enumerate never entered the ring");
+        assert!(matches!(results[0], Ok(CallResult::NewDomain { .. })), "{results:?}");
+        assert!(matches!(results[1], Ok(CallResult::Cap(_))), "{results:?}");
+    }
+
+    #[test]
+    fn enumerate_pins_epoch_across_publication_storm() {
+        let (cm, _doms) = smp_fixture();
+        // A storm of committed mutations publishes a snapshot each; with
+        // no reader pinned they reclaim as they retire.
+        for _ in 0..8 {
+            cm.serve(0, MonitorCall::CreateDomain).unwrap();
+        }
+        assert!(cm.epochs().published() >= 8);
+        assert_eq!(cm.epochs().retired_len(), 0, "no pins => retirees reclaimed");
+        // A pinned reader holds the horizon while further publications
+        // displace slots under it.
+        let pin = cm.epochs().pin(1);
+        let view = cm.snapshot();
+        let doms_before = view.domains().count();
+        for _ in 0..8 {
+            cm.serve(0, MonitorCall::CreateDomain).unwrap();
+        }
+        assert!(cm.epochs().retired_len() > 0, "pin defers reclamation");
+        assert_eq!(view.domains().count(), doms_before, "pinned view is stable");
+        drop(pin);
+        cm.epochs().reclaim();
+        assert_eq!(cm.epochs().retired_len(), 0);
     }
 }

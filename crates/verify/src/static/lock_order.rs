@@ -3,11 +3,12 @@
 //! DESIGN.md fixes one global acquisition order for every sleeping lock
 //! in the monitor:
 //!
-//! > per-core state → domain shards (ascending index) → inner engine →
-//! > pending-shootdown set
+//! > submission ring → per-core state → domain shards (ascending index)
+//! > → inner engine → pending-shootdown set
 //!
-//! plus the leaf-level snapshot cache and trace-sink locks that sit
-//! after the engine. This module is that sentence made machine-checked:
+//! plus the leaf-level epoch read-side locks (snapshot slots, retired
+//! list) and trace-sink locks that sit after the engine. This module is
+//! that sentence made machine-checked:
 //! every guard acquisition parsed out of the TCB is classified into a
 //! ranked class, and an acquisition of a lower-ranked (or same-ranked)
 //! class while a guard is held is a finding — directly in a body, or
@@ -28,19 +29,25 @@ use std::collections::BTreeMap;
 /// The ranked lock classes, lowest-first. The rank order *is* the legal
 /// acquisition order.
 pub const HIERARCHY: &[(&str, u8)] = &[
-    ("core-state", 0),
-    ("domain-shard", 1),
-    ("engine-inner", 2),
-    ("pending-shootdown", 3),
-    ("snapshot-cache", 4),
-    ("trace-lanes", 5),
-    ("trace-lane", 6),
-    ("trace-spill-log", 7),
+    ("submission-ring", 0),
+    ("core-state", 1),
+    ("domain-shard", 2),
+    ("engine-inner", 3),
+    ("pending-shootdown", 4),
+    ("snapshot-cache", 5),
+    ("epoch-retired", 6),
+    ("trace-lanes", 7),
+    ("trace-lane", 8),
+    ("trace-spill-log", 9),
 ];
 
 /// Substring → class rules, checked in order against the argument text
-/// and then the statement context. First match wins.
+/// and then the statement context. First match wins — `ring` and
+/// `retired` come first so ring cells and the epoch retired list are
+/// never swallowed by the broader patterns below.
 const PATTERNS: &[(&str, &str)] = &[
+    ("ring", "submission-ring"),
+    ("retired", "epoch-retired"),
     ("shard", "domain-shard"),
     ("core", "core-state"),
     ("slot", "core-state"),

@@ -51,6 +51,14 @@ pub const SERVING_TIERS: &[(&str, &[&str])] = &[
             "ConcurrentMonitor::sync_shootdowns",
         ],
     ),
+    (
+        "smp-ring",
+        &[
+            "ConcurrentMonitor::submit",
+            "ConcurrentMonitor::ring_doorbell",
+            "ConcurrentMonitor::serve_batch",
+        ],
+    ),
 ];
 
 /// Lint output: findings plus the per-entry evidence the report keeps.

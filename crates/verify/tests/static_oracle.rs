@@ -152,6 +152,64 @@ impl Serving {
     assert!(findings[0].message.contains("twice"), "{}", findings[0].message);
 }
 
+/// The epoch read side's lock shape: the submission ring first (and
+/// dropped), then core state, the engine, a publish into a snapshot
+/// slot, and the retired list last. Everything the extended hierarchy
+/// allows.
+const EPOCH_LOCKS_OK: &str = r#"
+impl Reads {
+    pub fn drain_and_publish(&self, gen: u64) {
+        let queued = mutex_lock(&self.ring_cell);
+        drop(queued);
+        let state = mutex_lock(&self.core_slot);
+        let eng = write_lock(&self.engine);
+        let published = write_lock(&self.snap_cell);
+        drop(published);
+        let retired = mutex_lock(&self.retired);
+        consume(&state, &eng, &retired);
+    }
+}
+"#;
+
+#[test]
+fn conforming_epoch_and_ring_locks_pass() {
+    let model =
+        WorkspaceModel::from_sources(&[("core", "crates/core/src/epoch_ok.rs", EPOCH_LOCKS_OK)]);
+    let findings = lock_order::check(&model);
+    assert!(findings.is_empty(), "clean epoch fixture flagged: {findings:?}");
+}
+
+#[test]
+fn ring_and_retired_inversions_are_caught() {
+    let src = r#"
+impl Reads {
+    pub fn ring_after_core(&self) {
+        let state = mutex_lock(&self.core_slot);
+        let queued = mutex_lock(&self.ring_cell);
+        consume(&state, &queued);
+    }
+    pub fn slot_after_retired(&self) {
+        let retired = mutex_lock(&self.retired);
+        let published = write_lock(&self.snap_cell);
+        consume(&retired, &published);
+    }
+}
+"#;
+    let model = WorkspaceModel::from_sources(&[("core", "crates/core/src/epoch_bad.rs", src)]);
+    let findings = lock_order::check(&model);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(
+        findings.iter().any(|f| f.message.contains("acquires `submission-ring`")
+            && f.message.contains("`core-state`")),
+        "ring-after-core inversion missed: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.message.contains("acquires `snapshot-cache`")
+            && f.message.contains("`epoch-retired`")),
+        "slot-after-retired inversion missed: {findings:?}"
+    );
+}
+
 // ------------------------------------------------------------- panic reach
 
 const ENTRIES: &[(&str, &[&str])] = &[("TestEntry", &["Gate::entry"])];
@@ -370,6 +428,56 @@ impl Stats {
         under.findings
     );
     assert!(atomics::check(&model, 1).findings.is_empty());
+}
+
+/// The epoch reclamation code's atomics shape: SeqCst epoch bumps and
+/// reader-pin traffic, Acquire/Release on the head pointer, and no
+/// Relaxed anywhere — so it must pass with a zero relaxed budget.
+const EPOCH_ATOMICS_OK: &str = r#"
+impl EpochReadSide {
+    pub fn publish(&self, next: usize) {
+        let epoch_now = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let old_head = self.head.load(Ordering::Acquire);
+        self.head.store(next, Ordering::Release);
+        self.displaced.store(epoch_now, Ordering::SeqCst);
+    }
+    pub fn grace_elapsed(&self, displaced_at: u64) -> bool {
+        self.readers.load(Ordering::SeqCst) > displaced_at
+    }
+}
+"#;
+
+#[test]
+fn conforming_reclamation_atomics_pass_with_zero_budget() {
+    let model =
+        WorkspaceModel::from_sources(&[("core", "crates/core/src/epoch.rs", EPOCH_ATOMICS_OK)]);
+    let result = atomics::check(&model, 0);
+    assert!(result.findings.is_empty(), "{:?}", result.findings);
+}
+
+#[test]
+fn relaxed_reclamation_without_annotation_is_caught() {
+    let src = r#"
+impl EpochReadSide {
+    pub fn reclaim(&self) {
+        let horizon = self.readers.load(Ordering::Relaxed);
+        self.reclaimed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+"#;
+    let model = WorkspaceModel::from_sources(&[("core", "crates/core/src/epoch.rs", src)]);
+    let result = atomics::check(&model, 0);
+    let unexcused: Vec<_> = result
+        .findings
+        .iter()
+        .filter(|f| f.message.contains("without a `// verify: relaxed-ok"))
+        .collect();
+    assert_eq!(
+        unexcused.len(),
+        2,
+        "both Relaxed reclamation ops must be caught: {:?}",
+        result.findings
+    );
 }
 
 // --------------------------------------------------------- trace complete
