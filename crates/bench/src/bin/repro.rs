@@ -16,8 +16,13 @@
 //! 2-thread SMP smoke pass). `repro bench --smp [--json] [--smoke]`
 //! runs the SMP serving suite instead — concurrent hypercall throughput
 //! through the sharded `ConcurrentMonitor` vs a mutex around the whole
-//! monitor — and `--json` writes `BENCH_smp.json`. `bench` is
-//! explicit-only: it is not part of the no-argument full run.
+//! monitor — and `--json` writes `BENCH_smp.json`. `repro bench
+//! --scale [--json] [--smoke]` sweeps domain populations 1k → 1M
+//! (create/attest/enter/revoke storms, deep derivation chains,
+//! steady-state neighbor latency, bytes-per-domain) and `--json`
+//! writes `BENCH_scale.json`; `--smoke` truncates the sweep at 100k.
+//! `bench` is explicit-only: it is not part of the no-argument full
+//! run.
 //!
 //! `repro trace [--json] [--smoke]` runs traced fuzz campaigns over the
 //! trace seed corpus, drains each machine's event log, replays it
@@ -55,7 +60,9 @@ fn main() {
         // BENCH_smp.json).
         let json = args.iter().any(|a| a == "--json");
         let smoke = args.iter().any(|a| a == "--smoke");
-        if args.iter().any(|a| a == "--smp") {
+        if args.iter().any(|a| a == "--scale") {
+            bench_scale(json, smoke);
+        } else if args.iter().any(|a| a == "--smp") {
             bench_smp(json, smoke);
         } else {
             bench_hotpath(json, smoke);
@@ -1955,6 +1962,358 @@ fn bench_flush_policy(iters: usize, traced: bool) -> HotpathEntry {
         before: obfuscate,
         after: none,
         detail: vec![("zero_cycles", zero)],
+    }
+}
+
+// ----------------------------------------------------------------------
+// `repro bench --scale` — population sweep 1k → 1M (BENCH_scale.json)
+// ----------------------------------------------------------------------
+
+/// Measured figures for one population size in the scale sweep. All
+/// latencies are wall ns per operation; the engine-level queries charge
+/// no simulated cycles.
+struct ScaleEntry {
+    population: usize,
+    create_ns: u64,
+    share_ns: u64,
+    attest_ns: u64,
+    enter_ns: u64,
+    caps_of_ns: u64,
+    enumerate_ns: u64,
+    refcount_ns: u64,
+    chain_depth: usize,
+    chain_build_ns: u64,
+    chain_revoke_ns: u64,
+    revoke_storm_ns: u64,
+    bytes_per_domain: u64,
+    revoked_recorded: usize,
+    revoked_dropped: u64,
+}
+
+impl ScaleEntry {
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"population\": {}, \"create_ns_per_op\": {}, \
+             \"share_ns_per_op\": {}, \"attest_ns_per_op\": {}, \
+             \"enter_ns_per_op\": {}, \
+             \"neighbor\": {{\"caps_of_ns\": {}, \"enumerate_ns\": {}, \
+             \"refcount_ns\": {}}}, \
+             \"deep_chain\": {{\"depth\": {}, \"build_ns_per_link\": {}, \
+             \"cascade_revoke_ns_per_link\": {}}}, \
+             \"revoke_storm_ns_per_op\": {}, \"bytes_per_domain\": {}, \
+             \"revoked_log\": {{\"recorded\": {}, \"dropped\": {}}}}}",
+            self.population,
+            self.create_ns,
+            self.share_ns,
+            self.attest_ns,
+            self.enter_ns,
+            self.caps_of_ns,
+            self.enumerate_ns,
+            self.refcount_ns,
+            self.chain_depth,
+            self.chain_build_ns,
+            self.chain_revoke_ns,
+            self.revoke_storm_ns,
+            self.bytes_per_domain,
+            self.revoked_recorded,
+            self.revoked_dropped,
+        )
+    }
+}
+
+/// Wall ns per operation since `t0` over `ops` operations.
+fn scale_per_op(t0: Instant, ops: usize) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos() / ops.max(1) as u128).unwrap_or(u64::MAX)
+}
+
+/// One population point of the sweep: grows `n` tenant domains (one
+/// 4 KiB window each), storms create/attest/enter, measures steady-state
+/// neighbor latency on a fixed sample while the full population is
+/// resident, builds and cascade-revokes a `depth`-deep derivation
+/// chain, then kills the whole population (the revoke storm that has to
+/// stay within a small constant of the 1k per-op cost). Effects are
+/// drained every 4096 mutations inside the timed loops — the amortized
+/// drain is part of the realistic storm cost at every population, so
+/// the comparison across sizes stays fair.
+fn scale_population(n: usize, neighbors: usize, depth: usize) -> ScaleEntry {
+    use std::hint::black_box;
+    use tyche_core::attest::DomainReport;
+    const LANE: u64 = 0x2000;
+    const DRAIN_EVERY: usize = 4096;
+    let k = neighbors.min(n);
+    let mut e = CapEngine::new();
+    let root = e.create_root_domain();
+    let chain_base = n as u64 * LANE;
+    let ram = e
+        .endow(root, Resource::mem(0, chain_base + 0x10_0000), Rights::RWX)
+        .expect("endow ram");
+    let core_caps: Vec<(usize, CapId)> = (0..k)
+        .map(|core| {
+            let cap = e
+                .endow(root, Resource::CpuCore(core), Rights::USE)
+                .expect("endow core");
+            (core, cap)
+        })
+        .collect();
+
+    // Create storm.
+    let t0 = Instant::now();
+    let mut domains = Vec::with_capacity(n);
+    for i in 0..n {
+        let (d, _gate) = e.create_domain(root).expect("create");
+        domains.push(d);
+        if (i + 1) % DRAIN_EVERY == 0 {
+            let _ = e.drain_effects();
+        }
+    }
+    let create_ns = scale_per_op(t0, n);
+    let _ = e.drain_effects();
+
+    // Share storm: every tenant gets one page of its private lane, so
+    // the interval index holds `n` disjoint active regions.
+    let t0 = Instant::now();
+    for (i, &d) in domains.iter().enumerate() {
+        let base = i as u64 * LANE;
+        e.share(
+            root,
+            ram,
+            d,
+            Some(MemRegion::new(base, base + 0x1000)),
+            Rights::RW,
+            RevocationPolicy::NONE,
+        )
+        .expect("share lane");
+        if (i + 1) % DRAIN_EVERY == 0 {
+            let _ = e.drain_effects();
+        }
+    }
+    let share_ns = scale_per_op(t0, n);
+    let _ = e.drain_effects();
+
+    // The steady-state neighbors: an evenly-strided sample that gets a
+    // core each, an entry point, and a seal — the long-lived tenants
+    // whose latency must not degrade as the population around them
+    // grows.
+    let stride = (n / k).max(1);
+    let sampled: Vec<(usize, DomainId)> =
+        (0..k).map(|i| (i * stride, domains[i * stride])).collect();
+    for (j, &(idx, d)) in sampled.iter().enumerate() {
+        e.share(
+            root,
+            core_caps[j].1,
+            d,
+            None,
+            Rights::USE,
+            RevocationPolicy::NONE,
+        )
+        .expect("share core");
+        e.set_entry(root, d, idx as u64 * LANE).expect("set entry");
+        e.seal(root, d, SealPolicy::nestable()).expect("seal");
+    }
+    let _ = e.drain_effects();
+
+    // Attest storm over the sealed sample.
+    let iters = 8usize;
+    let t0 = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..iters {
+        for &(_, d) in &sampled {
+            sink = sink.wrapping_add(DomainReport::build(&e, d).expect("attest").resources.len());
+        }
+    }
+    black_box(sink);
+    let attest_ns = scale_per_op(t0, k * iters);
+
+    // Enter storm: a transition gate per sampled neighbor, validated on
+    // the distinct core that neighbor owns.
+    let gates: Vec<(usize, CapId)> = sampled
+        .iter()
+        .enumerate()
+        .map(|(j, &(_, d))| {
+            (
+                core_caps[j].0,
+                e.make_transition(root, d, RevocationPolicy::NONE).expect("gate"),
+            )
+        })
+        .collect();
+    let _ = e.drain_effects();
+    let iters = 32usize;
+    let t0 = Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..iters {
+        for &(core, gate) in &gates {
+            let (target, entry, _) = e.can_enter(root, gate, core).expect("enter");
+            sink = sink.wrapping_add(target.0 ^ entry);
+        }
+    }
+    black_box(sink);
+    let enter_ns = scale_per_op(t0, k * iters);
+
+    // Steady-state neighbor queries vs population: these curves must
+    // stay flat or logarithmic as `n` grows.
+    let t0 = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..iters {
+        for &(_, d) in &sampled {
+            sink = sink.wrapping_add(e.caps_of(d).len());
+        }
+    }
+    black_box(sink);
+    let caps_of_ns = scale_per_op(t0, k * iters);
+    let t0 = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..iters {
+        for &(_, d) in &sampled {
+            sink = sink.wrapping_add(e.enumerate(d).expect("enumerate").len());
+        }
+    }
+    black_box(sink);
+    let enumerate_ns = scale_per_op(t0, k * iters);
+    let t0 = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..iters {
+        for &(idx, _) in &sampled {
+            let base = idx as u64 * LANE;
+            sink = sink.wrapping_add(e.refcount_mem_full(MemRegion::new(base, base + 0x1000)).max);
+        }
+    }
+    black_box(sink);
+    let refcount_ns = scale_per_op(t0, k * iters);
+
+    // Peak-resident footprint, before anything is torn down.
+    let bytes_per_domain = (e.storage_bytes() / n.max(1)) as u64;
+
+    // Deep derivation chain: two relay domains alternately re-share one
+    // window `depth` times, then one revocation at the head cascades
+    // through every link.
+    let (relay_a, _) = e.create_domain(root).expect("relay a");
+    let (relay_b, _) = e.create_domain(root).expect("relay b");
+    let head = e
+        .share(
+            root,
+            ram,
+            relay_a,
+            Some(MemRegion::new(chain_base, chain_base + 0x1000)),
+            Rights::RW,
+            RevocationPolicy::NONE,
+        )
+        .expect("chain head");
+    let t0 = Instant::now();
+    let mut cur = head;
+    let mut owner = relay_a;
+    for i in 0..depth {
+        let target = if i % 2 == 0 { relay_b } else { relay_a };
+        cur = e
+            .share(owner, cur, target, None, Rights::RW, RevocationPolicy::NONE)
+            .expect("chain link");
+        owner = target;
+    }
+    black_box(cur);
+    let chain_build_ns = scale_per_op(t0, depth);
+    let _ = e.drain_effects();
+    let t0 = Instant::now();
+    e.revoke(root, head).expect("cascade revoke");
+    let chain_revoke_ns = scale_per_op(t0, depth + 1);
+    let _ = e.drain_effects();
+
+    // Revoke storm: kill the entire population. Sealed or not, every
+    // tenant goes through the same lineage teardown, and the slab
+    // freelists must absorb all of it without growing the arenas.
+    let t0 = Instant::now();
+    for (i, &d) in domains.iter().enumerate() {
+        e.kill(root, d).expect("kill");
+        if (i + 1) % DRAIN_EVERY == 0 {
+            let _ = e.drain_effects();
+        }
+    }
+    let revoke_storm_ns = scale_per_op(t0, n);
+    let _ = e.drain_effects();
+
+    ScaleEntry {
+        population: n,
+        create_ns,
+        share_ns,
+        attest_ns,
+        enter_ns,
+        caps_of_ns,
+        enumerate_ns,
+        refcount_ns,
+        chain_depth: depth,
+        chain_build_ns,
+        chain_revoke_ns,
+        revoke_storm_ns,
+        bytes_per_domain,
+        revoked_recorded: e.revoked_log().len(),
+        revoked_dropped: e.revoked_log().dropped(),
+    }
+}
+
+/// Runs the population sweep and (with `json`) rewrites
+/// `BENCH_scale.json` at the workspace root. `smoke` truncates the
+/// sweep at 100k domains and shortens the derivation chain for CI.
+fn bench_scale(json: bool, smoke: bool) {
+    let populations: &[usize] = if smoke {
+        &[1_000, 10_000, 100_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+    let depth = if smoke { 256 } else { 1024 };
+    let neighbors = 64;
+
+    let mut t = Table::new(
+        "BENCH — population sweep: storms and steady-state neighbor latency (wall ns/op)",
+        &[
+            "population",
+            "create",
+            "enter",
+            "enumerate",
+            "refcount",
+            "revoke storm",
+            "bytes/domain",
+        ],
+    );
+    let mut entries = Vec::new();
+    for &n in populations {
+        let e = scale_population(n, neighbors, depth);
+        t.row(&[
+            n.to_string(),
+            e.create_ns.to_string(),
+            e.enter_ns.to_string(),
+            e.enumerate_ns.to_string(),
+            e.refcount_ns.to_string(),
+            e.revoke_storm_ns.to_string(),
+            e.bytes_per_domain.to_string(),
+        ]);
+        entries.push(e);
+    }
+    t.print();
+
+    if let (Some(first), Some(last)) = (entries.first(), entries.last()) {
+        let ratio = last.revoke_storm_ns as f64 / first.revoke_storm_ns.max(1) as f64;
+        println!(
+            "revoke-storm per-op cost at {} domains is {:.2}x the {}-domain cost",
+            last.population, ratio, first.population
+        );
+    }
+
+    if json {
+        let body = entries
+            .iter()
+            .map(ScaleEntry::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let doc = format!(
+            "{{\n  \"schema\": \"tyche-bench-scale/v1\",\n  \
+             \"mode\": \"{}\",\n  \"monitor_version\": \"{}\",\n  \
+             \"neighbors\": {},\n  \"populations\": [\n{}\n  ]\n}}\n",
+            if smoke { "smoke" } else { "full" },
+            MONITOR_VERSION,
+            neighbors,
+            body
+        );
+        let path = workspace_root().join("BENCH_scale.json");
+        std::fs::write(&path, doc).expect("write BENCH_scale.json");
+        println!("wrote {}", path.display());
     }
 }
 

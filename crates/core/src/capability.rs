@@ -15,6 +15,7 @@
 use crate::ids::{CapId, DomainId};
 use crate::resource::{Resource, Rights};
 use crate::RevocationPolicy;
+use std::collections::BTreeSet;
 
 /// How a capability was derived from its parent.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -51,8 +52,11 @@ pub struct Capability {
     pub kind: CapKind,
     /// Parent in the lineage tree (`None` for root endowments).
     pub parent: Option<CapId>,
-    /// Children derived from this capability.
-    pub children: Vec<CapId>,
+    /// Children derived from this capability, in id (= creation) order.
+    /// An ordered set, not a `Vec`: a revoke storm detaches thousands of
+    /// children from one hot parent (a root endowment), and each detach
+    /// must be O(log children), not a linear retain.
+    pub children: BTreeSet<CapId>,
     /// Clean-up contract executed when this capability is revoked.
     pub policy: RevocationPolicy,
     /// Whether the capability currently conveys access. A capability is
@@ -89,7 +93,7 @@ mod tests {
             rights: Rights::RW,
             kind: CapKind::Root,
             parent: None,
-            children: vec![],
+            children: BTreeSet::new(),
             policy: RevocationPolicy::NONE,
             active: true,
         };

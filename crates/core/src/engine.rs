@@ -27,11 +27,19 @@ use crate::domain::{Domain, DomainState, SealPolicy};
 use crate::effect::Effect;
 use crate::error::CapError;
 use crate::ids::{CapId, DomainId, IdAllocator};
+use crate::interval::IntervalTree;
 use crate::refcount::{mem_refcount, RefCount};
 use crate::resource::{MemRegion, Resource, Rights};
+use crate::store::{RevokedLog, RevokedRecord, Store};
 use crate::trace::{CapOpKind, EventKind, TraceSink};
 use crate::RevocationPolicy;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Effects-buffer capacity retained across [`CapEngine::drain_effects`]
+/// calls: enough to absorb a steady-state batch without reallocating,
+/// small enough that a revoke storm's burst capacity is returned to the
+/// allocator with the drained vector.
+pub const EFFECTS_RETAIN: usize = 1024;
 
 /// A resource entry as enumerated for attestation (§3.4): resource,
 /// rights, sharing kind, and the current reference count.
@@ -52,8 +60,14 @@ pub struct EnumeratedResource {
 /// The capability engine.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CapEngine {
-    domains: BTreeMap<DomainId, Domain>,
-    caps: BTreeMap<CapId, Capability>,
+    /// Live domains, slab-backed and keyed by raw `DomainId` — `O(1)`
+    /// lookup on every hypercall path, id-ordered iteration (see
+    /// [`crate::store`]).
+    domains: Store<Domain>,
+    /// Live capabilities (active and suspended), slab-backed and keyed
+    /// by raw `CapId`. Revoked capabilities leave **no tombstone** here;
+    /// their lineage facts compact into `revoked`.
+    caps: Store<Capability>,
     ids: IdAllocator,
     effects: Vec<Effect>,
     root: Option<DomainId>,
@@ -61,17 +75,18 @@ pub struct CapEngine {
     /// times so the auditor can check seal-freeze invariants.
     op_counter: u64,
     /// Capability id → creation stamp.
-    created_at: BTreeMap<CapId, u64>,
+    created_at: Store<u64>,
     /// Domain id → seal stamp.
-    sealed_at: BTreeMap<DomainId, u64>,
+    sealed_at: Store<u64>,
     /// Owner → capability ids (active and suspended). Every mutation path
     /// keeps this in lock-step with `caps`; in debug builds the indexed
     /// queries cross-check against a full scan.
-    by_owner: BTreeMap<DomainId, BTreeSet<CapId>>,
-    /// Active memory capabilities, keyed by `(region.start, cap)` →
-    /// `(region.end, owner)`. Refcount queries range-scan this instead of
-    /// walking every capability.
-    mem_index: BTreeMap<(u64, CapId), (u64, DomainId)>,
+    by_owner: Store<BTreeSet<CapId>>,
+    /// Active memory capabilities as an augmented interval tree keyed
+    /// `(region.start, cap)` → `(region.end, owner)`. Overlap queries
+    /// prune by subtree `max_end` — `O(log n + k)` instead of scanning
+    /// every interval left of the query.
+    mem_index: IntervalTree,
     /// Non-memory resource → capability ids (active and suspended), keyed
     /// by `(type_tag, value)`. Backs `owns_core`/`owns_device`, the unit
     /// refcounts in `enumerate`, and the dangling-transition sweep in
@@ -89,6 +104,11 @@ pub struct CapEngine {
     /// path). Compares vacuously equal so engine equality — replay
     /// checks, the zero-perturbation gate — ignores what was recorded.
     trace: TraceSink,
+    /// Packed side table of revoked-capability lineage records (bounded;
+    /// compares vacuously equal like `trace`). Revocation compacts the
+    /// dead node's lineage facts here instead of leaving a tombstone in
+    /// `caps`.
+    revoked: RevokedLog,
 }
 
 impl CapEngine {
@@ -132,12 +152,12 @@ impl CapEngine {
 
     /// Looks up a domain.
     pub fn domain(&self, id: DomainId) -> Option<&Domain> {
-        self.domains.get(&id)
+        self.domains.get(id.0)
     }
 
     /// Looks up a capability.
     pub fn cap(&self, id: CapId) -> Option<&Capability> {
-        self.caps.get(&id)
+        self.caps.get(id.0)
     }
 
     /// Iterates all live domains.
@@ -157,10 +177,10 @@ impl CapEngine {
         }
         let out: Vec<&Capability> = self
             .by_owner
-            .get(&domain)
+            .get(domain.0)
             .into_iter()
             .flat_map(|ids| ids.iter())
-            .filter_map(|id| self.caps.get(id))
+            .filter_map(|id| self.caps.get(id.0))
             .collect();
         #[cfg(any(debug_assertions, feature = "paranoid-checks"))]
         {
@@ -191,12 +211,12 @@ impl CapEngine {
 
     /// Creation stamp of a capability (for the auditor).
     pub fn cap_created_at(&self, cap: CapId) -> Option<u64> {
-        self.created_at.get(&cap).copied()
+        self.created_at.get(cap.0).copied()
     }
 
     /// Seal stamp of a domain (for the auditor).
     pub fn domain_sealed_at(&self, domain: DomainId) -> Option<u64> {
-        self.sealed_at.get(&domain).copied()
+        self.sealed_at.get(domain.0).copied()
     }
 
     // ------------------------------------------------------------------
@@ -217,7 +237,7 @@ impl CapEngine {
         self.trace.emit_engine(EventKind::GenBump {
             gen: self.generation,
         });
-        self.caps.get_mut(&cap)
+        self.caps.get_mut(cap.0)
     }
 
     /// Test-only mutable access to a domain record. Poisons the indexes
@@ -229,7 +249,7 @@ impl CapEngine {
         self.trace.emit_engine(EventKind::GenBump {
             gen: self.generation,
         });
-        self.domains.get_mut(&domain)
+        self.domains.get_mut(domain.0)
     }
 
     /// Test-only override of the mutation generation (including the
@@ -244,23 +264,73 @@ impl CapEngine {
     /// Test-only override of a capability's creation stamp.
     #[doc(hidden)]
     pub fn corrupt_created_at(&mut self, cap: CapId, stamp: u64) {
-        self.created_at.insert(cap, stamp);
+        self.created_at.insert(cap.0, stamp);
     }
 
     /// Test-only override of a domain's seal stamp.
     #[doc(hidden)]
     pub fn corrupt_sealed_at(&mut self, domain: DomainId, stamp: u64) {
-        self.sealed_at.insert(domain, stamp);
+        self.sealed_at.insert(domain.0, stamp);
     }
 
     /// Drains the pending backend effects in emission order.
+    ///
+    /// The replacement buffer is pre-reserved to the drained demand,
+    /// capped at [`EFFECTS_RETAIN`]: steady-state callers skip the
+    /// first reallocations of the next batch, while a one-off
+    /// 1M-domain revoke storm does not leave a permanently ballooned
+    /// buffer behind (the storm's capacity leaves with the drained
+    /// `Vec`, which the caller drops).
     pub fn drain_effects(&mut self) -> Vec<Effect> {
-        std::mem::take(&mut self.effects)
+        let drained = std::mem::take(&mut self.effects);
+        self.effects = Vec::with_capacity(drained.len().min(EFFECTS_RETAIN));
+        drained
     }
 
     /// Number of pending effects (without draining).
     pub fn pending_effects(&self) -> usize {
         self.effects.len()
+    }
+
+    /// Current capacity of the internal effects buffer (for the
+    /// capacity-accounting tests and the scale bench's footprint row).
+    pub fn effects_capacity(&self) -> usize {
+        self.effects.capacity()
+    }
+
+    /// The packed side table of revoked-capability lineage records.
+    pub fn revoked_log(&self) -> &RevokedLog {
+        &self.revoked
+    }
+
+    /// Retained heap footprint of the engine's storage layer: the slab
+    /// stores, the interval index, the unit-resource index, the effects
+    /// buffer, and the revoked-lineage table. Capacity-based, so it
+    /// reports what the allocator actually holds; per-value heap (e.g.
+    /// a capability's `children` set) is estimated from live counts.
+    pub fn storage_bytes(&self) -> usize {
+        let children: usize = self
+            .caps
+            .values()
+            .map(|c| c.children.len() * std::mem::size_of::<CapId>() * 3 / 2)
+            .sum();
+        // BTreeMap/BTreeSet don't expose capacity; estimate nodes at
+        // ~1.5x entry payload, the textbook 2/3 B-tree fill factor.
+        let res_entries: usize = self.res_index.values().map(|s| s.len()).sum();
+        let res_bytes = (self.res_index.len() * 24 + res_entries * 8) * 3 / 2;
+        let owner_entries: usize = self.by_owner.values().map(|s| s.len()).sum();
+        let owner_bytes = owner_entries * 8 * 3 / 2;
+        self.domains.storage_bytes()
+            + self.caps.storage_bytes()
+            + self.created_at.storage_bytes()
+            + self.sealed_at.storage_bytes()
+            + self.by_owner.storage_bytes()
+            + self.mem_index.storage_bytes()
+            + self.effects.capacity() * std::mem::size_of::<Effect>()
+            + self.revoked.storage_bytes()
+            + children
+            + res_bytes
+            + owner_bytes
     }
 
     // ------------------------------------------------------------------
@@ -277,7 +347,7 @@ impl CapEngine {
         assert!(self.root.is_none(), "root domain already exists");
         let id = DomainId(self.ids.next());
         self.domains.insert(
-            id,
+            id.0,
             Domain {
                 id,
                 manager: None,
@@ -315,7 +385,7 @@ impl CapEngine {
         }
         let dom = self
             .domains
-            .get(&domain)
+            .get(domain.0)
             .ok_or(CapError::NoSuchDomain(domain))?;
         if !dom.is_alive() {
             return Err(CapError::NoSuchDomain(domain));
@@ -329,15 +399,15 @@ impl CapEngine {
             rights,
             kind: CapKind::Root,
             parent: None,
-            children: Vec::new(),
+            children: BTreeSet::new(),
             policy: RevocationPolicy::NONE,
             active: true,
         };
         self.emit_gain(&cap);
         self.index_insert(&cap);
-        self.caps.insert(id, cap);
+        self.caps.insert(id.0, cap);
         let t = self.tick();
-        self.created_at.insert(id, t);
+        self.created_at.insert(id.0, t);
         self.trace.emit_engine(EventKind::CapOp {
             op: CapOpKind::Endow,
             actor: domain.0,
@@ -356,7 +426,7 @@ impl CapEngine {
     pub fn create_domain(&mut self, manager: DomainId) -> Result<(DomainId, CapId), CapError> {
         let m = self
             .domains
-            .get(&manager)
+            .get(manager.0)
             .ok_or(CapError::NoSuchDomain(manager))?;
         if !m.is_alive() {
             return Err(CapError::NoSuchDomain(manager));
@@ -366,7 +436,7 @@ impl CapEngine {
         }
         let id = DomainId(self.ids.next());
         self.domains.insert(
-            id,
+            id.0,
             Domain {
                 id,
                 manager: Some(manager),
@@ -401,7 +471,7 @@ impl CapEngine {
         self.check_manager(actor, domain)?;
         let dom = self
             .domains
-            .get_mut(&domain)
+            .get_mut(domain.0)
             .ok_or(CapError::NoSuchDomain(domain))?;
         if dom.is_sealed() {
             return Err(CapError::SealedImmutable(domain));
@@ -431,7 +501,7 @@ impl CapEngine {
         self.check_manager(actor, domain)?;
         let dom = self
             .domains
-            .get_mut(&domain)
+            .get_mut(domain.0)
             .ok_or(CapError::NoSuchDomain(domain))?;
         if dom.is_sealed() {
             return Err(CapError::SealedImmutable(domain));
@@ -462,7 +532,7 @@ impl CapEngine {
         {
             let dom = self
                 .domains
-                .get(&domain)
+                .get(domain.0)
                 .ok_or(CapError::NoSuchDomain(domain))?;
             if dom.is_sealed() {
                 return Err(CapError::SealedImmutable(domain));
@@ -473,11 +543,11 @@ impl CapEngine {
         }
         let measurement = self.measure_config(domain, policy);
         let t = self.tick();
-        let dom = self.domains.get_mut(&domain).expect("checked above");
+        let dom = self.domains.get_mut(domain.0).expect("checked above");
         dom.state = DomainState::Sealed;
         dom.seal_policy = policy;
         dom.measurement = Some(measurement);
-        self.sealed_at.insert(domain, t);
+        self.sealed_at.insert(domain.0, t);
         self.trace.emit_engine(EventKind::CapOp {
             op: CapOpKind::Seal,
             actor: actor.0,
@@ -493,7 +563,7 @@ impl CapEngine {
     pub fn kill(&mut self, actor: DomainId, domain: DomainId) -> Result<(), CapError> {
         let dom = self
             .domains
-            .get(&domain)
+            .get(domain.0)
             .ok_or(CapError::NoSuchDomain(domain))?;
         if !dom.is_alive() {
             return Err(CapError::NoSuchDomain(domain));
@@ -514,13 +584,13 @@ impl CapEngine {
                 .collect()
         } else {
             self.by_owner
-                .get(&domain)
+                .get(domain.0)
                 .into_iter()
                 .flat_map(|ids| ids.iter().copied())
                 .collect()
         };
         for cap in owned {
-            if self.caps.contains_key(&cap) {
+            if self.caps.contains(cap.0) {
                 self.revoke_subtree(cap);
             }
         }
@@ -540,11 +610,11 @@ impl CapEngine {
                 .collect()
         };
         for cap in dangling {
-            if self.caps.contains_key(&cap) {
+            if self.caps.contains(cap.0) {
                 self.revoke_subtree(cap);
             }
         }
-        let dom = self.domains.get_mut(&domain).expect("checked above");
+        let dom = self.domains.get_mut(domain.0).expect("checked above");
         dom.state = DomainState::Dead;
         self.effects.push(Effect::DomainKilled { domain });
         self.tick();
@@ -568,7 +638,7 @@ impl CapEngine {
     pub fn quarantine(&mut self, domain: DomainId) -> Result<(), CapError> {
         let dom = self
             .domains
-            .get_mut(&domain)
+            .get_mut(domain.0)
             .ok_or(CapError::NoSuchDomain(domain))?;
         if !dom.is_alive() {
             return Err(CapError::NoSuchDomain(domain));
@@ -590,7 +660,7 @@ impl CapEngine {
                     .collect()
             };
             for cap in transitions {
-                if self.caps.get(&cap).map(|c| c.active).unwrap_or(false) {
+                if self.caps.get(cap.0).map(|c| c.active).unwrap_or(false) {
                     self.set_cap_active(cap, false);
                 }
             }
@@ -637,7 +707,7 @@ impl CapEngine {
         // A partial grant would leave the granter with fragmented access;
         // the engine keeps grant whole-capability and offers split().
         if let Some(s) = sub {
-            let c = self.caps.get(&cap).ok_or(CapError::NoSuchCap(cap))?;
+            let c = self.caps.get(cap.0).ok_or(CapError::NoSuchCap(cap))?;
             match c.resource.as_mem() {
                 Some(region) if region == s => {}
                 Some(_) => return Err(CapError::OutOfRange),
@@ -675,7 +745,7 @@ impl CapEngine {
         cap: CapId,
         at: u64,
     ) -> Result<(CapId, CapId), CapError> {
-        let c = self.caps.get(&cap).ok_or(CapError::NoSuchCap(cap))?;
+        let c = self.caps.get(cap.0).ok_or(CapError::NoSuchCap(cap))?;
         if c.owner != actor {
             return Err(CapError::NotOwner { cap, actor });
         }
@@ -727,7 +797,7 @@ impl CapEngine {
     /// guaranteed even under circular domain-level sharing because lineage
     /// is a tree.
     pub fn revoke(&mut self, actor: DomainId, cap: CapId) -> Result<(), CapError> {
-        let c = self.caps.get(&cap).ok_or(CapError::NoSuchCap(cap))?;
+        let c = self.caps.get(cap.0).ok_or(CapError::NoSuchCap(cap))?;
         // The granter may always take a capability back; this also covers
         // owners revoking their own carved pieces.
         let mut authorized = c.granter == actor;
@@ -743,7 +813,7 @@ impl CapEngine {
                 if hops > self.caps.len() {
                     return Err(CapError::NoSuchCap(p));
                 }
-                let pc = self.caps.get(&p).ok_or(CapError::NoSuchCap(p))?;
+                let pc = self.caps.get(p.0).ok_or(CapError::NoSuchCap(p))?;
                 if pc.owner == actor {
                     authorized = true;
                     break;
@@ -784,7 +854,7 @@ impl CapEngine {
         }
         let t = self
             .domains
-            .get(&target)
+            .get(target.0)
             .ok_or(CapError::NoSuchDomain(target))?;
         if !t.is_alive() {
             return Err(CapError::NoSuchDomain(target));
@@ -796,7 +866,7 @@ impl CapEngine {
         }
         let a = self
             .domains
-            .get(&actor)
+            .get(actor.0)
             .ok_or(CapError::NoSuchDomain(actor))?;
         if a.is_sealed() && !a.seal_policy.allow_child_domains {
             return Err(CapError::SealedImmutable(actor));
@@ -810,14 +880,14 @@ impl CapEngine {
             rights: Rights::USE,
             kind: CapKind::Root,
             parent: None,
-            children: Vec::new(),
+            children: BTreeSet::new(),
             policy,
             active: true,
         };
         self.index_insert(&capability);
-        self.caps.insert(id, capability);
+        self.caps.insert(id.0, capability);
         let t = self.tick();
-        self.created_at.insert(id, t);
+        self.created_at.insert(id.0, t);
         self.trace.emit_engine(EventKind::CapOp {
             op: CapOpKind::Transition,
             actor: actor.0,
@@ -841,7 +911,7 @@ impl CapEngine {
         cap: CapId,
         core: usize,
     ) -> Result<(DomainId, u64, RevocationPolicy), CapError> {
-        let c = self.caps.get(&cap).ok_or(CapError::NoSuchCap(cap))?;
+        let c = self.caps.get(cap.0).ok_or(CapError::NoSuchCap(cap))?;
         if c.owner != actor {
             return Err(CapError::NotOwner { cap, actor });
         }
@@ -857,7 +927,7 @@ impl CapEngine {
         }
         let dom = self
             .domains
-            .get(&target)
+            .get(target.0)
             .ok_or(CapError::NoSuchDomain(target))?;
         if !dom.is_alive() {
             return Err(CapError::NoSuchDomain(target));
@@ -888,7 +958,7 @@ impl CapEngine {
             .get(&(1, core as u64))
             .into_iter()
             .flat_map(|ids| ids.iter())
-            .filter_map(|id| self.caps.get(id))
+            .filter_map(|id| self.caps.get(id.0))
             .any(|c| c.owner == domain && c.active && c.rights.can_use());
         #[cfg(any(debug_assertions, feature = "paranoid-checks"))]
         assert_eq!(
@@ -920,7 +990,7 @@ impl CapEngine {
             .get(&(2, u64::from(device)))
             .into_iter()
             .flat_map(|ids| ids.iter())
-            .filter_map(|id| self.caps.get(id))
+            .filter_map(|id| self.caps.get(id.0))
             .any(|c| c.owner == domain && c.active && c.rights.can_use());
         #[cfg(any(debug_assertions, feature = "paranoid-checks"))]
         assert_eq!(
@@ -955,7 +1025,7 @@ impl CapEngine {
         let out: Vec<(DomainId, MemRegion)> = self
             .mem_index
             .iter()
-            .map(|(&(start, _), &(end, owner))| (owner, MemRegion::new(start, end)))
+            .map(|e| (e.owner, MemRegion::new(e.start, e.end)))
             .collect();
         #[cfg(any(debug_assertions, feature = "paranoid-checks"))]
         {
@@ -987,14 +1057,15 @@ impl CapEngine {
         if self.indexes_poisoned {
             return self.refcount_mem_full_scan(region);
         }
-        // Keys with start >= region.end cannot overlap; of the rest, keep
-        // intervals with end > region.start. `mem_refcount` ignores
-        // non-overlapping entries, so pruning is sound.
+        // The interval tree prunes subtrees by `max_end`, visiting only
+        // intervals that actually overlap `region` (plus the O(log n)
+        // search spine). `mem_refcount` ignores non-overlapping entries,
+        // so the tighter candidate set is sound.
         let coverage: Vec<(DomainId, MemRegion)> = self
             .mem_index
-            .range(..(region.end, CapId(0)))
-            .filter(|&(_, &(end, _))| end > region.start)
-            .map(|(&(start, _), &(end, owner))| (owner, MemRegion::new(start, end)))
+            .overlapping(region.start, region.end)
+            .into_iter()
+            .map(|e| (e.owner, MemRegion::new(e.start, e.end)))
             .collect();
         let out = mem_refcount(&coverage, region);
         #[cfg(any(debug_assertions, feature = "paranoid-checks"))]
@@ -1047,22 +1118,26 @@ impl CapEngine {
     ) -> Result<Vec<EnumeratedResource>, CapError> {
         let dom = self
             .domains
-            .get(&domain)
+            .get(domain.0)
             .ok_or(CapError::NoSuchDomain(domain))?;
         if !dom.is_alive() {
             return Err(CapError::NoSuchDomain(domain));
         }
+        // The scan twin prices refcounts against the full coverage list;
+        // the indexed path answers each one from a pruned overlap query
+        // instead, so enumerating one tenant stays O(own · log n) no
+        // matter how many unrelated domains are resident.
         let coverage = if use_index {
-            self.active_mem_coverage()
+            Vec::new()
         } else {
             self.active_mem_coverage_scan()
         };
         let own: Vec<&Capability> = if use_index {
             self.by_owner
-                .get(&domain)
+                .get(domain.0)
                 .into_iter()
                 .flat_map(|ids| ids.iter())
-                .filter_map(|id| self.caps.get(id))
+                .filter_map(|id| self.caps.get(id.0))
                 .filter(|c| c.active)
                 .collect()
         } else {
@@ -1075,6 +1150,15 @@ impl CapEngine {
             .into_iter()
             .map(|c| {
                 let refcount = match c.resource {
+                    Resource::Memory(r) if use_index => {
+                        let local: Vec<(DomainId, MemRegion)> = self
+                            .mem_index
+                            .overlapping(r.start, r.end)
+                            .into_iter()
+                            .map(|e| (e.owner, MemRegion::new(e.start, e.end)))
+                            .collect();
+                        mem_refcount(&local, r)
+                    }
                     Resource::Memory(r) => mem_refcount(&coverage, r),
                     Resource::Transition(_) => RefCount { max: 1, min: 1 },
                     _ => {
@@ -1103,7 +1187,7 @@ impl CapEngine {
                 .and_then(|key| self.res_index.get(&key))
                 .into_iter()
                 .flat_map(|ids| ids.iter())
-                .filter_map(|id| self.caps.get(id))
+                .filter_map(|id| self.caps.get(id.0))
                 .filter(|k| k.active)
                 .map(|k| k.owner)
                 .collect()
@@ -1135,13 +1219,18 @@ impl CapEngine {
     /// Registers a capability in the secondary indexes. Must be called
     /// for every capability inserted into `caps`.
     fn index_insert(&mut self, cap: &Capability) {
-        self.by_owner.entry(cap.owner).or_default().insert(cap.id);
+        if let Some(ids) = self.by_owner.get_mut(cap.owner.0) {
+            ids.insert(cap.id);
+        } else {
+            self.by_owner
+                .insert(cap.owner.0, BTreeSet::from([cap.id]));
+        }
         if let Some(key) = Self::res_key(&cap.resource) {
             self.res_index.entry(key).or_default().insert(cap.id);
         }
         if cap.active {
             if let Some(r) = cap.resource.as_mem() {
-                self.mem_index.insert((r.start, cap.id), (r.end, cap.owner));
+                self.mem_index.insert(r.start, cap.id, r.end, cap.owner);
             }
         }
     }
@@ -1149,11 +1238,14 @@ impl CapEngine {
     /// Removes a capability from the secondary indexes. Must be called
     /// for every capability removed from `caps`.
     fn index_remove(&mut self, cap: &Capability) {
-        if let Some(ids) = self.by_owner.get_mut(&cap.owner) {
+        let drained = if let Some(ids) = self.by_owner.get_mut(cap.owner.0) {
             ids.remove(&cap.id);
-            if ids.is_empty() {
-                self.by_owner.remove(&cap.owner);
-            }
+            ids.is_empty()
+        } else {
+            false
+        };
+        if drained {
+            self.by_owner.remove(cap.owner.0);
         }
         if let Some(key) = Self::res_key(&cap.resource) {
             if let Some(ids) = self.res_index.get_mut(&key) {
@@ -1164,7 +1256,7 @@ impl CapEngine {
             }
         }
         if let Some(r) = cap.resource.as_mem() {
-            self.mem_index.remove(&(r.start, cap.id));
+            self.mem_index.remove(r.start, cap.id);
         }
     }
 
@@ -1173,14 +1265,14 @@ impl CapEngine {
     /// suspension (grant/split) and reactivation (revocation of the
     /// suspending children) — both funnel through here.
     fn set_cap_active(&mut self, id: CapId, active: bool) {
-        if let Some(c) = self.caps.get_mut(&id) {
+        if let Some(c) = self.caps.get_mut(id.0) {
             c.active = active;
             let (resource, owner) = (c.resource, c.owner);
             if let Some(r) = resource.as_mem() {
                 if active {
-                    self.mem_index.insert((r.start, id), (r.end, owner));
+                    self.mem_index.insert(r.start, id, r.end, owner);
                 } else {
-                    self.mem_index.remove(&(r.start, id));
+                    self.mem_index.remove(r.start, id);
                 }
             }
         }
@@ -1191,7 +1283,7 @@ impl CapEngine {
     fn check_manager(&self, actor: DomainId, domain: DomainId) -> Result<(), CapError> {
         let dom = self
             .domains
-            .get(&domain)
+            .get(domain.0)
             .ok_or(CapError::NoSuchDomain(domain))?;
         if !dom.is_alive() {
             return Err(CapError::NoSuchDomain(domain));
@@ -1225,7 +1317,7 @@ impl CapEngine {
         if !matches!(kind, CapKind::Shared | CapKind::Granted) {
             return Err(CapError::InvalidDerivation);
         }
-        let c = self.caps.get(&cap).ok_or(CapError::NoSuchCap(cap))?;
+        let c = self.caps.get(cap.0).ok_or(CapError::NoSuchCap(cap))?;
         if c.owner != actor {
             return Err(CapError::NotOwner { cap, actor });
         }
@@ -1237,14 +1329,14 @@ impl CapEngine {
         }
         let actor_dom = self
             .domains
-            .get(&actor)
+            .get(actor.0)
             .ok_or(CapError::NoSuchDomain(actor))?;
         if actor_dom.is_sealed() && !actor_dom.seal_policy.allow_outward_sharing {
             return Err(CapError::ActorSealed(actor));
         }
         let target_dom = self
             .domains
-            .get(&target)
+            .get(target.0)
             .ok_or(CapError::NoSuchDomain(target))?;
         if !target_dom.is_alive() {
             return Err(CapError::NoSuchDomain(target));
@@ -1268,7 +1360,7 @@ impl CapEngine {
         // a second (fallible) lookup of a capability we already hold.
         let (parent_owner, parent_res) = (c.owner, c.resource);
         let child = self.insert_child(cap, target, actor, resource, rights, kind, policy)?;
-        let child_cap = self.caps.get(&child).expect("just inserted").clone();
+        let child_cap = self.caps.get(child.0).expect("just inserted").clone();
         if matches!(kind, CapKind::Shared) {
             self.emit_gain(&child_cap);
         } else {
@@ -1321,10 +1413,10 @@ impl CapEngine {
     ) -> Result<CapId, CapError> {
         let id = CapId(self.ids.next());
         self.caps
-            .get_mut(&parent)
+            .get_mut(parent.0)
             .ok_or(CapError::NoSuchCap(parent))?
             .children
-            .push(id);
+            .insert(id);
         let cap = Capability {
             id,
             owner,
@@ -1333,14 +1425,14 @@ impl CapEngine {
             rights,
             kind,
             parent: Some(parent),
-            children: Vec::new(),
+            children: BTreeSet::new(),
             policy,
             active: true,
         };
         self.index_insert(&cap);
-        self.caps.insert(id, cap);
+        self.caps.insert(id.0, cap);
         let t = self.tick();
-        self.created_at.insert(id, t);
+        self.created_at.insert(id.0, t);
         Ok(id)
     }
 
@@ -1415,13 +1507,16 @@ impl CapEngine {
         let mut order = Vec::new();
         let mut stack = vec![cap];
         while let Some(id) = stack.pop() {
-            if let Some(c) = self.caps.get(&id) {
+            if let Some(c) = self.caps.get(id.0) {
                 order.push(id);
                 stack.extend(c.children.iter().copied());
             }
         }
         // Revoke leaves-first so parents reactivate only after their
-        // granted children are gone.
+        // granted children are gone. Each node emits a bounded handful
+        // of effects; reserving the subtree size up front turns a
+        // storm's O(log) reallocation cascade into one growth step.
+        self.effects.reserve(order.len());
         for id in order.into_iter().rev() {
             self.revoke_single(id);
         }
@@ -1429,14 +1524,24 @@ impl CapEngine {
 
     /// Revokes one capability node (its children are already gone).
     fn revoke_single(&mut self, id: CapId) {
-        let Some(c) = self.caps.remove(&id) else {
+        let Some(c) = self.caps.remove(id.0) else {
             return;
         };
+        // Compact the dead node's lineage facts into the packed side
+        // table — the live table keeps no tombstone.
+        self.revoked.push(RevokedRecord {
+            cap: id,
+            parent: c.parent,
+            owner: c.owner,
+            granter: c.granter,
+            kind: c.kind,
+            revoked_at: self.op_counter,
+        });
         self.index_remove(&c);
-        self.created_at.remove(&id);
+        self.created_at.remove(id.0);
         let owner_alive = self
             .domains
-            .get(&c.owner)
+            .get(c.owner.0)
             .map(|d| d.is_alive())
             .unwrap_or(false);
         if c.active && owner_alive {
@@ -1460,8 +1565,8 @@ impl CapEngine {
         // Detach parent linkage and reactivate a granter suspended by a
         // grant, or a split parent whose pieces are all gone.
         if let Some(pid) = c.parent {
-            let reactivate = if let Some(parent) = self.caps.get_mut(&pid) {
-                parent.children.retain(|&k| k != id);
+            let reactivate = if let Some(parent) = self.caps.get_mut(pid.0) {
+                parent.children.remove(&id);
                 let should = match c.kind {
                     CapKind::Granted => true,
                     CapKind::Carved => parent.children.is_empty(),
@@ -1476,16 +1581,16 @@ impl CapEngine {
             // suspending child goes away (audit I7).
             let reactivate = reactivate
                 && !matches!(
-                    self.caps.get(&pid).map(|p| p.resource),
+                    self.caps.get(pid.0).map(|p| p.resource),
                     Some(Resource::Transition(t))
-                        if self.domains.get(&t).map(|d| d.is_quarantined()).unwrap_or(false)
+                        if self.domains.get(t.0).map(|d| d.is_quarantined()).unwrap_or(false)
                 );
             if reactivate {
                 self.set_cap_active(pid, true);
-                if let Some(parent) = self.caps.get(&pid) {
+                if let Some(parent) = self.caps.get(pid.0) {
                     let palive = self
                         .domains
-                        .get(&parent.owner)
+                        .get(parent.owner.0)
                         .map(|d| d.is_alive())
                         .unwrap_or(false);
                     if palive {
@@ -1500,7 +1605,7 @@ impl CapEngine {
     /// Computes the seal-time measurement: a hash over the canonical
     /// encoding of the domain's configuration and recorded contents.
     fn measure_config(&self, domain: DomainId, policy: SealPolicy) -> tyche_crypto::Digest {
-        let dom = self.domains.get(&domain).expect("caller checked");
+        let dom = self.domains.get(domain.0).expect("caller checked");
         let mut bytes = Vec::new();
         bytes.extend_from_slice(b"tyche-domain-v1");
         bytes.extend_from_slice(&dom.entry.unwrap_or(0).to_le_bytes());

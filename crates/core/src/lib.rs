@@ -72,10 +72,12 @@ pub mod effect;
 pub mod engine;
 pub mod error;
 pub mod ids;
+pub mod interval;
 pub mod metrics;
 pub mod refcount;
 pub mod resource;
 pub mod shared;
+pub mod store;
 pub mod trace;
 
 /// Convenient glob-import surface for downstream crates.

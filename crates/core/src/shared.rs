@@ -15,14 +15,19 @@
 //!   snapshots are retired and reclaimed only after every pinned
 //!   reader has advanced past their displacement epoch
 //!   (retire-after-grace).
-//! - **Mutations** ([`SharedEngine::mutate`]) first take the per-domain
-//!   *shard* locks of every involved domain — in ascending shard order,
-//!   the global ordering rule that makes cross-domain operations
-//!   (grant/share/revoke lock both sides) deadlock-free — and then the
-//!   engine write lock for the actual state change. The shard locks are
-//!   what serialize logically-conflicting hypercalls; the inner write
-//!   lock is held only for the (short) engine operation itself, and the
-//!   concurrent monitor's cycle model charges contention accordingly.
+//! - **Mutations** ([`SharedEngine::mutate`]) first pin the resizable
+//!   *shard table* (its `RwLock` read side, lock class `shard-table`),
+//!   then take the per-domain *shard* locks of every involved domain —
+//!   in ascending shard order, the global ordering rule that makes
+//!   cross-domain operations (grant/share/revoke lock both sides)
+//!   deadlock-free — and then the engine write lock for the actual
+//!   state change. The shard locks are what serialize
+//!   logically-conflicting hypercalls; the inner write lock is held
+//!   only for the (short) engine operation itself, and the concurrent
+//!   monitor's cycle model charges contention accordingly. Shard count
+//!   is a construction-time parameter (power-of-two mask routing) and
+//!   can be changed at runtime: see the resize protocol on
+//!   [`SharedEngine`].
 //!
 //! Each mutation is stamped with a monotonically increasing **sequence
 //! number** assigned inside the exclusive section, so a concurrent
@@ -67,9 +72,9 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuar
 use crate::engine::CapEngine;
 use crate::ids::DomainId;
 
-/// Default number of domain shards. Domains hash to shards by id modulo
-/// the shard count; more shards than plausible worker threads keeps
-/// false conflicts rare while bounding the lock table.
+/// Default number of domain shards. Domains route to shards by id AND
+/// the power-of-two shard mask; more shards than plausible worker
+/// threads keeps false conflicts rare while bounding the lock table.
 pub const SHARDS: usize = 16;
 
 /// Number of published snapshot slots in an [`EpochReadSide`]. Small on
@@ -293,11 +298,54 @@ impl EpochReadSide {
     }
 }
 
+/// The shard-lock table: the per-domain shard mutexes plus the
+/// power-of-two routing mask (`locks.len() - 1`). Swapped wholesale by
+/// [`SharedEngine::resize_shards`] under the table's write lock.
+///
+/// Shard mutexes are *stateless* — they serialize conflicting mutators
+/// but guard no data of their own — so a resize has nothing to rehash:
+/// it only needs a quiesce point where no mutator holds a shard, which
+/// is exactly the table write lock.
+struct ShardTable {
+    locks: Vec<Mutex<()>>,
+    mask: usize,
+}
+
+impl ShardTable {
+    /// Builds a table of `nshards` mutexes, rounded up to the next
+    /// power of two (min 1) so routing is a mask, not a division.
+    fn with_shards(nshards: usize) -> Self {
+        let n = nshards.max(1).next_power_of_two();
+        ShardTable {
+            locks: (0..n).map(|_| Mutex::new(())).collect(),
+            mask: n - 1,
+        }
+    }
+}
+
 /// A [`CapEngine`] shared between worker threads. See the module docs
 /// for the locking discipline.
+///
+/// ## Resize protocol
+///
+/// The shard count is a construction-time parameter
+/// ([`with_shards`](Self::with_shards), power-of-two rounded) that can
+/// be changed at runtime through [`resize_shards`](Self::resize_shards).
+/// The table lives behind its own `RwLock` — lock class `shard-table`,
+/// ranked immediately *above* per-core state and *below* the domain
+/// shards, so the mutator order is: table read lock → shard mutexes
+/// (ascending index) → engine write lock. Resizing takes the table
+/// *write* lock: that is the quiesce point — it cannot be granted while
+/// any mutator still holds a read guard (and therefore possibly a shard
+/// mutex), and once granted the old mutexes are provably unheld and can
+/// simply be dropped. Shard mutexes guard no data, so there is nothing
+/// to rehash; new routing takes effect with the new mask.
 pub struct SharedEngine {
     engine: RwLock<CapEngine>,
-    shards: Vec<Mutex<()>>,
+    /// Resizable shard-lock table. Mutators hold a read guard for the
+    /// duration of their shard acquisitions; `resize_shards` takes the
+    /// write side as its quiesce point.
+    shard_table: RwLock<ShardTable>,
     /// Generation of the engine after the most recent committed
     /// mutation; read without the engine lock to validate snapshots.
     live_gen: AtomicU64,
@@ -318,7 +366,8 @@ impl SharedEngine {
         Self::with_shards(engine, SHARDS)
     }
 
-    /// Wraps `engine` with `nshards` domain shards (at least one).
+    /// Wraps `engine` with `nshards` domain shards, rounded up to the
+    /// next power of two (at least one) so routing is `id & mask`.
     /// Shard-count is swept by the SMP benches: fewer shards means more
     /// false conflicts, more shards means a longer lock table.
     pub fn with_shards(engine: CapEngine, nshards: usize) -> Self {
@@ -326,31 +375,60 @@ impl SharedEngine {
         let snap = Arc::new(engine.clone());
         SharedEngine {
             engine: RwLock::new(engine),
-            shards: (0..nshards.max(1)).map(|_| Mutex::new(())).collect(),
+            shard_table: RwLock::new(ShardTable::with_shards(nshards)),
             live_gen: AtomicU64::new(gen),
             reads: EpochReadSide::new(gen, snap, DEFAULT_READERS),
             seq: AtomicU64::new(0),
         }
     }
 
+    /// Masks a raw domain id onto a table of `len` shards (`mask` =
+    /// `len - 1`, `len` a power of two) with a totality check: every
+    /// domain must land on an existing shard.
+    fn route(domain: DomainId, mask: usize, len: usize) -> usize {
+        let idx = (domain.0 & mask as u64) as usize;
+        debug_assert!(
+            idx < len,
+            "shard routing must be total: idx {idx} vs {len} shards"
+        );
+        idx
+    }
+
     /// The shard index a domain maps to under the default shard count.
     pub fn shard_of(domain: DomainId) -> usize {
-        (domain.0 % SHARDS as u64) as usize
+        Self::shard_of_n(domain, SHARDS)
     }
 
-    /// The shard index a domain maps to under `nshards` shards.
+    /// The shard index a domain maps to under an `nshards`-sized table
+    /// (rounded up to a power of two like the table itself).
     pub fn shard_of_n(domain: DomainId, nshards: usize) -> usize {
-        (domain.0 % nshards.max(1) as u64) as usize
+        let n = nshards.max(1).next_power_of_two();
+        Self::route(domain, n - 1, n)
     }
 
-    /// This engine's shard count.
+    /// This engine's current shard count.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        read_lock(&self.shard_table).locks.len()
     }
 
-    /// The shard index a domain maps to in *this* engine.
+    /// The shard index a domain maps to in *this* engine (under the
+    /// current table; a concurrent resize can re-route it).
     pub fn shard_index(&self, domain: DomainId) -> usize {
-        Self::shard_of_n(domain, self.shards.len())
+        let shard_tbl = read_lock(&self.shard_table);
+        Self::route(domain, shard_tbl.mask, shard_tbl.locks.len())
+    }
+
+    /// Swaps in a new shard table of `nshards` locks (power-of-two
+    /// rounded; returns the actual count). The table write lock is the
+    /// quiesce point: it is granted only when no mutator holds a read
+    /// guard, hence no shard mutex is held and the old table can be
+    /// dropped without rehashing (shard locks are stateless — see
+    /// [`ShardTable`]). In-flight mutators that routed under the old
+    /// mask have already committed; later ones route under the new one.
+    pub fn resize_shards(&self, nshards: usize) -> usize {
+        let mut shard_tbl = write_lock(&self.shard_table);
+        *shard_tbl = ShardTable::with_shards(nshards);
+        shard_tbl.locks.len()
     }
 
     /// The epoch read side (pinning, reclamation counters).
@@ -388,14 +466,21 @@ impl SharedEngine {
         domains: &[DomainId],
         f: impl FnOnce(&mut CapEngine) -> R,
     ) -> (u64, R) {
-        // Sort + dedup the shard indexes so each lock is taken once, in
-        // the global order, regardless of the caller's domain order.
-        let mut idx: Vec<usize> = domains.iter().map(|&d| self.shard_index(d)).collect();
+        // Pin the shard table (read side) for the whole exclusive
+        // section — a resize cannot swap the mask out from under the
+        // held shard guards. Then sort + dedup the shard indexes so
+        // each lock is taken once, in the global order, regardless of
+        // the caller's domain order.
+        let shard_tbl = read_lock(&self.shard_table);
+        let mut idx: Vec<usize> = domains
+            .iter()
+            .map(|&d| Self::route(d, shard_tbl.mask, shard_tbl.locks.len()))
+            .collect();
         idx.sort_unstable();
         idx.dedup();
         let _shard_guards: Vec<MutexGuard<'_, ()>> = idx
             .into_iter()
-            .filter_map(|i| self.shards.get(i))
+            .filter_map(|i| shard_tbl.locks.get(i))
             .map(mutex_lock)
             .collect();
         let mut eng = write_lock(&self.engine);
@@ -518,6 +603,56 @@ mod tests {
         let (_, r) = shared.mutate(&[root], |e| e.create_domain(root));
         r.unwrap();
         assert_eq!(shared.snapshot().domains().count(), 2);
+    }
+
+    #[test]
+    fn shard_counts_round_up_to_powers_of_two() {
+        let mut e = CapEngine::new();
+        let root = e.create_root_domain();
+        let shared = SharedEngine::with_shards(e, 7);
+        assert_eq!(shared.shard_count(), 8, "7 rounds up to 8");
+        // Mask routing agrees with the pure helper at the rounded count.
+        for raw in [0u64, 1, 7, 8, 9, 1023] {
+            assert_eq!(
+                shared.shard_index(DomainId(raw)),
+                SharedEngine::shard_of_n(DomainId(raw), 7)
+            );
+        }
+        let (_, r) = shared.mutate(&[root], |e| e.create_domain(root));
+        r.unwrap();
+    }
+
+    #[test]
+    fn resize_rebuilds_table_and_keeps_mutations_linearized() {
+        let (shared, root, _ram) = seeded();
+        let shared = Arc::new(shared);
+        assert_eq!(shared.shard_count(), SHARDS);
+        // Concurrent mutators race a stream of resizes; every mutation
+        // must still commit exactly once under a consistent table.
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        if t == 0 && i % 10 == 0 {
+                            s.resize_shards([8, 16, 32, 64][(i / 10) % 4]);
+                        }
+                        let (_, r) = s.mutate(&[root], |e| e.create_domain(root));
+                        r.unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(shared.resize_shards(64), 64);
+        assert_eq!(shared.shard_count(), 64);
+        let shared = Arc::try_unwrap(shared).ok().expect("threads joined");
+        assert_eq!(shared.mutations(), 200);
+        let engine = shared.into_inner();
+        assert_eq!(engine.domains().count(), 201);
+        assert!(crate::audit::audit(&engine).is_empty());
     }
 
     #[test]

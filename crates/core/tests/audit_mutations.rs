@@ -78,7 +78,7 @@ fn lineage_cycle_is_reported() {
     assert!(audit(&e).is_empty());
 
     e.corrupt_cap(ram).unwrap().parent = Some(shared);
-    e.corrupt_cap(shared).unwrap().children.push(ram);
+    e.corrupt_cap(shared).unwrap().children.insert(ram);
     let violations = audit(&e);
     assert!(
         violations

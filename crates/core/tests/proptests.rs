@@ -212,8 +212,10 @@ proptest! {
             .map(|c| c.id)
             .collect();
         for rc in root_caps {
-            let children: Vec<CapId> =
-                e.cap(rc).map(|c| c.children.clone()).unwrap_or_default();
+            let children: Vec<CapId> = e
+                .cap(rc)
+                .map(|c| c.children.iter().copied().collect())
+                .unwrap_or_default();
             for ch in children {
                 if e.cap(ch).is_some() {
                     e.revoke(os, ch).unwrap();

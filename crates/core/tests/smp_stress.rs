@@ -12,9 +12,11 @@
 //! torn snapshot, or non-linearizable interleaving shows up as a replay
 //! divergence; any invariant break shows up in `audit()`.
 //!
-//! The seed comes from `TYCHE_STRESS_SEED` (default 1) so CI can sweep
-//! a fixed set of seeds. Run with `--features paranoid-checks` to keep
-//! the index-vs-scan differential checks hot in release builds.
+//! The seed comes from `TYCHE_STRESS_SEED` (default 1) and the shard
+//! count from `TYCHE_STRESS_SHARDS` (default [`SHARDS`]) so CI can
+//! sweep a fixed set of seeds crossed with shard counts. Run with
+//! `--features paranoid-checks` to keep the index-vs-scan differential
+//! checks hot in release builds.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,7 +24,7 @@ use std::sync::{Arc, Mutex};
 
 use tyche_core::audit::audit;
 use tyche_core::prelude::*;
-use tyche_core::shared::SharedEngine;
+use tyche_core::shared::{SharedEngine, SHARDS};
 
 const THREADS: usize = 4;
 const OPS_PER_THREAD: usize = 100;
@@ -139,11 +141,19 @@ fn seed_from_env() -> u64 {
         .unwrap_or(1)
 }
 
+fn shards_from_env() -> usize {
+    std::env::var("TYCHE_STRESS_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SHARDS)
+}
+
 #[test]
 fn concurrent_mutations_linearize_and_audit_clean() {
     let seed = seed_from_env();
+    let shards = shards_from_env();
     let (engine, _root, tenants) = setup();
-    let shared = Arc::new(SharedEngine::new(engine));
+    let shared = Arc::new(SharedEngine::with_shards(engine, shards));
     let log: Arc<Mutex<Vec<(u64, Op, String)>>> = Arc::new(Mutex::new(Vec::new()));
     let snapshot_audits = Arc::new(AtomicU64::new(0));
 
@@ -240,7 +250,7 @@ fn concurrent_mutations_linearize_and_audit_clean() {
     let final_engine = shared.into_inner();
     assert!(
         audit(&final_engine).is_empty(),
-        "final audit failed (seed {seed})"
+        "final audit failed (seed {seed}, shards {shards})"
     );
     assert!(snapshot_audits.load(Ordering::Relaxed) > 0);
 
@@ -263,7 +273,7 @@ fn concurrent_mutations_linearize_and_audit_clean() {
     assert!(audit(&replay).is_empty());
     assert_eq!(
         replay, final_engine,
-        "linearized replay does not reproduce the shared engine (seed {seed})"
+        "linearized replay does not reproduce the shared engine (seed {seed}, shards {shards})"
     );
 }
 

@@ -1,0 +1,299 @@
+//! Property tests for the arena-backed engine storage at scale.
+//!
+//! The slab [`Store`] and the interval-tree `mem_index` each keep a
+//! naive differential twin in the engine (`caps_of_scan`,
+//! `active_mem_coverage_scan`, `refcount_mem_full_scan`,
+//! `enumerate_scan`): full scans over the same state that the indexed
+//! paths answer from their structures. These properties drive
+//! randomized create/share/revoke/kill interleavings to populations of
+//! ten thousand domains — enough churn that the slab freelists recycle
+//! thousands of slots — and require the indexed answers to match the
+//! scans exactly, plus a slot-reuse/generation-tag regression so a
+//! stale handle can never alias a recycled slot (ABA).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tyche_core::audit::audit;
+use tyche_core::engine::EFFECTS_RETAIN;
+use tyche_core::interval::IntervalTree;
+use tyche_core::prelude::*;
+use tyche_core::store::Store;
+
+/// Domains per property case. Large enough that slot reuse, lineage
+/// compaction, and the interval tree's rebalancing all happen in bulk;
+/// small enough that a handful of cases stays in test-suite budget.
+const POPULATION: usize = 10_000;
+/// One 8 KiB lane per domain inside the root endowment.
+const LANE: u64 = 0x2000;
+
+/// xorshift64* — the same tiny generator the stress tests use, so the
+/// interleavings are reproducible from the proptest-chosen seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Grows a population of `POPULATION` domains under seeded churn:
+/// every domain may get a page of the root endowment shared into its
+/// lane, and a sliding window of older domains is revoked or killed as
+/// the population grows, so creation constantly reuses freed slots.
+fn churned_population(seed: u64) -> (CapEngine, DomainId, Vec<DomainId>) {
+    let mut e = CapEngine::new();
+    let root = e.create_root_domain();
+    let ram = e
+        .endow(root, Resource::mem(0, POPULATION as u64 * LANE), Rights::RWX)
+        .unwrap();
+    let mut rng = Rng::new(seed);
+    let mut live: Vec<DomainId> = Vec::new();
+    let mut shared_caps: Vec<CapId> = Vec::new();
+    for i in 0..POPULATION {
+        let (d, _gate) = e.create_domain(root).unwrap();
+        if rng.below(2) == 0 {
+            let base = i as u64 * LANE;
+            let cap = e
+                .share(
+                    root,
+                    ram,
+                    d,
+                    Some(MemRegion::new(base, base + 0x1000)),
+                    Rights::RW,
+                    RevocationPolicy::NONE,
+                )
+                .unwrap();
+            shared_caps.push(cap);
+        }
+        live.push(d);
+        // Churn: revoke a random earlier share or kill a random earlier
+        // domain, each about once per eight creations, so the slab
+        // freelists and the interval tree see constant recycling.
+        if rng.below(8) == 0 && !shared_caps.is_empty() {
+            let idx = rng.below(shared_caps.len() as u64) as usize;
+            let cap = shared_caps.swap_remove(idx);
+            if e.cap(cap).is_some() {
+                let _ = e.revoke(root, cap);
+            }
+        }
+        if rng.below(8) == 0 && live.len() > 1 {
+            let idx = rng.below(live.len() as u64 - 1) as usize;
+            let victim = live.swap_remove(idx);
+            let _ = e.kill(root, victim);
+        }
+        // Keep the drained-effects backlog bounded during the build.
+        if i % 1024 == 0 {
+            let _ = e.drain_effects();
+        }
+    }
+    (e, root, live)
+}
+
+proptest! {
+    // Each case builds a 10k-domain engine; a few seeds is plenty.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// At 10k domains with heavy slot churn, every indexed query agrees
+    /// with its naive scan twin, and the audit stays clean.
+    #[test]
+    fn indexed_queries_match_scan_twins_at_scale(seed in any::<u64>()) {
+        let (e, root, live) = churned_population(seed);
+        prop_assert!(audit(&e).is_empty());
+
+        // Whole-engine twins: the interval tree's coverage view.
+        prop_assert_eq!(e.active_mem_coverage(), e.active_mem_coverage_scan());
+
+        // Per-domain twins on a sample (plus root, the busiest owner).
+        let mut rng = Rng::new(seed ^ 0xDEAD_BEEF);
+        let mut sample: Vec<DomainId> = (0..32)
+            .filter_map(|_| {
+                if live.is_empty() {
+                    None
+                } else {
+                    Some(live[rng.below(live.len() as u64) as usize])
+                }
+            })
+            .collect();
+        sample.push(root);
+        for d in sample {
+            let indexed: Vec<CapId> = e.caps_of(d).iter().map(|c| c.id).collect();
+            let scanned: Vec<CapId> = e.caps_of_scan(d).iter().map(|c| c.id).collect();
+            prop_assert_eq!(indexed, scanned, "caps_of diverged for {:?}", d);
+            prop_assert_eq!(
+                e.enumerate(d).ok(),
+                e.enumerate_scan(d).ok(),
+                "enumerate diverged for {:?}",
+                d
+            );
+        }
+
+        // Refcount twins on random windows (interval overlap queries).
+        for _ in 0..64 {
+            let start = rng.below(POPULATION as u64) * LANE;
+            let len = (1 + rng.below(64)) * 0x1000;
+            let region = MemRegion::new(start, start + len);
+            prop_assert_eq!(
+                e.refcount_mem_full(region),
+                e.refcount_mem_full_scan(region),
+                "refcount diverged on {:?}",
+                region
+            );
+        }
+    }
+
+    /// Raw slab semantics against a `BTreeMap` model under randomized
+    /// insert/remove/reinsert interleavings: contents, id-ordered
+    /// iteration, and freelist reuse all line up, and no handle taken
+    /// before a removal ever resolves afterwards (ABA regression).
+    #[test]
+    fn store_agrees_with_map_model_and_defeats_aba(
+        seed in any::<u64>(),
+        steps in 2_000usize..4_000
+    ) {
+        let mut store: Store<u64> = Store::default();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut stale = Vec::new();
+        let mut rng = Rng::new(seed);
+        for step in 0..steps as u64 {
+            let id = rng.below(512);
+            match rng.below(3) {
+                0 => {
+                    prop_assert_eq!(store.insert(id, step), model.insert(id, step));
+                }
+                1 => {
+                    // Capture the live handle, remove, and remember the
+                    // handle as stale: it must never resolve again even
+                    // after the slot is recycled by a later insert.
+                    if let Some(h) = store.handle(id) {
+                        stale.push(h);
+                    }
+                    prop_assert_eq!(store.remove(id), model.remove(&id));
+                }
+                _ => {
+                    prop_assert_eq!(store.get(id), model.get(&id));
+                }
+            }
+        }
+        prop_assert_eq!(store.len(), model.len());
+        prop_assert!(store.iter().eq(model.iter().map(|(&k, v)| (k, v))));
+        // The arena never outgrows peak occupancy: every freed slot is
+        // reusable, so slots ≤ live + free.
+        prop_assert_eq!(store.slot_count(), store.len() + store.free_slots());
+        for h in stale {
+            prop_assert!(
+                store.resolve(h).is_none(),
+                "stale handle resolved after slot reuse"
+            );
+        }
+    }
+
+    /// The interval tree against a `BTreeMap` model: insert/remove/
+    /// replace interleavings at 10k+ keys preserve in-order iteration
+    /// and every overlap query.
+    #[test]
+    fn interval_tree_agrees_with_map_model(seed in any::<u64>()) {
+        let mut tree = IntervalTree::default();
+        let mut model: BTreeMap<(u64, u64), (u64, u64)> = BTreeMap::new();
+        let mut rng = Rng::new(seed);
+        for i in 0..12_000u64 {
+            let start = rng.below(1 << 20) * 0x1000;
+            let cap = CapId(rng.below(4096));
+            match rng.below(4) {
+                0 => {
+                    tree.remove(start, cap);
+                    model.remove(&(start, cap.0));
+                }
+                _ => {
+                    let end = start + (1 + rng.below(256)) * 0x1000;
+                    let owner = DomainId(i % 97);
+                    tree.insert(start, cap, end, owner);
+                    model.insert((start, cap.0), (end, owner.0));
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        prop_assert!(tree
+            .iter()
+            .map(|e| ((e.start, e.cap.0), (e.end, e.owner.0)))
+            .eq(model.iter().map(|(&k, &v)| (k, v))));
+        for _ in 0..64 {
+            let qs = rng.below(1 << 20) * 0x1000;
+            let qe = qs + (1 + rng.below(512)) * 0x1000;
+            let got: Vec<_> = tree
+                .overlapping(qs, qe)
+                .into_iter()
+                .map(|e| ((e.start, e.cap.0), (e.end, e.owner.0)))
+                .collect();
+            let want: Vec<_> = model
+                .iter()
+                .filter(|(&(s, _), &(e, _))| s < qe && e > qs)
+                .map(|(&k, &v)| (k, v))
+                .collect();
+            prop_assert_eq!(got, want, "overlap diverged on [{qs:#x}, {qe:#x})");
+        }
+    }
+}
+
+/// `drain_effects` capacity accounting: a storm that queues far more
+/// effects than the retain cap hands the whole backlog to the caller,
+/// then shrinks the internal buffer back to at most [`EFFECTS_RETAIN`]
+/// so one burst cannot pin its high-water allocation forever.
+#[test]
+fn drain_effects_returns_backlog_and_sheds_capacity() {
+    let mut e = CapEngine::new();
+    let root = e.create_root_domain();
+    let ram = e
+        .endow(root, Resource::mem(0, 8 * EFFECTS_RETAIN as u64 * 0x1000), Rights::RWX)
+        .unwrap();
+    let mut caps = Vec::new();
+    for i in 0..2 * EFFECTS_RETAIN as u64 {
+        let (d, _gate) = e.create_domain(root).unwrap();
+        let base = i * 0x1000;
+        let cap = e
+            .share(
+                root,
+                ram,
+                d,
+                Some(MemRegion::new(base, base + 0x1000)),
+                Rights::RW,
+                RevocationPolicy::ZERO,
+            )
+            .unwrap();
+        caps.push(cap);
+    }
+    for cap in caps {
+        e.revoke(root, cap).unwrap();
+    }
+    let drained = e.drain_effects();
+    assert!(
+        drained.len() > EFFECTS_RETAIN,
+        "storm should overrun the retain cap (got {})",
+        drained.len()
+    );
+    assert!(
+        e.effects_capacity() <= EFFECTS_RETAIN,
+        "drain kept a {}-element buffer after a {}-effect storm",
+        e.effects_capacity(),
+        drained.len()
+    );
+    // Steady state: small drains size the buffer to what was drained.
+    let (d, _gate) = e.create_domain(root).unwrap();
+    e.kill(root, d).unwrap();
+    let small = e.drain_effects();
+    assert!(!small.is_empty());
+    assert!(e.effects_capacity() <= EFFECTS_RETAIN);
+    // The revoke storm left its lineage in the compacted side table.
+    assert!(!e.revoked_log().is_empty() || e.revoked_log().dropped() > 0);
+}

@@ -243,14 +243,15 @@ impl ConcurrentMonitor {
     }
 
     /// Like [`new`](Self::new) with an explicit shard count (the SMP
-    /// benches sweep it).
+    /// benches sweep it). Rounded up to a power of two so routing is a
+    /// mask, matching [`SharedEngine::shard_of_n`].
     pub fn with_shards(monitor: Monitor, nshards: usize) -> Self {
         Self::with_config(monitor, nshards, Self::DEFAULT_RING_DEPTH)
     }
 
-    /// Full-control constructor: `nshards` domain shards (at least one)
-    /// and `ring_depth` (at least one) for the per-core submission
-    /// rings.
+    /// Full-control constructor: `nshards` domain shards (at least one,
+    /// rounded up to a power of two) and `ring_depth` (at least one) for
+    /// the per-core submission rings.
     pub fn with_config(monitor: Monitor, nshards: usize, ring_depth: usize) -> Self {
         let arch = monitor.arch();
         let cost = monitor.machine.cost;
@@ -274,7 +275,7 @@ impl ConcurrentMonitor {
             .collect();
         ConcurrentMonitor {
             inner: RwLock::new(monitor),
-            shards: (0..nshards.max(1))
+            shards: (0..nshards.max(1).next_power_of_two())
                 .map(|_| Shard {
                     lock: Mutex::new(()),
                     clock: CycleCounter::new(),
@@ -301,6 +302,39 @@ impl ConcurrentMonitor {
     /// Number of domain shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Rebuilds the shard table with `nshards` shards (rounded up to a
+    /// power of two) and returns the new count.
+    ///
+    /// Resize protocol (monitor side): the table is only reachable
+    /// through `&self` serving paths, so taking `&mut self` *is* the
+    /// quiesce point — no core can be mid-hypercall while the exclusive
+    /// borrow exists, and the per-core submission rings drain before the
+    /// caller can obtain it. Shard mutexes are stateless, so there is
+    /// nothing to rehash; the shard *clocks* are stateful, and every new
+    /// clock starts at the max of the old ones so discrete-event time
+    /// never runs backwards for an operation routed to a different shard
+    /// after the resize.
+    pub fn resize_shards(&mut self, nshards: usize) -> usize {
+        let floor = self
+            .shards
+            .iter()
+            .map(|s| s.clock.now())
+            .max()
+            .unwrap_or(0);
+        let n = nshards.max(1).next_power_of_two();
+        self.shards = (0..n)
+            .map(|_| {
+                let clock = CycleCounter::new();
+                clock.advance_to(floor);
+                Shard {
+                    lock: Mutex::new(()),
+                    clock,
+                }
+            })
+            .collect();
+        n
     }
 
     /// The configured submission-ring depth.

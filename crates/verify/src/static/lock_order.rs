@@ -3,8 +3,8 @@
 //! DESIGN.md fixes one global acquisition order for every sleeping lock
 //! in the monitor:
 //!
-//! > submission ring → per-core state → domain shards (ascending index)
-//! > → inner engine → pending-shootdown set
+//! > submission ring → per-core state → shard table (read) → domain
+//! > shards (ascending index) → inner engine → pending-shootdown set
 //!
 //! plus the leaf-level epoch read-side locks (snapshot slots, retired
 //! list) and trace-sink locks that sit after the engine. This module is
@@ -31,14 +31,15 @@ use std::collections::BTreeMap;
 pub const HIERARCHY: &[(&str, u8)] = &[
     ("submission-ring", 0),
     ("core-state", 1),
-    ("domain-shard", 2),
-    ("engine-inner", 3),
-    ("pending-shootdown", 4),
-    ("snapshot-cache", 5),
-    ("epoch-retired", 6),
-    ("trace-lanes", 7),
-    ("trace-lane", 8),
-    ("trace-spill-log", 9),
+    ("shard-table", 2),
+    ("domain-shard", 3),
+    ("engine-inner", 4),
+    ("pending-shootdown", 5),
+    ("snapshot-cache", 6),
+    ("epoch-retired", 7),
+    ("trace-lanes", 8),
+    ("trace-lane", 9),
+    ("trace-spill-log", 10),
 ];
 
 /// Substring → class rules, checked in order against the argument text
@@ -48,6 +49,7 @@ pub const HIERARCHY: &[(&str, u8)] = &[
 const PATTERNS: &[(&str, &str)] = &[
     ("ring", "submission-ring"),
     ("retired", "epoch-retired"),
+    ("shard_table", "shard-table"),
     ("shard", "domain-shard"),
     ("core", "core-state"),
     ("slot", "core-state"),
