@@ -32,8 +32,13 @@
 //! recording must stay within 5% of the committed `BENCH_hotpath.json`
 //! numbers). `--json` writes `TRACE.json` at the workspace root.
 
+use std::path::PathBuf;
 use std::time::Instant;
+use tyche_bench::harness::{self, Family, MergedScenario};
+use tyche_bench::histogram::Histogram;
+use tyche_bench::json::{self, Json};
 use tyche_bench::scenarios::{self, layout};
+use tyche_bench::timing;
 use tyche_bench::{boot, fuzz, spawn_sealed, Table};
 use tyche_core::audit;
 use tyche_core::metrics::Counter;
@@ -49,27 +54,46 @@ use tyche_monitor::{
 };
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
+    // Paths (after `--out`, or the operands of `report`) must survive
+    // verbatim, so the raw argv is kept next to the lowercased view the
+    // experiment ids match against.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("harness-child") {
+        // Child mode prints exactly one JSON line on stdout for the
+        // orchestrating parent — no banner, no tables.
+        harness_child(&raw[1..]);
+        return;
+    }
+    let args: Vec<String> = raw.iter().map(|s| s.to_lowercase()).collect();
     let all = args.is_empty();
     let want = |id: &str| all || args.iter().any(|a| a == id);
 
     println!("Tyche reproduction harness — {MONITOR_VERSION}");
+    if args.first().map(String::as_str) == Some("harness") {
+        harness_main(&args, &raw);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("report") {
+        report_main(&raw[1..]);
+        return;
+    }
     if args.iter().any(|a| a == "bench") {
         // Explicit-only: the benchmarks are not part of the default
         // all-run (they exist to regenerate BENCH_hotpath.json and
         // BENCH_smp.json).
         let json = args.iter().any(|a| a == "--json");
         let smoke = args.iter().any(|a| a == "--smoke");
+        let out = flag_value(&raw, "--out");
         if args.iter().any(|a| a == "--scale") {
-            bench_scale(json, smoke);
+            bench_scale(json, smoke, out.as_deref());
         } else if args.iter().any(|a| a == "--smp") {
-            bench_smp(json, smoke);
+            bench_smp(json, smoke, out.as_deref());
         } else {
-            bench_hotpath(json, smoke);
+            bench_hotpath(json, smoke, out.as_deref());
             if smoke {
                 // The CI smoke pass also exercises the SMP serving path
                 // (2 threads, no artifact rewrite).
-                bench_smp(false, true);
+                bench_smp(false, true, None);
             }
         }
         return;
@@ -174,6 +198,335 @@ fn workspace_root() -> std::path::PathBuf {
         .and_then(|p| p.parent())
         .expect("crates/bench has a workspace root")
         .to_path_buf()
+}
+
+// ----------------------------------------------------------------------
+// `repro harness` / `repro harness-child` / `repro report`
+// ----------------------------------------------------------------------
+
+/// The value following `flag` in `args`, if any (flag matched
+/// case-insensitively, value returned verbatim).
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a.eq_ignore_ascii_case(flag))
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Where a bench artifact lands: `--out` verbatim when given, the
+/// committed workspace-root artifact for full runs, and a target/
+/// scratch path for smoke runs — smoke output never lands on a
+/// committed artifact path by default.
+fn resolve_bench_out(family: Family, smoke: bool, out: Option<&str>) -> PathBuf {
+    match out {
+        Some(p) => PathBuf::from(p),
+        None if smoke => workspace_root()
+            .join("target")
+            .join(family.artifact_name().replace(".json", ".smoke.json")),
+        None => workspace_root().join(family.artifact_name()),
+    }
+}
+
+/// `repro harness [--suite hotpath|smp|scale|all] [--smoke] [--out P]`:
+/// orchestrates the selected suites through child processes of this
+/// same binary and writes one artifact per suite.
+fn harness_main(args: &[String], raw: &[String]) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let suite = flag_value(raw, "--suite").unwrap_or_else(|| "all".into()).to_lowercase();
+    let out = flag_value(raw, "--out");
+    let families: Vec<Family> = if suite == "all" {
+        vec![Family::Hotpath, Family::Smp, Family::Scale]
+    } else {
+        match Family::parse(&suite) {
+            Some(f) => vec![f],
+            None => {
+                eprintln!("harness: unknown suite {suite:?} (hotpath|smp|scale|all)");
+                std::process::exit(2);
+            }
+        }
+    };
+    if out.is_some() && families.len() != 1 {
+        eprintln!("harness: --out needs a single --suite");
+        std::process::exit(2);
+    }
+    let exe = std::env::current_exe().expect("current exe");
+    for family in families {
+        let path = resolve_bench_out(family, smoke, out.as_deref());
+        if smoke {
+            // Preflight before any child spawns: a smoke run pointed at
+            // a committed full artifact must die instantly, not after
+            // the benches ran.
+            if let Err(e) = harness::refuse_smoke_clobber(&path) {
+                eprintln!("harness: {e}");
+                std::process::exit(1);
+            }
+        }
+        let run = harness::orchestrate(&exe, family, smoke).unwrap_or_else(|e| {
+            eprintln!("harness: {e}");
+            std::process::exit(1);
+        });
+        let doc = harness::assemble_artifact(&run, MONITOR_VERSION, &workspace_root(), "harness");
+        if let Err(e) = harness::write_artifact(&path, &doc, smoke) {
+            eprintln!("harness: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+}
+
+/// `repro report old.json new.json [--threshold PCT]` diffs two bench
+/// artifacts and exits non-zero on any regression beyond the threshold;
+/// `repro report --check <artifact>...` validates committed artifacts
+/// (schema, mode, manifest, row invariants) and exits non-zero on any
+/// failure.
+fn report_main(args: &[String]) {
+    if args.first().map(String::as_str) == Some("--check") {
+        let files = &args[1..];
+        if files.is_empty() {
+            eprintln!("usage: repro report --check <artifact.json>...");
+            std::process::exit(2);
+        }
+        let mut pass = true;
+        for file in files {
+            let doc = match std::fs::read_to_string(file).map_err(|e| e.to_string()).and_then(|s| json::parse(&s)) {
+                Ok(d) => d,
+                Err(e) => {
+                    println!("CHECK {file}: unreadable ({e})");
+                    pass = false;
+                    continue;
+                }
+            };
+            let failures = harness::check_artifact(&doc);
+            if failures.is_empty() {
+                let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("?");
+                println!("CHECK {file}: ok ({schema})");
+            } else {
+                pass = false;
+                for f in &failures {
+                    println!("CHECK {file}: FAIL — {f}");
+                }
+            }
+        }
+        if !pass {
+            std::process::exit(1);
+        }
+        return;
+    }
+    let threshold = flag_value(args, "--threshold")
+        .map(|t| t.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("report: bad --threshold {t:?}");
+            std::process::exit(2);
+        }))
+        .unwrap_or(10.0);
+    let positional: Vec<&String> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if a.eq_ignore_ascii_case("--threshold") {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .collect()
+    };
+    let [old_path, new_path] = positional.as_slice() else {
+        eprintln!("usage: repro report <old.json> <new.json> [--threshold PCT]");
+        std::process::exit(2);
+    };
+    let load = |p: &str| -> Json {
+        std::fs::read_to_string(p)
+            .map_err(|e| e.to_string())
+            .and_then(|s| json::parse(&s))
+            .unwrap_or_else(|e| {
+                eprintln!("report: cannot load {p}: {e}");
+                std::process::exit(2);
+            })
+    };
+    let outcome = harness::report_diff(&load(old_path), &load(new_path), threshold)
+        .unwrap_or_else(|e| {
+            eprintln!("report: {e}");
+            std::process::exit(2);
+        });
+    if !outcome.regressions.is_empty() {
+        println!("report: REGRESSIONS beyond {threshold}%:");
+        for r in &outcome.regressions {
+            println!("  {r}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// `repro harness-child <scenario> --id <id> key=value...` — runs one
+/// scenario in this process and prints the single child line the
+/// orchestrator consumes. Any panic or failed timing conversion kills
+/// the process, which the parent reports as a failed child.
+fn harness_child(args: &[String]) {
+    let scenario = args.first().map(String::as_str).unwrap_or_else(|| {
+        eprintln!("harness-child: missing scenario");
+        std::process::exit(2);
+    });
+    let id = flag_value(args, "--id").unwrap_or_else(|| scenario.to_string());
+    let params: Vec<(String, String)> = {
+        let mut out = Vec::new();
+        let mut rest = args.iter().skip(1); // first token is the scenario
+        while let Some(a) = rest.next() {
+            if a == "--id" {
+                rest.next(); // the id value may itself contain '='
+                continue;
+            }
+            if let Some((k, v)) = a.split_once('=') {
+                out.push((k.to_string(), v.to_string()));
+            }
+        }
+        out
+    };
+    let p = |key: &str, default: usize| -> usize {
+        harness::param(&params, key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("bad {key}={v}")))
+            .unwrap_or(default)
+    };
+    let seed = harness::param(&params, "seed")
+        .map(|v| v.parse::<u64>().unwrap_or_else(|_| panic!("bad seed={v}")))
+        .unwrap_or(1);
+
+    let (row, det, hists) = match scenario {
+        "revocation" => {
+            let (e, hist) = measure_revocation(p("fanout", 16), p("storms", 5));
+            let det = vec![
+                ("before_cycles".to_string(), e.before),
+                ("after_cycles".to_string(), e.after),
+            ];
+            (hotpath_row(&e), det, vec![("op".to_string(), hist)])
+        }
+        "capability_ops" => {
+            let (e, hist) = bench_capability_ops(p("fanout", 16), p("iters", 2000));
+            (hotpath_row(&e), Vec::new(), vec![("op".to_string(), hist)])
+        }
+        "transitions" => {
+            let (e, hist) = bench_transitions(p("iters", 2000), false);
+            let det = vec![
+                ("mediated_cycles".to_string(), e.detail[1].1),
+                ("fast_cycles".to_string(), e.detail[2].1),
+            ];
+            (hotpath_row(&e), det, vec![("op".to_string(), hist)])
+        }
+        "flush_policy" => {
+            let (e, hist) = bench_flush_policy(p("iters", 2000), false);
+            let det = vec![
+                ("obfuscate_cycles".to_string(), e.before),
+                ("none_cycles".to_string(), e.after),
+                ("zero_cycles".to_string(), e.detail[0].1),
+            ];
+            (hotpath_row(&e), det, vec![("op".to_string(), hist)])
+        }
+        "mutations" => {
+            let workload = harness::param(&params, "workload").expect("workload param");
+            let mode = match workload {
+                w if w.starts_with("hypercalls_distinct") => SmpMode::Distinct,
+                "hypercalls_contended" => SmpMode::Contended,
+                w if w.starts_with("hypercalls_contended_ring") => SmpMode::ContendedRing,
+                other => panic!("unknown workload {other:?}"),
+            };
+            // The workload name must outlive the entry; the known names
+            // are interned here rather than leaked.
+            let name: &'static str = match workload {
+                "hypercalls_distinct" => "hypercalls_distinct",
+                "hypercalls_contended" => "hypercalls_contended",
+                "hypercalls_contended_ring" => "hypercalls_contended_ring",
+                "hypercalls_distinct_shards" => "hypercalls_distinct_shards",
+                "hypercalls_contended_ringdepth" => "hypercalls_contended_ringdepth",
+                other => panic!("unknown workload {other:?}"),
+            };
+            let (e, hist) = smp_run_mutations(
+                name,
+                p("threads", 2),
+                p("pairs", 64),
+                mode,
+                p("shards", tyche_core::shared::SHARDS),
+                p("ring_depth", ConcurrentMonitor::DEFAULT_RING_DEPTH),
+            );
+            let det = smp_det(&e);
+            (smp_row(&e), det, vec![("call".to_string(), hist)])
+        }
+        "smp_transitions" => {
+            let (e, hist) = smp_run_transitions(p("threads", 2), p("roundtrips", 256));
+            let det = smp_det(&e);
+            (smp_row(&e), det, vec![("call".to_string(), hist)])
+        }
+        "population" => {
+            let (e, hists) = scale_population(p("population", 1_000), p("neighbors", 64), p("depth", 1024));
+            (scale_row(&e), Vec::new(), hists)
+        }
+        other => {
+            eprintln!("harness-child: unknown scenario {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let line = harness::ChildLine { id, seed, det, row, hists };
+    println!("{}", line.emit());
+}
+
+/// Deterministic fields of an SMP entry: exact op counts and the
+/// submission totals that do not depend on thread interleaving. Timing
+/// counters (shard waits, IPI batches, makespans) stay out — they are
+/// measurements, not invariants.
+fn smp_det(e: &SmpEntry) -> Vec<(String, u64)> {
+    let mut det = vec![("ops".to_string(), e.ops)];
+    for (k, v) in &e.detail {
+        if matches!(*k, "shootdowns_requested" | "ring_submitted" | "fast_transitions") {
+            det.push((k.to_string(), *v));
+        }
+    }
+    det
+}
+
+fn hotpath_row(e: &HotpathEntry) -> Json {
+    json::parse(e.to_json().trim()).expect("hotpath row is valid JSON")
+}
+
+fn smp_row(e: &SmpEntry) -> Json {
+    json::parse(e.to_json().trim()).expect("smp row is valid JSON")
+}
+
+fn scale_row(e: &ScaleEntry) -> Json {
+    json::parse(e.to_json().trim()).expect("scale row is valid JSON")
+}
+
+/// Wraps in-process bench results in a [`SuiteRun`] and writes the
+/// artifact with generator `"inprocess"` — readable by `repro report`
+/// for local diffs, but rejected by `report --check`, so an in-process
+/// run can never masquerade as a committed harness artifact.
+fn write_inprocess_artifact(
+    family: Family,
+    smoke: bool,
+    out: Option<&str>,
+    rows: Vec<MergedScenario>,
+) {
+    let ids: Vec<String> = rows.iter().map(|r| r.id.clone()).collect();
+    let run = harness::SuiteRun {
+        family,
+        smoke,
+        rows,
+        seeds: vec![1],
+        config: format!(
+            "suite={} smoke={smoke} inprocess; {}",
+            family.name(),
+            ids.join("; ")
+        ),
+        invocations: 1,
+    };
+    let doc = harness::assemble_artifact(&run, MONITOR_VERSION, &workspace_root(), "inprocess");
+    let path = resolve_bench_out(family, smoke, out);
+    if let Err(e) = harness::write_artifact(&path, &doc, smoke) {
+        eprintln!("bench: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {}", path.display());
 }
 
 /// `repro verify` — the judiciary toolchain: static TCB audit + bounded
@@ -548,7 +901,8 @@ fn c2() {
         m.call(0, MonitorCall::Return).expect("return");
     }
     let mediated_cycles = (m.machine.cycles.now() - c0) / (2 * N);
-    let mediated_ns = h0.elapsed().as_nanos() as u64 / N;
+    let mediated_ns = timing::per_op_ns(h0.elapsed(), N as usize)
+        .unwrap_or_else(|err| panic!("c2 mediated timing: {err}"));
     t.row(&[
         "mediated (VMCALL)".into(),
         mediated_cycles.to_string(),
@@ -562,7 +916,8 @@ fn c2() {
         m.ret_fast(0).expect("ret fast");
     }
     let fast_cycles = (m.machine.cycles.now() - c0) / (2 * N);
-    let fast_ns = h0.elapsed().as_nanos() as u64 / N;
+    let fast_ns = timing::per_op_ns(h0.elapsed(), N as usize)
+        .unwrap_or_else(|err| panic!("c2 fast timing: {err}"));
     t.row(&[
         "fast (VMFUNC)".into(),
         fast_cycles.to_string(),
@@ -1646,13 +2001,24 @@ impl HotpathEntry {
     }
 }
 
-/// Runs the four hot-path benchmarks and (with `json`) rewrites
-/// `BENCH_hotpath.json` at the workspace root. `smoke` shrinks fan-outs
-/// and iteration counts to a single fast CI-sized pass.
-fn bench_hotpath(json: bool, smoke: bool) {
+/// Runs the four hot-path benchmarks and (with `json`) writes a
+/// `tyche-bench-hotpath/v2` artifact (committed path for full runs,
+/// `target/BENCH_hotpath.smoke.json` or `--out` for smoke). `smoke`
+/// shrinks fan-outs and iteration counts to a single fast CI-sized
+/// pass.
+fn bench_hotpath(json: bool, smoke: bool, out: Option<&str>) {
+    if json && smoke {
+        // Preflight before any measurement: refuse instantly if a smoke
+        // run is pointed at a committed full-run artifact.
+        if let Err(e) = harness::refuse_smoke_clobber(&resolve_bench_out(Family::Hotpath, smoke, out)) {
+            eprintln!("bench: {e}");
+            std::process::exit(1);
+        }
+    }
     let fanouts: &[usize] = if smoke { &[8] } else { &[16, 64, 256, 1024] };
     let iters: usize = if smoke { 2 } else { 2000 };
-    let mut entries = Vec::new();
+    let storms: usize = if smoke { 2 } else { 5 };
+    let mut rows = Vec::new();
 
     let mut t = Table::new(
         "BENCH — revocation storm: per-effect sync (before) vs coalesced sync (after)",
@@ -1664,23 +2030,18 @@ fn bench_hotpath(json: bool, smoke: bool) {
         ],
     );
     for &n in fanouts {
-        let (before_cycles, before_ns) = bench_revocation(n, false);
-        let (after_cycles, after_ns) = bench_revocation(n, true);
-        let e = HotpathEntry {
-            name: "revocation",
-            fanout: n,
-            metric: "simulated_cycles",
-            before: before_cycles,
-            after: after_cycles,
-            detail: vec![("wall_ns_before", before_ns), ("wall_ns_after", after_ns)],
-        };
+        let (e, hist) = measure_revocation(n, storms);
         t.row(&[
             n.to_string(),
-            before_cycles.to_string(),
-            after_cycles.to_string(),
+            e.before.to_string(),
+            e.after.to_string(),
             format!("{:.1}x", e.improvement()),
         ]);
-        entries.push(e);
+        rows.push(MergedScenario::from_single(
+            format!("hotpath/revocation/fanout={n}"),
+            hotpath_row(&e),
+            vec![("op".to_string(), hist)],
+        ));
     }
     t.print();
 
@@ -1694,18 +2055,22 @@ fn bench_hotpath(json: bool, smoke: bool) {
         ],
     );
     for &n in fanouts {
-        let e = bench_capability_ops(n, iters);
+        let (e, hist) = bench_capability_ops(n, iters);
         t.row(&[
             n.to_string(),
             e.before.to_string(),
             e.after.to_string(),
             format!("{:.1}x", e.improvement()),
         ]);
-        entries.push(e);
+        rows.push(MergedScenario::from_single(
+            format!("hotpath/capability_ops/fanout={n}"),
+            hotpath_row(&e),
+            vec![("op".to_string(), hist)],
+        ));
     }
     t.print();
 
-    let e = bench_transitions(iters, false);
+    let (e, hist) = bench_transitions(iters, false);
     let mut t = Table::new(
         "BENCH — transition latency: uncached fast path (before) vs validated cache (after)",
         &["variant", "wall ns/roundtrip", "simulated cycles/roundtrip"],
@@ -1726,9 +2091,13 @@ fn bench_hotpath(json: bool, smoke: bool) {
         e.detail[2].1.to_string(),
     ]);
     t.print();
-    entries.push(e);
+    rows.push(MergedScenario::from_single(
+        "hotpath/transitions".to_string(),
+        hotpath_row(&e),
+        vec![("op".to_string(), hist)],
+    ));
 
-    let e = bench_flush_policy(iters, false);
+    let (e, hist) = bench_flush_policy(iters, false);
     let mut t = Table::new(
         "BENCH — flush-policy cost per mediated roundtrip (simulated cycles)",
         &["policy", "cycles/roundtrip"],
@@ -1737,26 +2106,63 @@ fn bench_hotpath(json: bool, smoke: bool) {
     t.row(&["ZERO".into(), e.detail[0].1.to_string()]);
     t.row(&["OBFUSCATE".into(), e.before.to_string()]);
     t.print();
-    entries.push(e);
+    rows.push(MergedScenario::from_single(
+        "hotpath/flush_policy".to_string(),
+        hotpath_row(&e),
+        vec![("op".to_string(), hist)],
+    ));
 
     if json {
-        let body = entries
-            .iter()
-            .map(HotpathEntry::to_json)
-            .collect::<Vec<_>>()
-            .join(",\n");
-        let doc = format!(
-            "{{\n  \"schema\": \"tyche-bench-hotpath/v1\",\n  \
-             \"mode\": \"{}\",\n  \"monitor_version\": \"{}\",\n  \
-             \"benches\": [\n{}\n  ]\n}}\n",
-            if smoke { "smoke" } else { "full" },
-            MONITOR_VERSION,
-            body
-        );
-        let path = workspace_root().join("BENCH_hotpath.json");
-        std::fs::write(&path, doc).expect("write BENCH_hotpath.json");
-        println!("wrote {}", path.display());
+        write_inprocess_artifact(Family::Hotpath, smoke, out, rows);
     }
+}
+
+/// Runs `storms` before/after revocation-storm pairs at one fan-out.
+/// The row's before/after cycles come from the first pair and are
+/// asserted identical across all storms (the cycle model is
+/// deterministic); the histogram collects per-capability wall latency
+/// of every coalesced (after) storm.
+fn measure_revocation(fanout: usize, storms: usize) -> (HotpathEntry, Histogram) {
+    let mut hist = Histogram::new();
+    let mut entry: Option<HotpathEntry> = None;
+    for _ in 0..storms.max(1) {
+        let (before_cycles, before_wall) = bench_revocation(fanout, false);
+        let (after_cycles, after_wall) = bench_revocation(fanout, true);
+        let per_cap = timing::per_op_ns(after_wall, fanout)
+            .unwrap_or_else(|e| panic!("revocation storm timing: {e}"));
+        hist.record_n(per_cap, fanout as u64);
+        match &entry {
+            None => {
+                entry = Some(HotpathEntry {
+                    name: "revocation",
+                    fanout,
+                    metric: "simulated_cycles",
+                    before: before_cycles,
+                    after: after_cycles,
+                    detail: vec![
+                        (
+                            "wall_ns_before",
+                            timing::total_ns(before_wall)
+                                .unwrap_or_else(|e| panic!("revocation timing: {e}")),
+                        ),
+                        (
+                            "wall_ns_after",
+                            timing::total_ns(after_wall)
+                                .unwrap_or_else(|e| panic!("revocation timing: {e}")),
+                        ),
+                    ],
+                });
+            }
+            Some(first) => {
+                assert_eq!(
+                    (first.before, first.after),
+                    (before_cycles, after_cycles),
+                    "revocation cycle metrics drifted between storms"
+                );
+            }
+        }
+    }
+    (entry.expect("at least one storm"), hist)
 }
 
 /// Shares `fanout` page windows from the root RAM cap to one child
@@ -1765,8 +2171,8 @@ fn bench_hotpath(json: bool, smoke: bool) {
 /// (`after`). Each revocation emits an `UnmapMem` plus a policy
 /// `FlushTlb`; uncoalesced application resyncs and flushes per effect,
 /// coalesced application folds them into one terminal sync + flush.
-/// Returns (simulated cycles, wall ns) for the revoke+sync.
-fn bench_revocation(fanout: usize, coalesced: bool) -> (u64, u64) {
+/// Returns (simulated cycles, wall duration) for the revoke+sync.
+fn bench_revocation(fanout: usize, coalesced: bool) -> (u64, std::time::Duration) {
     let mut m = boot();
     let os = m.engine.root().expect("root");
     let ram = m
@@ -1803,16 +2209,16 @@ fn bench_revocation(fanout: usize, coalesced: bool) -> (u64, u64) {
     } else {
         m.sync_effects_uncoalesced().expect("sync");
     }
-    (
-        m.machine.cycles.now() - c0,
-        u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
-    )
+    (m.machine.cycles.now() - c0, t0.elapsed())
 }
 
 /// Builds an engine with `fanout` domains (one shared window each) and
 /// times the indexed queries against their linear-scan twins on one
-/// small domain. Wall-time only: the queries charge no simulated cycles.
-fn bench_capability_ops(fanout: usize, iters: usize) -> HotpathEntry {
+/// small domain. Wall-time only: the queries charge no simulated
+/// cycles. The histogram samples the indexed `caps_of` query (the row's
+/// `after` op) in batches, so per-sample clock reads stay out of the
+/// distribution.
+fn bench_capability_ops(fanout: usize, iters: usize) -> (HotpathEntry, Histogram) {
     use std::hint::black_box;
     let mut e = CapEngine::new();
     let root = e.create_root_domain();
@@ -1843,7 +2249,6 @@ fn bench_capability_ops(fanout: usize, iters: usize) -> HotpathEntry {
     e.drain_effects();
     let d0 = first.expect("fanout >= 1");
     let window = MemRegion::new(0, 0x1000);
-    let per_op = |total_ns: u128| u64::try_from(total_ns / iters as u128).unwrap_or(u64::MAX);
     let time = |f: &mut dyn FnMut() -> usize| {
         let t0 = Instant::now();
         let mut sink = 0usize;
@@ -1851,7 +2256,8 @@ fn bench_capability_ops(fanout: usize, iters: usize) -> HotpathEntry {
             sink = sink.wrapping_add(f());
         }
         black_box(sink);
-        per_op(t0.elapsed().as_nanos())
+        timing::per_op_ns(t0.elapsed(), iters)
+            .unwrap_or_else(|err| panic!("capability_ops timing: {err}"))
     };
     let caps_scan = time(&mut || e.caps_of_scan(d0).len());
     let caps_idx = time(&mut || e.caps_of(d0).len());
@@ -1859,26 +2265,44 @@ fn bench_capability_ops(fanout: usize, iters: usize) -> HotpathEntry {
     let rc_idx = time(&mut || e.refcount_mem_full(window).max);
     let enum_scan = time(&mut || e.enumerate_scan(d0).expect("enumerate").len());
     let enum_idx = time(&mut || e.enumerate(d0).expect("enumerate").len());
-    HotpathEntry {
-        name: "capability_ops",
-        fanout,
-        metric: "wall_ns_per_op",
-        before: caps_scan,
-        after: caps_idx,
-        detail: vec![
-            ("refcount_scan_ns", rc_scan),
-            ("refcount_indexed_ns", rc_idx),
-            ("enumerate_scan_ns", enum_scan),
-            ("enumerate_indexed_ns", enum_idx),
-        ],
+    let mut hist = Histogram::new();
+    let batch = iters.clamp(1, 64);
+    for _ in 0..(iters / batch).max(1) {
+        let t0 = Instant::now();
+        let mut sink = 0usize;
+        for _ in 0..batch {
+            sink = sink.wrapping_add(e.caps_of(d0).len());
+        }
+        black_box(sink);
+        let per = timing::per_op_ns(t0.elapsed(), batch)
+            .unwrap_or_else(|err| panic!("capability_ops sampling: {err}"));
+        hist.record_n(per, batch as u64);
     }
+    (
+        HotpathEntry {
+            name: "capability_ops",
+            fanout,
+            metric: "wall_ns_per_op",
+            before: caps_scan,
+            after: caps_idx,
+            detail: vec![
+                ("refcount_scan_ns", rc_scan),
+                ("refcount_indexed_ns", rc_idx),
+                ("enumerate_scan_ns", enum_scan),
+                ("enumerate_indexed_ns", enum_idx),
+            ],
+        },
+        hist,
+    )
 }
 
 /// Times one-way-symmetric roundtrips: mediated VMCALL, fast VMFUNC with
 /// the validated cache bypassed, and fast VMFUNC with the cache warm.
 /// With `traced` the sink records every event — the overhead gate runs
 /// this variant and holds the cycle metrics to the untraced baseline.
-fn bench_transitions(iters: usize, traced: bool) -> HotpathEntry {
+/// The histogram samples cached fast roundtrips (the row's `after` op)
+/// in batches of up to 16.
+fn bench_transitions(iters: usize, traced: bool) -> (HotpathEntry, Histogram) {
     let mut m = boot();
     if traced {
         m.machine.trace.enable(m.machine.cores);
@@ -1903,7 +2327,8 @@ fn bench_transitions(iters: usize, traced: bool) -> HotpathEntry {
             })
             .expect("return");
         }
-        let ns = u64::try_from(t0.elapsed().as_nanos() / iters as u128).unwrap_or(u64::MAX);
+        let ns = timing::per_op_ns(t0.elapsed(), iters)
+            .unwrap_or_else(|e| panic!("transition timing: {e}"));
         let cycles = (m.machine.cycles.now() - c0) / iters as u64;
         (ns, cycles)
     };
@@ -1916,26 +2341,50 @@ fn bench_transitions(iters: usize, traced: bool) -> HotpathEntry {
     let (cached_ns, _) = roundtrip(&mut m, &mut |m| {
         m.enter_fast(0, gate).map(|_| ()).expect("enter");
     });
-    HotpathEntry {
-        name: "transitions",
-        fanout: 1,
-        metric: "wall_ns_per_roundtrip",
-        before: unc_ns,
-        after: cached_ns,
-        detail: vec![
-            ("mediated_wall_ns", med_ns),
-            ("mediated_cycles", med_cycles),
-            ("fast_cycles", fast_cycles),
-        ],
+    // Latency sampling pass over the cached fast path, batched so the
+    // per-batch clock reads stay out of each sample.
+    let mut hist = Histogram::new();
+    let batch = iters.clamp(1, 16);
+    for _ in 0..(iters / batch).max(1) {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            m.enter_fast(0, gate).expect("enter");
+            m.ret_fast(0).or_else(|_| {
+                m.call(0, MonitorCall::Return)
+                    .map(|_| m.engine.root().expect("root"))
+            })
+            .expect("return");
+        }
+        let per = timing::per_op_ns(t0.elapsed(), batch)
+            .unwrap_or_else(|e| panic!("transition sampling: {e}"));
+        hist.record_n(per, batch as u64);
     }
+    (
+        HotpathEntry {
+            name: "transitions",
+            fanout: 1,
+            metric: "wall_ns_per_roundtrip",
+            before: unc_ns,
+            after: cached_ns,
+            detail: vec![
+                ("mediated_wall_ns", med_ns),
+                ("mediated_cycles", med_cycles),
+                ("fast_cycles", fast_cycles),
+            ],
+        },
+        hist,
+    )
 }
 
 /// Simulated cycle cost of a mediated roundtrip under each revocation
 /// policy; the flush charges are deterministic, so this entry is stable
 /// across machines. `traced` turns the sink on, as in
-/// [`bench_transitions`].
-fn bench_flush_policy(iters: usize, traced: bool) -> HotpathEntry {
-    let per_policy = |policy: RevocationPolicy| {
+/// [`bench_transitions`]. The histogram samples NONE-policy mediated
+/// roundtrip wall latency (the row's `after` op) in batches of up
+/// to 16; the cycle metrics are computed over the same loop and are
+/// untouched by the clock reads between batches.
+fn bench_flush_policy(iters: usize, traced: bool) -> (HotpathEntry, Histogram) {
+    let per_policy = |policy: RevocationPolicy, mut hist: Option<&mut Histogram>| {
         let mut m = boot();
         if traced {
             m.machine.trace.enable(m.machine.cores);
@@ -1944,25 +2393,39 @@ fn bench_flush_policy(iters: usize, traced: bool) -> HotpathEntry {
         let os = m.engine.root().expect("root");
         let gate = m.engine.make_transition(os, d, policy).expect("gate");
         m.sync_effects().expect("sync");
+        let batch = iters.clamp(1, 16);
+        let rounds = (iters / batch).max(1);
         let c0 = m.machine.cycles.now();
-        for _ in 0..iters {
-            m.call(0, MonitorCall::Enter { cap: gate }).expect("enter");
-            m.dom_write(0, 0x10_0000, &[1]).expect("dirty a line");
-            m.call(0, MonitorCall::Return).expect("return");
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                m.call(0, MonitorCall::Enter { cap: gate }).expect("enter");
+                m.dom_write(0, 0x10_0000, &[1]).expect("dirty a line");
+                m.call(0, MonitorCall::Return).expect("return");
+            }
+            if let Some(h) = hist.as_deref_mut() {
+                let per = timing::per_op_ns(t0.elapsed(), batch)
+                    .unwrap_or_else(|e| panic!("flush-policy sampling: {e}"));
+                h.record_n(per, batch as u64);
+            }
         }
-        (m.machine.cycles.now() - c0) / iters as u64
+        (m.machine.cycles.now() - c0) / (rounds * batch) as u64
     };
-    let none = per_policy(RevocationPolicy::NONE);
-    let zero = per_policy(RevocationPolicy::ZERO);
-    let obfuscate = per_policy(RevocationPolicy::OBFUSCATE);
-    HotpathEntry {
-        name: "flush_policy",
-        fanout: 1,
-        metric: "simulated_cycles_per_roundtrip",
-        before: obfuscate,
-        after: none,
-        detail: vec![("zero_cycles", zero)],
-    }
+    let mut hist = Histogram::new();
+    let none = per_policy(RevocationPolicy::NONE, Some(&mut hist));
+    let zero = per_policy(RevocationPolicy::ZERO, None);
+    let obfuscate = per_policy(RevocationPolicy::OBFUSCATE, None);
+    (
+        HotpathEntry {
+            name: "flush_policy",
+            fanout: 1,
+            metric: "simulated_cycles_per_roundtrip",
+            before: obfuscate,
+            after: none,
+            detail: vec![("zero_cycles", zero)],
+        },
+        hist,
+    )
 }
 
 // ----------------------------------------------------------------------
@@ -2021,9 +2484,14 @@ impl ScaleEntry {
     }
 }
 
-/// Wall ns per operation since `t0` over `ops` operations.
-fn scale_per_op(t0: Instant, ops: usize) -> u64 {
-    u64::try_from(t0.elapsed().as_nanos() / ops.max(1) as u128).unwrap_or(u64::MAX)
+/// Records one batched sample (a timed pass of `ops` operations) into
+/// `hist` and returns the per-op figure. Zero-op windows are a hard
+/// error — a storm that never ran must not report a latency.
+fn scale_sample(hist: &mut Histogram, elapsed: std::time::Duration, ops: usize) -> u64 {
+    let per = timing::per_op_ns(elapsed, ops)
+        .unwrap_or_else(|e| panic!("scale timing over {ops} ops: {e}"));
+    hist.record_n(per, ops as u64);
+    per
 }
 
 /// One population point of the sweep: grows `n` tenant domains (one
@@ -2032,10 +2500,21 @@ fn scale_per_op(t0: Instant, ops: usize) -> u64 {
 /// resident, builds and cascade-revokes a `depth`-deep derivation
 /// chain, then kills the whole population (the revoke storm that has to
 /// stay within a small constant of the 1k per-op cost). Effects are
-/// drained every 4096 mutations inside the timed loops — the amortized
-/// drain is part of the realistic storm cost at every population, so
-/// the comparison across sizes stays fair.
-fn scale_population(n: usize, neighbors: usize, depth: usize) -> ScaleEntry {
+/// drained every 4096 mutations inside the storms at every population,
+/// so the comparison across sizes stays fair.
+///
+/// Every storm and steady-state sweep feeds a named latency histogram;
+/// per-op means are the histogram means (pure op latency — the periodic
+/// drains run but are not folded into per-op figures), and the returned
+/// histograms carry the tails into the artifact's `percentiles` map.
+/// Expensive ops (create/share/attest/kill) are timed individually;
+/// sub-µs sweeps (enter, caps_of, enumerate, refcount) are timed one
+/// whole pass per sample so clock reads stay out of the distribution.
+fn scale_population(
+    n: usize,
+    neighbors: usize,
+    depth: usize,
+) -> (ScaleEntry, Vec<(String, Histogram)>) {
     use std::hint::black_box;
     use tyche_core::attest::DomainReport;
     const LANE: u64 = 0x2000;
@@ -2057,23 +2536,26 @@ fn scale_population(n: usize, neighbors: usize, depth: usize) -> ScaleEntry {
         .collect();
 
     // Create storm.
-    let t0 = Instant::now();
+    let mut h_create = Histogram::new();
     let mut domains = Vec::with_capacity(n);
     for i in 0..n {
+        let s0 = Instant::now();
         let (d, _gate) = e.create_domain(root).expect("create");
+        scale_sample(&mut h_create, s0.elapsed(), 1);
         domains.push(d);
         if (i + 1) % DRAIN_EVERY == 0 {
             let _ = e.drain_effects();
         }
     }
-    let create_ns = scale_per_op(t0, n);
+    let create_ns = h_create.mean_ns();
     let _ = e.drain_effects();
 
     // Share storm: every tenant gets one page of its private lane, so
     // the interval index holds `n` disjoint active regions.
-    let t0 = Instant::now();
+    let mut h_share = Histogram::new();
     for (i, &d) in domains.iter().enumerate() {
         let base = i as u64 * LANE;
+        let s0 = Instant::now();
         e.share(
             root,
             ram,
@@ -2083,11 +2565,12 @@ fn scale_population(n: usize, neighbors: usize, depth: usize) -> ScaleEntry {
             RevocationPolicy::NONE,
         )
         .expect("share lane");
+        scale_sample(&mut h_share, s0.elapsed(), 1);
         if (i + 1) % DRAIN_EVERY == 0 {
             let _ = e.drain_effects();
         }
     }
-    let share_ns = scale_per_op(t0, n);
+    let share_ns = h_share.mean_ns();
     let _ = e.drain_effects();
 
     // The steady-state neighbors: an evenly-strided sample that gets a
@@ -2114,15 +2597,17 @@ fn scale_population(n: usize, neighbors: usize, depth: usize) -> ScaleEntry {
 
     // Attest storm over the sealed sample.
     let iters = 8usize;
-    let t0 = Instant::now();
+    let mut h_attest = Histogram::new();
     let mut sink = 0usize;
     for _ in 0..iters {
         for &(_, d) in &sampled {
+            let s0 = Instant::now();
             sink = sink.wrapping_add(DomainReport::build(&e, d).expect("attest").resources.len());
+            scale_sample(&mut h_attest, s0.elapsed(), 1);
         }
     }
     black_box(sink);
-    let attest_ns = scale_per_op(t0, k * iters);
+    let attest_ns = h_attest.mean_ns();
 
     // Enter storm: a transition gate per sampled neighbor, validated on
     // the distinct core that neighbor owns.
@@ -2138,47 +2623,55 @@ fn scale_population(n: usize, neighbors: usize, depth: usize) -> ScaleEntry {
         .collect();
     let _ = e.drain_effects();
     let iters = 32usize;
-    let t0 = Instant::now();
+    let mut h_enter = Histogram::new();
     let mut sink = 0u64;
     for _ in 0..iters {
+        let t0 = Instant::now();
         for &(core, gate) in &gates {
             let (target, entry, _) = e.can_enter(root, gate, core).expect("enter");
             sink = sink.wrapping_add(target.0 ^ entry);
         }
+        scale_sample(&mut h_enter, t0.elapsed(), k);
     }
     black_box(sink);
-    let enter_ns = scale_per_op(t0, k * iters);
+    let enter_ns = h_enter.mean_ns();
 
     // Steady-state neighbor queries vs population: these curves must
     // stay flat or logarithmic as `n` grows.
-    let t0 = Instant::now();
+    let mut h_caps_of = Histogram::new();
     let mut sink = 0usize;
     for _ in 0..iters {
+        let t0 = Instant::now();
         for &(_, d) in &sampled {
             sink = sink.wrapping_add(e.caps_of(d).len());
         }
+        scale_sample(&mut h_caps_of, t0.elapsed(), k);
     }
     black_box(sink);
-    let caps_of_ns = scale_per_op(t0, k * iters);
-    let t0 = Instant::now();
+    let caps_of_ns = h_caps_of.mean_ns();
+    let mut h_enumerate = Histogram::new();
     let mut sink = 0usize;
     for _ in 0..iters {
+        let t0 = Instant::now();
         for &(_, d) in &sampled {
             sink = sink.wrapping_add(e.enumerate(d).expect("enumerate").len());
         }
+        scale_sample(&mut h_enumerate, t0.elapsed(), k);
     }
     black_box(sink);
-    let enumerate_ns = scale_per_op(t0, k * iters);
-    let t0 = Instant::now();
+    let enumerate_ns = h_enumerate.mean_ns();
+    let mut h_refcount = Histogram::new();
     let mut sink = 0usize;
     for _ in 0..iters {
+        let t0 = Instant::now();
         for &(idx, _) in &sampled {
             let base = idx as u64 * LANE;
             sink = sink.wrapping_add(e.refcount_mem_full(MemRegion::new(base, base + 0x1000)).max);
         }
+        scale_sample(&mut h_refcount, t0.elapsed(), k);
     }
     black_box(sink);
-    let refcount_ns = scale_per_op(t0, k * iters);
+    let refcount_ns = h_refcount.mean_ns();
 
     // Peak-resident footprint, before anything is torn down.
     let bytes_per_domain = (e.storage_bytes() / n.max(1)) as u64;
@@ -2209,27 +2702,33 @@ fn scale_population(n: usize, neighbors: usize, depth: usize) -> ScaleEntry {
         owner = target;
     }
     black_box(cur);
-    let chain_build_ns = scale_per_op(t0, depth);
+    let chain_build_ns = timing::per_op_ns(t0.elapsed(), depth)
+        .unwrap_or_else(|err| panic!("chain build timing over {depth} links: {err}"));
     let _ = e.drain_effects();
     let t0 = Instant::now();
     e.revoke(root, head).expect("cascade revoke");
-    let chain_revoke_ns = scale_per_op(t0, depth + 1);
+    let chain_revoke_ns = timing::per_op_ns(t0.elapsed(), depth + 1)
+        .unwrap_or_else(|err| panic!("chain revoke timing over {} links: {err}", depth + 1));
     let _ = e.drain_effects();
 
     // Revoke storm: kill the entire population. Sealed or not, every
     // tenant goes through the same lineage teardown, and the slab
     // freelists must absorb all of it without growing the arenas.
-    let t0 = Instant::now();
+    // Periodic drains run between samples, so the histogram holds pure
+    // kill latency while the mean keeps the teardown storm honest.
+    let mut h_revoke = Histogram::new();
     for (i, &d) in domains.iter().enumerate() {
+        let s0 = Instant::now();
         e.kill(root, d).expect("kill");
+        scale_sample(&mut h_revoke, s0.elapsed(), 1);
         if (i + 1) % DRAIN_EVERY == 0 {
             let _ = e.drain_effects();
         }
     }
-    let revoke_storm_ns = scale_per_op(t0, n);
+    let revoke_storm_ns = h_revoke.mean_ns();
     let _ = e.drain_effects();
 
-    ScaleEntry {
+    let entry = ScaleEntry {
         population: n,
         create_ns,
         share_ns,
@@ -2245,15 +2744,33 @@ fn scale_population(n: usize, neighbors: usize, depth: usize) -> ScaleEntry {
         bytes_per_domain,
         revoked_recorded: e.revoked_log().len(),
         revoked_dropped: e.revoked_log().dropped(),
-    }
+    };
+    let hists = vec![
+        ("attest".to_string(), h_attest),
+        ("caps_of".to_string(), h_caps_of),
+        ("create".to_string(), h_create),
+        ("enter".to_string(), h_enter),
+        ("enumerate".to_string(), h_enumerate),
+        ("refcount".to_string(), h_refcount),
+        ("revoke_storm".to_string(), h_revoke),
+        ("share".to_string(), h_share),
+    ];
+    (entry, hists)
 }
 
-/// Runs the population sweep and (with `json`) rewrites
-/// `BENCH_scale.json` at the workspace root. `smoke` truncates the
-/// sweep at 100k domains and shortens the derivation chain for CI.
-fn bench_scale(json: bool, smoke: bool) {
+/// Runs the population sweep and (with `json`) writes an `"inprocess"`
+/// scale artifact. `smoke` truncates the sweep at 10k domains and
+/// shortens the derivation chain for CI.
+fn bench_scale(json: bool, smoke: bool, out: Option<&str>) {
+    if json && smoke {
+        let path = resolve_bench_out(Family::Scale, smoke, out);
+        if let Err(e) = harness::refuse_smoke_clobber(&path) {
+            eprintln!("bench: {e}");
+            std::process::exit(1);
+        }
+    }
     let populations: &[usize] = if smoke {
-        &[1_000, 10_000, 100_000]
+        &[1_000, 10_000]
     } else {
         &[1_000, 10_000, 100_000, 1_000_000]
     };
@@ -2273,8 +2790,9 @@ fn bench_scale(json: bool, smoke: bool) {
         ],
     );
     let mut entries = Vec::new();
+    let mut rows = Vec::new();
     for &n in populations {
-        let e = scale_population(n, neighbors, depth);
+        let (e, hists) = scale_population(n, neighbors, depth);
         t.row(&[
             n.to_string(),
             e.create_ns.to_string(),
@@ -2284,6 +2802,11 @@ fn bench_scale(json: bool, smoke: bool) {
             e.revoke_storm_ns.to_string(),
             e.bytes_per_domain.to_string(),
         ]);
+        rows.push(MergedScenario::from_single(
+            format!("scale/population={n}"),
+            scale_row(&e),
+            hists,
+        ));
         entries.push(e);
     }
     t.print();
@@ -2297,23 +2820,7 @@ fn bench_scale(json: bool, smoke: bool) {
     }
 
     if json {
-        let body = entries
-            .iter()
-            .map(ScaleEntry::to_json)
-            .collect::<Vec<_>>()
-            .join(",\n");
-        let doc = format!(
-            "{{\n  \"schema\": \"tyche-bench-scale/v1\",\n  \
-             \"mode\": \"{}\",\n  \"monitor_version\": \"{}\",\n  \
-             \"neighbors\": {},\n  \"populations\": [\n{}\n  ]\n}}\n",
-            if smoke { "smoke" } else { "full" },
-            MONITOR_VERSION,
-            neighbors,
-            body
-        );
-        let path = workspace_root().join("BENCH_scale.json");
-        std::fs::write(&path, doc).expect("write BENCH_scale.json");
-        println!("wrote {}", path.display());
+        write_inprocess_artifact(Family::Scale, smoke, out, rows);
     }
 }
 
@@ -2613,11 +3120,16 @@ fn smp_enter_actors(m: &mut tyche_monitor::Monitor, fx_lanes: &[SmpLane], mode: 
 
 /// Runs the mutation workload (`pairs` two-call iterations per worker,
 /// one worker per core) through both serving models and returns the
-/// measured entry. Distinct mode pairs a tenant self-share with its
-/// revocation; contended modes pair a `MakeTransition` into the victim
-/// with the revocation of one pre-created victim-owned pool capability,
-/// so every iteration both contends on the victim's shard and strips
-/// the *running* victim (a real IPI, not just a queued shootdown).
+/// measured entry plus a wall-clock latency histogram over the SMP
+/// path's call pairs (each pair contributes two per-call samples).
+/// Distinct mode pairs a tenant self-share with its revocation;
+/// contended modes pair a `MakeTransition` into the victim with the
+/// revocation of one pre-created victim-owned pool capability, so every
+/// iteration both contends on the victim's shard and strips the
+/// *running* victim (a real IPI, not just a queued shootdown). For the
+/// per-call modes the sample includes the shootdown drain (it is part
+/// of serving that call); for the ring mode it covers the two submits
+/// only — the doorbell flush amortizes over the batch and is left out.
 fn smp_run_mutations(
     workload: &'static str,
     threads: usize,
@@ -2625,7 +3137,7 @@ fn smp_run_mutations(
     mode: SmpMode,
     nshards: usize,
     ring_depth: usize,
-) -> SmpEntry {
+) -> (SmpEntry, Histogram) {
     use std::sync::{Arc, Mutex};
 
     let pool_depth = if mode == SmpMode::Distinct { 0 } else { pairs };
@@ -2680,10 +3192,13 @@ fn smp_run_mutations(
     for w in workers {
         w.join().expect("baseline worker");
     }
-    let wall_base = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let wall_base = timing::total_ns(t0.elapsed())
+        .unwrap_or_else(|err| panic!("smp baseline wall clock: {err}"));
     let baseline_cycles = shared.lock().expect("monitor lock").machine.cycles.now() - c0;
 
     // Sharded front-end: same fixture, same ops, served concurrently.
+    // Each worker samples its own call pairs into a private histogram;
+    // the merge after join keeps clock reads out of other threads' way.
     let fx = smp_fixture(threads, nshards, pool_depth);
     let (mut m, lanes, victim, pool) = (fx.m, fx.lanes, fx.victim, fx.pool);
     smp_enter_actors(&mut m, &lanes, mode, fx.victim_core, fx.victim_gate);
@@ -2694,74 +3209,91 @@ fn smp_run_mutations(
             let cm = Arc::clone(&cm);
             let lane = lanes[core];
             let pool_caps = pool.get(core).cloned().unwrap_or_default();
-            std::thread::spawn(move || match mode {
-                SmpMode::Distinct => {
-                    for i in 0..pairs {
-                        let call = smp_distinct_share(core, i, lane);
-                        let cap = match cm.serve(core, call) {
-                            Ok(CallResult::Cap(c)) => c,
-                            other => panic!("smp share failed: {other:?}"),
-                        };
-                        cm.serve(core, MonitorCall::Revoke { cap }).expect("smp revoke");
-                        // Per-iteration drain. Distinct losers run on the
-                        // requesting core itself, so the drain finds no
-                        // remote core to interrupt: shootdowns_requested
-                        // counts up while ipis_sent stays 0 — by design.
-                        cm.sync_shootdowns(core);
+            std::thread::spawn(move || {
+                let mut hist = Histogram::new();
+                let pair_sample = |hist: &mut Histogram, d: std::time::Duration| {
+                    let per = timing::per_op_ns(d, 2)
+                        .unwrap_or_else(|err| panic!("smp pair timing: {err}"));
+                    hist.record_n(per, 2);
+                };
+                match mode {
+                    SmpMode::Distinct => {
+                        for i in 0..pairs {
+                            let call = smp_distinct_share(core, i, lane);
+                            let s0 = Instant::now();
+                            let cap = match cm.serve(core, call) {
+                                Ok(CallResult::Cap(c)) => c,
+                                other => panic!("smp share failed: {other:?}"),
+                            };
+                            cm.serve(core, MonitorCall::Revoke { cap }).expect("smp revoke");
+                            // Per-iteration drain. Distinct losers run on the
+                            // requesting core itself, so the drain finds no
+                            // remote core to interrupt: shootdowns_requested
+                            // counts up while ipis_sent stays 0 — by design.
+                            cm.sync_shootdowns(core);
+                            pair_sample(&mut hist, s0.elapsed());
+                        }
                     }
-                }
-                SmpMode::Contended => {
-                    for &cap in pool_caps.iter().take(pairs) {
-                        let make = MonitorCall::MakeTransition {
-                            target: victim,
-                            policy: RevocationPolicy::NONE,
-                        };
-                        match cm.serve(core, make) {
-                            Ok(CallResult::Cap(_)) => {}
-                            other => panic!("smp make_transition failed: {other:?}"),
-                        }
-                        cm.serve(core, MonitorCall::Revoke { cap }).expect("smp revoke");
-                        // Per-iteration drain: the victim runs on its own
-                        // core, so every revocation's queued invalidation
-                        // becomes a real IPI here.
-                        cm.sync_shootdowns(core);
-                    }
-                }
-                SmpMode::ContendedRing => {
-                    let check = |outcome: RingOutcome| match outcome {
-                        RingOutcome::Queued(_) => {}
-                        RingOutcome::Completed(r) => {
-                            r.expect("ring inline");
-                        }
-                        RingOutcome::Drained(results) => {
-                            for r in results {
-                                r.expect("ring drain");
-                            }
-                        }
-                    };
-                    for &cap in pool_caps.iter().take(pairs) {
-                        check(cm.submit(
-                            core,
-                            MonitorCall::MakeTransition {
+                    SmpMode::Contended => {
+                        for &cap in pool_caps.iter().take(pairs) {
+                            let make = MonitorCall::MakeTransition {
                                 target: victim,
                                 policy: RevocationPolicy::NONE,
-                            },
-                        ));
-                        check(cm.submit(core, MonitorCall::Revoke { cap }));
+                            };
+                            let s0 = Instant::now();
+                            match cm.serve(core, make) {
+                                Ok(CallResult::Cap(_)) => {}
+                                other => panic!("smp make_transition failed: {other:?}"),
+                            }
+                            cm.serve(core, MonitorCall::Revoke { cap }).expect("smp revoke");
+                            // Per-iteration drain: the victim runs on its own
+                            // core, so every revocation's queued invalidation
+                            // becomes a real IPI here.
+                            cm.sync_shootdowns(core);
+                            pair_sample(&mut hist, s0.elapsed());
+                        }
                     }
-                    // Ring drains are themselves flush boundaries (one
-                    // coalesced shootdown round per batch); flush the tail.
-                    for r in cm.ring_doorbell(core) {
-                        r.expect("ring flush");
+                    SmpMode::ContendedRing => {
+                        let check = |outcome: RingOutcome| match outcome {
+                            RingOutcome::Queued(_) => {}
+                            RingOutcome::Completed(r) => {
+                                r.expect("ring inline");
+                            }
+                            RingOutcome::Drained(results) => {
+                                for r in results {
+                                    r.expect("ring drain");
+                                }
+                            }
+                        };
+                        for &cap in pool_caps.iter().take(pairs) {
+                            let s0 = Instant::now();
+                            check(cm.submit(
+                                core,
+                                MonitorCall::MakeTransition {
+                                    target: victim,
+                                    policy: RevocationPolicy::NONE,
+                                },
+                            ));
+                            check(cm.submit(core, MonitorCall::Revoke { cap }));
+                            pair_sample(&mut hist, s0.elapsed());
+                        }
+                        // Ring drains are themselves flush boundaries (one
+                        // coalesced shootdown round per batch); flush the tail.
+                        for r in cm.ring_doorbell(core) {
+                            r.expect("ring flush");
+                        }
                     }
                 }
+                hist
             })
         })
         .collect();
+    let mut call_hist = Histogram::new();
     for w in workers {
-        w.join().expect("smp worker");
+        call_hist.merge_from(&w.join().expect("smp worker"));
     }
-    let wall_smp = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let wall_smp =
+        timing::total_ns(t0.elapsed()).unwrap_or_else(|err| panic!("smp wall clock: {err}"));
     let smp_cycles = cm.makespan();
     let shard_waits = SmpStats::get(&cm.stats.shard_waits);
     let shootdowns = SmpStats::get(&cm.stats.shootdowns_requested);
@@ -2777,7 +3309,7 @@ fn smp_run_mutations(
         assert!(ipis > 0, "contended workload must deliver real IPIs");
     }
 
-    SmpEntry {
+    let entry = SmpEntry {
         workload,
         threads,
         shards: nshards,
@@ -2794,14 +3326,17 @@ fn smp_run_mutations(
             ("ring_submitted", ring_submitted),
             ("ring_batches", ring_batches),
         ],
-    }
+    };
+    (entry, call_hist)
 }
 
 /// Runs the transition workload: each core does `roundtrips` fast
 /// Enter+Return roundtrips into its own sealed tenant. The baseline
 /// still takes the whole-monitor mutex per one-way switch; the SMP path
-/// serves them from per-core state with no shared lock at all.
-fn smp_run_transitions(threads: usize, roundtrips: usize) -> SmpEntry {
+/// serves them from per-core state with no shared lock at all. The
+/// returned histogram samples the SMP path per one-way switch (each
+/// timed roundtrip contributes two samples).
+fn smp_run_transitions(threads: usize, roundtrips: usize) -> (SmpEntry, Histogram) {
     use std::sync::{Arc, Mutex};
     use tyche_core::shared::SHARDS;
 
@@ -2833,7 +3368,8 @@ fn smp_run_transitions(threads: usize, roundtrips: usize) -> SmpEntry {
     for w in workers {
         w.join().expect("baseline worker");
     }
-    let wall_base = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let wall_base = timing::total_ns(t0.elapsed())
+        .unwrap_or_else(|err| panic!("smp baseline wall clock: {err}"));
     let baseline_cycles = shared.lock().expect("monitor lock").machine.cycles.now() - c0;
 
     let fx = smp_fixture(threads, SHARDS, 0);
@@ -2845,7 +3381,9 @@ fn smp_run_transitions(threads: usize, roundtrips: usize) -> SmpEntry {
             let cm = Arc::clone(&cm);
             let lane = lanes[core];
             std::thread::spawn(move || {
+                let mut hist = Histogram::new();
                 for _ in 0..roundtrips {
+                    let s0 = Instant::now();
                     match cm.serve(core, MonitorCall::Enter { cap: lane.gate }) {
                         Ok(CallResult::Entered { .. }) => {}
                         other => panic!("smp enter failed: {other:?}"),
@@ -2854,19 +3392,25 @@ fn smp_run_transitions(threads: usize, roundtrips: usize) -> SmpEntry {
                         Ok(CallResult::Returned { .. }) => {}
                         other => panic!("smp return failed: {other:?}"),
                     }
+                    let per = timing::per_op_ns(s0.elapsed(), 2)
+                        .unwrap_or_else(|err| panic!("smp roundtrip timing: {err}"));
+                    hist.record_n(per, 2);
                 }
+                hist
             })
         })
         .collect();
+    let mut call_hist = Histogram::new();
     for w in workers {
-        w.join().expect("smp worker");
+        call_hist.merge_from(&w.join().expect("smp worker"));
     }
-    let wall_smp = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let wall_smp =
+        timing::total_ns(t0.elapsed()).unwrap_or_else(|err| panic!("smp wall clock: {err}"));
     let smp_cycles = cm.makespan();
     let fast = SmpStats::get(&cm.stats.fast_transitions);
     let mutations = SmpStats::get(&cm.stats.mutations);
 
-    SmpEntry {
+    let entry = SmpEntry {
         workload: "transitions_distinct",
         threads,
         shards: SHARDS,
@@ -2880,29 +3424,38 @@ fn smp_run_transitions(threads: usize, roundtrips: usize) -> SmpEntry {
             ("fast_transitions", fast),
             ("mediated_fallbacks", mutations),
         ],
-    }
+    };
+    (entry, call_hist)
 }
 
 /// Runs the SMP serving suite at 1–32 worker threads (one per modeled
-/// core) and (with `json`) rewrites `BENCH_smp.json` at the workspace
-/// root. Full runs append two sweeps at fixed thread counts: shard
-/// count at the widest fan-out (locating the shard-collision knee) and
-/// ring depth on the contended path (the batching amortization curve).
-/// `smoke` shrinks everything to a single 2-thread pass per workload
-/// for CI. Cycle numbers are simulated, so they are independent of the
-/// host machine, and IPI charges are per-requester batches (TLB-gather
+/// core) and (with `json`) writes an `"inprocess"` SMP artifact. Full
+/// runs append two sweeps at fixed thread counts: shard count at the
+/// widest fan-out (locating the shard-collision knee) and ring depth on
+/// the contended path (the batching amortization curve). `smoke`
+/// shrinks everything to a single 2-thread pass per workload for CI.
+/// Cycle numbers are simulated, so they are independent of the host
+/// machine, and IPI charges are per-requester batches (TLB-gather
 /// discipline), so they do not depend on thread interleaving either.
-/// Wall-clock appears only in `detail`.
-fn bench_smp(json: bool, smoke: bool) {
+/// Wall-clock appears only in `detail` and the call-latency histogram.
+fn bench_smp(json: bool, smoke: bool, out: Option<&str>) {
     use tyche_core::shared::SHARDS;
 
+    if json && smoke {
+        let path = resolve_bench_out(Family::Smp, smoke, out);
+        if let Err(e) = harness::refuse_smoke_clobber(&path) {
+            eprintln!("bench: {e}");
+            std::process::exit(1);
+        }
+    }
     let threads: &[usize] = if smoke { &[2] } else { &[1, 2, 4, 8, 16, 32] };
     let pairs: usize = if smoke { 8 } else { 64 };
     let roundtrips: usize = if smoke { 16 } else { 256 };
     let depth = ConcurrentMonitor::DEFAULT_RING_DEPTH;
     let mut entries: Vec<SmpEntry> = Vec::new();
+    let mut rows: Vec<MergedScenario> = Vec::new();
 
-    type Workload<'a> = (&'a str, Box<dyn Fn(usize) -> SmpEntry>);
+    type Workload<'a> = (&'a str, Box<dyn Fn(usize) -> (SmpEntry, Histogram)>);
     let workloads: [Workload; 4] = [
         (
             "hypercalls_distinct: per-core tenants mutate their own domains",
@@ -2945,13 +3498,18 @@ fn bench_smp(json: bool, smoke: bool) {
             ],
         );
         for &n in threads {
-            let e = run(n);
+            let (e, h) = run(n);
             t.row(&[
                 n.to_string(),
                 format!("{:.1}", e.baseline_tput()),
                 format!("{:.1}", e.smp_tput()),
                 format!("{:.2}x", e.speedup()),
             ]);
+            rows.push(MergedScenario::from_single(
+                format!("smp/{}/threads={n}", e.workload),
+                smp_row(&e),
+                vec![("call".to_string(), h)],
+            ));
             entries.push(e);
         }
         t.print();
@@ -2966,7 +3524,7 @@ fn bench_smp(json: bool, smoke: bool) {
             &["shards", "baseline (ops/Mcycle)", "smp (ops/Mcycle)", "speedup"],
         );
         for &ns in &[8usize, 16, 32, 64] {
-            let e = smp_run_mutations(
+            let (e, h) = smp_run_mutations(
                 "hypercalls_distinct_shards",
                 wide,
                 pairs,
@@ -2980,6 +3538,11 @@ fn bench_smp(json: bool, smoke: bool) {
                 format!("{:.1}", e.smp_tput()),
                 format!("{:.2}x", e.speedup()),
             ]);
+            rows.push(MergedScenario::from_single(
+                format!("smp/hypercalls_distinct_shards/shards={ns}"),
+                smp_row(&e),
+                vec![("call".to_string(), h)],
+            ));
             entries.push(e);
         }
         t.print();
@@ -2991,7 +3554,7 @@ fn bench_smp(json: bool, smoke: bool) {
             &["ring_depth", "baseline (ops/Mcycle)", "smp (ops/Mcycle)", "speedup"],
         );
         for &d in &[4usize, 8, 16, 32] {
-            let e = smp_run_mutations(
+            let (e, h) = smp_run_mutations(
                 "hypercalls_contended_ringdepth",
                 8,
                 pairs,
@@ -3005,6 +3568,11 @@ fn bench_smp(json: bool, smoke: bool) {
                 format!("{:.1}", e.smp_tput()),
                 format!("{:.2}x", e.speedup()),
             ]);
+            rows.push(MergedScenario::from_single(
+                format!("smp/hypercalls_contended_ringdepth/ring_depth={d}"),
+                smp_row(&e),
+                vec![("call".to_string(), h)],
+            ));
             entries.push(e);
         }
         t.print();
@@ -3044,28 +3612,7 @@ fn bench_smp(json: bool, smoke: bool) {
     );
 
     if json {
-        let body = entries
-            .iter()
-            .map(SmpEntry::to_json)
-            .collect::<Vec<_>>()
-            .join(",\n");
-        let doc = format!(
-            "{{\n  \"schema\": \"tyche-bench-smp/v2\",\n  \
-             \"mode\": \"{}\",\n  \"monitor_version\": \"{}\",\n  \
-             \"distinct_scaling\": {:.2},\n  \
-             \"distinct_vs_baseline\": {:.2},\n  \
-             \"contended_ring_vs_baseline\": {:.2},\n  \
-             \"benches\": [\n{}\n  ]\n}}\n",
-            if smoke { "smoke" } else { "full" },
-            MONITOR_VERSION,
-            scaling,
-            vs_baseline,
-            ring_vs_baseline,
-            body
-        );
-        let path = workspace_root().join("BENCH_smp.json");
-        std::fs::write(&path, doc).expect("write BENCH_smp.json");
-        println!("wrote {}", path.display());
+        write_inprocess_artifact(Family::Smp, smoke, out, rows);
     }
 }
 
@@ -3332,19 +3879,6 @@ fn trace_campaign(json: bool, smoke: bool) -> bool {
     pass
 }
 
-/// Pulls `"key": <integer>` out of the first JSON object after
-/// `section` in `doc` — enough of a parser for the artifact files this
-/// binary writes itself (flat integers, stable key order).
-fn json_field_u64(doc: &str, section: &str, key: &str) -> Option<u64> {
-    let tail = &doc[doc.find(section)?..];
-    let marker = format!("\"{key}\": ");
-    let rest = &tail[tail.find(&marker)? + marker.len()..];
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 /// The tracing-overhead gate: recomputes the deterministic
 /// simulated-cycle hot-path metrics with the trace sink recording and
 /// holds each within 5% of the committed `BENCH_hotpath.json` value.
@@ -3360,43 +3894,55 @@ fn tracing_overhead_gate() -> bool {
             return false;
         }
     };
-    let trans = bench_transitions(16, true);
-    let flush = bench_flush_policy(16, true);
+    let doc = match json::parse(&doc) {
+        Ok(d) => d,
+        Err(e) => {
+            println!("overhead gate: cannot parse {}: {e}", path.display());
+            return false;
+        }
+    };
+    let committed_row = |name: &str| -> Option<Json> {
+        doc.get("benches")
+            .and_then(Json::as_arr)?
+            .iter()
+            .find(|row| row.get("name").and_then(Json::as_str) == Some(name))
+            .cloned()
+    };
+    let committed_field = |name: &str, field: &str| -> Option<u64> {
+        committed_row(name)?.path(field).and_then(Json::as_u64)
+    };
+    let (trans, _) = bench_transitions(16, true);
+    let (flush, _) = bench_flush_policy(16, true);
     let detail = |e: &HotpathEntry, key: &str| {
         e.detail
             .iter()
             .find(|(k, _)| *k == key)
             .map(|&(_, v)| v)
     };
-    let rows: [(&str, &str, &str, Option<u64>); 5] = [
+    let rows: [(&str, Option<u64>, Option<u64>); 5] = [
         (
             "transitions.mediated_cycles",
-            "\"name\": \"transitions\"",
-            "mediated_cycles",
+            committed_field("transitions", "detail.mediated_cycles"),
             detail(&trans, "mediated_cycles"),
         ),
         (
             "transitions.fast_cycles",
-            "\"name\": \"transitions\"",
-            "fast_cycles",
+            committed_field("transitions", "detail.fast_cycles"),
             detail(&trans, "fast_cycles"),
         ),
         (
             "flush_policy.obfuscate_cycles",
-            "\"name\": \"flush_policy\"",
-            "before",
+            committed_field("flush_policy", "before"),
             Some(flush.before),
         ),
         (
             "flush_policy.none_cycles",
-            "\"name\": \"flush_policy\"",
-            "after",
+            committed_field("flush_policy", "after"),
             Some(flush.after),
         ),
         (
             "flush_policy.zero_cycles",
-            "\"name\": \"flush_policy\"",
-            "zero_cycles",
+            committed_field("flush_policy", "detail.zero_cycles"),
             detail(&flush, "zero_cycles"),
         ),
     ];
@@ -3405,8 +3951,7 @@ fn tracing_overhead_gate() -> bool {
         &["metric", "committed", "traced", "delta", "verdict"],
     );
     let mut pass = true;
-    for (label, section, key, traced) in rows {
-        let committed = json_field_u64(&doc, section, key);
+    for (label, committed, traced) in rows {
         let (Some(committed), Some(traced)) = (committed, traced) else {
             pass = false;
             t.row(&[label.to_string(), "?".into(), "?".into(), "?".into(), "MISSING".into()]);

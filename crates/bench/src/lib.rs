@@ -7,15 +7,25 @@
 //! - [`scenarios`]: the paper's figures as executable scenarios — the
 //!   Figure 2 confidential-SaaS pipeline and the Figure 4 memory view;
 //! - [`table`]: plain-text tables the harness prints (one per experiment,
-//!   mirrored into `EXPERIMENTS.md`).
+//!   mirrored into `EXPERIMENTS.md`);
+//! - [`json`], [`histogram`], [`timing`], [`manifest`], [`harness`]: the
+//!   process-based bench harness — child-line protocol, log-bucketed
+//!   latency histograms, checked timing arithmetic, run manifests, and
+//!   the orchestrator/report/check layer behind `repro harness` and
+//!   `repro report`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fixtures;
 pub mod fuzz;
+pub mod harness;
+pub mod histogram;
+pub mod json;
+pub mod manifest;
 pub mod scenarios;
 pub mod table;
+pub mod timing;
 
 pub use fixtures::{boot, spawn_sealed};
 pub use table::Table;
