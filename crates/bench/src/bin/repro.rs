@@ -44,6 +44,8 @@ use tyche_core::audit;
 use tyche_core::metrics::Counter;
 use tyche_core::prelude::*;
 use tyche_core::trace::EventKind;
+use tyche_fleet::{Fleet, FleetConfig};
+use tyche_hw::faults::{FaultPlan, FaultSite};
 use tyche_verify::rv;
 use tyche_monitor::abi::MonitorCall;
 use tyche_monitor::attest::Verifier;
@@ -88,6 +90,8 @@ fn main() {
             bench_scale(json, smoke, out.as_deref());
         } else if args.iter().any(|a| a == "--smp") {
             bench_smp(json, smoke, out.as_deref());
+        } else if args.iter().any(|a| a == "--fleet") {
+            bench_fleet(json, smoke, out.as_deref());
         } else {
             bench_hotpath(json, smoke, out.as_deref());
             if smoke {
@@ -227,7 +231,7 @@ fn resolve_bench_out(family: Family, smoke: bool, out: Option<&str>) -> PathBuf 
     }
 }
 
-/// `repro harness [--suite hotpath|smp|scale|all] [--smoke] [--out P]`:
+/// `repro harness [--suite hotpath|smp|scale|fleet|all] [--smoke] [--out P]`:
 /// orchestrates the selected suites through child processes of this
 /// same binary and writes one artifact per suite.
 fn harness_main(args: &[String], raw: &[String]) {
@@ -235,12 +239,12 @@ fn harness_main(args: &[String], raw: &[String]) {
     let suite = flag_value(raw, "--suite").unwrap_or_else(|| "all".into()).to_lowercase();
     let out = flag_value(raw, "--out");
     let families: Vec<Family> = if suite == "all" {
-        vec![Family::Hotpath, Family::Smp, Family::Scale]
+        vec![Family::Hotpath, Family::Smp, Family::Scale, Family::Fleet]
     } else {
         match Family::parse(&suite) {
             Some(f) => vec![f],
             None => {
-                eprintln!("harness: unknown suite {suite:?} (hotpath|smp|scale|all)");
+                eprintln!("harness: unknown suite {suite:?} (hotpath|smp|scale|fleet|all)");
                 std::process::exit(2);
             }
         }
@@ -462,6 +466,13 @@ fn harness_child(args: &[String]) {
             let (e, hists) = scale_population(p("population", 1_000), p("neighbors", 64), p("depth", 1024));
             (scale_row(&e), Vec::new(), hists)
         }
+        "fleet" => fleet_bench(
+            p("machines", 2),
+            p("requests", 512),
+            p("byzantine", 0) != 0,
+            p("faulted", 0) != 0,
+            seed,
+        ),
         other => {
             eprintln!("harness-child: unknown scenario {other:?}");
             std::process::exit(2);
@@ -2821,6 +2832,201 @@ fn bench_scale(json: bool, smoke: bool, out: Option<&str>) {
 
     if json {
         write_inprocess_artifact(Family::Scale, smoke, out, rows);
+    }
+}
+
+// ----------------------------------------------------------------------
+// `repro bench --fleet` — multi-machine attested channels (BENCH_fleet.json)
+// ----------------------------------------------------------------------
+
+/// A fleet child row: the deterministic JSON row, the det fields the
+/// merge step cross-checks across invocations, and the named
+/// histograms.
+type FleetRow = (Json, Vec<(String, u64)>, Vec<(String, Histogram)>);
+
+/// One fleet scenario: boots `machines` independent machines, mutually
+/// attests every pair into MAC-keyed channels, then times `requests`
+/// attested request deliveries round-robin over the ordered healthy
+/// pairs (both directions, so every machine both sends and receives).
+///
+/// `byzantine` makes the last machine boot the evil monitor build — it
+/// never gets a channel and sprays unauthenticated frames at every
+/// honest machine, once after establishment and again mid-run.
+/// `faulted` arms one NIC fault on each of three receiving machines
+/// (drop, corrupt, duplicate — the NIC model consults the destination's
+/// fault plan), each surfacing as a channel violation and teardown.
+///
+/// The deterministic fields are all schedule-derived (counts and
+/// simulated cycles), so they must agree across invocation seeds; the
+/// wall-clock request latencies feed the `request` histogram.
+fn fleet_bench(
+    machines: usize,
+    requests: usize,
+    byzantine: bool,
+    faulted: bool,
+    seed: u64,
+) -> FleetRow {
+    let byz = byzantine.then(|| machines - 1);
+    let mut fleet = Fleet::new(&FleetConfig {
+        machines,
+        seed,
+        byzantine: byz,
+        ..FleetConfig::default()
+    })
+    .expect("fleet boots");
+    if faulted {
+        // One countdown-armed fault per receiving machine: a dropped
+        // frame surfaces as a sequence gap (reorder) on the next frame,
+        // a corrupted one as a bad MAC, a duplicated one as a replay.
+        for (m, site, skip) in [
+            (1usize, FaultSite::NicDrop, 3),
+            (2, FaultSite::NicCorrupt, 5),
+            (3, FaultSite::NicDup, 7),
+        ] {
+            if m < machines {
+                fleet
+                    .machine_mut(m)
+                    .expect("faulted machine exists")
+                    .monitor
+                    .machine
+                    .faults
+                    .arm(FaultPlan::after(site, skip, 1));
+            }
+        }
+    }
+    let channels = fleet.establish_all() as u64;
+
+    let honest: Vec<usize> = (0..machines).filter(|&m| Some(m) != byz).collect();
+    let pairs: Vec<(usize, usize)> = honest
+        .iter()
+        .flat_map(|&a| honest.iter().filter(move |&&b| b != a).map(move |&b| (a, b)))
+        .collect();
+    let spray = |fleet: &mut Fleet| {
+        if let Some(evil) = byz {
+            for &h in &honest {
+                let _ = fleet.send_raw(evil, h, 0, vec![0x5a; 64]);
+                let _ = fleet.pump(h, 0);
+            }
+        }
+    };
+    spray(&mut fleet);
+
+    let payload = [0x42u8; 64];
+    let mut hist = Histogram::new();
+    let mut refused = 0u64;
+    for r in 0..requests {
+        if byzantine && r == requests / 2 {
+            spray(&mut fleet);
+        }
+        let (a, b) = pairs[r % pairs.len()];
+        let t0 = Instant::now();
+        if fleet.send(a, b, 0, &payload).is_err() {
+            refused += 1;
+            continue;
+        }
+        // Drain `b` until the request lands: garbage and post-teardown
+        // frames from earlier in the schedule are violations the pump
+        // steps over; a fault-dropped frame leaves the queue empty.
+        loop {
+            match fleet.deliver(b, 0) {
+                Ok(Some(d)) if d.from == a as u64 => {
+                    hist.record(t0.elapsed().as_nanos() as u64);
+                    break;
+                }
+                Ok(Some(_)) | Err(_) => continue,
+                Ok(None) => break,
+            }
+        }
+    }
+
+    let mut accepted = 0u64;
+    let mut violations = 0u64;
+    let mut quarantined = 0u64;
+    let mut sim_cycles = 0u64;
+    for m in 0..machines {
+        let machine = fleet.machine(m).expect("machine exists");
+        let s = machine.stats();
+        accepted += s.accepted;
+        violations += s.violations;
+        quarantined += s.quarantined;
+        sim_cycles = sim_cycles.max(machine.monitor.machine.core_clocks.max_now());
+    }
+
+    let row = json::parse(&format!(
+        "{{\"machines\": {machines}, \"requests\": {requests}, \"byzantine\": {}, \"faulted\": {}, \
+         \"channels\": {channels}, \"accepted\": {accepted}, \"violations\": {violations}, \
+         \"quarantined\": {quarantined}, \"refused\": {refused}}}",
+        u64::from(byzantine),
+        u64::from(faulted),
+    ))
+    .expect("fleet row is valid JSON");
+    let det = vec![
+        ("machines".to_string(), machines as u64),
+        ("requests".to_string(), requests as u64),
+        ("channels".to_string(), channels),
+        ("accepted".to_string(), accepted),
+        ("violations".to_string(), violations),
+        ("quarantined".to_string(), quarantined),
+        ("sim_cycles".to_string(), sim_cycles),
+    ];
+    (row, det, vec![("request".to_string(), hist)])
+}
+
+/// Runs the fleet matrix in-process and (with `json`) writes an
+/// `"inprocess"` fleet artifact — the committed `BENCH_fleet.json` comes
+/// from `repro harness --suite fleet`, which runs the same matrix
+/// through child processes.
+fn bench_fleet(json: bool, smoke: bool, out: Option<&str>) {
+    if json && smoke {
+        let path = resolve_bench_out(Family::Fleet, smoke, out);
+        if let Err(e) = harness::refuse_smoke_clobber(&path) {
+            eprintln!("bench: {e}");
+            std::process::exit(1);
+        }
+    }
+    let mut t = Table::new(
+        "BENCH — fleet: attested requests over MAC-keyed channels (wall ns/request)",
+        &[
+            "scenario",
+            "machines",
+            "channels",
+            "accepted",
+            "violations",
+            "quarantined",
+            "p50",
+            "p99",
+        ],
+    );
+    let mut rows = Vec::new();
+    for spec in harness::suite_specs(Family::Fleet, smoke) {
+        let p = |key: &str, default: usize| -> usize {
+            harness::param(&spec.params, key)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        let (row, _det, hists) = fleet_bench(
+            p("machines", 2),
+            p("requests", 512),
+            p("byzantine", 0) != 0,
+            p("faulted", 0) != 0,
+            1,
+        );
+        let h = &hists.first().expect("request histogram").1;
+        t.row(&[
+            spec.id.clone(),
+            row.get("machines").and_then(Json::as_u64).unwrap_or(0).to_string(),
+            row.get("channels").and_then(Json::as_u64).unwrap_or(0).to_string(),
+            row.get("accepted").and_then(Json::as_u64).unwrap_or(0).to_string(),
+            row.get("violations").and_then(Json::as_u64).unwrap_or(0).to_string(),
+            row.get("quarantined").and_then(Json::as_u64).unwrap_or(0).to_string(),
+            h.percentile(0.50).to_string(),
+            h.percentile(0.99).to_string(),
+        ]);
+        rows.push(MergedScenario::from_single(spec.id, row, hists));
+    }
+    t.print();
+    if json {
+        write_inprocess_artifact(Family::Fleet, smoke, out, rows);
     }
 }
 

@@ -18,7 +18,12 @@
 //!    cores, so the shard/snapshot/shootdown tiers are exercised
 //!    without sacrificing determinism), with periodic
 //!    [`ConcurrentMonitor::sync_shootdowns`];
-//! 3. **RISC-V direct** — the PMP backend under the same storm.
+//! 3. **RISC-V direct** — the PMP backend under the same storm;
+//! 4. **fleet** (seeds in [`FLEET_SEEDS`] only) — a 3-machine attested
+//!    fleet exchanging MAC-keyed frames under seeded NIC drop/dup
+//!    faults, every violation resolving to a recorded teardown and the
+//!    per-machine channel traces replayed through the runtime
+//!    verifiers.
 //!
 //! After every call the engine auditor must come back clean; at the end
 //! of each phase the injector is disarmed and hardware state must match
@@ -31,6 +36,7 @@ use tyche_core::audit;
 use tyche_core::engine::CapEngine;
 use tyche_core::trace::{EventKind, TraceLog};
 use tyche_crypto::{hash_parts, ChaChaRng, Digest};
+use tyche_fleet::{Fleet, FleetConfig};
 use tyche_verify::rv;
 use tyche_hw::faults::{FaultPlan, FaultSite};
 use tyche_monitor::abi::leaf;
@@ -420,6 +426,83 @@ fn drive_concurrent(m: Monitor, d: &mut Driver, n: u64, faults: bool, phase: u64
     m
 }
 
+/// Seeds that run the cross-machine fleet phase. Seed 5 sits inside the
+/// CI smoke subset so the phase stays exercised on every push; seed 21
+/// is full-campaign only.
+pub const FLEET_SEEDS: [u64; 2] = [5, 21];
+
+/// Phase 4: a 3-machine attested fleet with NIC drop/dup faults armed
+/// on the receiving side. Every send/pump outcome folds into the step
+/// digest (so replay divergence covers the fleet), channel quarantines
+/// add to the campaign counters, and the drained per-machine traces go
+/// through the same RV replay as the x86 and RISC-V phases — an
+/// injected fault must resolve to a violation-plus-teardown pair the
+/// checkers accept, never a checker finding.
+fn drive_fleet(d: &mut Driver, traced: bool) -> Vec<(&'static str, TraceLog)> {
+    const NAMES: [&str; 3] = ["fleet-0", "fleet-1", "fleet-2"];
+    let mut fleet = Fleet::new(&FleetConfig {
+        machines: NAMES.len(),
+        seed: d.report.seed,
+        ..FleetConfig::default()
+    })
+    .expect("fleet boots");
+    if traced {
+        fleet.enable_tracing();
+    }
+    // The NIC model consults the destination machine's plans, so the
+    // faults arm on receivers: one dropped frame (surfaces as a
+    // sequence gap on the next delivery) and one duplicated frame
+    // (surfaces as a replay).
+    for (m, site, skip) in [(1usize, FaultSite::NicDrop, 2), (2, FaultSite::NicDup, 4)] {
+        fleet
+            .machine_mut(m)
+            .expect("fleet machine")
+            .monitor
+            .machine
+            .faults
+            .arm(FaultPlan::after(site, skip, 1));
+    }
+    let up = fleet.establish_all() as u64;
+    d.record(4, 0xf1e7, &[up, 0, 0, 0, 0, 0], 0, 0);
+
+    let pairs = [(0usize, 1usize), (1, 2), (2, 0), (1, 0), (2, 1), (0, 2)];
+    for step in 0..24u64 {
+        let (a, b) = pairs[step as usize % pairs.len()];
+        let core = (step % 2) as usize;
+        let payload = [d.report.seed as u8, step as u8, a as u8, b as u8];
+        let code = fleet.send(a, b, core, &payload).unwrap_or(u64::MAX);
+        let (accepted, rejected) = fleet.pump(b, core);
+        let reason = rejected.first().map(|v| v.reason as u64).unwrap_or(0);
+        d.record(
+            4,
+            0xf1ee,
+            &[a as u64, b as u64, step, accepted.len() as u64, rejected.len() as u64, 0],
+            code,
+            reason,
+        );
+    }
+
+    let (mut accepted, mut violations, mut quarantined) = (0u64, 0u64, 0u64);
+    for i in 0..fleet.len() {
+        let s = fleet.machine(i).expect("fleet machine").stats();
+        accepted += s.accepted;
+        violations += s.violations;
+        quarantined += s.quarantined;
+    }
+    d.report.quarantines += quarantined;
+    d.record(4, 0xf1e8, &[accepted, violations, quarantined, 0, 0, 0], 0, 0);
+
+    NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let m = fleet.machine(i).expect("fleet machine");
+            m.monitor.trace().emit_engine(EventKind::PhaseEnd { phase: 4 });
+            (*name, m.monitor.trace().drain())
+        })
+        .collect()
+}
+
 /// One machine's drained trace: the structured event log, its chained
 /// digest, and the runtime-verification verdicts over it.
 #[derive(Clone, Debug)]
@@ -443,7 +526,8 @@ pub struct CampaignOutcome {
     /// The summary report (RV findings are folded into
     /// `audit_failures` with an `rv:` prefix).
     pub report: FuzzReport,
-    /// Drained traces, one per machine: `x86` then `riscv`.
+    /// Drained traces, one per machine: `x86` then `riscv`, followed by
+    /// `fleet-0..2` for seeds in [`FLEET_SEEDS`].
     pub phases: Vec<PhaseTrace>,
     /// Final x86 engine state.
     pub x86_engine: CapEngine,
@@ -503,7 +587,11 @@ fn campaign(config: FuzzConfig, traced: bool) -> CampaignOutcome {
     rv_m.trace().emit_engine(EventKind::PhaseEnd { phase: 3 });
     let riscv_log = rv_m.trace().drain();
 
-    let phases: Vec<PhaseTrace> = [("x86", x86_log), ("riscv", riscv_log)]
+    let mut logs: Vec<(&'static str, TraceLog)> = vec![("x86", x86_log), ("riscv", riscv_log)];
+    if FLEET_SEEDS.contains(&config.seed) {
+        logs.extend(drive_fleet(&mut d, traced));
+    }
+    let phases: Vec<PhaseTrace> = logs
         .into_iter()
         .map(|(name, log)| {
             let findings = rv::check_all(&log);
@@ -566,6 +654,25 @@ mod tests {
     #[test]
     fn identical_seeds_replay_identical_traces() {
         assert!(replays_identically(small(11)));
+    }
+
+    #[test]
+    fn gated_seeds_run_the_fleet_phase_clean() {
+        let outcome = run_traced(small(FLEET_SEEDS[0]));
+        assert!(
+            outcome.report.clean(),
+            "audit failures: {:?}",
+            outcome.report.audit_failures
+        );
+        let names: Vec<&str> = outcome.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["x86", "riscv", "fleet-0", "fleet-1", "fleet-2"]);
+        // The injected NIC faults must actually bite: violations on the
+        // fleet traces resolve to teardown pairs the checkers accept.
+        assert!(outcome.report.quarantines > 0, "fleet faults must quarantine a peer");
+        // Ungated seeds keep the two-machine shape.
+        assert_eq!(run_traced(small(11)).phases.len(), 2);
+        // And the gated seed still replays bit-identically.
+        assert!(replays_identically(small(FLEET_SEEDS[0])));
     }
 
     #[test]

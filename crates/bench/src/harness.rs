@@ -34,7 +34,7 @@ use crate::table::Table;
 /// Schema identifier on every child line.
 pub const CHILD_SCHEMA: &str = "tyche-harness-child/v1";
 
-/// The three orchestrated bench suites.
+/// The four orchestrated bench suites.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Hot-path before/after benches (`BENCH_hotpath.json`).
@@ -43,6 +43,8 @@ pub enum Family {
     Smp,
     /// Population-sweep benches (`BENCH_scale.json`).
     Scale,
+    /// Multi-machine attested-channel benches (`BENCH_fleet.json`).
+    Fleet,
 }
 
 impl Family {
@@ -52,6 +54,7 @@ impl Family {
             "hotpath" => Some(Family::Hotpath),
             "smp" => Some(Family::Smp),
             "scale" => Some(Family::Scale),
+            "fleet" => Some(Family::Fleet),
             _ => None,
         }
     }
@@ -62,16 +65,19 @@ impl Family {
             Family::Hotpath => "BENCH_hotpath.json",
             Family::Smp => "BENCH_smp.json",
             Family::Scale => "BENCH_scale.json",
+            Family::Fleet => "BENCH_fleet.json",
         }
     }
 
     /// The current artifact schema (v2 for hotpath/scale, v3 for smp —
-    /// each bumped once when percentiles and manifests landed).
+    /// each bumped once when percentiles and manifests landed — and v1
+    /// for the fleet suite, born under the harness).
     pub fn schema(self) -> &'static str {
         match self {
             Family::Hotpath => "tyche-bench-hotpath/v2",
             Family::Smp => "tyche-bench-smp/v3",
             Family::Scale => "tyche-bench-scale/v2",
+            Family::Fleet => "tyche-bench-fleet/v1",
         }
     }
 
@@ -80,6 +86,7 @@ impl Family {
         match self {
             Family::Hotpath | Family::Smp => "benches",
             Family::Scale => "populations",
+            Family::Fleet => "fleets",
         }
     }
 
@@ -89,6 +96,7 @@ impl Family {
             Family::Hotpath => "hotpath",
             Family::Smp => "smp",
             Family::Scale => "scale",
+            Family::Fleet => "fleet",
         }
     }
 }
@@ -245,6 +253,46 @@ pub fn suite_specs(family: Family, smoke: bool) -> Vec<ChildSpec> {
                     )
                 })
                 .collect()
+        }
+        Family::Fleet => {
+            let requests = if smoke { 32 } else { 512 };
+            let inv = 2;
+            let mut specs = Vec::new();
+            let sizes: &[usize] = if smoke { &[2] } else { &[2, 4, 8] };
+            for &m in sizes {
+                specs.push(spec(
+                    format!("fleet/machines={m}"),
+                    "fleet",
+                    &[("machines", m), ("requests", requests)],
+                    inv,
+                ));
+            }
+            // Containment rows: one byzantine machine spraying forged
+            // frames, and one healthy fleet under seeded NIC faults —
+            // both at the mid-size fleet so their tails diff against
+            // the healthy `machines=4` row (`machines=3` in smoke).
+            let adversarial_size = if smoke { 3 } else { 4 };
+            specs.push(spec(
+                format!("fleet/byzantine/machines={adversarial_size}"),
+                "fleet",
+                &[
+                    ("machines", adversarial_size),
+                    ("requests", requests),
+                    ("byzantine", 1),
+                ],
+                inv,
+            ));
+            specs.push(spec(
+                format!("fleet/faulted/machines={adversarial_size}"),
+                "fleet",
+                &[
+                    ("machines", adversarial_size),
+                    ("requests", requests),
+                    ("faulted", 1),
+                ],
+                inv,
+            ));
+            specs
         }
     }
 }
@@ -578,6 +626,19 @@ fn row_with_percentiles(family: Family, merged: &MergedScenario) -> Json {
                 merged.hists.iter().map(|(k, h)| (k.clone(), latency_json(h))).collect();
             members.push(("percentiles".into(), Json::Obj(map)));
         }
+        Family::Fleet => {
+            // Attested requests/sec is derived here, from the *merged*
+            // request histogram, so it reflects every invocation rather
+            // than whichever child's row came first.
+            if let Some((_, h)) = merged.hists.first() {
+                members.push(("latency".into(), latency_json(h)));
+                let mean = h.mean_ns().max(1);
+                members.push((
+                    "attested_rps".into(),
+                    Json::Num(format!("{:.1}", 1e9 / mean as f64)),
+                ));
+            }
+        }
     }
     Json::Obj(members)
 }
@@ -686,6 +747,27 @@ pub fn assemble_artifact(
         Family::Scale => {
             head.push_str("  \"neighbors\": 64,\n");
         }
+        Family::Fleet => {
+            // Headline containment number: the byzantine row's healthy-
+            // pair p99 over the same-size healthy fleet's p99. The
+            // artifact check caps it at 2x.
+            let p99_of = |r: &MergedScenario| {
+                r.hists.first().map(|(_, h)| h.percentile(0.99)).unwrap_or(0)
+            };
+            let byz = run.rows.iter().find(|r| r.id.starts_with("fleet/byzantine/"));
+            if let Some(byz) = byz {
+                let size = byz.id.rsplit('=').next().unwrap_or("");
+                let healthy = run
+                    .rows
+                    .iter()
+                    .find(|r| r.id == format!("fleet/machines={size}"));
+                if let Some(healthy) = healthy {
+                    let ratio =
+                        p99_of(byz) as f64 / (p99_of(healthy) as f64).max(f64::MIN_POSITIVE);
+                    head.push_str(&format!("  \"byzantine_p99_ratio\": {ratio:.2},\n"));
+                }
+            }
+        }
     }
     format!(
         "{head}{},\n  \"{}\": [\n{rows}\n  ]\n}}\n",
@@ -751,6 +833,11 @@ const SMP_METRICS: &[MetricSpec] = &[
     MetricSpec { path: "smp_tput", direction: Direction::HigherIsBetter },
     MetricSpec { path: "call_latency.p99", direction: Direction::LowerIsBetter },
 ];
+const FLEET_METRICS: &[MetricSpec] = &[
+    MetricSpec { path: "attested_rps", direction: Direction::HigherIsBetter },
+    MetricSpec { path: "latency.p50", direction: Direction::LowerIsBetter },
+    MetricSpec { path: "latency.p99", direction: Direction::LowerIsBetter },
+];
 const SCALE_METRICS: &[MetricSpec] = &[
     MetricSpec { path: "create_ns_per_op", direction: Direction::LowerIsBetter },
     MetricSpec { path: "enter_ns_per_op", direction: Direction::LowerIsBetter },
@@ -768,6 +855,7 @@ fn family_of_schema(schema: &str) -> Option<Family> {
         "tyche-bench-hotpath" => Some(Family::Hotpath),
         "tyche-bench-smp" => Some(Family::Smp),
         "tyche-bench-scale" => Some(Family::Scale),
+        "tyche-bench-fleet" => Some(Family::Fleet),
         _ => None,
     }
 }
@@ -789,6 +877,12 @@ fn row_key(family: Family, row: &Json) -> String {
         Family::Scale => format!(
             "population={}",
             row.get("population").and_then(Json::as_u64).unwrap_or(0)
+        ),
+        Family::Fleet => format!(
+            "machines={}/byzantine={}/faulted={}",
+            row.get("machines").and_then(Json::as_u64).unwrap_or(0),
+            row.get("byzantine").and_then(Json::as_u64).unwrap_or(0),
+            row.get("faulted").and_then(Json::as_u64).unwrap_or(0)
         ),
     }
 }
@@ -825,6 +919,7 @@ pub fn report_diff(old: &Json, new: &Json, threshold_pct: f64) -> Result<ReportO
         Family::Hotpath => HOTPATH_METRICS,
         Family::Smp => SMP_METRICS,
         Family::Scale => SCALE_METRICS,
+        Family::Fleet => FLEET_METRICS,
     };
     let rows_of = |doc: &Json| -> Vec<Json> {
         doc.get(family.rows_key()).and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default()
@@ -1019,6 +1114,68 @@ pub fn check_artifact(doc: &Json) -> Vec<String> {
             check_rows_have(rows, "percentiles.create.p50", &mut failures, Family::Scale);
             check_rows_have(rows, "percentiles.revoke_storm.p999", &mut failures, Family::Scale);
         }
+        "tyche-bench-fleet/v1" => {
+            check_mode_full(doc, &mut failures);
+            check_manifest(doc, &mut failures);
+            let rows = doc.get("fleets").and_then(Json::as_arr).unwrap_or(&[]);
+            let healthy = |r: &&Json| {
+                r.get("byzantine").and_then(Json::as_u64).unwrap_or(0) == 0
+                    && r.get("faulted").and_then(Json::as_u64).unwrap_or(0) == 0
+            };
+            for m in [2u64, 4, 8] {
+                if !rows
+                    .iter()
+                    .filter(healthy)
+                    .any(|r| r.get("machines").and_then(Json::as_u64) == Some(m))
+                {
+                    failures.push(format!("healthy fleet row machines={m} missing"));
+                }
+            }
+            check_rows_have(rows, "latency.p50", &mut failures, Family::Fleet);
+            check_rows_have(rows, "latency.p999", &mut failures, Family::Fleet);
+            check_rows_have(rows, "attested_rps", &mut failures, Family::Fleet);
+            // Containment: the byzantine machine must be quarantined by
+            // every honest peer, and the healthy pairs' tail latency
+            // must stay within 2x of the same-size healthy fleet.
+            let byz = rows
+                .iter()
+                .find(|r| r.get("byzantine").and_then(Json::as_u64) == Some(1));
+            match byz {
+                None => failures.push("byzantine containment row missing".into()),
+                Some(byz) => {
+                    let machines = byz.get("machines").and_then(Json::as_u64).unwrap_or(0);
+                    let quarantined =
+                        byz.get("quarantined").and_then(Json::as_u64).unwrap_or(0);
+                    if quarantined < machines.saturating_sub(1) {
+                        failures.push(format!(
+                            "byzantine row: only {quarantined} of {} honest peers \
+                             quarantined the byzantine machine",
+                            machines.saturating_sub(1)
+                        ));
+                    }
+                    let peer = rows.iter().filter(healthy).find(|r| {
+                        r.get("machines").and_then(Json::as_u64) == Some(machines)
+                    });
+                    if let Some(peer) = peer {
+                        let b = f64_field(byz, "latency.p99");
+                        let h = f64_field(peer, "latency.p99").max(f64::MIN_POSITIVE);
+                        if b / h >= 2.0 {
+                            failures.push(format!(
+                                "byzantine row: healthy-pair p99 degraded {:.2}x \
+                                 (containment bound is < 2x)",
+                                b / h
+                            ));
+                        }
+                    }
+                }
+            }
+            if !rows
+                .iter()
+                .any(|r| r.get("faulted").and_then(Json::as_u64) == Some(1))
+            {
+                failures.push("faulted-NIC fleet row missing".into());
+            }
+        }
         "tyche-static/v1" => {
             if doc.get("pass").and_then(Json::as_bool) != Some(true) {
                 failures.push("static audit did not pass".into());
@@ -1201,9 +1358,11 @@ mod tests {
         assert_eq!(suite_specs(Family::Hotpath, false).len(), 10);
         assert_eq!(suite_specs(Family::Smp, false).len(), 32);
         assert_eq!(suite_specs(Family::Scale, false).len(), 4);
+        assert_eq!(suite_specs(Family::Fleet, false).len(), 5);
         // Smoke keeps every scenario kind but shrinks the matrix.
         assert_eq!(suite_specs(Family::Hotpath, true).len(), 4);
         assert_eq!(suite_specs(Family::Smp, true).len(), 4);
         assert_eq!(suite_specs(Family::Scale, true).len(), 2);
+        assert_eq!(suite_specs(Family::Fleet, true).len(), 3);
     }
 }

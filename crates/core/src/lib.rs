@@ -67,6 +67,7 @@
 pub mod attest;
 pub mod audit;
 pub mod capability;
+pub mod channel;
 pub mod domain;
 pub mod effect;
 pub mod engine;
@@ -93,6 +94,7 @@ pub mod prelude {
 }
 
 pub use capability::{CapKind, Capability};
+pub use channel::{ChannelTable, Violation, ViolationReason};
 pub use domain::{DomainState, SealPolicy};
 pub use effect::Effect;
 pub use engine::CapEngine;

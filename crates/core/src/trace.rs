@@ -217,6 +217,69 @@ pub enum EventKind {
         /// Driver-assigned phase number.
         phase: u64,
     },
+    /// A MAC-keyed channel to machine `peer` was established (or re-keyed)
+    /// at key epoch `epoch` after mutual attestation succeeded.
+    ChanEstablish {
+        /// The remote machine id.
+        peer: u64,
+        /// The key epoch now current for this peer.
+        epoch: u64,
+    },
+    /// A frame was MACed and handed to the NIC for `peer` carrying channel
+    /// sequence number `seq` under key epoch `epoch`.
+    ChanSend {
+        /// The remote machine id.
+        peer: u64,
+        /// The monotonically increasing per-channel sequence number.
+        seq: u64,
+        /// The key epoch the frame was MACed under.
+        epoch: u64,
+    },
+    /// A frame from `peer` passed MAC + sequence verification and was
+    /// accepted at channel sequence `seq`, key epoch `epoch`.
+    ChanRecv {
+        /// The remote machine id.
+        peer: u64,
+        /// The verified per-channel sequence number.
+        seq: u64,
+        /// The key epoch the frame verified under.
+        epoch: u64,
+    },
+    /// A frame from `peer` failed verification (reason code from
+    /// `tyche-fleet`'s `ViolationReason`); `seq` is the per-channel frame
+    /// index at which the violation was detected.
+    ChanViolation {
+        /// The remote machine id.
+        peer: u64,
+        /// Numeric violation-reason code.
+        reason: u8,
+        /// The frame index (delivery count) at detection.
+        seq: u64,
+    },
+    /// The channel to `peer` was torn down; its epoch-`epoch` key is dead
+    /// and no further frames will be accepted until re-attestation.
+    ChanTeardown {
+        /// The remote machine id.
+        peer: u64,
+        /// The key epoch that was retired.
+        epoch: u64,
+    },
+    /// The NIC accepted one outbound frame of `bytes` payload bytes for
+    /// machine `to` (cycles charged to this event's core).
+    NicSend {
+        /// The destination machine id.
+        to: u64,
+        /// Payload length in bytes.
+        bytes: u64,
+    },
+    /// The NIC delivered one inbound frame of `bytes` payload bytes from
+    /// machine `from` to this event's core.
+    NicRecv {
+        /// The source machine id.
+        from: u64,
+        /// Payload length in bytes.
+        bytes: u64,
+    },
 }
 
 impl EventKind {
@@ -240,6 +303,13 @@ impl EventKind {
             EventKind::ShootBatch { .. } => "shoot-batch",
             EventKind::SnapRead { .. } => "snap-read",
             EventKind::PhaseEnd { .. } => "phase-end",
+            EventKind::ChanEstablish { .. } => "chan-establish",
+            EventKind::ChanSend { .. } => "chan-send",
+            EventKind::ChanRecv { .. } => "chan-recv",
+            EventKind::ChanViolation { .. } => "chan-violation",
+            EventKind::ChanTeardown { .. } => "chan-teardown",
+            EventKind::NicSend { .. } => "nic-send",
+            EventKind::NicRecv { .. } => "nic-recv",
         }
     }
 
@@ -271,6 +341,13 @@ impl EventKind {
             EventKind::ShootBatch { drained, ipis } => (15, 0, drained, ipis, 0),
             EventKind::SnapRead { gen } => (16, 0, gen, 0, 0),
             EventKind::PhaseEnd { phase } => (17, 0, phase, 0, 0),
+            EventKind::ChanEstablish { peer, epoch } => (18, 0, peer, epoch, 0),
+            EventKind::ChanSend { peer, seq, epoch } => (19, 0, peer, seq, epoch),
+            EventKind::ChanRecv { peer, seq, epoch } => (20, 0, peer, seq, epoch),
+            EventKind::ChanViolation { peer, reason, seq } => (21, reason, peer, seq, 0),
+            EventKind::ChanTeardown { peer, epoch } => (22, 0, peer, epoch, 0),
+            EventKind::NicSend { to, bytes } => (23, 0, to, bytes, 0),
+            EventKind::NicRecv { from, bytes } => (24, 0, from, bytes, 0),
         }
     }
 }
@@ -637,5 +714,52 @@ mod tests {
             .collect();
         // meta = core 2 << 32 | disc 6 << 8 | flag 1 (fast).
         assert_eq!(words, vec![7, (2u64 << 32) | (6 << 8) | 1, 1, 4, 0, 0]);
+    }
+
+    #[test]
+    fn channel_encoding_is_stable() {
+        // The channel events ride the same 48-byte layout; pin one with a
+        // flag byte (the violation reason) and one payload-heavy variant.
+        let v = TraceEvent {
+            seq: 9,
+            core: 1,
+            kind: EventKind::ChanViolation {
+                peer: 3,
+                reason: 2,
+                seq: 11,
+            },
+        };
+        let words: Vec<u64> = v
+            .encode()
+            .chunks(8)
+            .map(|c| {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(c);
+                u64::from_le_bytes(w)
+            })
+            .collect();
+        // meta = core 1 << 32 | disc 21 << 8 | flag 2 (reason).
+        assert_eq!(words, vec![9, (1u64 << 32) | (21 << 8) | 2, 3, 11, 0, 0]);
+        let s = TraceEvent {
+            seq: 0,
+            core: 0,
+            kind: EventKind::ChanSend {
+                peer: 5,
+                seq: 42,
+                epoch: 2,
+            },
+        };
+        let words: Vec<u64> = s
+            .encode()
+            .chunks(8)
+            .map(|c| {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(c);
+                u64::from_le_bytes(w)
+            })
+            .collect();
+        assert_eq!(words, vec![0, 19 << 8, 5, 42, 2, 0]);
+        assert_eq!(v.kind.name(), "chan-violation");
+        assert_eq!(s.kind.name(), "chan-send");
     }
 }

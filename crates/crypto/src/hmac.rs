@@ -77,6 +77,27 @@ impl HmacSha256 {
         let expected = Self::mac(key, data);
         crate::ct::eq(expected.as_bytes(), tag.as_bytes())
     }
+
+    /// One-shot HMAC over a multi-part message (header fields + payload,
+    /// as in the fleet's channel frames). Each part is absorbed behind a
+    /// 64-bit little-endian length prefix, so distinct part splits can
+    /// never collide — `mac_parts(k, ["ab", "c"])` and
+    /// `mac_parts(k, ["a", "bc"])` produce unrelated tags (and neither
+    /// equals `mac(k, "abc")`).
+    pub fn mac_parts(key: &[u8], parts: &[&[u8]]) -> Digest {
+        let mut h = Self::new(key);
+        for part in parts {
+            h.update(&(part.len() as u64).to_le_bytes());
+            h.update(part);
+        }
+        h.finalize()
+    }
+
+    /// Verifies `tag` against [`Self::mac_parts`] in constant time.
+    pub fn verify_parts(key: &[u8], parts: &[&[u8]], tag: &Digest) -> bool {
+        let expected = Self::mac_parts(key, parts);
+        crate::ct::eq(expected.as_bytes(), tag.as_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +154,34 @@ mod tests {
         let mut bad = tag;
         bad.0[0] ^= 1;
         assert!(!HmacSha256::verify(b"key", b"msg", &bad));
+    }
+
+    #[test]
+    fn parts_are_unambiguous() {
+        let k = b"frame-key";
+        let ab_c = HmacSha256::mac_parts(k, &[b"ab", b"c"]);
+        let a_bc = HmacSha256::mac_parts(k, &[b"a", b"bc"]);
+        let abc = HmacSha256::mac(k, b"abc");
+        assert_ne!(ab_c, a_bc, "part boundaries are authenticated");
+        assert_ne!(ab_c, abc, "parts never alias the flat message");
+        assert!(HmacSha256::verify_parts(k, &[b"ab", b"c"], &ab_c));
+        assert!(!HmacSha256::verify_parts(k, &[b"a", b"bc"], &ab_c));
+        let mut flipped = ab_c;
+        flipped.0[31] ^= 0x01;
+        assert!(!HmacSha256::verify_parts(k, &[b"ab", b"c"], &flipped));
+    }
+
+    #[test]
+    fn parts_encoding_is_stable() {
+        // Pin the transcript encoding (8-byte LE length prefix per part):
+        // a schema change here would silently re-key every fleet channel.
+        let tag = HmacSha256::mac_parts(b"k", &[b"seq", b"payload"]);
+        let mut flat = Vec::new();
+        flat.extend_from_slice(&3u64.to_le_bytes());
+        flat.extend_from_slice(b"seq");
+        flat.extend_from_slice(&7u64.to_le_bytes());
+        flat.extend_from_slice(b"payload");
+        assert_eq!(tag, HmacSha256::mac(b"k", &flat));
     }
 
     #[test]

@@ -61,6 +61,17 @@ pub struct CostModel {
     /// call decode on the serving side; the trap crossing itself is paid
     /// once per batch, not per entry).
     pub ring_dispatch: u64,
+    /// Posting one frame to the trusted NIC (descriptor write, doorbell,
+    /// on-NIC MAC engine latency, charged to the sending core). Per
+    /// frame; the payload additionally costs [`nic_byte`](Self::nic_byte)
+    /// per byte on both sides.
+    pub nic_send: u64,
+    /// Receiving one frame from the trusted NIC (completion poll + MAC
+    /// check + descriptor recycle, charged to the receiving core).
+    pub nic_recv: u64,
+    /// Copying + MACing one payload byte through the NIC pipeline
+    /// (charged per byte on top of the per-frame costs).
+    pub nic_byte: u64,
 }
 
 impl CostModel {
@@ -87,6 +98,9 @@ impl CostModel {
             lock_handoff: 60,
             ring_enqueue: 40,
             ring_dispatch: 25,
+            nic_send: 1600,
+            nic_recv: 1100,
+            nic_byte: 2,
         }
     }
 }
@@ -234,6 +248,18 @@ mod tests {
         );
         assert!(m.ring_dispatch < m.ring_enqueue + m.lock_handoff);
         assert!(m.ring_enqueue < m.vmfunc_switch, "enqueue is core-local");
+        // NIC costs: a cross-machine frame must be pricier than an IPI
+        // (it leaves the coherence fabric and passes a MAC engine) but a
+        // small attested request must stay below a process-IPC round trip
+        // per direction, or the fleet model could never beat the process
+        // baseline the paper argues against.
+        assert!(m.nic_send > m.ipi_send, "NIC send costlier than an IPI");
+        assert!(m.nic_recv > m.ipi_deliver);
+        assert!(
+            m.nic_send + m.nic_recv + 64 * m.nic_byte < m.ipc_roundtrip,
+            "a 64-byte frame one-way must undercut an IPC round trip"
+        );
+        assert!(m.nic_byte < m.tlb_hit + m.page_walk_level);
     }
 
     #[test]

@@ -38,6 +38,14 @@ pub enum FaultSite {
     DrbgEntropy,
     /// The TPM fails to produce a quote.
     TpmQuote,
+    /// A NIC frame is silently dropped before enqueue.
+    NicDrop,
+    /// A NIC frame is delivered twice (duplicate enqueue).
+    NicDup,
+    /// A NIC frame jumps ahead of the frames already queued.
+    NicReorder,
+    /// A NIC frame has one payload byte flipped in flight.
+    NicCorrupt,
 }
 
 impl FaultSite {
@@ -53,6 +61,10 @@ impl FaultSite {
             FaultSite::PmpWalk => 6,
             FaultSite::DrbgEntropy => 7,
             FaultSite::TpmQuote => 8,
+            FaultSite::NicDrop => 9,
+            FaultSite::NicDup => 10,
+            FaultSite::NicReorder => 11,
+            FaultSite::NicCorrupt => 12,
         }
     }
 }
@@ -68,6 +80,10 @@ impl core::fmt::Display for FaultSite {
             FaultSite::PmpWalk => "pmp-walk",
             FaultSite::DrbgEntropy => "drbg-entropy",
             FaultSite::TpmQuote => "tpm-quote",
+            FaultSite::NicDrop => "nic-drop",
+            FaultSite::NicDup => "nic-dup",
+            FaultSite::NicReorder => "nic-reorder",
+            FaultSite::NicCorrupt => "nic-corrupt",
         };
         f.write_str(s)
     }

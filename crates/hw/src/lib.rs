@@ -23,8 +23,11 @@
 //! - [`cycles`]: the cycle-cost model used to report simulated costs for
 //!   transitions and exits.
 //! - [`machine`]: the assembled machine (memory + CPUs + devices + TPM).
+//! - [`nic`]: the modeled trusted NIC — cycle-charged send/recv, bounded
+//!   in-order queues, and an attacker-controlled wire where the seeded
+//!   fault plans may drop/dup/reorder/corrupt frames.
 //! - [`faults`]: deterministic, seeded fault injection threaded through
-//!   memory, the walkers, the interrupt controller, and the TPM.
+//!   memory, the walkers, the interrupt controller, the TPM, and the NIC.
 //!
 //! The model's contract: the monitor code that runs on top of it consumes
 //! *events* (vm exits, traps) and programs *structures* (EPT entries, PMP
@@ -44,6 +47,7 @@ pub mod irq;
 pub mod machine;
 pub mod mem;
 pub mod mktme;
+pub mod nic;
 pub mod riscv;
 pub mod sriov;
 pub mod tpm;

@@ -19,6 +19,7 @@ use crate::iommu::Iommu;
 use crate::irq::IrqController;
 use crate::mem::{FrameAllocator, PhysMem};
 use crate::mktme::MemCrypt;
+use crate::nic::{Frame, Nic, QueueFull};
 use crate::tpm::Tpm;
 
 /// A borrowed view of the machine's shared fabric, passed to every vCPU and
@@ -52,6 +53,15 @@ pub struct MachineConfig {
     pub monitor_reserved: u64,
     /// Cost model calibration.
     pub cost: CostModel,
+    /// Seed for the TPM's DRBG and attestation-key derivation (and the
+    /// memory-encryption controller's key schedule). Every machine in a
+    /// fleet must get a distinct seed, or "independent" TPMs would share
+    /// attestation keys and nonce streams.
+    pub tpm_seed: u64,
+    /// This machine's fleet id, stamped into outbound NIC frames.
+    pub machine_id: u64,
+    /// Depth of the NIC's bounded inbound queue, in frames.
+    pub nic_queue_frames: usize,
 }
 
 impl Default for MachineConfig {
@@ -61,6 +71,9 @@ impl Default for MachineConfig {
             cores: 4,
             monitor_reserved: 16 * 1024 * 1024,
             cost: CostModel::default_model(),
+            tpm_seed: 0x7c7e_5eed,
+            machine_id: 0,
+            nic_queue_frames: crate::nic::DEFAULT_QUEUE_FRAMES,
         }
     }
 }
@@ -98,6 +111,8 @@ pub struct Machine {
     pub mktme: MemCrypt,
     /// The interrupt remapping controller.
     pub irq: IrqController,
+    /// The trusted NIC (cross-machine transport; see [`crate::nic`]).
+    pub nic: Nic,
     /// Master handle to the fault injector shared by memory, the
     /// interrupt controller, and the TPM. Arm plans here; the units
     /// consult the same shared plan list.
@@ -137,11 +152,15 @@ impl Machine {
         faults.set_trace(trace.clone());
         let mut mem = PhysMem::new(config.ram_bytes);
         mem.set_faults(faults.clone());
-        let mut tpm = Tpm::new_with_seed(0x7c7e_5eed);
+        let mut tpm = Tpm::new_with_seed(config.tpm_seed);
         tpm.set_faults(faults.clone());
         let mut irq = IrqController::new();
         irq.set_faults(faults.clone());
         irq.set_metrics(metrics.clone());
+        let mut nic = Nic::new(config.nic_queue_frames);
+        nic.set_machine_id(config.machine_id);
+        nic.set_faults(faults.clone());
+        nic.set_trace(trace.clone());
         let reserve_base = config.ram_bytes - config.monitor_reserved;
         let monitor_frames = FrameAllocator::new(PhysRange::new(
             PhysAddr::new(reserve_base),
@@ -159,8 +178,9 @@ impl Machine {
             cache: Cache::default_l1(),
             tpm,
             iommu: Iommu::new(),
-            mktme: MemCrypt::new_with_seed(0x7c7e_5eed),
+            mktme: MemCrypt::new_with_seed(config.tpm_seed),
             irq,
+            nic,
             faults,
             trace,
             metrics,
@@ -196,6 +216,27 @@ impl Machine {
             charged += 1;
         }
         charged
+    }
+
+    /// Posts one NIC frame for machine `dst` from `core`, charging the
+    /// send costs against this machine's per-core clocks. The returned
+    /// frame is carried by the fleet fabric to the destination NIC's
+    /// [`Machine::nic_enqueue`].
+    pub fn nic_send(&mut self, core: usize, dst: u64, payload: Vec<u8>) -> Frame {
+        self.nic
+            .send(core, &self.core_clocks, &self.cost, dst, payload)
+    }
+
+    /// Delivers `frame` from the untrusted wire into this machine's NIC
+    /// queue (fault plans for the NIC sites are consulted here).
+    pub fn nic_enqueue(&mut self, frame: Frame) -> Result<(), QueueFull> {
+        self.nic.enqueue(frame)
+    }
+
+    /// Polls this machine's NIC queue from `core`, charging receive costs
+    /// and advancing `core`'s clock past the frame's send timestamp.
+    pub fn nic_recv(&mut self, core: usize) -> Option<Frame> {
+        self.nic.recv(core, &self.core_clocks, &self.cost)
     }
 
     /// Borrows the shared-fabric view used by vCPU and device operations.

@@ -208,23 +208,19 @@ impl RdmaConnection {
         ks
     }
 
-    /// One-sided RDMA write: reads `len` bytes at `local_addr` as the
-    /// domain running on `local core` (its own hardware view enforces
-    /// access), encrypts, crosses `wire`, and lands in the remote MR at
-    /// `remote_off` — after the remote NIC re-validates ownership.
-    #[allow(clippy::too_many_arguments)]
-    pub fn rdma_write(
+    /// Sender half of an RDMA write: reads `len` bytes at `local_addr`
+    /// as the domain running on `local` core (its own hardware view
+    /// enforces access), encrypts under the per-frame keystream, and
+    /// MACs the result into a self-contained wire frame
+    /// (`seq_le || ciphertext || tag`). The frame can cross any
+    /// transport — the in-process [`Wire`], or a fleet NIC channel.
+    pub fn produce_frame(
         &mut self,
         local: &mut Monitor,
         core: usize,
         local_addr: u64,
         len: usize,
-        wire: &mut Wire,
-        remote: &mut Monitor,
-        remote_nic: &RdmaNic,
-        rkey: RKey,
-        remote_off: u64,
-    ) -> Result<(), RdmaError> {
+    ) -> Result<Vec<u8>, RdmaError> {
         // Local read through the sender's own enforced view.
         let mut payload = vec![0u8; len];
         {
@@ -244,9 +240,20 @@ impl RdmaConnection {
         frame.extend(payload.iter().zip(&ks).map(|(p, k)| p ^ k));
         let tag = tyche_crypto::HmacSha256::mac(&self.key, &frame);
         frame.extend_from_slice(tag.as_bytes());
-        wire.frames.push(frame.clone());
+        Ok(frame)
+    }
 
-        // Receive side: authenticate, decrypt, deliver into the MR.
+    /// Receiver half of an RDMA write: authenticates and decrypts one
+    /// wire frame, then delivers it into the remote MR at `remote_off`
+    /// after the remote NIC re-validates ownership and exclusivity.
+    pub fn deliver_frame(
+        &self,
+        frame: &[u8],
+        remote: &mut Monitor,
+        remote_nic: &RdmaNic,
+        rkey: RKey,
+        remote_off: u64,
+    ) -> Result<(), RdmaError> {
         if frame.len() < 40 {
             return Err(RdmaError::BadFrame);
         }
@@ -263,6 +270,7 @@ impl RdmaConnection {
             .and_then(|b| b.try_into().ok())
             .ok_or(RdmaError::BadFrame)?;
         let rseq = u64::from_le_bytes(rseq_bytes);
+        let len = body.len() - 8;
         let rks = self.keystream(rseq, len);
         let plain: Vec<u8> = body[8..].iter().zip(&rks).map(|(c, k)| c ^ k).collect();
 
@@ -312,6 +320,30 @@ impl RdmaConnection {
             )
             .map_err(|_| RdmaError::OutOfBounds)?;
         Ok(())
+    }
+
+    /// One-sided RDMA write: reads `len` bytes at `local_addr` as the
+    /// domain running on `local core` (its own hardware view enforces
+    /// access), encrypts, crosses `wire`, and lands in the remote MR at
+    /// `remote_off` — after the remote NIC re-validates ownership.
+    /// Composes [`Self::produce_frame`] and [`Self::deliver_frame`]
+    /// around the eavesdropper-visible wire capture.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rdma_write(
+        &mut self,
+        local: &mut Monitor,
+        core: usize,
+        local_addr: u64,
+        len: usize,
+        wire: &mut Wire,
+        remote: &mut Monitor,
+        remote_nic: &RdmaNic,
+        rkey: RKey,
+        remote_off: u64,
+    ) -> Result<(), RdmaError> {
+        let frame = self.produce_frame(local, core, local_addr, len)?;
+        wire.frames.push(frame.clone());
+        self.deliver_frame(&frame, remote, remote_nic, rkey, remote_off)
     }
 }
 

@@ -177,6 +177,46 @@ pub fn expected_pcr_for(image_measurement: Digest) -> Digest {
     tyche_crypto::hash_parts(&[Digest::ZERO.as_bytes(), image_measurement.as_bytes()])
 }
 
+/// The measurement roots one machine *publishes* so fleet peers can
+/// verify its attestation chain: its TPM's quote-verification key and
+/// its monitor's report-verification key. In a real deployment these
+/// travel out-of-band (a fleet manifest, an endorsement certificate);
+/// in the model they are collected from the booted monitor.
+///
+/// Note what is deliberately **not** published: the expected monitor
+/// PCR. Each peer derives that itself from the open-source monitor
+/// build it trusts ([`Self::verifier`]), so a byzantine machine that
+/// boots a different monitor can distribute honest-looking keys and
+/// still fail tier 1 of every peer's [`Verifier::verify`].
+#[derive(Clone, Debug)]
+pub struct MachineRoots {
+    /// The machine's TPM attestation (quote-verification) key.
+    pub tpm_key: VerifyingKey,
+    /// The machine's monitor report-verification key.
+    pub monitor_key: VerifyingKey,
+}
+
+impl MachineRoots {
+    /// Collects the roots a booted monitor publishes for its machine.
+    pub fn of(monitor: &crate::monitor::Monitor) -> Self {
+        MachineRoots {
+            tpm_key: monitor.machine.tpm.attestation_key(),
+            monitor_key: monitor.report_key(),
+        }
+    }
+
+    /// Builds the verifier a peer uses against this machine, trusting
+    /// only monitors whose image measures to the named `version` (see
+    /// `boot::expected_monitor_pcr`).
+    pub fn verifier(&self, version: &str) -> Verifier {
+        Verifier {
+            tpm_key: self.tpm_key.clone(),
+            expected_monitor_pcr: crate::boot::expected_monitor_pcr(version),
+            monitor_key: self.monitor_key.clone(),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Multi-domain topology attestation (§4.2 extension)
 // ---------------------------------------------------------------------

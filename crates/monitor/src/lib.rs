@@ -39,6 +39,6 @@ pub mod monitor;
 
 pub use abi::{MonitorCall, Status};
 pub use concurrent::{ConcurrentMonitor, RingOutcome, SmpStats};
-pub use attest::{AttestedDomain, Verifier};
+pub use attest::{AttestedDomain, MachineRoots, Verifier};
 pub use boot::{boot_riscv, boot_x86, BootConfig};
 pub use monitor::{Arch, Fault, Monitor};

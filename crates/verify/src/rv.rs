@@ -12,7 +12,7 @@
 //! conforming run and a seeded corruption it must catch at a known
 //! index.
 //!
-//! The six invariants:
+//! The seven invariants:
 //!
 //! 1. **revoke-shootdown** — every domain queued for invalidation on a
 //!    core (`shoot-queue`) is delivered by that core's next
@@ -35,6 +35,12 @@
 //! 6. **transition-stack** — enters and returns nest: every `return`
 //!    pops the matching `enter` (same pair, reversed), per core; and
 //!    hypercall enter/exit brackets stay balanced per core.
+//! 7. **channel-seq** — per attested peer, channel epochs only advance,
+//!    send and receive sequence numbers are strictly sequential from 0
+//!    within an epoch, no traffic moves on a torn-down channel, a
+//!    violation on an open channel is followed immediately by its
+//!    teardown, and a violated peer is never re-established (sticky
+//!    quarantine, observed at the trace level).
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -45,7 +51,7 @@ use tyche_core::trace::{EventKind, TraceEvent, TraceLog};
 pub struct Finding {
     /// Stable checker name (`revoke-shootdown`, `quarantine-sticky`,
     /// `fast-cache`, `ipi-accounting`, `gen-monotonic`,
-    /// `transition-stack`).
+    /// `transition-stack`, `channel-seq`).
     pub checker: &'static str,
     /// Index into the drained trace (the event where the automaton saw
     /// the contradiction; the end-of-trace index for leaked state).
@@ -61,17 +67,18 @@ impl core::fmt::Display for Finding {
 }
 
 /// Names of all checkers, in the order [`check_all`] runs them.
-pub const CHECKERS: [&str; 6] = [
+pub const CHECKERS: [&str; 7] = [
     "revoke-shootdown",
     "quarantine-sticky",
     "fast-cache",
     "ipi-accounting",
     "gen-monotonic",
     "transition-stack",
+    "channel-seq",
 ];
 
 /// Runs every checker over `log` and collects all findings, ordered by
-/// checker then by event index. Empty = the trace satisfies all six
+/// checker then by event index. Empty = the trace satisfies all seven
 /// temporal invariants.
 pub fn check_all(log: &TraceLog) -> Vec<Finding> {
     let events = log.events();
@@ -82,6 +89,7 @@ pub fn check_all(log: &TraceLog) -> Vec<Finding> {
     findings.extend(check_ipi_accounting(events));
     findings.extend(check_gen_monotonic(events));
     findings.extend(check_transition_stack(events));
+    findings.extend(check_channel_seq(events));
     findings
 }
 
@@ -413,6 +421,145 @@ pub fn check_transition_stack(events: &[TraceEvent]) -> Vec<Finding> {
     findings
 }
 
+/// Checker 7: channel sequence discipline.
+///
+/// Per attested peer (the channel events are engine-lane, so peer id is
+/// the key): `chan-establish` must strictly advance the epoch and reset
+/// both sequence windows; `chan-send` / `chan-recv` must carry the
+/// current epoch and exactly the next sequence number of their
+/// direction; neither may appear on a closed channel; a
+/// `chan-violation` while the channel is open must be followed
+/// immediately (next event for that peer) by `chan-teardown`; and a
+/// violated peer is quarantined for the rest of the trace — any later
+/// establish/send/recv is a containment breach.
+pub fn check_channel_seq(events: &[TraceEvent]) -> Vec<Finding> {
+    #[derive(Default)]
+    struct Chan {
+        epoch: u64,
+        open: bool,
+        send_next: u64,
+        recv_next: u64,
+        violated: bool,
+        expect_teardown: bool,
+    }
+    let mut findings = Vec::new();
+    let mut chans: BTreeMap<u64, Chan> = BTreeMap::new();
+    let mut flag = |index: usize, message: String| {
+        findings.push(Finding {
+            checker: "channel-seq",
+            index,
+            message,
+        });
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let peer = match ev.kind {
+            EventKind::ChanEstablish { peer, .. }
+            | EventKind::ChanSend { peer, .. }
+            | EventKind::ChanRecv { peer, .. }
+            | EventKind::ChanViolation { peer, .. }
+            | EventKind::ChanTeardown { peer, .. } => peer,
+            _ => continue,
+        };
+        let c = chans.entry(peer).or_default();
+        if c.expect_teardown && !matches!(ev.kind, EventKind::ChanTeardown { .. }) {
+            flag(
+                i,
+                format!("peer {peer}: violation on an open channel was not followed by teardown"),
+            );
+            c.expect_teardown = false;
+        }
+        match ev.kind {
+            EventKind::ChanEstablish { epoch, .. } => {
+                if c.violated {
+                    flag(i, format!("peer {peer}: re-established after a violation (quarantine not sticky)"));
+                }
+                if epoch <= c.epoch {
+                    flag(
+                        i,
+                        format!(
+                            "peer {peer}: establish at epoch {epoch} does not advance past {}",
+                            c.epoch
+                        ),
+                    );
+                }
+                c.epoch = epoch;
+                c.open = true;
+                c.send_next = 0;
+                c.recv_next = 0;
+            }
+            EventKind::ChanSend { seq, epoch, .. } => {
+                if c.violated || !c.open {
+                    flag(i, format!("peer {peer}: send on a closed channel"));
+                }
+                if epoch != c.epoch {
+                    flag(
+                        i,
+                        format!("peer {peer}: send under epoch {epoch}, channel is at {}", c.epoch),
+                    );
+                }
+                if seq != c.send_next {
+                    flag(
+                        i,
+                        format!(
+                            "peer {peer}: send sequence {seq}, expected {}",
+                            c.send_next
+                        ),
+                    );
+                }
+                c.send_next = seq + 1;
+            }
+            EventKind::ChanRecv { seq, epoch, .. } => {
+                if c.violated || !c.open {
+                    flag(i, format!("peer {peer}: receive on a closed channel"));
+                }
+                if epoch != c.epoch {
+                    flag(
+                        i,
+                        format!(
+                            "peer {peer}: receive under epoch {epoch}, channel is at {}",
+                            c.epoch
+                        ),
+                    );
+                }
+                if seq != c.recv_next {
+                    flag(
+                        i,
+                        format!(
+                            "peer {peer}: receive sequence {seq}, expected {}",
+                            c.recv_next
+                        ),
+                    );
+                }
+                c.recv_next = seq + 1;
+            }
+            EventKind::ChanViolation { .. } => {
+                c.violated = true;
+                if c.open {
+                    c.expect_teardown = true;
+                }
+            }
+            EventKind::ChanTeardown { .. } => {
+                if !c.open {
+                    flag(i, format!("peer {peer}: teardown of a channel that was not open"));
+                }
+                c.open = false;
+                c.expect_teardown = false;
+            }
+            _ => {}
+        }
+    }
+    let end = events.len().saturating_sub(1);
+    for (peer, c) in &chans {
+        if c.expect_teardown {
+            flag(
+                end,
+                format!("peer {peer}: trace ended with a violated channel still open"),
+            );
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -594,6 +741,87 @@ mod tests {
             ),
         ]);
         assert!(check_transition_stack(log.events()).is_empty());
+    }
+
+    #[test]
+    fn clean_channel_lifecycle_passes() {
+        let log = TraceLog::from_events(vec![
+            ev(0, 0, EventKind::ChanEstablish { peer: 1, epoch: 1 }),
+            ev(1, 0, EventKind::ChanSend { peer: 1, seq: 0, epoch: 1 }),
+            ev(2, 0, EventKind::ChanRecv { peer: 1, seq: 0, epoch: 1 }),
+            ev(3, 0, EventKind::ChanSend { peer: 1, seq: 1, epoch: 1 }),
+            // Re-key: epoch advances, sequence windows reset.
+            ev(4, 0, EventKind::ChanEstablish { peer: 1, epoch: 2 }),
+            ev(5, 0, EventKind::ChanRecv { peer: 1, seq: 0, epoch: 2 }),
+            // A different peer violates and is promptly torn down.
+            ev(6, 0, EventKind::ChanEstablish { peer: 2, epoch: 1 }),
+            ev(7, 0, EventKind::ChanViolation { peer: 2, reason: 1, seq: 0 }),
+            ev(8, 0, EventKind::ChanTeardown { peer: 2, epoch: 1 }),
+        ]);
+        assert!(check_channel_seq(log.events()).is_empty());
+        assert!(check_all(&log).is_empty());
+    }
+
+    #[test]
+    fn channel_sequence_gap_is_flagged() {
+        let log = TraceLog::from_events(vec![
+            ev(0, 0, EventKind::ChanEstablish { peer: 3, epoch: 1 }),
+            ev(1, 0, EventKind::ChanRecv { peer: 3, seq: 0, epoch: 1 }),
+            ev(2, 0, EventKind::ChanRecv { peer: 3, seq: 2, epoch: 1 }),
+        ]);
+        let f = check_channel_seq(log.events());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].index, 2);
+    }
+
+    #[test]
+    fn traffic_after_teardown_is_flagged() {
+        let log = TraceLog::from_events(vec![
+            ev(0, 0, EventKind::ChanEstablish { peer: 4, epoch: 1 }),
+            ev(1, 0, EventKind::ChanViolation { peer: 4, reason: 2, seq: 1 }),
+            ev(2, 0, EventKind::ChanTeardown { peer: 4, epoch: 1 }),
+            ev(3, 0, EventKind::ChanSend { peer: 4, seq: 0, epoch: 1 }),
+        ]);
+        let f = check_channel_seq(log.events());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].index, 3);
+    }
+
+    #[test]
+    fn reestablish_after_violation_is_flagged() {
+        let log = TraceLog::from_events(vec![
+            ev(0, 0, EventKind::ChanEstablish { peer: 6, epoch: 1 }),
+            ev(1, 0, EventKind::ChanViolation { peer: 6, reason: 1, seq: 0 }),
+            ev(2, 0, EventKind::ChanTeardown { peer: 6, epoch: 1 }),
+            ev(3, 0, EventKind::ChanEstablish { peer: 6, epoch: 2 }),
+        ]);
+        let f = check_channel_seq(log.events());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].index, 3);
+    }
+
+    #[test]
+    fn violation_without_teardown_is_flagged() {
+        let log = TraceLog::from_events(vec![
+            ev(0, 0, EventKind::ChanEstablish { peer: 7, epoch: 1 }),
+            ev(1, 0, EventKind::ChanViolation { peer: 7, reason: 3, seq: 2 }),
+            ev(2, 0, EventKind::ChanSend { peer: 7, seq: 0, epoch: 1 }),
+        ]);
+        let f = check_channel_seq(log.events());
+        // The missing teardown and the post-violation send both flag.
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!(f[0].index, 2);
+    }
+
+    #[test]
+    fn epoch_regression_on_establish_is_flagged() {
+        let log = TraceLog::from_events(vec![
+            ev(0, 0, EventKind::ChanEstablish { peer: 8, epoch: 2 }),
+            ev(1, 0, EventKind::ChanEstablish { peer: 8, epoch: 2 }),
+        ]);
+        let f = check_channel_seq(log.events());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].index, 1);
     }
 
     #[test]

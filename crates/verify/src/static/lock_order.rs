@@ -7,7 +7,9 @@
 //! > shards (ascending index) → inner engine → pending-shootdown set
 //!
 //! plus the leaf-level epoch read-side locks (snapshot slots, retired
-//! list) and trace-sink locks that sit after the engine. This module is
+//! list), the cross-machine channel table and NIC queue, and the
+//! trace-sink locks that sit after everything (channel code emits trace
+//! events while holding its guard). This module is
 //! that sentence made machine-checked:
 //! every guard acquisition parsed out of the TCB is classified into a
 //! ranked class, and an acquisition of a lower-ranked (or same-ranked)
@@ -37,9 +39,11 @@ pub const HIERARCHY: &[(&str, u8)] = &[
     ("pending-shootdown", 5),
     ("snapshot-cache", 6),
     ("epoch-retired", 7),
-    ("trace-lanes", 8),
-    ("trace-lane", 9),
-    ("trace-spill-log", 10),
+    ("channel-table", 8),
+    ("nic-queue", 9),
+    ("trace-lanes", 10),
+    ("trace-lane", 11),
+    ("trace-spill-log", 12),
 ];
 
 /// Substring → class rules, checked in order against the argument text
@@ -49,6 +53,10 @@ pub const HIERARCHY: &[(&str, u8)] = &[
 const PATTERNS: &[(&str, &str)] = &[
     ("ring", "submission-ring"),
     ("retired", "epoch-retired"),
+    // `nic_queue`, not bare `nic`: the latter is a substring of `panic`,
+    // which shows up in plenty of statement contexts.
+    ("nic_queue", "nic-queue"),
+    ("channel", "channel-table"),
     ("shard_table", "shard-table"),
     ("shard", "domain-shard"),
     ("core", "core-state"),

@@ -288,6 +288,67 @@ impl Reads {
     );
 }
 
+/// The fleet layer's lock shape: the channel table (which emits trace
+/// events while held — trace lanes rank above it), and the NIC inbox
+/// queue after the table. Everything the extended hierarchy allows.
+const CHANNEL_LOCKS_OK: &str = r#"
+impl Channels {
+    pub fn judge_and_emit(&self, peer: u64) {
+        let channels = mutex_lock(&self.channels);
+        let lanes = read_lanes(&self.sink);
+        consume(&channels, &lanes);
+    }
+    pub fn route_inbound(&self, peer: u64) {
+        let channels = mutex_lock(&self.channels);
+        let inbox = mutex_lock(&self.nic_queue);
+        consume(&channels, &inbox);
+    }
+}
+"#;
+
+#[test]
+fn conforming_channel_and_nic_locks_pass() {
+    let model = WorkspaceModel::from_sources(&[(
+        "core",
+        "crates/core/src/channel_ok.rs",
+        CHANNEL_LOCKS_OK,
+    )]);
+    let findings = lock_order::check(&model);
+    assert!(findings.is_empty(), "clean channel fixture flagged: {findings:?}");
+}
+
+#[test]
+fn channel_and_nic_inversions_are_caught() {
+    let src = r#"
+impl Channels {
+    pub fn channel_after_nic(&self) {
+        let inbox = mutex_lock(&self.nic_queue);
+        let channels = mutex_lock(&self.channels);
+        consume(&inbox, &channels);
+    }
+    pub fn engine_after_channel(&self) {
+        let channels = mutex_lock(&self.channels);
+        let eng = write_lock(&self.engine);
+        consume(&channels, &eng);
+    }
+}
+"#;
+    let model =
+        WorkspaceModel::from_sources(&[("core", "crates/core/src/channel_bad.rs", src)]);
+    let findings = lock_order::check(&model);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(
+        findings.iter().any(|f| f.message.contains("acquires `channel-table`")
+            && f.message.contains("`nic-queue`")),
+        "channel-after-nic inversion missed: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.message.contains("acquires `engine-inner`")
+            && f.message.contains("`channel-table`")),
+        "engine-after-channel inversion missed: {findings:?}"
+    );
+}
+
 // ------------------------------------------------------------- panic reach
 
 const ENTRIES: &[(&str, &[&str])] = &[("TestEntry", &["Gate::entry"])];

@@ -10,9 +10,16 @@
 //!
 //! Differences from the real crate: case generation is a deterministic
 //! splitmix64 stream seeded from the test name (runs are reproducible
-//! across machines), and failing inputs are reported but not shrunk.
-//! The assertion macros early-return a [`test_runner::TestCaseError`]
-//! from the generated closure, exactly like the real macros.
+//! across machines), and shrinking is a greedy bounded walk over
+//! [`strategy::Strategy::shrink`] candidates rather than the real
+//! crate's value trees. The candidate order is part of the contract:
+//! it is a pure function of the failing value (ranges halve toward
+//! their start; tuples exhaust component 0 before component 1), never
+//! of addresses, hashes, or iteration order, so the minimal
+//! counterexample a failure reports is bit-identical across processes
+//! and machines. The assertion macros early-return a
+//! [`test_runner::TestCaseError`] from the generated closure, exactly
+//! like the real macros.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -148,6 +155,106 @@ pub mod test_runner {
             }
         }
     }
+
+    /// The attempt budget for one shrink: enough to walk any plausible
+    /// halving chain to its floor, small enough that a slow test body
+    /// cannot stall a failure report.
+    pub const SHRINK_BUDGET: usize = 512;
+
+    /// Greedily minimizes `value` against `still_fails`: candidates from
+    /// [`Strategy::shrink`](crate::strategy::Strategy::shrink) are tried
+    /// in order, the walk restarts from the first one that still fails,
+    /// and it stops when a full candidate pass survives or `budget`
+    /// attempts are spent. Returns the minimal failing value and the
+    /// number of accepted shrink steps. Deterministic: the result is a
+    /// pure function of the starting value and the predicate.
+    pub fn minimize<S, F>(
+        strat: &S,
+        mut value: S::Value,
+        mut still_fails: F,
+        mut budget: usize,
+    ) -> (S::Value, usize)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: Clone,
+        F: FnMut(&S::Value) -> bool,
+    {
+        let mut steps = 0;
+        'walk: loop {
+            for cand in strat.shrink(&value) {
+                if budget == 0 {
+                    break 'walk;
+                }
+                budget -= 1;
+                if still_fails(&cand) {
+                    value = cand;
+                    steps += 1;
+                    continue 'walk;
+                }
+            }
+            break;
+        }
+        (value, steps)
+    }
+
+    /// Like [`run`], but generation goes through one `strat` value per
+    /// case (the [`proptest!`](crate::proptest) macro packs every
+    /// parameter into a tuple strategy, drawn in declaration order so
+    /// the RNG stream matches the old per-parameter expansion). On the
+    /// first failure the input is shrunk via [`minimize`] before the
+    /// panic reports it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails (reporting the shrunk minimal input) or
+    /// when too many cases are rejected.
+    pub fn run_strategy<S, F>(config: &ProptestConfig, name: &str, strat: &S, mut body: F)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: Clone,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name);
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        let max_rejects = config.cases.saturating_mul(10).max(1000);
+        let mut draw: u64 = 0;
+        while passed < config.cases {
+            let mut rng = TestRng::new(base ^ draw.wrapping_mul(0x2545_f491_4f6c_dd1d));
+            draw += 1;
+            let value = strat.generate(&mut rng);
+            match body(value.clone()) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "proptest '{name}': too many rejected cases ({rejected})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    // A candidate only replaces the current input when
+                    // it fails the same way the original did: a hard
+                    // assertion failure. Rejections and passes both
+                    // count as "survived".
+                    let (min, steps) = minimize(
+                        strat,
+                        value,
+                        |cand| matches!(body(cand.clone()), Err(TestCaseError::Fail(_))),
+                        SHRINK_BUDGET,
+                    );
+                    let min_msg = match body(min.clone()) {
+                        Err(TestCaseError::Fail(m)) => m,
+                        _ => msg,
+                    };
+                    panic!(
+                        "proptest '{name}' failed (case {draw}, seed {base:#x}): {min_msg}; \
+                         shrunk to minimal input {min:?} in {steps} steps"
+                    )
+                }
+            }
+        }
+    }
 }
 
 /// Strategies: composable descriptions of how to generate values.
@@ -164,6 +271,16 @@ pub mod strategy {
 
         /// Draws one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Simplification candidates for `value`, in the exact order the
+        /// runner must try them. The order is a pure function of
+        /// `value` — no addresses, no hashing, no RNG — so a shrink
+        /// that starts from the same failing input lands on the same
+        /// minimal counterexample in every process. Strategies without
+        /// a meaningful notion of "simpler" return nothing.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         /// Maps generated values through `f`.
         fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -254,6 +371,18 @@ pub mod strategy {
                     let span = (self.end as u64).wrapping_sub(self.start as u64);
                     self.start + rng.below(span) as $t
                 }
+
+                /// Successive halvings of the distance to `start`,
+                /// ending at `start` itself.
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let mut out = Vec::new();
+                    let mut cur = *value;
+                    while cur > self.start {
+                        cur = self.start + (cur - self.start) / 2;
+                        out.push(cur);
+                    }
+                    out
+                }
             })+
         };
     }
@@ -261,11 +390,30 @@ pub mod strategy {
 
     macro_rules! tuple_strategy {
         ($(($($S:ident . $idx:tt),+))+) => {
-            $(impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            $(impl<$($S: Strategy),+> Strategy for ($($S,)+)
+            where
+                $($S::Value: Clone),+
+            {
                 type Value = ($($S::Value,)+);
 
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.generate(rng),)+)
+                }
+
+                /// Component 0's candidates (other components held
+                /// fixed), then component 1's, and so on — a stable
+                /// lexicographic-by-position order, pinned by the shim's
+                /// regression tests.
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             })+
         };
@@ -450,8 +598,14 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config = $cfg;
-            $crate::test_runner::run(&config, stringify!($name), |__rng| {
-                $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+            // All parameters pack into one tuple strategy: components
+            // generate in declaration order (the RNG stream is the same
+            // as the old per-parameter expansion), and a failing case
+            // shrinks as a unit with the tuple's pinned candidate
+            // order.
+            let __strat = ($($strat,)+);
+            $crate::test_runner::run_strategy(&config, stringify!($name), &__strat, |__vals| {
+                let ($($pat,)+) = __vals;
                 $body
                 Ok(())
             });
@@ -559,6 +713,59 @@ mod tests {
     }
 
     #[test]
+    fn range_shrink_halves_toward_start() {
+        // Pinned: successive halvings of the distance to `start`,
+        // ending at `start` itself. Any change here breaks recorded
+        // minimal counterexamples, so this is a regression contract.
+        assert_eq!((3u64..17).shrink(&16), vec![9, 6, 4, 3]);
+        assert_eq!((0u8..100).shrink(&37), vec![18, 9, 4, 2, 1, 0]);
+        assert_eq!((5usize..9).shrink(&5), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn tuple_shrink_order_is_pinned() {
+        // Pinned, cross-process-stable order: component 0's candidates
+        // exhaust first (others held fixed), then component 1's. The
+        // order is a pure function of the failing value — re-running
+        // the same failure anywhere reproduces this exact sequence.
+        let strat = (0u64..100, 0u8..10);
+        assert_eq!(
+            strat.shrink(&(37, 5)),
+            vec![
+                (18, 5),
+                (9, 5),
+                (4, 5),
+                (2, 5),
+                (1, 5),
+                (0, 5),
+                (37, 2),
+                (37, 1),
+                (37, 0),
+            ]
+        );
+        // A component already at its floor contributes no candidates.
+        assert_eq!(strat.shrink(&(0, 3)), vec![(0, 1), (0, 0)]);
+        assert_eq!(strat.shrink(&(0, 0)), Vec::<(u64, u8)>::new());
+    }
+
+    #[test]
+    fn minimize_walks_greedily_to_a_stable_floor() {
+        // Greedy halving from 600 against "fails iff >= 17" visits
+        // 300, 150, 75, 37, 18 and stops (every candidate of 18 is
+        // below the threshold). The floor and step count are exact.
+        let strat = (0u64..1000,);
+        let (min, steps) =
+            crate::test_runner::minimize(&strat, (600,), |v| v.0 >= 17, 512);
+        assert_eq!(min, (18,));
+        assert_eq!(steps, 5);
+        // A later component shrinks only after the first is done.
+        let pair = (0u64..1000, 0u64..1000);
+        let (min, _) =
+            crate::test_runner::minimize(&pair, (600, 601), |v| v.0 >= 17 && v.1 >= 33, 512);
+        assert_eq!(min, (18, 37));
+    }
+
+    #[test]
     fn vec_lengths_respect_size_range() {
         let mut rng = crate::rng::TestRng::new(2);
         for _ in 0..200 {
@@ -583,6 +790,16 @@ mod tests {
             Just(99u64),
         ]) {
             prop_assert!(v < 4 || v == 99, "got {v}");
+        }
+
+        // The failure path reports a shrunk input: whatever case first
+        // trips the assertion, the irrelevant second parameter always
+        // minimizes to its floor before the panic fires.
+        #[test]
+        #[should_panic(expected = "shrunk to minimal input")]
+        fn failures_report_shrunk_inputs(x in 0u64..1000, y in 0u8..10) {
+            let _ = y;
+            prop_assert!(x < 17, "x too big");
         }
     }
 }
